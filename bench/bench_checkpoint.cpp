@@ -1,0 +1,64 @@
+// B3 — microbenchmark: checkpoint capture and restore cost vs state size —
+// the overhead side of the checkpoint-interval trade-off in E11b.
+#include <benchmark/benchmark.h>
+
+#include "env/checkpoint.hpp"
+
+using namespace redundancy;
+
+namespace {
+
+/// Subject whose serialized state is `size` bytes.
+class Blob final : public env::Checkpointable {
+ public:
+  explicit Blob(std::size_t size) : data_(size, std::byte{0x5a}) {}
+  [[nodiscard]] util::ByteBuffer snapshot() const override {
+    util::ByteBuffer buf;
+    buf.put(static_cast<std::uint32_t>(data_.size()));
+    auto bytes = buf.bytes();
+    bytes.insert(bytes.end(), data_.begin(), data_.end());
+    return util::ByteBuffer{std::move(bytes)};
+  }
+  void restore(const util::ByteBuffer& state) override {
+    auto r = state.reader();
+    data_.assign(r.get<std::uint32_t>(), std::byte{0});
+  }
+
+ private:
+  std::vector<std::byte> data_;
+};
+
+void BM_CheckpointCapture(benchmark::State& state) {
+  Blob blob{static_cast<std::size_t>(state.range(0))};
+  env::CheckpointStore store{2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.capture(blob));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CheckpointCapture)->Arg(1 << 8)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_CheckpointRestore(benchmark::State& state) {
+  Blob blob{static_cast<std::size_t>(state.range(0))};
+  env::CheckpointStore store{2};
+  store.capture(blob);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.restore_latest(blob));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CheckpointRestore)->Arg(1 << 8)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_CheckpointRingTurnover(benchmark::State& state) {
+  Blob blob{4096};
+  env::CheckpointStore store{4};
+  for (auto _ : state) {
+    // Steady-state: every capture evicts the oldest of 4 retained.
+    benchmark::DoNotOptimize(store.capture(blob));
+  }
+}
+BENCHMARK(BM_CheckpointRingTurnover);
+
+}  // namespace

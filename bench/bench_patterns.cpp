@@ -1,0 +1,98 @@
+// B1 — microbenchmark: per-request overhead of the three Figure-1 patterns
+// over a trivial variant body, as a function of N. Measures the framework's
+// own cost (dispatch, ballot collection, adjudication) rather than variant
+// work.
+#include <benchmark/benchmark.h>
+
+#include "core/parallel_evaluation.hpp"
+#include "core/parallel_selection.hpp"
+#include "core/sequential_alternatives.hpp"
+
+using namespace redundancy;
+
+namespace {
+
+std::vector<core::Variant<int, int>> pool(std::size_t n) {
+  std::vector<core::Variant<int, int>> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(core::make_variant<int, int>(
+        "v" + std::to_string(i),
+        [](const int& x) -> core::Result<int> { return x + 1; }));
+  }
+  return out;
+}
+
+void BM_SingleVariant(benchmark::State& state) {
+  auto v = pool(1)[0];
+  int x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v(++x));
+  }
+}
+BENCHMARK(BM_SingleVariant);
+
+void BM_ParallelEvaluation(benchmark::State& state) {
+  core::ParallelEvaluation<int, int> pe{
+      pool(static_cast<std::size_t>(state.range(0))),
+      core::majority_voter<int>()};
+  int x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pe.run(++x));
+  }
+}
+BENCHMARK(BM_ParallelEvaluation)->Arg(3)->Arg(5)->Arg(9);
+
+void BM_ParallelEvaluationThreaded(benchmark::State& state) {
+  core::ParallelEvaluation<int, int> pe{
+      pool(static_cast<std::size_t>(state.range(0))),
+      core::majority_voter<int>(), core::Concurrency::threaded};
+  int x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pe.run(++x));
+  }
+}
+BENCHMARK(BM_ParallelEvaluationThreaded)->Arg(3)->Arg(9);
+
+void BM_ParallelSelection(benchmark::State& state) {
+  using PS = core::ParallelSelection<int, int>;
+  std::vector<PS::Checked> comps;
+  for (auto& v : pool(static_cast<std::size_t>(state.range(0)))) {
+    comps.push_back(PS::Checked{std::move(v), core::accept_all<int, int>()});
+  }
+  PS ps{std::move(comps)};
+  int x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ps.run(++x));
+  }
+}
+BENCHMARK(BM_ParallelSelection)->Arg(3)->Arg(5)->Arg(9);
+
+void BM_SequentialAlternativesHealthy(benchmark::State& state) {
+  core::SequentialAlternatives<int, int> sa{
+      pool(static_cast<std::size_t>(state.range(0))),
+      core::accept_all<int, int>()};
+  int x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sa.run(++x));
+  }
+}
+BENCHMARK(BM_SequentialAlternativesHealthy)->Arg(3)->Arg(9);
+
+void BM_SequentialAlternativesAllFailing(benchmark::State& state) {
+  std::vector<core::Variant<int, int>> failing;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(state.range(0)); ++i) {
+    failing.push_back(core::make_variant<int, int>(
+        "f", [](const int&) -> core::Result<int> {
+          return core::failure(core::FailureKind::crash);
+        }));
+  }
+  core::SequentialAlternatives<int, int> sa{std::move(failing),
+                                            core::accept_all<int, int>()};
+  int x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sa.run(++x));
+  }
+}
+BENCHMARK(BM_SequentialAlternativesAllFailing)->Arg(3)->Arg(9);
+
+}  // namespace

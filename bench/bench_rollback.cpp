@@ -1,0 +1,74 @@
+// B7 — microbenchmark: failure-free overhead and recovery latency of the
+// rollback-recovery protocols — the survey's other axis: what a protocol
+// costs when nothing goes wrong, and how fast it recovers when something
+// does.
+#include <benchmark/benchmark.h>
+
+#include "rollback/distsim.hpp"
+
+using namespace redundancy;
+using rollback::Protocol;
+using rollback::Simulation;
+
+namespace {
+
+Simulation::Config cfg(Protocol protocol) {
+  Simulation::Config config;
+  config.processes = 6;
+  config.protocol = protocol;
+  config.checkpoint_every = 25;
+  config.send_probability = 0.5;
+  config.seed = 3;
+  return config;
+}
+
+void failure_free(benchmark::State& state, Protocol protocol) {
+  for (auto _ : state) {
+    Simulation sim{cfg(protocol)};
+    sim.run(500);
+    benchmark::DoNotOptimize(sim.total_work());
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+
+void BM_FailureFreeUncoordinated(benchmark::State& state) {
+  failure_free(state, Protocol::uncoordinated);
+}
+BENCHMARK(BM_FailureFreeUncoordinated);
+
+void BM_FailureFreeCoordinated(benchmark::State& state) {
+  failure_free(state, Protocol::coordinated);
+}
+BENCHMARK(BM_FailureFreeCoordinated);
+
+void BM_FailureFreeMessageLogging(benchmark::State& state) {
+  failure_free(state, Protocol::message_logging);
+}
+BENCHMARK(BM_FailureFreeMessageLogging);
+
+void recovery(benchmark::State& state, Protocol protocol) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Simulation sim{cfg(protocol)};
+    sim.run(500);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(sim.crash_and_recover(0));
+  }
+}
+
+void BM_RecoveryUncoordinated(benchmark::State& state) {
+  recovery(state, Protocol::uncoordinated);
+}
+BENCHMARK(BM_RecoveryUncoordinated);
+
+void BM_RecoveryCoordinated(benchmark::State& state) {
+  recovery(state, Protocol::coordinated);
+}
+BENCHMARK(BM_RecoveryCoordinated);
+
+void BM_RecoveryMessageLogging(benchmark::State& state) {
+  recovery(state, Protocol::message_logging);
+}
+BENCHMARK(BM_RecoveryMessageLogging);
+
+}  // namespace

@@ -1,0 +1,103 @@
+// B6 — microbenchmark: the runtime price of design diversity at the
+// database tier. The three engines trade differently (vector: O(n) scans;
+// b-tree: indexed point lookups; log: replay-on-read), and the replicated
+// deployment pays roughly the sum of its members — the execution-cost side
+// of Gashi's argument.
+#include <benchmark/benchmark.h>
+
+#include "sql/chaos.hpp"
+#include "techniques/sql_nvp.hpp"
+#include "util/rng.hpp"
+
+using namespace redundancy;
+using sql::Condition;
+using sql::Row;
+
+namespace {
+
+void fill(sql::SqlStore& store, std::int64_t rows) {
+  (void)store.create_table("t", {"id", "v"});
+  for (std::int64_t i = 0; i < rows; ++i) {
+    (void)store.insert("t", {i, i * 7});
+  }
+}
+
+template <typename Factory>
+void point_lookup(benchmark::State& state, Factory factory) {
+  auto store = factory();
+  const auto rows = state.range(0);
+  fill(*store, rows);
+  util::Rng rng{5};
+  for (auto _ : state) {
+    const Condition cond{"id", Condition::Op::eq,
+                         rng.between(0, rows - 1)};
+    benchmark::DoNotOptimize(store->select("t", cond));
+  }
+}
+
+void BM_VectorPointLookup(benchmark::State& state) {
+  point_lookup(state, &sql::make_vector_store);
+}
+BENCHMARK(BM_VectorPointLookup)->Arg(100)->Arg(1000);
+
+void BM_BTreePointLookup(benchmark::State& state) {
+  point_lookup(state, &sql::make_btree_store);
+}
+BENCHMARK(BM_BTreePointLookup)->Arg(100)->Arg(1000);
+
+void BM_LogPointLookup(benchmark::State& state) {
+  point_lookup(state, &sql::make_log_store);
+}
+BENCHMARK(BM_LogPointLookup)->Arg(100)->Arg(1000);
+
+void BM_VectorInsert(benchmark::State& state) {
+  auto store = sql::make_vector_store();
+  (void)store->create_table("t", {"id", "v"});
+  std::int64_t next = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->insert("t", {next++, 1}));
+  }
+}
+// Fixed iteration count: the table grows with every insert (the duplicate
+// check is O(n) in the vector engine), so open-ended timing would quadratically
+// inflate the run.
+BENCHMARK(BM_VectorInsert)->Iterations(5000);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  auto store = sql::make_btree_store();
+  (void)store->create_table("t", {"id", "v"});
+  std::int64_t next = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->insert("t", {next++, 1}));
+  }
+}
+BENCHMARK(BM_BTreeInsert)->Iterations(50000);
+
+void BM_StateDigest(benchmark::State& state) {
+  auto store = sql::make_btree_store();
+  fill(*store, state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store->state_digest());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StateDigest)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_ReplicatedPointLookup(benchmark::State& state) {
+  std::vector<sql::StorePtr> replicas;
+  replicas.push_back(sql::make_vector_store());
+  replicas.push_back(sql::make_btree_store());
+  replicas.push_back(sql::make_log_store());
+  techniques::ReplicatedSqlServer server{std::move(replicas),
+                                         {.reconcile_every = 0}};
+  fill(server, state.range(0));
+  util::Rng rng{5};
+  for (auto _ : state) {
+    const Condition cond{"id", Condition::Op::eq,
+                         rng.between(0, state.range(0) - 1)};
+    benchmark::DoNotOptimize(server.select("t", cond));
+  }
+}
+BENCHMARK(BM_ReplicatedPointLookup)->Arg(100)->Arg(1000);
+
+}  // namespace

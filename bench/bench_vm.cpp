@@ -1,0 +1,101 @@
+// B4 — microbenchmark: VM interpreter throughput, and the runtime price of
+// the two replica diversifications (tag checks, partition bounds checks) —
+// Cox et al. report single-digit-percent overheads; the shape to match is
+// "diversification is nearly free".
+#include <benchmark/benchmark.h>
+
+#include "vm/assembler.hpp"
+#include "vm/attacks.hpp"
+#include "vm/vm.hpp"
+
+using namespace redundancy;
+
+namespace {
+
+vm::Program loop_program() {
+  // Memory-resident countdown loop: ~6 instructions per iteration.
+  return vm::assemble("loop", R"(
+    arg 0
+    store 200
+  loop:
+    load 200
+    jz done
+    load 200
+    push 1
+    sub
+    store 200
+    jmp loop
+  done:
+    load 200
+    halt
+  )")
+      .take();
+}
+
+void run_loop(benchmark::State& state, vm::VmConfig cfg, std::size_t base) {
+  vm::Vm machine{cfg};
+  machine.load(loop_program(), base, cfg.expected_tag);
+  const std::int64_t args[] = {1000};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(machine.run(base, args));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+
+void BM_VmPlain(benchmark::State& state) {
+  vm::VmConfig cfg;
+  cfg.max_steps = 100'000;
+  run_loop(state, cfg, 0);
+}
+BENCHMARK(BM_VmPlain);
+
+void BM_VmTagged(benchmark::State& state) {
+  vm::VmConfig cfg;
+  cfg.max_steps = 100'000;
+  cfg.enforce_tags = true;
+  cfg.expected_tag = 3;
+  run_loop(state, cfg, 0);
+}
+BENCHMARK(BM_VmTagged);
+
+void BM_VmPartitioned(benchmark::State& state) {
+  vm::VmConfig cfg;
+  cfg.max_steps = 100'000;
+  cfg.region_base = 2048;
+  cfg.region_words = 2048;
+  run_loop(state, cfg, 2048);
+}
+BENCHMARK(BM_VmPartitioned);
+
+void BM_VmTaggedAndPartitioned(benchmark::State& state) {
+  vm::VmConfig cfg;
+  cfg.max_steps = 100'000;
+  cfg.enforce_tags = true;
+  cfg.expected_tag = 2;
+  cfg.region_base = 2048;
+  cfg.region_words = 2048;
+  run_loop(state, cfg, 2048);
+}
+BENCHMARK(BM_VmTaggedAndPartitioned);
+
+void BM_VulnerableServerRequest(benchmark::State& state) {
+  vm::Vm machine{vm::VmConfig{.memory_words = 1024}};
+  const auto server = vm::vulnerable_server();
+  const auto request = vm::benign_request(7, 35);
+  for (auto _ : state) {
+    machine.reset();
+    machine.load(server, 0, 0);
+    benchmark::DoNotOptimize(machine.run(0, request));
+  }
+}
+BENCHMARK(BM_VulnerableServerRequest);
+
+void BM_Assembler(benchmark::State& state) {
+  const std::string source = vm::format(loop_program());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vm::assemble("p", source));
+  }
+}
+BENCHMARK(BM_Assembler);
+
+}  // namespace

@@ -1,0 +1,81 @@
+// B2 — microbenchmark: adjudicator cost per ballot set, by voter family
+// and width. The paper calls the implicit vote "inexpensive"; this pins a
+// number on it.
+#include <benchmark/benchmark.h>
+
+#include "core/voters.hpp"
+#include "util/rng.hpp"
+
+using namespace redundancy;
+
+namespace {
+
+std::vector<core::Ballot<std::int64_t>> ballots(std::size_t n,
+                                                bool agreeing) {
+  std::vector<core::Ballot<std::int64_t>> out;
+  util::Rng rng{99};
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t v =
+        agreeing ? 42 : static_cast<std::int64_t>(rng.below(4));
+    out.push_back({i, "v", core::Result<std::int64_t>{v}});
+  }
+  return out;
+}
+
+void BM_MajorityVoterAgreeing(benchmark::State& state) {
+  auto voter = core::majority_voter<std::int64_t>();
+  auto bs = ballots(static_cast<std::size_t>(state.range(0)), true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(voter(bs));
+  }
+}
+BENCHMARK(BM_MajorityVoterAgreeing)->Arg(3)->Arg(9)->Arg(33);
+
+void BM_MajorityVoterScattered(benchmark::State& state) {
+  auto voter = core::majority_voter<std::int64_t>();
+  auto bs = ballots(static_cast<std::size_t>(state.range(0)), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(voter(bs));
+  }
+}
+BENCHMARK(BM_MajorityVoterScattered)->Arg(3)->Arg(9)->Arg(33);
+
+void BM_PluralityVoter(benchmark::State& state) {
+  auto voter = core::plurality_voter<std::int64_t>();
+  auto bs = ballots(static_cast<std::size_t>(state.range(0)), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(voter(bs));
+  }
+}
+BENCHMARK(BM_PluralityVoter)->Arg(3)->Arg(9)->Arg(33);
+
+void BM_UnanimityVoter(benchmark::State& state) {
+  auto voter = core::unanimity_voter<std::int64_t>();
+  auto bs = ballots(static_cast<std::size_t>(state.range(0)), true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(voter(bs));
+  }
+}
+BENCHMARK(BM_UnanimityVoter)->Arg(3)->Arg(9)->Arg(33);
+
+void BM_MedianVoter(benchmark::State& state) {
+  auto voter = core::median_voter<std::int64_t>();
+  auto bs = ballots(static_cast<std::size_t>(state.range(0)), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(voter(bs));
+  }
+}
+BENCHMARK(BM_MedianVoter)->Arg(3)->Arg(9)->Arg(33);
+
+void BM_WeightedVoter(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto voter =
+      core::weighted_voter<std::int64_t>(std::vector<double>(n, 1.0));
+  auto bs = ballots(n, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(voter(bs));
+  }
+}
+BENCHMARK(BM_WeightedVoter)->Arg(3)->Arg(9)->Arg(33);
+
+}  // namespace

@@ -1,0 +1,68 @@
+// B5 — microbenchmark: the preventive wrappers' interposition cost — what a
+// heap write pays for the healer's bounds check, and what a component call
+// pays for protector preconditions. Fetzer & Xiao argue healer overhead is
+// negligible; this measures our equivalent.
+#include <benchmark/benchmark.h>
+
+#include "techniques/robust_data.hpp"
+#include "techniques/wrappers.hpp"
+
+using namespace redundancy;
+
+namespace {
+
+void BM_HeapWriteRaw(benchmark::State& state) {
+  env::HeapModel heap{1 << 16};
+  const auto id = heap.malloc(256).value();
+  const std::vector<std::byte> data(128, std::byte{1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(heap.write_raw(id, 0, data));
+  }
+}
+BENCHMARK(BM_HeapWriteRaw);
+
+void BM_HeapWriteHealed(benchmark::State& state) {
+  env::HeapModel heap{1 << 16};
+  techniques::HeapHealer healer{heap};
+  const auto id = healer.malloc(256).value();
+  const std::vector<std::byte> data(128, std::byte{1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(healer.write(id, 0, data));
+  }
+}
+BENCHMARK(BM_HeapWriteHealed);
+
+void BM_ProtectorCall(benchmark::State& state) {
+  techniques::ProtectorWrapper protector;
+  protector.expose("op", [](const services::Message& m)
+                             -> core::Result<services::Message> { return m; });
+  protector.require("op", [](const services::Message& m) {
+    return m.contains("n");
+  });
+  const services::Message request{{"n", std::int64_t{1}}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(protector.call("op", request));
+  }
+}
+BENCHMARK(BM_ProtectorCall);
+
+void BM_RobustListPushPop(benchmark::State& state) {
+  techniques::RobustList list;
+  for (auto _ : state) {
+    list.push_back(1);
+    benchmark::DoNotOptimize(list.pop_front());
+  }
+}
+BENCHMARK(BM_RobustListPushPop);
+
+void BM_RobustListAudit(benchmark::State& state) {
+  techniques::RobustList list;
+  for (int i = 0; i < state.range(0); ++i) list.push_back(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(list.audit());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RobustListAudit)->Arg(16)->Arg(256)->Arg(4096);
+
+}  // namespace

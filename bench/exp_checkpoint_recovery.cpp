@@ -1,0 +1,124 @@
+// E11 — Section 5.2: checkpoint-recovery "is effective in dealing with
+// Heisenbugs that depend on temporary execution conditions, but does not
+// work for Bohrbugs". Mixed fault injection over a checkpointed subject,
+// with a checkpoint-interval sweep showing the classic overhead/loss
+// trade-off.
+#include <iostream>
+
+#include <memory>
+
+#include "faults/fault.hpp"
+#include "techniques/checkpoint_recovery.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace redundancy;
+
+namespace {
+
+class Store final : public env::Checkpointable {
+ public:
+  std::int64_t committed = 0;
+  [[nodiscard]] util::ByteBuffer snapshot() const override {
+    util::ByteBuffer buf;
+    buf.put(committed);
+    return buf;
+  }
+  void restore(const util::ByteBuffer& state) override {
+    committed = state.reader().get<std::int64_t>();
+  }
+};
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kOps = 20'000;
+
+  {
+    util::Table table{
+        "E11a. Checkpoint-recovery by fault class (20k operations, 5% fault "
+        "activation, 4 retries)"};
+    table.header({"fault class", "activated", "recovered", "unrecovered",
+                  "survival"});
+    for (const bool deterministic : {false, true}) {
+      Store store;
+      techniques::CheckpointRecovery cr{
+          store, {.checkpoint_every = 1, .max_retries = 4}};
+      auto rng = std::make_shared<util::Rng>(7);
+      std::size_t activated = 0;
+      std::size_t survived = 0;
+      for (std::size_t i = 0; i < kOps; ++i) {
+        // A Bohrbug fires deterministically per operation index; a
+        // Heisenbug re-rolls on every (re-)execution.
+        const bool bohr_fires = faults::input_position(i, 99) < 0.05;
+        bool counted = false;
+        auto status = cr.run([&]() -> core::Status {
+          store.committed += 1;
+          const bool fires =
+              deterministic ? bohr_fires : rng->chance(0.05);
+          if (fires) {
+            if (!counted) {
+              ++activated;
+              counted = true;
+            }
+            return core::failure(
+                core::FailureKind::crash, "fault",
+                deterministic ? core::FaultClass::bohrbug
+                              : core::FaultClass::heisenbug);
+          }
+          return core::ok_status();
+        });
+        if (status.has_value()) ++survived;
+      }
+      table.row({deterministic ? "Bohrbug" : "Heisenbug",
+                 util::Table::count(activated),
+                 util::Table::count(cr.recoveries()),
+                 util::Table::count(cr.unrecovered()),
+                 util::Table::pct(survived / double(kOps), 2)});
+    }
+    table.print(std::cout);
+  }
+
+  {
+    util::Table table{
+        "E11b. Checkpoint-interval sweep: overhead (checkpoints taken) vs "
+        "work lost per failure (Heisenbug rate 2%, 20k ops)"};
+    table.header({"checkpoint every", "checkpoints", "rollbacks",
+                  "final state", "lost work"});
+    for (const std::size_t interval : {1u, 8u, 64u, 512u}) {
+      Store store;
+      techniques::CheckpointRecovery cr{
+          store,
+          {.checkpoint_every = interval, .max_retries = 4, .retained = 4}};
+      auto rng = std::make_shared<util::Rng>(11);
+      std::int64_t attempted = 0;
+      for (std::size_t i = 0; i < kOps; ++i) {
+        (void)cr.run([&]() -> core::Status {
+          store.committed += 1;
+          ++attempted;
+          if (rng->chance(0.02)) {
+            return core::failure(core::FailureKind::crash, "heisen",
+                                 core::FaultClass::heisenbug);
+          }
+          return core::ok_status();
+        });
+      }
+      // Work lost = successful increments rolled away because they shared a
+      // checkpoint window with a later failure.
+      table.row({util::Table::count(interval),
+                 util::Table::count(cr.checkpoints_taken()),
+                 util::Table::count(cr.rollbacks()),
+                 util::Table::count(static_cast<std::size_t>(store.committed)),
+                 util::Table::count(static_cast<std::size_t>(
+                     attempted - store.committed))});
+    }
+    table.print(std::cout);
+  }
+  std::cout << "Shape check: Heisenbugs are almost fully recovered (retry\n"
+               "re-rolls the transient condition) while Bohrbugs defeat\n"
+               "every retry (survival ~= 1 - activation rate). In the\n"
+               "interval sweep, frequent checkpoints cost many captures but\n"
+               "lose little work per failure; sparse checkpoints invert the\n"
+               "trade-off.\n";
+  return 0;
+}

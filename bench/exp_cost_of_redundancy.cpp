@@ -1,0 +1,109 @@
+// E14 — Section 4.1 "Costs and efficacy of code redundancy": the paper's
+// qualitative cost comparison made quantitative. All code-redundancy
+// deployments run over the same 3-version pool at the same fault rate;
+// reported: reliability, execution cost (cost units per request, where one
+// version execution = 1), adjudicator evaluations, and how the technique's
+// redundancy is consumed.
+#include <iostream>
+
+#include "faults/campaign.hpp"
+#include "faults/fault.hpp"
+#include "techniques/nvp.hpp"
+#include "techniques/recovery_blocks.hpp"
+#include "techniques/self_checking.hpp"
+#include "util/table.hpp"
+
+using namespace redundancy;
+
+namespace {
+
+int golden(const int& x) { return 5 * x - 2; }
+
+std::vector<core::Variant<int, int>> versions(std::size_t n) {
+  std::vector<core::Variant<int, int>> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    faults::FaultInjector<int, int> v{"v" + std::to_string(i), golden};
+    v.add(faults::bohrbug<int, int>(
+        "b", 0.08, 70 + i, core::FailureKind::wrong_output,
+        faults::skewed<int, int>(static_cast<int>(i) + 1)));
+    out.push_back(v.as_variant());
+  }
+  return out;
+}
+
+core::AcceptanceTest<int, int> oracle() {
+  return [](const int& x, const int& out) { return out == golden(x); };
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kRequests = 30'000;
+  auto workload = [](std::size_t i, util::Rng&) { return static_cast<int>(i); };
+
+  util::Table table{
+      "E14. Cost of code redundancy at equal deployment (3 versions, 8% "
+      "per-version faults, 30k requests)"};
+  table.header({"technique", "reliability", "cost/req", "adjudications/req",
+                "adjudicator design cost", "redundancy consumed"});
+
+  {
+    techniques::NVersionProgramming<int, int> nvp{versions(3)};
+    auto r = faults::run_campaign<int, int>(
+        "nvp", kRequests, workload,
+        [&nvp](const int& x) { return nvp.run(x); }, golden);
+    table.row({"N-version programming",
+               util::Table::pct(r.reliability_value(), 2),
+               util::Table::num(nvp.metrics().cost_per_request(), 2),
+               util::Table::num(double(nvp.metrics().adjudications) /
+                                    double(nvp.metrics().requests),
+                                2),
+               "none (generic vote)", "none"});
+  }
+  {
+    techniques::RecoveryBlocks<int, int> rb{versions(3), oracle()};
+    auto r = faults::run_campaign<int, int>(
+        "rb", kRequests, workload, [&rb](const int& x) { return rb.run(x); },
+        golden);
+    table.row({"Recovery blocks", util::Table::pct(r.reliability_value(), 2),
+               util::Table::num(rb.metrics().cost_per_request(), 2),
+               util::Table::num(double(rb.metrics().adjudications) /
+                                    double(rb.metrics().requests),
+                                2),
+               "high (acceptance test)", "none (retried per request)"});
+  }
+  {
+    using SC = techniques::SelfCheckingProgramming<int, int>;
+    auto pool = versions(3);
+    std::vector<SC::Component> comps;
+    for (auto& v : pool) comps.push_back(SC::checked(std::move(v), oracle()));
+    SC sc{std::move(comps)};
+    // Failed components are discarded for good; operations redeploys the
+    // pool whenever it is down to its last component — the paper's point
+    // that execution *consumes* explicit redundancy, made operational.
+    auto r = faults::run_campaign<int, int>(
+        "sc", kRequests, workload,
+        [&sc](const int& x) {
+          if (sc.in_service() <= 1) sc.redeploy_all();
+          return sc.run(x);
+        },
+        golden);
+    table.row(
+        {"Self-checking programming", util::Table::pct(r.reliability_value(), 2),
+         util::Table::num(sc.metrics().cost_per_request(), 2),
+         util::Table::num(double(sc.metrics().adjudications) /
+                              double(sc.metrics().requests),
+                          2),
+         "flexible (per component)",
+         std::to_string(sc.metrics().disabled_components) + " components"});
+  }
+  table.print(std::cout);
+  std::cout
+      << "Shape check (paper, Sec. 4.1): NVP pays the highest execution\n"
+         "cost but needs only the generic, inexpensive implicit vote;\n"
+         "recovery blocks cut execution cost to ~1.x at the price of an\n"
+         "application-specific adjudicator; self-checking sits between,\n"
+         "with its redundancy visibly consumed (disabled components) as\n"
+         "execution proceeds.\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+// E4 — Section 4.2: data diversity (Ammann & Knight). A numeric kernel
+// fails on an input-dependent fault region; exact re-expressions slide the
+// computation off the region. Compared: plain execution, retry blocks
+// (sequential re-expression) and N-copy programming (parallel + vote), at
+// growing fault-region sizes.
+//
+// Shape: both deployments recover nearly everything while the region is
+// small relative to the re-expression displacement, and the gain shrinks
+// as the region grows (a re-expressed point lands back inside it).
+#include <iostream>
+
+#include "faults/campaign.hpp"
+#include "faults/fault.hpp"
+#include "techniques/data_diversity.hpp"
+#include "util/table.hpp"
+
+using namespace redundancy;
+
+namespace {
+
+// Kernel: integer polynomial with a Bohrbug on a hash-selected region of
+// the input domain (the model of a corner-case fault).
+std::int64_t golden(const std::int64_t& x) { return x * x - 3 * x + 11; }
+
+std::function<core::Result<std::int64_t>(const std::int64_t&)> kernel(
+    double region) {
+  return [region](const std::int64_t& x) -> core::Result<std::int64_t> {
+    if (faults::input_position(x, 555) < region) {
+      return core::failure(core::FailureKind::crash, "corner case",
+                           core::FaultClass::bohrbug);
+    }
+    return golden(x);
+  };
+}
+
+// Exact re-expression: golden(x) can be recovered from golden(x+d) because
+// golden(x) = golden(x+d) - (2xd + d^2 + ... ). We use the algebraic
+// identity directly: compute on x+d, recover with the closed form.
+techniques::ReExpression<std::int64_t, std::int64_t> shift(std::int64_t d) {
+  return {"shift+" + std::to_string(d),
+          [d](const std::int64_t& x) { return x + d; },
+          [d](const std::int64_t& x, const std::int64_t& out) {
+            return out - (2 * x * d + d * d - 3 * d);
+          }};
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kRequests = 30'000;
+  auto workload = [](std::size_t i, util::Rng& rng) {
+    (void)i;
+    return static_cast<std::int64_t>(rng.below(1'000'000));
+  };
+
+  util::Table table{
+      "E4. Data diversity on an input-region Bohrbug: plain vs retry block "
+      "vs N-copy (exact re-expressions x+1, x+2; 30k random inputs)"};
+  table.header({"fault region", "plain", "retry block", "N-copy(3)",
+                "retry execs/req"});
+
+  for (const double region : {0.01, 0.05, 0.20, 0.50}) {
+    auto program = kernel(region);
+    // Plain, unprotected run.
+    auto plain = faults::run_campaign<std::int64_t, std::int64_t>(
+        "plain", kRequests, workload, program, golden);
+    // Retry block with identity + two exact re-expressions.
+    techniques::RetryBlock<std::int64_t, std::int64_t> retry{
+        program,
+        {techniques::identity_reexpression<std::int64_t, std::int64_t>(),
+         shift(1), shift(2)},
+        [](const std::int64_t&, const std::int64_t&) { return true; }};
+    auto rb = faults::run_campaign<std::int64_t, std::int64_t>(
+        "retry", kRequests, workload,
+        [&retry](const std::int64_t& x) { return retry.run(x); }, golden);
+    // N-copy programming over the same re-expressions.
+    techniques::NCopyProgramming<std::int64_t, std::int64_t> ncopy{
+        program,
+        {techniques::identity_reexpression<std::int64_t, std::int64_t>(),
+         shift(1), shift(2)},
+        core::plurality_voter<std::int64_t>()};
+    auto nc = faults::run_campaign<std::int64_t, std::int64_t>(
+        "ncopy", kRequests, workload,
+        [&ncopy](const std::int64_t& x) { return ncopy.run(x); }, golden);
+
+    table.row({util::Table::pct(region, 0),
+               util::Table::pct(plain.reliability_value(), 2),
+               util::Table::pct(rb.reliability_value(), 2),
+               util::Table::pct(nc.reliability_value(), 2),
+               util::Table::num(retry.metrics().executions_per_request(), 2)});
+  }
+  table.print(std::cout);
+  std::cout << "Shape check: plain reliability is 1-region. Re-expression\n"
+               "lifts both deployments to ~1-region^3 (three independent\n"
+               "chances to miss the region), so the gain is dramatic for\n"
+               "small regions and fades as the region grows. The retry\n"
+               "block's execution cost stays near 1 for small regions.\n";
+  return 0;
+}

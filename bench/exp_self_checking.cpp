@@ -1,0 +1,76 @@
+// E3 — Section 4.1: self-checking programming runs acting + hot-spare
+// components in parallel; a failed acting component is discarded and the
+// spare takes over with no rollback, progressively consuming redundancy.
+//
+// Scenario: a fault burst hits the acting component partway through the
+// run. Shape: availability stays high through the burst (instant
+// switchover), the pool shrinks monotonically, and once the pool is dry the
+// system goes down until redeployment.
+#include <iostream>
+
+#include "faults/fault.hpp"
+#include "techniques/self_checking.hpp"
+#include "util/table.hpp"
+
+using namespace redundancy;
+
+namespace {
+
+int golden(const int& x) { return 2 * x + 1; }
+
+}  // namespace
+
+int main() {
+  using SC = techniques::SelfCheckingProgramming<int, int>;
+
+  // Components fail permanently when their burst window opens.
+  constexpr std::size_t kRequests = 1000;
+  std::size_t clock = 0;
+  auto component = [&clock](std::string name, std::size_t dies_at) {
+    auto fn = [&clock, dies_at](const int& x) -> core::Result<int> {
+      if (clock >= dies_at) {
+        return core::failure(core::FailureKind::crash, "burst");
+      }
+      return golden(x);
+    };
+    return SC::checked(core::make_variant<int, int>(std::move(name), fn),
+                       [](const int& x, const int& out) {
+                         return out == golden(x);
+                       });
+  };
+
+  SC sc{{component("acting", 200), component("spare-1", 500),
+         component("spare-2", 800)}};
+
+  util::Table table{
+      "E3. Self-checking programming: staged fault bursts at t=200/500/800 "
+      "(3 self-checking components, no rollback machinery)"};
+  table.header({"window", "served", "failed", "in service", "acting",
+                "rollbacks"});
+  std::size_t served = 0, failed = 0;
+  std::size_t window_start = 0;
+  for (clock = 0; clock < kRequests; ++clock) {
+    auto out = sc.run(static_cast<int>(clock));
+    if (out.has_value() && out.value() == golden(static_cast<int>(clock))) {
+      ++served;
+    } else {
+      ++failed;
+    }
+    if ((clock + 1) % 200 == 0) {
+      table.row({std::to_string(window_start) + ".." + std::to_string(clock),
+                 util::Table::count(served), util::Table::count(failed),
+                 util::Table::count(sc.in_service()),
+                 "component " + std::to_string(sc.acting()),
+                 util::Table::count(sc.metrics().rollbacks)});
+      window_start = clock + 1;
+      served = failed = 0;
+    }
+  }
+  table.print(std::cout);
+  std::cout << "Shape check: each burst kills the acting component and the\n"
+               "hot spare takes over within the same request (zero failed\n"
+               "requests at t=200 and t=500); rollbacks stay 0 throughout —\n"
+               "the defining contrast with recovery blocks. After t=800 the\n"
+               "redundancy is fully consumed and the system is down.\n";
+  return 0;
+}

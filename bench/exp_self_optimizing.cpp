@@ -1,0 +1,133 @@
+// E17 — Section 4.1: self-optimizing code (Diaconescu et al.; Naccache &
+// Gannod). The same functionality exists in implementations optimized for
+// different conditions; a QoS monitor switches among them when the SLA is
+// violated.
+//
+// Timeline: the preferred implementation degrades progressively (cache
+// thrash / leak-driven slowdown); a cache-light fallback stays flat.
+// Compared: pinned deployments vs the self-optimizing monitor, on SLA
+// violation rate and mean latency. Plus the service-level variant:
+// QoS-aware dynamic binding picking the fastest of equally similar
+// providers.
+#include <iostream>
+
+#include "services/binding.hpp"
+#include "techniques/self_optimizing.hpp"
+#include "util/table.hpp"
+
+using namespace redundancy;
+
+namespace {
+
+/// Implementation A: fastest when healthy, degrades linearly with age.
+techniques::QosImplementation degrading(const std::size_t& clock) {
+  return {"tuned-but-degrading", [&clock](double x) {
+            const double latency = 8.0 + 0.02 * static_cast<double>(clock);
+            return std::pair<double, double>{x * 2, latency};
+          }};
+}
+
+/// Implementation B: slower constant-latency fallback.
+techniques::QosImplementation flat() {
+  return {"simple-flat", [](double x) {
+            return std::pair<double, double>{x * 2, 35.0};
+          }};
+}
+
+struct Outcome {
+  std::size_t violations = 0;
+  double mean_latency = 0.0;
+  std::size_t switches = 0;
+  std::string final_impl;
+};
+
+Outcome drive(bool self_optimizing, bool pin_fallback) {
+  std::size_t clock = 0;
+  std::vector<techniques::QosImplementation> impls;
+  if (pin_fallback) {
+    impls.push_back(flat());
+  } else {
+    impls.push_back(degrading(clock));
+    if (self_optimizing) impls.push_back(flat());
+  }
+  techniques::SelfOptimizing so{
+      impls, {.sla_latency_ms = 50.0, .window = 16, .warmup = 8}};
+  Outcome out;
+  double total_latency = 0.0;
+  for (clock = 0; clock < 4000; ++clock) {
+    (void)so.run(1.0);
+  }
+  out.violations = so.sla_violations();
+  // Recompute mean latency analytically from the implementations chosen is
+  // awkward; approximate with the window average at the end plus counts.
+  total_latency = so.window_average_latency();
+  out.mean_latency = total_latency;
+  out.switches = so.switches();
+  out.final_impl = so.active();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  util::Table table{
+      "E17. Self-optimizing code: implementation A degrades ~0.02 ms/req, "
+      "SLA = 50 ms, 4000 requests"};
+  table.header({"deployment", "SLA violations", "final window latency",
+                "switches", "serving at end"});
+  {
+    const auto out = drive(false, false);  // pinned to the degrading impl
+    table.row({"pinned: tuned-but-degrading", util::Table::count(out.violations),
+               util::Table::num(out.mean_latency, 1) + " ms",
+               util::Table::count(out.switches), out.final_impl});
+  }
+  {
+    const auto out = drive(false, true);  // pinned to the fallback
+    table.row({"pinned: simple-flat", util::Table::count(out.violations),
+               util::Table::num(out.mean_latency, 1) + " ms",
+               util::Table::count(out.switches), out.final_impl});
+  }
+  {
+    const auto out = drive(true, false);  // the monitor chooses
+    table.row({"self-optimizing monitor", util::Table::count(out.violations),
+               util::Table::num(out.mean_latency, 1) + " ms",
+               util::Table::count(out.switches), out.final_impl});
+  }
+  table.print(std::cout);
+
+  // Service-level counterpart: QoS-aware binding (Naccache).
+  services::Registry registry;
+  const services::Interface iface{"render", {"doc"}, {"pdf"}};
+  auto handler = [](const services::Message&) -> core::Result<services::Message> {
+    return services::Message{{"pdf", std::int64_t{1}}};
+  };
+  registry.add(std::make_shared<services::Endpoint>(
+      "render-slow", iface, handler,
+      services::Qos{.mean_latency_ms = 120.0, .availability = 1.0}));
+  registry.add(std::make_shared<services::Endpoint>(
+      "render-fast", iface, handler,
+      services::Qos{.mean_latency_ms = 15.0, .availability = 1.0}));
+
+  util::Table binding_table{"E17b. QoS-aware binding over equally similar "
+                            "providers (1000 calls each)"};
+  binding_table.header({"selection policy", "bound to", "mean observed latency"});
+  for (const bool prefer_fast : {false, true}) {
+    services::DynamicBinding::Options opts;
+    opts.prefer_fast = prefer_fast;
+    services::DynamicBinding binding{iface, registry, opts};
+    for (int i = 0; i < 1000; ++i) (void)binding.call({});
+    binding_table.row(
+        {prefer_fast ? "QoS-aware (prefer fast)" : "registration order",
+         binding.current()->id(),
+         util::Table::num(binding.current()->observed_mean_latency(), 1) +
+             " ms"});
+  }
+  binding_table.print(std::cout);
+  std::cout << "Shape check: pinned-to-degrading violates the SLA for most\n"
+               "of the run once latency crosses 50 ms (~1900 of 4000);\n"
+               "the monitor rides the tuned implementation while it is fast\n"
+               "and switches to the flat fallback when it degrades — few\n"
+               "violations, one switch. QoS-aware binding picks the 15 ms\n"
+               "provider where registration order would camp on 120 ms.\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// E8 — Section 5.1: dynamic service substitution. A pool of independently
+// operated providers implements the same logical service (some behind
+// merely similar interfaces). Providers degrade and die over time; we
+// compare a statically bound client against the self-healing binding, at
+// growing substitute-pool sizes.
+//
+// Shape: static binding availability collapses with its provider; the
+// dynamic binding's availability grows with the size of the redundant pool
+// and survives on similar-interface providers through converters.
+#include <iostream>
+
+#include "services/binding.hpp"
+#include "services/registry.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace redundancy;
+using services::Endpoint;
+using services::Interface;
+using services::Message;
+
+namespace {
+
+Interface canonical() {
+  return Interface{"geocode", {"address"}, {"lat", "lon"}};
+}
+
+services::EndpointPtr provider(std::string id, bool similar_interface,
+                               std::uint64_t seed) {
+  const Interface iface =
+      similar_interface
+          ? Interface{"geocode", {"addr"}, {"latitude", "longitude"}}
+          : canonical();
+  return std::make_shared<Endpoint>(
+      std::move(id), iface,
+      [](const Message&) -> core::Result<Message> {
+        return Message{{"lat", std::int64_t{46}}, {"lon", std::int64_t{9}},
+                       {"latitude", std::int64_t{46}},
+                       {"longitude", std::int64_t{9}}};
+      },
+      services::Qos{}, seed);
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kRequests = 4000;
+
+  util::Table table{
+      "E8. Dynamic service substitution: provider pool with failures every "
+      "500 requests (provider k dies at t=500(k+1)); 4000 requests"};
+  table.header({"client", "pool", "served", "availability", "rebinds",
+                "via converter"});
+
+  for (const std::size_t pool_size : {1u, 2u, 4u, 8u}) {
+    // Build a fresh pool: even-indexed providers expose the canonical
+    // interface, odd-indexed only a similar one (converter required).
+    services::Registry registry;
+    std::vector<services::EndpointPtr> pool;
+    for (std::size_t k = 0; k < pool_size; ++k) {
+      pool.push_back(provider("geo-" + std::to_string(k), k % 2 == 1, 10 + k));
+      registry.add(pool.back());
+    }
+
+    services::DynamicBinding binding{canonical(), registry};
+    std::size_t dynamic_served = 0;
+    std::size_t static_served = 0;
+    for (std::size_t t = 0; t < kRequests; ++t) {
+      // Degradation schedule: provider k dies at t = 500*(k+1).
+      for (std::size_t k = 0; k < pool.size(); ++k) {
+        if (t == 500 * (k + 1)) pool[k]->kill();
+      }
+      const Message request{{"address", std::string{"via Buffi 13"}}};
+      if (binding.call(request).has_value()) ++dynamic_served;
+      // The static client is pinned to provider 0 forever.
+      if (pool[0]->call(request).has_value()) ++static_served;
+    }
+    table.row({"static (pinned)", util::Table::count(pool_size),
+               util::Table::count(static_served),
+               util::Table::pct(static_served / double(kRequests), 1), "-",
+               "-"});
+    table.row({"dynamic binding", util::Table::count(pool_size),
+               util::Table::count(dynamic_served),
+               util::Table::pct(dynamic_served / double(kRequests), 1),
+               util::Table::count(binding.rebinds()),
+               util::Table::count(binding.converted_rebinds())});
+    table.separator();
+  }
+  table.print(std::cout);
+  std::cout << "Shape check: the static client dies with its provider at\n"
+               "t=500 (~12.5% availability) regardless of pool size; the\n"
+               "dynamic binding rides the pool, availability growing with\n"
+               "pool size (500(k+1) deaths -> pool of 8 serves until 4000),\n"
+               "with roughly half the rebinds crossing a converter.\n";
+  return 0;
+}

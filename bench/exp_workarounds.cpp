@@ -1,0 +1,130 @@
+// E10 — Section 5.1: automatic workarounds (Carzaniga, Gorla, Pezzè). A
+// stateful container API with intrinsic redundancy (bulk ops ≡ sequences of
+// elementary ops and vice versa); Bohrbugs are seeded into individual
+// operations; the engine rewrites failing sequences using the equivalence
+// rules, trying candidates in likelihood order.
+//
+// Shape: healing rate is high when the faulty operation has equivalent
+// compositions, the first workaround is found after few candidates (the
+// ranking works), and faults in operations with no equivalent remain
+// unhealed.
+#include <iostream>
+
+#include <set>
+
+#include "techniques/workarounds.hpp"
+#include "util/table.hpp"
+
+using namespace redundancy;
+using techniques::Action;
+using techniques::RewriteRule;
+using techniques::Sequence;
+
+namespace {
+
+// The component: an integer set with elementary and bulk operations. The
+// `broken` set simulates seeded Bohrbugs: those operations always fail.
+core::Status run_sequence(const Sequence& seq,
+                          const std::set<std::string>& broken,
+                          const std::multiset<int>& expected) {
+  std::multiset<int> state;
+  for (const Action& op : seq) {
+    if (broken.contains(op)) {
+      return core::failure(core::FailureKind::crash, op + " is broken",
+                           core::FaultClass::bohrbug);
+    }
+    if (op == "add(1)") state.insert(1);
+    else if (op == "add(2)") state.insert(2);
+    else if (op == "add(3)") state.insert(3);
+    else if (op == "addAll(1,2)") { state.insert(1); state.insert(2); }
+    else if (op == "addAll(2,3)") { state.insert(2); state.insert(3); }
+    else if (op == "addTwice(1)") { state.insert(1); state.insert(1); }
+    else if (op == "clear") state.clear();
+    else return core::failure(core::FailureKind::crash, "unknown op " + op);
+  }
+  if (state != expected) {
+    return core::failure(core::FailureKind::acceptance_failed, "wrong state");
+  }
+  return core::ok_status();
+}
+
+std::vector<RewriteRule> rules() {
+  return {
+      {"bulk12->singles", {"addAll(1,2)"}, {"add(1)", "add(2)"}},
+      {"singles->bulk12", {"add(1)", "add(2)"}, {"addAll(1,2)"}},
+      {"bulk23->singles", {"addAll(2,3)"}, {"add(2)", "add(3)"}},
+      {"singles->bulk23", {"add(2)", "add(3)"}, {"addAll(2,3)"}},
+      {"twice->singles", {"addTwice(1)"}, {"add(1)", "add(1)"}},
+      {"singles->twice", {"add(1)", "add(1)"}, {"addTwice(1)"}},
+  };
+}
+
+struct Scenario {
+  std::string name;
+  Sequence failing;
+  std::multiset<int> intended;
+  std::set<std::string> broken;
+};
+
+}  // namespace
+
+int main() {
+  const std::vector<Scenario> scenarios{
+      {"bulk insert broken", {"addAll(1,2)"}, {1, 2}, {"addAll(1,2)"}},
+      {"elementary add broken", {"add(1)", "add(2)"}, {1, 2}, {"add(1)"}},
+      {"nested bulk chain broken",
+       {"addAll(1,2)", "add(3)"},
+       {1, 2, 3},
+       {"addAll(1,2)"}},
+      {"duplicate insert broken",
+       {"addTwice(1)"},
+       {1, 1},
+       {"addTwice(1)"}},
+      {"both bulk ops broken (two rewrites needed)",
+       {"addAll(1,2)", "addAll(2,3)"},
+       {1, 2, 2, 3},
+       {"addAll(1,2)", "addAll(2,3)"}},
+      {"no equivalent exists", {"add(3)"}, {3}, {"add(3)"}},
+  };
+
+  util::Table table{
+      "E10. Automatic workarounds over an intrinsically redundant container "
+      "API (equivalence rules: bulk ops <-> elementary sequences)"};
+  table.header({"scenario", "healed", "candidates tried", "workaround"});
+
+  std::size_t healed_total = 0;
+  for (const auto& scenario : scenarios) {
+    auto executor = [&scenario](const Sequence& seq) {
+      return run_sequence(seq, scenario.broken, scenario.intended);
+    };
+    // Sanity: the original sequence must actually fail.
+    if (executor(scenario.failing).has_value()) {
+      std::cerr << "scenario '" << scenario.name << "' does not fail\n";
+      return 1;
+    }
+    techniques::AutomaticWorkarounds healer{rules(), executor,
+                                            {.max_depth = 4,
+                                             .max_candidates = 128}};
+    auto out = healer.heal(scenario.failing);
+    std::string workaround = "-";
+    if (out.has_value()) {
+      ++healed_total;
+      workaround.clear();
+      for (const auto& op : out.value()) {
+        if (!workaround.empty()) workaround += "; ";
+        workaround += op;
+      }
+    }
+    table.row({scenario.name, out.has_value() ? "yes" : "NO",
+               util::Table::count(healer.candidates_tried()), workaround});
+  }
+  table.print(std::cout);
+  std::cout << "Healed " << healed_total << "/" << scenarios.size()
+            << " scenarios.\n"
+            << "Shape check: every fault with an equivalent composition is\n"
+               "healed, usually with the very first ranked candidate; the\n"
+               "deep scenario needs a multi-step rewrite (more candidates);\n"
+               "the operation with no intrinsic redundancy stays unhealed —\n"
+               "opportunistic redundancy only works where it latently exists.\n";
+  return 0;
+}

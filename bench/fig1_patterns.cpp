@@ -1,0 +1,132 @@
+// Figure 1 — the three inter-component redundancy patterns, characterized
+// quantitatively: execution cost (variants run per request), adjudication
+// count, redundancy consumption, and the reliability each pattern delivers
+// over the same pool of faulty variants. The *shape* to reproduce: parallel
+// evaluation always pays N executions but needs no application-specific
+// test; parallel selection pays N and consumes redundancy permanently;
+// sequential alternatives pays ~1 execution when healthy and degrades
+// gracefully.
+#include <iostream>
+
+#include "core/parallel_evaluation.hpp"
+#include "core/parallel_selection.hpp"
+#include "core/sequential_alternatives.hpp"
+#include "faults/campaign.hpp"
+#include "faults/fault.hpp"
+#include "util/table.hpp"
+
+using namespace redundancy;
+
+namespace {
+
+int golden(const int& x) { return x * 31 + 7; }
+
+std::vector<core::Variant<int, int>> make_pool(std::size_t n, double p) {
+  std::vector<core::Variant<int, int>> pool;
+  for (std::size_t i = 0; i < n; ++i) {
+    faults::FaultInjector<int, int> v{"v" + std::to_string(i), golden};
+    v.add(faults::bohrbug<int, int>(
+        "b", p, 900 + i, core::FailureKind::wrong_output,
+        faults::skewed<int, int>(static_cast<int>(i) + 1)));
+    pool.push_back(v.as_variant());
+  }
+  return pool;
+}
+
+core::AcceptanceTest<int, int> oracle_test() {
+  return [](const int& x, const int& out) { return out == golden(x); };
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kRequests = 20'000;
+  constexpr double kFaultRate = 0.10;
+
+  util::Table table{
+      "Figure 1 quantified: the three architectural patterns over the same "
+      "pool of faulty variants (per-variant fault rate 10%, 20k requests)"};
+  table.header({"pattern", "N", "reliability", "execs/req", "adjudications",
+                "consumed"});
+
+  auto workload = [](std::size_t i, util::Rng&) { return static_cast<int>(i); };
+
+  for (std::size_t n : {3u, 5u, 7u}) {
+    {  // (a) parallel evaluation: run all, vote once, implicit adjudicator
+      core::ParallelEvaluation<int, int> pe{make_pool(n, kFaultRate),
+                                            core::majority_voter<int>()};
+      auto report = faults::run_campaign<int, int>(
+          "pe", kRequests, workload,
+          [&pe](const int& x) { return pe.run(x); }, golden);
+      table.row({"(a) parallel evaluation", util::Table::count(n),
+                 util::Table::pct(report.reliability_value(), 2),
+                 util::Table::num(pe.metrics().executions_per_request(), 2),
+                 util::Table::count(pe.metrics().adjudications), "0"});
+    }
+    {  // (b) parallel selection, masking discipline: per-component checks
+       // select the best result each round; suited to transient/per-input
+       // faults, nothing is consumed.
+      using PS = core::ParallelSelection<int, int>;
+      std::vector<PS::Checked> comps;
+      for (auto& v : make_pool(n, kFaultRate)) {
+        comps.push_back(PS::Checked{std::move(v), oracle_test()});
+      }
+      PS ps{std::move(comps),
+            typename PS::Options{.disable_on_failure = false, .lazy = false}};
+      auto report = faults::run_campaign<int, int>(
+          "ps", kRequests, workload,
+          [&ps](const int& x) { return ps.run(x); }, golden);
+      table.row({"(b) parallel selection (mask)", util::Table::count(n),
+                 util::Table::pct(report.reliability_value(), 2),
+                 util::Table::num(ps.metrics().executions_per_request(), 2),
+                 util::Table::count(ps.metrics().adjudications), "0"});
+    }
+    {  // (b) parallel selection, consuming discipline: a rejected component
+       // is discarded for good (self-checking hot-spare semantics). Against
+       // per-input faults this drains the pool — the figure quantifies the
+       // paper's warning that "execution progressively consumes the initial
+       // explicit redundancy" unless components are redeployed.
+      using PS = core::ParallelSelection<int, int>;
+      std::vector<PS::Checked> comps;
+      for (auto& v : make_pool(n, kFaultRate)) {
+        comps.push_back(PS::Checked{std::move(v), oracle_test()});
+      }
+      PS ps{std::move(comps)};
+      std::size_t served = 0;
+      auto report = faults::run_campaign<int, int>(
+          "ps", kRequests, workload,
+          [&ps, &served](const int& x) {
+            if (++served % 50 == 0) ps.reinstate_all();  // ops redeploys
+            return ps.run(x);
+          },
+          golden);
+      table.row({"(b) parallel selection (consume)", util::Table::count(n),
+                 util::Table::pct(report.reliability_value(), 2),
+                 util::Table::num(ps.metrics().executions_per_request(), 2),
+                 util::Table::count(ps.metrics().adjudications),
+                 util::Table::count(ps.metrics().disabled_components)});
+    }
+    {  // (c) sequential alternatives: try next only on rejection
+      core::SequentialAlternatives<int, int> sa{make_pool(n, kFaultRate),
+                                                oracle_test()};
+      auto report = faults::run_campaign<int, int>(
+          "sa", kRequests, workload,
+          [&sa](const int& x) { return sa.run(x); }, golden);
+      table.row({"(c) sequential alternatives", util::Table::count(n),
+                 util::Table::pct(report.reliability_value(), 2),
+                 util::Table::num(sa.metrics().executions_per_request(), 2),
+                 util::Table::count(sa.metrics().adjudications), "0"});
+    }
+    table.separator();
+  }
+  table.print(std::cout);
+  std::cout << "Shape check: (a) and (b) pay ~N executions per request; (c)\n"
+               "pays ~1 when the primary is healthy. With oracle-grade\n"
+               "explicit adjudicators, (b-mask)/(c) outrank (a)'s majority\n"
+               "vote, whose quorum can deadlock when wrong answers disagree.\n"
+               "The consuming variant of (b) shows the paper's warning:\n"
+               "against per-input faults, discard-on-failure burns through\n"
+               "the redundancy pool and reliability collapses between\n"
+               "redeployments.\n";
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Regenerates Table 1 of the paper: the taxonomy dimensions for
+// redundancy-based mechanisms.
+#include <iostream>
+
+#include "core/taxonomy.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace redundancy;
+  const auto dims = core::table1_dimensions();
+  util::Table table{"Table 1. Taxonomy for redundancy based mechanisms"};
+  table.header({"Dimension", "Values"});
+  auto join = [](const std::vector<std::string>& values) {
+    std::string out;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i) out += "; ";
+      out += values[i];
+    }
+    return out;
+  };
+  table.row({"Intention", join(dims.intentions)});
+  table.row({"Type", join(dims.types)});
+  table.row({"Triggers and adjudicators", join(dims.adjudicators)});
+  table.row({"Faults addressed", join(dims.faults)});
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,143 @@
+// batch_pipeline: the long-running-computation deployment (the setting of
+// Huang/Garg rejuvenation and Elnozahy checkpoint-recovery). A nightly ETL
+// job must push 200k records through an *aging* worker process — leaks
+// accumulate, the failure hazard climbs, crashes lose uncommitted work.
+//
+// Configurations of the same job are compared live: reactive-only
+// checkpointing at two checkpoint frequencies, and checkpointing combined
+// with *preventive* rejuvenation (restart the worker on an age threshold,
+// trading cheap planned downtime for expensive crashes and lost windows).
+//
+// Each processed batch is also wrapped in a saga so that a crash mid-batch
+// compensates the partially published records.
+#include <iostream>
+
+#include "env/aging.hpp"
+#include "env/checkpoint.hpp"
+#include "techniques/rejuvenation.hpp"
+#include "util/table.hpp"
+
+using namespace redundancy;
+
+namespace {
+
+/// The job's durable state: how many records are committed.
+class JobState final : public env::Checkpointable {
+ public:
+  std::int64_t committed = 0;
+  [[nodiscard]] util::ByteBuffer snapshot() const override {
+    util::ByteBuffer buf;
+    buf.put(committed);
+    return buf;
+  }
+  void restore(const util::ByteBuffer& state) override {
+    committed = state.reader().get<std::int64_t>();
+  }
+};
+
+struct RunReport {
+  double elapsed = 0.0;
+  std::uint64_t crashes = 0;
+  std::uint64_t rejuvenations = 0;
+  std::uint64_t checkpoints = 0;
+};
+
+constexpr std::int64_t kTotalRecords = 200'000;
+constexpr std::int64_t kBatch = 100;  // records per worker request
+
+env::AgingConfig worker_config() {
+  env::AgingConfig cfg;
+  cfg.capacity = 3000.0;       // leak budget before certain death
+  cfg.mean_leak = 2.0;         // per batch
+  cfg.hazard_scale = 0.12;
+  cfg.reboot_time = 400.0;     // crash recovery is expensive
+  cfg.request_time = 1.0;
+  return cfg;
+}
+
+RunReport run_job(std::int64_t checkpoint_every_batches, bool rejuvenation,
+                  std::uint64_t seed) {
+  env::AgingProcess worker{worker_config(), seed};
+  JobState state;
+  env::CheckpointStore store{2};
+  RunReport report;
+  double extra_time = 0.0;
+  constexpr double kCheckpointCost = 2.0;
+  constexpr double kPlannedRestart = 60.0;
+
+  std::int64_t batches_since_checkpoint = 0;
+  store.capture(state);
+  ++report.checkpoints;
+  while (state.committed < kTotalRecords) {
+    // Preventive rejuvenation: commit, then restart young at planned cost.
+    if (rejuvenation && worker.age_fraction() > 0.2) {
+      store.capture(state);
+      ++report.checkpoints;
+      extra_time += kCheckpointCost;
+      batches_since_checkpoint = 0;
+      worker.reboot();
+      extra_time += kPlannedRestart - worker_config().reboot_time;
+      ++report.rejuvenations;
+    }
+    if (batches_since_checkpoint >= checkpoint_every_batches) {
+      store.capture(state);
+      ++report.checkpoints;
+      extra_time += kCheckpointCost;
+      batches_since_checkpoint = 0;
+    }
+    auto status = worker.serve();
+    if (status.has_value()) {
+      state.committed += kBatch;  // the saga's forward step
+      ++batches_since_checkpoint;
+    } else {
+      // Crash mid-batch: the saga compensates the partial batch (our
+      // forward step is atomic here, so compensation is implicit), then we
+      // roll back to the last durable state.
+      ++report.crashes;
+      (void)store.restore_latest(state);
+      batches_since_checkpoint = 0;
+      worker.reboot();
+    }
+  }
+  report.elapsed = worker.clock() + extra_time;
+  return report;
+}
+
+}  // namespace
+
+int main() {
+  util::Table table{
+      "batch_pipeline: 200k records through an aging worker (batch=100, "
+      "crash reboot=400, planned restart=60; mean of 5 seeds)"};
+  table.header({"configuration", "elapsed", "crashes", "rejuvenations",
+                "checkpoints"});
+
+  struct Config {
+    const char* name;
+    std::int64_t checkpoint_every;
+    bool rejuvenation;
+  };
+  for (const Config& cfg :
+       {Config{"checkpoint/100 batches, reactive only", 100, false},
+        Config{"checkpoint/20 batches, reactive only", 20, false},
+        Config{"checkpoint/20 + rejuvenation @20% age", 20, true}}) {
+    double elapsed = 0.0, crashes = 0.0, rejuv = 0.0, ckpts = 0.0;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      const auto r = run_job(cfg.checkpoint_every, cfg.rejuvenation, seed);
+      elapsed += r.elapsed;
+      crashes += static_cast<double>(r.crashes);
+      rejuv += static_cast<double>(r.rejuvenations);
+      ckpts += static_cast<double>(r.checkpoints);
+    }
+    table.row({cfg.name, util::Table::num(elapsed / 5.0, 0),
+               util::Table::num(crashes / 5.0, 1),
+               util::Table::num(rejuv / 5.0, 1),
+               util::Table::num(ckpts / 5.0, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "Tighter checkpointing bounds the re-work lost per crash;\n"
+               "rejuvenation then removes most crashes outright by restarting\n"
+               "the worker before old age kills it — the stacked environment-\n"
+               "redundancy recipe of Sections 4.3 and 5.2.\n";
+  return 0;
+}

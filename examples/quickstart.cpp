@@ -1,0 +1,56 @@
+// Quickstart: protect a computation with N-version programming in a dozen
+// lines. Three "independently developed" square-root routines — one of
+// which has a bug on a corner of its input domain — run under a majority
+// vote.
+//
+// Build & run:   cmake -B build -G Ninja && cmake --build build
+//                ./build/examples/quickstart
+#include <cmath>
+#include <iostream>
+
+#include "core/voters.hpp"
+#include "techniques/nvp.hpp"
+
+using namespace redundancy;
+
+int main() {
+  // Three versions of the same functionality. Version C ships a Bohrbug:
+  // it returns garbage for inputs in [100, 110).
+  auto version_a = core::make_variant<double, double>(
+      "newton", [](const double& x) -> core::Result<double> {
+        double r = x > 1 ? x / 2 : 1.0;
+        for (int i = 0; i < 40; ++i) r = 0.5 * (r + x / r);
+        return r;
+      });
+  auto version_b = core::make_variant<double, double>(
+      "stdlib", [](const double& x) -> core::Result<double> {
+        return std::sqrt(x);
+      });
+  auto version_c = core::make_variant<double, double>(
+      "buggy-table", [](const double& x) -> core::Result<double> {
+        if (x >= 100.0 && x < 110.0) return -1.0;  // the shipped fault
+        return std::sqrt(x);
+      });
+
+  // Majority voting with a tolerance, because independently developed
+  // numeric code legitimately differs in the last bits.
+  techniques::NVersionProgramming<double, double> nvp{
+      {version_a, version_b, version_c},
+      core::majority_voter<double>(core::ApproxEq{1e-9})};
+
+  std::cout << "sqrt under 3-version programming (tolerates "
+            << nvp.tolerated_faults() << " faulty version):\n";
+  for (double x : {2.0, 42.0, 104.0, 10'000.0}) {
+    auto result = nvp.run(x);
+    if (result.has_value()) {
+      std::cout << "  sqrt(" << x << ") = " << result.value() << '\n';
+    } else {
+      std::cout << "  sqrt(" << x << ") FAILED: "
+                << result.error().describe() << '\n';
+    }
+  }
+  std::cout << "metrics: " << nvp.metrics().summary() << '\n'
+            << "note: x=104 hits version C's fault region — the vote masked "
+               "it.\n";
+  return 0;
+}

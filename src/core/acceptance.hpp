@@ -1,0 +1,90 @@
+// A library of reusable explicit adjudicators (acceptance tests).
+//
+// Recovery blocks, self-checking components, and retry blocks all hinge on
+// application-provided acceptance tests; Section 4.1 of the paper makes the
+// cost of *designing* them the defining cost of the explicit-adjudicator
+// family. These combinators cover the classic designs — range/envelope
+// checks, sanity bounds relative to the input, inverse checks, watchdog
+// timing — and compose with and/or/not so realistic tests stay declarative.
+#pragma once
+
+#include <chrono>
+#include <functional>
+
+#include "core/variant.hpp"
+
+namespace redundancy::core::acceptance {
+
+/// Output must lie within [lo, hi] — the actuator-envelope check.
+template <typename In, typename Out>
+[[nodiscard]] AcceptanceTest<In, Out> in_range(Out lo, Out hi) {
+  return [lo, hi](const In&, const Out& out) { return lo <= out && out <= hi; };
+}
+
+/// Output must satisfy a relation with the input (e.g. |f(x)| <= |x| + c).
+template <typename In, typename Out>
+[[nodiscard]] AcceptanceTest<In, Out> relation(
+    std::function<bool(const In&, const Out&)> rel) {
+  return AcceptanceTest<In, Out>{std::move(rel)};
+}
+
+/// Inverse check: applying `inverse` to the output must reproduce the
+/// input within `close_enough` — the strongest cheap test for invertible
+/// computations (sqrt/square, encode/decode, ...).
+template <typename In, typename Out>
+[[nodiscard]] AcceptanceTest<In, Out> inverse_check(
+    std::function<In(const Out&)> inverse,
+    std::function<bool(const In&, const In&)> close_enough =
+        [](const In& a, const In& b) { return a == b; }) {
+  return [inverse = std::move(inverse), close_enough = std::move(close_enough)](
+             const In& in, const Out& out) {
+    return close_enough(in, inverse(out));
+  };
+}
+
+/// Both tests must pass.
+template <typename In, typename Out>
+[[nodiscard]] AcceptanceTest<In, Out> all_of(AcceptanceTest<In, Out> a,
+                                             AcceptanceTest<In, Out> b) {
+  return [a = std::move(a), b = std::move(b)](const In& in, const Out& out) {
+    return a(in, out) && b(in, out);
+  };
+}
+
+/// Either test suffices.
+template <typename In, typename Out>
+[[nodiscard]] AcceptanceTest<In, Out> any_of(AcceptanceTest<In, Out> a,
+                                             AcceptanceTest<In, Out> b) {
+  return [a = std::move(a), b = std::move(b)](const In& in, const Out& out) {
+    return a(in, out) || b(in, out);
+  };
+}
+
+template <typename In, typename Out>
+[[nodiscard]] AcceptanceTest<In, Out> negate(AcceptanceTest<In, Out> t) {
+  return [t = std::move(t)](const In& in, const Out& out) {
+    return !t(in, out);
+  };
+}
+
+/// Watchdog: wraps a *variant* so that executions exceeding `budget` of
+/// wall-clock time fail with a timeout instead of returning late — the
+/// timing half of a classic acceptance test. (Cooperative: the variant
+/// still runs to completion; its result is discarded.)
+template <typename In, typename Out>
+[[nodiscard]] Variant<In, Out> with_deadline(Variant<In, Out> variant,
+                                             std::chrono::nanoseconds budget) {
+  auto inner = std::move(variant.fn);
+  variant.fn = [inner = std::move(inner), budget,
+                name = variant.name](const In& input) -> Result<Out> {
+    const auto start = std::chrono::steady_clock::now();
+    Result<Out> out = inner(input);
+    if (std::chrono::steady_clock::now() - start > budget) {
+      return failure(FailureKind::timeout, name + " missed its deadline");
+    }
+    return out;
+  };
+  return variant;
+}
+
+}  // namespace redundancy::core::acceptance

@@ -1,0 +1,70 @@
+// Adaptive reliability-weighted voting — an extension the survey's cost
+// discussion points toward: if some versions are observably less reliable,
+// the implicit adjudicator can *learn* per-version weights instead of
+// treating every ballot equally.
+//
+// ReliabilityTracker keeps a Laplace-smoothed agreement score per variant:
+// after each adjudication round, variants that agreed with the elected
+// value gain credit, variants that disagreed (or failed) lose it. The
+// tracker then supplies weights for a weighted vote, closing the loop.
+#pragma once
+
+#include <vector>
+
+#include "core/voters.hpp"
+
+namespace redundancy::core {
+
+class ReliabilityTracker {
+ public:
+  explicit ReliabilityTracker(std::size_t variants)
+      : agreements_(variants, 1.0), rounds_(variants, 2.0) {}
+
+  /// Record one adjudication round: which variants' ballots matched the
+  /// elected output.
+  template <typename Out, typename Eq = std::equal_to<Out>>
+  void observe(const std::vector<Ballot<Out>>& ballots, const Out& elected,
+               Eq eq = Eq{}) {
+    for (const auto& ballot : ballots) {
+      if (ballot.variant_index >= rounds_.size()) continue;
+      rounds_[ballot.variant_index] += 1.0;
+      if (ballot.result.has_value() && eq(ballot.result.value(), elected)) {
+        agreements_[ballot.variant_index] += 1.0;
+      }
+    }
+  }
+
+  /// Laplace-smoothed agreement rate of one variant.
+  [[nodiscard]] double reliability(std::size_t variant) const {
+    return variant < rounds_.size() ? agreements_[variant] / rounds_[variant]
+                                    : 0.5;
+  }
+
+  [[nodiscard]] std::vector<double> weights() const {
+    std::vector<double> w(rounds_.size());
+    for (std::size_t i = 0; i < w.size(); ++i) w[i] = reliability(i);
+    return w;
+  }
+
+ private:
+  std::vector<double> agreements_;
+  std::vector<double> rounds_;
+};
+
+/// A self-tuning voter: plurality-elect with learned weights, then feed the
+/// outcome back into the tracker. The tracker must outlive the voter.
+template <typename Out, typename Eq = std::equal_to<Out>>
+[[nodiscard]] Voter<Out> adaptive_voter(ReliabilityTracker& tracker,
+                                        Eq eq = Eq{}) {
+  return [&tracker, eq](const std::vector<Ballot<Out>>& ballots) -> Result<Out> {
+    auto verdict = weighted_voter<Out, Eq>(tracker.weights(),
+                                           /*require_majority=*/false, eq)(
+        ballots);
+    if (verdict.has_value()) {
+      tracker.observe(ballots, verdict.value(), eq);
+    }
+    return verdict;
+  };
+}
+
+}  // namespace redundancy::core

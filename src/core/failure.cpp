@@ -1,0 +1,45 @@
+#include "core/failure.hpp"
+
+namespace redundancy::core {
+
+std::string_view to_string(FailureKind kind) noexcept {
+  switch (kind) {
+    case FailureKind::wrong_output: return "wrong_output";
+    case FailureKind::crash: return "crash";
+    case FailureKind::timeout: return "timeout";
+    case FailureKind::unavailable: return "unavailable";
+    case FailureKind::detected_attack: return "detected_attack";
+    case FailureKind::corrupted_state: return "corrupted_state";
+    case FailureKind::acceptance_failed: return "acceptance_failed";
+    case FailureKind::no_alternatives: return "no_alternatives";
+    case FailureKind::adjudication_failed: return "adjudication_failed";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(FaultClass cls) noexcept {
+  switch (cls) {
+    case FaultClass::none: return "none";
+    case FaultClass::bohrbug: return "Bohrbug";
+    case FaultClass::heisenbug: return "Heisenbug";
+    case FaultClass::aging: return "aging";
+    case FaultClass::malicious: return "malicious";
+  }
+  return "unknown";
+}
+
+std::string Failure::describe() const {
+  std::string out{to_string(kind)};
+  if (!detail.empty()) {
+    out += ": ";
+    out += detail;
+  }
+  if (cause != FaultClass::none) {
+    out += " [cause=";
+    out += to_string(cause);
+    out += "]";
+  }
+  return out;
+}
+
+}  // namespace redundancy::core

@@ -1,0 +1,58 @@
+// The failure model shared by the whole framework.
+//
+// Following Avizienis et al. (the fault taxonomy the paper adopts), a *fault*
+// activates into an *error* which may propagate to a *failure* observable at
+// the component interface. `Failure` describes that observable event; the
+// fault class that caused it travels along for experiment bookkeeping only —
+// real adjudicators never look at it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace redundancy::core {
+
+/// How a component execution failed, as observable at its interface.
+enum class FailureKind : std::uint8_t {
+  wrong_output,      ///< value failure: produced a result, but an incorrect one
+  crash,             ///< execution aborted (simulated crash / uncaught error)
+  timeout,           ///< exceeded its deadline / hung
+  unavailable,       ///< component or service could not be reached / is disabled
+  detected_attack,   ///< divergence flagged by a security mechanism
+  corrupted_state,   ///< internal state integrity violation (audit finding)
+  acceptance_failed, ///< result rejected by an explicit acceptance test
+  no_alternatives,   ///< redundancy exhausted: every alternative failed
+  adjudication_failed, ///< adjudicator could not pick a result (e.g. no majority)
+};
+
+[[nodiscard]] std::string_view to_string(FailureKind kind) noexcept;
+
+/// Fault classes from the paper's taxonomy (Avizienis classes restricted to
+/// software faults, with development faults split per Gray's terminology).
+enum class FaultClass : std::uint8_t {
+  none,       ///< no fault involved (e.g. benign overload)
+  bohrbug,    ///< development fault, deterministic under a given input
+  heisenbug,  ///< development fault, manifests non-deterministically
+  aging,      ///< resource-depletion fault (leaks); Heisenbug subfamily
+  malicious,  ///< interaction fault introduced with malicious intent
+};
+
+[[nodiscard]] std::string_view to_string(FaultClass cls) noexcept;
+
+/// A failure observed at a component interface.
+struct Failure {
+  FailureKind kind = FailureKind::crash;
+  std::string detail;
+  /// Ground truth for experiments; opaque to adjudicators.
+  FaultClass cause = FaultClass::none;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+[[nodiscard]] inline Failure failure(FailureKind kind, std::string detail = {},
+                                     FaultClass cause = FaultClass::none) {
+  return Failure{kind, std::move(detail), cause};
+}
+
+}  // namespace redundancy::core

@@ -1,0 +1,30 @@
+#include "core/metrics.hpp"
+
+#include <cstdio>
+
+namespace redundancy::core {
+
+Metrics& Metrics::operator+=(const Metrics& other) {
+  requests += other.requests;
+  variant_executions += other.variant_executions;
+  variant_failures += other.variant_failures;
+  adjudications += other.adjudications;
+  rollbacks += other.rollbacks;
+  recoveries += other.recoveries;
+  unrecovered += other.unrecovered;
+  disabled_components += other.disabled_components;
+  cost_units += other.cost_units;
+  return *this;
+}
+
+std::string Metrics::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "requests=%zu execs=%zu fails=%zu adjudications=%zu "
+                "rollbacks=%zu recovered=%zu unrecovered=%zu cost=%.1f",
+                requests, variant_executions, variant_failures, adjudications,
+                rollbacks, recoveries, unrecovered, cost_units);
+  return buf;
+}
+
+}  // namespace redundancy::core

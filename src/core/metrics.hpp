@@ -1,0 +1,41 @@
+// Execution metrics shared by patterns and techniques.
+//
+// The cost discussion in Section 4.1 of the paper (design cost vs execution
+// cost, adjudicator cost, redundancy consumption) is made measurable here:
+// every pattern accounts for the variants it actually executed, the abstract
+// cost units it consumed, and the adjudications it performed.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace redundancy::core {
+
+struct Metrics {
+  std::size_t requests = 0;            ///< top-level run() calls
+  std::size_t variant_executions = 0;  ///< variant invocations (all outcomes)
+  std::size_t variant_failures = 0;    ///< variant invocations that failed
+  std::size_t adjudications = 0;       ///< voter / acceptance-test evaluations
+  std::size_t rollbacks = 0;           ///< state restorations performed
+  std::size_t recoveries = 0;          ///< failures masked by the mechanism
+  std::size_t unrecovered = 0;         ///< requests that failed despite redundancy
+  std::size_t disabled_components = 0; ///< components taken out of service
+  double cost_units = 0.0;             ///< abstract execution cost consumed
+
+  void reset() { *this = Metrics{}; }
+  Metrics& operator+=(const Metrics& other);
+
+  /// Mean number of variant executions per request ("execution cost").
+  [[nodiscard]] double executions_per_request() const {
+    return requests ? static_cast<double>(variant_executions) /
+                          static_cast<double>(requests)
+                    : 0.0;
+  }
+  [[nodiscard]] double cost_per_request() const {
+    return requests ? cost_units / static_cast<double>(requests) : 0.0;
+  }
+
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace redundancy::core

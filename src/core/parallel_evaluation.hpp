@@ -1,0 +1,96 @@
+// Figure 1(a) — parallel evaluation.
+//
+// All variants execute on the same input configuration; a single adjudicator
+// (typically an implicit voter) evaluates the full set of results. This is
+// the architecture of N-version programming, N-copy data diversity, process
+// replicas, and N-variant data.
+#pragma once
+
+#include <functional>
+#include <future>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/variant.hpp"
+#include "core/voters.hpp"
+#include "util/thread_pool.hpp"
+
+namespace redundancy::core {
+
+enum class Concurrency {
+  sequential,  ///< run variants one by one (deterministic; default)
+  threaded,    ///< fan out on the shared thread pool (variants must be thread-safe)
+};
+
+template <typename In, typename Out>
+class ParallelEvaluation {
+ public:
+  ParallelEvaluation(std::vector<Variant<In, Out>> variants, Voter<Out> voter,
+                     Concurrency mode = Concurrency::sequential)
+      : variants_(std::move(variants)), voter_(std::move(voter)), mode_(mode) {}
+
+  /// Run every variant on `input` and adjudicate the ballots.
+  Result<Out> run(const In& input) {
+    ++metrics_.requests;
+    auto ballots = collect(input);
+    ++metrics_.adjudications;
+    Result<Out> verdict = voter_(ballots);
+    if (verdict.has_value()) {
+      // The mechanism masked any variant failures that occurred.
+      bool any_failed = false;
+      for (const auto& b : ballots) {
+        if (!b.result.has_value()) any_failed = true;
+      }
+      if (any_failed) ++metrics_.recoveries;
+    } else {
+      ++metrics_.unrecovered;
+    }
+    return verdict;
+  }
+
+  /// Expose raw ballots (used by techniques that post-process divergence,
+  /// e.g. process replicas reporting which replica diverged).
+  std::vector<Ballot<Out>> collect(const In& input) {
+    std::vector<Ballot<Out>> ballots;
+    ballots.reserve(variants_.size());
+    if (mode_ == Concurrency::threaded) {
+      std::vector<std::future<Result<Out>>> futures;
+      futures.reserve(variants_.size());
+      for (auto& v : variants_) {
+        futures.push_back(util::ThreadPool::shared().submit(
+            [&v, &input] { return v(input); }));
+      }
+      for (std::size_t i = 0; i < variants_.size(); ++i) {
+        account(variants_[i]);
+        Result<Out> r = futures[i].get();
+        if (!r.has_value()) ++metrics_.variant_failures;
+        ballots.push_back({i, variants_[i].name, std::move(r)});
+      }
+    } else {
+      for (std::size_t i = 0; i < variants_.size(); ++i) {
+        account(variants_[i]);
+        Result<Out> r = variants_[i](input);
+        if (!r.has_value()) ++metrics_.variant_failures;
+        ballots.push_back({i, variants_[i].name, std::move(r)});
+      }
+    }
+    return ballots;
+  }
+
+  [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
+  void reset_metrics() noexcept { metrics_.reset(); }
+  [[nodiscard]] std::size_t width() const noexcept { return variants_.size(); }
+
+ private:
+  void account(const Variant<In, Out>& v) {
+    ++metrics_.variant_executions;
+    metrics_.cost_units += v.cost;
+  }
+
+  std::vector<Variant<In, Out>> variants_;
+  Voter<Out> voter_;
+  Concurrency mode_;
+  Metrics metrics_;
+};
+
+}  // namespace redundancy::core

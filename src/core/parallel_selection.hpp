@@ -1,0 +1,101 @@
+// Figure 1(b) — parallel selection.
+//
+// Every variant executes in parallel and validates its own result through a
+// per-component adjudicator (acceptance test). The highest-priority passing
+// result is selected; components that fail their check are disabled — the
+// "acting / hot spare" discipline of self-checking programming (Laprie et
+// al.): a failed acting component is discarded and its spare takes over, so
+// redundancy is progressively consumed.
+#pragma once
+
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/variant.hpp"
+
+namespace redundancy::core {
+
+template <typename In, typename Out>
+class ParallelSelection {
+ public:
+  struct Checked {
+    Variant<In, Out> variant;
+    AcceptanceTest<In, Out> check;
+  };
+
+  struct Options {
+    /// Take failing components permanently out of service.
+    bool disable_on_failure = true;
+    /// Stop executing spares once a passing result is found. Figure 1(b)
+    /// runs everything in parallel, so the default is to run all.
+    bool lazy = false;
+  };
+
+  explicit ParallelSelection(std::vector<Checked> components,
+                             Options options = {})
+      : components_(std::move(components)), options_(options) {}
+
+  Result<Out> run(const In& input) {
+    ++metrics_.requests;
+    Result<Out> selected =
+        failure(FailureKind::no_alternatives, "all components disabled");
+    bool have = false;
+    bool any_failed = false;
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+      auto& c = components_[i];
+      if (!c.variant.enabled) continue;
+      if (options_.lazy && have) break;
+      ++metrics_.variant_executions;
+      metrics_.cost_units += c.variant.cost;
+      Result<Out> r = c.variant(input);
+      ++metrics_.adjudications;
+      const bool pass = r.has_value() && c.check(input, r.value());
+      if (pass) {
+        if (!have) {
+          selected = std::move(r);
+          have = true;
+          acting_ = i;
+        }
+      } else {
+        ++metrics_.variant_failures;
+        any_failed = true;
+        if (options_.disable_on_failure) {
+          c.variant.enabled = false;
+          ++metrics_.disabled_components;
+        }
+      }
+    }
+    if (have) {
+      if (any_failed) ++metrics_.recoveries;
+    } else {
+      ++metrics_.unrecovered;
+      if (selected.has_value()) {
+        selected = failure(FailureKind::no_alternatives, "no passing component");
+      }
+    }
+    return selected;
+  }
+
+  /// Index of the component whose result was last selected.
+  [[nodiscard]] std::size_t acting() const noexcept { return acting_; }
+  [[nodiscard]] std::size_t alive() const noexcept {
+    std::size_t n = 0;
+    for (const auto& c : components_) n += c.variant.enabled ? 1 : 0;
+    return n;
+  }
+  /// Re-enable every component (e.g. after repair / redeployment).
+  void reinstate_all() noexcept {
+    for (auto& c : components_) c.variant.enabled = true;
+  }
+
+  [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
+  void reset_metrics() noexcept { metrics_.reset(); }
+
+ private:
+  std::vector<Checked> components_;
+  Options options_;
+  Metrics metrics_;
+  std::size_t acting_ = 0;
+};
+
+}  // namespace redundancy::core

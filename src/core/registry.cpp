@@ -1,0 +1,31 @@
+#include "core/registry.hpp"
+
+#include <algorithm>
+
+namespace redundancy::core {
+
+TechniqueRegistry& TechniqueRegistry::instance() {
+  static TechniqueRegistry registry;
+  return registry;
+}
+
+void TechniqueRegistry::add(TaxonomyEntry entry) {
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [&entry](const TaxonomyEntry& e) {
+                           return e.name == entry.name;
+                         });
+  if (it != entries_.end()) {
+    *it = std::move(entry);
+  } else {
+    entries_.push_back(std::move(entry));
+  }
+}
+
+std::optional<TaxonomyEntry> TechniqueRegistry::find(std::string_view name) const {
+  for (const auto& e : entries_) {
+    if (e.name == name) return e;
+  }
+  return std::nullopt;
+}
+
+}  // namespace redundancy::core

@@ -1,0 +1,40 @@
+// TechniqueRegistry: the runtime catalogue of redundancy techniques.
+//
+// Each technique registers its TaxonomyEntry here; bench/table2_taxonomy
+// regenerates the paper's Table 2 from this registry, and the taxonomy test
+// diffs the generated table against the published one.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "core/taxonomy.hpp"
+
+namespace redundancy::core {
+
+class TechniqueRegistry {
+ public:
+  /// Process-wide registry instance.
+  static TechniqueRegistry& instance();
+
+  /// Register an entry; duplicate names replace the previous entry so that
+  /// re-registration in tests is harmless.
+  void add(TaxonomyEntry entry);
+
+  [[nodiscard]] std::optional<TaxonomyEntry> find(std::string_view name) const;
+  /// Entries in registration (paper Table 2) order.
+  [[nodiscard]] const std::vector<TaxonomyEntry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  std::vector<TaxonomyEntry> entries_;
+};
+
+/// Registers the 17 technique families of Table 2 (idempotent). Called by
+/// the experiment harnesses and by the taxonomy tests.
+void register_all_techniques();
+
+}  // namespace redundancy::core

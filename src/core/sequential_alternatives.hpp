@@ -1,0 +1,84 @@
+// Figure 1(c) — sequential alternatives.
+//
+// Alternatives are attempted one at a time; an adjudicator validates each
+// result and, on rejection, the next alternative is activated — after an
+// optional state rollback. This is the architecture of recovery blocks
+// (Randell 1975), retry blocks, registry-based recovery, and dynamic service
+// substitution.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/variant.hpp"
+
+namespace redundancy::core {
+
+template <typename In, typename Out>
+class SequentialAlternatives {
+ public:
+  struct Options {
+    /// Invoked before every alternative after the first — the recovery-block
+    /// "restore to the state before the primary ran".
+    std::function<void()> rollback;
+    /// Give up after this many alternatives (0 = try all).
+    std::size_t max_attempts = 0;
+  };
+
+  SequentialAlternatives(std::vector<Variant<In, Out>> alternatives,
+                         AcceptanceTest<In, Out> accept, Options options = {})
+      : alternatives_(std::move(alternatives)), accept_(std::move(accept)),
+        options_(std::move(options)) {}
+
+  Result<Out> run(const In& input) {
+    ++metrics_.requests;
+    const std::size_t limit =
+        options_.max_attempts == 0
+            ? alternatives_.size()
+            : std::min(options_.max_attempts, alternatives_.size());
+    Failure last = failure(FailureKind::no_alternatives, "no alternatives");
+    for (std::size_t i = 0; i < limit; ++i) {
+      if (!alternatives_[i].enabled) continue;
+      if (i > 0 && options_.rollback) {
+        options_.rollback();
+        ++metrics_.rollbacks;
+      }
+      ++metrics_.variant_executions;
+      metrics_.cost_units += alternatives_[i].cost;
+      Result<Out> r = alternatives_[i](input);
+      if (!r.has_value()) {
+        ++metrics_.variant_failures;
+        last = r.error();
+        continue;
+      }
+      ++metrics_.adjudications;
+      if (accept_(input, r.value())) {
+        if (i > 0) ++metrics_.recoveries;
+        last_used_ = i;
+        return r;
+      }
+      ++metrics_.variant_failures;
+      last = failure(FailureKind::acceptance_failed,
+                     "rejected result of " + alternatives_[i].name);
+    }
+    ++metrics_.unrecovered;
+    return Result<Out>{failure(FailureKind::no_alternatives, last.describe(),
+                               last.cause)};
+  }
+
+  /// Index of the alternative whose result was last accepted.
+  [[nodiscard]] std::size_t last_used() const noexcept { return last_used_; }
+  [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
+  void reset_metrics() noexcept { metrics_.reset(); }
+  [[nodiscard]] std::size_t width() const noexcept { return alternatives_.size(); }
+
+ private:
+  std::vector<Variant<In, Out>> alternatives_;
+  AcceptanceTest<In, Out> accept_;
+  Options options_;
+  Metrics metrics_;
+  std::size_t last_used_ = 0;
+};
+
+}  // namespace redundancy::core

@@ -1,0 +1,88 @@
+#include "core/taxonomy.hpp"
+
+namespace redundancy::core {
+
+std::string_view to_string(Intention v) noexcept {
+  switch (v) {
+    case Intention::deliberate: return "deliberate";
+    case Intention::opportunistic: return "opportunistic";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(RedundancyType v) noexcept {
+  switch (v) {
+    case RedundancyType::code: return "code";
+    case RedundancyType::data: return "data";
+    case RedundancyType::environment: return "environment";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(AdjudicatorKind v) noexcept {
+  switch (v) {
+    case AdjudicatorKind::preventive: return "preventive";
+    case AdjudicatorKind::reactive_implicit: return "reactive_implicit";
+    case AdjudicatorKind::reactive_explicit: return "reactive_explicit";
+    case AdjudicatorKind::reactive_hybrid: return "reactive_hybrid";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(TargetFaults v) noexcept {
+  switch (v) {
+    case TargetFaults::development: return "development";
+    case TargetFaults::bohrbugs: return "Bohrbugs";
+    case TargetFaults::heisenbugs: return "Heisenbugs";
+    case TargetFaults::malicious: return "malicious";
+    case TargetFaults::bohrbugs_and_malicious: return "Bohrbugs+malicious";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(ArchitecturalPattern v) noexcept {
+  switch (v) {
+    case ArchitecturalPattern::parallel_evaluation: return "parallel evaluation";
+    case ArchitecturalPattern::parallel_selection: return "parallel selection";
+    case ArchitecturalPattern::sequential_alternatives:
+      return "sequential alternatives";
+    case ArchitecturalPattern::intra_component: return "intra-component";
+    case ArchitecturalPattern::environment_level: return "environment-level";
+  }
+  return "unknown";
+}
+
+std::string paper_cell(AdjudicatorKind v) {
+  switch (v) {
+    case AdjudicatorKind::preventive: return "preventive";
+    case AdjudicatorKind::reactive_implicit: return "reactive implicit";
+    case AdjudicatorKind::reactive_explicit: return "reactive explicit";
+    case AdjudicatorKind::reactive_hybrid: return "reactive expl./impl.";
+  }
+  return "unknown";
+}
+
+std::string paper_cell(TargetFaults v) {
+  switch (v) {
+    case TargetFaults::development: return "development";
+    case TargetFaults::bohrbugs: return "Bohrbugs";
+    case TargetFaults::heisenbugs: return "Heisenbugs";
+    case TargetFaults::malicious: return "malicious";
+    case TargetFaults::bohrbugs_and_malicious: return "Bohrbugs, malicious";
+  }
+  return "unknown";
+}
+
+TaxonomyDimensions table1_dimensions() {
+  return TaxonomyDimensions{
+      .intentions = {"deliberate", "opportunistic"},
+      .types = {"code", "data", "environment"},
+      .adjudicators = {"preventive (implicit adjudicator)",
+                       "reactive: implicit adjudicator",
+                       "reactive: explicit adjudicator"},
+      .faults = {"interaction - malicious", "development: Bohrbugs",
+                 "development: Heisenbugs"},
+  };
+}
+
+}  // namespace redundancy::core

@@ -1,0 +1,89 @@
+// The paper's taxonomy (Table 1) as first-class metadata.
+//
+// Every technique in src/techniques registers a TaxonomyEntry describing
+// where it sits along the four dimensions:
+//   intention  — deliberate vs opportunistic redundancy
+//   type       — code, data, or environment redundancy
+//   adjudicator— preventive, or reactive with implicit/explicit adjudicator
+//   faults     — the fault classes the mechanism primarily addresses
+// Table 2 of the paper is *generated* from these entries (bench/table2) and
+// checked against the published table in tests/core/taxonomy_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/failure.hpp"
+
+namespace redundancy::core {
+
+enum class Intention : std::uint8_t { deliberate, opportunistic };
+
+enum class RedundancyType : std::uint8_t { code, data, environment };
+
+/// Triggers-and-adjudicators dimension. `reactive_hybrid` covers techniques
+/// the paper marks "expl./impl." (self-checking programming, data diversity).
+enum class AdjudicatorKind : std::uint8_t {
+  preventive,
+  reactive_implicit,
+  reactive_explicit,
+  reactive_hybrid,
+};
+
+/// The "Faults" column of Table 2. `development` covers both Bohrbugs and
+/// Heisenbugs without further commitment, matching the paper's wording.
+enum class TargetFaults : std::uint8_t {
+  development,
+  bohrbugs,
+  heisenbugs,
+  malicious,
+  bohrbugs_and_malicious,
+};
+
+/// Figure 1 patterns, plus the intra-component and environment placements
+/// discussed in Section 2.
+enum class ArchitecturalPattern : std::uint8_t {
+  parallel_evaluation,     ///< Fig. 1(a): run all, adjudicate once
+  parallel_selection,      ///< Fig. 1(b): run all, per-component adjudicators
+  sequential_alternatives, ///< Fig. 1(c): try alternatives until one passes
+  intra_component,         ///< redundancy inside a single component
+  environment_level,       ///< redundancy rooted in the execution environment
+};
+
+[[nodiscard]] std::string_view to_string(Intention v) noexcept;
+[[nodiscard]] std::string_view to_string(RedundancyType v) noexcept;
+[[nodiscard]] std::string_view to_string(AdjudicatorKind v) noexcept;
+[[nodiscard]] std::string_view to_string(TargetFaults v) noexcept;
+[[nodiscard]] std::string_view to_string(ArchitecturalPattern v) noexcept;
+
+/// Paper-style rendering (e.g. AdjudicatorKind::reactive_hybrid ->
+/// "reactive expl./impl."), used when regenerating Table 2 verbatim.
+[[nodiscard]] std::string paper_cell(AdjudicatorKind v);
+[[nodiscard]] std::string paper_cell(TargetFaults v);
+
+/// One row of Table 2.
+struct TaxonomyEntry {
+  std::string name;                 ///< technique family, as in Table 2
+  Intention intention{};
+  RedundancyType type{};
+  AdjudicatorKind adjudicator{};
+  TargetFaults faults{};
+  ArchitecturalPattern pattern{};   ///< Section 2 / Figure 1 placement
+  std::string summary;              ///< one-line description (Section 3)
+
+  friend bool operator==(const TaxonomyEntry&, const TaxonomyEntry&) = default;
+};
+
+/// All dimension values with their paper names — reproduces Table 1.
+struct TaxonomyDimensions {
+  std::vector<std::string> intentions;
+  std::vector<std::string> types;
+  std::vector<std::string> adjudicators;
+  std::vector<std::string> faults;
+};
+
+[[nodiscard]] TaxonomyDimensions table1_dimensions();
+
+}  // namespace redundancy::core

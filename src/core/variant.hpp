@@ -1,0 +1,61 @@
+// Variant: the unit of code redundancy.
+//
+// A Variant<In, Out> is one of several logically-equivalent implementations
+// of the same functionality — an independently developed version (N-version
+// programming), an alternate block (recovery blocks), a spare component
+// (self-checking programming), or a substitute service. Patterns in
+// core/patterns.hpp compose sets of variants with adjudicators.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/result.hpp"
+
+namespace redundancy::core {
+
+template <typename In, typename Out>
+struct Variant {
+  /// Human-readable identity ("version-A", "sqrt/newton", endpoint URL...).
+  std::string name;
+  /// The implementation. Must be callable concurrently if the enclosing
+  /// pattern is configured for threaded execution.
+  std::function<Result<Out>(const In&)> fn;
+  /// Abstract execution cost (used by the cost-of-redundancy experiments;
+  /// sequential patterns consume cost only for the variants they run).
+  double cost = 1.0;
+  /// Parallel selection / self-checking disable components that fail.
+  bool enabled = true;
+
+  Result<Out> operator()(const In& input) const { return fn(input); }
+};
+
+template <typename In, typename Out>
+[[nodiscard]] Variant<In, Out> make_variant(
+    std::string name, std::function<Result<Out>(const In&)> fn,
+    double cost = 1.0) {
+  return Variant<In, Out>{std::move(name), std::move(fn), cost, true};
+}
+
+/// One variant's contribution to an adjudication round.
+template <typename Out>
+struct Ballot {
+  std::size_t variant_index = 0;
+  std::string variant_name;
+  Result<Out> result;
+};
+
+/// Explicit adjudicator: judges a single (input, output) pair — the
+/// "acceptance test" of recovery blocks and self-checking components.
+template <typename In, typename Out>
+using AcceptanceTest = std::function<bool(const In&, const Out&)>;
+
+/// Trivially accepting test (useful to degrade a pattern to "first result").
+template <typename In, typename Out>
+[[nodiscard]] AcceptanceTest<In, Out> accept_all() {
+  return [](const In&, const Out&) { return true; };
+}
+
+}  // namespace redundancy::core

@@ -1,0 +1,205 @@
+// Implicit adjudicators: voters over the ballots of parallel variants.
+//
+// The paper distinguishes implicit adjudicators "built into the redundant
+// mechanism" (majority voting in N-version programming, comparison in
+// process replicas and N-variant data) from explicit, application-specific
+// acceptance tests. This header provides the implicit family.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "core/variant.hpp"
+
+namespace redundancy::core {
+
+template <typename Out>
+using Voter = std::function<Result<Out>(const std::vector<Ballot<Out>>&)>;
+
+/// Strict-majority voter (classic N-version programming, Avizienis 1985).
+///
+/// A value wins only if strictly more than half of *all* N variants (failed
+/// ones included) agree on it: with N = 2k+1 versions the system tolerates
+/// up to k faulty results. Ties and sub-majority pluralities yield
+/// `adjudication_failed`.
+template <typename Out, typename Eq = std::equal_to<Out>>
+[[nodiscard]] Voter<Out> majority_voter(Eq eq = Eq{}) {
+  return [eq](const std::vector<Ballot<Out>>& ballots) -> Result<Out> {
+    const std::size_t n = ballots.size();
+    if (n == 0) return failure(FailureKind::adjudication_failed, "no ballots");
+    // Group equal outputs; Out need not be hashable or ordered, so this is
+    // the quadratic grouping — N is small (3..9) in every realistic use.
+    std::vector<std::size_t> group(n, 0);
+    std::vector<std::size_t> counts;
+    std::vector<const Out*> reps;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!ballots[i].result.has_value()) continue;
+      const Out& v = ballots[i].result.value();
+      bool found = false;
+      for (std::size_t g = 0; g < reps.size(); ++g) {
+        if (eq(*reps[g], v)) {
+          ++counts[g];
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        reps.push_back(&v);
+        counts.push_back(1);
+      }
+    }
+    for (std::size_t g = 0; g < reps.size(); ++g) {
+      if (2 * counts[g] > n) return *reps[g];
+    }
+    return failure(FailureKind::adjudication_failed, "no majority quorum");
+  };
+}
+
+/// Plurality voter: the largest agreeing group wins; ties fail.
+template <typename Out, typename Eq = std::equal_to<Out>>
+[[nodiscard]] Voter<Out> plurality_voter(Eq eq = Eq{}) {
+  return [eq](const std::vector<Ballot<Out>>& ballots) -> Result<Out> {
+    std::vector<std::size_t> counts;
+    std::vector<const Out*> reps;
+    for (const auto& b : ballots) {
+      if (!b.result.has_value()) continue;
+      const Out& v = b.result.value();
+      bool found = false;
+      for (std::size_t g = 0; g < reps.size(); ++g) {
+        if (eq(*reps[g], v)) {
+          ++counts[g];
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        reps.push_back(&v);
+        counts.push_back(1);
+      }
+    }
+    if (reps.empty()) {
+      return failure(FailureKind::adjudication_failed, "all variants failed");
+    }
+    std::size_t best = 0;
+    for (std::size_t g = 1; g < reps.size(); ++g) {
+      if (counts[g] > counts[best]) best = g;
+    }
+    const auto ties = static_cast<std::size_t>(
+        std::count(counts.begin(), counts.end(), counts[best]));
+    if (ties > 1) {
+      return failure(FailureKind::adjudication_failed, "plurality tie");
+    }
+    return *reps[best];
+  };
+}
+
+/// Unanimity comparator: any divergence (or any failure) is flagged.
+///
+/// This is the adjudicator of the security mechanisms — process replicas
+/// (Cox et al.) and N-variant data (Nguyen-Tuong et al.) — where divergence
+/// means a (possibly malicious) fault was activated in some replica.
+template <typename Out, typename Eq = std::equal_to<Out>>
+[[nodiscard]] Voter<Out> unanimity_voter(Eq eq = Eq{}) {
+  return [eq](const std::vector<Ballot<Out>>& ballots) -> Result<Out> {
+    if (ballots.empty()) {
+      return failure(FailureKind::adjudication_failed, "no ballots");
+    }
+    const Out* first = nullptr;
+    for (const auto& b : ballots) {
+      if (!b.result.has_value()) {
+        return failure(FailureKind::detected_attack,
+                       "replica " + b.variant_name + " failed: " +
+                           b.result.error().describe(),
+                       b.result.error().cause);
+      }
+      if (first == nullptr) {
+        first = &b.result.value();
+      } else if (!eq(*first, b.result.value())) {
+        return failure(FailureKind::detected_attack,
+                       "divergence at replica " + b.variant_name);
+      }
+    }
+    return *first;
+  };
+}
+
+/// Median voter for totally ordered outputs — the classic inexact-voting
+/// choice when independently developed versions legitimately differ in
+/// low-order bits.
+template <typename Out>
+[[nodiscard]] Voter<Out> median_voter() {
+  return [](const std::vector<Ballot<Out>>& ballots) -> Result<Out> {
+    std::vector<Out> vals;
+    for (const auto& b : ballots) {
+      if (b.result.has_value()) vals.push_back(b.result.value());
+    }
+    if (vals.empty()) {
+      return failure(FailureKind::adjudication_failed, "all variants failed");
+    }
+    const auto mid = vals.size() / 2;
+    std::nth_element(vals.begin(), vals.begin() + static_cast<std::ptrdiff_t>(mid),
+                     vals.end());
+    return vals[mid];
+  };
+}
+
+/// Weighted voter: each variant carries a reliability weight; the value
+/// whose supporters' weights sum highest wins (strictly above half the total
+/// weight if `require_majority`).
+template <typename Out, typename Eq = std::equal_to<Out>>
+[[nodiscard]] Voter<Out> weighted_voter(std::vector<double> weights,
+                                        bool require_majority = false,
+                                        Eq eq = Eq{}) {
+  return [weights = std::move(weights), require_majority,
+          eq](const std::vector<Ballot<Out>>& ballots) -> Result<Out> {
+    double total = 0.0;
+    for (const auto& b : ballots) {
+      total += b.variant_index < weights.size() ? weights[b.variant_index] : 1.0;
+    }
+    std::vector<double> score;
+    std::vector<const Out*> reps;
+    for (const auto& b : ballots) {
+      if (!b.result.has_value()) continue;
+      const double w =
+          b.variant_index < weights.size() ? weights[b.variant_index] : 1.0;
+      const Out& v = b.result.value();
+      bool found = false;
+      for (std::size_t g = 0; g < reps.size(); ++g) {
+        if (eq(*reps[g], v)) {
+          score[g] += w;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        reps.push_back(&v);
+        score.push_back(w);
+      }
+    }
+    if (reps.empty()) {
+      return failure(FailureKind::adjudication_failed, "all variants failed");
+    }
+    std::size_t best = 0;
+    for (std::size_t g = 1; g < reps.size(); ++g) {
+      if (score[g] > score[best]) best = g;
+    }
+    if (require_majority && !(2.0 * score[best] > total)) {
+      return failure(FailureKind::adjudication_failed, "no weighted majority");
+    }
+    return *reps[best];
+  };
+}
+
+/// Approximate equality for floating-point outputs (inexact voting).
+struct ApproxEq {
+  double tolerance = 1e-9;
+  bool operator()(double a, double b) const noexcept {
+    const double diff = a > b ? a - b : b - a;
+    const double mag = std::max({1.0, a > 0 ? a : -a, b > 0 ? b : -b});
+    return diff <= tolerance * mag;
+  }
+};
+
+}  // namespace redundancy::core

@@ -1,0 +1,89 @@
+#include "env/aging.hpp"
+
+#include <cmath>
+
+namespace redundancy::env {
+
+double AgingProcess::hazard() const noexcept {
+  const double age = consumed_ / cfg_.capacity;
+  return cfg_.base_hazard +
+         cfg_.hazard_scale * std::pow(std::min(age, 1.0), cfg_.hazard_exponent);
+}
+
+core::Status AgingProcess::serve() {
+  if (crashed_) {
+    return core::failure(core::FailureKind::unavailable, "process crashed",
+                         core::FaultClass::aging);
+  }
+  clock_ += cfg_.request_time;
+  consumed_ += rng_.exponential(cfg_.mean_leak);
+  if (consumed_ >= cfg_.capacity || rng_.chance(hazard())) {
+    crashed_ = true;
+    ++crashes_;
+    return core::failure(core::FailureKind::crash,
+                         consumed_ >= cfg_.capacity ? "resource exhausted"
+                                                    : "aging failure",
+                         core::FaultClass::aging);
+  }
+  ++served_;
+  return core::ok_status();
+}
+
+void AgingProcess::reboot() {
+  clock_ += cfg_.reboot_time;
+  consumed_ = 0.0;
+  crashed_ = false;
+  ++reboots_;
+}
+
+CompletionRun simulate_completion(const AgingConfig& aging,
+                                  const CompletionConfig& cfg,
+                                  std::uint64_t seed) {
+  // Semantics (Garg et al. 1996):
+  //  * work committed at a checkpoint survives any restart;
+  //  * a crash loses all volatile work and pays the full reboot downtime;
+  //  * a planned rejuvenation first saves volatile work (a final checkpoint),
+  //    then restarts young at the cheaper planned-downtime cost.
+  constexpr double kTimeCap = 5e7;  // safety net against pathological configs
+  AgingProcess proc{aging, seed};
+  CompletionRun run;
+  double committed = 0.0;
+  double volatile_work = 0.0;
+  double since_rejuvenation = 0.0;
+  double extra_time = 0.0;  // checkpoint costs and planned-downtime deltas
+  while (committed + volatile_work < cfg.total_work &&
+         proc.clock() + extra_time < kTimeCap) {
+    if (cfg.rejuvenate_every > 0.0 &&
+        since_rejuvenation >= cfg.rejuvenate_every) {
+      committed += volatile_work;  // clean shutdown saves state
+      volatile_work = 0.0;
+      extra_time += cfg.checkpoint_cost;
+      ++run.checkpoints;
+      proc.reboot();
+      extra_time += cfg.rejuvenation_time - aging.reboot_time;
+      since_rejuvenation = 0.0;
+      ++run.rejuvenations;
+      continue;
+    }
+    if (cfg.checkpoint_every > 0.0 && volatile_work >= cfg.checkpoint_every) {
+      committed += volatile_work;
+      volatile_work = 0.0;
+      extra_time += cfg.checkpoint_cost;
+      ++run.checkpoints;
+    }
+    auto status = proc.serve();
+    if (status.has_value()) {
+      volatile_work += aging.request_time;
+      since_rejuvenation += aging.request_time;
+    } else {
+      volatile_work = 0.0;  // crash loses everything since the last commit
+      since_rejuvenation = 0.0;
+      proc.reboot();
+      ++run.crashes;
+    }
+  }
+  run.total_time = proc.clock() + extra_time;
+  return run;
+}
+
+}  // namespace redundancy::env

@@ -1,0 +1,89 @@
+// AgingProcess: the software-aging substrate behind rejuvenation.
+//
+// Huang et al.'s rejuvenation analysis rests on a process whose failure
+// hazard grows as it ages — leaked memory, fragmented heaps, stale caches.
+// AgingProcess implements that model directly: each request leaks an
+// exponentially distributed amount of a finite resource, the per-request
+// failure hazard rises with resource consumption, exhausting the resource
+// crashes the process, and a reboot restores youth at a fixed downtime cost.
+#pragma once
+
+#include <cstdint>
+
+#include "core/result.hpp"
+#include "util/rng.hpp"
+
+namespace redundancy::env {
+
+struct AgingConfig {
+  double capacity = 10'000.0;    ///< resource budget (e.g. KB of heap)
+  double mean_leak = 10.0;       ///< expected leak per request
+  double base_hazard = 0.0;      ///< failure probability when young
+  double hazard_scale = 0.05;    ///< hazard added at full consumption
+  double hazard_exponent = 3.0;  ///< convexity: failures cluster in old age
+  double request_time = 1.0;     ///< service time units per request
+  double reboot_time = 250.0;    ///< downtime units per (full) reboot
+};
+
+class AgingProcess {
+ public:
+  explicit AgingProcess(AgingConfig cfg = {}, std::uint64_t seed = 1)
+      : cfg_(cfg), rng_(seed) {}
+
+  /// Serve one request. Advances simulated time; on failure the process
+  /// crashes and must be rebooted before it can serve again.
+  core::Status serve();
+
+  /// Restart: clears accumulated aging, pays reboot downtime.
+  void reboot();
+
+  [[nodiscard]] bool crashed() const noexcept { return crashed_; }
+  [[nodiscard]] double consumed() const noexcept { return consumed_; }
+  [[nodiscard]] double age_fraction() const noexcept {
+    return consumed_ / cfg_.capacity;
+  }
+  /// Current per-request failure hazard h(age).
+  [[nodiscard]] double hazard() const noexcept;
+
+  [[nodiscard]] double clock() const noexcept { return clock_; }
+  [[nodiscard]] std::uint64_t served() const noexcept { return served_; }
+  [[nodiscard]] std::uint64_t crashes() const noexcept { return crashes_; }
+  [[nodiscard]] std::uint64_t reboots() const noexcept { return reboots_; }
+  [[nodiscard]] const AgingConfig& config() const noexcept { return cfg_; }
+
+ private:
+  AgingConfig cfg_;
+  util::Rng rng_;
+  double consumed_ = 0.0;
+  double clock_ = 0.0;
+  bool crashed_ = false;
+  std::uint64_t served_ = 0;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t reboots_ = 0;
+};
+
+/// Garg et al. (1996): completion time of a long-running program under
+/// checkpointing and rejuvenation. The program needs `total_work` units;
+/// crashes lose work since the last checkpoint; rejuvenation (planned
+/// reboot) also returns to the last checkpoint but can be scheduled when
+/// convenient.
+struct CompletionRun {
+  double total_time = 0.0;
+  std::uint64_t crashes = 0;
+  std::uint64_t rejuvenations = 0;
+  std::uint64_t checkpoints = 0;
+};
+
+struct CompletionConfig {
+  double total_work = 5'000.0;
+  double checkpoint_every = 0.0;  ///< work units between checkpoints (0 = none)
+  double checkpoint_cost = 5.0;
+  double rejuvenate_every = 0.0;  ///< work units between rejuvenations (0 = none)
+  double rejuvenation_time = 80.0; ///< planned restart is cheaper than a crash
+};
+
+[[nodiscard]] CompletionRun simulate_completion(const AgingConfig& aging,
+                                                const CompletionConfig& cfg,
+                                                std::uint64_t seed);
+
+}  // namespace redundancy::env

@@ -1,0 +1,61 @@
+#include "env/checkpoint.hpp"
+
+namespace redundancy::env {
+
+using core::failure;
+using core::FailureKind;
+using core::ok_status;
+using core::Status;
+
+std::uint64_t CheckpointStore::capture(const Checkpointable& subject) {
+  Entry entry;
+  entry.seq = next_seq_++;
+  entry.state = subject.snapshot();
+  entry.crc = util::crc32(entry.state.span());
+  ring_.push_back(std::move(entry));
+  while (ring_.size() > retain_) ring_.pop_front();
+  return ring_.back().seq;
+}
+
+Status CheckpointStore::apply(const Entry& entry, Checkpointable& subject) const {
+  if (util::crc32(entry.state.span()) != entry.crc) {
+    return failure(FailureKind::corrupted_state,
+                   "checkpoint " + std::to_string(entry.seq) + " failed CRC");
+  }
+  subject.restore(entry.state);
+  return ok_status();
+}
+
+Status CheckpointStore::restore_latest(Checkpointable& subject) const {
+  if (ring_.empty()) {
+    return failure(FailureKind::unavailable, "no checkpoints");
+  }
+  return apply(ring_.back(), subject);
+}
+
+Status CheckpointStore::restore(std::uint64_t seq, Checkpointable& subject) const {
+  for (const auto& entry : ring_) {
+    if (entry.seq == seq) return apply(entry, subject);
+  }
+  return failure(FailureKind::unavailable,
+                 "checkpoint " + std::to_string(seq) + " evicted or unknown");
+}
+
+std::size_t CheckpointStore::bytes_retained() const noexcept {
+  std::size_t total = 0;
+  for (const auto& e : ring_) total += e.state.size();
+  return total;
+}
+
+void CheckpointStore::corrupt(std::uint64_t seq, std::size_t byte_index) {
+  for (auto& entry : ring_) {
+    if (entry.seq != seq) continue;
+    auto bytes = entry.state.bytes();
+    if (bytes.empty()) return;
+    bytes[byte_index % bytes.size()] ^= std::byte{0xff};
+    entry.state = util::ByteBuffer{std::move(bytes)};
+    return;
+  }
+}
+
+}  // namespace redundancy::env

@@ -1,0 +1,67 @@
+// CheckpointStore: consistent-state snapshots for rollback-based recovery.
+//
+// The substrate behind checkpoint-recovery (Elnozahy et al.), recovery-block
+// rollback, and RX's "roll back, perturb, re-execute" loop. Snapshots are
+// opaque byte buffers protected by a CRC so that a corrupted checkpoint is
+// detected at restore time rather than silently resurrected.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "core/result.hpp"
+#include "util/byte_buffer.hpp"
+#include "util/checksum.hpp"
+
+namespace redundancy::env {
+
+/// Anything whose state can be captured and restored.
+class Checkpointable {
+ public:
+  virtual ~Checkpointable() = default;
+  [[nodiscard]] virtual util::ByteBuffer snapshot() const = 0;
+  virtual void restore(const util::ByteBuffer& state) = 0;
+};
+
+class CheckpointStore {
+ public:
+  /// Keep at most `retain` most-recent checkpoints (ring discipline).
+  explicit CheckpointStore(std::size_t retain = 4) : retain_(retain) {}
+
+  /// Capture the subject's state; returns the checkpoint sequence number.
+  std::uint64_t capture(const Checkpointable& subject);
+
+  /// Restore the most recent checkpoint (or the one with sequence `seq`).
+  core::Status restore_latest(Checkpointable& subject) const;
+  core::Status restore(std::uint64_t seq, Checkpointable& subject) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return ring_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return ring_.empty(); }
+  [[nodiscard]] std::optional<std::uint64_t> latest_seq() const noexcept {
+    if (ring_.empty()) return std::nullopt;
+    return ring_.back().seq;
+  }
+  /// Total bytes currently retained (for overhead benchmarks).
+  [[nodiscard]] std::size_t bytes_retained() const noexcept;
+
+  /// Flip bits in the stored copy of checkpoint `seq` (fault injection on
+  /// the checkpoint medium itself); restore must then fail the CRC.
+  void corrupt(std::uint64_t seq, std::size_t byte_index);
+
+ private:
+  struct Entry {
+    std::uint64_t seq = 0;
+    util::ByteBuffer state;
+    std::uint32_t crc = 0;
+  };
+
+  core::Status apply(const Entry& entry, Checkpointable& subject) const;
+
+  std::size_t retain_;
+  std::uint64_t next_seq_ = 1;
+  std::deque<Entry> ring_;
+};
+
+}  // namespace redundancy::env

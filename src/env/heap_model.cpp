@@ -1,0 +1,136 @@
+#include "env/heap_model.hpp"
+
+#include <algorithm>
+
+namespace redundancy::env {
+
+using core::failure;
+using core::FailureKind;
+using core::ok_status;
+using core::Status;
+
+HeapModel::HeapModel(std::size_t arena_size, SimEnv env)
+    : env_(env), arena_size_(arena_size), place_rng_(env.signature()) {}
+
+std::size_t HeapModel::guard_bytes() const noexcept {
+  switch (env_.alloc) {
+    case AllocStrategy::compact: return 0;
+    case AllocStrategy::padded: return env_.pad_bytes;
+    case AllocStrategy::randomized: return 0;  // handled by placement
+  }
+  return 0;
+}
+
+core::Result<BlockId> HeapModel::malloc(std::size_t size) {
+  if (size == 0) return failure(FailureKind::crash, "malloc(0)");
+  std::size_t offset;
+  if (env_.alloc == AllocStrategy::randomized) {
+    // Random placement: retry a few probes for a free gap.
+    bool placed = false;
+    offset = 0;
+    for (int probe = 0; probe < 64 && !placed; ++probe) {
+      offset = place_rng_.index(arena_size_ > size ? arena_size_ - size : 1);
+      placed = true;
+      for (const auto& [id, b] : blocks_) {
+        if (offset < b.offset + b.size && b.offset < offset + size) {
+          placed = false;
+          break;
+        }
+      }
+    }
+    if (!placed) return failure(FailureKind::unavailable, "arena fragmented");
+  } else {
+    const std::size_t need = size + guard_bytes();
+    if (next_offset_ + need > arena_size_) {
+      return failure(FailureKind::unavailable, "arena exhausted");
+    }
+    offset = next_offset_;
+    next_offset_ += need;
+  }
+  const BlockId id = next_id_++;
+  blocks_[id] = Block{offset, size, false};
+  used_ += size;
+  return id;
+}
+
+Status HeapModel::free(BlockId id) {
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) {
+    return failure(FailureKind::crash, "free of unknown block");
+  }
+  used_ -= it->second.size;
+  blocks_.erase(it);
+  return ok_status();
+}
+
+void HeapModel::clobber(std::size_t begin, std::size_t end, BlockId writer) {
+  for (auto& [id, b] : blocks_) {
+    if (id == writer) continue;
+    if (begin < b.offset + b.size && b.offset < end) b.corrupted = true;
+  }
+}
+
+Status HeapModel::write_raw(BlockId id, std::size_t offset,
+                            std::span<const std::byte> data) {
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) {
+    return failure(FailureKind::crash, "write to unknown block");
+  }
+  const Block& b = it->second;
+  const std::size_t end = offset + data.size();
+  if (end > b.size) {
+    // C semantics: the write proceeds, spilling past the block's end into
+    // arena neighbours. With guard padding the spill may land harmlessly.
+    const std::size_t spill_begin = b.offset + b.size + guard_bytes();
+    const std::size_t spill_end = b.offset + end;
+    if (spill_end > spill_begin) clobber(spill_begin, spill_end, id);
+  }
+  return ok_status();
+}
+
+Status HeapModel::write_checked(BlockId id, std::size_t offset,
+                                std::span<const std::byte> data) {
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) {
+    return failure(FailureKind::crash, "write to unknown block");
+  }
+  if (offset + data.size() > it->second.size) {
+    return failure(FailureKind::corrupted_state,
+                   "bounds violation caught: write past block end",
+                   core::FaultClass::malicious);
+  }
+  return write_raw(id, offset, data);
+}
+
+core::Result<std::vector<std::byte>> HeapModel::read(BlockId id,
+                                                     std::size_t offset,
+                                                     std::size_t len) const {
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) {
+    return failure(FailureKind::crash, "read of unknown block");
+  }
+  if (offset + len > it->second.size) {
+    return failure(FailureKind::crash, "read past block end");
+  }
+  // The model tracks corruption, not contents; reads return zeroed bytes.
+  return std::vector<std::byte>(len, std::byte{0});
+}
+
+std::optional<std::size_t> HeapModel::block_size(BlockId id) const {
+  auto it = blocks_.find(id);
+  if (it == blocks_.end()) return std::nullopt;
+  return it->second.size;
+}
+
+std::size_t HeapModel::corrupted_blocks() const {
+  return static_cast<std::size_t>(
+      std::count_if(blocks_.begin(), blocks_.end(),
+                    [](const auto& kv) { return kv.second.corrupted; }));
+}
+
+bool HeapModel::is_corrupted(BlockId id) const {
+  auto it = blocks_.find(id);
+  return it != blocks_.end() && it->second.corrupted;
+}
+
+}  // namespace redundancy::env

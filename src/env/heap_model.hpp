@@ -1,0 +1,77 @@
+// HeapModel: a simulated process heap.
+//
+// Substitutes for the real C-library heap that Fetzer & Xiao's "healers"
+// protect: allocations are byte blocks laid out in a flat arena according to
+// the environment's allocation strategy, and *unchecked* writes past a
+// block's end clobber whatever is adjacent — exactly the failure the
+// HeapHealer wrapper (techniques/wrappers.hpp) exists to prevent, and the
+// memory the heap-smash attack payloads corrupt.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/result.hpp"
+#include "env/simenv.hpp"
+
+namespace redundancy::env {
+
+using BlockId = std::uint32_t;
+
+class HeapModel {
+ public:
+  /// Arena of `arena_size` bytes laid out per `env.alloc` / `env.pad_bytes`.
+  explicit HeapModel(std::size_t arena_size = 1 << 16, SimEnv env = {});
+
+  /// Allocate `size` bytes; returns the block id, or unavailable when the
+  /// arena is exhausted.
+  core::Result<BlockId> malloc(std::size_t size);
+  core::Status free(BlockId id);
+
+  /// UNCHECKED write, mimicking C semantics: bytes beyond the block's size
+  /// spill into adjacent arena memory (silently corrupting neighbours).
+  core::Status write_raw(BlockId id, std::size_t offset,
+                         std::span<const std::byte> data);
+  /// Bounds-checked write: fails instead of spilling.
+  core::Status write_checked(BlockId id, std::size_t offset,
+                             std::span<const std::byte> data);
+
+  [[nodiscard]] core::Result<std::vector<std::byte>> read(BlockId id,
+                                                          std::size_t offset,
+                                                          std::size_t len) const;
+
+  /// Size the allocator recorded for this block (what a healer consults).
+  [[nodiscard]] std::optional<std::size_t> block_size(BlockId id) const;
+
+  /// Integrity audit: number of live blocks whose contents were clobbered
+  /// by out-of-bounds writes from another block (tracked ground truth).
+  [[nodiscard]] std::size_t corrupted_blocks() const;
+  /// True if the given block was corrupted by a neighbour's overflow.
+  [[nodiscard]] bool is_corrupted(BlockId id) const;
+
+  [[nodiscard]] std::size_t live_blocks() const noexcept { return blocks_.size(); }
+  [[nodiscard]] std::size_t bytes_in_use() const noexcept { return used_; }
+
+ private:
+  struct Block {
+    std::size_t offset = 0;  ///< position in the arena
+    std::size_t size = 0;
+    bool corrupted = false;  ///< clobbered by someone else's overflow
+  };
+
+  [[nodiscard]] std::size_t guard_bytes() const noexcept;
+  void clobber(std::size_t arena_begin, std::size_t arena_end, BlockId writer);
+
+  SimEnv env_;
+  std::size_t arena_size_;
+  std::size_t next_offset_ = 0;
+  std::size_t used_ = 0;
+  BlockId next_id_ = 1;
+  std::map<BlockId, Block> blocks_;
+  util::Rng place_rng_;
+};
+
+}  // namespace redundancy::env

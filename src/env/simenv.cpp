@@ -1,0 +1,124 @@
+#include "env/simenv.hpp"
+
+#include <cstdio>
+
+#include "util/checksum.hpp"
+
+namespace redundancy::env {
+
+std::string_view to_string(AllocStrategy s) noexcept {
+  switch (s) {
+    case AllocStrategy::compact: return "compact";
+    case AllocStrategy::padded: return "padded";
+    case AllocStrategy::randomized: return "randomized";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(MessageOrder o) noexcept {
+  switch (o) {
+    case MessageOrder::fifo: return "fifo";
+    case MessageOrder::shuffled: return "shuffled";
+  }
+  return "unknown";
+}
+
+std::uint64_t SimEnv::signature() const noexcept {
+  std::uint64_t h = 0x5eedf00dULL;
+  h = util::hash_mix(h, static_cast<std::uint64_t>(alloc));
+  h = util::hash_mix(h, pad_bytes);
+  h = util::hash_mix(h, sched_seed);
+  h = util::hash_mix(h, static_cast<std::uint64_t>(msg_order));
+  h = util::hash_mix(h, static_cast<std::uint64_t>(
+                            static_cast<std::int64_t>(priority) + (1LL << 32)));
+  h = util::hash_mix(h, static_cast<std::uint64_t>(admitted_load * 1e6));
+  return h;
+}
+
+std::vector<std::size_t> SimEnv::delivery_order(std::size_t n) const {
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  if (msg_order == MessageOrder::shuffled) {
+    util::Rng rng = noise();
+    rng.shuffle(order);
+  }
+  return order;
+}
+
+std::string SimEnv::describe() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "alloc=%s pad=%u sched=%llu order=%s prio=%d load=%.2f",
+                std::string(to_string(alloc)).c_str(), pad_bytes,
+                static_cast<unsigned long long>(sched_seed),
+                std::string(to_string(msg_order)).c_str(), priority,
+                admitted_load);
+  return buf;
+}
+
+std::vector<Perturbation> standard_perturbations() {
+  return {
+      {"pad-allocations",
+       [](SimEnv e) {
+         e.alloc = AllocStrategy::padded;
+         e.pad_bytes = e.pad_bytes < 64 ? 64 : e.pad_bytes * 2;
+         return e;
+       }},
+      {"randomize-allocation",
+       [](SimEnv e) {
+         e.alloc = AllocStrategy::randomized;
+         return e;
+       }},
+      {"shuffle-messages",
+       [](SimEnv e) {
+         e.msg_order = e.msg_order == MessageOrder::fifo
+                           ? MessageOrder::shuffled
+                           : MessageOrder::fifo;
+         e.sched_seed = util::hash_mix(e.sched_seed, 0x0edeULL);
+         return e;
+       }},
+      {"reschedule",
+       [](SimEnv e) {
+         e.sched_seed = util::hash_mix(e.sched_seed, 0x5c4edULL);
+         return e;
+       }},
+      {"lower-priority",
+       [](SimEnv e) {
+         e.priority -= 1;
+         e.sched_seed = util::hash_mix(e.sched_seed, 0x917ULL);
+         return e;
+       }},
+      {"shed-load",
+       [](SimEnv e) {
+         e.admitted_load *= 0.5;
+         return e;
+       }},
+  };
+}
+
+std::function<bool()> overflow_condition(const SimEnv& env, std::uint32_t needed) {
+  return [&env, needed] {
+    if (env.alloc == AllocStrategy::randomized) return false;
+    const std::uint32_t guard =
+        env.alloc == AllocStrategy::padded ? env.pad_bytes : 0;
+    return guard < needed;
+  };
+}
+
+std::function<bool()> race_condition(const SimEnv& env, double f) {
+  return [&env, f] {
+    std::uint64_t s = util::hash_mix(env.sched_seed, 0xacedULL);
+    const std::uint64_t h = util::splitmix64(s);
+    return static_cast<double>(h >> 11) * 0x1.0p-53 < f;
+  };
+}
+
+std::function<bool()> order_condition(const SimEnv& env) {
+  return [&env] { return env.msg_order == MessageOrder::fifo; };
+}
+
+std::function<bool()> overload_condition(const SimEnv& env, double ceiling) {
+  return [&env, ceiling] { return env.admitted_load > ceiling; };
+}
+
+}  // namespace redundancy::env

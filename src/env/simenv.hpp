@@ -1,0 +1,94 @@
+// SimEnv: the simulated execution environment.
+//
+// Environment-level redundancy techniques (rejuvenation, RX environment
+// perturbation, checkpoint-recovery, reboot) act not on code but on the
+// conditions the code runs under. SimEnv models the environment knobs that
+// the RX paper (Qin et al.) perturbs — memory-allocation strategy, message
+// delivery order, scheduling, process priority, admitted load — and gives
+// fault triggers a concrete ambient state to depend on, so that "change the
+// environment and re-execute" has real, observable consequences.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace redundancy::env {
+
+enum class AllocStrategy : std::uint8_t {
+  compact,     ///< objects packed tightly; overflows clobber neighbours
+  padded,      ///< guard padding between allocations
+  randomized,  ///< random placement (address-space layout diversity)
+};
+
+enum class MessageOrder : std::uint8_t {
+  fifo,      ///< deterministic arrival order
+  shuffled,  ///< randomized delivery order
+};
+
+[[nodiscard]] std::string_view to_string(AllocStrategy s) noexcept;
+[[nodiscard]] std::string_view to_string(MessageOrder o) noexcept;
+
+struct SimEnv {
+  AllocStrategy alloc = AllocStrategy::compact;
+  std::uint32_t pad_bytes = 0;           ///< guard padding when alloc==padded
+  std::uint64_t sched_seed = 1;          ///< interleaving identity
+  MessageOrder msg_order = MessageOrder::fifo;
+  std::int32_t priority = 0;             ///< process priority delta
+  double admitted_load = 1.0;            ///< fraction of user requests admitted
+
+  /// Stable fingerprint of the whole knob vector; two executions with equal
+  /// signatures see identical environment nondeterminism.
+  [[nodiscard]] std::uint64_t signature() const noexcept;
+
+  /// Deterministic per-environment noise source (derived from signature()).
+  [[nodiscard]] util::Rng noise() const noexcept {
+    return util::Rng{signature()};
+  }
+
+  /// Deliver `n` messages under this environment's ordering policy: returns
+  /// the arrival permutation of [0, n).
+  [[nodiscard]] std::vector<std::size_t> delivery_order(std::size_t n) const;
+
+  [[nodiscard]] std::string describe() const;
+
+  friend bool operator==(const SimEnv&, const SimEnv&) = default;
+};
+
+/// A directed environment change (one RX "medicine").
+struct Perturbation {
+  std::string name;
+  std::function<SimEnv(SimEnv)> apply;
+};
+
+/// The RX menu of perturbations, in the order RX tries them: pad
+/// allocations, randomize allocation placement, change message order,
+/// reschedule (new interleaving), drop priority, shed load.
+[[nodiscard]] std::vector<Perturbation> standard_perturbations();
+
+// --- Environment-sensitive bug conditions --------------------------------
+//
+// Factories for the ambient predicates that environment-dependent faults are
+// built from. Each returns a condition over a SimEnv reference cell, so the
+// same fault instance observes environment changes made by RX/rejuvenation.
+
+/// Memory bug: manifests unless allocations carry at least `needed` guard
+/// bytes (padding or randomized placement both mask it).
+[[nodiscard]] std::function<bool()> overflow_condition(const SimEnv& env,
+                                                       std::uint32_t needed);
+
+/// Race: manifests on a fraction `f` of scheduler interleavings,
+/// deterministically per sched_seed.
+[[nodiscard]] std::function<bool()> race_condition(const SimEnv& env, double f);
+
+/// Message-order bug: manifests only under deterministic FIFO delivery.
+[[nodiscard]] std::function<bool()> order_condition(const SimEnv& env);
+
+/// Overload bug: manifests when admitted load exceeds `ceiling`.
+[[nodiscard]] std::function<bool()> overload_condition(const SimEnv& env,
+                                                       double ceiling);
+
+}  // namespace redundancy::env

@@ -1,0 +1,17 @@
+#include "faults/campaign.hpp"
+
+#include <cstdio>
+
+namespace redundancy::faults {
+
+std::string CampaignReport::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "%s: requests=%zu correct=%zu wrong=%zu detected=%zu "
+                "reliability=%.4f safety=%.4f",
+                name.c_str(), requests, correct, wrong, detected,
+                reliability.value(), safety.value());
+  return buf;
+}
+
+}  // namespace redundancy::faults

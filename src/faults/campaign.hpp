@@ -1,0 +1,65 @@
+// Fault-injection campaigns: the measurement harness behind every
+// experiment. A campaign drives a system-under-test with a seeded workload,
+// checks each response against an oracle, and reports reliability with
+// confidence intervals.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/result.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace redundancy::faults {
+
+/// Outcome counts of one campaign.
+struct CampaignReport {
+  std::string name;
+  std::size_t requests = 0;
+  std::size_t correct = 0;        ///< value produced and matches the oracle
+  std::size_t wrong = 0;          ///< value produced but incorrect (silent failure)
+  std::size_t detected = 0;       ///< mechanism reported failure (fail-stop)
+  util::Proportion reliability;   ///< correct / requests
+  util::Proportion safety;        ///< (correct + detected) / requests — no silent wrong
+
+  [[nodiscard]] double reliability_value() const { return reliability.value(); }
+  [[nodiscard]] double safety_value() const { return safety.value(); }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Run `requests` inputs from `workload` through `system`, judging each
+/// output against `oracle`.
+template <typename In, typename Out>
+CampaignReport run_campaign(std::string name, std::size_t requests,
+                            std::function<In(std::size_t, util::Rng&)> workload,
+                            std::function<core::Result<Out>(const In&)> system,
+                            std::function<Out(const In&)> oracle,
+                            std::uint64_t seed = 1) {
+  CampaignReport report;
+  report.name = std::move(name);
+  util::Rng rng{seed};
+  for (std::size_t i = 0; i < requests; ++i) {
+    const In input = workload(i, rng);
+    core::Result<Out> out = system(input);
+    ++report.requests;
+    bool is_correct = false;
+    bool is_detected = false;
+    if (out.has_value()) {
+      if (out.value() == oracle(input)) {
+        ++report.correct;
+        is_correct = true;
+      } else {
+        ++report.wrong;
+      }
+    } else {
+      ++report.detected;
+      is_detected = true;
+    }
+    report.reliability.add(is_correct);
+    report.safety.add(is_correct || is_detected);
+  }
+  return report;
+}
+
+}  // namespace redundancy::faults

@@ -1,0 +1,7 @@
+#include "faults/fault.hpp"
+
+// The fault model is header-only (templates over In/Out); this translation
+// unit exists to give the module a home for future non-template helpers and
+// to keep one object file per module in the build.
+
+namespace redundancy::faults {}

@@ -1,0 +1,205 @@
+// Fault model and fault injection.
+//
+// The paper's experiments-by-proxy need software faults with controllable
+// class (Bohrbug / Heisenbug / aging / malicious), activation condition, and
+// manifestation (wrong output, crash, timeout). A FaultInjector decorates a
+// correct implementation with a set of InjectedFaults, yielding the "faulty
+// independently developed version" that deliberate-redundancy mechanisms are
+// built from, with controllable inter-version fault *correlation* (the
+// Brilliant–Knight–Leveson effect).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/result.hpp"
+#include "core/variant.hpp"
+#include "util/checksum.hpp"
+#include "util/rng.hpp"
+
+namespace redundancy::faults {
+
+using core::FailureKind;
+using core::FaultClass;
+using core::Result;
+
+/// One injected fault inside a component.
+template <typename In, typename Out>
+struct InjectedFault {
+  std::string name;
+  FaultClass cls = FaultClass::bohrbug;
+  /// Activation condition, evaluated per execution on the input.
+  std::function<bool(const In&)> trigger;
+  /// How the activated fault manifests at the interface.
+  FailureKind manifestation = FailureKind::wrong_output;
+  /// For wrong_output manifestations: corrupt the correct result.
+  std::function<Out(const In&, Out)> corrupt;
+};
+
+/// Decorates a (correct) function with injected faults, producing a faulty
+/// variant. Faults are checked in order; the first activated one manifests.
+template <typename In, typename Out>
+class FaultInjector {
+ public:
+  FaultInjector(std::string name, std::function<Out(const In&)> golden)
+      : name_(std::move(name)), golden_(std::move(golden)) {}
+
+  FaultInjector& add(InjectedFault<In, Out> fault) {
+    faults_.push_back(std::move(fault));
+    return *this;
+  }
+
+  Result<Out> operator()(const In& input) const {
+    for (const auto& f : faults_) {
+      if (!f.trigger(input)) continue;
+      switch (f.manifestation) {
+        case FailureKind::wrong_output: {
+          Out out = golden_(input);
+          return f.corrupt ? f.corrupt(input, std::move(out))
+                           : std::move(out);
+        }
+        default:
+          return core::failure(f.manifestation, name_ + "/" + f.name, f.cls);
+      }
+    }
+    return golden_(input);
+  }
+
+  /// Package as a core::Variant for use in the redundancy patterns.
+  [[nodiscard]] core::Variant<In, Out> as_variant(double cost = 1.0) const {
+    return core::make_variant<In, Out>(
+        name_, [self = *this](const In& in) { return self(in); }, cost);
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t fault_count() const noexcept { return faults_.size(); }
+
+ private:
+  std::string name_;
+  std::function<Out(const In&)> golden_;
+  std::vector<InjectedFault<In, Out>> faults_;
+};
+
+/// Hash an input into the unit interval deterministically; the basis of
+/// Bohrbug activation regions.
+template <typename In>
+[[nodiscard]] double input_position(const In& input, std::uint64_t salt) {
+  std::uint64_t h;
+  if constexpr (std::is_integral_v<In>) {
+    h = util::hash_mix(salt, static_cast<std::uint64_t>(input));
+  } else if constexpr (std::is_floating_point_v<In>) {
+    std::uint64_t bits;
+    static_assert(sizeof(In) <= sizeof bits);
+    double d = static_cast<double>(input);
+    __builtin_memcpy(&bits, &d, sizeof d);
+    h = util::hash_mix(salt, bits);
+  } else {
+    h = util::hash_mix(salt, std::hash<In>{}(input));
+  }
+  // One more mixing round; hash_mix alone is too linear for small ints.
+  std::uint64_t s = h;
+  h = util::splitmix64(s);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Bohrbug: deterministic on input. Activates on the fraction
+/// `domain_fraction` of the input domain selected by `salt`. Two versions
+/// seeded with the *same* salt fail on the same inputs (correlated faults,
+/// the Brilliant–Knight–Leveson regime); distinct salts give independent
+/// failure regions.
+template <typename In, typename Out>
+[[nodiscard]] InjectedFault<In, Out> bohrbug(
+    std::string name, double domain_fraction, std::uint64_t salt,
+    FailureKind manifestation = FailureKind::wrong_output,
+    std::function<Out(const In&, Out)> corrupt = nullptr) {
+  InjectedFault<In, Out> f;
+  f.name = std::move(name);
+  f.cls = FaultClass::bohrbug;
+  f.trigger = [domain_fraction, salt](const In& in) {
+    return input_position(in, salt) < domain_fraction;
+  };
+  f.manifestation = manifestation;
+  f.corrupt = std::move(corrupt);
+  return f;
+}
+
+/// Heisenbug: fires with probability `p` per execution, independent of the
+/// input — the model of faults whose activation depends on transient,
+/// unmodeled environment state. The generator is shared so that repeated
+/// executions draw fresh nondeterminism.
+template <typename In, typename Out>
+[[nodiscard]] InjectedFault<In, Out> heisenbug(
+    std::string name, double p, std::shared_ptr<util::Rng> rng,
+    FailureKind manifestation = FailureKind::crash,
+    std::function<Out(const In&, Out)> corrupt = nullptr) {
+  InjectedFault<In, Out> f;
+  f.name = std::move(name);
+  f.cls = FaultClass::heisenbug;
+  f.trigger = [p, rng = std::move(rng)](const In&) { return rng->chance(p); };
+  f.manifestation = manifestation;
+  f.corrupt = std::move(corrupt);
+  return f;
+}
+
+/// Bursty Heisenbug: fires for `burst_len` consecutive executions out of
+/// every `period` (a degraded window — GC storm, noisy neighbour, flapping
+/// link). Retry-based techniques that ride out sporadic faults behave very
+/// differently inside a burst.
+template <typename In, typename Out>
+[[nodiscard]] InjectedFault<In, Out> burst_fault(
+    std::string name, std::uint64_t period, std::uint64_t burst_len,
+    FailureKind manifestation = FailureKind::crash,
+    std::function<Out(const In&, Out)> corrupt = nullptr) {
+  InjectedFault<In, Out> f;
+  f.name = std::move(name);
+  f.cls = FaultClass::heisenbug;
+  f.trigger = [period, burst_len, counter = std::make_shared<std::uint64_t>(0)](
+                  const In&) {
+    const std::uint64_t phase = (*counter)++ % period;
+    return phase < burst_len;
+  };
+  f.manifestation = manifestation;
+  f.corrupt = std::move(corrupt);
+  return f;
+}
+
+/// Environment-dependent Heisenbug: activation decided by an arbitrary
+/// predicate over ambient state (used with env::SimEnv so that perturbing
+/// the environment genuinely changes whether the bug fires).
+template <typename In, typename Out>
+[[nodiscard]] InjectedFault<In, Out> conditional_fault(
+    std::string name, FaultClass cls, std::function<bool()> condition,
+    FailureKind manifestation = FailureKind::crash,
+    std::function<Out(const In&, Out)> corrupt = nullptr) {
+  InjectedFault<In, Out> f;
+  f.name = std::move(name);
+  f.cls = cls;
+  f.trigger = [condition = std::move(condition)](const In&) {
+    return condition();
+  };
+  f.manifestation = manifestation;
+  f.corrupt = std::move(corrupt);
+  return f;
+}
+
+/// Canonical output corruption: off-by-one for arithmetic results.
+template <typename In, typename Out>
+  requires std::is_arithmetic_v<Out>
+[[nodiscard]] std::function<Out(const In&, Out)> off_by_one() {
+  return [](const In&, Out v) { return static_cast<Out>(v + 1); };
+}
+
+/// Version-specific corruption so that two faulty versions activated on the
+/// same input still *disagree* with each other (distinct wrong answers),
+/// unless constructed with the same `skew` — letting experiments dial in
+/// identical-and-wrong consensus, the worst case for voting.
+template <typename In, typename Out>
+  requires std::is_arithmetic_v<Out>
+[[nodiscard]] std::function<Out(const In&, Out)> skewed(Out skew) {
+  return [skew](const In&, Out v) { return static_cast<Out>(v + skew); };
+}
+
+}  // namespace redundancy::faults

@@ -1,0 +1,334 @@
+#include "rollback/distsim.hpp"
+
+#include <algorithm>
+
+#include "util/checksum.hpp"
+
+namespace redundancy::rollback {
+
+std::string_view to_string(Protocol p) noexcept {
+  switch (p) {
+    case Protocol::uncoordinated: return "uncoordinated";
+    case Protocol::coordinated: return "coordinated";
+    case Protocol::message_logging: return "message-logging";
+    case Protocol::optimistic_logging: return "optimistic-logging";
+  }
+  return "unknown";
+}
+
+Simulation::Simulation(Config config) : cfg_(config), rng_(config.seed) {
+  procs_.resize(cfg_.processes);
+  for (auto& p : procs_) {
+    p.digest = 0x1d1f05ULL;
+    p.snapshots.push_back(Snapshot{0, 0, p.digest});  // the initial cut
+  }
+  if (cfg_.protocol == Protocol::coordinated) take_coordinated_line();
+}
+
+void Simulation::do_work(std::size_t pi) {
+  Process& p = procs_[pi];
+  ++p.lc;
+  p.digest = util::hash_mix(p.digest, p.lc);
+  p.history.push_back({Event::Kind::work, 0, 0, 0, clock_});
+  if (rng_.chance(cfg_.send_probability) && procs_.size() > 1) {
+    std::size_t dst = rng_.index(procs_.size());
+    if (dst == pi) dst = (dst + 1) % procs_.size();
+    const std::uint64_t id = next_msg_id_++;
+    const auto payload = static_cast<std::int64_t>(p.digest & 0xffff);
+    messages_[id] =
+        MsgMeta{pi, dst, p.history.size(), false, 0};
+    p.history.push_back({Event::Kind::send, id, payload, dst, clock_});
+    network_.push_back(
+        {id, pi, dst, payload,
+         clock_ + 1 + rng_.below(cfg_.max_delivery_delay)});
+  }
+  // Per-process checkpoint cadence (uncoordinated and logging protocols).
+  if (cfg_.protocol != Protocol::coordinated && cfg_.checkpoint_every > 0 &&
+      p.lc % cfg_.checkpoint_every == 0) {
+    take_snapshot(pi);
+  }
+}
+
+void Simulation::deliver_due() {
+  for (auto it = network_.begin(); it != network_.end();) {
+    if (it->deliver_at > clock_) {
+      ++it;
+      continue;
+    }
+    Process& q = procs_[it->dst];
+    auto& meta = messages_.at(it->msg_id);
+    meta.delivered = true;
+    meta.recv_pos = q.history.size();
+    q.history.push_back(
+        {Event::Kind::recv, it->msg_id, it->payload, it->src, clock_});
+    q.digest = util::hash_mix(q.digest,
+                              static_cast<std::uint64_t>(it->payload) * 3 + 1);
+    if (cfg_.protocol == Protocol::message_logging ||
+        cfg_.protocol == Protocol::optimistic_logging) {
+      // Pessimistic logging flushes before the process acts on the
+      // message; optimistic logging records it too but the entry only
+      // becomes durable cfg_.log_lag steps later (see crash_and_recover).
+      q.msg_log.push_back({it->msg_id, it->payload, it->src});
+    }
+    it = network_.erase(it);
+  }
+}
+
+void Simulation::step() {
+  ++clock_;
+  do_work(rng_.index(procs_.size()));
+  deliver_due();
+  if (cfg_.protocol == Protocol::coordinated && cfg_.checkpoint_every > 0 &&
+      clock_ % cfg_.checkpoint_every == 0) {
+    take_coordinated_line();
+  }
+}
+
+void Simulation::run(std::uint64_t steps) {
+  for (std::uint64_t i = 0; i < steps; ++i) step();
+}
+
+void Simulation::take_snapshot(std::size_t pi) {
+  Process& p = procs_[pi];
+  p.snapshots.push_back(Snapshot{p.history.size(), p.lc, p.digest});
+  ++checkpoints_taken_;
+}
+
+void Simulation::take_coordinated_line() {
+  CoordinatedLine line;
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    line.cuts.push_back(
+        Snapshot{procs_[i].history.size(), procs_[i].lc, procs_[i].digest});
+    ++checkpoints_taken_;
+  }
+  line.channel = network_;  // Chandy-Lamport: channel state is part of the cut
+  lines_.push_back(std::move(line));
+}
+
+const Simulation::Snapshot& Simulation::snapshot_at_or_before(
+    std::size_t pi, std::size_t max_len) const {
+  const auto& snaps = procs_[pi].snapshots;
+  // Snapshots are in increasing history_len order; the initial cut (len 0)
+  // always qualifies.
+  const Snapshot* best = &snaps.front();
+  for (const Snapshot& s : snaps) {
+    if (s.history_len <= max_len) best = &s;
+  }
+  return *best;
+}
+
+Simulation::Snapshot Simulation::state_at(std::size_t pi,
+                                          std::size_t len) const {
+  Snapshot s = snapshot_at_or_before(pi, len);
+  const auto& history = procs_[pi].history;
+  std::uint64_t lc = s.lc;
+  std::uint64_t digest = s.digest;
+  for (std::size_t e = s.history_len; e < len; ++e) {
+    const Event& ev = history[e];
+    if (ev.kind == Event::Kind::work) {
+      ++lc;
+      digest = util::hash_mix(digest, lc);
+    } else if (ev.kind == Event::Kind::recv) {
+      digest = util::hash_mix(
+          digest, static_cast<std::uint64_t>(ev.payload) * 3 + 1);
+    }
+  }
+  return Snapshot{len, lc, digest};
+}
+
+std::vector<Simulation::Event> Simulation::truncate(std::size_t pi,
+                                                    const Snapshot& snap) {
+  Process& p = procs_[pi];
+  std::vector<Event> discarded(p.history.begin() +
+                                   static_cast<std::ptrdiff_t>(snap.history_len),
+                               p.history.end());
+  p.history.resize(snap.history_len);
+  p.lc = snap.lc;
+  p.digest = snap.digest;
+  // Drop snapshots that now lie in the discarded future.
+  std::erase_if(p.snapshots, [&snap](const Snapshot& s) {
+    return s.history_len > snap.history_len;
+  });
+  return discarded;
+}
+
+core::Result<Simulation::RecoveryReport> Simulation::crash_and_recover(
+    std::size_t victim) {
+  if (victim >= procs_.size()) {
+    return core::failure(core::FailureKind::crash, "unknown process");
+  }
+  RecoveryReport report;
+
+  if (cfg_.protocol == Protocol::coordinated) {
+    // Roll the whole system to the last coordinated line.
+    const CoordinatedLine& line = lines_.back();
+    for (std::size_t i = 0; i < procs_.size(); ++i) {
+      const std::uint64_t before = procs_[i].lc;
+      auto discarded = truncate(i, line.cuts[i]);
+      report.work_lost += before - procs_[i].lc;
+      ++report.processes_rolled_back;
+      for (const Event& e : discarded) {
+        if (e.kind == Event::Kind::send) messages_.erase(e.msg_id);
+        if (e.kind == Event::Kind::recv) {
+          // Receipt undone; the channel-state restore below re-delivers
+          // whatever the cut had in flight, so nothing is orphaned.
+          auto it = messages_.find(e.msg_id);
+          if (it != messages_.end()) it->second.delivered = false;
+        }
+      }
+    }
+    network_ = lines_.back().channel;
+    report.rolled_to_initial_state = lines_.back().cuts[0].history_len == 0;
+    return report;
+  }
+
+  if (cfg_.protocol == Protocol::message_logging) {
+    // Only the victim rolls back; its checkpoint plus the message log
+    // reconstruct the pre-crash state deterministically. We model the
+    // replay by *keeping* the history (it is exactly what replay rebuilds)
+    // and counting the messages that had to be replayed.
+    const Snapshot& snap = procs_[victim].snapshots.back();
+    for (std::size_t e = snap.history_len; e < procs_[victim].history.size();
+         ++e) {
+      if (procs_[victim].history[e].kind == Event::Kind::recv) {
+        ++report.messages_replayed;
+      }
+    }
+    report.processes_rolled_back = 1;
+    report.work_lost = 0;
+    return report;
+  }
+
+  // Uncoordinated and optimistic logging: find a consistent cut by
+  // iterated orphan elimination. target[i] = the history length process i
+  // must not exceed. Under uncoordinated checkpointing a constrained
+  // process can only land on a *snapshot*; under optimistic logging it can
+  // replay its log to any position up to its first unlogged receive.
+  const bool optimistic = cfg_.protocol == Protocol::optimistic_logging;
+  auto first_unlogged_recv = [this](std::size_t i) {
+    const auto& history = procs_[i].history;
+    for (std::size_t e = 0; e < history.size(); ++e) {
+      if (history[e].kind == Event::Kind::recv &&
+          history[e].at + cfg_.log_lag > clock_) {
+        return e;  // flushed asynchronously; not yet durable at the crash
+      }
+    }
+    return history.size();
+  };
+  auto clamp = [this, optimistic, &first_unlogged_recv](std::size_t i,
+                                                        std::size_t len) {
+    return optimistic ? std::min(len, first_unlogged_recv(i))
+                      : snapshot_at_or_before(i, len).history_len;
+  };
+
+  std::vector<std::size_t> target(procs_.size());
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    target[i] = procs_[i].history.size();
+  }
+  if (!optimistic) {
+    target[victim] = procs_[victim].snapshots.back().history_len;
+  }
+
+  // Fixed point: shrinking one process to a snapshot un-sends messages,
+  // which may force receivers below their current targets, and so on.
+  bool changed = true;
+  std::vector<std::size_t> planned(procs_.size());
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < procs_.size(); ++i) {
+      // A process with no constraint below its current history keeps its
+      // live state; constrained processes (and, always, the victim — a
+      // crash destroys volatile state) restore what their protocol can
+      // reconstruct: a snapshot, or a log-replay prefix.
+      const bool constrained =
+          i == victim || target[i] < procs_[i].history.size();
+      planned[i] =
+          constrained ? clamp(i, target[i]) : procs_[i].history.size();
+    }
+    for (std::size_t i = 0; i < procs_.size(); ++i) {
+      if (planned[i] >= procs_[i].history.size()) continue;
+      // Sends above the planned cut are orphans-to-be.
+      for (std::size_t e = planned[i]; e < procs_[i].history.size(); ++e) {
+        const Event& ev = procs_[i].history[e];
+        if (ev.kind != Event::Kind::send) continue;
+        const auto& meta = messages_.at(ev.msg_id);
+        if (meta.delivered && meta.recv_pos < target[meta.dst]) {
+          target[meta.dst] = meta.recv_pos;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Apply the cut.
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    const std::size_t cut = planned[i];
+    if (cut >= procs_[i].history.size() && i != victim) continue;
+    // Log-based recovery replays to the exact position; checkpoint-only
+    // recovery restores the snapshot the planner chose (cut is already a
+    // snapshot boundary in that mode).
+    const Snapshot snap = optimistic ? state_at(i, cut)
+                                     : snapshot_at_or_before(i, cut);
+    if (optimistic) {
+      // Replay volume: durable receives re-consumed from the log between
+      // the latest checkpoint at-or-below the cut and the cut itself.
+      const std::size_t from = snapshot_at_or_before(i, cut).history_len;
+      for (std::size_t e = from; e < cut; ++e) {
+        if (procs_[i].history[e].kind == Event::Kind::recv) {
+          ++report.messages_replayed;
+        }
+      }
+    }
+    const std::uint64_t before = procs_[i].lc;
+    auto discarded = truncate(i, snap);
+    if (!discarded.empty() || i == victim) ++report.processes_rolled_back;
+    report.work_lost += before - procs_[i].lc;
+    if (snap.history_len == 0) report.rolled_to_initial_state = true;
+    for (const Event& e : discarded) {
+      if (e.kind == Event::Kind::send) {
+        // Un-send: drop from flight if still travelling.
+        std::erase_if(network_, [&e](const InFlight& m) {
+          return m.msg_id == e.msg_id;
+        });
+        messages_.erase(e.msg_id);
+      } else if (e.kind == Event::Kind::recv) {
+        // The receipt is forgotten; without logging the message is lost.
+        ++report.messages_lost;
+        auto it = messages_.find(e.msg_id);
+        if (it != messages_.end()) it->second.delivered = false;
+      }
+    }
+  }
+  // In-flight messages whose send survived are fine; those whose send was
+  // erased were removed above.
+  return report;
+}
+
+bool Simulation::consistent() const {
+  for (std::size_t q = 0; q < procs_.size(); ++q) {
+    for (const Event& e : procs_[q].history) {
+      if (e.kind != Event::Kind::recv) continue;
+      auto it = messages_.find(e.msg_id);
+      if (it == messages_.end()) return false;  // orphan: sender forgot it
+      const MsgMeta& meta = it->second;
+      if (meta.send_pos > procs_[meta.src].history.size()) return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t Simulation::total_work() const {
+  std::uint64_t total = 0;
+  for (const auto& p : procs_) total += p.lc;
+  return total;
+}
+
+std::uint64_t Simulation::work_of(std::size_t p) const {
+  return p < procs_.size() ? procs_[p].lc : 0;
+}
+
+std::uint64_t Simulation::digest_of(std::size_t p) const {
+  return p < procs_.size() ? procs_[p].digest : 0;
+}
+
+}  // namespace redundancy::rollback

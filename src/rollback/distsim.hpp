@@ -1,0 +1,173 @@
+// Rollback-recovery protocols in message-passing systems (Elnozahy,
+// Alvisi, Wang, Johnson — the survey the paper's checkpoint-recovery row
+// cites).
+//
+// A deterministic message-passing simulation of N processes doing local
+// work and exchanging messages, under three recovery protocols:
+//
+//   * uncoordinated checkpointing — each process snapshots on its own
+//     cadence. Recovery must hunt for a *consistent* cut: restoring the
+//     failed process orphans the messages it "un-sends", forcing receivers
+//     to roll back too, recursively — the DOMINO EFFECT, potentially all
+//     the way to the initial state;
+//   * coordinated checkpointing — processes snapshot together with the
+//     channel state (a consistent cut by construction); recovery rolls
+//     everyone to the last line, losing at most one interval of work;
+//   * pessimistic message logging — received messages are logged before
+//     being consumed; recovery replays the log, so only the failed process
+//     rolls back and (under piecewise determinism) no work is lost;
+//   * optimistic message logging — receives are logged asynchronously, so
+//     a crash may catch recent receives unlogged: the victim can only be
+//     replayed up to its first unlogged receive, and anything it sent
+//     after that point orphans its receivers — a *bounded* cascade, the
+//     survey's middle ground between pessimism and the domino.
+//
+// The simulation is seeded and fully deterministic; `consistent()` checks
+// the no-orphan invariant after every recovery, and state digests make
+// replay fidelity testable.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "core/result.hpp"
+#include "util/rng.hpp"
+
+namespace redundancy::rollback {
+
+enum class Protocol : std::uint8_t {
+  uncoordinated,
+  coordinated,
+  message_logging,          ///< pessimistic: log before consuming
+  optimistic_logging,       ///< log asynchronously; recent receives may be lost
+};
+
+[[nodiscard]] std::string_view to_string(Protocol p) noexcept;
+
+class Simulation {
+ public:
+  struct Config {
+    std::size_t processes = 4;
+    Protocol protocol = Protocol::uncoordinated;
+    /// Work units between a process's checkpoints (uncoordinated/logging)
+    /// or global steps between coordinated lines.
+    std::uint64_t checkpoint_every = 10;
+    double send_probability = 0.4;  ///< per work unit
+    std::uint64_t max_delivery_delay = 3;
+    /// Optimistic logging: a received message becomes durable only after
+    /// this many further global steps (the asynchronous-flush window).
+    std::uint64_t log_lag = 5;
+    std::uint64_t seed = 1;
+  };
+
+  explicit Simulation(Config config);
+
+  /// Advance one global step: one process does a unit of work, may send a
+  /// message; the network delivers messages that have aged out.
+  void step();
+  void run(std::uint64_t steps);
+
+  struct RecoveryReport {
+    std::size_t processes_rolled_back = 0;
+    std::uint64_t work_lost = 0;        ///< work units discarded
+    std::uint64_t messages_replayed = 0;///< from logs (logging protocol)
+    std::uint64_t messages_lost = 0;    ///< delivered then forgotten
+    bool rolled_to_initial_state = false;  ///< the domino worst case
+  };
+
+  /// Crash process `victim` and recover according to the protocol.
+  core::Result<RecoveryReport> crash_and_recover(std::size_t victim);
+
+  // --- observability ------------------------------------------------------
+  /// No-orphan invariant: every message any process remembers receiving is
+  /// still remembered as sent by its sender.
+  [[nodiscard]] bool consistent() const;
+  [[nodiscard]] std::uint64_t total_work() const;
+  [[nodiscard]] std::uint64_t work_of(std::size_t p) const;
+  [[nodiscard]] std::uint64_t digest_of(std::size_t p) const;
+  [[nodiscard]] std::size_t processes() const noexcept { return procs_.size(); }
+  [[nodiscard]] std::uint64_t clock() const noexcept { return clock_; }
+  [[nodiscard]] std::size_t in_flight() const noexcept { return network_.size(); }
+  [[nodiscard]] std::size_t checkpoints_taken() const noexcept {
+    return checkpoints_taken_;
+  }
+
+ private:
+  struct Event {
+    enum class Kind : std::uint8_t { work, send, recv } kind;
+    std::uint64_t msg_id = 0;   // send/recv
+    std::int64_t payload = 0;   // send/recv
+    std::size_t peer = 0;       // send: dst, recv: src
+    std::uint64_t at = 0;       // global step the event happened
+  };
+
+  struct Snapshot {
+    std::size_t history_len = 0;
+    std::uint64_t lc = 0;
+    std::uint64_t digest = 0;
+  };
+
+  struct LoggedMessage {
+    std::uint64_t msg_id = 0;
+    std::int64_t payload = 0;
+    std::size_t src = 0;
+  };
+
+  struct Process {
+    std::uint64_t lc = 0;        ///< local work counter
+    std::uint64_t digest = 0;    ///< deterministic state digest
+    std::vector<Event> history;
+    std::vector<Snapshot> snapshots;      ///< always contains the initial cut
+    std::vector<LoggedMessage> msg_log;   ///< logging protocol only
+  };
+
+  struct InFlight {
+    std::uint64_t msg_id = 0;
+    std::size_t src = 0;
+    std::size_t dst = 0;
+    std::int64_t payload = 0;
+    std::uint64_t deliver_at = 0;
+  };
+
+  /// Where each message currently stands, for orphan tracking.
+  struct MsgMeta {
+    std::size_t src = 0;
+    std::size_t dst = 0;
+    std::size_t send_pos = 0;  ///< index of the send event in src history
+    bool delivered = false;
+    std::size_t recv_pos = 0;  ///< index of the recv event in dst history
+  };
+
+  void do_work(std::size_t p);
+  void deliver_due();
+  void take_snapshot(std::size_t p);
+  void take_coordinated_line();
+  /// Latest snapshot of `p` whose history length is <= `max_len`.
+  [[nodiscard]] const Snapshot& snapshot_at_or_before(
+      std::size_t p, std::size_t max_len) const;
+  /// Reconstruct (by replay over the recorded history) the state `p` had
+  /// after exactly `len` events — what a log-based recovery can rebuild.
+  [[nodiscard]] Snapshot state_at(std::size_t p, std::size_t len) const;
+  /// Truncate `p` to `len` events, recomputing bookkeeping; returns the
+  /// events that were discarded.
+  std::vector<Event> truncate(std::size_t p, const Snapshot& snap);
+
+  Config cfg_;
+  util::Rng rng_;
+  std::vector<Process> procs_;
+  std::deque<InFlight> network_;
+  std::map<std::uint64_t, MsgMeta> messages_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t next_msg_id_ = 1;
+  std::size_t checkpoints_taken_ = 0;
+  /// Coordinated lines: per-process snapshot index + saved channel state.
+  struct CoordinatedLine {
+    std::vector<Snapshot> cuts;       // one per process
+    std::deque<InFlight> channel;     // network contents at the line
+  };
+  std::vector<CoordinatedLine> lines_;
+};
+
+}  // namespace redundancy::rollback

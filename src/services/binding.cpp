@@ -1,0 +1,78 @@
+#include "services/binding.hpp"
+
+#include <algorithm>
+
+namespace redundancy::services {
+
+DynamicBinding::DynamicBinding(Interface iface, Registry& registry,
+                               Options options)
+    : iface_(std::move(iface)), registry_(registry), options_(options) {
+  rebind();
+  rebinds_ = 0;  // the initial bind is not a recovery
+  converted_rebinds_ = 0;
+}
+
+bool DynamicBinding::rebind() {
+  auto candidates = registry_.similar_matches(iface_, options_.min_similarity);
+  if (options_.prefer_fast) {
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Registry::Candidate& a,
+                        const Registry::Candidate& b) {
+                       if (a.score != b.score) return a.score > b.score;
+                       return a.endpoint->qos().mean_latency_ms <
+                              b.endpoint->qos().mean_latency_ms;
+                     });
+  }
+  for (const auto& candidate : candidates) {
+    const auto& ep = candidate.endpoint;
+    if (blacklist_.contains(ep->id())) continue;
+    if (current_ && ep->id() == current_->id()) continue;
+    if (ep->interface() == iface_) {
+      current_ = ep;
+      adapter_ = nullptr;
+    } else {
+      auto mapping = derive_mapping(iface_, ep->interface());
+      if (!mapping) continue;
+      current_ = ep;
+      adapter_ = convert(ep, std::move(*mapping));
+      ++converted_rebinds_;
+    }
+    ++rebinds_;
+    // Stateful substitutes must be brought up to the conversation point.
+    if (options_.replay_session && current_->stateful()) {
+      for (const auto& past : session_) {
+        (void)invoke_current(past);
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+core::Result<Message> DynamicBinding::invoke_current(const Message& request) {
+  if (adapter_) return adapter_(request);
+  return current_->call(request);
+}
+
+core::Result<Message> DynamicBinding::call(const Message& request) {
+  if (!current_) {
+    if (!rebind()) {
+      return core::failure(core::FailureKind::unavailable,
+                           "no endpoint offers " + iface_.operation);
+    }
+  }
+  core::Result<Message> response = invoke_current(request);
+  std::size_t attempts = 0;
+  while (!response.has_value() && attempts < options_.max_rebinds_per_call) {
+    if (options_.blacklist_failed && current_) {
+      blacklist_.insert(current_->id());
+    }
+    if (!rebind()) break;
+    ++attempts;
+    response = invoke_current(request);
+  }
+  if (response.has_value()) session_.push_back(request);
+  return response;
+}
+
+}  // namespace redundancy::services

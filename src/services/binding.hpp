@@ -1,0 +1,63 @@
+// DynamicBinding: a transparent-shaping proxy with runtime rebinding.
+//
+// The consumer holds the binding, not an endpoint. Calls forward to the
+// currently bound endpoint; when it fails, the binding searches the
+// registry for a substitute — exact interface first, then similar
+// interfaces behind an automatically derived converter — rebinds, and
+// retries, all invisibly to the caller (Sadjadi's transparent shaping,
+// Mosincat's stateful/stateless rebinding).
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "services/converter.hpp"
+#include "services/registry.hpp"
+
+namespace redundancy::services {
+
+class DynamicBinding {
+ public:
+  struct Options {
+    double min_similarity = 0.5;       ///< floor for adaptable candidates
+    std::size_t max_rebinds_per_call = 4;
+    bool replay_session = true;        ///< re-send history to stateful substitutes
+    bool blacklist_failed = true;      ///< never rebind to an endpoint that failed
+    /// Among equally similar candidates, prefer the lowest declared mean
+    /// latency (Naccache-style QoS-aware selection).
+    bool prefer_fast = false;
+  };
+
+  DynamicBinding(Interface iface, Registry& registry, Options options);
+  DynamicBinding(Interface iface, Registry& registry)
+      : DynamicBinding(std::move(iface), registry, Options{}) {}
+
+  /// Invoke through the binding; substitutes and retries on failure.
+  core::Result<Message> call(const Message& request);
+
+  [[nodiscard]] EndpointPtr current() const noexcept { return current_; }
+  [[nodiscard]] std::size_t rebinds() const noexcept { return rebinds_; }
+  [[nodiscard]] std::size_t converted_rebinds() const noexcept {
+    return converted_rebinds_;
+  }
+  [[nodiscard]] const Interface& interface() const noexcept { return iface_; }
+
+ private:
+  /// Pick the best candidate not yet blacklisted; wire a converter when the
+  /// interface is merely similar. Returns false when the registry is dry.
+  bool rebind();
+  core::Result<Message> invoke_current(const Message& request);
+
+  Interface iface_;
+  Registry& registry_;
+  Options options_;
+  EndpointPtr current_;
+  Handler adapter_;  ///< converter wrapper when bound to a similar interface
+  std::set<std::string, std::less<>> blacklist_;
+  std::vector<Message> session_;  ///< conversation so far (stateful replay)
+  std::size_t rebinds_ = 0;
+  std::size_t converted_rebinds_ = 0;
+};
+
+}  // namespace redundancy::services

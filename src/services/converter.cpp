@@ -1,0 +1,89 @@
+#include "services/converter.hpp"
+
+#include <algorithm>
+
+namespace redundancy::services {
+
+bool FieldMap::identity() const noexcept {
+  auto all_same = [](const auto& m) {
+    return std::all_of(m.begin(), m.end(),
+                       [](const auto& kv) { return kv.first == kv.second; });
+  };
+  return all_same(request) && all_same(response);
+}
+
+namespace {
+
+std::optional<std::map<std::string, std::string, std::less<>>> pair_fields(
+    const std::vector<std::string>& from, const std::vector<std::string>& to) {
+  // The provider must offer a slot for every consumer field.
+  if (to.size() < from.size()) return std::nullopt;
+  std::map<std::string, std::string, std::less<>> mapping;
+  std::vector<bool> taken(to.size(), false);
+  std::vector<std::size_t> unmatched;
+  // Tier 1: exact name matches.
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    auto it = std::find(to.begin(), to.end(), from[i]);
+    if (it != to.end() && !taken[static_cast<std::size_t>(it - to.begin())]) {
+      taken[static_cast<std::size_t>(it - to.begin())] = true;
+      mapping[from[i]] = *it;
+    } else {
+      unmatched.push_back(i);
+    }
+  }
+  // Tier 2: positional pairing of leftovers, in declaration order.
+  std::size_t next_free = 0;
+  for (std::size_t i : unmatched) {
+    while (next_free < to.size() && taken[next_free]) ++next_free;
+    if (next_free == to.size()) return std::nullopt;
+    taken[next_free] = true;
+    mapping[from[i]] = to[next_free];
+  }
+  return mapping;
+}
+
+}  // namespace
+
+std::optional<FieldMap> derive_mapping(const Interface& wanted,
+                                       const Interface& offered) {
+  if (wanted.operation != offered.operation) return std::nullopt;
+  auto req = pair_fields(wanted.inputs, offered.inputs);
+  if (!req) return std::nullopt;
+  // Responses map provider -> consumer, so pair in the other direction.
+  auto resp = pair_fields(offered.outputs, wanted.outputs);
+  if (!resp) {
+    // The provider may output *more* fields than we need; map only ours.
+    auto narrowed = pair_fields(wanted.outputs, offered.outputs);
+    if (!narrowed) return std::nullopt;
+    std::map<std::string, std::string, std::less<>> inverted;
+    for (const auto& [consumer, provider] : *narrowed) {
+      inverted[provider] = consumer;
+    }
+    resp = std::move(inverted);
+  }
+  return FieldMap{std::move(*req), std::move(*resp)};
+}
+
+Message rename_fields(
+    const Message& msg,
+    const std::map<std::string, std::string, std::less<>>& mapping) {
+  Message out;
+  for (const auto& [field, value] : msg) {
+    auto it = mapping.find(field);
+    out[it != mapping.end() ? it->second : field] = value;
+  }
+  return out;
+}
+
+Handler convert(EndpointPtr provider, FieldMap mapping) {
+  return [provider = std::move(provider),
+          mapping = std::move(mapping)](const Message& request)
+             -> core::Result<Message> {
+    auto adapted = rename_fields(request, mapping.request);
+    auto response = provider->call(adapted);
+    if (!response.has_value()) return response;
+    return rename_fields(response.value(), mapping.response);
+  };
+}
+
+}  // namespace redundancy::services

@@ -1,0 +1,42 @@
+// Converters: adapters that let a similar-but-not-identical service stand
+// in for the one that failed (Taher et al.).
+//
+// A converter renames request fields from the consumer's vocabulary to the
+// provider's, and response fields back. Mappings can be written by hand or
+// derived automatically from the two interfaces (exact name matches first,
+// then positional pairing of the leftovers).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "services/service.hpp"
+
+namespace redundancy::services {
+
+struct FieldMap {
+  /// consumer field name -> provider field name
+  std::map<std::string, std::string, std::less<>> request;
+  /// provider field name -> consumer field name
+  std::map<std::string, std::string, std::less<>> response;
+
+  [[nodiscard]] bool identity() const noexcept;
+};
+
+/// Derive a mapping between interfaces, or nullopt when they cannot be
+/// bridged (different operations, or unmappable field counts).
+[[nodiscard]] std::optional<FieldMap> derive_mapping(const Interface& wanted,
+                                                     const Interface& offered);
+
+/// Apply a field renaming to a message (fields without a mapping pass
+/// through unchanged).
+[[nodiscard]] Message rename_fields(
+    const Message& msg,
+    const std::map<std::string, std::string, std::less<>>& mapping);
+
+/// Wrap an endpoint behind a converter so it presents the consumer's
+/// interface. The wrapper keeps the provider alive via shared ownership.
+[[nodiscard]] Handler convert(EndpointPtr provider, FieldMap mapping);
+
+}  // namespace redundancy::services

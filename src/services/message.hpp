@@ -1,0 +1,39 @@
+// Messages and interfaces of the in-process service substrate.
+//
+// Stands in for the web-service layer that the surveyed BPEL-based
+// techniques (Dobson's WS-BPEL fault tolerance, Subramanian's self-healing
+// BPEL, Taher's interface-similar substitution, Mosincat's dynamic binding)
+// operate on: named operations exchanging field→value messages.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace redundancy::services {
+
+using Value = std::variant<std::int64_t, double, std::string>;
+
+[[nodiscard]] std::string to_string(const Value& v);
+
+/// A service message: named fields. Ordered map gives deterministic
+/// iteration, equality, and voting.
+using Message = std::map<std::string, Value, std::less<>>;
+
+/// Structural description of an operation: what a registry matches on.
+struct Interface {
+  std::string operation;              ///< logical operation name
+  std::vector<std::string> inputs;    ///< required input fields
+  std::vector<std::string> outputs;   ///< produced output fields
+
+  friend bool operator==(const Interface&, const Interface&) = default;
+};
+
+/// Interface compatibility score in [0,1]: 1.0 = identical; above 0 means a
+/// converter could bridge the differences (same operation, overlapping
+/// field sets). Used by Taher-style similarity search.
+[[nodiscard]] double similarity(const Interface& wanted, const Interface& offered);
+
+}  // namespace redundancy::services

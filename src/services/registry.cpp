@@ -1,0 +1,40 @@
+#include "services/registry.hpp"
+
+#include <algorithm>
+
+namespace redundancy::services {
+
+void Registry::add(EndpointPtr endpoint) {
+  endpoints_.push_back(std::move(endpoint));
+}
+
+EndpointPtr Registry::by_id(std::string_view id) const {
+  for (const auto& e : endpoints_) {
+    if (e->id() == id) return e;
+  }
+  return nullptr;
+}
+
+std::vector<EndpointPtr> Registry::exact_matches(const Interface& iface) const {
+  std::vector<EndpointPtr> out;
+  for (const auto& e : endpoints_) {
+    if (e->interface() == iface) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<Registry::Candidate> Registry::similar_matches(
+    const Interface& iface, double min_score) const {
+  std::vector<Candidate> out;
+  for (const auto& e : endpoints_) {
+    const double score = similarity(iface, e->interface());
+    if (score >= min_score) out.push_back({e, score});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.score > b.score;
+                   });
+  return out;
+}
+
+}  // namespace redundancy::services

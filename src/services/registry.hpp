@@ -1,0 +1,42 @@
+// Registry: the service directory that substitution searches.
+//
+// Lookup proceeds in two tiers, mirroring the survey's two substitution
+// families: exact-interface alternatives (Subramanian et al.) and
+// similar-interface candidates that need a converter (Taher et al.).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "services/service.hpp"
+
+namespace redundancy::services {
+
+class Registry {
+ public:
+  void add(EndpointPtr endpoint);
+  [[nodiscard]] EndpointPtr by_id(std::string_view id) const;
+
+  /// Endpoints implementing exactly this interface.
+  [[nodiscard]] std::vector<EndpointPtr> exact_matches(
+      const Interface& iface) const;
+
+  struct Candidate {
+    EndpointPtr endpoint;
+    double score = 0.0;  ///< interface similarity in (0,1]
+  };
+  /// Endpoints whose interface similarity is at least `min_score`, best
+  /// first (exact matches score 1.0 and sort ahead of adaptable ones).
+  [[nodiscard]] std::vector<Candidate> similar_matches(
+      const Interface& iface, double min_score = 0.5) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return endpoints_.size(); }
+  [[nodiscard]] const std::vector<EndpointPtr>& all() const noexcept {
+    return endpoints_;
+  }
+
+ private:
+  std::vector<EndpointPtr> endpoints_;
+};
+
+}  // namespace redundancy::services

@@ -1,0 +1,61 @@
+#include "services/service.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace redundancy::services {
+
+std::string to_string(const Value& v) {
+  if (const auto* i = std::get_if<std::int64_t>(&v)) {
+    return std::to_string(*i);
+  }
+  if (const auto* d = std::get_if<double>(&v)) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%g", *d);
+    return buf;
+  }
+  return std::get<std::string>(v);
+}
+
+double similarity(const Interface& wanted, const Interface& offered) {
+  if (wanted.operation != offered.operation) return 0.0;
+  // Per direction: exact field-name overlap scores highest, but a field set
+  // that merely *admits a mapping* (the provider offers at least as many
+  // slots, so a converter can pair the leftovers positionally) still scores
+  // 0.5 — Taher's "sufficiently similar to admit a simple adaptation".
+  auto score = [](const std::vector<std::string>& need,
+                  const std::vector<std::string>& have) {
+    if (need.empty() && have.empty()) return 1.0;
+    std::size_t common = 0;
+    for (const auto& x : need) {
+      if (std::find(have.begin(), have.end(), x) != have.end()) ++common;
+    }
+    const std::size_t denom = std::max(need.size(), have.size());
+    const double by_name =
+        denom ? static_cast<double>(common) / static_cast<double>(denom) : 1.0;
+    const bool mappable = have.size() >= need.size();
+    return std::max(by_name, mappable ? 0.5 : 0.0);
+  };
+  return 0.5 * score(wanted.inputs, offered.inputs) +
+         0.5 * score(wanted.outputs, offered.outputs);
+}
+
+Endpoint::Endpoint(std::string id, Interface iface, Handler handler, Qos qos,
+                   std::uint64_t seed)
+    : id_(std::move(id)), iface_(std::move(iface)),
+      handler_(std::move(handler)), qos_(qos), rng_(seed) {}
+
+core::Result<Message> Endpoint::call(const Message& request) {
+  ++calls_;
+  latency_ms_ += rng_.exponential(qos_.mean_latency_ms);
+  if (!rng_.chance(qos_.availability)) {
+    ++failures_;
+    return core::failure(core::FailureKind::unavailable,
+                         id_ + " unavailable");
+  }
+  auto response = handler_(request);
+  if (!response.has_value()) ++failures_;
+  return response;
+}
+
+}  // namespace redundancy::services

@@ -1,0 +1,67 @@
+// Endpoint: one concrete implementation of a service interface.
+//
+// Endpoints have simulated quality-of-service: a latency model and an
+// availability process that experiments can degrade or kill, reproducing
+// the "unpredicted response or availability problems" that dynamic service
+// substitution exists to mask.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/result.hpp"
+#include "services/message.hpp"
+#include "util/rng.hpp"
+
+namespace redundancy::services {
+
+using Handler = std::function<core::Result<Message>(const Message&)>;
+
+struct Qos {
+  double mean_latency_ms = 10.0;
+  double availability = 1.0;  ///< per-call success probability
+};
+
+class Endpoint {
+ public:
+  Endpoint(std::string id, Interface iface, Handler handler, Qos qos = {},
+           std::uint64_t seed = 1);
+
+  /// Invoke the endpoint. Simulated latency is accumulated, not slept.
+  core::Result<Message> call(const Message& request);
+
+  [[nodiscard]] const std::string& id() const noexcept { return id_; }
+  [[nodiscard]] const Interface& interface() const noexcept { return iface_; }
+  [[nodiscard]] const Qos& qos() const noexcept { return qos_; }
+  [[nodiscard]] bool stateful() const noexcept { return stateful_; }
+  void set_stateful(bool v) noexcept { stateful_ = v; }
+
+  // Experiment controls.
+  void set_availability(double a) noexcept { qos_.availability = a; }
+  void set_mean_latency(double ms) noexcept { qos_.mean_latency_ms = ms; }
+  void kill() noexcept { qos_.availability = 0.0; }
+
+  // Observability.
+  [[nodiscard]] std::size_t calls() const noexcept { return calls_; }
+  [[nodiscard]] std::size_t failures() const noexcept { return failures_; }
+  [[nodiscard]] double total_latency_ms() const noexcept { return latency_ms_; }
+  [[nodiscard]] double observed_mean_latency() const noexcept {
+    return calls_ ? latency_ms_ / static_cast<double>(calls_) : 0.0;
+  }
+
+ private:
+  std::string id_;
+  Interface iface_;
+  Handler handler_;
+  Qos qos_;
+  util::Rng rng_;
+  bool stateful_ = false;
+  std::size_t calls_ = 0;
+  std::size_t failures_ = 0;
+  double latency_ms_ = 0.0;
+};
+
+using EndpointPtr = std::shared_ptr<Endpoint>;
+
+}  // namespace redundancy::services

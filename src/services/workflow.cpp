@@ -1,0 +1,254 @@
+#include "services/workflow.hpp"
+
+namespace redundancy::services {
+namespace {
+
+class InvokeEndpoint final : public Activity {
+ public:
+  explicit InvokeEndpoint(EndpointPtr ep) : ep_(std::move(ep)) {}
+  core::Result<Message> execute(const Message& input,
+                                WorkflowContext& ctx) override {
+    ++ctx.metrics.variant_executions;
+    auto out = ep_->call(input);
+    if (!out.has_value()) ++ctx.metrics.variant_failures;
+    return out;
+  }
+  [[nodiscard]] std::string describe() const override {
+    return "invoke(" + ep_->id() + ")";
+  }
+
+ private:
+  EndpointPtr ep_;
+};
+
+class InvokeBinding final : public Activity {
+ public:
+  explicit InvokeBinding(std::shared_ptr<DynamicBinding> b)
+      : binding_(std::move(b)) {}
+  core::Result<Message> execute(const Message& input,
+                                WorkflowContext& ctx) override {
+    ++ctx.metrics.variant_executions;
+    const std::size_t before = binding_->rebinds();
+    auto out = binding_->call(input);
+    if (!out.has_value()) {
+      ++ctx.metrics.variant_failures;
+    } else if (binding_->rebinds() > before) {
+      ++ctx.metrics.recoveries;
+    }
+    return out;
+  }
+  [[nodiscard]] std::string describe() const override {
+    return "invoke<dynamic>(" + binding_->interface().operation + ")";
+  }
+
+ private:
+  std::shared_ptr<DynamicBinding> binding_;
+};
+
+class Assign final : public Activity {
+ public:
+  Assign(std::string name, std::function<Message(Message)> fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+  core::Result<Message> execute(const Message& input,
+                                WorkflowContext&) override {
+    return fn_(input);
+  }
+  [[nodiscard]] std::string describe() const override {
+    return "assign(" + name_ + ")";
+  }
+
+ private:
+  std::string name_;
+  std::function<Message(Message)> fn_;
+};
+
+class Sequence final : public Activity {
+ public:
+  explicit Sequence(std::vector<ActivityPtr> children)
+      : children_(std::move(children)) {}
+  core::Result<Message> execute(const Message& input,
+                                WorkflowContext& ctx) override {
+    Message current = input;
+    for (const auto& child : children_) {
+      auto out = child->execute(current, ctx);
+      if (!out.has_value()) return out;
+      current = std::move(out).take();
+    }
+    return current;
+  }
+  [[nodiscard]] std::string describe() const override { return "sequence"; }
+
+ private:
+  std::vector<ActivityPtr> children_;
+};
+
+class Retry final : public Activity {
+ public:
+  Retry(ActivityPtr child, std::size_t attempts)
+      : child_(std::move(child)), attempts_(attempts) {}
+  core::Result<Message> execute(const Message& input,
+                                WorkflowContext& ctx) override {
+    core::Result<Message> out =
+        core::failure(core::FailureKind::no_alternatives, "retry(0)");
+    for (std::size_t i = 0; i < attempts_; ++i) {
+      out = child_->execute(input, ctx);
+      if (out.has_value()) {
+        if (i > 0) ++ctx.metrics.recoveries;
+        return out;
+      }
+    }
+    return out;
+  }
+  [[nodiscard]] std::string describe() const override { return "retry"; }
+
+ private:
+  ActivityPtr child_;
+  std::size_t attempts_;
+};
+
+class Alternatives final : public Activity {
+ public:
+  Alternatives(std::vector<ActivityPtr> children,
+               std::function<bool(const Message&)> accept)
+      : children_(std::move(children)), accept_(std::move(accept)) {}
+  core::Result<Message> execute(const Message& input,
+                                WorkflowContext& ctx) override {
+    core::Failure last =
+        core::failure(core::FailureKind::no_alternatives, "no children");
+    for (std::size_t i = 0; i < children_.size(); ++i) {
+      auto out = children_[i]->execute(input, ctx);
+      ++ctx.metrics.adjudications;
+      if (out.has_value() && accept_(out.value())) {
+        if (i > 0) ++ctx.metrics.recoveries;
+        return out;
+      }
+      last = out.has_value()
+                 ? core::failure(core::FailureKind::acceptance_failed,
+                                 children_[i]->describe())
+                 : out.error();
+    }
+    return core::Result<Message>{core::failure(
+        core::FailureKind::no_alternatives, last.describe(), last.cause)};
+  }
+  [[nodiscard]] std::string describe() const override { return "alternatives"; }
+
+ private:
+  std::vector<ActivityPtr> children_;
+  std::function<bool(const Message&)> accept_;
+};
+
+class ParallelVote final : public Activity {
+ public:
+  ParallelVote(std::vector<ActivityPtr> branches, core::Voter<Message> voter)
+      : branches_(std::move(branches)), voter_(std::move(voter)) {}
+  core::Result<Message> execute(const Message& input,
+                                WorkflowContext& ctx) override {
+    std::vector<core::Ballot<Message>> ballots;
+    ballots.reserve(branches_.size());
+    bool any_failed = false;
+    for (std::size_t i = 0; i < branches_.size(); ++i) {
+      auto out = branches_[i]->execute(input, ctx);
+      if (!out.has_value()) any_failed = true;
+      ballots.push_back({i, branches_[i]->describe(), std::move(out)});
+    }
+    ++ctx.metrics.adjudications;
+    auto verdict = voter_(ballots);
+    if (verdict.has_value() && any_failed) ++ctx.metrics.recoveries;
+    return verdict;
+  }
+  [[nodiscard]] std::string describe() const override { return "parallel_vote"; }
+
+ private:
+  std::vector<ActivityPtr> branches_;
+  core::Voter<Message> voter_;
+};
+
+class Scope final : public Activity {
+ public:
+  Scope(ActivityPtr child, std::map<core::FailureKind, ActivityPtr> handlers)
+      : child_(std::move(child)), handlers_(std::move(handlers)) {}
+  core::Result<Message> execute(const Message& input,
+                                WorkflowContext& ctx) override {
+    auto out = child_->execute(input, ctx);
+    if (out.has_value()) return out;
+    auto it = handlers_.find(out.error().kind);
+    if (it == handlers_.end()) return out;
+    ++ctx.metrics.adjudications;
+    auto handled = it->second->execute(input, ctx);
+    if (handled.has_value()) ++ctx.metrics.recoveries;
+    return handled;
+  }
+  [[nodiscard]] std::string describe() const override { return "scope"; }
+
+ private:
+  ActivityPtr child_;
+  std::map<core::FailureKind, ActivityPtr> handlers_;
+};
+
+class Saga final : public Activity {
+ public:
+  explicit Saga(std::vector<SagaStep> steps) : steps_(std::move(steps)) {}
+  core::Result<Message> execute(const Message& input,
+                                WorkflowContext& ctx) override {
+    Message current = input;
+    // Record, per completed step, the message it produced — the context its
+    // compensation runs against.
+    std::vector<std::pair<const SagaStep*, Message>> completed;
+    for (const auto& step : steps_) {
+      auto out = step.forward->execute(current, ctx);
+      if (!out.has_value()) {
+        // Unwind: compensate completed steps in reverse completion order.
+        for (auto it = completed.rbegin(); it != completed.rend(); ++it) {
+          if (it->first->compensation != nullptr) {
+            ++ctx.metrics.rollbacks;
+            (void)it->first->compensation->execute(it->second, ctx);
+          }
+        }
+        return out;
+      }
+      current = std::move(out).take();
+      completed.emplace_back(&step, current);
+    }
+    return current;
+  }
+  [[nodiscard]] std::string describe() const override { return "saga"; }
+
+ private:
+  std::vector<SagaStep> steps_;
+};
+
+}  // namespace
+
+ActivityPtr saga(std::vector<SagaStep> steps) {
+  return std::make_shared<Saga>(std::move(steps));
+}
+
+ActivityPtr invoke(EndpointPtr endpoint) {
+  return std::make_shared<InvokeEndpoint>(std::move(endpoint));
+}
+ActivityPtr invoke(std::shared_ptr<DynamicBinding> binding) {
+  return std::make_shared<InvokeBinding>(std::move(binding));
+}
+ActivityPtr assign(std::string name, std::function<Message(Message)> fn) {
+  return std::make_shared<Assign>(std::move(name), std::move(fn));
+}
+ActivityPtr sequence(std::vector<ActivityPtr> children) {
+  return std::make_shared<Sequence>(std::move(children));
+}
+ActivityPtr retry(ActivityPtr child, std::size_t attempts) {
+  return std::make_shared<Retry>(std::move(child), attempts);
+}
+ActivityPtr alternatives(std::vector<ActivityPtr> children,
+                         std::function<bool(const Message&)> accept) {
+  return std::make_shared<Alternatives>(std::move(children), std::move(accept));
+}
+ActivityPtr parallel_vote(std::vector<ActivityPtr> branches,
+                          core::Voter<Message> voter) {
+  return std::make_shared<ParallelVote>(std::move(branches), std::move(voter));
+}
+ActivityPtr scope(ActivityPtr child,
+                  std::map<core::FailureKind, ActivityPtr> handlers) {
+  return std::make_shared<Scope>(std::move(child), std::move(handlers));
+}
+
+}  // namespace redundancy::services

@@ -1,0 +1,99 @@
+// A small BPEL-style orchestration engine.
+//
+// The substrate on which the survey's service-oriented fault-tolerance
+// recipes are expressed (Dobson 2006): processes are activity trees with
+// sequence, assignment, invocation, retry-with-alternatives, parallel
+// invocation with voting, and scoped fault handlers. The redundancy
+// techniques appear as *activity combinators*: `parallel_vote` is N-version
+// programming over services, `alternatives` is a recovery block, `retry` is
+// the BPEL retry command.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/voters.hpp"
+#include "services/binding.hpp"
+#include "services/service.hpp"
+
+namespace redundancy::services {
+
+struct WorkflowContext {
+  core::Metrics metrics;
+};
+
+class Activity {
+ public:
+  virtual ~Activity() = default;
+  virtual core::Result<Message> execute(const Message& input,
+                                        WorkflowContext& ctx) = 0;
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+using ActivityPtr = std::shared_ptr<Activity>;
+
+/// Invoke a fixed endpoint.
+[[nodiscard]] ActivityPtr invoke(EndpointPtr endpoint);
+/// Invoke through a dynamic binding (substitution happens inside).
+[[nodiscard]] ActivityPtr invoke(std::shared_ptr<DynamicBinding> binding);
+/// Pure message transformation (BPEL <assign>).
+[[nodiscard]] ActivityPtr assign(std::string name,
+                                 std::function<Message(Message)> fn);
+/// Run children in order, feeding each the previous output.
+[[nodiscard]] ActivityPtr sequence(std::vector<ActivityPtr> children);
+/// Re-run the child up to `attempts` times until it succeeds.
+[[nodiscard]] ActivityPtr retry(ActivityPtr child, std::size_t attempts);
+/// Recovery-block node: try children in order until one both succeeds and
+/// passes the acceptance test.
+[[nodiscard]] ActivityPtr alternatives(
+    std::vector<ActivityPtr> children,
+    std::function<bool(const Message&)> accept);
+/// N-version node: run all branches on the same input, vote on the results.
+[[nodiscard]] ActivityPtr parallel_vote(std::vector<ActivityPtr> branches,
+                                        core::Voter<Message> voter);
+/// Scoped fault handling: on child failure, run the handler registered for
+/// the failure kind (BPEL fault handlers / rule-engine recovery actions).
+[[nodiscard]] ActivityPtr scope(
+    ActivityPtr child,
+    std::map<core::FailureKind, ActivityPtr> handlers);
+
+/// A compensable step of a saga: `forward` does the work, `compensation`
+/// undoes it if a *later* step fails.
+struct SagaStep {
+  ActivityPtr forward;
+  ActivityPtr compensation;  ///< may be null (nothing to undo)
+};
+
+/// BPEL compensation semantics: run steps in order; when step k fails, run
+/// the compensations of steps k-1..0 (in reverse completion order) on the
+/// messages those steps produced, then propagate the failure.
+[[nodiscard]] ActivityPtr saga(std::vector<SagaStep> steps);
+
+class Workflow {
+ public:
+  Workflow(std::string name, ActivityPtr root)
+      : name_(std::move(name)), root_(std::move(root)) {}
+
+  core::Result<Message> run(const Message& input) {
+    ++ctx_.metrics.requests;
+    auto out = root_->execute(input, ctx_);
+    if (!out.has_value()) ++ctx_.metrics.unrecovered;
+    return out;
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const core::Metrics& metrics() const noexcept {
+    return ctx_.metrics;
+  }
+
+ private:
+  std::string name_;
+  ActivityPtr root_;
+  WorkflowContext ctx_;
+};
+
+}  // namespace redundancy::services

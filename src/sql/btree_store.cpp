@@ -1,0 +1,155 @@
+// Engine 2: the index-organized store. Rows live in a std::map keyed by
+// the primary key, so SELECT's pk ordering falls out of the structure and
+// key lookups are logarithmic; equality predicates on the primary key use
+// the index instead of scanning.
+#include <map>
+
+#include "sql/detail.hpp"
+#include "sql/store.hpp"
+
+namespace redundancy::sql {
+namespace {
+
+class BTreeStore final : public SqlStore {
+ public:
+  core::Status create_table(const std::string& table,
+                            std::vector<std::string> columns) override {
+    if (tables_.contains(table)) {
+      return core::failure(core::FailureKind::wrong_output,
+                           "table exists: " + table);
+    }
+    tables_[table] = Table{std::move(columns), {}};
+    return core::ok_status();
+  }
+
+  core::Status insert(const std::string& table, Row row) override {
+    auto it = tables_.find(table);
+    if (it == tables_.end()) return detail::unknown_table(table);
+    Table& t = it->second;
+    if (row.size() != t.columns.size()) return detail::arity_mismatch();
+    const std::int64_t key = row[0];
+    if (!t.rows.emplace(key, std::move(row)).second) {
+      return detail::duplicate_key(key);
+    }
+    return core::ok_status();
+  }
+
+  core::Result<std::vector<Row>> select(
+      const std::string& table,
+      const std::optional<Condition>& where) const override {
+    auto it = tables_.find(table);
+    if (it == tables_.end()) return detail::unknown_table(table);
+    const Table& t = it->second;
+    std::vector<Row> out;
+    if (!where.has_value()) {
+      for (const auto& [key, row] : t.rows) out.push_back(row);
+      return out;
+    }
+    const auto col = t.column_index(where->column);
+    if (!col) return detail::unknown_column(where->column);
+    if (*col == 0 && where->op == Condition::Op::eq) {
+      // Index path: point lookup on the primary key.
+      auto hit = t.rows.find(where->value);
+      if (hit != t.rows.end()) out.push_back(hit->second);
+      return out;
+    }
+    for (const auto& [key, row] : t.rows) {
+      if (where->matches(row[*col])) out.push_back(row);
+    }
+    return out;  // map order == pk order
+  }
+
+  core::Result<std::int64_t> update(const std::string& table,
+                                    const Condition& where,
+                                    const std::string& column,
+                                    std::int64_t value) override {
+    auto it = tables_.find(table);
+    if (it == tables_.end()) return detail::unknown_table(table);
+    Table& t = it->second;
+    const auto where_col = t.column_index(where.column);
+    const auto target_col = t.column_index(column);
+    if (!where_col) return detail::unknown_column(where.column);
+    if (!target_col) return detail::unknown_column(column);
+    // Collect matching keys first: pk updates re-key the map.
+    std::vector<std::int64_t> keys;
+    for (const auto& [key, row] : t.rows) {
+      if (where.matches(row[*where_col])) keys.push_back(key);
+    }
+    if (*target_col == 0) {
+      for (const std::int64_t key : keys) {
+        if (key != value && t.rows.contains(value)) {
+          return detail::duplicate_key(value);
+        }
+        if (keys.size() > 1 && key != value) {
+          // Two rows re-keyed to the same pk would collide with each other.
+          return detail::duplicate_key(value);
+        }
+      }
+      for (const std::int64_t key : keys) {
+        if (key == value) continue;
+        Row row = std::move(t.rows.at(key));
+        t.rows.erase(key);
+        row[0] = value;
+        t.rows.emplace(value, std::move(row));
+      }
+      return static_cast<std::int64_t>(keys.size());
+    }
+    for (const std::int64_t key : keys) {
+      t.rows.at(key)[*target_col] = value;
+    }
+    return static_cast<std::int64_t>(keys.size());
+  }
+
+  core::Result<std::int64_t> remove(const std::string& table,
+                                    const Condition& where) override {
+    auto it = tables_.find(table);
+    if (it == tables_.end()) return detail::unknown_table(table);
+    Table& t = it->second;
+    const auto col = t.column_index(where.column);
+    if (!col) return detail::unknown_column(where.column);
+    std::int64_t affected = 0;
+    for (auto row_it = t.rows.begin(); row_it != t.rows.end();) {
+      if (where.matches(row_it->second[*col])) {
+        row_it = t.rows.erase(row_it);
+        ++affected;
+      } else {
+        ++row_it;
+      }
+    }
+    return affected;
+  }
+
+  core::Result<std::uint64_t> state_digest() const override {
+    std::uint64_t digest = 0;
+    for (const auto& [name, t] : tables_) {
+      digest = detail::combine(digest, detail::schema_hash(name, t.columns));
+      for (const auto& [key, row] : t.rows) {
+        digest = detail::combine(digest, detail::row_hash(name, row));
+      }
+    }
+    return digest;
+  }
+
+  [[nodiscard]] std::string_view engine() const override { return "btree"; }
+
+ private:
+  struct Table {
+    std::vector<std::string> columns;
+    std::map<std::int64_t, Row> rows;  // pk -> row
+
+    [[nodiscard]] std::optional<std::size_t> column_index(
+        const std::string& name) const {
+      for (std::size_t i = 0; i < columns.size(); ++i) {
+        if (columns[i] == name) return i;
+      }
+      return std::nullopt;
+    }
+  };
+  std::map<std::string, Table, std::less<>> tables_;
+};
+
+}  // namespace
+
+StorePtr make_btree_store() { return std::make_unique<BTreeStore>(); }
+
+}  // namespace redundancy::sql

@@ -1,0 +1,95 @@
+// A chaos decorator: wraps any engine with seeded, deterministic faults —
+// the "one of the off-the-shelf servers is buggy" ingredient of the
+// replicated-SQL experiments. Faults are of the two species that matter to
+// a database deployment:
+//   * lost updates  — a mutation is acknowledged but silently dropped
+//                     (state divergence, found only by reconciliation);
+//   * wrong reads   — SELECT results corrupted for a slice of the keyspace
+//                     (output divergence, found by the per-statement vote).
+#include "sql/chaos.hpp"
+
+#include "util/rng.hpp"
+
+namespace redundancy::sql {
+namespace {
+
+class ChaoticStore final : public SqlStore {
+ public:
+  ChaoticStore(StorePtr inner, ChaosSpec spec)
+      : inner_(std::move(inner)), spec_(spec), rng_(spec.seed) {}
+
+  core::Status create_table(const std::string& table,
+                            std::vector<std::string> columns) override {
+    return inner_->create_table(table, std::move(columns));
+  }
+
+  core::Status insert(const std::string& table, Row row) override {
+    if (rng_.chance(spec_.lose_mutation_probability)) {
+      return core::ok_status();  // acknowledged, never applied
+    }
+    return inner_->insert(table, std::move(row));
+  }
+
+  core::Result<std::vector<Row>> select(
+      const std::string& table,
+      const std::optional<Condition>& where) const override {
+    auto out = inner_->select(table, where);
+    if (!out.has_value()) return out;
+    if (spec_.corrupt_read_probability > 0.0 &&
+        rng_.chance(spec_.corrupt_read_probability)) {
+      auto rows = std::move(out).take();
+      if (!rows.empty()) {
+        // Corrupt one cell of one row — a silent wrong answer.
+        Row& victim = rows[rng_.index(rows.size())];
+        victim[victim.size() - 1] += 1;
+      }
+      return rows;
+    }
+    return out;
+  }
+
+  core::Result<std::int64_t> update(const std::string& table,
+                                    const Condition& where,
+                                    const std::string& column,
+                                    std::int64_t value) override {
+    if (rng_.chance(spec_.lose_mutation_probability)) {
+      // Report the would-be affected count but change nothing: the classic
+      // acknowledged-but-lost write.
+      auto would = inner_->select(table, where);
+      if (!would.has_value()) return would.error();
+      return static_cast<std::int64_t>(would.value().size());
+    }
+    return inner_->update(table, where, column, value);
+  }
+
+  core::Result<std::int64_t> remove(const std::string& table,
+                                    const Condition& where) override {
+    if (rng_.chance(spec_.lose_mutation_probability)) {
+      auto would = inner_->select(table, where);
+      if (!would.has_value()) return would.error();
+      return static_cast<std::int64_t>(would.value().size());
+    }
+    return inner_->remove(table, where);
+  }
+
+  core::Result<std::uint64_t> state_digest() const override {
+    return inner_->state_digest();
+  }
+
+  [[nodiscard]] std::string_view engine() const override {
+    return "chaotic";
+  }
+
+ private:
+  StorePtr inner_;
+  ChaosSpec spec_;
+  mutable util::Rng rng_;
+};
+
+}  // namespace
+
+StorePtr make_chaotic_store(StorePtr inner, ChaosSpec spec) {
+  return std::make_unique<ChaoticStore>(std::move(inner), spec);
+}
+
+}  // namespace redundancy::sql

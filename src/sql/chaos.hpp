@@ -1,0 +1,19 @@
+// Chaos decorator for SqlStore engines: seeded lost updates and corrupted
+// reads, for the replicated-SQL fault-injection experiments.
+#pragma once
+
+#include <cstdint>
+
+#include "sql/store.hpp"
+
+namespace redundancy::sql {
+
+struct ChaosSpec {
+  double lose_mutation_probability = 0.0;  ///< ack-then-drop inserts/updates
+  double corrupt_read_probability = 0.0;   ///< flip a cell in SELECT output
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] StorePtr make_chaotic_store(StorePtr inner, ChaosSpec spec);
+
+}  // namespace redundancy::sql

@@ -1,0 +1,66 @@
+// Shared helpers for the diverse store engines. Only *semantic* helpers
+// live here (digest definition, error texts); each engine keeps its own
+// data structures and algorithms — that independence is the point.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/result.hpp"
+#include "sql/store.hpp"
+#include "util/checksum.hpp"
+#include "util/rng.hpp"
+
+namespace redundancy::sql::detail {
+
+/// Order-insensitive hash of one row within a named table. Every engine
+/// must produce digests from exactly this per-row hash so that equal
+/// logical states digest equally regardless of physical layout.
+[[nodiscard]] inline std::uint64_t row_hash(const std::string& table,
+                                            const Row& row) {
+  std::uint64_t h = util::fnv1a(table);
+  for (std::int64_t cell : row) {
+    h = util::hash_mix(h, static_cast<std::uint64_t>(cell));
+  }
+  // One non-linear round so XOR-combining rows is collision-resistant
+  // against simple cell swaps.
+  std::uint64_t s = h;
+  return util::splitmix64(s);
+}
+
+/// Combine per-row hashes (XOR: insertion-order independent).
+[[nodiscard]] inline std::uint64_t combine(std::uint64_t acc,
+                                           std::uint64_t row) {
+  return acc ^ row;
+}
+
+/// Hash of a table's schema (tables must exist with equal schemas to
+/// digest equally, even when empty).
+[[nodiscard]] inline std::uint64_t schema_hash(
+    const std::string& table, const std::vector<std::string>& columns) {
+  std::uint64_t h = util::fnv1a(table) * 3;
+  for (const auto& c : columns) h = util::hash_mix(h, util::fnv1a(c));
+  return h;
+}
+
+[[nodiscard]] inline core::Failure unknown_table(const std::string& table) {
+  return core::failure(core::FailureKind::wrong_output,
+                       "unknown table " + table);
+}
+
+[[nodiscard]] inline core::Failure unknown_column(const std::string& column) {
+  return core::failure(core::FailureKind::wrong_output,
+                       "unknown column " + column);
+}
+
+[[nodiscard]] inline core::Failure duplicate_key(std::int64_t key) {
+  return core::failure(core::FailureKind::wrong_output,
+                       "duplicate primary key " + std::to_string(key));
+}
+
+[[nodiscard]] inline core::Failure arity_mismatch() {
+  return core::failure(core::FailureKind::wrong_output,
+                       "row arity does not match schema");
+}
+
+}  // namespace redundancy::sql::detail

@@ -1,0 +1,221 @@
+// Engine 3: the log-structured store. Mutations append to an operation
+// log; reads materialize the current state by replaying the log. The
+// moving parts (validation timing, data layout, scan order) are entirely
+// different from the other engines, which is exactly the kind of design
+// diversity N-version deployments bank on.
+#include <algorithm>
+#include <map>
+
+#include "sql/detail.hpp"
+#include "sql/store.hpp"
+
+namespace redundancy::sql {
+namespace {
+
+struct LogEntry {
+  enum class Kind { create, insert, update, remove } kind;
+  std::string table;
+  std::vector<std::string> columns;  // create
+  Row row;                           // insert
+  Condition where;                   // update / remove
+  std::string target_column;         // update
+  std::int64_t value = 0;            // update
+};
+
+/// Materialized image of one table during replay.
+struct Image {
+  std::vector<std::string> columns;
+  // pk -> row, kept in a sorted vector (yet another layout).
+  std::vector<std::pair<std::int64_t, Row>> rows;
+
+  [[nodiscard]] std::optional<std::size_t> column_index(
+      const std::string& name) const {
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i] == name) return i;
+    }
+    return std::nullopt;
+  }
+  [[nodiscard]] bool has_key(std::int64_t key) const {
+    auto at = std::lower_bound(
+        rows.begin(), rows.end(), key,
+        [](const auto& entry, std::int64_t k) { return entry.first < k; });
+    return at != rows.end() && at->first == key;
+  }
+  void put(Row row) {
+    const std::int64_t key = row[0];
+    auto at = std::lower_bound(
+        rows.begin(), rows.end(), key,
+        [](const auto& entry, std::int64_t k) { return entry.first < k; });
+    rows.insert(at, {key, std::move(row)});
+  }
+};
+
+class LogStore final : public SqlStore {
+ public:
+  core::Status create_table(const std::string& table,
+                            std::vector<std::string> columns) override {
+    const auto db = materialize();
+    if (db.contains(table)) {
+      return core::failure(core::FailureKind::wrong_output,
+                           "table exists: " + table);
+    }
+    log_.push_back({LogEntry::Kind::create, table, std::move(columns), {},
+                    {}, {}, 0});
+    return core::ok_status();
+  }
+
+  core::Status insert(const std::string& table, Row row) override {
+    auto db = materialize();
+    auto it = db.find(table);
+    if (it == db.end()) return detail::unknown_table(table);
+    if (row.size() != it->second.columns.size()) {
+      return detail::arity_mismatch();
+    }
+    if (it->second.has_key(row[0])) return detail::duplicate_key(row[0]);
+    log_.push_back({LogEntry::Kind::insert, table, {}, std::move(row), {},
+                    {}, 0});
+    return core::ok_status();
+  }
+
+  core::Result<std::vector<Row>> select(
+      const std::string& table,
+      const std::optional<Condition>& where) const override {
+    const auto db = materialize();
+    auto it = db.find(table);
+    if (it == db.end()) return detail::unknown_table(table);
+    std::size_t col = 0;
+    if (where.has_value()) {
+      auto idx = it->second.column_index(where->column);
+      if (!idx) return detail::unknown_column(where->column);
+      col = *idx;
+    }
+    std::vector<Row> out;
+    for (const auto& [key, row] : it->second.rows) {
+      if (!where.has_value() || where->matches(row[col])) out.push_back(row);
+    }
+    return out;  // rows are kept pk-sorted
+  }
+
+  core::Result<std::int64_t> update(const std::string& table,
+                                    const Condition& where,
+                                    const std::string& column,
+                                    std::int64_t value) override {
+    auto db = materialize();
+    auto it = db.find(table);
+    if (it == db.end()) return detail::unknown_table(table);
+    const Image& img = it->second;
+    const auto where_col = img.column_index(where.column);
+    const auto target_col = img.column_index(column);
+    if (!where_col) return detail::unknown_column(where.column);
+    if (!target_col) return detail::unknown_column(column);
+    std::int64_t affected = 0;
+    std::size_t rekeyed = 0;
+    for (const auto& [key, row] : img.rows) {
+      if (!where.matches(row[*where_col])) continue;
+      ++affected;
+      if (*target_col == 0 && row[0] != value) ++rekeyed;
+    }
+    if (*target_col == 0) {
+      if (rekeyed > 1) return detail::duplicate_key(value);
+      if (rekeyed == 1) {
+        for (const auto& [key, row] : img.rows) {
+          const bool is_rekeyed_row =
+              where.matches(row[*where_col]) && row[0] != value;
+          if (!is_rekeyed_row && row[0] == value) {
+            return detail::duplicate_key(value);
+          }
+        }
+      }
+    }
+    log_.push_back({LogEntry::Kind::update, table, {}, {}, where, column,
+                    value});
+    return affected;
+  }
+
+  core::Result<std::int64_t> remove(const std::string& table,
+                                    const Condition& where) override {
+    auto db = materialize();
+    auto it = db.find(table);
+    if (it == db.end()) return detail::unknown_table(table);
+    const auto col = it->second.column_index(where.column);
+    if (!col) return detail::unknown_column(where.column);
+    std::int64_t affected = 0;
+    for (const auto& [key, row] : it->second.rows) {
+      if (where.matches(row[*col])) ++affected;
+    }
+    log_.push_back({LogEntry::Kind::remove, table, {}, {}, where, {}, 0});
+    return affected;
+  }
+
+  core::Result<std::uint64_t> state_digest() const override {
+    const auto db = materialize();
+    std::uint64_t digest = 0;
+    for (const auto& [name, img] : db) {
+      digest = detail::combine(digest, detail::schema_hash(name, img.columns));
+      for (const auto& [key, row] : img.rows) {
+        digest = detail::combine(digest, detail::row_hash(name, row));
+      }
+    }
+    return digest;
+  }
+
+  [[nodiscard]] std::string_view engine() const override { return "log"; }
+
+ private:
+  /// Replay the whole log into table images. Validation happened at append
+  /// time, so replay applies entries unconditionally.
+  [[nodiscard]] std::map<std::string, Image, std::less<>> materialize() const {
+    std::map<std::string, Image, std::less<>> db;
+    for (const LogEntry& entry : log_) {
+      switch (entry.kind) {
+        case LogEntry::Kind::create:
+          db[entry.table] = Image{entry.columns, {}};
+          break;
+        case LogEntry::Kind::insert:
+          db[entry.table].put(entry.row);
+          break;
+        case LogEntry::Kind::update: {
+          Image& img = db[entry.table];
+          const auto where_col = img.column_index(entry.where.column);
+          const auto target_col = img.column_index(entry.target_column);
+          for (auto& [key, row] : img.rows) {
+            if (entry.where.matches(row[*where_col])) {
+              row[*target_col] = entry.value;
+            }
+          }
+          if (*target_col == 0) {
+            // Re-sort by (possibly changed) primary keys.
+            std::vector<std::pair<std::int64_t, Row>> rebuilt;
+            rebuilt.reserve(img.rows.size());
+            for (auto& [key, row] : img.rows) {
+              rebuilt.emplace_back(row[0], std::move(row));
+            }
+            std::sort(rebuilt.begin(), rebuilt.end(),
+                      [](const auto& a, const auto& b) {
+                        return a.first < b.first;
+                      });
+            img.rows = std::move(rebuilt);
+          }
+          break;
+        }
+        case LogEntry::Kind::remove: {
+          Image& img = db[entry.table];
+          const auto col = img.column_index(entry.where.column);
+          std::erase_if(img.rows, [&](const auto& kv) {
+            return entry.where.matches(kv.second[*col]);
+          });
+          break;
+        }
+      }
+    }
+    return db;
+  }
+
+  std::vector<LogEntry> log_;
+};
+
+}  // namespace
+
+StorePtr make_log_store() { return std::make_unique<LogStore>(); }
+
+}  // namespace redundancy::sql

@@ -1,0 +1,82 @@
+// A miniature relational store interface — the substrate for Gashi et
+// al.'s "N-version programming over diverse off-the-shelf SQL servers"
+// (Section 4.1 of the paper): the SQL interface is well defined, several
+// independent implementations exist, and their outputs *and state* can be
+// compared. This module provides the well-defined interface; three
+// independent implementations live in the sibling headers, and
+// techniques/sql_nvp.hpp runs them under a voter.
+//
+// Semantics are deliberately pinned down so that correct implementations
+// are observationally identical:
+//   * the first column of every table is the primary key (unique);
+//   * SELECT returns rows ordered by primary key;
+//   * UPDATE/DELETE report the number of affected rows;
+//   * errors (unknown table/column, duplicate key) are typed failures.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/result.hpp"
+
+namespace redundancy::sql {
+
+using Row = std::vector<std::int64_t>;
+
+struct Condition {
+  enum class Op { eq, lt, gt };
+  std::string column;
+  Op op = Op::eq;
+  std::int64_t value = 0;
+
+  [[nodiscard]] bool matches(std::int64_t cell) const noexcept {
+    switch (op) {
+      case Op::eq: return cell == value;
+      case Op::lt: return cell < value;
+      case Op::gt: return cell > value;
+    }
+    return false;
+  }
+};
+
+/// The well-defined interface every diverse implementation offers.
+class SqlStore {
+ public:
+  virtual ~SqlStore() = default;
+
+  virtual core::Status create_table(const std::string& table,
+                                    std::vector<std::string> columns) = 0;
+  virtual core::Status insert(const std::string& table, Row row) = 0;
+  /// Rows matching `where` (all rows when empty), ordered by primary key.
+  virtual core::Result<std::vector<Row>> select(
+      const std::string& table,
+      const std::optional<Condition>& where = std::nullopt) const = 0;
+  /// Set `column` to `value` on matching rows; returns affected count.
+  virtual core::Result<std::int64_t> update(const std::string& table,
+                                            const Condition& where,
+                                            const std::string& column,
+                                            std::int64_t value) = 0;
+  /// Delete matching rows; returns affected count.
+  virtual core::Result<std::int64_t> remove(const std::string& table,
+                                            const Condition& where) = 0;
+
+  /// Order-insensitive digest of the whole database state — the handle the
+  /// replicated deployment uses to reconcile server states (Gashi's hard
+  /// problem, made tractable by the pinned semantics above).
+  [[nodiscard]] virtual core::Result<std::uint64_t> state_digest() const = 0;
+
+  /// Implementation identity (for diagnostics).
+  [[nodiscard]] virtual std::string_view engine() const = 0;
+};
+
+using StorePtr = std::unique_ptr<SqlStore>;
+
+// The three independently designed engines.
+[[nodiscard]] StorePtr make_vector_store();  ///< row vector, linear scans
+[[nodiscard]] StorePtr make_btree_store();   ///< pk-ordered std::map
+[[nodiscard]] StorePtr make_log_store();     ///< append-only op log, replayed
+
+}  // namespace redundancy::sql

@@ -1,0 +1,142 @@
+// Engine 1: the straightforward row-vector store. Rows live in insertion
+// order; every operation is a linear scan; SELECT sorts on the way out.
+#include <algorithm>
+#include <map>
+
+#include "sql/detail.hpp"
+#include "sql/store.hpp"
+
+namespace redundancy::sql {
+namespace {
+
+class VectorStore final : public SqlStore {
+ public:
+  core::Status create_table(const std::string& table,
+                            std::vector<std::string> columns) override {
+    if (tables_.contains(table)) {
+      return core::failure(core::FailureKind::wrong_output,
+                           "table exists: " + table);
+    }
+    tables_[table] = Table{std::move(columns), {}};
+    return core::ok_status();
+  }
+
+  core::Status insert(const std::string& table, Row row) override {
+    auto it = tables_.find(table);
+    if (it == tables_.end()) return detail::unknown_table(table);
+    Table& t = it->second;
+    if (row.size() != t.columns.size()) return detail::arity_mismatch();
+    for (const Row& existing : t.rows) {
+      if (existing[0] == row[0]) return detail::duplicate_key(row[0]);
+    }
+    t.rows.push_back(std::move(row));
+    return core::ok_status();
+  }
+
+  core::Result<std::vector<Row>> select(
+      const std::string& table,
+      const std::optional<Condition>& where) const override {
+    auto it = tables_.find(table);
+    if (it == tables_.end()) return detail::unknown_table(table);
+    const Table& t = it->second;
+    std::size_t col = 0;
+    if (where.has_value()) {
+      auto idx = t.column_index(where->column);
+      if (!idx) return detail::unknown_column(where->column);
+      col = *idx;
+    }
+    std::vector<Row> out;
+    for (const Row& row : t.rows) {
+      if (!where.has_value() || where->matches(row[col])) out.push_back(row);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Row& a, const Row& b) { return a[0] < b[0]; });
+    return out;
+  }
+
+  core::Result<std::int64_t> update(const std::string& table,
+                                    const Condition& where,
+                                    const std::string& column,
+                                    std::int64_t value) override {
+    auto it = tables_.find(table);
+    if (it == tables_.end()) return detail::unknown_table(table);
+    Table& t = it->second;
+    const auto where_col = t.column_index(where.column);
+    const auto target_col = t.column_index(column);
+    if (!where_col) return detail::unknown_column(where.column);
+    if (!target_col) return detail::unknown_column(column);
+    // Updating the primary key must preserve uniqueness, and a violating
+    // UPDATE fails *atomically* (no rows modified) — pinned semantics so
+    // that diverse engines stay state-equivalent after errors.
+    std::vector<std::size_t> matches;
+    for (std::size_t i = 0; i < t.rows.size(); ++i) {
+      if (where.matches(t.rows[i][*where_col])) matches.push_back(i);
+    }
+    if (*target_col == 0) {
+      std::size_t rekeyed = 0;
+      for (const std::size_t i : matches) {
+        if (t.rows[i][0] != value) ++rekeyed;
+      }
+      if (rekeyed > 1) return detail::duplicate_key(value);
+      if (rekeyed == 1) {
+        for (std::size_t i = 0; i < t.rows.size(); ++i) {
+          const bool is_the_rekeyed_row =
+              std::find(matches.begin(), matches.end(), i) != matches.end() &&
+              t.rows[i][0] != value;
+          if (!is_the_rekeyed_row && t.rows[i][0] == value) {
+            return detail::duplicate_key(value);
+          }
+        }
+      }
+    }
+    for (const std::size_t i : matches) t.rows[i][*target_col] = value;
+    return static_cast<std::int64_t>(matches.size());
+  }
+
+  core::Result<std::int64_t> remove(const std::string& table,
+                                    const Condition& where) override {
+    auto it = tables_.find(table);
+    if (it == tables_.end()) return detail::unknown_table(table);
+    Table& t = it->second;
+    const auto col = t.column_index(where.column);
+    if (!col) return detail::unknown_column(where.column);
+    const auto before = t.rows.size();
+    std::erase_if(t.rows,
+                  [&](const Row& row) { return where.matches(row[*col]); });
+    return static_cast<std::int64_t>(before - t.rows.size());
+  }
+
+  core::Result<std::uint64_t> state_digest() const override {
+    std::uint64_t digest = 0;
+    for (const auto& [name, t] : tables_) {
+      digest = detail::combine(digest, detail::schema_hash(name, t.columns));
+      for (const Row& row : t.rows) {
+        digest = detail::combine(digest, detail::row_hash(name, row));
+      }
+    }
+    return digest;
+  }
+
+  [[nodiscard]] std::string_view engine() const override { return "vector"; }
+
+ private:
+  struct Table {
+    std::vector<std::string> columns;
+    std::vector<Row> rows;
+
+    [[nodiscard]] std::optional<std::size_t> column_index(
+        const std::string& name) const {
+      for (std::size_t i = 0; i < columns.size(); ++i) {
+        if (columns[i] == name) return i;
+      }
+      return std::nullopt;
+    }
+  };
+  std::map<std::string, Table, std::less<>> tables_;
+};
+
+}  // namespace
+
+StorePtr make_vector_store() { return std::make_unique<VectorStore>(); }
+
+}  // namespace redundancy::sql

@@ -1,0 +1,51 @@
+#include "techniques/checkpoint_recovery.hpp"
+
+namespace redundancy::techniques {
+
+CheckpointRecovery::CheckpointRecovery(env::Checkpointable& subject,
+                                       Options options)
+    : subject_(subject), store_(options.retained), options_(options) {
+  checkpoint();  // always have a consistent state to return to
+}
+
+void CheckpointRecovery::checkpoint() {
+  store_.capture(subject_);
+  ++checkpoints_;
+  since_checkpoint_ = 0;
+}
+
+core::Status CheckpointRecovery::run(const std::function<core::Status()>& op) {
+  if (options_.checkpoint_every > 0 &&
+      since_checkpoint_ >= options_.checkpoint_every) {
+    checkpoint();
+  }
+  core::Status outcome = op();
+  if (outcome.has_value()) {
+    ++since_checkpoint_;
+    return outcome;
+  }
+  for (std::size_t attempt = 0; attempt < options_.max_retries; ++attempt) {
+    if (auto restored = store_.restore_latest(subject_); !restored.has_value()) {
+      ++unrecovered_;
+      return restored;
+    }
+    ++rollbacks_;
+    // Operations executed since the checkpoint are re-applied by the caller
+    // at the granularity of this op; the environment re-rolls on its own.
+    outcome = op();
+    if (outcome.has_value()) {
+      ++recoveries_;
+      ++since_checkpoint_;
+      return outcome;
+    }
+  }
+  // Fail-stop with a consistent state: leave the subject at the checkpoint
+  // rather than wherever the last failed re-execution abandoned it.
+  if (auto restored = store_.restore_latest(subject_); restored.has_value()) {
+    ++rollbacks_;
+  }
+  ++unrecovered_;
+  return outcome;
+}
+
+}  // namespace redundancy::techniques

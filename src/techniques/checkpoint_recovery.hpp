@@ -1,0 +1,72 @@
+// Checkpoint-recovery (Elnozahy, Alvisi, Wang, Johnson 2002).
+//
+// Opportunistic environment redundancy: consistent states are saved
+// periodically; when the system fails, it is rolled back to the latest
+// checkpoint and re-executed *without* changing anything — relying on the
+// environment's spontaneous nondeterminism to steer the retry away from the
+// failure. Effective against Heisenbugs (transient conditions re-roll on
+// retry); powerless against Bohrbugs (the same input deterministically
+// fails again).
+//
+// Taxonomy: opportunistic / environment / reactive explicit / Heisenbugs.
+#pragma once
+
+#include <functional>
+
+#include "core/registry.hpp"
+#include "env/checkpoint.hpp"
+
+namespace redundancy::techniques {
+
+class CheckpointRecovery {
+ public:
+  struct Options {
+    std::size_t checkpoint_every = 8;  ///< operations between checkpoints
+    std::size_t max_retries = 4;       ///< re-executions after rollback
+    std::size_t retained = 4;          ///< checkpoints kept in the store
+  };
+
+  CheckpointRecovery(env::Checkpointable& subject, Options options);
+  explicit CheckpointRecovery(env::Checkpointable& subject)
+      : CheckpointRecovery(subject, Options{}) {}
+
+  /// Run one operation under protection: on failure, roll back to the
+  /// latest checkpoint and re-execute up to max_retries times. Checkpoints
+  /// are taken every `checkpoint_every` successful operations.
+  core::Status run(const std::function<core::Status()>& op);
+
+  /// Force a checkpoint now.
+  void checkpoint();
+
+  [[nodiscard]] std::size_t checkpoints_taken() const noexcept {
+    return checkpoints_;
+  }
+  [[nodiscard]] std::size_t rollbacks() const noexcept { return rollbacks_; }
+  [[nodiscard]] std::size_t recoveries() const noexcept { return recoveries_; }
+  [[nodiscard]] std::size_t unrecovered() const noexcept { return unrecovered_; }
+
+  [[nodiscard]] static core::TaxonomyEntry taxonomy() {
+    return {
+        .name = "Checkpoint-recovery",
+        .intention = core::Intention::opportunistic,
+        .type = core::RedundancyType::environment,
+        .adjudicator = core::AdjudicatorKind::reactive_explicit,
+        .faults = core::TargetFaults::heisenbugs,
+        .pattern = core::ArchitecturalPattern::environment_level,
+        .summary = "rebuilds a consistent state from periodic checkpoints "
+                   "and re-executes the program",
+    };
+  }
+
+ private:
+  env::Checkpointable& subject_;
+  env::CheckpointStore store_;
+  Options options_;
+  std::size_t since_checkpoint_ = 0;
+  std::size_t checkpoints_ = 0;
+  std::size_t rollbacks_ = 0;
+  std::size_t recoveries_ = 0;
+  std::size_t unrecovered_ = 0;
+};
+
+}  // namespace redundancy::techniques

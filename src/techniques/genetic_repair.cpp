@@ -1,0 +1,160 @@
+#include "techniques/genetic_repair.hpp"
+
+#include <algorithm>
+
+namespace redundancy::techniques {
+
+double fitness(const vm::Program& program, const TestSuite& suite,
+               vm::VmConfig cfg) {
+  if (suite.empty()) return 1.0;
+  std::size_t passed = 0;
+  for (const TestCase& test : suite) {
+    auto behaviour = vm::execute(program, test.args, cfg);
+    if (behaviour.has_value() && behaviour.value().ret == test.expected) {
+      ++passed;
+    }
+  }
+  return static_cast<double>(passed) / static_cast<double>(suite.size());
+}
+
+vm::Instr GeneticRepair::random_instr() {
+  // Draw from the arithmetic/stack/control subset that makes sense for the
+  // small pure kernels GP repairs; memory ops are excluded so variants
+  // remain hermetic.
+  static constexpr vm::Op kOps[] = {
+      vm::Op::push, vm::Op::pop,  vm::Op::dup,  vm::Op::swap, vm::Op::over,
+      vm::Op::add,  vm::Op::sub,  vm::Op::mul,  vm::Op::divi, vm::Op::mod,
+      vm::Op::neg,  vm::Op::eq,   vm::Op::lt,   vm::Op::gt,   vm::Op::land,
+      vm::Op::lor,  vm::Op::lnot, vm::Op::arg,  vm::Op::nop,  vm::Op::halt,
+  };
+  vm::Instr ins;
+  ins.op = kOps[rng_.index(std::size(kOps))];
+  if (ins.op == vm::Op::push) {
+    ins.operand = rng_.between(-4, 8);
+  } else if (ins.op == vm::Op::arg) {
+    ins.operand = rng_.between(0, 3);
+  }
+  return ins;
+}
+
+vm::Program GeneticRepair::mutate(const vm::Program& parent) {
+  vm::Program child = parent;
+  child.name = parent.name;
+  if (child.code.empty()) {
+    child.code.push_back(random_instr());
+    return child;
+  }
+  switch (rng_.below(4)) {
+    case 0: {  // point mutation: replace an instruction
+      child.code[rng_.index(child.code.size())] = random_instr();
+      break;
+    }
+    case 1: {  // operand tweak
+      auto& ins = child.code[rng_.index(child.code.size())];
+      if (vm::has_operand(ins.op)) {
+        ins.operand += rng_.between(-2, 2);
+      } else {
+        ins = random_instr();
+      }
+      break;
+    }
+    case 2: {  // insertion
+      if (child.code.size() < cfg_.max_program_len) {
+        const std::size_t at = rng_.index(child.code.size() + 1);
+        child.code.insert(child.code.begin() + static_cast<std::ptrdiff_t>(at),
+                          random_instr());
+      }
+      break;
+    }
+    default: {  // deletion
+      if (child.code.size() > 1) {
+        const std::size_t at = rng_.index(child.code.size());
+        child.code.erase(child.code.begin() + static_cast<std::ptrdiff_t>(at));
+      }
+      break;
+    }
+  }
+  return child;
+}
+
+vm::Program GeneticRepair::crossover(const vm::Program& a,
+                                     const vm::Program& b) {
+  vm::Program child;
+  child.name = a.name;
+  const std::size_t cut_a = a.code.empty() ? 0 : rng_.index(a.code.size() + 1);
+  const std::size_t cut_b = b.code.empty() ? 0 : rng_.index(b.code.size() + 1);
+  child.code.assign(a.code.begin(),
+                    a.code.begin() + static_cast<std::ptrdiff_t>(cut_a));
+  child.code.insert(child.code.end(),
+                    b.code.begin() + static_cast<std::ptrdiff_t>(cut_b),
+                    b.code.end());
+  if (child.code.size() > cfg_.max_program_len) {
+    child.code.resize(cfg_.max_program_len);
+  }
+  if (child.code.empty()) child.code.push_back(random_instr());
+  return child;
+}
+
+std::size_t GeneticRepair::tournament_pick(const std::vector<double>& scores) {
+  std::size_t best = rng_.index(scores.size());
+  for (std::size_t i = 1; i < cfg_.tournament; ++i) {
+    const std::size_t challenger = rng_.index(scores.size());
+    if (scores[challenger] > scores[best]) best = challenger;
+  }
+  return best;
+}
+
+GeneticRepairOutcome GeneticRepair::repair(const vm::Program& faulty,
+                                           const TestSuite& suite) {
+  GeneticRepairOutcome outcome;
+
+  std::vector<vm::Program> population;
+  population.reserve(cfg_.population);
+  population.push_back(faulty);  // the original is a legitimate candidate
+  while (population.size() < cfg_.population) {
+    population.push_back(mutate(faulty));
+  }
+
+  std::vector<double> scores(population.size(), 0.0);
+  for (std::size_t g = 0; g < cfg_.max_generations; ++g) {
+    outcome.generations = g + 1;
+    for (std::size_t i = 0; i < population.size(); ++i) {
+      scores[i] = fitness(population[i], suite, cfg_.vm);
+      ++outcome.evaluations;
+      outcome.best_fitness = std::max(outcome.best_fitness, scores[i]);
+      if (scores[i] == 1.0) {
+        outcome.repaired = population[i];
+        return outcome;
+      }
+    }
+    // Next generation: elites survive, the rest bred by tournament.
+    std::vector<std::size_t> order(population.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::partial_sort(order.begin(),
+                      order.begin() + static_cast<std::ptrdiff_t>(std::min(
+                                          cfg_.elitism, order.size())),
+                      order.end(), [&scores](std::size_t a, std::size_t b) {
+                        return scores[a] > scores[b];
+                      });
+    std::vector<vm::Program> next;
+    next.reserve(population.size());
+    for (std::size_t e = 0; e < std::min(cfg_.elitism, order.size()); ++e) {
+      next.push_back(population[order[e]]);
+    }
+    while (next.size() < population.size()) {
+      vm::Program child;
+      if (rng_.chance(cfg_.crossover_rate)) {
+        child = crossover(population[tournament_pick(scores)],
+                          population[tournament_pick(scores)]);
+      } else {
+        child = population[tournament_pick(scores)];
+      }
+      if (rng_.chance(cfg_.mutation_rate)) child = mutate(child);
+      next.push_back(std::move(child));
+    }
+    population = std::move(next);
+  }
+  return outcome;
+}
+
+}  // namespace redundancy::techniques

@@ -1,0 +1,155 @@
+#include "techniques/microreboot.hpp"
+
+#include <algorithm>
+
+namespace redundancy::techniques {
+
+using core::failure;
+using core::FailureKind;
+using core::ok_status;
+using core::Status;
+
+Status MicrorebootContainer::add_component(const std::string& name,
+                                           double init_cost,
+                                           const std::string& parent) {
+  if (components_.contains(name)) {
+    return failure(FailureKind::crash, "duplicate component " + name);
+  }
+  if (!parent.empty() && !components_.contains(parent)) {
+    return failure(FailureKind::crash, "unknown parent " + parent);
+  }
+  components_[name] = Component{init_cost, parent, {}, true};
+  if (!parent.empty()) components_[parent].children.push_back(name);
+  order_.push_back(name);
+  return ok_status();
+}
+
+std::uint64_t MicrorebootContainer::open_session(const std::string& component,
+                                                 bool externalized) {
+  const std::uint64_t id = next_session_++;
+  sessions_[id] = Session{component, externalized};
+  return id;
+}
+
+Status MicrorebootContainer::fail(const std::string& name) {
+  auto it = components_.find(name);
+  if (it == components_.end()) {
+    return failure(FailureKind::crash, "unknown component " + name);
+  }
+  it->second.healthy = false;
+  return ok_status();
+}
+
+bool MicrorebootContainer::healthy(const std::string& name) const {
+  auto it = components_.find(name);
+  return it != components_.end() && it->second.healthy;
+}
+
+Status MicrorebootContainer::serve(const std::string& name) {
+  auto it = components_.find(name);
+  if (it == components_.end()) {
+    return failure(FailureKind::unavailable, "unknown component " + name);
+  }
+  // The whole ancestor chain must be up.
+  const Component* current = &it->second;
+  std::string label = name;
+  for (;;) {
+    if (!current->healthy) {
+      return failure(FailureKind::unavailable, label + " is down",
+                     core::FaultClass::heisenbug);
+    }
+    if (current->parent.empty()) break;
+    label = current->parent;
+    current = &components_.at(current->parent);
+  }
+  return ok_status();
+}
+
+void MicrorebootContainer::subtree(const std::string& name,
+                                   std::vector<std::string>& out) const {
+  out.push_back(name);
+  for (const auto& child : components_.at(name).children) {
+    subtree(child, out);
+  }
+}
+
+MicrorebootContainer::RecoveryReport MicrorebootContainer::restart(
+    const std::vector<std::string>& names) {
+  RecoveryReport report;
+  for (const auto& name : names) {
+    Component& c = components_.at(name);
+    report.downtime += c.init_cost;
+    ++report.components_restarted;
+    c.healthy = true;
+  }
+  // In-component sessions pinned to a restarted component are destroyed;
+  // externalized sessions live in the store and survive.
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    const bool hit =
+        !it->second.externalized &&
+        std::find(names.begin(), names.end(), it->second.component) !=
+            names.end();
+    if (hit) {
+      ++report.sessions_lost;
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return report;
+}
+
+core::Result<MicrorebootContainer::RecoveryReport>
+MicrorebootContainer::microreboot(const std::string& name) {
+  if (!components_.contains(name)) {
+    return failure(FailureKind::crash, "unknown component " + name);
+  }
+  std::vector<std::string> names;
+  subtree(name, names);
+  return restart(names);
+}
+
+MicrorebootContainer::RecoveryReport MicrorebootContainer::full_reboot() {
+  return restart(order_);
+}
+
+core::Result<MicrorebootContainer::RecursiveReport>
+MicrorebootContainer::recover(const std::string& observed_at) {
+  if (!components_.contains(observed_at)) {
+    return failure(FailureKind::crash, "unknown component " + observed_at);
+  }
+  RecursiveReport total;
+  std::string target = observed_at;
+  for (;;) {
+    auto step = microreboot(target);
+    total.downtime += step.value().downtime;
+    total.components_restarted += step.value().components_restarted;
+    total.sessions_lost += step.value().sessions_lost;
+    if (serve(observed_at).has_value()) {
+      total.recovered = true;
+      return total;
+    }
+    // Still failing: the fault lives above the subtree we restarted.
+    const std::string& parent = components_.at(target).parent;
+    if (parent.empty()) {
+      // Already restarted a root subtree; the last resort is everything.
+      auto full = full_reboot();
+      total.downtime += full.downtime;
+      total.components_restarted += full.components_restarted;
+      total.sessions_lost += full.sessions_lost;
+      ++total.escalations;
+      total.recovered = serve(observed_at).has_value();
+      return total;
+    }
+    target = parent;
+    ++total.escalations;
+  }
+}
+
+double MicrorebootContainer::total_init_cost() const noexcept {
+  double total = 0.0;
+  for (const auto& [name, c] : components_) total += c.init_cost;
+  return total;
+}
+
+}  // namespace redundancy::techniques

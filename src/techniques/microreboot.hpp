@@ -1,0 +1,106 @@
+// Reboot and micro-reboot (Candea et al., JAGR 2003; Zhang 2007).
+//
+// The brute-force cure refined: instead of restarting the whole system, a
+// carefully modularized application restarts only the failed component and
+// its dependents. Recovery time shrinks from the sum of all component
+// initialization costs to that of a small subtree, and session state
+// survives if it was externalized into a session store that reboots do not
+// touch. Requires reboot-safe modular design — which this container models
+// explicitly.
+//
+// Taxonomy: opportunistic / environment / reactive explicit / Heisenbugs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "core/result.hpp"
+
+namespace redundancy::techniques {
+
+class MicrorebootContainer {
+ public:
+  /// Register a component; `parent` empty = a root. `init_cost` is the time
+  /// to bring the component back up after a (re)boot.
+  core::Status add_component(const std::string& name, double init_cost,
+                             const std::string& parent = "");
+
+  /// Open a session pinned to a component. Externalized sessions live in
+  /// the container's session store and survive reboots of the component;
+  /// in-component sessions are lost when it restarts.
+  std::uint64_t open_session(const std::string& component, bool externalized);
+  [[nodiscard]] std::size_t active_sessions() const noexcept {
+    return sessions_.size();
+  }
+
+  /// Inject a failure: the component stops serving until rebooted.
+  core::Status fail(const std::string& name);
+  [[nodiscard]] bool healthy(const std::string& name) const;
+
+  /// Serve a request against a component: requires the component and all
+  /// its ancestors to be healthy.
+  core::Status serve(const std::string& name);
+
+  struct RecoveryReport {
+    double downtime = 0.0;              ///< sum of init costs restarted
+    std::size_t components_restarted = 0;
+    std::size_t sessions_lost = 0;      ///< in-component sessions destroyed
+  };
+
+  /// Restart only the failed component and its dependent subtree.
+  core::Result<RecoveryReport> microreboot(const std::string& name);
+  /// Restart everything (classic full reboot).
+  RecoveryReport full_reboot();
+
+  /// Candea's *recursive* recovery: micro-reboot the component where the
+  /// failure was observed; if the observation point still fails (the real
+  /// fault sits higher in the tree), escalate to its parent's subtree, and
+  /// so on up to a full reboot. Returns the cumulative report.
+  struct RecursiveReport : RecoveryReport {
+    std::size_t escalations = 0;   ///< how many levels were climbed
+    bool recovered = false;        ///< observation point serves again
+  };
+  core::Result<RecursiveReport> recover(const std::string& observed_at);
+
+  [[nodiscard]] std::size_t components() const noexcept { return order_.size(); }
+  [[nodiscard]] double total_init_cost() const noexcept;
+
+  [[nodiscard]] static core::TaxonomyEntry taxonomy() {
+    return {
+        .name = "Reboot and micro-reboot",
+        .intention = core::Intention::opportunistic,
+        .type = core::RedundancyType::environment,
+        .adjudicator = core::AdjudicatorKind::reactive_explicit,
+        .faults = core::TargetFaults::heisenbugs,
+        .pattern = core::ArchitecturalPattern::environment_level,
+        .summary = "restarts the system — or just the failed component "
+                   "subtree — to recover from transient failures",
+    };
+  }
+
+ private:
+  struct Component {
+    double init_cost = 0.0;
+    std::string parent;
+    std::vector<std::string> children;
+    bool healthy = true;
+  };
+  struct Session {
+    std::string component;
+    bool externalized = false;
+  };
+
+  /// Collect `name` and its transitive dependents.
+  void subtree(const std::string& name, std::vector<std::string>& out) const;
+  RecoveryReport restart(const std::vector<std::string>& names);
+
+  std::map<std::string, Component, std::less<>> components_;
+  std::vector<std::string> order_;  ///< registration order (boot order)
+  std::map<std::uint64_t, Session> sessions_;
+  std::uint64_t next_session_ = 1;
+};
+
+}  // namespace redundancy::techniques

@@ -1,0 +1,67 @@
+#include "techniques/nvariant_data.hpp"
+
+namespace redundancy::techniques {
+
+NVariantStore::NVariantStore(std::size_t cells, std::size_t variants,
+                             std::uint64_t seed)
+    : cells_(cells) {
+  util::Rng rng{seed};
+  masks_.reserve(variants);
+  for (std::size_t v = 0; v < variants; ++v) {
+    // Variant 0 keeps the natural interpretation so that single-variant
+    // deployments degrade to plain storage; others get secret masks.
+    masks_.push_back(v == 0 ? 0 : rng());
+  }
+  store_.assign(variants, std::vector<std::int64_t>(cells, 0));
+  for (std::size_t v = 0; v < variants; ++v) {
+    for (std::size_t c = 0; c < cells; ++c) store_[v][c] = encode(v, 0);
+  }
+}
+
+std::int64_t NVariantStore::encode(std::size_t v, std::int64_t value) const {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(value) ^
+                                   masks_[v]);
+}
+
+std::int64_t NVariantStore::decode(std::size_t v, std::int64_t raw) const {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(raw) ^ masks_[v]);
+}
+
+core::Status NVariantStore::write(std::size_t cell, std::int64_t value) {
+  if (cell >= cells_) {
+    return core::failure(core::FailureKind::crash, "cell out of range");
+  }
+  for (std::size_t v = 0; v < store_.size(); ++v) {
+    store_[v][cell] = encode(v, value);
+  }
+  return core::ok_status();
+}
+
+core::Result<std::int64_t> NVariantStore::read(std::size_t cell) const {
+  if (cell >= cells_) {
+    return core::failure(core::FailureKind::crash, "cell out of range");
+  }
+  const std::int64_t first = decode(0, store_[0][cell]);
+  for (std::size_t v = 1; v < store_.size(); ++v) {
+    if (decode(v, store_[v][cell]) != first) {
+      ++detections_;
+      return core::failure(core::FailureKind::detected_attack,
+                           "variant interpretations disagree",
+                           core::FaultClass::malicious);
+    }
+  }
+  return first;
+}
+
+void NVariantStore::smash_all_variants(std::size_t cell, std::int64_t raw) {
+  if (cell >= cells_) return;
+  for (auto& variant : store_) variant[cell] = raw;
+}
+
+void NVariantStore::smash_one_variant(std::size_t cell, std::size_t v,
+                                      std::int64_t raw) {
+  if (cell >= cells_ || v >= store_.size()) return;
+  store_[v][cell] = raw;
+}
+
+}  // namespace redundancy::techniques

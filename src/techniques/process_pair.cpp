@@ -1,0 +1,44 @@
+#include "techniques/process_pair.hpp"
+
+namespace redundancy::techniques {
+
+ProcessPair::ProcessPair(env::Checkpointable& state, Options options)
+    : state_(state), shipped_store_(1), options_(options) {
+  // The backup starts from the primary's initial state.
+  shipped_store_.capture(state_);
+  ++shipped_;
+}
+
+core::Status ProcessPair::run(const std::function<core::Status()>& op) {
+  core::Status outcome = op();
+  std::size_t attempts = 0;
+  while (!outcome.has_value() && attempts < options_.max_takeovers) {
+    // The acting process is dead; its peer restores the last shipped
+    // checkpoint and re-executes the operation. Work since the last
+    // shipment is lost — Gray's checkpoint-shipping granularity trade-off.
+    if (auto restored = shipped_store_.restore_latest(state_);
+        !restored.has_value()) {
+      ++unrecovered_;
+      return restored;
+    }
+    acting_ = 1 - acting_;
+    ++takeovers_;
+    ++attempts;
+    outcome = op();
+  }
+  if (!outcome.has_value()) {
+    // Both sides failed: leave the pair at the last shipped (consistent)
+    // state rather than wherever the final attempt died.
+    (void)shipped_store_.restore_latest(state_);
+    ++unrecovered_;
+    return outcome;
+  }
+  if (++since_ship_ >= options_.ship_every) {
+    shipped_store_.capture(state_);
+    ++shipped_;
+    since_ship_ = 0;
+  }
+  return outcome;
+}
+
+}  // namespace redundancy::techniques

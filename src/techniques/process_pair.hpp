@@ -1,0 +1,76 @@
+// Process pairs (Gray 1986, "Why do computers stop and what can be done
+// about it?" — reference [16] of the paper, the origin of the Heisenbug
+// terminology the taxonomy uses).
+//
+// A primary process serves requests and periodically ships state
+// checkpoints to a hot backup. When the primary fails, the backup takes
+// over from the last shipped state and re-executes — and because Heisenbug
+// activations re-roll under fresh execution conditions, the takeover
+// usually succeeds: "the second processor does not fail the same way".
+// Environment redundancy with a reactive, explicit adjudicator (the
+// failure detector that triggers takeover).
+#pragma once
+
+#include <functional>
+
+#include "core/registry.hpp"
+#include "env/checkpoint.hpp"
+
+namespace redundancy::techniques {
+
+class ProcessPair {
+ public:
+  struct Options {
+    /// Ship a checkpoint to the backup every k successful operations.
+    std::size_t ship_every = 4;
+    /// Takeover attempts per operation (primary, then backup, then the
+    /// repaired primary, ...).
+    std::size_t max_takeovers = 2;
+  };
+
+  /// `state` is the replicated process state; shipping snapshots it, a
+  /// takeover restores the last shipped snapshot before re-executing.
+  ProcessPair(env::Checkpointable& state, Options options);
+  explicit ProcessPair(env::Checkpointable& state)
+      : ProcessPair(state, Options{}) {}
+
+  /// Run one operation on the acting process; on failure, fail over to the
+  /// peer (restore the shipped state, re-execute).
+  core::Status run(const std::function<core::Status()>& op);
+
+  /// Which side is currently acting: 0 = original primary, 1 = backup.
+  [[nodiscard]] std::size_t acting() const noexcept { return acting_; }
+  [[nodiscard]] std::size_t takeovers() const noexcept { return takeovers_; }
+  [[nodiscard]] std::size_t checkpoints_shipped() const noexcept {
+    return shipped_;
+  }
+  [[nodiscard]] std::size_t unrecovered() const noexcept { return unrecovered_; }
+
+  [[nodiscard]] static core::TaxonomyEntry taxonomy() {
+    // Gray's mechanism predates the paper's Table 2 but sits squarely in
+    // its frame: deliberate environment redundancy against Heisenbugs.
+    return {
+        .name = "Process pairs",
+        .intention = core::Intention::deliberate,
+        .type = core::RedundancyType::environment,
+        .adjudicator = core::AdjudicatorKind::reactive_explicit,
+        .faults = core::TargetFaults::heisenbugs,
+        .pattern = core::ArchitecturalPattern::environment_level,
+        .summary = "a hot backup takes over from the last shipped "
+                   "checkpoint when the primary fails (Gray's process "
+                   "pairs)",
+    };
+  }
+
+ private:
+  env::Checkpointable& state_;
+  env::CheckpointStore shipped_store_;
+  Options options_;
+  std::size_t acting_ = 0;
+  std::size_t takeovers_ = 0;
+  std::size_t shipped_ = 0;
+  std::size_t unrecovered_ = 0;
+  std::size_t since_ship_ = 0;
+};
+
+}  // namespace redundancy::techniques

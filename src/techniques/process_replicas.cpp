@@ -1,0 +1,58 @@
+#include "techniques/process_replicas.hpp"
+
+namespace redundancy::techniques {
+
+ProcessReplicas::ProcessReplicas(
+    const vm::Program& program, Options options,
+    std::function<void(vm::Vm&, std::size_t)> plant)
+    : program_(program), options_(options), plant_(std::move(plant)) {
+  if (options_.partition_addresses) {
+    partitions_ =
+        vm::partition_address_space(options_.memory_words, options_.replicas);
+  } else {
+    // Without partitioning every replica sees the same layout at base 0.
+    partitions_.assign(options_.replicas,
+                       vm::Partition{0, options_.memory_words});
+  }
+  for (std::size_t r = 0; r < options_.replicas; ++r) {
+    vm::VmConfig cfg;
+    cfg.memory_words = options_.memory_words;
+    cfg.max_steps = options_.max_steps;
+    cfg.enforce_tags = options_.tag_instructions;
+    cfg.expected_tag = tag_for(r);
+    if (options_.partition_addresses) {
+      cfg.region_base = partitions_[r].base;
+      cfg.region_words = partitions_[r].words;
+    }
+    vms_.push_back(std::make_unique<vm::Vm>(cfg));
+  }
+  reset();
+}
+
+void ProcessReplicas::reset() {
+  for (std::size_t r = 0; r < vms_.size(); ++r) {
+    vms_[r]->reset();
+    vms_[r]->load(program_, partitions_[r].base, tag_for(r));
+    if (plant_) plant_(*vms_[r], partitions_[r].base);
+  }
+}
+
+core::Result<vm::Behaviour> ProcessReplicas::serve(
+    const std::vector<std::int64_t>& request) {
+  ++requests_;
+  std::vector<core::Ballot<vm::Behaviour>> ballots;
+  ballots.reserve(vms_.size());
+  for (std::size_t r = 0; r < vms_.size(); ++r) {
+    auto behaviour = vms_[r]->run(partitions_[r].base, request);
+    ballots.push_back(
+        {r, "replica-" + std::to_string(r), std::move(behaviour)});
+  }
+  auto verdict = core::unanimity_voter<vm::Behaviour>()(ballots);
+  if (!verdict.has_value() &&
+      verdict.error().kind == core::FailureKind::detected_attack) {
+    ++detections_;
+  }
+  return verdict;
+}
+
+}  // namespace redundancy::techniques

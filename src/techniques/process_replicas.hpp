@@ -1,0 +1,87 @@
+// Process replicas / N-variant systems (Cox et al. 2006; Bruschi et al.
+// 2007).
+//
+// The same program runs in N automatically diversified replicas — here:
+// disjoint address-space partitions and per-replica instruction tags on the
+// VM — fed identical inputs. A monitor compares the replicas' observable
+// behaviour after every request; benign requests behave identically, while
+// a memory-corruption attack can succeed in at most one replica's layout,
+// so the replicas diverge and the monitor flags the attack (an implicit,
+// comparison-based adjudicator). No secrets are required: the defense rests
+// on the attacker's inability to craft one input valid in every variant.
+//
+// Taxonomy: deliberate / environment / reactive implicit / malicious.
+// Pattern: parallel evaluation.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "core/voters.hpp"
+#include "vm/address_space.hpp"
+#include "vm/vm.hpp"
+
+namespace redundancy::techniques {
+
+class ProcessReplicas {
+ public:
+  struct Options {
+    std::size_t replicas = 2;
+    bool partition_addresses = true;  ///< Cox mechanism 1
+    bool tag_instructions = true;     ///< Cox mechanism 2
+    std::size_t memory_words = 4096;
+    std::uint64_t max_steps = 20'000;
+  };
+
+  /// Load `program` into every replica; `plant` pokes per-replica data
+  /// (e.g. secrets) given (vm, partition_base).
+  ProcessReplicas(const vm::Program& program, Options options,
+                  std::function<void(vm::Vm&, std::size_t)> plant = nullptr);
+
+  /// Serve one request on every replica and compare behaviours.
+  core::Result<vm::Behaviour> serve(const std::vector<std::int64_t>& request);
+
+  /// Reset every replica to its pristine loaded image (between requests in
+  /// experiments; a real deployment would fork fresh replicas).
+  void reset();
+
+  [[nodiscard]] std::size_t replicas() const noexcept { return vms_.size(); }
+  [[nodiscard]] std::size_t detections() const noexcept { return detections_; }
+  [[nodiscard]] std::size_t requests() const noexcept { return requests_; }
+  [[nodiscard]] const std::vector<vm::Partition>& partitions() const noexcept {
+    return partitions_;
+  }
+
+  [[nodiscard]] static core::TaxonomyEntry taxonomy() {
+    return {
+        .name = "Process replicas",
+        .intention = core::Intention::deliberate,
+        .type = core::RedundancyType::environment,
+        .adjudicator = core::AdjudicatorKind::reactive_implicit,
+        .faults = core::TargetFaults::malicious,
+        .pattern = core::ArchitecturalPattern::parallel_evaluation,
+        .summary = "executes the same process in diversified memory spaces "
+                   "and compares behaviour to detect malicious attacks",
+    };
+  }
+
+ private:
+  [[nodiscard]] std::uint8_t tag_for(std::size_t replica) const noexcept {
+    return options_.tag_instructions
+               ? static_cast<std::uint8_t>(replica + 1)
+               : 0;
+  }
+
+  vm::Program program_;
+  Options options_;
+  std::function<void(vm::Vm&, std::size_t)> plant_;
+  std::vector<vm::Partition> partitions_;
+  std::vector<std::unique_ptr<vm::Vm>> vms_;
+  std::size_t detections_ = 0;
+  std::size_t requests_ = 0;
+};
+
+}  // namespace redundancy::techniques

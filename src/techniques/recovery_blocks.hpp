@@ -1,0 +1,79 @@
+// Recovery blocks (Randell 1975).
+//
+// A primary block executes; an explicitly designed *acceptance test* judges
+// its result. On rejection the system rolls back to the state it had before
+// the primary ran and executes the next alternate, repeating while
+// alternates remain.
+//
+// Taxonomy: deliberate / code / reactive explicit / development faults.
+// Pattern: sequential alternatives (Figure 1c).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "core/sequential_alternatives.hpp"
+#include "env/checkpoint.hpp"
+
+namespace redundancy::techniques {
+
+template <typename In, typename Out>
+class RecoveryBlocks {
+ public:
+  /// Stateless form: no rollback is needed because alternates are pure.
+  RecoveryBlocks(std::vector<core::Variant<In, Out>> alternates,
+                 core::AcceptanceTest<In, Out> acceptance)
+      : engine_(std::move(alternates), std::move(acceptance)) {}
+
+  /// Stateful form: `state` is checkpointed on entry to run() and restored
+  /// before each alternate after a rejection — Randell's recovery cache.
+  RecoveryBlocks(std::vector<core::Variant<In, Out>> alternates,
+                 core::AcceptanceTest<In, Out> acceptance,
+                 env::Checkpointable& state)
+      : store_(std::in_place, 2),
+        state_(&state),
+        engine_(std::move(alternates), std::move(acceptance),
+                typename core::SequentialAlternatives<In, Out>::Options{
+                    .rollback =
+                        [this] {
+                          if (state_ != nullptr) {
+                            (void)store_->restore_latest(*state_);
+                          }
+                        },
+                    .max_attempts = 0}) {}
+
+  core::Result<Out> run(const In& input) {
+    if (state_ != nullptr) store_->capture(*state_);
+    return engine_.run(input);
+  }
+
+  [[nodiscard]] std::size_t last_used_alternate() const noexcept {
+    return engine_.last_used();
+  }
+  [[nodiscard]] const core::Metrics& metrics() const noexcept {
+    return engine_.metrics();
+  }
+  void reset_metrics() noexcept { engine_.reset_metrics(); }
+
+  [[nodiscard]] static core::TaxonomyEntry taxonomy() {
+    return {
+        .name = "Recovery blocks",
+        .intention = core::Intention::deliberate,
+        .type = core::RedundancyType::code,
+        .adjudicator = core::AdjudicatorKind::reactive_explicit,
+        .faults = core::TargetFaults::development,
+        .pattern = core::ArchitecturalPattern::sequential_alternatives,
+        .summary = "check the results of executing a program version and "
+                   "switch to a different version if the current execution "
+                   "fails",
+    };
+  }
+
+ private:
+  std::optional<env::CheckpointStore> store_;
+  env::Checkpointable* state_ = nullptr;
+  core::SequentialAlternatives<In, Out> engine_;
+};
+
+}  // namespace redundancy::techniques

@@ -1,0 +1,79 @@
+#include "techniques/rejuvenation.hpp"
+
+#include <cstdio>
+
+namespace redundancy::techniques {
+
+std::string RejuvenationPolicy::describe() const {
+  char buf[96];
+  switch (kind) {
+    case Kind::none:
+      return "none";
+    case Kind::periodic:
+      std::snprintf(buf, sizeof buf, "periodic(every %llu req)",
+                    static_cast<unsigned long long>(period));
+      return buf;
+    case Kind::threshold:
+      std::snprintf(buf, sizeof buf, "threshold(age>%.0f%%)",
+                    age_threshold * 100.0);
+      return buf;
+  }
+  return "?";
+}
+
+RejuvenationRun serve_with_rejuvenation(const env::AgingConfig& aging,
+                                        const RejuvenationPolicy& policy,
+                                        std::uint64_t requests,
+                                        std::uint64_t seed) {
+  env::AgingProcess proc{aging, seed};
+  RejuvenationRun run;
+  std::uint64_t since_rejuvenation = 0;
+  for (std::uint64_t i = 0; i < requests; ++i) {
+    // Preventive action first: rejuvenate *before* the next request when
+    // the policy says the process is due.
+    const bool due =
+        (policy.kind == RejuvenationPolicy::Kind::periodic &&
+         policy.period > 0 && since_rejuvenation >= policy.period) ||
+        (policy.kind == RejuvenationPolicy::Kind::threshold &&
+         proc.age_fraction() >= policy.age_threshold);
+    if (due) {
+      proc.reboot();
+      // reboot() charged the full crash-reboot time; planned restarts cost
+      // policy.planned_downtime instead.
+      run.downtime += policy.planned_downtime;
+      run.elapsed += policy.planned_downtime;
+      ++run.rejuvenations;
+      since_rejuvenation = 0;
+    }
+    ++run.offered;
+    auto status = proc.serve();
+    run.elapsed += aging.request_time;
+    if (status.has_value()) {
+      ++run.served;
+      ++since_rejuvenation;
+    } else {
+      ++run.failed;
+      ++run.crashes;
+      proc.reboot();
+      run.downtime += aging.reboot_time;
+      run.elapsed += aging.reboot_time;
+      since_rejuvenation = 0;
+    }
+  }
+  return run;
+}
+
+core::TaxonomyEntry rejuvenation_taxonomy() {
+  return {
+      .name = "Rejuvenation",
+      .intention = core::Intention::deliberate,
+      .type = core::RedundancyType::environment,
+      .adjudicator = core::AdjudicatorKind::preventive,
+      .faults = core::TargetFaults::heisenbugs,
+      .pattern = core::ArchitecturalPattern::environment_level,
+      .summary = "preventively reboots the system to avoid software aging "
+                 "problems",
+  };
+}
+
+}  // namespace redundancy::techniques

@@ -1,0 +1,77 @@
+// Software rejuvenation (Huang, Kintala, Kolettis, Fulton 1995; Wang et
+// al. 1995; Garg et al. 1996).
+//
+// A *preventive* use of environment redundancy: the system is restarted on
+// purpose, before it fails, to clear accumulated aging (leaks, fragmented
+// state). No adjudicator ever observes a failure; the policy acts on time
+// or on measured age. Garg's refinement combines rejuvenation with
+// checkpoints to minimize the completion time of long-running programs
+// (env::simulate_completion).
+//
+// Taxonomy: deliberate / environment / preventive / Heisenbugs (aging).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/registry.hpp"
+#include "env/aging.hpp"
+
+namespace redundancy::techniques {
+
+/// When to rejuvenate.
+struct RejuvenationPolicy {
+  enum class Kind {
+    none,       ///< never — crash-driven reboots only
+    periodic,   ///< every `period` served requests
+    threshold,  ///< when measured age fraction exceeds `age_threshold`
+  };
+  Kind kind = Kind::none;
+  std::uint64_t period = 0;
+  double age_threshold = 1.0;
+  /// Planned restarts can be scheduled off-peak: downtime per rejuvenation.
+  double planned_downtime = 80.0;
+
+  [[nodiscard]] static RejuvenationPolicy none() { return {}; }
+  [[nodiscard]] static RejuvenationPolicy periodic(std::uint64_t period,
+                                                   double downtime = 80.0) {
+    return {Kind::periodic, period, 1.0, downtime};
+  }
+  [[nodiscard]] static RejuvenationPolicy threshold(double age,
+                                                    double downtime = 80.0) {
+    return {Kind::threshold, 0, age, downtime};
+  }
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Outcome of serving a fixed request stream under a policy.
+struct RejuvenationRun {
+  std::uint64_t offered = 0;       ///< requests offered
+  std::uint64_t served = 0;        ///< requests served successfully
+  std::uint64_t failed = 0;        ///< requests lost to crashes
+  std::uint64_t crashes = 0;       ///< unplanned failures
+  std::uint64_t rejuvenations = 0; ///< planned restarts
+  double downtime = 0.0;           ///< total downtime units
+  double elapsed = 0.0;            ///< total elapsed units
+
+  [[nodiscard]] double availability() const {
+    return elapsed > 0.0 ? 1.0 - downtime / elapsed : 1.0;
+  }
+  [[nodiscard]] double goodput() const {
+    return offered ? static_cast<double>(served) /
+                         static_cast<double>(offered)
+                   : 0.0;
+  }
+};
+
+/// Drive `requests` through an aging process under the policy. Crashes pay
+/// the process's full reboot time; planned rejuvenations pay
+/// `policy.planned_downtime` (scheduled restarts are cheaper).
+[[nodiscard]] RejuvenationRun serve_with_rejuvenation(
+    const env::AgingConfig& aging, const RejuvenationPolicy& policy,
+    std::uint64_t requests, std::uint64_t seed);
+
+[[nodiscard]] core::TaxonomyEntry rejuvenation_taxonomy();
+
+}  // namespace redundancy::techniques

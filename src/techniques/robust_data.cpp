@@ -1,0 +1,227 @@
+#include "techniques/robust_data.hpp"
+
+#include "util/rng.hpp"
+
+namespace redundancy::techniques {
+
+std::uint64_t RobustList::expected_id(std::uint64_t seq) const noexcept {
+  std::uint64_t s = seq ^ 0x0b0751D5ULL;
+  return util::splitmix64(s);
+}
+
+void RobustList::push_back(std::int64_t value) {
+  std::size_t idx;
+  if (!free_.empty()) {
+    idx = free_.back();
+    free_.pop_back();
+  } else {
+    idx = pool_.size();
+    pool_.emplace_back();
+  }
+  Node& node = pool_[idx];
+  node.seq = next_seq_++;
+  node.id = expected_id(node.seq);
+  node.value = value;
+  node.next = npos;
+  node.prev = tail_;
+  node.in_use = true;
+  if (tail_ != npos) {
+    pool_[tail_].next = idx;
+  } else {
+    head_ = idx;
+  }
+  tail_ = idx;
+  ++count_;
+}
+
+core::Result<std::int64_t> RobustList::pop_front() {
+  if (head_ == npos || count_ == 0) {
+    return core::failure(core::FailureKind::unavailable, "empty list");
+  }
+  Node& node = pool_[head_];
+  const std::int64_t value = node.value;
+  const std::size_t next = node.next;
+  node.in_use = false;
+  free_.push_back(head_);
+  head_ = next;
+  if (head_ != npos) {
+    pool_[head_].prev = npos;
+  } else {
+    tail_ = npos;
+  }
+  --count_;
+  return value;
+}
+
+std::vector<std::int64_t> RobustList::to_vector() const {
+  std::vector<std::int64_t> out;
+  out.reserve(count_);
+  std::size_t cur = head_;
+  std::size_t guard = 0;
+  while (cur != npos && valid_index(cur) && guard++ <= count_) {
+    out.push_back(pool_[cur].value);
+    cur = pool_[cur].next;
+  }
+  return out;
+}
+
+std::size_t RobustList::node_at_position(std::size_t pos) const {
+  std::size_t cur = head_;
+  for (std::size_t i = 0; i < pos && cur != npos && cur < pool_.size(); ++i) {
+    cur = pool_[cur].next;
+  }
+  return cur;
+}
+
+void RobustList::corrupt_next(std::size_t pos, std::size_t garbage) {
+  const std::size_t idx = node_at_position(pos);
+  if (idx != npos && idx < pool_.size()) pool_[idx].next = garbage;
+}
+
+void RobustList::corrupt_prev(std::size_t pos, std::size_t garbage) {
+  const std::size_t idx = node_at_position(pos);
+  if (idx != npos && idx < pool_.size()) pool_[idx].prev = garbage;
+}
+
+void RobustList::corrupt_count(std::size_t garbage) { count_ = garbage; }
+
+void RobustList::corrupt_id(std::size_t pos, std::uint64_t garbage) {
+  const std::size_t idx = node_at_position(pos);
+  if (idx != npos && idx < pool_.size()) pool_[idx].id = garbage;
+}
+
+AuditReport RobustList::audit() {
+  AuditReport report;
+  if (count_ == 0 && head_ == npos) return report;
+
+  // Invariant 1: the head is a valid in-use node with no predecessor. If
+  // the head index itself was smashed, recover it from the backward chain.
+  if (!valid_index(head_)) {
+    ++report.errors_detected;
+    std::size_t candidate = npos;
+    for (std::size_t i = 0; i < pool_.size(); ++i) {
+      if (pool_[i].in_use && pool_[i].prev == npos) {
+        candidate = i;
+        break;
+      }
+    }
+    if (candidate == npos) {
+      report.structurally_sound = false;
+      return report;
+    }
+    head_ = candidate;
+    ++report.errors_repaired;
+  }
+
+  // Invariant 2: forward walk; each link must be confirmed by the reverse
+  // link of the successor (double-link redundancy). A bad forward pointer
+  // is reconstructed by searching for the unique node whose prev points
+  // back at the current node; a bad backward pointer is overwritten from
+  // the (confirmed) forward chain.
+  std::size_t cur = head_;
+  std::size_t walked = 1;
+  ++report.nodes_checked;
+  const std::size_t limit = pool_.size() + 1;
+  while (walked <= limit) {
+    Node& node = pool_[cur];
+    const std::size_t nxt = node.next;
+    const bool next_ok = nxt != npos && valid_index(nxt);
+    if (next_ok && pool_[nxt].prev == cur) {
+      cur = nxt;
+      ++walked;
+      ++report.nodes_checked;
+      continue;
+    }
+    if (nxt == npos) break;  // claims to be the tail; verified below
+    // Forward pointer is suspect. Look for the node that claims us as its
+    // predecessor — the backward chain is the redundant copy of this link.
+    ++report.errors_detected;
+    std::size_t claimant = npos;
+    for (std::size_t i = 0; i < pool_.size(); ++i) {
+      if (i != cur && pool_[i].in_use && pool_[i].prev == cur) {
+        claimant = i;
+        break;
+      }
+    }
+    if (claimant != npos) {
+      node.next = claimant;
+      ++report.errors_repaired;
+      cur = claimant;
+      ++walked;
+      ++report.nodes_checked;
+      continue;
+    }
+    if (!next_ok) {
+      // No node claims us as predecessor and the forward pointer is dead:
+      // under the single-fault assumption this node *is* the tail and its
+      // next pointer was the smashed field.
+      node.next = npos;
+      ++report.errors_repaired;
+      break;
+    }
+    if (next_ok) {
+      // Forward pointer reaches a valid node whose prev disagrees: under
+      // the single-fault assumption the *backward* pointer is the bad one.
+      pool_[nxt].prev = cur;
+      ++report.errors_repaired;
+      cur = nxt;
+      ++walked;
+      ++report.nodes_checked;
+      continue;
+    }
+    report.structurally_sound = false;
+    return report;
+  }
+  if (walked > limit) {
+    // A cycle: the structure lies beyond single-fault repair.
+    ++report.errors_detected;
+    report.structurally_sound = false;
+    return report;
+  }
+
+  // Invariant 3: tail index must match the end of the verified walk.
+  if (tail_ != cur) {
+    ++report.errors_detected;
+    tail_ = cur;
+    ++report.errors_repaired;
+  }
+
+  // Invariant 4: the redundant count must match the verified walk.
+  if (count_ != walked) {
+    ++report.errors_detected;
+    count_ = walked;
+    ++report.errors_repaired;
+  }
+
+  // Invariant 5: every node's identifier must match its sequence number
+  // (identifier redundancy detects wild stores into the id field and is
+  // repaired by recomputation).
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    if (!pool_[i].in_use) continue;
+    if (pool_[i].id != expected_id(pool_[i].seq)) {
+      ++report.errors_detected;
+      pool_[i].id = expected_id(pool_[i].seq);
+      ++report.errors_repaired;
+    }
+  }
+  return report;
+}
+
+void SoftwareAudit::watch(std::string name,
+                          std::function<AuditReport()> check) {
+  checks_.emplace_back(std::move(name), std::move(check));
+}
+
+void SoftwareAudit::tick() {
+  if (++ticks_ % period_ == 0) (void)run_now();
+}
+
+AuditReport SoftwareAudit::run_now() {
+  AuditReport round;
+  for (auto& [name, check] : checks_) round += check();
+  totals_ += round;
+  ++runs_;
+  return round;
+}
+
+}  // namespace redundancy::techniques

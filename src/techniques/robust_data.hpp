@@ -1,0 +1,127 @@
+// Robust data structures and software audits (Taylor, Morgan & Black 1980;
+// Connet, Pasternak & Wagner 1972).
+//
+// Deliberate *data* redundancy inside a structure: a doubly linked list
+// carries a node count, per-node identifiers, and double links. The
+// redundant information makes single corruptions detectable and — under the
+// classic single-fault assumption — correctable: a smashed forward pointer
+// is reconstructed from the backward chain, a wrong count is re-derived
+// from a verified walk. Software audits run such integrity checks
+// periodically at runtime.
+//
+// Taxonomy: deliberate / data / reactive implicit / development faults.
+// Pattern: intra-component.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "core/result.hpp"
+
+namespace redundancy::techniques {
+
+struct AuditReport {
+  std::size_t nodes_checked = 0;
+  std::size_t errors_detected = 0;
+  std::size_t errors_repaired = 0;
+  bool structurally_sound = true;  ///< false if unrepairable damage remains
+
+  AuditReport& operator+=(const AuditReport& other) {
+    nodes_checked += other.nodes_checked;
+    errors_detected += other.errors_detected;
+    errors_repaired += other.errors_repaired;
+    structurally_sound = structurally_sound && other.structurally_sound;
+    return *this;
+  }
+};
+
+/// Taylor-style robust doubly linked list over a node pool (indices, not
+/// raw pointers, so corruption is injectable and survivable).
+class RobustList {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  void push_back(std::int64_t value);
+  core::Result<std::int64_t> pop_front();
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] std::vector<std::int64_t> to_vector() const;
+
+  /// Verify all redundant invariants and repair what the redundancy allows.
+  AuditReport audit();
+
+  // --- corruption injection (simulated wild stores) ----------------------
+  /// Overwrite the forward pointer of the node at list position `pos`.
+  void corrupt_next(std::size_t pos, std::size_t garbage);
+  /// Overwrite the backward pointer of the node at list position `pos`.
+  void corrupt_prev(std::size_t pos, std::size_t garbage);
+  /// Overwrite the redundant element count.
+  void corrupt_count(std::size_t garbage);
+  /// Overwrite a node's identifier field.
+  void corrupt_id(std::size_t pos, std::uint64_t garbage);
+
+  [[nodiscard]] static core::TaxonomyEntry taxonomy() {
+    return {
+        .name = "Robust data structures, audits",
+        .intention = core::Intention::deliberate,
+        .type = core::RedundancyType::data,
+        .adjudicator = core::AdjudicatorKind::reactive_implicit,
+        .faults = core::TargetFaults::development,
+        .pattern = core::ArchitecturalPattern::intra_component,
+        .summary = "augment data structures with counts, identifiers and "
+                   "redundant links; integrity checks detect and correct "
+                   "faulty references",
+    };
+  }
+
+ private:
+  struct Node {
+    std::uint64_t seq = 0; ///< insertion sequence number
+    std::uint64_t id = 0;  ///< redundant identifier (seq-derived)
+    std::int64_t value = 0;
+    std::size_t next = npos;
+    std::size_t prev = npos;
+    bool in_use = false;
+  };
+
+  [[nodiscard]] bool valid_index(std::size_t i) const noexcept {
+    return i < pool_.size() && pool_[i].in_use;
+  }
+  [[nodiscard]] std::uint64_t expected_id(std::uint64_t seq) const noexcept;
+  [[nodiscard]] std::size_t node_at_position(std::size_t pos) const;
+
+  std::vector<Node> pool_;
+  std::vector<std::size_t> free_;
+  std::size_t head_ = npos;
+  std::size_t tail_ = npos;
+  std::size_t count_ = 0;
+  std::uint64_t next_seq_ = 1;
+};
+
+/// Software audits: a scheduler of integrity checks over registered
+/// structures, run every `period` logical ticks.
+class SoftwareAudit {
+ public:
+  explicit SoftwareAudit(std::size_t period = 16) : period_(period) {}
+
+  void watch(std::string name, std::function<AuditReport()> check);
+  /// Advance one tick; runs all checks when the period elapses.
+  void tick();
+  /// Run all checks immediately.
+  AuditReport run_now();
+
+  [[nodiscard]] const AuditReport& totals() const noexcept { return totals_; }
+  [[nodiscard]] std::size_t runs() const noexcept { return runs_; }
+
+ private:
+  std::size_t period_;
+  std::size_t ticks_ = 0;
+  std::size_t runs_ = 0;
+  AuditReport totals_;
+  std::vector<std::pair<std::string, std::function<AuditReport()>>> checks_;
+};
+
+}  // namespace redundancy::techniques

@@ -1,0 +1,35 @@
+#include "techniques/rule_engine.hpp"
+
+namespace redundancy::techniques {
+
+RuleEngine& RuleEngine::add_rule(Rule rule) {
+  rules_.push_back(std::move(rule));
+  return *this;
+}
+
+core::Result<services::Message> RuleEngine::handle(
+    const std::string& operation, const core::Failure& failure,
+    const services::Message& request) {
+  for (const auto& rule : rules_) {
+    if (rule.on != failure.kind) continue;
+    if (rule.operation != "*" && rule.operation != operation) continue;
+    ++activations_;
+    auto recovered = rule.action(request);
+    if (recovered.has_value()) ++recoveries_;
+    return recovered;
+  }
+  return failure;
+}
+
+services::Handler RuleEngine::protect(std::string operation,
+                                      services::Handler inner) {
+  return [this, operation = std::move(operation), inner = std::move(inner)](
+             const services::Message& request)
+             -> core::Result<services::Message> {
+    auto out = inner(request);
+    if (out.has_value()) return out;
+    return handle(operation, out.error(), request);
+  };
+}
+
+}  // namespace redundancy::techniques

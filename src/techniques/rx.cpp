@@ -1,0 +1,43 @@
+#include "techniques/rx.hpp"
+
+namespace redundancy::techniques {
+
+RxRecovery::RxRecovery(env::SimEnv& env, env::Checkpointable& state,
+                       std::vector<env::Perturbation> menu, Options options)
+    : env_(env), state_(state), store_(2), menu_(std::move(menu)),
+      options_(options) {}
+
+core::Status RxRecovery::execute(const std::function<core::Status()>& op) {
+  store_.capture(state_);
+  const env::SimEnv original = env_;
+
+  core::Status outcome = op();
+  if (outcome.has_value()) return outcome;
+
+  const std::size_t rounds = options_.max_rounds == 0 ? 1 : options_.max_rounds;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    for (const auto& perturbation : menu_) {
+      // Roll back the program state, change the environment, re-execute.
+      if (auto restored = store_.restore_latest(state_); !restored.has_value()) {
+        ++unrecovered_;
+        return restored;
+      }
+      ++rollbacks_;
+      env_ = perturbation.apply(env_);
+      outcome = op();
+      if (outcome.has_value()) {
+        ++recoveries_;
+        ++cures_[perturbation.name];
+        if (options_.revert_env_after_success) env_ = original;
+        return outcome;
+      }
+    }
+  }
+  // Menu exhausted: put the world back the way we found it.
+  (void)store_.restore_latest(state_);
+  env_ = original;
+  ++unrecovered_;
+  return outcome;
+}
+
+}  // namespace redundancy::techniques

@@ -1,0 +1,86 @@
+// Environment perturbation — RX (Qin, Tucek, Zhou, Sundaresan 2007).
+//
+// "Treating bugs as allergies": when a failure is detected, roll the
+// program back to a recent checkpoint and re-execute it under a *changed*
+// environment — padded or randomized allocation, shuffled message delivery,
+// a different schedule, lower priority, shed load. Unlike plain
+// checkpoint-retry (which re-executes under the same conditions and only
+// helps when the environment drifts on its own), RX changes the conditions
+// deliberately, curing environment-dependent bugs deterministically.
+//
+// Taxonomy: deliberate / environment / reactive explicit / development
+// faults (mainly Heisenbugs, some Bohrbugs and malicious interactions).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "env/checkpoint.hpp"
+#include "env/simenv.hpp"
+
+namespace redundancy::techniques {
+
+class RxRecovery {
+ public:
+  struct Options {
+    /// Try each perturbation at most once per failure (RX escalates through
+    /// its menu); a second sweep retries compositions.
+    std::size_t max_rounds = 0;  ///< 0 = one pass over the whole menu
+    /// Restore the original environment once the request completes (RX
+    /// keeps cures only for the re-execution window by default).
+    bool revert_env_after_success = false;
+  };
+
+  /// `env` is the live environment the program reads; `state` the program
+  /// state to roll back.
+  RxRecovery(env::SimEnv& env, env::Checkpointable& state,
+             std::vector<env::Perturbation> menu, Options options);
+  RxRecovery(env::SimEnv& env, env::Checkpointable& state)
+      : RxRecovery(env, state, env::standard_perturbations(), Options{}) {}
+  RxRecovery(env::SimEnv& env, env::Checkpointable& state,
+             std::vector<env::Perturbation> menu)
+      : RxRecovery(env, state, std::move(menu), Options{}) {}
+
+  /// Run `op` with RX protection: checkpoint, execute, and on failure walk
+  /// the perturbation menu — rollback, perturb, re-execute — until the
+  /// operation succeeds or the menu is exhausted.
+  core::Status execute(const std::function<core::Status()>& op);
+
+  [[nodiscard]] std::size_t recoveries() const noexcept { return recoveries_; }
+  [[nodiscard]] std::size_t unrecovered() const noexcept { return unrecovered_; }
+  [[nodiscard]] std::size_t rollbacks() const noexcept { return rollbacks_; }
+  /// How often each perturbation was the one that cured a failure.
+  [[nodiscard]] const std::map<std::string, std::size_t>& cures()
+      const noexcept {
+    return cures_;
+  }
+
+  [[nodiscard]] static core::TaxonomyEntry taxonomy() {
+    return {
+        .name = "Environment perturbation",
+        .intention = core::Intention::deliberate,
+        .type = core::RedundancyType::environment,
+        .adjudicator = core::AdjudicatorKind::reactive_explicit,
+        .faults = core::TargetFaults::development,
+        .pattern = core::ArchitecturalPattern::environment_level,
+        .summary = "rolls back and re-executes failing programs under "
+                   "modified environment conditions",
+    };
+  }
+
+ private:
+  env::SimEnv& env_;
+  env::Checkpointable& state_;
+  env::CheckpointStore store_;
+  std::vector<env::Perturbation> menu_;
+  Options options_;
+  std::size_t recoveries_ = 0;
+  std::size_t unrecovered_ = 0;
+  std::size_t rollbacks_ = 0;
+  std::map<std::string, std::size_t> cures_;
+};
+
+}  // namespace redundancy::techniques

@@ -1,0 +1,35 @@
+#include "techniques/self_optimizing.hpp"
+
+namespace redundancy::techniques {
+
+SelfOptimizing::SelfOptimizing(std::vector<QosImplementation> implementations,
+                               Options options)
+    : impls_(std::move(implementations)), options_(options) {}
+
+double SelfOptimizing::window_average_latency() const noexcept {
+  if (window_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : window_) sum += v;
+  return sum / static_cast<double>(window_.size());
+}
+
+core::Result<double> SelfOptimizing::run(double request) {
+  if (impls_.empty()) {
+    return core::failure(core::FailureKind::unavailable, "no implementations");
+  }
+  ++requests_;
+  const auto [value, latency] = impls_[active_].handler(request);
+  if (latency > options_.sla_latency_ms) ++violations_;
+  window_.push_back(latency);
+  while (window_.size() > options_.window) window_.pop_front();
+  if (window_.size() >= options_.warmup &&
+      window_average_latency() > options_.sla_latency_ms &&
+      impls_.size() > 1) {
+    active_ = (active_ + 1) % impls_.size();
+    window_.clear();  // judge the new implementation on its own record
+    ++switches_;
+  }
+  return value;
+}
+
+}  // namespace redundancy::techniques

@@ -1,0 +1,7 @@
+#include "techniques/service_substitution.hpp"
+
+// ServiceSubstitution is a thin header-only facade over
+// services::DynamicBinding; this translation unit anchors the header in the
+// build so its declarations are compiled exactly once with full warnings.
+
+namespace redundancy::techniques {}

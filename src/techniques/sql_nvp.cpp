@@ -1,0 +1,142 @@
+#include "techniques/sql_nvp.hpp"
+
+#include "core/voters.hpp"
+
+namespace redundancy::techniques {
+
+ReplicatedSqlServer::ReplicatedSqlServer(std::vector<sql::StorePtr> replicas,
+                                         Options options)
+    : replicas_(std::move(replicas)), options_(options) {}
+
+std::size_t ReplicatedSqlServer::replicas_in_service() const {
+  return replicas_.size() - evicted_.size();
+}
+
+template <typename T>
+core::Result<T> ReplicatedSqlServer::adjudicate(
+    const std::function<core::Result<T>(sql::SqlStore&)>& op) const {
+  ++metrics_.requests;
+  std::vector<core::Ballot<T>> ballots;
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (evicted_.contains(i)) continue;
+    ++metrics_.variant_executions;
+    auto out = op(*replicas_[i]);
+    if (!out.has_value()) ++metrics_.variant_failures;
+    ballots.push_back({i, std::string{replicas_[i]->engine()}, std::move(out)});
+  }
+  if (ballots.empty()) {
+    ++metrics_.unrecovered;
+    return core::failure(core::FailureKind::no_alternatives,
+                         "every replica evicted");
+  }
+  ++metrics_.adjudications;
+  // Failures are legitimate, comparable outcomes for a database (e.g. a
+  // duplicate-key error must be reported by every correct engine), so the
+  // vote runs over (has_value, value-or-kind) tuples rather than treating
+  // failures as abstentions.
+  struct Outcome {
+    bool ok;
+    T value{};
+    core::FailureKind kind{};
+    bool operator==(const Outcome& other) const {
+      if (ok != other.ok) return false;
+      return ok ? value == other.value : kind == other.kind;
+    }
+  };
+  std::vector<core::Ballot<Outcome>> wrapped;
+  wrapped.reserve(ballots.size());
+  for (auto& b : ballots) {
+    Outcome o;
+    if (b.result.has_value()) {
+      o = Outcome{true, std::move(b.result).take(), {}};
+    } else {
+      o = Outcome{false, T{}, b.result.error().kind};
+    }
+    wrapped.push_back({b.variant_index, b.variant_name, std::move(o)});
+  }
+  auto verdict = core::majority_voter<Outcome>()(wrapped);
+  if (!verdict.has_value()) {
+    ++metrics_.unrecovered;
+    return core::failure(core::FailureKind::adjudication_failed,
+                         "replica outputs have no majority");
+  }
+  // Flag and (optionally) evict replicas that disagreed with the verdict.
+  for (const auto& b : wrapped) {
+    if (b.result.value() == verdict.value()) continue;
+    ++divergences_;
+    ++metrics_.recoveries;
+    if (options_.evict_divergent) {
+      evicted_.insert(b.variant_index);
+      ++metrics_.disabled_components;
+    }
+  }
+  const Outcome& out = verdict.value();
+  if (!out.ok) return core::failure(out.kind, "replicated verdict: failure");
+  return out.value;
+}
+
+void ReplicatedSqlServer::maybe_reconcile() {
+  if (options_.reconcile_every == 0) return;
+  if (++mutations_since_reconcile_ >= options_.reconcile_every) {
+    mutations_since_reconcile_ = 0;
+    (void)reconcile();
+  }
+}
+
+core::Status ReplicatedSqlServer::reconcile() {
+  auto digest = adjudicate<std::uint64_t>(
+      [](sql::SqlStore& s) { return s.state_digest(); });
+  if (!digest.has_value()) {
+    return core::failure(digest.error().kind, "state reconciliation failed");
+  }
+  return core::ok_status();
+}
+
+core::Status ReplicatedSqlServer::create_table(
+    const std::string& table, std::vector<std::string> columns) {
+  auto out = adjudicate<core::Unit>([&](sql::SqlStore& s) {
+    return s.create_table(table, columns);
+  });
+  maybe_reconcile();
+  return out;
+}
+
+core::Status ReplicatedSqlServer::insert(const std::string& table,
+                                         sql::Row row) {
+  auto out = adjudicate<core::Unit>(
+      [&](sql::SqlStore& s) { return s.insert(table, row); });
+  maybe_reconcile();
+  return out;
+}
+
+core::Result<std::vector<sql::Row>> ReplicatedSqlServer::select(
+    const std::string& table,
+    const std::optional<sql::Condition>& where) const {
+  return adjudicate<std::vector<sql::Row>>(
+      [&](sql::SqlStore& s) { return s.select(table, where); });
+}
+
+core::Result<std::int64_t> ReplicatedSqlServer::update(
+    const std::string& table, const sql::Condition& where,
+    const std::string& column, std::int64_t value) {
+  auto out = adjudicate<std::int64_t>([&](sql::SqlStore& s) {
+    return s.update(table, where, column, value);
+  });
+  maybe_reconcile();
+  return out;
+}
+
+core::Result<std::int64_t> ReplicatedSqlServer::remove(
+    const std::string& table, const sql::Condition& where) {
+  auto out = adjudicate<std::int64_t>(
+      [&](sql::SqlStore& s) { return s.remove(table, where); });
+  maybe_reconcile();
+  return out;
+}
+
+core::Result<std::uint64_t> ReplicatedSqlServer::state_digest() const {
+  return adjudicate<std::uint64_t>(
+      [](sql::SqlStore& s) { return s.state_digest(); });
+}
+
+}  // namespace redundancy::techniques

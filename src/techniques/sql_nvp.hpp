@@ -1,0 +1,102 @@
+// N-version programming over diverse SQL servers (Gashi, Popov, Stankovic,
+// Strigini — discussed in Section 4.1 of the paper).
+//
+// "N-version programming is particularly advantageous since the interface
+// of an SQL database is well defined, and several independent
+// implementations are already available. However, reconciling the output
+// and the state of multiple, heterogeneous servers may not be trivial."
+//
+// ReplicatedSqlServer executes every operation on all replica engines,
+// adjudicates the *outputs* with a majority vote, and reconciles *state*
+// by comparing the engines' order-insensitive digests: a replica whose
+// output or state diverges from the majority is evicted (flagged faulty),
+// and the remaining quorum carries on.
+#pragma once
+
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/registry.hpp"
+#include "sql/store.hpp"
+
+namespace redundancy::techniques {
+
+class ReplicatedSqlServer final : public sql::SqlStore {
+ public:
+  struct Options {
+    /// Compare state digests after every k mutations (0 = never).
+    std::size_t reconcile_every = 8;
+    /// Evict replicas that diverge from the majority.
+    bool evict_divergent = true;
+  };
+
+  ReplicatedSqlServer(std::vector<sql::StorePtr> replicas, Options options);
+  explicit ReplicatedSqlServer(std::vector<sql::StorePtr> replicas)
+      : ReplicatedSqlServer(std::move(replicas), Options{}) {}
+
+  // SqlStore interface — each call fans out and adjudicates.
+  core::Status create_table(const std::string& table,
+                            std::vector<std::string> columns) override;
+  core::Status insert(const std::string& table, sql::Row row) override;
+  core::Result<std::vector<sql::Row>> select(
+      const std::string& table,
+      const std::optional<sql::Condition>& where) const override;
+  core::Result<std::int64_t> update(const std::string& table,
+                                    const sql::Condition& where,
+                                    const std::string& column,
+                                    std::int64_t value) override;
+  core::Result<std::int64_t> remove(const std::string& table,
+                                    const sql::Condition& where) override;
+  core::Result<std::uint64_t> state_digest() const override;
+  [[nodiscard]] std::string_view engine() const override {
+    return "nvp-replicated";
+  }
+
+  /// Compare replica state digests now; evict any minority.
+  core::Status reconcile();
+
+  [[nodiscard]] std::size_t replicas_in_service() const;
+  [[nodiscard]] const std::set<std::size_t>& evicted() const noexcept {
+    return evicted_;
+  }
+  [[nodiscard]] std::size_t divergences_masked() const noexcept {
+    return divergences_;
+  }
+  [[nodiscard]] const core::Metrics& metrics() const noexcept {
+    return metrics_;
+  }
+
+  [[nodiscard]] static core::TaxonomyEntry taxonomy() {
+    // The same Table 2 row as classic NVP — this is its service-level
+    // incarnation, included for the SQL experiment's bookkeeping.
+    return {
+        .name = "N-version programming (SQL servers)",
+        .intention = core::Intention::deliberate,
+        .type = core::RedundancyType::code,
+        .adjudicator = core::AdjudicatorKind::reactive_implicit,
+        .faults = core::TargetFaults::development,
+        .pattern = core::ArchitecturalPattern::parallel_evaluation,
+        .summary = "executes every statement on diverse SQL engines, votes "
+                   "on outputs and reconciles state digests",
+    };
+  }
+
+ private:
+  /// Run `op` on every live replica and majority-adjudicate the results.
+  template <typename T>
+  core::Result<T> adjudicate(
+      const std::function<core::Result<T>(sql::SqlStore&)>& op) const;
+
+  void maybe_reconcile();
+
+  std::vector<sql::StorePtr> replicas_;
+  Options options_;
+  mutable std::set<std::size_t> evicted_;
+  mutable std::size_t divergences_ = 0;
+  mutable core::Metrics metrics_;
+  std::size_t mutations_since_reconcile_ = 0;
+};
+
+}  // namespace redundancy::techniques

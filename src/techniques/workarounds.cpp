@@ -1,0 +1,85 @@
+#include "techniques/workarounds.hpp"
+
+#include <set>
+
+namespace redundancy::techniques {
+namespace {
+
+/// All single applications of `rule` to `seq`.
+void apply_rule_everywhere(const Sequence& seq, const RewriteRule& rule,
+                           std::vector<Sequence>& out) {
+  if (rule.lhs.empty() || rule.lhs.size() > seq.size()) return;
+  for (std::size_t at = 0; at + rule.lhs.size() <= seq.size(); ++at) {
+    bool match = true;
+    for (std::size_t i = 0; i < rule.lhs.size(); ++i) {
+      if (seq[at + i] != rule.lhs[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    Sequence rewritten;
+    rewritten.reserve(seq.size() - rule.lhs.size() + rule.rhs.size());
+    rewritten.insert(rewritten.end(), seq.begin(),
+                     seq.begin() + static_cast<std::ptrdiff_t>(at));
+    rewritten.insert(rewritten.end(), rule.rhs.begin(), rule.rhs.end());
+    rewritten.insert(
+        rewritten.end(),
+        seq.begin() + static_cast<std::ptrdiff_t>(at + rule.lhs.size()),
+        seq.end());
+    out.push_back(std::move(rewritten));
+  }
+}
+
+}  // namespace
+
+std::vector<Sequence> generate_workarounds(const Sequence& failing,
+                                           const std::vector<RewriteRule>& rules,
+                                           std::size_t max_depth,
+                                           std::size_t max_candidates) {
+  std::vector<Sequence> candidates;
+  std::set<Sequence> seen;
+  seen.insert(failing);
+  std::vector<Sequence> frontier{failing};
+  for (std::size_t depth = 0; depth < max_depth && !frontier.empty(); ++depth) {
+    std::vector<Sequence> next;
+    for (const Sequence& seq : frontier) {
+      std::vector<Sequence> rewritten;
+      for (const RewriteRule& rule : rules) {
+        apply_rule_everywhere(seq, rule, rewritten);
+      }
+      for (Sequence& alt : rewritten) {
+        if (!seen.insert(alt).second) continue;
+        candidates.push_back(alt);
+        if (candidates.size() >= max_candidates) return candidates;
+        next.push_back(std::move(alt));
+      }
+    }
+    frontier = std::move(next);
+  }
+  return candidates;
+}
+
+AutomaticWorkarounds::AutomaticWorkarounds(
+    std::vector<RewriteRule> rules,
+    std::function<core::Status(const Sequence&)> executor, Options options)
+    : rules_(std::move(rules)), executor_(std::move(executor)),
+      options_(options) {}
+
+core::Result<Sequence> AutomaticWorkarounds::heal(const Sequence& failing) {
+  const auto candidates = generate_workarounds(
+      failing, rules_, options_.max_depth, options_.max_candidates);
+  for (const Sequence& candidate : candidates) {
+    ++candidates_tried_;
+    if (executor_(candidate).has_value()) {
+      ++healed_;
+      return candidate;
+    }
+  }
+  ++unhealed_;
+  return core::failure(core::FailureKind::no_alternatives,
+                       "no workaround among " +
+                           std::to_string(candidates.size()) + " candidates");
+}
+
+}  // namespace redundancy::techniques

@@ -1,0 +1,93 @@
+// Automatic workarounds (Carzaniga, Gorla, Pezzè 2008).
+//
+// Complex components often provide the same functionality through different
+// combinations of elementary operations — *intrinsic* redundancy. When an
+// operation sequence fails, equivalence rules over the component's API are
+// used to generate alternative sequences with the same intended effect;
+// candidates are ranked by likelihood of success (fewer rewrites first) and
+// executed — after a state rollback — until one passes validation. That
+// sequence is the workaround.
+//
+// Taxonomy: opportunistic / code / reactive explicit / development faults.
+// Pattern: intra-component.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "core/result.hpp"
+
+namespace redundancy::techniques {
+
+/// One API call, e.g. "add(x)" or "clear". Tokens are opaque to the engine;
+/// only the rewrite rules give them meaning.
+using Action = std::string;
+using Sequence = std::vector<Action>;
+
+/// An equivalence over API sequences: `lhs` may be replaced by `rhs`
+/// anywhere it occurs. Register both directions for symmetric equivalences.
+struct RewriteRule {
+  std::string name;
+  Sequence lhs;
+  Sequence rhs;
+};
+
+/// Generate candidate alternatives to `failing`, breadth-first by number of
+/// rewrites applied (ties broken by generation order); the original
+/// sequence itself is excluded. At most `max_candidates` are returned.
+[[nodiscard]] std::vector<Sequence> generate_workarounds(
+    const Sequence& failing, const std::vector<RewriteRule>& rules,
+    std::size_t max_depth = 3, std::size_t max_candidates = 64);
+
+class AutomaticWorkarounds {
+ public:
+  struct Options {
+    std::size_t max_depth = 3;
+    std::size_t max_candidates = 64;
+  };
+
+  /// `executor` runs a sequence against the component on a consistent state
+  /// (the caller's rollback responsibility) and validates the outcome.
+  AutomaticWorkarounds(std::vector<RewriteRule> rules,
+                       std::function<core::Status(const Sequence&)> executor,
+                       Options options);
+  AutomaticWorkarounds(std::vector<RewriteRule> rules,
+                       std::function<core::Status(const Sequence&)> executor)
+      : AutomaticWorkarounds(std::move(rules), std::move(executor),
+                             Options{}) {}
+
+  /// Given a failing sequence, search for a workaround. On success returns
+  /// the alternative sequence that executed and validated correctly.
+  core::Result<Sequence> heal(const Sequence& failing);
+
+  [[nodiscard]] std::size_t candidates_tried() const noexcept {
+    return candidates_tried_;
+  }
+  [[nodiscard]] std::size_t healed() const noexcept { return healed_; }
+  [[nodiscard]] std::size_t unhealed() const noexcept { return unhealed_; }
+
+  [[nodiscard]] static core::TaxonomyEntry taxonomy() {
+    return {
+        .name = "Automatic workarounds",
+        .intention = core::Intention::opportunistic,
+        .type = core::RedundancyType::code,
+        .adjudicator = core::AdjudicatorKind::reactive_explicit,
+        .faults = core::TargetFaults::development,
+        .pattern = core::ArchitecturalPattern::intra_component,
+        .summary = "exploits the intrinsic redundancy of software systems "
+                   "to find equivalent, non-failing execution sequences",
+    };
+  }
+
+ private:
+  std::vector<RewriteRule> rules_;
+  std::function<core::Status(const Sequence&)> executor_;
+  Options options_;
+  std::size_t candidates_tried_ = 0;
+  std::size_t healed_ = 0;
+  std::size_t unhealed_ = 0;
+};
+
+}  // namespace redundancy::techniques

@@ -1,0 +1,104 @@
+#include "techniques/wrappers.hpp"
+
+namespace redundancy::techniques {
+
+core::Result<env::BlockId> HeapHealer::malloc(std::size_t size) {
+  auto id = heap_.malloc(size);
+  if (id.has_value()) sizes_[id.value()] = size;
+  return id;
+}
+
+core::Status HeapHealer::free(env::BlockId id) {
+  sizes_.erase(id);
+  return heap_.free(id);
+}
+
+core::Status HeapHealer::write(env::BlockId id, std::size_t offset,
+                               std::span<const std::byte> data) {
+  auto it = sizes_.find(id);
+  if (it == sizes_.end()) {
+    return core::failure(core::FailureKind::crash,
+                         "healer: write to untracked block");
+  }
+  const std::size_t cap = it->second;
+  if (offset + data.size() <= cap) {
+    return heap_.write_raw(id, offset, data);
+  }
+  ++prevented_;
+  if (policy_ == Policy::reject || offset >= cap) {
+    return core::failure(core::FailureKind::corrupted_state,
+                         "healer: write past block boundary rejected",
+                         core::FaultClass::malicious);
+  }
+  // Truncate: the in-bounds prefix is preserved, the spill is dropped.
+  return heap_.write_raw(id, offset, data.first(cap - offset));
+}
+
+ProtocolGuard& ProtocolGuard::allow(const std::string& from,
+                                    const std::string& operation,
+                                    const std::string& to) {
+  transitions_[{from, operation}] = to;
+  return *this;
+}
+
+core::Status ProtocolGuard::fire(const std::string& operation) {
+  auto it = transitions_.find({state_, operation});
+  if (it == transitions_.end()) {
+    ++violations_;
+    return core::failure(core::FailureKind::acceptance_failed,
+                         "protocol violation: '" + operation +
+                             "' is illegal in state '" + state_ + "'");
+  }
+  state_ = it->second;
+  return core::ok_status();
+}
+
+ProtocolGuard::Operation ProtocolGuard::guard(std::string operation,
+                                              Operation inner) {
+  return [this, operation = std::move(operation), inner = std::move(inner)](
+             const services::Message& request)
+             -> core::Result<services::Message> {
+    if (auto gate = fire(operation); !gate.has_value()) {
+      return gate.error();
+    }
+    return inner(request);
+  };
+}
+
+ProtectorWrapper& ProtectorWrapper::expose(std::string op, Operation impl) {
+  operations_[std::move(op)] = Guarded{std::move(impl), {}};
+  return *this;
+}
+
+ProtectorWrapper& ProtectorWrapper::require(const std::string& op,
+                                            Precondition pre, Fixer fixer) {
+  auto it = operations_.find(op);
+  if (it != operations_.end()) {
+    it->second.preconditions.emplace_back(std::move(pre), std::move(fixer));
+  }
+  return *this;
+}
+
+core::Result<services::Message> ProtectorWrapper::call(
+    const std::string& op, const services::Message& request) {
+  auto it = operations_.find(op);
+  if (it == operations_.end()) {
+    return core::failure(core::FailureKind::unavailable,
+                         "protector: unknown operation " + op);
+  }
+  services::Message effective = request;
+  for (const auto& [pre, fixer] : it->second.preconditions) {
+    if (pre(effective)) continue;
+    if (fixer) {
+      effective = fixer(std::move(effective));
+      ++repaired_;
+      if (pre(effective)) continue;
+    }
+    ++rejected_;
+    return core::failure(core::FailureKind::acceptance_failed,
+                         "protector: precondition violated on " + op);
+  }
+  return it->second.impl(effective);
+}
+
+}  // namespace redundancy::techniques

@@ -1,0 +1,138 @@
+// Wrappers (Popov et al. 2001; Chang et al. 2009; Salles et al. 1999;
+// Fetzer & Xiao 2001).
+//
+// Deliberately added intra-component code that mediates interactions with a
+// component to prevent failures: protocol/precondition protectors for
+// incompletely specified COTS components, and "healers" that bound-check
+// writes to the heap to prevent buffer-overflow exploits before they
+// corrupt memory.
+//
+// Taxonomy: deliberate / code / preventive / Bohrbugs + malicious.
+// Pattern: intra-component.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "core/registry.hpp"
+#include "env/heap_model.hpp"
+#include "services/message.hpp"
+
+namespace redundancy::techniques {
+
+/// Fetzer-style heap healer: interposes on every heap write, consulting the
+/// sizes remembered at allocation time and refusing (or truncating) writes
+/// that would cross a block boundary — the overflow never reaches memory.
+class HeapHealer {
+ public:
+  enum class Policy {
+    reject,    ///< refuse the whole write
+    truncate,  ///< write only the in-bounds prefix
+  };
+
+  explicit HeapHealer(env::HeapModel& heap, Policy policy = Policy::reject)
+      : heap_(heap), policy_(policy) {}
+
+  core::Result<env::BlockId> malloc(std::size_t size);
+  core::Status free(env::BlockId id);
+  /// Boundary-checked write; prevented overflows are counted.
+  core::Status write(env::BlockId id, std::size_t offset,
+                     std::span<const std::byte> data);
+
+  [[nodiscard]] std::size_t prevented_overflows() const noexcept {
+    return prevented_;
+  }
+
+  [[nodiscard]] static core::TaxonomyEntry taxonomy() {
+    return {
+        .name = "Wrappers",
+        .intention = core::Intention::deliberate,
+        .type = core::RedundancyType::code,
+        .adjudicator = core::AdjudicatorKind::preventive,
+        .faults = core::TargetFaults::bohrbugs_and_malicious,
+        .pattern = core::ArchitecturalPattern::intra_component,
+        .summary = "intercept component interactions and fix them when "
+                   "possible (protocol protectors, heap healers)",
+    };
+  }
+
+ private:
+  env::HeapModel& heap_;
+  Policy policy_;
+  std::map<env::BlockId, std::size_t> sizes_;  ///< healer's own size table
+  std::size_t prevented_ = 0;
+};
+
+/// Popov-style protector: guards a COTS component's operations with
+/// explicit preconditions; violating calls are rejected (or repaired by a
+/// registered fixer) before they reach the component.
+class ProtectorWrapper {
+ public:
+  using Operation =
+      std::function<core::Result<services::Message>(const services::Message&)>;
+  using Precondition = std::function<bool(const services::Message&)>;
+  using Fixer = std::function<services::Message(services::Message)>;
+
+  /// Register an operation of the wrapped component.
+  ProtectorWrapper& expose(std::string op, Operation impl);
+  /// Attach a precondition to an operation; optional fixer repairs
+  /// violating requests instead of rejecting them.
+  ProtectorWrapper& require(const std::string& op, Precondition pre,
+                            Fixer fixer = nullptr);
+
+  core::Result<services::Message> call(const std::string& op,
+                                       const services::Message& request);
+
+  [[nodiscard]] std::size_t rejected() const noexcept { return rejected_; }
+  [[nodiscard]] std::size_t repaired() const noexcept { return repaired_; }
+
+ private:
+  struct Guarded {
+    Operation impl;
+    std::vector<std::pair<Precondition, Fixer>> preconditions;
+  };
+  std::map<std::string, Guarded, std::less<>> operations_;
+  std::size_t rejected_ = 0;
+  std::size_t repaired_ = 0;
+};
+
+/// Protocol guard (Popov et al., Salles et al.): an incompletely specified
+/// COTS component often has an implicit *usage protocol* (open before
+/// read, no use after close, ...). The guard models the protocol as an
+/// explicit finite state machine and refuses calls issued in the wrong
+/// state — turning latent misuse (a Bohrbug waiting to corrupt the
+/// component) into an immediate, clean error at the boundary.
+class ProtocolGuard {
+ public:
+  using Operation = ProtectorWrapper::Operation;
+
+  explicit ProtocolGuard(std::string initial_state)
+      : initial_(initial_state), state_(std::move(initial_state)) {}
+
+  /// Declare that `operation` is legal in `from` and moves the protocol to
+  /// `to`. Operations may be legal in several states.
+  ProtocolGuard& allow(const std::string& from, const std::string& operation,
+                       const std::string& to);
+
+  /// Check-and-advance: succeeds iff `operation` is legal in the current
+  /// state, then performs the transition.
+  core::Status fire(const std::string& operation);
+
+  /// Reset the protocol to its initial state (component restart).
+  void reset() { state_ = initial_; }
+
+  [[nodiscard]] const std::string& state() const noexcept { return state_; }
+  [[nodiscard]] std::size_t violations() const noexcept { return violations_; }
+
+  /// Wrap a component call so it only reaches the component in-protocol.
+  [[nodiscard]] Operation guard(std::string operation, Operation inner);
+
+ private:
+  std::string initial_;
+  std::string state_;
+  std::map<std::pair<std::string, std::string>, std::string> transitions_;
+  std::size_t violations_ = 0;
+};
+
+}  // namespace redundancy::techniques

@@ -1,0 +1,77 @@
+// Simple serialization buffer used by the checkpoint store and by service
+// messages. Little-endian, length-prefixed strings, no alignment games.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace redundancy::util {
+
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+  explicit ByteBuffer(std::vector<std::byte> bytes) : bytes_(std::move(bytes)) {}
+
+  [[nodiscard]] const std::vector<std::byte>& bytes() const noexcept { return bytes_; }
+  [[nodiscard]] std::size_t size() const noexcept { return bytes_.size(); }
+  [[nodiscard]] std::span<const std::byte> span() const noexcept { return bytes_; }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void put(const T& v) {
+    const auto* p = reinterpret_cast<const std::byte*>(&v);
+    bytes_.insert(bytes_.end(), p, p + sizeof(T));
+  }
+
+  void put_string(std::string_view s) {
+    put(static_cast<std::uint32_t>(s.size()));
+    const auto* p = reinterpret_cast<const std::byte*>(s.data());
+    bytes_.insert(bytes_.end(), p, p + s.size());
+  }
+
+  /// Sequential reader over a ByteBuffer.
+  class Reader {
+   public:
+    explicit Reader(const ByteBuffer& buf) : bytes_(buf.bytes_) {}
+
+    template <typename T>
+      requires std::is_trivially_copyable_v<T>
+    T get() {
+      if (pos_ + sizeof(T) > bytes_.size()) {
+        throw std::out_of_range{"ByteBuffer::Reader: truncated read"};
+      }
+      T v;
+      std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+      pos_ += sizeof(T);
+      return v;
+    }
+
+    std::string get_string() {
+      const auto len = get<std::uint32_t>();
+      if (pos_ + len > bytes_.size()) {
+        throw std::out_of_range{"ByteBuffer::Reader: truncated string"};
+      }
+      std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), len);
+      pos_ += len;
+      return s;
+    }
+
+    [[nodiscard]] bool exhausted() const noexcept { return pos_ == bytes_.size(); }
+
+   private:
+    const std::vector<std::byte>& bytes_;
+    std::size_t pos_ = 0;
+  };
+
+  [[nodiscard]] Reader reader() const { return Reader{*this}; }
+
+ private:
+  std::vector<std::byte> bytes_;
+};
+
+}  // namespace redundancy::util

@@ -1,0 +1,36 @@
+#include "util/checksum.hpp"
+
+#include <array>
+
+namespace redundancy::util {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kCrcTable = make_crc_table();
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::byte> data, std::uint32_t seed) noexcept {
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (std::byte b : data) {
+    c = kCrcTable[(c ^ static_cast<std::uint8_t>(b)) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+std::uint32_t crc32(std::string_view data, std::uint32_t seed) noexcept {
+  return crc32(std::as_bytes(std::span{data.data(), data.size()}), seed);
+}
+
+}  // namespace redundancy::util

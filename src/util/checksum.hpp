@@ -1,0 +1,35 @@
+// Checksums and hashes used by robust data structures, software audits,
+// checkpoint integrity verification, and N-variant data tagging.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace redundancy::util {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected).
+[[nodiscard]] std::uint32_t crc32(std::span<const std::byte> data,
+                                  std::uint32_t seed = 0) noexcept;
+[[nodiscard]] std::uint32_t crc32(std::string_view data,
+                                  std::uint32_t seed = 0) noexcept;
+
+/// FNV-1a 64-bit hash.
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::string_view data) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Mix an integer into an FNV-style running hash (for structural audits).
+[[nodiscard]] constexpr std::uint64_t hash_mix(std::uint64_t h,
+                                               std::uint64_t v) noexcept {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace redundancy::util

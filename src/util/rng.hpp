@@ -1,0 +1,149 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of the framework (fault triggers, environment
+// nondeterminism, workload generators, genetic operators) draws from a
+// util::Rng seeded explicitly, so that every test, experiment, and benchmark
+// is reproducible bit-for-bit from its seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace redundancy::util {
+
+/// SplitMix64 step; used for seeding and as a cheap standalone generator.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — fast, high-quality 64-bit generator.
+///
+/// Satisfies std::uniform_random_bit_generator, so it can be handed to
+/// standard distributions and std::shuffle.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0xdeadbeefcafef00dULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    // Lemire's nearly-divisionless method.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Exponentially distributed value with the given mean.
+  double exponential(double mean) noexcept {
+    double u;
+    do { u = uniform(); } while (u <= 0.0);
+    return -mean * log_(u);
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal(double mean = 0.0, double stddev = 1.0) noexcept {
+    if (has_spare_) {
+      has_spare_ = false;
+      return mean + stddev * spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = sqrt_(-2.0 * log_(s) / s);
+    spare_ = v * factor;
+    has_spare_ = true;
+    return mean + stddev * u * factor;
+  }
+
+  /// Derive an independent child generator (for per-replica streams).
+  Rng split() noexcept {
+    std::uint64_t s = (*this)();
+    return Rng{s};
+  }
+
+  /// Fisher-Yates shuffle of a random-access container.
+  template <typename Container>
+  void shuffle(Container& c) noexcept {
+    if (c.size() < 2) return;
+    for (std::size_t i = c.size() - 1; i > 0; --i) {
+      using std::swap;
+      swap(c[i], c[static_cast<std::size_t>(below(i + 1))]);
+    }
+  }
+
+  /// Pick a uniformly random element index for a container of size n.
+  std::size_t index(std::size_t n) noexcept { return static_cast<std::size_t>(below(n)); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  // Tiny local wrappers so this header stays <cmath>-free for constexpr use.
+  static double log_(double x) noexcept;
+  static double sqrt_(double x) noexcept;
+
+  std::array<std::uint64_t, 4> state_{};
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+inline double Rng::log_(double x) noexcept { return __builtin_log(x); }
+inline double Rng::sqrt_(double x) noexcept { return __builtin_sqrt(x); }
+
+}  // namespace redundancy::util

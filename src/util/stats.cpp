@@ -1,0 +1,137 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace redundancy::util {
+
+void Accumulator::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void Accumulator::merge(const Accumulator& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double Accumulator::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Accumulator::stderror() const noexcept {
+  return n_ > 0 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+}
+
+double Accumulator::ci95() const noexcept { return 1.96 * stderror(); }
+
+std::pair<double, double> Proportion::wilson95() const noexcept {
+  if (n_ == 0) return {0.0, 1.0};
+  constexpr double z = 1.96;
+  const auto n = static_cast<double>(n_);
+  const double phat = value();
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (phat + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, center - half), std::min(1.0, center + half)};
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), cell_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets + 2, 0) {}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++counts_.front();
+  } else if (x >= hi_) {
+    ++counts_.back();
+  } else {
+    auto idx = static_cast<std::size_t>((x - lo_) / cell_);
+    idx = std::min(idx, counts_.size() - 3);
+    ++counts_[idx + 1];
+  }
+}
+
+double Histogram::percentile(double p) const noexcept {
+  if (total_ == 0) return 0.0;
+  const double target = p / 100.0 * static_cast<double>(total_);
+  double cum = 0.0;
+  // Underflow bucket reports the low boundary; overflow the high boundary.
+  cum += static_cast<double>(counts_.front());
+  if (cum >= target) return lo_;
+  for (std::size_t i = 1; i + 1 < counts_.size(); ++i) {
+    const auto c = static_cast<double>(counts_[i]);
+    if (cum + c >= target && c > 0) {
+      const double frac = (target - cum) / c;
+      return lo_ + (static_cast<double>(i - 1) + frac) * cell_;
+    }
+    cum += c;
+  }
+  return hi_;
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::size_t peak = 0;
+  for (std::size_t i = 1; i + 1 < counts_.size(); ++i) peak = std::max(peak, counts_[i]);
+  std::string out;
+  if (peak == 0) return out;
+  char buf[64];
+  for (std::size_t i = 1; i + 1 < counts_.size(); ++i) {
+    const double left = lo_ + static_cast<double>(i - 1) * cell_;
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    std::snprintf(buf, sizeof buf, "%10.3f | ", left);
+    out += buf;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+double Sample::percentile(double p) const {
+  if (values_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+  const double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+double Sample::mean() const noexcept {
+  if (values_.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+}  // namespace redundancy::util

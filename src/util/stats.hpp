@@ -1,0 +1,88 @@
+// Streaming statistics and histograms for experiment harnesses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace redundancy::util {
+
+/// Welford streaming accumulator: mean, variance, min/max, confidence bounds.
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+  void merge(const Accumulator& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;   ///< sample variance (n-1)
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double stderror() const noexcept;   ///< stddev / sqrt(n)
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+  /// Half-width of the ~95% normal-approximation confidence interval.
+  [[nodiscard]] double ci95() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Ratio estimator for Bernoulli outcomes (success counts) with Wilson CI.
+class Proportion {
+ public:
+  void add(bool success) noexcept {
+    ++n_;
+    if (success) ++k_;
+  }
+  [[nodiscard]] std::size_t trials() const noexcept { return n_; }
+  [[nodiscard]] std::size_t successes() const noexcept { return k_; }
+  [[nodiscard]] double value() const noexcept {
+    return n_ ? static_cast<double>(k_) / static_cast<double>(n_) : 0.0;
+  }
+  /// Wilson score interval at 95%.
+  [[nodiscard]] std::pair<double, double> wilson95() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t k_ = 0;
+};
+
+/// Fixed-boundary histogram with percentile queries.
+class Histogram {
+ public:
+  /// Buckets spanning [lo, hi) split into `buckets` equal cells, plus
+  /// underflow/overflow cells.
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t count() const noexcept { return total_; }
+  /// Linear-interpolated percentile (p in [0,100]).
+  [[nodiscard]] double percentile(double p) const noexcept;
+  [[nodiscard]] std::string ascii(std::size_t width = 40) const;
+
+ private:
+  double lo_, hi_, cell_;
+  std::vector<std::size_t> counts_;  // [under, cells..., over]
+  std::size_t total_ = 0;
+};
+
+/// Exact quantiles over a retained sample (for small experiment runs).
+class Sample {
+ public:
+  void add(double x) { values_.push_back(x); }
+  [[nodiscard]] std::size_t count() const noexcept { return values_.size(); }
+  [[nodiscard]] double percentile(double p) const;  ///< p in [0,100]
+  [[nodiscard]] double mean() const noexcept;
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace redundancy::util

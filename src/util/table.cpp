@@ -1,0 +1,92 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace redundancy::util {
+
+Table& Table::header(std::vector<std::string> names) {
+  header_ = std::move(names);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  lines_.push_back({std::move(cells), false});
+  return *this;
+}
+
+Table& Table::separator() {
+  lines_.push_back({{}, true});
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  // Compute column widths across header and rows.
+  std::vector<std::size_t> widths;
+  auto widen = [&widths](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& line : lines_) {
+    if (!line.is_separator) widen(line.cells);
+  }
+
+  std::size_t total = widths.empty() ? 0 : 3 * (widths.size() - 1);
+  for (auto w : widths) total += w;
+
+  auto rule = [&os, total](char c) {
+    for (std::size_t i = 0; i < total; ++i) os << c;
+    os << '\n';
+  };
+  auto emit = [&os, &widths](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+      os << cell;
+      if (i + 1 < widths.size()) {
+        os << std::string(widths[i] - cell.size(), ' ') << " | ";
+      }
+    }
+    os << '\n';
+  };
+
+  os << '\n' << title_ << '\n';
+  rule('=');
+  if (!header_.empty()) {
+    emit(header_);
+    rule('-');
+  }
+  for (const auto& line : lines_) {
+    if (line.is_separator) {
+      rule('-');
+    } else {
+      emit(line.cells);
+    }
+  }
+  rule('=');
+}
+
+std::string Table::str() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string Table::count(std::size_t v) { return std::to_string(v); }
+
+}  // namespace redundancy::util

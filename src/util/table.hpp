@@ -1,0 +1,40 @@
+// Plain-text table rendering for the experiment harnesses in bench/.
+// Every experiment prints its results as a paper-style table.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace redundancy::util {
+
+/// Column-aligned text table with a title, header row, and optional
+/// horizontal separators. Cells are strings; format helpers are provided.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  Table& header(std::vector<std::string> names);
+  Table& row(std::vector<std::string> cells);
+  Table& separator();
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string str() const;
+
+  // Cell formatting helpers.
+  static std::string num(double v, int precision = 3);
+  static std::string pct(double fraction, int precision = 1);  ///< 0.42 -> "42.0%"
+  static std::string count(std::size_t v);
+
+ private:
+  struct Line {
+    std::vector<std::string> cells;
+    bool is_separator = false;
+  };
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Line> lines_;
+};
+
+}  // namespace redundancy::util

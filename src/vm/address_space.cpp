@@ -1,0 +1,17 @@
+#include "vm/address_space.hpp"
+
+namespace redundancy::vm {
+
+std::vector<Partition> partition_address_space(std::size_t total_words,
+                                               std::size_t replicas) {
+  std::vector<Partition> parts;
+  if (replicas == 0) return parts;
+  const std::size_t slice = total_words / replicas;
+  parts.reserve(replicas);
+  for (std::size_t r = 0; r < replicas; ++r) {
+    parts.push_back(Partition{r * slice, slice});
+  }
+  return parts;
+}
+
+}  // namespace redundancy::vm

@@ -1,0 +1,32 @@
+// Address-space partitioning (Cox et al., "N-variant systems").
+//
+// Each replica receives a disjoint slice of the address space; the loader
+// rebases all *static* addresses into the replica's slice, so legitimate
+// code never notices — but an attacker-supplied *absolute* address can be
+// valid in at most one replica's slice. In every other replica the access
+// segfaults, and the replicas' behaviours diverge.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace redundancy::vm {
+
+struct Partition {
+  std::size_t base = 0;
+  std::size_t words = 0;
+
+  [[nodiscard]] bool contains(std::size_t addr) const noexcept {
+    return addr >= base && addr < base + words;
+  }
+  [[nodiscard]] bool overlaps(const Partition& other) const noexcept {
+    return base < other.base + other.words && other.base < base + words;
+  }
+};
+
+/// Split `total_words` into `replicas` equal disjoint partitions (any
+/// remainder is left unmapped at the top, acting as a guard).
+[[nodiscard]] std::vector<Partition> partition_address_space(
+    std::size_t total_words, std::size_t replicas);
+
+}  // namespace redundancy::vm

@@ -1,0 +1,130 @@
+#include "vm/assembler.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <map>
+#include <vector>
+
+namespace redundancy::vm {
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+struct Line {
+  std::string mnemonic;
+  std::string operand;  // literal number or label
+  std::size_t source_line = 0;
+};
+
+}  // namespace
+
+core::Result<Program> assemble(std::string name, std::string_view source) {
+  std::map<std::string, std::int64_t, std::less<>> labels;
+  std::vector<Line> lines;
+
+  // Pass 1: strip comments, record labels, collect instructions.
+  std::size_t lineno = 0;
+  std::size_t pos = 0;
+  while (pos <= source.size()) {
+    const std::size_t nl = source.find('\n', pos);
+    std::string_view raw = source.substr(
+        pos, nl == std::string_view::npos ? std::string_view::npos : nl - pos);
+    pos = nl == std::string_view::npos ? source.size() + 1 : nl + 1;
+    ++lineno;
+    if (const auto comment = raw.find(';'); comment != std::string_view::npos) {
+      raw = raw.substr(0, comment);
+    }
+    std::string_view text = trim(raw);
+    while (!text.empty()) {
+      const auto colon = text.find(':');
+      const auto space = text.find_first_of(" \t");
+      if (colon != std::string_view::npos &&
+          (space == std::string_view::npos || colon < space)) {
+        std::string_view label = trim(text.substr(0, colon));
+        if (label.empty()) {
+          return core::failure(core::FailureKind::crash,
+                               "asm: empty label at line " +
+                                   std::to_string(lineno));
+        }
+        labels[std::string{label}] = static_cast<std::int64_t>(lines.size());
+        text = trim(text.substr(colon + 1));
+        continue;
+      }
+      Line line;
+      line.source_line = lineno;
+      if (space == std::string_view::npos) {
+        line.mnemonic = std::string{text};
+        text = {};
+      } else {
+        line.mnemonic = std::string{text.substr(0, space)};
+        line.operand = std::string{trim(text.substr(space + 1))};
+        text = {};
+      }
+      lines.push_back(std::move(line));
+    }
+  }
+
+  // Pass 2: resolve mnemonics and operands.
+  Program prog;
+  prog.name = std::move(name);
+  prog.code.reserve(lines.size());
+  for (const Line& line : lines) {
+    const auto op = parse_mnemonic(line.mnemonic);
+    if (!op) {
+      return core::failure(core::FailureKind::crash,
+                           "asm: unknown mnemonic '" + line.mnemonic +
+                               "' at line " + std::to_string(line.source_line));
+    }
+    Instr ins{*op, 0};
+    if (has_operand(*op)) {
+      if (line.operand.empty()) {
+        return core::failure(core::FailureKind::crash,
+                             "asm: missing operand at line " +
+                                 std::to_string(line.source_line));
+      }
+      std::int64_t value = 0;
+      const char* begin = line.operand.data();
+      const char* end = begin + line.operand.size();
+      auto [ptr, ec] = std::from_chars(begin, end, value);
+      if (ec == std::errc{} && ptr == end) {
+        ins.operand = value;
+      } else if (auto it = labels.find(line.operand); it != labels.end()) {
+        ins.operand = it->second;
+      } else {
+        return core::failure(core::FailureKind::crash,
+                             "asm: unresolved operand '" + line.operand +
+                                 "' at line " +
+                                 std::to_string(line.source_line));
+      }
+    } else if (!line.operand.empty()) {
+      return core::failure(core::FailureKind::crash,
+                           "asm: unexpected operand at line " +
+                               std::to_string(line.source_line));
+    }
+    prog.code.push_back(ins);
+  }
+  return prog;
+}
+
+std::string format(const Program& program) {
+  std::string out;
+  for (const Instr& ins : program.code) {
+    out += mnemonic(ins.op);
+    if (has_operand(ins.op)) {
+      out += ' ';
+      out += std::to_string(ins.operand);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace redundancy::vm

@@ -1,0 +1,22 @@
+// Two-pass assembler for the VM's textual assembly.
+//
+// Syntax: one instruction per line, `mnemonic [operand]`; labels are
+// `name:` on their own line (or prefixing an instruction) and may be used
+// as the operand of jmp/jz/jnz/pusha; `;` starts a comment.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/result.hpp"
+#include "vm/program.hpp"
+
+namespace redundancy::vm {
+
+[[nodiscard]] core::Result<Program> assemble(std::string name,
+                                             std::string_view source);
+
+/// Render a program back to assembly accepted by assemble().
+[[nodiscard]] std::string format(const Program& program);
+
+}  // namespace redundancy::vm

@@ -1,0 +1,87 @@
+#include "vm/attacks.hpp"
+
+#include <string>
+
+#include "vm/assembler.hpp"
+
+namespace redundancy::vm {
+
+Program vulnerable_server() {
+  using L = ServerLayout;
+  const std::string source =
+      "  pusha handler\n"
+      "  store " + std::to_string(L::fnptr) + "   ; fnptr = &handler\n"
+      "  push 0\n"
+      "  store " + std::to_string(L::counter) + " ; i = 0\n"
+      "loop:\n"
+      "  load " + std::to_string(L::counter) + "\n"
+      "  arg 0            ; declared length — trusted, unchecked\n"
+      "  lt\n"
+      "  jz done\n"
+      "  load " + std::to_string(L::counter) + "\n"
+      "  push 1\n"
+      "  add\n"
+      "  argi             ; payload word i\n"
+      "  pusha " + std::to_string(L::buffer) + "\n"
+      "  load " + std::to_string(L::counter) + "\n"
+      "  add\n"
+      "  storei           ; buffer[i] = payload[i] — no bounds check\n"
+      "  load " + std::to_string(L::counter) + "\n"
+      "  push 1\n"
+      "  add\n"
+      "  store " + std::to_string(L::counter) + "\n"
+      "  jmp loop\n"
+      "done:\n"
+      "  load " + std::to_string(L::fnptr) + "\n"
+      "  jmpi             ; dispatch through the (possibly clobbered) fnptr\n"
+      "handler:\n"
+      "  load " + std::to_string(L::buffer) + "\n"
+      "  load " + std::to_string(L::buffer + 1) + "\n"
+      "  add\n"
+      "  dup\n"
+      "  out\n"
+      "  halt\n"
+      "leak:              ; privileged gadget — never called legitimately\n"
+      "  load " + std::to_string(L::secret) + "\n"
+      "  dup\n"
+      "  out\n"
+      "  halt\n";
+  auto prog = assemble("vulnerable-server", source);
+  // The source above is a compile-time constant of this library; assembly
+  // failure is a programming error, not a runtime condition.
+  return std::move(prog).take();
+}
+
+Request benign_request(std::int64_t a, std::int64_t b) { return {2, a, b}; }
+
+Request absolute_address_attack(std::size_t victim_base) {
+  using L = ServerLayout;
+  Request req;
+  req.push_back(static_cast<std::int64_t>(L::buffer_cap + 1));  // len = 9
+  for (std::size_t i = 0; i < L::buffer_cap; ++i) req.push_back(0);
+  // The 9th copied word lands on the fnptr cell.
+  req.push_back(static_cast<std::int64_t>(victim_base + L::leak_gadget));
+  return req;
+}
+
+Request code_injection_attack(std::size_t victim_base, std::uint8_t tag_guess) {
+  using L = ServerLayout;
+  const auto secret_abs = static_cast<std::int64_t>(victim_base + L::secret);
+  const std::vector<Word> shellcode = {
+      encode(Op::push, secret_abs, tag_guess),
+      encode(Op::loadi, 0, tag_guess),
+      encode(Op::dup, 0, tag_guess),
+      encode(Op::out, 0, tag_guess),
+      encode(Op::halt, 0, tag_guess),
+  };
+  Request req;
+  req.push_back(static_cast<std::int64_t>(L::buffer_cap + 1));  // len = 9
+  for (std::size_t i = 0; i < L::buffer_cap; ++i) {
+    req.push_back(i < shellcode.size() ? shellcode[i] : 0);
+  }
+  // Pivot the function pointer into the buffer.
+  req.push_back(static_cast<std::int64_t>(victim_base + L::buffer));
+  return req;
+}
+
+}  // namespace redundancy::vm

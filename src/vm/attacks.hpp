@@ -1,0 +1,66 @@
+// The vulnerable server and its attack payloads.
+//
+// A classic memory-unsafe request handler, written for the VM: it copies a
+// request payload into a fixed 8-word buffer using an *unchecked* length
+// taken from the request header, then dispatches through a function-pointer
+// cell that sits immediately after the buffer. Overflowing the buffer
+// overwrites the function pointer — the textbook entry point for both
+// attack payloads used in the process-replicas experiments:
+//
+//  * absolute-address attack — redirect the function pointer to an existing
+//    privileged gadget (`leak`) using a hard-coded absolute address;
+//  * code-injection attack — write shellcode words into the buffer and
+//    redirect the function pointer at them.
+//
+// Address-space partitioning defeats the first (the absolute address is
+// mapped in at most one replica); instruction tagging defeats the second
+// (injected words carry at most one replica's tag).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vm/program.hpp"
+
+namespace redundancy::vm {
+
+/// Data layout of the server, in words relative to its load base.
+struct ServerLayout {
+  static constexpr std::size_t counter = 100;   ///< copy-loop index
+  static constexpr std::size_t buffer = 110;    ///< request buffer
+  static constexpr std::size_t buffer_cap = 8;  ///< declared capacity
+  static constexpr std::size_t fnptr = 118;     ///< dispatch cell (== buffer+8)
+  static constexpr std::size_t secret = 120;    ///< privileged data
+  static constexpr std::size_t data_end = 128;  ///< minimum partition size
+
+  /// Instruction offsets of interest (verified by tests against the
+  /// assembled program).
+  static constexpr std::size_t handler_entry = 23;
+  static constexpr std::size_t leak_gadget = 29;
+};
+
+/// The canonical secret planted at ServerLayout::secret.
+inline constexpr std::int64_t kSecretValue = 424242;
+
+/// Build the vulnerable request server (addresses relative; rebased at load).
+[[nodiscard]] Program vulnerable_server();
+
+/// A request is the VM argument vector: args[0] = declared payload length,
+/// args[1..len] = payload words.
+using Request = std::vector<std::int64_t>;
+
+/// Well-formed request; the handler returns and outputs a + b.
+[[nodiscard]] Request benign_request(std::int64_t a, std::int64_t b);
+
+/// Overflow the buffer by one word, overwriting the function pointer with
+/// the absolute address of the `leak` gadget in the address space rooted at
+/// `victim_base` (what the attacker believes the layout to be).
+[[nodiscard]] Request absolute_address_attack(std::size_t victim_base);
+
+/// Inject shellcode into the buffer and pivot the function pointer to it.
+/// The shellcode carries `tag_guess` as its instruction tag and reads the
+/// secret at the absolute address derived from `victim_base`.
+[[nodiscard]] Request code_injection_attack(std::size_t victim_base,
+                                            std::uint8_t tag_guess);
+
+}  // namespace redundancy::vm

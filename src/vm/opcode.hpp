@@ -1,0 +1,121 @@
+// Instruction set of the miniature von-Neumann stack machine.
+//
+// The VM is the framework's stand-in for a real process: code and data share
+// one flat memory, so buffer overflows can overwrite function pointers and
+// injected bytes can be executed — the attack surface that process-replica
+// diversification (Cox et al.'s address-space partitioning and instruction
+// tagging) defends. It is also the genotype for genetic-programming repair.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace redundancy::vm {
+
+enum class Op : std::uint8_t {
+  nop = 0,
+  halt,    ///< stop; result = top of stack (or 0 if empty)
+  push,    ///< push immediate operand
+  pusha,   ///< push an *address* immediate (rebased by the loader)
+  pop,
+  dup,
+  swap,
+  over,    ///< push copy of second-from-top
+  add,
+  sub,
+  mul,
+  divi,    ///< integer division; divide-by-zero traps
+  mod,
+  neg,
+  eq,      ///< pop b, a; push a==b
+  lt,
+  gt,
+  land,
+  lor,
+  lnot,
+  load,    ///< push memory[operand] (operand rebased by loader)
+  store,   ///< memory[operand] = pop (operand rebased by loader)
+  loadi,   ///< push memory[pop()]      — absolute, attacker-usable
+  storei,  ///< addr = pop, val = pop; memory[addr] = val — absolute
+  jmp,     ///< pc = operand (rebased)
+  jz,      ///< pop; if zero, pc = operand (rebased)
+  jnz,
+  jmpi,    ///< pc = pop() — absolute indirect jump (fn-pointer dispatch)
+  arg,     ///< push argument #operand
+  argi,    ///< push argument #pop()  (dynamic index)
+  nargs,   ///< push the argument count
+  out,     ///< append pop() to the observable output trace
+  count_,  // sentinel
+};
+
+/// Packed in-memory form: | operand (48-bit signed) | tag (8) | op (8) |.
+using Word = std::int64_t;
+
+[[nodiscard]] constexpr Word encode(Op op, std::int64_t operand = 0,
+                                    std::uint8_t tag = 0) noexcept {
+  const auto raw = static_cast<std::uint64_t>(operand) & 0xffffffffffffULL;
+  return static_cast<Word>((raw << 16) |
+                           (static_cast<std::uint64_t>(tag) << 8) |
+                           static_cast<std::uint64_t>(op));
+}
+
+struct Decoded {
+  Op op = Op::nop;
+  std::int64_t operand = 0;
+  std::uint8_t tag = 0;
+  bool valid = false;
+};
+
+[[nodiscard]] constexpr Decoded decode(Word w) noexcept {
+  Decoded d;
+  const auto u = static_cast<std::uint64_t>(w);
+  const auto opraw = static_cast<std::uint8_t>(u & 0xff);
+  if (opraw >= static_cast<std::uint8_t>(Op::count_)) return d;
+  d.op = static_cast<Op>(opraw);
+  d.tag = static_cast<std::uint8_t>((u >> 8) & 0xff);
+  // Sign-extend the 48-bit operand.
+  std::uint64_t raw = u >> 16;
+  if (raw & (1ULL << 47)) raw |= 0xffff000000000000ULL;
+  d.operand = static_cast<std::int64_t>(raw);
+  d.valid = true;
+  return d;
+}
+
+/// True if the loader must add the code/data base to this op's operand.
+[[nodiscard]] constexpr bool operand_is_address(Op op) noexcept {
+  switch (op) {
+    case Op::pusha:
+    case Op::load:
+    case Op::store:
+    case Op::jmp:
+    case Op::jz:
+    case Op::jnz:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// True if the op consumes an immediate operand at all.
+[[nodiscard]] constexpr bool has_operand(Op op) noexcept {
+  switch (op) {
+    case Op::push:
+    case Op::pusha:
+    case Op::load:
+    case Op::store:
+    case Op::jmp:
+    case Op::jz:
+    case Op::jnz:
+    case Op::arg:
+      return true;
+    default:
+      return false;
+  }
+}
+
+[[nodiscard]] std::string_view mnemonic(Op op) noexcept;
+[[nodiscard]] std::optional<Op> parse_mnemonic(std::string_view text) noexcept;
+
+}  // namespace redundancy::vm

@@ -1,0 +1,36 @@
+#include "vm/program.hpp"
+
+#include <cstdio>
+
+namespace redundancy::vm {
+
+std::vector<Word> Program::image(std::int64_t base, std::uint8_t tag) const {
+  std::vector<Word> words;
+  words.reserve(code.size());
+  for (const Instr& ins : code) {
+    const std::int64_t operand =
+        operand_is_address(ins.op) ? ins.operand + base : ins.operand;
+    words.push_back(encode(ins.op, operand, tag));
+  }
+  return words;
+}
+
+std::string Program::disassemble() const {
+  std::string out;
+  char buf[96];
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const Instr& ins = code[i];
+    if (has_operand(ins.op)) {
+      std::snprintf(buf, sizeof buf, "%4zu: %-7s %lld\n", i,
+                    std::string(mnemonic(ins.op)).c_str(),
+                    static_cast<long long>(ins.operand));
+    } else {
+      std::snprintf(buf, sizeof buf, "%4zu: %s\n", i,
+                    std::string(mnemonic(ins.op)).c_str());
+    }
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace redundancy::vm

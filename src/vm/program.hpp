@@ -1,0 +1,41 @@
+// Program: a sequence of VM instructions with a name.
+//
+// Programs are the genotype for genetic repair (vm-level mutation and
+// crossover live in techniques/genetic_repair) and the payload the process-
+// replica loader stamps and rebases.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vm/opcode.hpp"
+
+namespace redundancy::vm {
+
+struct Instr {
+  Op op = Op::nop;
+  std::int64_t operand = 0;
+
+  friend bool operator==(const Instr&, const Instr&) = default;
+};
+
+struct Program {
+  std::string name;
+  std::vector<Instr> code;
+
+  [[nodiscard]] std::size_t size() const noexcept { return code.size(); }
+  [[nodiscard]] bool empty() const noexcept { return code.empty(); }
+
+  /// Pack into memory words with the given tag, rebasing address operands
+  /// by `base` (the loader's half of address-space partitioning).
+  [[nodiscard]] std::vector<Word> image(std::int64_t base = 0,
+                                        std::uint8_t tag = 0) const;
+
+  /// Disassembly for debugging and for the assembler round-trip tests.
+  [[nodiscard]] std::string disassemble() const;
+
+  friend bool operator==(const Program&, const Program&) = default;
+};
+
+}  // namespace redundancy::vm

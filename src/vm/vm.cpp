@@ -1,0 +1,283 @@
+#include "vm/vm.hpp"
+
+#include <array>
+
+namespace redundancy::vm {
+
+namespace {
+
+constexpr std::array<std::string_view,
+                     static_cast<std::size_t>(Op::count_)>
+    kMnemonics{"nop",  "halt", "push", "pusha", "pop",   "dup",  "swap",
+               "over", "add",  "sub",  "mul",   "div",   "mod",  "neg",
+               "eq",   "lt",   "gt",   "and",   "or",    "not",  "load",
+               "store", "loadi", "storei", "jmp", "jz",  "jnz",  "jmpi",
+               "arg",  "argi", "nargs", "out"};
+
+}  // namespace
+
+std::string_view mnemonic(Op op) noexcept {
+  const auto idx = static_cast<std::size_t>(op);
+  return idx < kMnemonics.size() ? kMnemonics[idx] : "??";
+}
+
+std::optional<Op> parse_mnemonic(std::string_view text) noexcept {
+  for (std::size_t i = 0; i < kMnemonics.size(); ++i) {
+    if (kMnemonics[i] == text) return static_cast<Op>(i);
+  }
+  return std::nullopt;
+}
+
+Vm::Vm(VmConfig cfg) : cfg_(cfg), memory_(cfg.memory_words, 0) {}
+
+void Vm::reset() {
+  memory_.assign(cfg_.memory_words, 0);
+  steps_ = 0;
+}
+
+void Vm::load_image(std::span<const Word> image, std::size_t at) {
+  for (std::size_t i = 0; i < image.size() && at + i < memory_.size(); ++i) {
+    memory_[at + i] = image[i];
+  }
+}
+
+void Vm::load(const Program& program, std::size_t base, std::uint8_t tag) {
+  load_image(program.image(static_cast<std::int64_t>(base), tag), base);
+}
+
+core::Result<std::int64_t> Vm::peek(std::size_t addr) const {
+  if (addr >= memory_.size()) {
+    return core::failure(core::FailureKind::crash, "peek out of range");
+  }
+  return memory_[addr];
+}
+
+core::Status Vm::poke(std::size_t addr, std::int64_t value) {
+  if (addr >= memory_.size()) {
+    return core::failure(core::FailureKind::crash, "poke out of range");
+  }
+  memory_[addr] = value;
+  return core::ok_status();
+}
+
+core::Result<Behaviour> Vm::run(std::size_t entry,
+                                std::span<const std::int64_t> args) {
+  using core::failure;
+  using core::FailureKind;
+
+  auto trap = [](std::string why) {
+    return core::Result<Behaviour>{
+        failure(FailureKind::crash, "vm trap: " + std::move(why))};
+  };
+
+  std::vector<std::int64_t> stack;
+  stack.reserve(64);
+  Behaviour behaviour;
+  std::size_t pc = entry;
+  steps_ = 0;
+
+  auto pop = [&stack]() {
+    const std::int64_t v = stack.back();
+    stack.pop_back();
+    return v;
+  };
+
+  // Partitioned-address-space check: with region_words set, only this
+  // replica's partition is mapped; everything else segfaults.
+  const std::size_t lo = cfg_.region_words ? cfg_.region_base : 0;
+  const std::size_t hi =
+      cfg_.region_words ? cfg_.region_base + cfg_.region_words : memory_.size();
+  auto mapped = [lo, hi](std::int64_t addr) {
+    return addr >= 0 && static_cast<std::size_t>(addr) >= lo &&
+           static_cast<std::size_t>(addr) < hi;
+  };
+
+  for (;;) {
+    if (++steps_ > cfg_.max_steps) {
+      return core::Result<Behaviour>{
+          failure(FailureKind::timeout, "vm step limit exceeded")};
+    }
+    if (pc >= memory_.size()) return trap("pc out of range");
+    if (!mapped(static_cast<std::int64_t>(pc))) {
+      return trap("segmentation fault: fetch outside partition");
+    }
+    const Decoded ins = decode(memory_[pc]);
+    if (!ins.valid) return trap("illegal instruction");
+    if (cfg_.enforce_tags && ins.tag != cfg_.expected_tag) {
+      return trap("instruction tag mismatch at " + std::to_string(pc));
+    }
+    ++pc;
+
+    // Stack-arity checks, centralized.
+    const auto need = [&](std::size_t n) { return stack.size() >= n; };
+    switch (ins.op) {
+      case Op::nop:
+        break;
+      case Op::halt:
+        behaviour.ret = stack.empty() ? 0 : stack.back();
+        return behaviour;
+      case Op::push:
+      case Op::pusha:
+        if (stack.size() >= cfg_.max_stack) return trap("stack overflow");
+        stack.push_back(ins.operand);
+        break;
+      case Op::pop:
+        if (!need(1)) return trap("stack underflow");
+        stack.pop_back();
+        break;
+      case Op::dup:
+        if (!need(1)) return trap("stack underflow");
+        if (stack.size() >= cfg_.max_stack) return trap("stack overflow");
+        stack.push_back(stack.back());
+        break;
+      case Op::swap: {
+        if (!need(2)) return trap("stack underflow");
+        std::swap(stack[stack.size() - 1], stack[stack.size() - 2]);
+        break;
+      }
+      case Op::over:
+        if (!need(2)) return trap("stack underflow");
+        if (stack.size() >= cfg_.max_stack) return trap("stack overflow");
+        stack.push_back(stack[stack.size() - 2]);
+        break;
+      case Op::add:
+      case Op::sub:
+      case Op::mul:
+      case Op::divi:
+      case Op::mod:
+      case Op::eq:
+      case Op::lt:
+      case Op::gt:
+      case Op::land:
+      case Op::lor: {
+        if (!need(2)) return trap("stack underflow");
+        const std::int64_t b = pop();
+        const std::int64_t a = pop();
+        std::int64_t r = 0;
+        switch (ins.op) {
+          case Op::add: r = a + b; break;
+          case Op::sub: r = a - b; break;
+          case Op::mul: r = a * b; break;
+          case Op::divi:
+            if (b == 0) return trap("division by zero");
+            r = a / b;
+            break;
+          case Op::mod:
+            if (b == 0) return trap("modulo by zero");
+            r = a % b;
+            break;
+          case Op::eq: r = a == b; break;
+          case Op::lt: r = a < b; break;
+          case Op::gt: r = a > b; break;
+          case Op::land: r = (a != 0) && (b != 0); break;
+          case Op::lor: r = (a != 0) || (b != 0); break;
+          default: break;
+        }
+        stack.push_back(r);
+        break;
+      }
+      case Op::neg:
+        if (!need(1)) return trap("stack underflow");
+        stack.back() = -stack.back();
+        break;
+      case Op::lnot:
+        if (!need(1)) return trap("stack underflow");
+        stack.back() = stack.back() == 0;
+        break;
+      case Op::load: {
+        if (!mapped(ins.operand)) return trap("segmentation fault: load");
+        if (stack.size() >= cfg_.max_stack) return trap("stack overflow");
+        stack.push_back(memory_[static_cast<std::size_t>(ins.operand)]);
+        break;
+      }
+      case Op::store: {
+        if (!need(1)) return trap("stack underflow");
+        if (!mapped(ins.operand)) return trap("segmentation fault: store");
+        memory_[static_cast<std::size_t>(ins.operand)] = pop();
+        break;
+      }
+      case Op::loadi: {
+        if (!need(1)) return trap("stack underflow");
+        const std::int64_t a = pop();
+        if (!mapped(a)) return trap("segmentation fault: indirect load");
+        stack.push_back(memory_[static_cast<std::size_t>(a)]);
+        break;
+      }
+      case Op::storei: {
+        if (!need(2)) return trap("stack underflow");
+        const std::int64_t addr = pop();
+        const std::int64_t val = pop();
+        if (!mapped(addr)) return trap("segmentation fault: indirect store");
+        memory_[static_cast<std::size_t>(addr)] = val;
+        break;
+      }
+      case Op::jmp:
+        if (ins.operand < 0) return trap("jump out of range");
+        pc = static_cast<std::size_t>(ins.operand);
+        break;
+      case Op::jz: {
+        if (!need(1)) return trap("stack underflow");
+        if (pop() == 0) {
+          if (ins.operand < 0) return trap("jump out of range");
+          pc = static_cast<std::size_t>(ins.operand);
+        }
+        break;
+      }
+      case Op::jnz: {
+        if (!need(1)) return trap("stack underflow");
+        if (pop() != 0) {
+          if (ins.operand < 0) return trap("jump out of range");
+          pc = static_cast<std::size_t>(ins.operand);
+        }
+        break;
+      }
+      case Op::jmpi: {
+        if (!need(1)) return trap("stack underflow");
+        const std::int64_t a = pop();
+        if (a < 0 || static_cast<std::size_t>(a) >= memory_.size()) {
+          return trap("indirect jump out of range");
+        }
+        pc = static_cast<std::size_t>(a);
+        break;
+      }
+      case Op::arg: {
+        const auto idx = static_cast<std::size_t>(ins.operand);
+        if (ins.operand < 0 || idx >= args.size()) {
+          return trap("argument index out of range");
+        }
+        if (stack.size() >= cfg_.max_stack) return trap("stack overflow");
+        stack.push_back(args[idx]);
+        break;
+      }
+      case Op::argi: {
+        if (!need(1)) return trap("stack underflow");
+        const std::int64_t a = pop();
+        if (a < 0 || static_cast<std::size_t>(a) >= args.size()) {
+          return trap("argument index out of range");
+        }
+        stack.push_back(args[static_cast<std::size_t>(a)]);
+        break;
+      }
+      case Op::nargs:
+        if (stack.size() >= cfg_.max_stack) return trap("stack overflow");
+        stack.push_back(static_cast<std::int64_t>(args.size()));
+        break;
+      case Op::out:
+        if (!need(1)) return trap("stack underflow");
+        behaviour.output.push_back(pop());
+        break;
+      case Op::count_:
+        return trap("illegal instruction");
+    }
+  }
+}
+
+core::Result<Behaviour> execute(const Program& program,
+                                std::span<const std::int64_t> args,
+                                VmConfig cfg) {
+  Vm machine{cfg};
+  machine.load(program, 0, cfg.expected_tag);
+  return machine.run(0, args);
+}
+
+}  // namespace redundancy::vm

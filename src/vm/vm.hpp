@@ -1,0 +1,77 @@
+// The VM interpreter.
+//
+// Von-Neumann layout: code and data live in one flat word-addressed memory,
+// so out-of-bounds stores can overwrite code or function-pointer cells and
+// indirect jumps can land on attacker-written words. Optional instruction-
+// tag enforcement implements Cox et al.'s tagged-instruction variant: every
+// fetched word must carry the replica's tag or the machine traps.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/result.hpp"
+#include "vm/program.hpp"
+
+namespace redundancy::vm {
+
+struct VmConfig {
+  std::size_t memory_words = 4096;
+  std::uint64_t max_steps = 20'000;
+  std::size_t max_stack = 1024;
+  bool enforce_tags = false;     ///< trap on fetched-instruction tag mismatch
+  std::uint8_t expected_tag = 0;
+  /// Address-space partitioning (Cox et al.): when region_words > 0, only
+  /// addresses in [region_base, region_base + region_words) are mapped for
+  /// this replica; any fetch or data access outside it traps (segfault).
+  std::size_t region_base = 0;
+  std::size_t region_words = 0;
+};
+
+/// Observable behaviour of one execution: return value + output trace.
+/// Replica divergence detection compares these across variants.
+struct Behaviour {
+  std::int64_t ret = 0;
+  std::vector<std::int64_t> output;
+
+  friend bool operator==(const Behaviour&, const Behaviour&) = default;
+};
+
+class Vm {
+ public:
+  explicit Vm(VmConfig cfg = {});
+
+  /// Copy a packed program image into memory starting at `at`.
+  void load_image(std::span<const Word> image, std::size_t at);
+  /// Convenience: rebase + stamp + load a Program at `base`.
+  void load(const Program& program, std::size_t base, std::uint8_t tag);
+
+  /// Execute starting at `entry` with the given arguments.
+  core::Result<Behaviour> run(std::size_t entry,
+                              std::span<const std::int64_t> args);
+
+  // Raw memory access (the substrate for attacks and for data placement).
+  [[nodiscard]] core::Result<std::int64_t> peek(std::size_t addr) const;
+  core::Status poke(std::size_t addr, std::int64_t value);
+
+  [[nodiscard]] std::size_t memory_words() const noexcept { return memory_.size(); }
+  [[nodiscard]] std::uint64_t steps_executed() const noexcept { return steps_; }
+  [[nodiscard]] const VmConfig& config() const noexcept { return cfg_; }
+
+  void reset();  ///< zero memory, clear counters
+
+ private:
+  VmConfig cfg_;
+  std::vector<Word> memory_;
+  std::uint64_t steps_ = 0;
+};
+
+/// Run `program` standalone (fresh machine, program at 0): the execution
+/// mode used by genetic repair and the arithmetic-kernel experiments.
+[[nodiscard]] core::Result<Behaviour> execute(const Program& program,
+                                              std::span<const std::int64_t> args,
+                                              VmConfig cfg = {});
+
+}  // namespace redundancy::vm

@@ -1,0 +1,96 @@
+#include "core/acceptance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "techniques/recovery_blocks.hpp"
+
+namespace redundancy::core::acceptance {
+namespace {
+
+TEST(Acceptance, InRange) {
+  auto test = in_range<int, int>(0, 10);
+  EXPECT_TRUE(test(99, 0));
+  EXPECT_TRUE(test(99, 10));
+  EXPECT_FALSE(test(99, -1));
+  EXPECT_FALSE(test(99, 11));
+}
+
+TEST(Acceptance, Relation) {
+  auto test = relation<double, double>(
+      [](const double& x, const double& out) { return out * out <= x + 1e-9; });
+  EXPECT_TRUE(test(4.0, 2.0));
+  EXPECT_FALSE(test(4.0, 3.0));
+}
+
+TEST(Acceptance, InverseCheck) {
+  auto test = inverse_check<double, double>(
+      [](const double& out) { return out * out; },
+      [](const double& a, const double& b) { return std::abs(a - b) < 1e-6; });
+  EXPECT_TRUE(test(9.0, 3.0));
+  EXPECT_FALSE(test(9.0, 3.01));
+}
+
+TEST(Acceptance, Combinators) {
+  auto low = in_range<int, int>(0, 5);
+  auto high = in_range<int, int>(4, 10);
+  auto both = all_of<int, int>(low, high);
+  auto either = any_of<int, int>(low, high);
+  auto not_low = negate<int, int>(low);
+  EXPECT_TRUE(both(0, 4));
+  EXPECT_FALSE(both(0, 2));
+  EXPECT_TRUE(either(0, 2));
+  EXPECT_FALSE(either(0, 20));
+  EXPECT_TRUE(not_low(0, 20));
+}
+
+TEST(Acceptance, DeadlinePassesFastVariants) {
+  auto fast = with_deadline<int, int>(
+      make_variant<int, int>("fast",
+                             [](const int& x) -> Result<int> { return x; }),
+      std::chrono::milliseconds{100});
+  EXPECT_TRUE(fast(7).has_value());
+}
+
+TEST(Acceptance, DeadlineFailsSlowVariants) {
+  auto slow = with_deadline<int, int>(
+      make_variant<int, int>("slow",
+                             [](const int& x) -> Result<int> {
+                               // Busy-wait past the 1 us budget.
+                               const auto until =
+                                   std::chrono::steady_clock::now() +
+                                   std::chrono::milliseconds{2};
+                               while (std::chrono::steady_clock::now() < until) {
+                               }
+                               return x;
+                             }),
+      std::chrono::microseconds{1});
+  auto out = slow(7);
+  ASSERT_FALSE(out.has_value());
+  EXPECT_EQ(out.error().kind, FailureKind::timeout);
+}
+
+TEST(Acceptance, DrivesARecoveryBlock) {
+  // sqrt with an inverse acceptance test: the classic invertible pairing.
+  auto good = make_variant<double, double>(
+      "newton", [](const double& x) -> Result<double> {
+        return std::sqrt(x);
+      });
+  auto bad = make_variant<double, double>(
+      "broken", [](const double&) -> Result<double> { return 1.0; });
+  techniques::RecoveryBlocks<double, double> rb{
+      {bad, good},
+      inverse_check<double, double>(
+          [](const double& out) { return out * out; },
+          [](const double& a, const double& b) {
+            return std::abs(a - b) < 1e-6;
+          })};
+  auto out = rb.run(16.0);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_NEAR(out.value(), 4.0, 1e-9);
+  EXPECT_EQ(rb.last_used_alternate(), 1u);
+}
+
+}  // namespace
+}  // namespace redundancy::core::acceptance

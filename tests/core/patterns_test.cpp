@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include "core/parallel_evaluation.hpp"
+#include "core/parallel_selection.hpp"
+#include "core/sequential_alternatives.hpp"
+
+namespace redundancy::core {
+namespace {
+
+Variant<int, int> good(std::string name, int delta = 0) {
+  return make_variant<int, int>(
+      std::move(name), [delta](const int& x) -> Result<int> {
+        return x * 2 + delta;
+      });
+}
+
+Variant<int, int> crashing(std::string name) {
+  return make_variant<int, int>(std::move(name), [](const int&) -> Result<int> {
+    return failure(FailureKind::crash);
+  });
+}
+
+// --- Figure 1(a): parallel evaluation -------------------------------------
+
+TEST(ParallelEvaluation, MasksMinorityFailure) {
+  ParallelEvaluation<int, int> pe{{good("a"), crashing("b"), good("c")},
+                                  majority_voter<int>()};
+  auto out = pe.run(10);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out.value(), 20);
+  EXPECT_EQ(pe.metrics().recoveries, 1u);
+  EXPECT_EQ(pe.metrics().variant_executions, 3u);
+  EXPECT_EQ(pe.metrics().variant_failures, 1u);
+}
+
+TEST(ParallelEvaluation, MasksMinorityWrongOutput) {
+  ParallelEvaluation<int, int> pe{{good("a"), good("b", 5), good("c")},
+                                  majority_voter<int>()};
+  auto out = pe.run(1);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out.value(), 2);
+}
+
+TEST(ParallelEvaluation, MajorityWrongDefeatsVoting) {
+  // Identical-and-wrong consensus: the voting danger the Knight-Leveson
+  // experiment warned about.
+  ParallelEvaluation<int, int> pe{{good("a", 5), good("b", 5), good("c")},
+                                  majority_voter<int>()};
+  auto out = pe.run(1);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out.value(), 7);  // the wrong answer wins the vote
+}
+
+TEST(ParallelEvaluation, AllVariantsAlwaysExecute) {
+  ParallelEvaluation<int, int> pe{{good("a"), good("b"), good("c")},
+                                  majority_voter<int>()};
+  for (int i = 0; i < 10; ++i) (void)pe.run(i);
+  EXPECT_EQ(pe.metrics().variant_executions, 30u);
+  EXPECT_EQ(pe.metrics().requests, 10u);
+  EXPECT_DOUBLE_EQ(pe.metrics().executions_per_request(), 3.0);
+}
+
+TEST(ParallelEvaluation, ThreadedModeMatchesSequential) {
+  std::vector<Variant<int, int>> vs{good("a"), good("b"), good("c")};
+  ParallelEvaluation<int, int> seq{vs, majority_voter<int>(),
+                                   Concurrency::sequential};
+  ParallelEvaluation<int, int> thr{vs, majority_voter<int>(),
+                                   Concurrency::threaded};
+  for (int i = 0; i < 50; ++i) {
+    auto a = seq.run(i);
+    auto b = thr.run(i);
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(a.value(), b.value());
+  }
+}
+
+TEST(ParallelEvaluation, UnrecoveredCounted) {
+  ParallelEvaluation<int, int> pe{{crashing("a"), crashing("b"), good("c")},
+                                  majority_voter<int>()};
+  auto out = pe.run(1);
+  EXPECT_FALSE(out.has_value());
+  EXPECT_EQ(pe.metrics().unrecovered, 1u);
+}
+
+// --- Figure 1(b): parallel selection ---------------------------------------
+
+TEST(ParallelSelection, HighestPriorityPassingWins) {
+  using PS = ParallelSelection<int, int>;
+  PS ps{{PS::Checked{good("primary"), accept_all<int, int>()},
+         PS::Checked{good("spare", 100), accept_all<int, int>()}}};
+  auto out = ps.run(3);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out.value(), 6);
+  EXPECT_EQ(ps.acting(), 0u);
+}
+
+TEST(ParallelSelection, SpareTakesOverAndFailedIsDisabled) {
+  using PS = ParallelSelection<int, int>;
+  PS ps{{PS::Checked{crashing("primary"), accept_all<int, int>()},
+         PS::Checked{good("spare"), accept_all<int, int>()}}};
+  auto out = ps.run(3);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out.value(), 6);
+  EXPECT_EQ(ps.acting(), 1u);
+  EXPECT_EQ(ps.alive(), 1u);  // primary disabled
+  EXPECT_EQ(ps.metrics().disabled_components, 1u);
+  EXPECT_EQ(ps.metrics().recoveries, 1u);
+}
+
+TEST(ParallelSelection, AcceptanceTestFiltersWrongOutput) {
+  using PS = ParallelSelection<int, int>;
+  auto is_even = [](const int&, const int& out) { return out % 2 == 0; };
+  PS ps{{PS::Checked{good("odd", 1), is_even},
+         PS::Checked{good("even"), is_even}}};
+  auto out = ps.run(4);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out.value(), 8);
+}
+
+TEST(ParallelSelection, RedundancyIsProgressivelyConsumed) {
+  using PS = ParallelSelection<int, int>;
+  PS ps{{PS::Checked{crashing("a"), accept_all<int, int>()},
+         PS::Checked{crashing("b"), accept_all<int, int>()},
+         PS::Checked{good("c"), accept_all<int, int>()}}};
+  (void)ps.run(1);
+  EXPECT_EQ(ps.alive(), 1u);
+  (void)ps.run(1);
+  EXPECT_EQ(ps.alive(), 1u);
+  // Only the surviving component executes on later requests.
+  EXPECT_EQ(ps.metrics().variant_executions, 4u);
+}
+
+TEST(ParallelSelection, AllFailedIsNoAlternatives) {
+  using PS = ParallelSelection<int, int>;
+  PS ps{{PS::Checked{crashing("a"), accept_all<int, int>()}}};
+  auto out = ps.run(1);
+  ASSERT_FALSE(out.has_value());
+  EXPECT_EQ(out.error().kind, FailureKind::no_alternatives);
+  // A later request has nothing left to run.
+  out = ps.run(1);
+  EXPECT_FALSE(out.has_value());
+  EXPECT_EQ(ps.alive(), 0u);
+}
+
+TEST(ParallelSelection, ReinstateRestoresService) {
+  using PS = ParallelSelection<int, int>;
+  PS ps{{PS::Checked{crashing("a"), accept_all<int, int>()},
+         PS::Checked{good("b"), accept_all<int, int>()}}};
+  (void)ps.run(1);
+  EXPECT_EQ(ps.alive(), 1u);
+  ps.reinstate_all();
+  EXPECT_EQ(ps.alive(), 2u);
+}
+
+// --- Figure 1(c): sequential alternatives ----------------------------------
+
+TEST(SequentialAlternatives, PrimarySufficesWhenHealthy) {
+  SequentialAlternatives<int, int> sa{{good("p"), good("alt", 100)},
+                                      accept_all<int, int>()};
+  auto out = sa.run(2);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out.value(), 4);
+  EXPECT_EQ(sa.metrics().variant_executions, 1u);  // alternates untouched
+  EXPECT_EQ(sa.last_used(), 0u);
+}
+
+TEST(SequentialAlternatives, FallsThroughOnCrash) {
+  SequentialAlternatives<int, int> sa{{crashing("p"), good("alt")},
+                                      accept_all<int, int>()};
+  auto out = sa.run(2);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out.value(), 4);
+  EXPECT_EQ(sa.last_used(), 1u);
+  EXPECT_EQ(sa.metrics().recoveries, 1u);
+}
+
+TEST(SequentialAlternatives, AcceptanceRejectionTriggersAlternate) {
+  auto reject_odd = [](const int&, const int& out) { return out % 2 == 0; };
+  SequentialAlternatives<int, int> sa{{good("p", 1), good("alt")},
+                                      reject_odd};
+  auto out = sa.run(2);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out.value(), 4);
+}
+
+TEST(SequentialAlternatives, RollbackRunsBeforeEachRetry) {
+  int rollbacks = 0;
+  SequentialAlternatives<int, int>::Options opts;
+  opts.rollback = [&rollbacks] { ++rollbacks; };
+  SequentialAlternatives<int, int> sa{
+      {crashing("a"), crashing("b"), good("c")}, accept_all<int, int>(),
+      opts};
+  auto out = sa.run(1);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(rollbacks, 2);
+  EXPECT_EQ(sa.metrics().rollbacks, 2u);
+}
+
+TEST(SequentialAlternatives, ExhaustionReportsNoAlternatives) {
+  SequentialAlternatives<int, int> sa{{crashing("a"), crashing("b")},
+                                      accept_all<int, int>()};
+  auto out = sa.run(1);
+  ASSERT_FALSE(out.has_value());
+  EXPECT_EQ(out.error().kind, FailureKind::no_alternatives);
+  EXPECT_EQ(sa.metrics().unrecovered, 1u);
+}
+
+TEST(SequentialAlternatives, MaxAttemptsBoundsConsumption) {
+  SequentialAlternatives<int, int>::Options opts;
+  opts.max_attempts = 2;
+  SequentialAlternatives<int, int> sa{
+      {crashing("a"), crashing("b"), good("c")}, accept_all<int, int>(),
+      opts};
+  auto out = sa.run(1);
+  EXPECT_FALSE(out.has_value());
+  EXPECT_EQ(sa.metrics().variant_executions, 2u);
+}
+
+TEST(SequentialAlternatives, CostOnlyForExecutedAlternatives) {
+  auto expensive = good("alt");
+  expensive.cost = 10.0;
+  SequentialAlternatives<int, int> sa{{good("p"), expensive},
+                                      accept_all<int, int>()};
+  (void)sa.run(1);
+  EXPECT_DOUBLE_EQ(sa.metrics().cost_units, 1.0);
+}
+
+TEST(Metrics, AccumulateAndSummarize) {
+  Metrics m;
+  m.requests = 2;
+  m.variant_executions = 6;
+  Metrics n;
+  n.requests = 1;
+  n.cost_units = 4.0;
+  m += n;
+  EXPECT_EQ(m.requests, 3u);
+  EXPECT_DOUBLE_EQ(m.executions_per_request(), 2.0);
+  EXPECT_NE(m.summary().find("requests=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace redundancy::core

@@ -1,0 +1,110 @@
+#include "core/result.hpp"
+
+#include <gtest/gtest.h>
+
+namespace redundancy::core {
+namespace {
+
+TEST(Result, SuccessHoldsValue) {
+  Result<int> r{42};
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Result, FailureHoldsFailure) {
+  Result<int> r = failure(FailureKind::timeout, "too slow");
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().kind, FailureKind::timeout);
+  EXPECT_EQ(r.error().detail, "too slow");
+}
+
+TEST(Result, ValueOnFailureThrows) {
+  Result<int> r = failure(FailureKind::crash);
+  EXPECT_THROW((void)r.value(), std::logic_error);
+}
+
+TEST(Result, ErrorOnSuccessThrows) {
+  Result<int> r{1};
+  EXPECT_THROW((void)r.error(), std::logic_error);
+}
+
+TEST(Result, ValueOr) {
+  Result<int> ok{5};
+  Result<int> bad = failure(FailureKind::crash);
+  EXPECT_EQ(ok.value_or(9), 5);
+  EXPECT_EQ(bad.value_or(9), 9);
+}
+
+TEST(Result, MapTransformsSuccess) {
+  Result<int> r{10};
+  auto doubled = r.map([](const int& v) { return v * 2; });
+  ASSERT_TRUE(doubled.has_value());
+  EXPECT_EQ(doubled.value(), 20);
+}
+
+TEST(Result, MapPropagatesFailure) {
+  Result<int> r = failure(FailureKind::unavailable, "gone");
+  auto mapped = r.map([](const int& v) { return v * 2; });
+  ASSERT_FALSE(mapped.has_value());
+  EXPECT_EQ(mapped.error().kind, FailureKind::unavailable);
+}
+
+TEST(Result, AndThenChains) {
+  Result<int> r{4};
+  auto chained = r.and_then([](const int& v) -> Result<std::string> {
+    if (v > 0) return std::string(static_cast<std::size_t>(v), 'x');
+    return failure(FailureKind::wrong_output);
+  });
+  ASSERT_TRUE(chained.has_value());
+  EXPECT_EQ(chained.value(), "xxxx");
+}
+
+TEST(Result, AndThenShortCircuits) {
+  Result<int> r = failure(FailureKind::crash);
+  bool called = false;
+  auto chained = r.and_then([&called](const int&) -> Result<int> {
+    called = true;
+    return 1;
+  });
+  EXPECT_FALSE(chained.has_value());
+  EXPECT_FALSE(called);
+}
+
+TEST(Result, EqualityComparesValuesAndKinds) {
+  EXPECT_EQ(Result<int>{3}, Result<int>{3});
+  EXPECT_NE(Result<int>{3}, Result<int>{4});
+  EXPECT_EQ((Result<int>{failure(FailureKind::crash, "a")}),
+            (Result<int>{failure(FailureKind::crash, "b")}));
+  EXPECT_NE((Result<int>{failure(FailureKind::crash)}),
+            (Result<int>{failure(FailureKind::timeout)}));
+  EXPECT_NE(Result<int>{3}, (Result<int>{failure(FailureKind::crash)}));
+}
+
+TEST(Result, TakeMovesValueOut) {
+  Result<std::string> r{std::string{"payload"}};
+  std::string s = std::move(r).take();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(Failure, DescribeIncludesKindDetailAndCause) {
+  const Failure f = failure(FailureKind::crash, "boom", FaultClass::heisenbug);
+  const std::string d = f.describe();
+  EXPECT_NE(d.find("crash"), std::string::npos);
+  EXPECT_NE(d.find("boom"), std::string::npos);
+  EXPECT_NE(d.find("Heisenbug"), std::string::npos);
+}
+
+TEST(Status, OkStatus) {
+  EXPECT_TRUE(ok_status().has_value());
+}
+
+TEST(FailureKindNames, AllDistinct) {
+  EXPECT_EQ(to_string(FailureKind::wrong_output), "wrong_output");
+  EXPECT_EQ(to_string(FailureKind::adjudication_failed), "adjudication_failed");
+  EXPECT_EQ(to_string(FaultClass::bohrbug), "Bohrbug");
+  EXPECT_EQ(to_string(FaultClass::malicious), "malicious");
+}
+
+}  // namespace
+}  // namespace redundancy::core

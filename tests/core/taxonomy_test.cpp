@@ -1,0 +1,124 @@
+// Verifies that the taxonomy entries the implementations declare reproduce
+// the paper's Table 2 — row order, and all four dimension cells per row.
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+
+namespace redundancy::core {
+namespace {
+
+struct Row {
+  const char* name;
+  Intention intention;
+  RedundancyType type;
+  AdjudicatorKind adjudicator;
+  TargetFaults faults;
+};
+
+// The published Table 2, transcribed row by row.
+constexpr Row kPaperTable2[] = {
+    {"N-version programming", Intention::deliberate, RedundancyType::code,
+     AdjudicatorKind::reactive_implicit, TargetFaults::development},
+    {"Recovery blocks", Intention::deliberate, RedundancyType::code,
+     AdjudicatorKind::reactive_explicit, TargetFaults::development},
+    {"Self-checking programming", Intention::deliberate, RedundancyType::code,
+     AdjudicatorKind::reactive_hybrid, TargetFaults::development},
+    {"Self-optimizing code", Intention::deliberate, RedundancyType::code,
+     AdjudicatorKind::reactive_explicit, TargetFaults::development},
+    {"Exception handling, rule engines", Intention::deliberate,
+     RedundancyType::code, AdjudicatorKind::reactive_explicit,
+     TargetFaults::development},
+    {"Wrappers", Intention::deliberate, RedundancyType::code,
+     AdjudicatorKind::preventive, TargetFaults::bohrbugs_and_malicious},
+    {"Robust data structures, audits", Intention::deliberate,
+     RedundancyType::data, AdjudicatorKind::reactive_implicit,
+     TargetFaults::development},
+    {"Data diversity", Intention::deliberate, RedundancyType::data,
+     AdjudicatorKind::reactive_hybrid, TargetFaults::development},
+    {"Data diversity for security", Intention::deliberate,
+     RedundancyType::data, AdjudicatorKind::reactive_implicit,
+     TargetFaults::malicious},
+    {"Rejuvenation", Intention::deliberate, RedundancyType::environment,
+     AdjudicatorKind::preventive, TargetFaults::heisenbugs},
+    {"Environment perturbation", Intention::deliberate,
+     RedundancyType::environment, AdjudicatorKind::reactive_explicit,
+     TargetFaults::development},
+    {"Process replicas", Intention::deliberate, RedundancyType::environment,
+     AdjudicatorKind::reactive_implicit, TargetFaults::malicious},
+    {"Dynamic service substitution", Intention::opportunistic,
+     RedundancyType::code, AdjudicatorKind::reactive_explicit,
+     TargetFaults::development},
+    {"Fault fixing, genetic programming", Intention::opportunistic,
+     RedundancyType::code, AdjudicatorKind::reactive_explicit,
+     TargetFaults::bohrbugs},
+    {"Automatic workarounds", Intention::opportunistic, RedundancyType::code,
+     AdjudicatorKind::reactive_explicit, TargetFaults::development},
+    {"Checkpoint-recovery", Intention::opportunistic,
+     RedundancyType::environment, AdjudicatorKind::reactive_explicit,
+     TargetFaults::heisenbugs},
+    {"Reboot and micro-reboot", Intention::opportunistic,
+     RedundancyType::environment, AdjudicatorKind::reactive_explicit,
+     TargetFaults::heisenbugs},
+};
+
+class Table2Test : public ::testing::Test {
+ protected:
+  void SetUp() override { register_all_techniques(); }
+};
+
+TEST_F(Table2Test, AllSeventeenRowsRegistered) {
+  EXPECT_EQ(TechniqueRegistry::instance().size(), std::size(kPaperTable2));
+}
+
+TEST_F(Table2Test, RowOrderMatchesPaper) {
+  const auto& entries = TechniqueRegistry::instance().entries();
+  ASSERT_EQ(entries.size(), std::size(kPaperTable2));
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(entries[i].name, kPaperTable2[i].name) << "row " << i;
+  }
+}
+
+TEST_F(Table2Test, EveryCellMatchesPaper) {
+  for (const Row& row : kPaperTable2) {
+    auto entry = TechniqueRegistry::instance().find(row.name);
+    ASSERT_TRUE(entry.has_value()) << row.name;
+    EXPECT_EQ(entry->intention, row.intention) << row.name;
+    EXPECT_EQ(entry->type, row.type) << row.name;
+    EXPECT_EQ(entry->adjudicator, row.adjudicator) << row.name;
+    EXPECT_EQ(entry->faults, row.faults) << row.name;
+    EXPECT_FALSE(entry->summary.empty()) << row.name;
+  }
+}
+
+TEST_F(Table2Test, RegistrationIsIdempotent) {
+  register_all_techniques();
+  register_all_techniques();
+  EXPECT_EQ(TechniqueRegistry::instance().size(), std::size(kPaperTable2));
+}
+
+TEST_F(Table2Test, FindUnknownReturnsNullopt) {
+  EXPECT_FALSE(TechniqueRegistry::instance().find("no such technique"));
+}
+
+TEST(Table1, DimensionsMatchPaper) {
+  const auto dims = table1_dimensions();
+  EXPECT_EQ(dims.intentions, (std::vector<std::string>{"deliberate",
+                                                       "opportunistic"}));
+  EXPECT_EQ(dims.types,
+            (std::vector<std::string>{"code", "data", "environment"}));
+  EXPECT_EQ(dims.adjudicators.size(), 3u);
+  EXPECT_EQ(dims.faults.size(), 3u);
+}
+
+TEST(TaxonomyNames, PaperCellsRenderLikeTheTable) {
+  EXPECT_EQ(paper_cell(AdjudicatorKind::reactive_hybrid),
+            "reactive expl./impl.");
+  EXPECT_EQ(paper_cell(TargetFaults::bohrbugs_and_malicious),
+            "Bohrbugs, malicious");
+  EXPECT_EQ(to_string(Intention::opportunistic), "opportunistic");
+  EXPECT_EQ(to_string(ArchitecturalPattern::parallel_evaluation),
+            "parallel evaluation");
+}
+
+}  // namespace
+}  // namespace redundancy::core

@@ -1,0 +1,100 @@
+#include "env/aging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace redundancy::env {
+namespace {
+
+TEST(AgingProcess, HazardGrowsWithAge) {
+  AgingConfig cfg;
+  cfg.base_hazard = 0.001;
+  AgingProcess proc{cfg, 1};
+  const double young = proc.hazard();
+  while (!proc.crashed() && proc.age_fraction() < 0.8) (void)proc.serve();
+  EXPECT_GT(proc.hazard(), young);
+}
+
+TEST(AgingProcess, EventuallyCrashesAndRefusesService) {
+  AgingConfig cfg;
+  cfg.capacity = 500.0;
+  cfg.mean_leak = 10.0;
+  AgingProcess proc{cfg, 2};
+  std::size_t served = 0;
+  while (!proc.crashed() && served < 100'000) {
+    if (proc.serve().has_value()) ++served;
+  }
+  ASSERT_TRUE(proc.crashed());
+  auto refused = proc.serve();
+  ASSERT_FALSE(refused.has_value());
+  EXPECT_EQ(refused.error().kind, core::FailureKind::unavailable);
+  EXPECT_EQ(refused.error().cause, core::FaultClass::aging);
+}
+
+TEST(AgingProcess, RebootRestoresYouth) {
+  AgingConfig cfg;
+  cfg.capacity = 500.0;
+  AgingProcess proc{cfg, 3};
+  while (!proc.crashed()) (void)proc.serve();
+  const double before = proc.clock();
+  proc.reboot();
+  EXPECT_FALSE(proc.crashed());
+  EXPECT_DOUBLE_EQ(proc.consumed(), 0.0);
+  EXPECT_DOUBLE_EQ(proc.clock(), before + cfg.reboot_time);
+  EXPECT_TRUE(proc.serve().has_value() || proc.crashed());
+}
+
+TEST(AgingProcess, YoungProcessRarelyFails) {
+  AgingConfig cfg;
+  cfg.capacity = 1e9;  // effectively never ages
+  cfg.base_hazard = 0.0;
+  AgingProcess proc{cfg, 4};
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_TRUE(proc.serve().has_value());
+  }
+}
+
+TEST(SimulateCompletion, CheckpointingBeatsNoneUnderAging) {
+  AgingConfig aging;
+  aging.capacity = 2000.0;
+  aging.mean_leak = 2.0;
+  CompletionConfig none;
+  none.total_work = 3000.0;
+  CompletionConfig ckpt = none;
+  ckpt.checkpoint_every = 100.0;
+  const auto t_none = simulate_completion(aging, none, 7).total_time;
+  const auto t_ckpt = simulate_completion(aging, ckpt, 7).total_time;
+  EXPECT_LT(t_ckpt, t_none);
+}
+
+TEST(SimulateCompletion, RejuvenationReducesCrashes) {
+  AgingConfig aging;
+  aging.capacity = 1500.0;
+  aging.mean_leak = 2.0;
+  aging.hazard_scale = 0.1;
+  CompletionConfig plain;
+  plain.total_work = 4000.0;
+  plain.checkpoint_every = 100.0;
+  CompletionConfig rejuv = plain;
+  rejuv.rejuvenate_every = 400.0;
+  const auto without = simulate_completion(aging, plain, 11);
+  const auto with = simulate_completion(aging, rejuv, 11);
+  EXPECT_LT(with.crashes, without.crashes);
+  EXPECT_GT(with.rejuvenations, 0u);
+}
+
+TEST(SimulateCompletion, ReportsCheckpointCounts) {
+  AgingConfig aging;
+  aging.capacity = 1e9;
+  aging.base_hazard = 0.0;
+  CompletionConfig cfg;
+  cfg.total_work = 1000.0;
+  cfg.checkpoint_every = 100.0;
+  const auto run = simulate_completion(aging, cfg, 13);
+  EXPECT_EQ(run.crashes, 0u);
+  EXPECT_GE(run.checkpoints, 9u);
+  EXPECT_NEAR(run.total_time, 1000.0 + 5.0 * static_cast<double>(run.checkpoints),
+              1.0);
+}
+
+}  // namespace
+}  // namespace redundancy::env

@@ -1,0 +1,109 @@
+#include "env/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+namespace redundancy::env {
+namespace {
+
+/// A small stateful subject for round-trip tests.
+class Counter final : public Checkpointable {
+ public:
+  std::int64_t value = 0;
+  std::string label;
+
+  [[nodiscard]] util::ByteBuffer snapshot() const override {
+    util::ByteBuffer buf;
+    buf.put(value);
+    buf.put_string(label);
+    return buf;
+  }
+  void restore(const util::ByteBuffer& state) override {
+    auto r = state.reader();
+    value = r.get<std::int64_t>();
+    label = r.get_string();
+  }
+};
+
+TEST(CheckpointStore, RoundTrip) {
+  Counter c;
+  c.value = 42;
+  c.label = "hello";
+  CheckpointStore store;
+  store.capture(c);
+  c.value = 0;
+  c.label = "clobbered";
+  ASSERT_TRUE(store.restore_latest(c).has_value());
+  EXPECT_EQ(c.value, 42);
+  EXPECT_EQ(c.label, "hello");
+}
+
+TEST(CheckpointStore, RestoreBySequence) {
+  Counter c;
+  CheckpointStore store{8};
+  c.value = 1;
+  const auto s1 = store.capture(c);
+  c.value = 2;
+  const auto s2 = store.capture(c);
+  c.value = 99;
+  ASSERT_TRUE(store.restore(s1, c).has_value());
+  EXPECT_EQ(c.value, 1);
+  ASSERT_TRUE(store.restore(s2, c).has_value());
+  EXPECT_EQ(c.value, 2);
+}
+
+TEST(CheckpointStore, RingEvictsOldest) {
+  Counter c;
+  CheckpointStore store{2};
+  c.value = 1;
+  const auto s1 = store.capture(c);
+  c.value = 2;
+  store.capture(c);
+  c.value = 3;
+  store.capture(c);
+  EXPECT_EQ(store.size(), 2u);
+  auto gone = store.restore(s1, c);
+  ASSERT_FALSE(gone.has_value());
+  EXPECT_EQ(gone.error().kind, core::FailureKind::unavailable);
+}
+
+TEST(CheckpointStore, EmptyStoreCannotRestore) {
+  Counter c;
+  CheckpointStore store;
+  EXPECT_FALSE(store.restore_latest(c).has_value());
+  EXPECT_TRUE(store.empty());
+  EXPECT_FALSE(store.latest_seq().has_value());
+}
+
+TEST(CheckpointStore, CorruptedCheckpointFailsCrc) {
+  Counter c;
+  c.value = 42;
+  CheckpointStore store;
+  const auto seq = store.capture(c);
+  store.corrupt(seq, 3);
+  c.value = 0;
+  auto restored = store.restore_latest(c);
+  ASSERT_FALSE(restored.has_value());
+  EXPECT_EQ(restored.error().kind, core::FailureKind::corrupted_state);
+  EXPECT_EQ(c.value, 0);  // subject untouched by the failed restore
+}
+
+TEST(CheckpointStore, BytesRetainedTracksState) {
+  Counter c;
+  c.label = std::string(100, 'x');
+  CheckpointStore store{4};
+  EXPECT_EQ(store.bytes_retained(), 0u);
+  store.capture(c);
+  EXPECT_GT(store.bytes_retained(), 100u);
+}
+
+TEST(CheckpointStore, LatestSeqAdvances) {
+  Counter c;
+  CheckpointStore store;
+  const auto a = store.capture(c);
+  const auto b = store.capture(c);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(store.latest_seq(), b);
+}
+
+}  // namespace
+}  // namespace redundancy::env

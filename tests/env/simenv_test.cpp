@@ -1,0 +1,136 @@
+#include "env/simenv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace redundancy::env {
+namespace {
+
+TEST(SimEnv, SignatureStableAndKnobSensitive) {
+  SimEnv a, b;
+  EXPECT_EQ(a.signature(), b.signature());
+  b.sched_seed = 99;
+  EXPECT_NE(a.signature(), b.signature());
+  b = a;
+  b.alloc = AllocStrategy::padded;
+  EXPECT_NE(a.signature(), b.signature());
+  b = a;
+  b.admitted_load = 0.5;
+  EXPECT_NE(a.signature(), b.signature());
+}
+
+TEST(SimEnv, FifoDeliveryIsIdentity) {
+  SimEnv e;
+  const auto order = e.delivery_order(5);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimEnv, ShuffledDeliveryIsDeterministicPermutation) {
+  SimEnv e;
+  e.msg_order = MessageOrder::shuffled;
+  auto a = e.delivery_order(20);
+  auto b = e.delivery_order(20);
+  EXPECT_EQ(a, b);  // same env -> same order
+  auto sorted = a;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::size_t> expect(20);
+  for (std::size_t i = 0; i < 20; ++i) expect[i] = i;
+  EXPECT_EQ(sorted, expect);
+  e.sched_seed = 77;
+  EXPECT_NE(e.delivery_order(20), a);  // different env -> different order
+}
+
+TEST(Perturbations, MenuCoversTheRxMedicines) {
+  const auto menu = standard_perturbations();
+  ASSERT_EQ(menu.size(), 6u);
+  SimEnv base;
+  for (const auto& p : menu) {
+    const SimEnv changed = p.apply(base);
+    EXPECT_NE(changed.signature(), base.signature()) << p.name;
+  }
+}
+
+TEST(Perturbations, PadAllocationsGrows) {
+  const auto menu = standard_perturbations();
+  SimEnv e;
+  e = menu[0].apply(e);
+  EXPECT_EQ(e.alloc, AllocStrategy::padded);
+  const auto first = e.pad_bytes;
+  e = menu[0].apply(e);
+  EXPECT_GT(e.pad_bytes, first);
+}
+
+TEST(Perturbations, ShedLoadHalves) {
+  const auto menu = standard_perturbations();
+  SimEnv e;
+  e.admitted_load = 1.0;
+  e = menu[5].apply(e);
+  EXPECT_DOUBLE_EQ(e.admitted_load, 0.5);
+}
+
+TEST(OverflowCondition, PaddingMasksTheBug) {
+  SimEnv e;
+  auto bug = overflow_condition(e, 32);
+  EXPECT_TRUE(bug());  // compact allocation, no guard
+  e.alloc = AllocStrategy::padded;
+  e.pad_bytes = 16;
+  EXPECT_TRUE(bug());  // not enough padding
+  e.pad_bytes = 64;
+  EXPECT_FALSE(bug());
+  e.alloc = AllocStrategy::randomized;
+  EXPECT_FALSE(bug());
+}
+
+TEST(RaceCondition, DeterministicPerScheduleAndCurableByRescheduling) {
+  SimEnv e;
+  auto bug = race_condition(e, 0.5);
+  const bool first = bug();
+  EXPECT_EQ(bug(), first);  // same schedule, same outcome
+  // Some schedule flips the outcome.
+  bool flipped = false;
+  for (std::uint64_t s = 0; s < 64 && !flipped; ++s) {
+    e.sched_seed = s;
+    flipped = bug() != first;
+  }
+  EXPECT_TRUE(flipped);
+}
+
+TEST(RaceCondition, FractionOfSchedulesMatches) {
+  SimEnv e;
+  auto bug = race_condition(e, 0.3);
+  int fired = 0;
+  for (std::uint64_t s = 0; s < 10'000; ++s) {
+    e.sched_seed = s;
+    fired += bug() ? 1 : 0;
+  }
+  EXPECT_NEAR(fired / 10'000.0, 0.3, 0.02);
+}
+
+TEST(OrderCondition, OnlyUnderFifo) {
+  SimEnv e;
+  auto bug = order_condition(e);
+  EXPECT_TRUE(bug());
+  e.msg_order = MessageOrder::shuffled;
+  EXPECT_FALSE(bug());
+}
+
+TEST(OverloadCondition, FiresAboveCeiling) {
+  SimEnv e;
+  e.admitted_load = 1.0;
+  auto bug = overload_condition(e, 0.7);
+  EXPECT_TRUE(bug());
+  e.admitted_load = 0.5;
+  EXPECT_FALSE(bug());
+}
+
+TEST(SimEnv, DescribeMentionsKnobs) {
+  SimEnv e;
+  e.alloc = AllocStrategy::padded;
+  const auto d = e.describe();
+  EXPECT_NE(d.find("padded"), std::string::npos);
+  EXPECT_NE(d.find("fifo"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace redundancy::env

@@ -1,0 +1,208 @@
+#include "faults/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include "faults/campaign.hpp"
+
+namespace redundancy::faults {
+namespace {
+
+int golden(const int& x) { return x * 3; }
+
+TEST(Bohrbug, DeterministicPerInput) {
+  FaultInjector<int, int> v{"v", golden};
+  v.add(bohrbug<int, int>("b", 0.3, 7, FailureKind::crash));
+  for (int x = 0; x < 100; ++x) {
+    const bool first = v(x).has_value();
+    for (int rep = 0; rep < 5; ++rep) {
+      EXPECT_EQ(v(x).has_value(), first) << "input " << x;
+    }
+  }
+}
+
+TEST(Bohrbug, DomainFractionApproximatesActivationRate) {
+  FaultInjector<int, int> v{"v", golden};
+  v.add(bohrbug<int, int>("b", 0.25, 11, FailureKind::crash));
+  int failures = 0;
+  for (int x = 0; x < 10'000; ++x) failures += v(x).has_value() ? 0 : 1;
+  EXPECT_NEAR(failures / 10'000.0, 0.25, 0.02);
+}
+
+TEST(Bohrbug, SameSaltMeansCorrelatedFailureRegions) {
+  FaultInjector<int, int> a{"a", golden};
+  FaultInjector<int, int> b{"b", golden};
+  a.add(bohrbug<int, int>("f", 0.2, 42, FailureKind::crash));
+  b.add(bohrbug<int, int>("f", 0.2, 42, FailureKind::crash));
+  for (int x = 0; x < 2000; ++x) {
+    EXPECT_EQ(a(x).has_value(), b(x).has_value()) << x;
+  }
+}
+
+TEST(Bohrbug, DistinctSaltsAreNearlyIndependent) {
+  FaultInjector<int, int> a{"a", golden};
+  FaultInjector<int, int> b{"b", golden};
+  a.add(bohrbug<int, int>("f", 0.2, 1, FailureKind::crash));
+  b.add(bohrbug<int, int>("f", 0.2, 2, FailureKind::crash));
+  int both = 0, either = 0;
+  for (int x = 0; x < 50'000; ++x) {
+    const bool fa = !a(x).has_value();
+    const bool fb = !b(x).has_value();
+    both += (fa && fb) ? 1 : 0;
+    either += (fa || fb) ? 1 : 0;
+  }
+  // Independent 0.2/0.2 regions overlap on ~4% of inputs.
+  EXPECT_NEAR(both / 50'000.0, 0.04, 0.01);
+  EXPECT_NEAR(either / 50'000.0, 0.36, 0.02);
+}
+
+TEST(Heisenbug, RateMatchesProbability) {
+  auto rng = std::make_shared<util::Rng>(5);
+  FaultInjector<int, int> v{"v", golden};
+  v.add(heisenbug<int, int>("h", 0.1, rng));
+  int failures = 0;
+  for (int i = 0; i < 50'000; ++i) failures += v(1).has_value() ? 0 : 1;
+  EXPECT_NEAR(failures / 50'000.0, 0.1, 0.01);
+}
+
+TEST(Heisenbug, SameInputCanSucceedOnRetry) {
+  auto rng = std::make_shared<util::Rng>(5);
+  FaultInjector<int, int> v{"v", golden};
+  v.add(heisenbug<int, int>("h", 0.5, rng));
+  bool saw_success = false, saw_failure = false;
+  for (int i = 0; i < 100; ++i) {
+    if (v(7).has_value()) {
+      saw_success = true;
+    } else {
+      saw_failure = true;
+    }
+  }
+  EXPECT_TRUE(saw_success);
+  EXPECT_TRUE(saw_failure);
+}
+
+TEST(WrongOutputManifestation, CorruptsInsteadOfCrashing) {
+  FaultInjector<int, int> v{"v", golden};
+  v.add(bohrbug<int, int>("b", 1.0, 3, FailureKind::wrong_output,
+                          off_by_one<int, int>()));
+  auto out = v(10);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out.value(), 31);  // 30 + 1
+}
+
+TEST(SkewedCorruption, DistinctSkewsDisagree) {
+  FaultInjector<int, int> a{"a", golden};
+  FaultInjector<int, int> b{"b", golden};
+  a.add(bohrbug<int, int>("f", 1.0, 9, FailureKind::wrong_output,
+                          skewed<int, int>(1)));
+  b.add(bohrbug<int, int>("f", 1.0, 9, FailureKind::wrong_output,
+                          skewed<int, int>(2)));
+  EXPECT_NE(a(5).value(), b(5).value());
+}
+
+TEST(BurstFault, FiresForExactWindows) {
+  FaultInjector<int, int> v{"v", golden};
+  v.add(burst_fault<int, int>("b", 10, 3));
+  // Pattern repeats every 10 executions: 3 failures then 7 successes.
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    for (int i = 0; i < 10; ++i) {
+      const bool failed = !v(42).has_value();
+      EXPECT_EQ(failed, i < 3) << "cycle " << cycle << " pos " << i;
+    }
+  }
+}
+
+TEST(BurstFault, RetryInsideABurstKeepsFailing) {
+  FaultInjector<int, int> v{"v", golden};
+  v.add(burst_fault<int, int>("b", 100, 5));
+  // First execution fails; 3 immediate retries land inside the burst too.
+  EXPECT_FALSE(v(1).has_value());
+  EXPECT_FALSE(v(1).has_value());
+  EXPECT_FALSE(v(1).has_value());
+  EXPECT_FALSE(v(1).has_value());
+  // The 5-long burst is over on the 6th execution.
+  EXPECT_FALSE(v(1).has_value());
+  EXPECT_TRUE(v(1).has_value());
+}
+
+TEST(ConditionalFault, FollowsAmbientPredicate) {
+  bool armed = false;
+  FaultInjector<int, int> v{"v", golden};
+  v.add(conditional_fault<int, int>("c", FaultClass::heisenbug,
+                                    [&armed] { return armed; }));
+  EXPECT_TRUE(v(1).has_value());
+  armed = true;
+  EXPECT_FALSE(v(1).has_value());
+  armed = false;
+  EXPECT_TRUE(v(1).has_value());
+}
+
+TEST(FaultInjector, FirstActivatedFaultWins) {
+  FaultInjector<int, int> v{"v", golden};
+  v.add(bohrbug<int, int>("first", 1.0, 1, FailureKind::timeout));
+  v.add(bohrbug<int, int>("second", 1.0, 2, FailureKind::crash));
+  auto out = v(0);
+  ASSERT_FALSE(out.has_value());
+  EXPECT_EQ(out.error().kind, FailureKind::timeout);
+}
+
+TEST(FaultInjector, CleanVariantIsGolden) {
+  FaultInjector<int, int> v{"v", golden};
+  for (int x = -50; x < 50; ++x) {
+    auto out = v(x);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out.value(), x * 3);
+  }
+}
+
+TEST(FaultInjector, AsVariantPreservesBehaviourAndMetadata) {
+  FaultInjector<int, int> v{"injected", golden};
+  auto variant = v.as_variant(2.5);
+  EXPECT_EQ(variant.name, "injected");
+  EXPECT_DOUBLE_EQ(variant.cost, 2.5);
+  EXPECT_EQ(variant(4).value(), 12);
+}
+
+TEST(Campaign, CountsAllOutcomeKinds) {
+  FaultInjector<int, int> v{"v", golden};
+  v.add(bohrbug<int, int>("silent", 0.2, 5, FailureKind::wrong_output,
+                          off_by_one<int, int>()));
+  v.add(bohrbug<int, int>("loud", 0.2, 6, FailureKind::crash));
+  auto report = run_campaign<int, int>(
+      "mixed", 5000,
+      [](std::size_t i, util::Rng&) { return static_cast<int>(i); },
+      [&v](const int& x) { return v(x); },
+      [](const int& x) { return x * 3; });
+  EXPECT_EQ(report.requests, 5000u);
+  EXPECT_EQ(report.correct + report.wrong + report.detected, 5000u);
+  EXPECT_GT(report.wrong, 0u);
+  EXPECT_GT(report.detected, 0u);
+  EXPECT_GT(report.correct, 0u);
+  // Safety counts detected failures as safe; reliability does not.
+  EXPECT_GT(report.safety_value(), report.reliability_value());
+  EXPECT_NE(report.summary().find("mixed"), std::string::npos);
+}
+
+TEST(Campaign, PerfectSystemScoresOne) {
+  auto report = run_campaign<int, int>(
+      "perfect", 100,
+      [](std::size_t i, util::Rng&) { return static_cast<int>(i); },
+      [](const int& x) -> core::Result<int> { return x * 3; },
+      [](const int& x) { return x * 3; });
+  EXPECT_DOUBLE_EQ(report.reliability_value(), 1.0);
+  EXPECT_DOUBLE_EQ(report.safety_value(), 1.0);
+}
+
+TEST(InputPosition, StableAndUniform) {
+  double sum = 0.0;
+  for (int x = 0; x < 10'000; ++x) {
+    const double p = input_position(x, 99);
+    ASSERT_GE(p, 0.0);
+    ASSERT_LT(p, 1.0);
+    EXPECT_DOUBLE_EQ(p, input_position(x, 99));
+    sum += p;
+  }
+  EXPECT_NEAR(sum / 10'000.0, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace redundancy::faults

@@ -1,0 +1,213 @@
+// Cross-module integration: the techniques composed the way a real
+// deployment would compose them, exercising faults::, env::, services::,
+// vm:: and techniques:: together.
+#include <gtest/gtest.h>
+
+#include "faults/campaign.hpp"
+#include "faults/fault.hpp"
+#include "services/workflow.hpp"
+#include "techniques/checkpoint_recovery.hpp"
+#include "techniques/nvp.hpp"
+#include "techniques/process_replicas.hpp"
+#include "techniques/recovery_blocks.hpp"
+#include "techniques/rule_engine.hpp"
+#include "techniques/service_substitution.hpp"
+#include "techniques/sql_nvp.hpp"
+#include "sql/chaos.hpp"
+#include "vm/attacks.hpp"
+
+namespace redundancy {
+namespace {
+
+// Scenario 1: NVP inside a recovery block. The NVP triple handles value
+// faults; if voting ever deadlocks (no majority), the recovery block's
+// alternate — a slow but trusted reference implementation — takes over.
+TEST(Integration, NvpNestedInRecoveryBlock) {
+  auto golden = [](const int& x) { return x * 7; };
+  std::vector<core::Variant<int, int>> vs;
+  for (int i = 0; i < 3; ++i) {
+    faults::FaultInjector<int, int> v{"v" + std::to_string(i), golden};
+    // Heavily faulty versions with *distinct* wrong answers: on unlucky
+    // inputs two or three disagree and no majority exists.
+    v.add(faults::bohrbug<int, int>(
+        "b", 0.35, 100 + static_cast<std::uint64_t>(i),
+        core::FailureKind::wrong_output, faults::skewed<int, int>(i + 1)));
+    vs.push_back(v.as_variant());
+  }
+  auto nvp =
+      std::make_shared<techniques::NVersionProgramming<int, int>>(std::move(vs));
+  auto nvp_variant = core::make_variant<int, int>(
+      "nvp-triple", [nvp](const int& x) { return nvp->run(x); });
+  auto reference = core::make_variant<int, int>(
+      "trusted-reference", [golden](const int& x) -> core::Result<int> {
+        return golden(x);
+      },
+      /*cost=*/10.0);
+  techniques::RecoveryBlocks<int, int> rb{
+      {nvp_variant, reference},
+      [golden](const int& x, const int& out) { return out == golden(x); }};
+  auto report = faults::run_campaign<int, int>(
+      "nvp+rb", 5000,
+      [](std::size_t i, util::Rng&) { return static_cast<int>(i); },
+      [&rb](const int& x) { return rb.run(x); }, golden);
+  // The composition is airtight: NVP masks minority faults, the reference
+  // catches the rest.
+  EXPECT_DOUBLE_EQ(report.reliability_value(), 1.0);
+  EXPECT_GT(rb.metrics().recoveries, 0u);
+}
+
+// Scenario 2: a BPEL-style travel process where the flight service fails
+// mid-stream and the binding transparently substitutes an interface-similar
+// competitor; a rule engine supplies a cached fallback for the hotel leg.
+TEST(Integration, SelfHealingTravelWorkflow) {
+  using services::Interface;
+  using services::Message;
+
+  services::Registry registry;
+  auto flights_a = std::make_shared<services::Endpoint>(
+      "flights-a", Interface{"searchFlights", {"from", "to"}, {"fare"}},
+      [](const Message&) -> core::Result<Message> {
+        return Message{{"fare", std::int64_t{320}}};
+      });
+  auto flights_b = std::make_shared<services::Endpoint>(
+      "flights-b", Interface{"searchFlights", {"origin", "destination"}, {"price"}},
+      [](const Message& m) -> core::Result<Message> {
+        EXPECT_TRUE(m.contains("origin"));  // converter renamed our fields
+        return Message{{"price", std::int64_t{340}}};
+      });
+  registry.add(flights_a);
+  registry.add(flights_b);
+
+  auto binding = std::make_shared<services::DynamicBinding>(
+      Interface{"searchFlights", {"from", "to"}, {"fare"}}, registry);
+
+  techniques::RuleEngine rules;
+  rules.add_rule({"bookHotel", core::FailureKind::unavailable, "use-cache",
+                  [](const Message&) -> core::Result<Message> {
+                    return Message{{"hotel", std::string{"cached-rate"}}};
+                  }});
+  auto hotel = rules.protect(
+      "bookHotel", [](const Message&) -> core::Result<Message> {
+        return core::failure(core::FailureKind::unavailable, "hotel API down");
+      });
+
+  auto wf = services::Workflow{
+      "travel",
+      services::sequence(
+          {services::invoke(binding),
+           services::assign("merge",
+                            [&hotel](Message m) {
+                              auto h = hotel({});
+                              if (h.has_value()) {
+                                m.insert(h.value().begin(), h.value().end());
+                              }
+                              return m;
+                            })})};
+
+  // First booking goes through flights-a.
+  auto out = wf.run({{"from", std::string{"LUG"}}, {"to", std::string{"MIL"}}});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(std::get<std::int64_t>(out.value().at("fare")), 320);
+
+  // flights-a dies; the next booking transparently uses flights-b through a
+  // derived converter, and the hotel leg heals through the rule registry.
+  flights_a->kill();
+  out = wf.run({{"from", std::string{"LUG"}}, {"to", std::string{"MIL"}}});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(std::get<std::int64_t>(out.value().at("fare")), 340);
+  EXPECT_EQ(std::get<std::string>(out.value().at("hotel")), "cached-rate");
+  EXPECT_EQ(binding->converted_rebinds(), 1u);
+  EXPECT_GE(rules.recoveries(), 1u);
+}
+
+// Scenario 3: a replicated VM server behind a checkpointed front end. The
+// replica monitor turns attacks into detected failures; checkpoint-recovery
+// keeps the front-end state consistent across those failures.
+TEST(Integration, ReplicatedServerBehindCheckpointedFrontend) {
+  techniques::ProcessReplicas replicas{
+      vm::vulnerable_server(),
+      {.replicas = 2},
+      [](vm::Vm& machine, std::size_t base) {
+        (void)machine.poke(base + vm::ServerLayout::secret, vm::kSecretValue);
+      }};
+
+  class Frontend final : public env::Checkpointable {
+   public:
+    std::int64_t processed = 0;
+    [[nodiscard]] util::ByteBuffer snapshot() const override {
+      util::ByteBuffer buf;
+      buf.put(processed);
+      return buf;
+    }
+    void restore(const util::ByteBuffer& state) override {
+      processed = state.reader().get<std::int64_t>();
+    }
+  } frontend;
+
+  techniques::CheckpointRecovery cr{frontend,
+                                    {.checkpoint_every = 1, .max_retries = 1}};
+
+  const auto base0 = replicas.partitions()[0].base;
+  std::size_t attacks_blocked = 0;
+  for (int i = 0; i < 30; ++i) {
+    const bool attack_round = i % 10 == 9;
+    auto status = cr.run([&]() -> core::Status {
+      frontend.processed += 1;
+      replicas.reset();
+      auto out = attack_round
+                     ? replicas.serve(vm::absolute_address_attack(base0))
+                     : replicas.serve(vm::benign_request(i, i));
+      if (!out.has_value()) return out.error();
+      return core::ok_status();
+    });
+    if (!status.has_value()) ++attacks_blocked;
+  }
+  EXPECT_EQ(attacks_blocked, 3u);
+  EXPECT_EQ(replicas.detections(), 6u);  // original + one retry per attack
+  // Failed (attack) rounds were rolled back: only benign rounds counted.
+  EXPECT_EQ(frontend.processed, 27);
+}
+
+// Scenario 4: a checkout workflow whose order-persistence step writes to a
+// replicated diverse-engine database with one chaotic replica — the SOA
+// layer and the storage layer healing independently.
+TEST(Integration, WorkflowOverReplicatedDatabase) {
+  using services::Message;
+
+  std::vector<sql::StorePtr> stores;
+  stores.push_back(sql::make_vector_store());
+  stores.push_back(sql::make_btree_store());
+  stores.push_back(sql::make_chaotic_store(
+      sql::make_log_store(),
+      {.lose_mutation_probability = 0.3, .corrupt_read_probability = 0.3,
+       .seed = 77}));
+  auto db = std::make_shared<techniques::ReplicatedSqlServer>(
+      std::move(stores),
+      techniques::ReplicatedSqlServer::Options{.reconcile_every = 8});
+  ASSERT_TRUE(db->create_table("orders", {"id", "amount"}).has_value());
+
+  auto persist = services::assign("persist-order", [db](Message m) {
+    const auto id = std::get<std::int64_t>(m.at("order"));
+    const auto amount = std::get<std::int64_t>(m.at("amount"));
+    if (db->insert("orders", {id, amount}).has_value()) {
+      m["persisted"] = std::int64_t{1};
+    }
+    return m;
+  });
+  auto wf = services::Workflow{"checkout", services::sequence({persist})};
+
+  for (std::int64_t i = 0; i < 100; ++i) {
+    auto out = wf.run(Message{{"order", i}, {"amount", i * 10}});
+    ASSERT_TRUE(out.has_value());
+    ASSERT_TRUE(out.value().contains("persisted")) << "order " << i;
+  }
+  // Every order is durably present and readable despite the chaotic
+  // replica; the liar was eventually evicted.
+  auto rows = db->select("orders", std::nullopt);
+  ASSERT_TRUE(rows.has_value());
+  EXPECT_EQ(rows.value().size(), 100u);
+  EXPECT_LE(db->replicas_in_service(), 2u);
+}
+
+}  // namespace
+}  // namespace redundancy

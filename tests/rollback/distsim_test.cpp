@@ -1,0 +1,189 @@
+#include "rollback/distsim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace redundancy::rollback {
+namespace {
+
+Simulation::Config base(Protocol protocol, std::uint64_t seed = 1) {
+  Simulation::Config cfg;
+  cfg.processes = 4;
+  cfg.protocol = protocol;
+  cfg.checkpoint_every = 10;
+  cfg.send_probability = 0.5;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(DistSim, DeterministicForEqualSeeds) {
+  Simulation a{base(Protocol::uncoordinated, 7)};
+  Simulation b{base(Protocol::uncoordinated, 7)};
+  a.run(500);
+  b.run(500);
+  EXPECT_EQ(a.total_work(), b.total_work());
+  for (std::size_t p = 0; p < a.processes(); ++p) {
+    EXPECT_EQ(a.digest_of(p), b.digest_of(p));
+  }
+}
+
+TEST(DistSim, WorkAccumulatesAndMessagesFlow) {
+  Simulation sim{base(Protocol::uncoordinated)};
+  sim.run(400);
+  EXPECT_EQ(sim.total_work(), 400u);
+  EXPECT_TRUE(sim.consistent());
+  EXPECT_GT(sim.checkpoints_taken(), 0u);
+}
+
+class ProtocolTest : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(ProtocolTest, RecoveryPreservesConsistency) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Simulation sim{base(GetParam(), seed)};
+    sim.run(300);
+    auto report = sim.crash_and_recover(seed % sim.processes());
+    ASSERT_TRUE(report.has_value());
+    EXPECT_TRUE(sim.consistent())
+        << to_string(GetParam()) << " seed " << seed;
+    // The system can keep running after recovery.
+    sim.run(100);
+    EXPECT_TRUE(sim.consistent());
+  }
+}
+
+TEST_P(ProtocolTest, CrashOfUnknownProcessFails) {
+  Simulation sim{base(GetParam())};
+  EXPECT_FALSE(sim.crash_and_recover(99).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(All, ProtocolTest,
+                         ::testing::Values(Protocol::uncoordinated,
+                                           Protocol::coordinated,
+                                           Protocol::message_logging,
+                                           Protocol::optimistic_logging));
+
+TEST(DistSim, OptimisticLoggingLosesOnlyTheUnloggedTail) {
+  // With a lag shorter than the run, the victim loses at most the receives
+  // of the last `log_lag` steps plus dependent work — far less than an
+  // uncoordinated rollback, and a bounded cascade.
+  util::Accumulator rolled_opt, lost_opt, rolled_unc, lost_unc;
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    auto cfg = base(Protocol::optimistic_logging, seed);
+    cfg.log_lag = 5;
+    Simulation opt{cfg};
+    opt.run(400);
+    auto ro = opt.crash_and_recover(0);
+    ASSERT_TRUE(ro.has_value());
+    EXPECT_TRUE(opt.consistent()) << "seed " << seed;
+    rolled_opt.add(static_cast<double>(ro.value().processes_rolled_back));
+    lost_opt.add(static_cast<double>(ro.value().work_lost));
+
+    Simulation unc{base(Protocol::uncoordinated, seed)};
+    unc.run(400);
+    auto ru = unc.crash_and_recover(0);
+    rolled_unc.add(static_cast<double>(ru.value().processes_rolled_back));
+    lost_unc.add(static_cast<double>(ru.value().work_lost));
+  }
+  EXPECT_LT(lost_opt.mean(), lost_unc.mean() / 4.0);
+  EXPECT_LE(rolled_opt.mean(), rolled_unc.mean());
+}
+
+TEST(DistSim, OptimisticWithZeroLagBehavesLikePessimistic) {
+  auto cfg = base(Protocol::optimistic_logging, 3);
+  cfg.log_lag = 0;  // every receive is durable immediately
+  Simulation sim{cfg};
+  sim.run(300);
+  const auto work_before = sim.total_work();
+  const auto digest_before = sim.digest_of(1);
+  auto report = sim.crash_and_recover(1);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report.value().processes_rolled_back, 1u);
+  EXPECT_EQ(report.value().work_lost, 0u);
+  EXPECT_EQ(sim.total_work(), work_before);
+  EXPECT_EQ(sim.digest_of(1), digest_before);
+}
+
+TEST(DistSim, OptimisticReplayReconstructsExactState) {
+  auto cfg = base(Protocol::optimistic_logging, 9);
+  cfg.log_lag = 4;
+  Simulation sim{cfg};
+  sim.run(350);
+  auto report = sim.crash_and_recover(2);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(sim.consistent());
+  // Recovery must match a from-scratch replay: digest determinism was
+  // verified by state_at() against the live run inside truncate().
+  sim.run(50);
+  EXPECT_TRUE(sim.consistent());
+}
+
+TEST(DistSim, UncoordinatedRecoveryCanCascade) {
+  // With chatty processes and staggered checkpoints, some seed exhibits a
+  // multi-process rollback (the domino effect).
+  bool saw_cascade = false;
+  for (std::uint64_t seed = 1; seed <= 20 && !saw_cascade; ++seed) {
+    Simulation sim{base(Protocol::uncoordinated, seed)};
+    sim.run(300);
+    auto report = sim.crash_and_recover(0);
+    ASSERT_TRUE(report.has_value());
+    saw_cascade = report.value().processes_rolled_back > 1;
+  }
+  EXPECT_TRUE(saw_cascade);
+}
+
+TEST(DistSim, CoordinatedRecoveryRollsEveryoneButBoundsLoss) {
+  Simulation sim{base(Protocol::coordinated)};
+  sim.run(300);
+  const auto work_before = sim.total_work();
+  auto report = sim.crash_and_recover(1);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report.value().processes_rolled_back, sim.processes());
+  // Loss is bounded by one coordinated interval's worth of global work.
+  EXPECT_LE(report.value().work_lost, 10u);
+  EXPECT_EQ(sim.total_work(), work_before - report.value().work_lost);
+  EXPECT_FALSE(report.value().rolled_to_initial_state);
+}
+
+TEST(DistSim, MessageLoggingRollsBackOnlyTheVictimAndLosesNothing) {
+  Simulation sim{base(Protocol::message_logging)};
+  sim.run(300);
+  const auto work_before = sim.total_work();
+  const auto digest_before = sim.digest_of(2);
+  auto report = sim.crash_and_recover(2);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report.value().processes_rolled_back, 1u);
+  EXPECT_EQ(report.value().work_lost, 0u);
+  EXPECT_EQ(sim.total_work(), work_before);
+  // Replay reconstructs the exact pre-crash state (piecewise determinism).
+  EXPECT_EQ(sim.digest_of(2), digest_before);
+}
+
+TEST(DistSim, UncoordinatedLosesMoreThanCoordinatedOnAverage) {
+  std::uint64_t lost_unc = 0, lost_coord = 0;
+  std::size_t rolled_unc = 0;
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    Simulation unc{base(Protocol::uncoordinated, seed)};
+    unc.run(400);
+    auto ru = unc.crash_and_recover(0);
+    lost_unc += ru.value().work_lost;
+    rolled_unc += ru.value().processes_rolled_back;
+
+    Simulation coord{base(Protocol::coordinated, seed)};
+    coord.run(400);
+    auto rc = coord.crash_and_recover(0);
+    lost_coord += rc.value().work_lost;
+  }
+  // The domino-prone protocol discards more work in aggregate.
+  EXPECT_GT(lost_unc, lost_coord);
+  EXPECT_GT(rolled_unc, 15u);  // more than just the victim, overall
+}
+
+TEST(DistSim, ProtocolNames) {
+  EXPECT_EQ(to_string(Protocol::uncoordinated), "uncoordinated");
+  EXPECT_EQ(to_string(Protocol::coordinated), "coordinated");
+  EXPECT_EQ(to_string(Protocol::message_logging), "message-logging");
+}
+
+}  // namespace
+}  // namespace redundancy::rollback

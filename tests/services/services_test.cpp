@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include "services/binding.hpp"
+#include "services/converter.hpp"
+#include "services/registry.hpp"
+
+namespace redundancy::services {
+namespace {
+
+Interface quote_iface() {
+  return Interface{"quote", {"symbol"}, {"price"}};
+}
+
+EndpointPtr make_quote(std::string id, std::int64_t price, Qos qos = {}) {
+  return std::make_shared<Endpoint>(
+      std::move(id), quote_iface(),
+      [price](const Message&) -> core::Result<Message> {
+        return Message{{"price", price}};
+      },
+      qos);
+}
+
+TEST(Endpoint, CallRunsHandlerAndTracksQos) {
+  auto ep = make_quote("q1", 100);
+  auto out = ep->call({{"symbol", std::string{"ACME"}}});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(std::get<std::int64_t>(out.value().at("price")), 100);
+  EXPECT_EQ(ep->calls(), 1u);
+  EXPECT_EQ(ep->failures(), 0u);
+  EXPECT_GT(ep->total_latency_ms(), 0.0);
+}
+
+TEST(Endpoint, UnavailabilityFollowsQos) {
+  auto ep = make_quote("down", 1, Qos{.mean_latency_ms = 1.0, .availability = 0.0});
+  auto out = ep->call({});
+  ASSERT_FALSE(out.has_value());
+  EXPECT_EQ(out.error().kind, core::FailureKind::unavailable);
+  EXPECT_EQ(ep->failures(), 1u);
+}
+
+TEST(Endpoint, KillDropsAvailabilityToZero) {
+  auto ep = make_quote("q", 1);
+  ep->kill();
+  EXPECT_FALSE(ep->call({}).has_value());
+}
+
+TEST(Interface, SimilarityScoring) {
+  const Interface wanted = quote_iface();
+  EXPECT_DOUBLE_EQ(similarity(wanted, wanted), 1.0);
+  EXPECT_DOUBLE_EQ(
+      similarity(wanted, Interface{"other", {"symbol"}, {"price"}}), 0.0);
+  // Fully renamed fields: no name overlap, but positionally mappable.
+  const Interface renamed{"quote", {"ticker"}, {"value"}};
+  EXPECT_DOUBLE_EQ(similarity(wanted, renamed), 0.5);
+  const Interface partial{"quote", {"symbol"}, {"value"}};
+  EXPECT_DOUBLE_EQ(similarity(wanted, partial), 0.75);
+  // A provider with fewer input slots than we need is not mappable at all.
+  const Interface narrower{"quote", {}, {"price"}};
+  EXPECT_DOUBLE_EQ(similarity(Interface{"quote", {"symbol"}, {"price"}},
+                              narrower),
+                   0.5);  // outputs exact, inputs unmappable
+}
+
+TEST(Registry, ExactAndSimilarLookup) {
+  Registry reg;
+  reg.add(make_quote("a", 1));
+  reg.add(std::make_shared<Endpoint>(
+      "b", Interface{"quote", {"ticker"}, {"price"}},
+      [](const Message&) -> core::Result<Message> {
+        return Message{{"price", std::int64_t{2}}};
+      }));
+  EXPECT_EQ(reg.exact_matches(quote_iface()).size(), 1u);
+  auto similar = reg.similar_matches(quote_iface(), 0.4);
+  ASSERT_EQ(similar.size(), 2u);
+  EXPECT_EQ(similar[0].endpoint->id(), "a");  // exact first
+  EXPECT_DOUBLE_EQ(similar[0].score, 1.0);
+  EXPECT_DOUBLE_EQ(similar[1].score, 0.75);
+  EXPECT_EQ(reg.by_id("b")->id(), "b");
+  EXPECT_EQ(reg.by_id("zzz"), nullptr);
+}
+
+TEST(Converter, DeriveMappingByNameThenPosition) {
+  const Interface wanted{"op", {"x", "y"}, {"r"}};
+  const Interface offered{"op", {"y", "a"}, {"result"}};
+  auto map = derive_mapping(wanted, offered);
+  ASSERT_TRUE(map.has_value());
+  EXPECT_EQ(map->request.at("y"), "y");   // exact name match
+  EXPECT_EQ(map->request.at("x"), "a");   // positional fallback
+  EXPECT_EQ(map->response.at("result"), "r");
+}
+
+TEST(Converter, RejectsDifferentOperations) {
+  EXPECT_FALSE(derive_mapping(Interface{"a", {}, {}}, Interface{"b", {}, {}}));
+}
+
+TEST(Converter, RejectsNarrowerProviders) {
+  const Interface wanted{"op", {"x", "y"}, {"r"}};
+  const Interface offered{"op", {"only"}, {"r"}};
+  EXPECT_FALSE(derive_mapping(wanted, offered).has_value());
+}
+
+TEST(Converter, RenameFieldsPassesUnmappedThrough) {
+  Message msg{{"a", std::int64_t{1}}, {"keep", std::int64_t{2}}};
+  const auto renamed = rename_fields(msg, {{"a", "b"}});
+  EXPECT_EQ(std::get<std::int64_t>(renamed.at("b")), 1);
+  EXPECT_EQ(std::get<std::int64_t>(renamed.at("keep")), 2);
+  EXPECT_FALSE(renamed.contains("a"));
+}
+
+TEST(Converter, ConvertAdaptsRequestAndResponse) {
+  auto provider = std::make_shared<Endpoint>(
+      "prov", Interface{"quote", {"ticker"}, {"value"}},
+      [](const Message& m) -> core::Result<Message> {
+        EXPECT_TRUE(m.contains("ticker"));
+        return Message{{"value", std::int64_t{7}}};
+      });
+  FieldMap mapping;
+  mapping.request["symbol"] = "ticker";
+  mapping.response["value"] = "price";
+  auto handler = convert(provider, mapping);
+  auto out = handler({{"symbol", std::string{"X"}}});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(std::get<std::int64_t>(out.value().at("price")), 7);
+}
+
+TEST(FieldMap, IdentityDetection) {
+  FieldMap id;
+  id.request["a"] = "a";
+  EXPECT_TRUE(id.identity());
+  id.request["b"] = "c";
+  EXPECT_FALSE(id.identity());
+}
+
+TEST(DynamicBinding, PrefersExactAndSurvivesFailure) {
+  Registry reg;
+  auto primary = make_quote("primary", 10);
+  auto spare = make_quote("spare", 20);
+  reg.add(primary);
+  reg.add(spare);
+  DynamicBinding binding{quote_iface(), reg};
+  auto out = binding.call({{"symbol", std::string{"A"}}});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(binding.current()->id(), "primary");
+  primary->kill();
+  out = binding.call({{"symbol", std::string{"A"}}});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(std::get<std::int64_t>(out.value().at("price")), 20);
+  EXPECT_EQ(binding.current()->id(), "spare");
+  EXPECT_EQ(binding.rebinds(), 1u);
+}
+
+TEST(DynamicBinding, FallsBackToConvertedSimilarInterface) {
+  Registry reg;
+  auto primary = make_quote("primary", 10);
+  reg.add(primary);
+  reg.add(std::make_shared<Endpoint>(
+      "adaptable", Interface{"quote", {"symbol"}, {"value"}},
+      [](const Message&) -> core::Result<Message> {
+        return Message{{"value", std::int64_t{33}}};
+      }));
+  DynamicBinding binding{quote_iface(), reg};
+  primary->kill();
+  auto out = binding.call({{"symbol", std::string{"A"}}});
+  ASSERT_TRUE(out.has_value());
+  // The converter mapped "value" back to our "price" vocabulary.
+  EXPECT_EQ(std::get<std::int64_t>(out.value().at("price")), 33);
+  EXPECT_EQ(binding.converted_rebinds(), 1u);
+}
+
+TEST(DynamicBinding, ExhaustedRegistryReportsUnavailable) {
+  Registry reg;
+  auto only = make_quote("only", 1);
+  reg.add(only);
+  DynamicBinding binding{quote_iface(), reg};
+  only->kill();
+  auto out = binding.call({});
+  ASSERT_FALSE(out.has_value());
+}
+
+TEST(DynamicBinding, StatefulSubstituteGetsSessionReplay) {
+  Registry reg;
+  auto primary = make_quote("primary", 10);
+  std::vector<Message> seen;
+  auto stateful = std::make_shared<Endpoint>(
+      "stateful", quote_iface(),
+      [&seen](const Message& m) -> core::Result<Message> {
+        seen.push_back(m);
+        return Message{{"price", std::int64_t{5}}};
+      });
+  stateful->set_stateful(true);
+  reg.add(primary);
+  reg.add(stateful);
+  DynamicBinding binding{quote_iface(), reg};
+  (void)binding.call({{"symbol", std::string{"A"}}});
+  (void)binding.call({{"symbol", std::string{"B"}}});
+  primary->kill();
+  (void)binding.call({{"symbol", std::string{"C"}}});
+  // Replay delivered A and B before the live C call.
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(std::get<std::string>(seen[0].at("symbol")), "A");
+  EXPECT_EQ(std::get<std::string>(seen[1].at("symbol")), "B");
+  EXPECT_EQ(std::get<std::string>(seen[2].at("symbol")), "C");
+}
+
+TEST(DynamicBinding, QosAwareSelectionPrefersFastEndpoints) {
+  Registry reg;
+  reg.add(make_quote("slow", 1, Qos{.mean_latency_ms = 200.0, .availability = 1.0}));
+  reg.add(make_quote("fast", 2, Qos{.mean_latency_ms = 5.0, .availability = 1.0}));
+  DynamicBinding::Options opts;
+  opts.prefer_fast = true;
+  DynamicBinding binding{quote_iface(), reg, opts};
+  auto out = binding.call({});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(binding.current()->id(), "fast");
+  // Without the QoS preference, registration order wins.
+  DynamicBinding plain{quote_iface(), reg};
+  (void)plain.call({});
+  EXPECT_EQ(plain.current()->id(), "slow");
+}
+
+TEST(DynamicBinding, QosPreferenceNeverTrumpsInterfaceFit) {
+  Registry reg;
+  reg.add(make_quote("exact-slow", 1,
+                     Qos{.mean_latency_ms = 500.0, .availability = 1.0}));
+  reg.add(std::make_shared<Endpoint>(
+      "similar-fast", Interface{"quote", {"ticker"}, {"price"}},
+      [](const Message&) -> core::Result<Message> {
+        return Message{{"price", std::int64_t{3}}};
+      },
+      Qos{.mean_latency_ms = 1.0, .availability = 1.0}));
+  DynamicBinding::Options opts;
+  opts.prefer_fast = true;
+  DynamicBinding binding{quote_iface(), reg, opts};
+  (void)binding.call({});
+  EXPECT_EQ(binding.current()->id(), "exact-slow");  // similarity tier first
+}
+
+TEST(ValueToString, AllAlternatives) {
+  EXPECT_EQ(to_string(Value{std::int64_t{4}}), "4");
+  EXPECT_EQ(to_string(Value{std::string{"s"}}), "s");
+  EXPECT_EQ(to_string(Value{2.5}), "2.5");
+}
+
+}  // namespace
+}  // namespace redundancy::services

@@ -1,0 +1,229 @@
+#include "services/workflow.hpp"
+
+#include <gtest/gtest.h>
+
+namespace redundancy::services {
+namespace {
+
+EndpointPtr constant(std::string id, std::int64_t value) {
+  return std::make_shared<Endpoint>(
+      std::move(id), Interface{"op", {}, {"v"}},
+      [value](const Message&) -> core::Result<Message> {
+        return Message{{"v", value}};
+      });
+}
+
+EndpointPtr failing(std::string id) {
+  return std::make_shared<Endpoint>(
+      std::move(id), Interface{"op", {}, {"v"}},
+      [](const Message&) -> core::Result<Message> {
+        return core::failure(core::FailureKind::crash, "bang");
+      });
+}
+
+/// Endpoint that fails the first `n` calls, then succeeds.
+EndpointPtr flaky(std::string id, int n, std::int64_t value) {
+  auto counter = std::make_shared<int>(0);
+  return std::make_shared<Endpoint>(
+      std::move(id), Interface{"op", {}, {"v"}},
+      [counter, n, value](const Message&) -> core::Result<Message> {
+        if ((*counter)++ < n) {
+          return core::failure(core::FailureKind::timeout, "flake");
+        }
+        return Message{{"v", value}};
+      });
+}
+
+TEST(Workflow, SequenceThreadsMessages) {
+  auto wf = Workflow{
+      "seq", sequence({assign("one",
+                              [](Message m) {
+                                m["x"] = std::int64_t{1};
+                                return m;
+                              }),
+                       assign("two", [](Message m) {
+                         m["x"] = std::get<std::int64_t>(m["x"]) + 1;
+                         return m;
+                       })})};
+  auto out = wf.run({});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(std::get<std::int64_t>(out.value().at("x")), 2);
+}
+
+TEST(Workflow, SequenceStopsAtFirstFailure) {
+  bool reached = false;
+  auto wf = Workflow{"seq", sequence({invoke(failing("f")),
+                                      assign("later", [&reached](Message m) {
+                                        reached = true;
+                                        return m;
+                                      })})};
+  EXPECT_FALSE(wf.run({}).has_value());
+  EXPECT_FALSE(reached);
+  EXPECT_EQ(wf.metrics().unrecovered, 1u);
+}
+
+TEST(Workflow, RetryMasksTransientFailures) {
+  auto wf = Workflow{"retry", retry(invoke(flaky("fl", 2, 9)), 5)};
+  auto out = wf.run({});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(std::get<std::int64_t>(out.value().at("v")), 9);
+  EXPECT_EQ(wf.metrics().recoveries, 1u);
+}
+
+TEST(Workflow, RetryGivesUpAfterAttempts) {
+  auto wf = Workflow{"retry", retry(invoke(flaky("fl", 10, 9)), 3)};
+  EXPECT_FALSE(wf.run({}).has_value());
+}
+
+TEST(Workflow, AlternativesActAsRecoveryBlock) {
+  auto accept = [](const Message& m) {
+    return std::get<std::int64_t>(m.at("v")) > 0;
+  };
+  auto wf = Workflow{
+      "rb", alternatives({invoke(failing("primary")),
+                          invoke(constant("bad", -1)),
+                          invoke(constant("good", 5))},
+                         accept)};
+  auto out = wf.run({});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(std::get<std::int64_t>(out.value().at("v")), 5);
+  EXPECT_EQ(wf.metrics().recoveries, 1u);
+}
+
+TEST(Workflow, AlternativesExhaustedFails) {
+  auto wf = Workflow{"rb", alternatives({invoke(failing("a"))},
+                                        [](const Message&) { return true; })};
+  auto out = wf.run({});
+  ASSERT_FALSE(out.has_value());
+  EXPECT_EQ(out.error().kind, core::FailureKind::no_alternatives);
+}
+
+TEST(Workflow, ParallelVoteIsNvpOverServices) {
+  auto wf = Workflow{
+      "nvp", parallel_vote({invoke(constant("v1", 7)),
+                            invoke(constant("v2", 7)),
+                            invoke(constant("wrong", 8))},
+                           core::majority_voter<Message>())};
+  auto out = wf.run({});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(std::get<std::int64_t>(out.value().at("v")), 7);
+}
+
+TEST(Workflow, ParallelVoteMasksCrashes) {
+  auto wf = Workflow{"nvp", parallel_vote({invoke(constant("v1", 7)),
+                                           invoke(failing("dead")),
+                                           invoke(constant("v2", 7))},
+                                          core::majority_voter<Message>())};
+  auto out = wf.run({});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(wf.metrics().recoveries, 1u);
+}
+
+TEST(Workflow, ScopeRoutesFailureKindsToHandlers) {
+  auto wf = Workflow{
+      "scope",
+      scope(invoke(failing("f")),
+            {{core::FailureKind::crash, invoke(constant("handler", 11))}})};
+  auto out = wf.run({});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(std::get<std::int64_t>(out.value().at("v")), 11);
+  EXPECT_EQ(wf.metrics().recoveries, 1u);
+}
+
+TEST(Workflow, ScopeWithoutMatchingHandlerPropagates) {
+  auto wf = Workflow{
+      "scope",
+      scope(invoke(failing("f")),
+            {{core::FailureKind::timeout, invoke(constant("handler", 11))}})};
+  EXPECT_FALSE(wf.run({}).has_value());
+}
+
+TEST(Workflow, SagaCompensatesCompletedStepsInReverse) {
+  std::vector<std::string> undo_log;
+  auto step = [&undo_log](std::string name, bool fails) {
+    SagaStep s;
+    s.forward = fails ? invoke(failing(name))
+                      : assign(name, [name](Message m) {
+                          m[name] = std::int64_t{1};
+                          return m;
+                        });
+    s.compensation = assign("undo-" + name, [&undo_log, name](Message m) {
+      undo_log.push_back(name);
+      return m;
+    });
+    return s;
+  };
+  auto wf = Workflow{
+      "saga", saga({step("reserve", false), step("charge", false),
+                    step("ship", true)})};
+  auto out = wf.run({});
+  ASSERT_FALSE(out.has_value());
+  // charge completed after reserve, so it is compensated first.
+  EXPECT_EQ(undo_log, (std::vector<std::string>{"charge", "reserve"}));
+  EXPECT_EQ(wf.metrics().rollbacks, 2u);
+}
+
+TEST(Workflow, SagaSucceedsWithoutTouchingCompensations) {
+  bool compensated = false;
+  SagaStep a{assign("a",
+                    [](Message m) {
+                      m["a"] = std::int64_t{1};
+                      return m;
+                    }),
+             assign("undo", [&compensated](Message m) {
+               compensated = true;
+               return m;
+             })};
+  SagaStep b{assign("b",
+                    [](Message m) {
+                      m["b"] = std::int64_t{2};
+                      return m;
+                    }),
+             nullptr};  // nothing to undo
+  auto wf = Workflow{"saga", saga({a, b})};
+  auto out = wf.run({});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out.value().contains("a"));
+  EXPECT_TRUE(out.value().contains("b"));
+  EXPECT_FALSE(compensated);
+}
+
+TEST(Workflow, SagaCompensationSeesTheStepsOwnOutput) {
+  std::int64_t seen = -1;
+  SagaStep produce{assign("produce",
+                          [](Message m) {
+                            m["token"] = std::int64_t{77};
+                            return m;
+                          }),
+                   assign("release", [&seen](Message m) {
+                     seen = std::get<std::int64_t>(m.at("token"));
+                     return m;
+                   })};
+  SagaStep boom{invoke(failing("boom")), nullptr};
+  auto wf = Workflow{"saga", saga({produce, boom})};
+  ASSERT_FALSE(wf.run({}).has_value());
+  EXPECT_EQ(seen, 77);  // the compensation got the produced token back
+}
+
+TEST(Workflow, ComposedProcess) {
+  // sequence( nvp-vote, assign markup, retry(flaky shipper) )
+  auto wf = Workflow{
+      "checkout",
+      sequence(
+          {parallel_vote({invoke(constant("p1", 100)),
+                          invoke(constant("p2", 100)),
+                          invoke(failing("p3"))},
+                         core::majority_voter<Message>()),
+           assign("markup",
+                  [](Message m) {
+                    m["v"] = std::get<std::int64_t>(m["v"]) + 10;
+                    return m;
+                  }),
+           retry(invoke(flaky("ship", 1, 1)), 3)})};
+  auto out = wf.run({});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(wf.metrics().recoveries, 2u);  // vote masked + retry recovered
+}
+
+}  // namespace
+}  // namespace redundancy::services

@@ -1,0 +1,87 @@
+#include "sql/chaos.hpp"
+
+#include <gtest/gtest.h>
+
+namespace redundancy::sql {
+namespace {
+
+TEST(ChaoticStore, NoChaosIsTransparent) {
+  auto store = make_chaotic_store(make_btree_store(), {.seed = 1});
+  ASSERT_TRUE(store->create_table("t", {"id", "v"}).has_value());
+  ASSERT_TRUE(store->insert("t", {1, 10}).has_value());
+  EXPECT_EQ(store->select("t", std::nullopt).value(),
+            (std::vector<Row>{{1, 10}}));
+  EXPECT_EQ(store->engine(), "chaotic");
+}
+
+TEST(ChaoticStore, LostMutationsAreAcknowledgedButAbsent) {
+  auto store = make_chaotic_store(make_btree_store(),
+                                  {.lose_mutation_probability = 1.0, .seed = 1});
+  ASSERT_TRUE(store->create_table("t", {"id", "v"}).has_value());
+  ASSERT_TRUE(store->insert("t", {1, 10}).has_value());  // acknowledged...
+  EXPECT_TRUE(store->select("t", std::nullopt).value().empty());  // ...gone
+}
+
+TEST(ChaoticStore, LostUpdateReportsPlausibleAffectedCount) {
+  auto store = make_chaotic_store(make_btree_store(),
+                                  {.lose_mutation_probability = 0.0, .seed = 1});
+  ASSERT_TRUE(store->create_table("t", {"id", "v"}).has_value());
+  ASSERT_TRUE(store->insert("t", {1, 10}).has_value());
+  auto lossy = make_chaotic_store(make_btree_store(),
+                                  {.lose_mutation_probability = 1.0, .seed = 1});
+  ASSERT_TRUE(lossy->create_table("t", {"id", "v"}).has_value());
+  // With total mutation loss even the setup insert is dropped, so the
+  // "affected" count reported for an update is what a scan would say: 0.
+  auto affected =
+      lossy->update("t", Condition{"id", Condition::Op::eq, 1}, "v", 9);
+  ASSERT_TRUE(affected.has_value());
+  EXPECT_EQ(affected.value(), 0);
+}
+
+TEST(ChaoticStore, CorruptedReadsDifferFromTruth) {
+  auto store = make_chaotic_store(make_btree_store(),
+                                  {.corrupt_read_probability = 1.0, .seed = 4});
+  ASSERT_TRUE(store->create_table("t", {"id", "v"}).has_value());
+  ASSERT_TRUE(store->insert("t", {1, 10}).has_value());
+  auto rows = store->select("t", std::nullopt);
+  ASSERT_TRUE(rows.has_value());
+  ASSERT_EQ(rows.value().size(), 1u);
+  EXPECT_NE(rows.value()[0][1], 10);  // some cell was flipped
+}
+
+TEST(ChaoticStore, CorruptionIsReadOnlyStateStaysClean) {
+  auto store = make_chaotic_store(make_btree_store(),
+                                  {.corrupt_read_probability = 1.0, .seed = 4});
+  auto clean = make_btree_store();
+  for (auto* s : {store.get(), clean.get()}) {
+    ASSERT_TRUE(s->create_table("t", {"id", "v"}).has_value());
+    ASSERT_TRUE(s->insert("t", {1, 10}).has_value());
+  }
+  // The digest sees the true underlying state, not the corrupted reads.
+  EXPECT_EQ(store->state_digest().value(), clean->state_digest().value());
+}
+
+TEST(ChaoticStore, DeterministicPerSeed) {
+  auto run = [] {
+    auto store = make_chaotic_store(
+        make_btree_store(),
+        {.lose_mutation_probability = 0.5, .corrupt_read_probability = 0.5,
+         .seed = 9});
+    (void)store->create_table("t", {"id", "v"});
+    std::uint64_t trace = 0;
+    for (std::int64_t i = 0; i < 50; ++i) {
+      (void)store->insert("t", {i, i});
+      auto rows = store->select("t", std::nullopt);
+      if (rows.has_value()) {
+        for (const Row& r : rows.value()) {
+          trace = trace * 31 + static_cast<std::uint64_t>(r[1]);
+        }
+      }
+    }
+    return trace;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace redundancy::sql

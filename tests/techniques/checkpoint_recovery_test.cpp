@@ -1,0 +1,144 @@
+#include "techniques/checkpoint_recovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "util/rng.hpp"
+
+namespace redundancy::techniques {
+namespace {
+
+class Store final : public env::Checkpointable {
+ public:
+  std::int64_t committed = 0;
+  [[nodiscard]] util::ByteBuffer snapshot() const override {
+    util::ByteBuffer buf;
+    buf.put(committed);
+    return buf;
+  }
+  void restore(const util::ByteBuffer& state) override {
+    committed = state.reader().get<std::int64_t>();
+  }
+};
+
+TEST(CheckpointRecovery, HealthyOperationsJustRun) {
+  Store store;
+  CheckpointRecovery cr{store};
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(cr.run([&store] {
+                    store.committed += 1;
+                    return core::ok_status();
+                  }).has_value());
+  }
+  EXPECT_EQ(store.committed, 20);
+  EXPECT_EQ(cr.rollbacks(), 0u);
+}
+
+TEST(CheckpointRecovery, PeriodicCheckpointCadence) {
+  Store store;
+  CheckpointRecovery cr{store, {.checkpoint_every = 5, .max_retries = 1}};
+  for (int i = 0; i < 20; ++i) {
+    (void)cr.run([&store] {
+      store.committed += 1;
+      return core::ok_status();
+    });
+  }
+  // 1 initial + one every 5 successful ops (taken lazily before the op).
+  EXPECT_EQ(cr.checkpoints_taken(), 4u);
+}
+
+TEST(CheckpointRecovery, HeisenbugRecoveredByReExecution) {
+  Store store;
+  CheckpointRecovery cr{store, {.checkpoint_every = 1, .max_retries = 8}};
+  auto rng = std::make_shared<util::Rng>(3);
+  std::size_t heisen_failures = 0;
+  for (int i = 0; i < 500; ++i) {
+    auto status = cr.run([&store, &rng, &heisen_failures] {
+      store.committed += 1;
+      if (rng->chance(0.3)) {  // transient condition re-rolls per retry
+        ++heisen_failures;
+        return core::Status{core::failure(core::FailureKind::crash,
+                                          "transient",
+                                          core::FaultClass::heisenbug)};
+      }
+      return core::ok_status();
+    });
+    ASSERT_TRUE(status.has_value()) << "iteration " << i;
+  }
+  EXPECT_GT(heisen_failures, 0u);
+  EXPECT_GT(cr.recoveries(), 0u);
+  EXPECT_EQ(cr.unrecovered(), 0u);
+  // Rollback discarded the failed attempts' increments: exactly 500 remain.
+  EXPECT_EQ(store.committed, 500);
+}
+
+TEST(CheckpointRecovery, BohrbugDefeatsRetry) {
+  // Deterministic failure: every re-execution repeats it — checkpoint
+  // recovery addresses Heisenbugs, not Bohrbugs (the Table 2 claim).
+  Store store;
+  CheckpointRecovery cr{store, {.checkpoint_every = 1, .max_retries = 6}};
+  auto status = cr.run([&store] {
+    store.committed += 1;
+    return core::Status{core::failure(core::FailureKind::wrong_output,
+                                      "deterministic",
+                                      core::FaultClass::bohrbug)};
+  });
+  EXPECT_FALSE(status.has_value());
+  EXPECT_EQ(cr.unrecovered(), 1u);
+  EXPECT_EQ(cr.rollbacks(), 7u);  // 6 retries + the final fail-stop restore
+  EXPECT_EQ(store.committed, 0);  // final rollback left clean state
+}
+
+TEST(CheckpointRecovery, RollbackRestoresPreFailureState) {
+  Store store;
+  CheckpointRecovery cr{store, {.checkpoint_every = 100, .max_retries = 1}};
+  ASSERT_TRUE(cr.run([&store] {
+                  store.committed = 7;
+                  return core::ok_status();
+                }).has_value());
+  // Fails twice (op + 1 retry): state must return to the checkpoint, which
+  // was taken before the first op (committed == 0).
+  auto status = cr.run([&store] {
+    store.committed += 100;
+    return core::Status{core::failure(core::FailureKind::crash)};
+  });
+  EXPECT_FALSE(status.has_value());
+  EXPECT_EQ(store.committed, 0);
+}
+
+TEST(CheckpointRecovery, ManualCheckpointPinsState) {
+  Store store;
+  CheckpointRecovery cr{store, {.checkpoint_every = 1000, .max_retries = 1}};
+  store.committed = 55;
+  cr.checkpoint();
+  auto status = cr.run([&store] {
+    store.committed = -1;
+    return core::Status{core::failure(core::FailureKind::crash)};
+  });
+  EXPECT_FALSE(status.has_value());
+  EXPECT_EQ(store.committed, 55);
+}
+
+TEST(CheckpointRecovery, FirstRetrySuccessCountsOneRecovery) {
+  Store store;
+  CheckpointRecovery cr{store, {.checkpoint_every = 1, .max_retries = 3}};
+  int attempts = 0;
+  auto status = cr.run([&attempts] {
+    return ++attempts == 1
+               ? core::Status{core::failure(core::FailureKind::crash)}
+               : core::ok_status();
+  });
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(cr.recoveries(), 1u);
+  EXPECT_EQ(cr.rollbacks(), 1u);
+}
+
+TEST(CheckpointRecovery, TaxonomyMatchesPaperRow) {
+  const auto t = CheckpointRecovery::taxonomy();
+  EXPECT_EQ(t.intention, core::Intention::opportunistic);
+  EXPECT_EQ(t.faults, core::TargetFaults::heisenbugs);
+}
+
+}  // namespace
+}  // namespace redundancy::techniques

@@ -1,0 +1,150 @@
+#include "techniques/genetic_repair.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vm/assembler.hpp"
+
+namespace redundancy::techniques {
+namespace {
+
+TestSuite sum_suite() {
+  TestSuite suite;
+  for (std::int64_t a = 0; a < 5; ++a) {
+    for (std::int64_t b = 0; b < 4; ++b) {
+      suite.push_back({{a, b}, a + b});
+    }
+  }
+  return suite;
+}
+
+vm::Program correct_sum() {
+  return vm::assemble("sum", "arg 0\narg 1\nadd\nhalt").take();
+}
+
+TEST(Fitness, PerfectProgramScoresOne) {
+  EXPECT_DOUBLE_EQ(fitness(correct_sum(), sum_suite()), 1.0);
+}
+
+TEST(Fitness, CrashingProgramScoresZero) {
+  auto crash = vm::assemble("crash", "pop\nhalt").take();
+  EXPECT_DOUBLE_EQ(fitness(crash, sum_suite()), 0.0);
+}
+
+TEST(Fitness, PartiallyCorrectProgramScoresBetween) {
+  // Returns arg0: right whenever b == 0 (5 of 20 cases).
+  auto partial = vm::assemble("partial", "arg 0\nhalt").take();
+  EXPECT_NEAR(fitness(partial, sum_suite()), 5.0 / 20.0, 1e-12);
+}
+
+TEST(Fitness, EmptySuiteIsVacuouslyPerfect) {
+  EXPECT_DOUBLE_EQ(fitness(correct_sum(), {}), 1.0);
+}
+
+TEST(GeneticOperators, MutateKeepsLengthBounded) {
+  GeneticRepairConfig cfg;
+  cfg.max_program_len = 8;
+  GeneticRepair gp{cfg, 5};
+  vm::Program p = correct_sum();
+  for (int i = 0; i < 500; ++i) {
+    p = gp.mutate(p);
+    ASSERT_GE(p.size(), 1u);
+    ASSERT_LE(p.size(), 9u);  // insert checks the cap before growing
+  }
+}
+
+TEST(GeneticOperators, CrossoverMixesParents) {
+  GeneticRepair gp{7};
+  const vm::Program a = correct_sum();
+  const auto b = vm::assemble("other", "push 1\npush 2\nmul\nhalt").take();
+  bool differs_from_both = false;
+  for (int i = 0; i < 100 && !differs_from_both; ++i) {
+    const vm::Program child = gp.crossover(a, b);
+    ASSERT_GE(child.size(), 1u);
+    differs_from_both = !(child == a) && !(child == b);
+  }
+  EXPECT_TRUE(differs_from_both);
+}
+
+TEST(GeneticRepair, AlreadyCorrectProgramReturnsImmediately) {
+  GeneticRepair gp{11};
+  auto outcome = gp.repair(correct_sum(), sum_suite());
+  ASSERT_TRUE(outcome.success());
+  EXPECT_EQ(outcome.generations, 1u);
+  EXPECT_DOUBLE_EQ(fitness(*outcome.repaired, sum_suite()), 1.0);
+}
+
+TEST(GeneticRepair, FixesWrongOpcodeBug) {
+  // Single-point fault: 'sub' where 'add' belongs — the canonical seeded
+  // mutant. The test suite is the adjudicator.
+  auto faulty = vm::assemble("sum-buggy", "arg 0\narg 1\nsub\nhalt").take();
+  ASSERT_LT(fitness(faulty, sum_suite()), 1.0);
+  GeneticRepairConfig cfg;
+  cfg.population = 64;
+  cfg.max_generations = 80;
+  GeneticRepair gp{cfg, 13};
+  auto outcome = gp.repair(faulty, sum_suite());
+  ASSERT_TRUE(outcome.success());
+  EXPECT_DOUBLE_EQ(fitness(*outcome.repaired, sum_suite()), 1.0);
+  EXPECT_GT(outcome.evaluations, 0u);
+}
+
+TEST(GeneticRepair, FixesWrongConstantBug) {
+  // max(a,b) implemented with a broken comparison constant.
+  TestSuite suite;
+  for (std::int64_t a = 0; a < 4; ++a) {
+    for (std::int64_t b = 0; b < 4; ++b) {
+      suite.push_back({{a, b}, a * 2});
+    }
+  }
+  auto faulty = vm::assemble("dbl-buggy", "arg 0\npush 3\nmul\nhalt").take();
+  GeneticRepairConfig cfg;
+  cfg.population = 48;
+  cfg.max_generations = 60;
+  GeneticRepair gp{cfg, 17};
+  auto outcome = gp.repair(faulty, suite);
+  ASSERT_TRUE(outcome.success());
+  EXPECT_DOUBLE_EQ(fitness(*outcome.repaired, suite), 1.0);
+}
+
+TEST(GeneticRepair, ReportsBestFitnessEvenOnFailure) {
+  // An adversarial suite no tiny program will satisfy within the budget.
+  TestSuite impossible;
+  for (std::int64_t a = 0; a < 6; ++a) {
+    impossible.push_back({{a}, (a * 37 + 11) % 97});
+  }
+  GeneticRepairConfig cfg;
+  cfg.population = 32;
+  cfg.max_generations = 10;
+  GeneticRepair gp{cfg, 19};
+  auto faulty = vm::assemble("f", "arg 0\nhalt").take();
+  auto outcome = gp.repair(faulty, impossible);
+  EXPECT_FALSE(outcome.success());
+  EXPECT_EQ(outcome.generations, 10u);
+  EXPECT_EQ(outcome.evaluations, 320u);  // population x generations
+  // No tiny program satisfies the whole pseudo-random table.
+  EXPECT_LT(outcome.best_fitness, 1.0);
+  EXPECT_FALSE(outcome.repaired.has_value());
+}
+
+TEST(GeneticRepair, DeterministicForFixedSeed) {
+  auto faulty = vm::assemble("sum-buggy", "arg 0\narg 1\nsub\nhalt").take();
+  GeneticRepairConfig cfg;
+  cfg.population = 32;
+  cfg.max_generations = 40;
+  GeneticRepair gp1{cfg, 23};
+  GeneticRepair gp2{cfg, 23};
+  const auto o1 = gp1.repair(faulty, sum_suite());
+  const auto o2 = gp2.repair(faulty, sum_suite());
+  EXPECT_EQ(o1.success(), o2.success());
+  EXPECT_EQ(o1.generations, o2.generations);
+  EXPECT_EQ(o1.evaluations, o2.evaluations);
+}
+
+TEST(GeneticRepair, TaxonomyMatchesPaperRow) {
+  const auto t = GeneticRepair::taxonomy();
+  EXPECT_EQ(t.intention, core::Intention::opportunistic);
+  EXPECT_EQ(t.faults, core::TargetFaults::bohrbugs);
+}
+
+}  // namespace
+}  // namespace redundancy::techniques

@@ -1,0 +1,167 @@
+#include "techniques/microreboot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace redundancy::techniques {
+namespace {
+
+/// The JAGR-style three-tier application used throughout.
+MicrorebootContainer make_app() {
+  MicrorebootContainer app;
+  EXPECT_TRUE(app.add_component("kernel", 100.0).has_value());
+  EXPECT_TRUE(app.add_component("appserver", 40.0, "kernel").has_value());
+  EXPECT_TRUE(app.add_component("db", 60.0, "kernel").has_value());
+  EXPECT_TRUE(app.add_component("cart", 5.0, "appserver").has_value());
+  EXPECT_TRUE(app.add_component("checkout", 8.0, "appserver").has_value());
+  return app;
+}
+
+TEST(Microreboot, ComponentRegistration) {
+  auto app = make_app();
+  EXPECT_EQ(app.components(), 5u);
+  EXPECT_DOUBLE_EQ(app.total_init_cost(), 213.0);
+  EXPECT_FALSE(app.add_component("cart", 1.0).has_value());       // duplicate
+  EXPECT_FALSE(app.add_component("x", 1.0, "nope").has_value());  // bad parent
+}
+
+TEST(Microreboot, ServeRequiresAncestorChain) {
+  auto app = make_app();
+  EXPECT_TRUE(app.serve("cart").has_value());
+  ASSERT_TRUE(app.fail("appserver").has_value());
+  EXPECT_FALSE(app.serve("cart").has_value());      // ancestor down
+  EXPECT_FALSE(app.serve("appserver").has_value());
+  EXPECT_TRUE(app.serve("db").has_value());         // sibling unaffected
+}
+
+TEST(Microreboot, SubtreeRestartHealsAndCostsOnlyTheSubtree) {
+  auto app = make_app();
+  ASSERT_TRUE(app.fail("appserver").has_value());
+  auto report = app.microreboot("appserver");
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report.value().components_restarted, 3u);  // appserver+cart+checkout
+  EXPECT_DOUBLE_EQ(report.value().downtime, 53.0);
+  EXPECT_TRUE(app.serve("cart").has_value());
+}
+
+TEST(Microreboot, LeafRestartIsCheapest) {
+  auto app = make_app();
+  ASSERT_TRUE(app.fail("cart").has_value());
+  auto report = app.microreboot("cart");
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report.value().components_restarted, 1u);
+  EXPECT_DOUBLE_EQ(report.value().downtime, 5.0);
+}
+
+TEST(Microreboot, FullRebootCostsEverything) {
+  auto app = make_app();
+  ASSERT_TRUE(app.fail("cart").has_value());
+  const auto report = app.full_reboot();
+  EXPECT_EQ(report.components_restarted, 5u);
+  EXPECT_DOUBLE_EQ(report.downtime, 213.0);
+  EXPECT_TRUE(app.serve("cart").has_value());
+}
+
+TEST(Microreboot, MicroRebootBeatsFullRebootOnDowntime) {
+  auto micro_app = make_app();
+  auto full_app = make_app();
+  ASSERT_TRUE(micro_app.fail("checkout").has_value());
+  ASSERT_TRUE(full_app.fail("checkout").has_value());
+  const auto micro = micro_app.microreboot("checkout");
+  const auto full = full_app.full_reboot();
+  ASSERT_TRUE(micro.has_value());
+  EXPECT_LT(micro.value().downtime, full.downtime);
+}
+
+TEST(Microreboot, InComponentSessionsDieWithTheirComponent) {
+  auto app = make_app();
+  (void)app.open_session("cart", /*externalized=*/false);
+  (void)app.open_session("checkout", /*externalized=*/false);
+  (void)app.open_session("db", /*externalized=*/false);
+  auto report = app.microreboot("cart");
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report.value().sessions_lost, 1u);
+  EXPECT_EQ(app.active_sessions(), 2u);
+}
+
+TEST(Microreboot, ExternalizedSessionsSurviveAnyReboot) {
+  auto app = make_app();
+  (void)app.open_session("cart", /*externalized=*/true);
+  (void)app.open_session("checkout", /*externalized=*/true);
+  const auto report = app.full_reboot();
+  EXPECT_EQ(report.sessions_lost, 0u);
+  EXPECT_EQ(app.active_sessions(), 2u);
+}
+
+TEST(Microreboot, FullRebootWithoutSessionStoreLosesEverything) {
+  auto app = make_app();
+  (void)app.open_session("cart", false);
+  (void)app.open_session("db", false);
+  const auto report = app.full_reboot();
+  EXPECT_EQ(report.sessions_lost, 2u);
+  EXPECT_EQ(app.active_sessions(), 0u);
+}
+
+TEST(Microreboot, UnknownComponentOperationsFail) {
+  auto app = make_app();
+  EXPECT_FALSE(app.fail("ghost").has_value());
+  EXPECT_FALSE(app.microreboot("ghost").has_value());
+  EXPECT_FALSE(app.serve("ghost").has_value());
+  EXPECT_FALSE(app.healthy("ghost"));
+}
+
+TEST(RecursiveRecovery, FaultAtObservationPointNeedsNoEscalation) {
+  auto app = make_app();
+  ASSERT_TRUE(app.fail("cart").has_value());
+  auto report = app.recover("cart");
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report.value().recovered);
+  EXPECT_EQ(report.value().escalations, 0u);
+  EXPECT_DOUBLE_EQ(report.value().downtime, 5.0);
+}
+
+TEST(RecursiveRecovery, EscalatesToTheFaultyAncestor) {
+  auto app = make_app();
+  // The fault is in the appserver, but it is *observed* at the cart.
+  ASSERT_TRUE(app.fail("appserver").has_value());
+  auto report = app.recover("cart");
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report.value().recovered);
+  EXPECT_EQ(report.value().escalations, 1u);
+  // cart (5) + appserver subtree (40+5+8=53); still far below a full 213.
+  EXPECT_DOUBLE_EQ(report.value().downtime, 58.0);
+  EXPECT_TRUE(app.serve("cart").has_value());
+}
+
+TEST(RecursiveRecovery, ClimbsToTheRootWhenNeeded) {
+  auto app = make_app();
+  ASSERT_TRUE(app.fail("kernel").has_value());
+  auto report = app.recover("cart");
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report.value().recovered);
+  EXPECT_EQ(report.value().escalations, 2u);  // cart -> appserver -> kernel
+  EXPECT_TRUE(app.serve("checkout").has_value());
+}
+
+TEST(RecursiveRecovery, MultipleSimultaneousFaults) {
+  auto app = make_app();
+  ASSERT_TRUE(app.fail("cart").has_value());
+  ASSERT_TRUE(app.fail("appserver").has_value());
+  auto report = app.recover("cart");
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report.value().recovered);
+  EXPECT_EQ(report.value().escalations, 1u);
+}
+
+TEST(RecursiveRecovery, UnknownComponentFails) {
+  auto app = make_app();
+  EXPECT_FALSE(app.recover("ghost").has_value());
+}
+
+TEST(Microreboot, TaxonomyMatchesPaperRow) {
+  const auto t = MicrorebootContainer::taxonomy();
+  EXPECT_EQ(t.intention, core::Intention::opportunistic);
+  EXPECT_EQ(t.faults, core::TargetFaults::heisenbugs);
+}
+
+}  // namespace
+}  // namespace redundancy::techniques

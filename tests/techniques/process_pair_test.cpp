@@ -1,0 +1,128 @@
+#include "techniques/process_pair.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "util/rng.hpp"
+
+namespace redundancy::techniques {
+namespace {
+
+class Counter final : public env::Checkpointable {
+ public:
+  std::int64_t value = 0;
+  [[nodiscard]] util::ByteBuffer snapshot() const override {
+    util::ByteBuffer buf;
+    buf.put(value);
+    return buf;
+  }
+  void restore(const util::ByteBuffer& state) override {
+    value = state.reader().get<std::int64_t>();
+  }
+};
+
+TEST(ProcessPair, HealthyPrimaryServesAlone) {
+  Counter state;
+  ProcessPair pair{state};
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(pair.run([&state] {
+                      state.value += 1;
+                      return core::ok_status();
+                    }).has_value());
+  }
+  EXPECT_EQ(pair.acting(), 0u);
+  EXPECT_EQ(pair.takeovers(), 0u);
+  EXPECT_EQ(state.value, 20);
+  EXPECT_GT(pair.checkpoints_shipped(), 1u);
+}
+
+TEST(ProcessPair, BackupTakesOverOnHeisenbugCrash) {
+  Counter state;
+  ProcessPair pair{state, {.ship_every = 1, .max_takeovers = 2}};
+  int attempt = 0;
+  auto status = pair.run([&state, &attempt] {
+    state.value += 1;
+    // First execution hits a Heisenbug; the re-execution on the backup
+    // draws fresh conditions and passes.
+    if (++attempt == 1) {
+      return core::Status{core::failure(core::FailureKind::crash, "heisen",
+                                        core::FaultClass::heisenbug)};
+    }
+    return core::ok_status();
+  });
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(pair.acting(), 1u);   // the backup is now acting
+  EXPECT_EQ(pair.takeovers(), 1u);
+  EXPECT_EQ(state.value, 1);      // the failed attempt's delta was discarded
+}
+
+TEST(ProcessPair, WorkSinceLastShipmentIsLostOnTakeover) {
+  Counter state;
+  ProcessPair pair{state, {.ship_every = 100, .max_takeovers = 1}};
+  // 5 successful ops; none shipped yet (interval 100).
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(pair.run([&state] {
+                      state.value += 1;
+                      return core::ok_status();
+                    }).has_value());
+  }
+  int attempt = 0;
+  ASSERT_TRUE(pair.run([&state, &attempt] {
+                    state.value += 1;
+                    return ++attempt == 1
+                               ? core::Status{core::failure(
+                                     core::FailureKind::crash)}
+                               : core::ok_status();
+                  }).has_value());
+  // The takeover restored the *initial* shipped state; the 5 units of
+  // unshipped work were lost and only the re-executed op's unit remains.
+  EXPECT_EQ(state.value, 1);
+}
+
+TEST(ProcessPair, BohrbugDefeatsBothSides) {
+  Counter state;
+  ProcessPair pair{state, {.ship_every = 1, .max_takeovers = 3}};
+  auto status = pair.run([&state] {
+    state.value += 1;
+    return core::Status{core::failure(core::FailureKind::wrong_output,
+                                      "deterministic",
+                                      core::FaultClass::bohrbug)};
+  });
+  EXPECT_FALSE(status.has_value());
+  EXPECT_EQ(pair.unrecovered(), 1u);
+  EXPECT_EQ(pair.takeovers(), 3u);  // it tried; the peer fails identically
+}
+
+TEST(ProcessPair, LongHaulUnderSporadicCrashes) {
+  Counter state;
+  ProcessPair pair{state, {.ship_every = 1, .max_takeovers = 2}};
+  auto rng = std::make_shared<util::Rng>(5);
+  std::int64_t committed = 0;
+  for (int i = 0; i < 2000; ++i) {
+    auto status = pair.run([&state, rng] {
+      state.value += 1;
+      if (rng->chance(0.1)) {
+        return core::Status{core::failure(core::FailureKind::crash, "heisen",
+                                          core::FaultClass::heisenbug)};
+      }
+      return core::ok_status();
+    });
+    if (status.has_value()) ++committed;
+  }
+  // With ship_every=1 and re-rolling faults, nearly everything commits and
+  // the counter exactly tracks the committed operations.
+  EXPECT_GT(committed, 1950);
+  EXPECT_EQ(state.value, committed);
+  EXPECT_GT(pair.takeovers(), 100u);
+}
+
+TEST(ProcessPair, TaxonomyIsGraysRow) {
+  const auto t = ProcessPair::taxonomy();
+  EXPECT_EQ(t.type, core::RedundancyType::environment);
+  EXPECT_EQ(t.faults, core::TargetFaults::heisenbugs);
+  EXPECT_EQ(t.adjudicator, core::AdjudicatorKind::reactive_explicit);
+}
+
+}  // namespace
+}  // namespace redundancy::techniques

@@ -1,0 +1,136 @@
+#include "techniques/recovery_blocks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "faults/fault.hpp"
+
+namespace redundancy::techniques {
+namespace {
+
+using core::Result;
+
+core::Variant<int, int> square(std::string name) {
+  return core::make_variant<int, int>(std::move(name),
+                                      [](const int& x) -> Result<int> {
+                                        return x * x;
+                                      });
+}
+
+core::Variant<int, int> wrong(std::string name) {
+  return core::make_variant<int, int>(std::move(name),
+                                      [](const int& x) -> Result<int> {
+                                        return x * x + 1;
+                                      });
+}
+
+core::AcceptanceTest<int, int> square_acceptance() {
+  return [](const int& x, const int& out) { return out == x * x; };
+}
+
+TEST(RecoveryBlocks, PrimaryPassesAcceptance) {
+  RecoveryBlocks<int, int> rb{{square("primary"), square("alt")},
+                              square_acceptance()};
+  auto out = rb.run(5);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out.value(), 25);
+  EXPECT_EQ(rb.last_used_alternate(), 0u);
+  EXPECT_EQ(rb.metrics().variant_executions, 1u);
+}
+
+TEST(RecoveryBlocks, AlternateRunsWhenPrimaryRejected) {
+  RecoveryBlocks<int, int> rb{{wrong("primary"), square("alt")},
+                              square_acceptance()};
+  auto out = rb.run(5);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out.value(), 25);
+  EXPECT_EQ(rb.last_used_alternate(), 1u);
+  EXPECT_EQ(rb.metrics().recoveries, 1u);
+}
+
+TEST(RecoveryBlocks, WeakAcceptanceLetsWrongResultsThrough) {
+  // The acceptance test is the single point of trust: a vacuous test
+  // accepts the faulty primary and the redundancy never engages.
+  RecoveryBlocks<int, int> rb{{wrong("primary"), square("alt")},
+                              core::accept_all<int, int>()};
+  auto out = rb.run(5);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out.value(), 26);
+}
+
+TEST(RecoveryBlocks, ExhaustionFails) {
+  RecoveryBlocks<int, int> rb{{wrong("a"), wrong("b")}, square_acceptance()};
+  auto out = rb.run(2);
+  ASSERT_FALSE(out.has_value());
+  EXPECT_EQ(out.error().kind, core::FailureKind::no_alternatives);
+}
+
+/// Stateful subject: alternates mutate shared state; rollback must undo it.
+class Ledger final : public env::Checkpointable {
+ public:
+  std::vector<std::int64_t> entries;
+  [[nodiscard]] util::ByteBuffer snapshot() const override {
+    util::ByteBuffer buf;
+    buf.put(static_cast<std::uint32_t>(entries.size()));
+    for (auto v : entries) buf.put(v);
+    return buf;
+  }
+  void restore(const util::ByteBuffer& state) override {
+    auto r = state.reader();
+    entries.assign(r.get<std::uint32_t>(), 0);
+    for (auto& v : entries) v = r.get<std::int64_t>();
+  }
+};
+
+TEST(RecoveryBlocks, RollbackUndoesPartialStateBeforeAlternate) {
+  Ledger ledger;
+  ledger.entries = {1, 2};
+  // Primary appends garbage then fails acceptance; the alternate must see
+  // the pre-primary state.
+  auto dirty_primary = core::make_variant<int, int>(
+      "dirty", [&ledger](const int& x) -> Result<int> {
+        ledger.entries.push_back(-999);
+        return x * x + 1;  // will be rejected
+      });
+  std::size_t observed_size_at_alt = 0;
+  auto clean_alt = core::make_variant<int, int>(
+      "clean", [&ledger, &observed_size_at_alt](const int& x) -> Result<int> {
+        observed_size_at_alt = ledger.entries.size();
+        ledger.entries.push_back(x);
+        return x * x;
+      });
+  RecoveryBlocks<int, int> rb{{dirty_primary, clean_alt}, square_acceptance(),
+                              ledger};
+  auto out = rb.run(3);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(observed_size_at_alt, 2u);  // the -999 was rolled back
+  EXPECT_EQ(ledger.entries, (std::vector<std::int64_t>{1, 2, 3}));
+  EXPECT_EQ(rb.metrics().rollbacks, 1u);
+}
+
+TEST(RecoveryBlocks, SequentialCostOnlyWhatRan) {
+  RecoveryBlocks<int, int> rb{{square("p"), square("a1"), square("a2")},
+                              square_acceptance()};
+  for (int i = 0; i < 10; ++i) (void)rb.run(i);
+  EXPECT_DOUBLE_EQ(rb.metrics().executions_per_request(), 1.0);
+}
+
+TEST(RecoveryBlocks, CrashingPrimaryAlsoTriggersAlternate) {
+  faults::FaultInjector<int, int> crashy{"crashy", [](const int& x) {
+    return x * x;
+  }};
+  crashy.add(faults::bohrbug<int, int>("b", 1.0, 3, core::FailureKind::crash));
+  RecoveryBlocks<int, int> rb{{crashy.as_variant(), square("alt")},
+                              square_acceptance()};
+  auto out = rb.run(4);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out.value(), 16);
+}
+
+TEST(RecoveryBlocks, TaxonomyMatchesPaperRow) {
+  const auto t = RecoveryBlocks<int, int>::taxonomy();
+  EXPECT_EQ(t.adjudicator, core::AdjudicatorKind::reactive_explicit);
+  EXPECT_EQ(t.pattern, core::ArchitecturalPattern::sequential_alternatives);
+}
+
+}  // namespace
+}  // namespace redundancy::techniques

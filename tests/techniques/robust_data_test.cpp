@@ -1,0 +1,152 @@
+#include "techniques/robust_data.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace redundancy::techniques {
+namespace {
+
+RobustList make_list(std::size_t n) {
+  RobustList list;
+  for (std::size_t i = 0; i < n; ++i) {
+    list.push_back(static_cast<std::int64_t>(i * 10));
+  }
+  return list;
+}
+
+TEST(RobustList, PushPopFifo) {
+  RobustList list = make_list(3);
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.pop_front().value(), 0);
+  EXPECT_EQ(list.pop_front().value(), 10);
+  EXPECT_EQ(list.pop_front().value(), 20);
+  EXPECT_TRUE(list.empty());
+  EXPECT_FALSE(list.pop_front().has_value());
+}
+
+TEST(RobustList, ToVectorWalksForward) {
+  EXPECT_EQ(make_list(4).to_vector(),
+            (std::vector<std::int64_t>{0, 10, 20, 30}));
+}
+
+TEST(RobustList, CleanAuditFindsNothing) {
+  RobustList list = make_list(10);
+  const auto report = list.audit();
+  EXPECT_EQ(report.errors_detected, 0u);
+  EXPECT_EQ(report.errors_repaired, 0u);
+  EXPECT_TRUE(report.structurally_sound);
+  EXPECT_EQ(report.nodes_checked, 10u);
+}
+
+TEST(RobustList, RepairsSmashedForwardPointer) {
+  RobustList list = make_list(5);
+  list.corrupt_next(1, 77777);  // node 1 -> garbage
+  auto report = list.audit();
+  EXPECT_GE(report.errors_detected, 1u);
+  EXPECT_GE(report.errors_repaired, 1u);
+  EXPECT_TRUE(report.structurally_sound);
+  EXPECT_EQ(list.to_vector(), (std::vector<std::int64_t>{0, 10, 20, 30, 40}));
+}
+
+TEST(RobustList, RepairsSmashedBackwardPointer) {
+  RobustList list = make_list(5);
+  list.corrupt_prev(3, 77777);
+  auto report = list.audit();
+  EXPECT_GE(report.errors_repaired, 1u);
+  EXPECT_TRUE(report.structurally_sound);
+  EXPECT_EQ(list.to_vector(), (std::vector<std::int64_t>{0, 10, 20, 30, 40}));
+  // And the repair is real: a second audit is clean.
+  EXPECT_EQ(list.audit().errors_detected, 0u);
+}
+
+TEST(RobustList, RepairsSmashedCount) {
+  RobustList list = make_list(5);
+  list.corrupt_count(999);
+  auto report = list.audit();
+  EXPECT_GE(report.errors_repaired, 1u);
+  EXPECT_EQ(list.size(), 5u);
+}
+
+TEST(RobustList, RepairsSmashedIdentifier) {
+  RobustList list = make_list(5);
+  list.corrupt_id(2, 0xbadbadbadULL);
+  auto report = list.audit();
+  EXPECT_EQ(report.errors_detected, 1u);
+  EXPECT_EQ(report.errors_repaired, 1u);
+  EXPECT_EQ(list.audit().errors_detected, 0u);
+}
+
+TEST(RobustList, PopAfterRepairStillWorks) {
+  RobustList list = make_list(4);
+  list.corrupt_next(0, 55555);
+  (void)list.audit();
+  EXPECT_EQ(list.pop_front().value(), 0);
+  EXPECT_EQ(list.pop_front().value(), 10);
+  EXPECT_EQ(list.size(), 2u);
+}
+
+// Property: any *single* corruption of a pointer/count/id field is repaired
+// and the element sequence is preserved (Taylor's single-fault guarantee).
+class SingleFaultTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SingleFaultTest, AnySingleCorruptionIsRepaired) {
+  util::Rng rng{GetParam()};
+  const std::size_t n = 3 + rng.index(10);
+  RobustList list = make_list(n);
+  const auto expected = list.to_vector();
+  const std::size_t pos = rng.index(n);
+  const auto garbage = static_cast<std::size_t>(rng.below(100'000) + 1000);
+  switch (rng.below(4)) {
+    case 0: list.corrupt_next(pos, garbage); break;
+    case 1: list.corrupt_prev(pos, garbage); break;
+    case 2: list.corrupt_count(garbage); break;
+    default: list.corrupt_id(pos, garbage); break;
+  }
+  const auto report = list.audit();
+  EXPECT_TRUE(report.structurally_sound);
+  EXPECT_EQ(list.to_vector(), expected);
+  EXPECT_EQ(list.size(), expected.size());
+  EXPECT_EQ(list.audit().errors_detected, 0u);  // idempotent repair
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SingleFaultTest,
+                         ::testing::Range<std::uint64_t>(0, 50));
+
+TEST(SoftwareAudit, PeriodicTicksRunChecks) {
+  RobustList list = make_list(4);
+  SoftwareAudit audit{4};
+  audit.watch("list", [&list] { return list.audit(); });
+  for (int i = 0; i < 12; ++i) audit.tick();
+  EXPECT_EQ(audit.runs(), 3u);
+  EXPECT_EQ(audit.totals().nodes_checked, 12u);
+}
+
+TEST(SoftwareAudit, DetectsAndRepairsInBackground) {
+  RobustList list = make_list(6);
+  SoftwareAudit audit{1};
+  audit.watch("list", [&list] { return list.audit(); });
+  list.corrupt_next(2, 424242);
+  audit.tick();
+  EXPECT_GE(audit.totals().errors_repaired, 1u);
+  EXPECT_EQ(list.to_vector().size(), 6u);
+}
+
+TEST(SoftwareAudit, RunNowAggregatesMultipleStructures) {
+  RobustList a = make_list(2);
+  RobustList b = make_list(3);
+  SoftwareAudit audit;
+  audit.watch("a", [&a] { return a.audit(); });
+  audit.watch("b", [&b] { return b.audit(); });
+  const auto round = audit.run_now();
+  EXPECT_EQ(round.nodes_checked, 5u);
+}
+
+TEST(RobustList, TaxonomyMatchesPaperRow) {
+  const auto t = RobustList::taxonomy();
+  EXPECT_EQ(t.type, core::RedundancyType::data);
+  EXPECT_EQ(t.adjudicator, core::AdjudicatorKind::reactive_implicit);
+}
+
+}  // namespace
+}  // namespace redundancy::techniques

@@ -1,0 +1,115 @@
+#include "techniques/rule_engine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace redundancy::techniques {
+namespace {
+
+using services::Message;
+
+core::Result<Message> cached_response(const Message&) {
+  return Message{{"v", std::int64_t{-1}}, {"source", std::string{"cache"}}};
+}
+
+TEST(RuleEngine, MatchingRuleRecovers) {
+  RuleEngine engine;
+  engine.add_rule({"getPrice", core::FailureKind::timeout, "serve-cached",
+                   cached_response});
+  auto out = engine.handle("getPrice",
+                           core::failure(core::FailureKind::timeout), {});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(std::get<std::string>(out.value().at("source")), "cache");
+  EXPECT_EQ(engine.activations(), 1u);
+  EXPECT_EQ(engine.recoveries(), 1u);
+}
+
+TEST(RuleEngine, NonMatchingKindPropagatesOriginalFailure) {
+  RuleEngine engine;
+  engine.add_rule({"getPrice", core::FailureKind::timeout, "r",
+                   cached_response});
+  auto out =
+      engine.handle("getPrice", core::failure(core::FailureKind::crash), {});
+  ASSERT_FALSE(out.has_value());
+  EXPECT_EQ(out.error().kind, core::FailureKind::crash);
+  EXPECT_EQ(engine.activations(), 0u);
+}
+
+TEST(RuleEngine, NonMatchingOperationPropagates) {
+  RuleEngine engine;
+  engine.add_rule({"getPrice", core::FailureKind::timeout, "r",
+                   cached_response});
+  EXPECT_FALSE(engine
+                   .handle("other", core::failure(core::FailureKind::timeout),
+                           {})
+                   .has_value());
+}
+
+TEST(RuleEngine, WildcardOperationMatchesEverything) {
+  RuleEngine engine;
+  engine.add_rule({"*", core::FailureKind::unavailable, "generic",
+                   cached_response});
+  EXPECT_TRUE(engine
+                  .handle("anything",
+                          core::failure(core::FailureKind::unavailable), {})
+                  .has_value());
+}
+
+TEST(RuleEngine, FirstMatchingRuleWins) {
+  RuleEngine engine;
+  engine.add_rule({"op", core::FailureKind::crash, "first",
+                   [](const Message&) -> core::Result<Message> {
+                     return Message{{"who", std::string{"first"}}};
+                   }});
+  engine.add_rule({"*", core::FailureKind::crash, "second",
+                   [](const Message&) -> core::Result<Message> {
+                     return Message{{"who", std::string{"second"}}};
+                   }});
+  auto out = engine.handle("op", core::failure(core::FailureKind::crash), {});
+  EXPECT_EQ(std::get<std::string>(out.value().at("who")), "first");
+}
+
+TEST(RuleEngine, FailedRecoveryActionCountsActivationOnly) {
+  RuleEngine engine;
+  engine.add_rule({"*", core::FailureKind::crash, "hopeless",
+                   [](const Message&) -> core::Result<Message> {
+                     return core::failure(core::FailureKind::unavailable);
+                   }});
+  auto out = engine.handle("op", core::failure(core::FailureKind::crash), {});
+  EXPECT_FALSE(out.has_value());
+  EXPECT_EQ(engine.activations(), 1u);
+  EXPECT_EQ(engine.recoveries(), 0u);
+}
+
+TEST(RuleEngine, ProtectWrapsHandlerTransparently) {
+  RuleEngine engine;
+  engine.add_rule({"lookup", core::FailureKind::unavailable, "fallback",
+                   cached_response});
+  int calls = 0;
+  auto protected_handler = engine.protect(
+      "lookup", [&calls](const Message& m) -> core::Result<Message> {
+        ++calls;
+        if (m.contains("fail")) {
+          return core::failure(core::FailureKind::unavailable);
+        }
+        return Message{{"v", std::int64_t{1}}};
+      });
+  // Healthy call: passes through, no rule fired.
+  auto ok = protected_handler({});
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(std::get<std::int64_t>(ok.value().at("v")), 1);
+  EXPECT_EQ(engine.activations(), 0u);
+  // Failing call: rule supplies the substitute response.
+  auto healed = protected_handler({{"fail", std::int64_t{1}}});
+  ASSERT_TRUE(healed.has_value());
+  EXPECT_EQ(std::get<std::string>(healed.value().at("source")), "cache");
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(RuleEngine, TaxonomyMatchesPaperRow) {
+  const auto t = RuleEngine::taxonomy();
+  EXPECT_EQ(t.name, "Exception handling, rule engines");
+  EXPECT_EQ(t.adjudicator, core::AdjudicatorKind::reactive_explicit);
+}
+
+}  // namespace
+}  // namespace redundancy::techniques

@@ -1,0 +1,150 @@
+#include "techniques/rx.hpp"
+
+#include <gtest/gtest.h>
+
+namespace redundancy::techniques {
+namespace {
+
+/// Trivial checkpointable state for the rollback plumbing.
+class Cell final : public env::Checkpointable {
+ public:
+  std::int64_t value = 0;
+  [[nodiscard]] util::ByteBuffer snapshot() const override {
+    util::ByteBuffer buf;
+    buf.put(value);
+    return buf;
+  }
+  void restore(const util::ByteBuffer& state) override {
+    value = state.reader().get<std::int64_t>();
+  }
+};
+
+/// An operation whose failure depends on the ambient environment.
+core::Status run_under(const std::function<bool()>& bug, Cell& cell) {
+  cell.value += 1;  // side effect that must be rolled back on failure
+  if (bug()) {
+    return core::failure(core::FailureKind::crash, "env-dependent failure");
+  }
+  return core::ok_status();
+}
+
+TEST(Rx, CuresOverflowBugByPadding) {
+  env::SimEnv environment;  // compact allocation: the bug fires
+  Cell cell;
+  RxRecovery rx{environment, cell};
+  auto bug = env::overflow_condition(environment, 32);
+  auto status = rx.execute([&] { return run_under(bug, cell); });
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(rx.recoveries(), 1u);
+  EXPECT_TRUE(rx.cures().contains("pad-allocations"));
+  EXPECT_EQ(environment.alloc, env::AllocStrategy::padded);
+}
+
+TEST(Rx, CuresOrderBugByShuffling) {
+  env::SimEnv environment;  // fifo: the bug fires
+  Cell cell;
+  RxRecovery rx{environment, cell};
+  auto bug = env::order_condition(environment);
+  auto status = rx.execute([&] { return run_under(bug, cell); });
+  ASSERT_TRUE(status.has_value());
+  EXPECT_TRUE(rx.cures().contains("shuffle-messages"));
+}
+
+TEST(Rx, CuresOverloadBySheddingLoad) {
+  env::SimEnv environment;
+  environment.admitted_load = 1.0;
+  Cell cell;
+  RxRecovery rx{environment, cell};
+  auto bug = env::overload_condition(environment, 0.6);
+  auto status = rx.execute([&] { return run_under(bug, cell); });
+  ASSERT_TRUE(status.has_value());
+  EXPECT_TRUE(rx.cures().contains("shed-load"));
+  EXPECT_LE(environment.admitted_load, 0.6);
+}
+
+TEST(Rx, CuresRaceByRescheduling) {
+  // Find a seed where the race fires, then let RX heal it.
+  env::SimEnv environment;
+  for (std::uint64_t s = 0; s < 1000; ++s) {
+    environment.sched_seed = s;
+    if (env::race_condition(environment, 0.5)()) break;
+  }
+  auto bug = env::race_condition(environment, 0.5);
+  ASSERT_TRUE(bug());
+  Cell cell;
+  RxRecovery rx{environment, cell};
+  auto status = rx.execute([&] { return run_under(bug, cell); });
+  ASSERT_TRUE(status.has_value());
+  EXPECT_GE(rx.rollbacks(), 1u);
+}
+
+TEST(Rx, RollbackUndoesSideEffectsOfFailedAttempts) {
+  env::SimEnv environment;
+  Cell cell;
+  RxRecovery rx{environment, cell};
+  auto bug = env::order_condition(environment);  // cured on 3rd perturbation
+  ASSERT_TRUE(rx.execute([&] { return run_under(bug, cell); }).has_value());
+  // Only the successful execution's side effect remains.
+  EXPECT_EQ(cell.value, 1);
+}
+
+TEST(Rx, HealthyOperationNeedsNoPerturbation) {
+  env::SimEnv environment;
+  Cell cell;
+  RxRecovery rx{environment, cell};
+  auto status = rx.execute([&] {
+    cell.value += 1;
+    return core::ok_status();
+  });
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(rx.rollbacks(), 0u);
+  EXPECT_EQ(environment, env::SimEnv{});  // untouched
+}
+
+TEST(Rx, UncurableBugExhaustsMenuAndRestoresWorld) {
+  env::SimEnv environment;
+  const env::SimEnv original = environment;
+  Cell cell;
+  RxRecovery rx{environment, cell};
+  auto status = rx.execute([&] {
+    cell.value += 1;
+    return core::Status{core::failure(core::FailureKind::crash, "bohrbug")};
+  });
+  ASSERT_FALSE(status.has_value());
+  EXPECT_EQ(rx.unrecovered(), 1u);
+  EXPECT_EQ(environment, original);  // environment restored
+  EXPECT_EQ(cell.value, 0);          // state rolled back
+}
+
+TEST(Rx, RevertEnvAfterSuccessOption) {
+  env::SimEnv environment;
+  const env::SimEnv original = environment;
+  Cell cell;
+  RxRecovery::Options opts;
+  opts.revert_env_after_success = true;
+  RxRecovery rx{environment, cell, env::standard_perturbations(), opts};
+  auto bug = env::order_condition(environment);
+  ASSERT_TRUE(rx.execute([&] { return run_under(bug, cell); }).has_value());
+  EXPECT_EQ(environment, original);
+}
+
+TEST(Rx, PlainRetryCannotCureEnvDeterministicBug) {
+  // Contrast experiment: an empty perturbation menu turns RX into plain
+  // checkpoint-retry, which keeps failing because nothing changes.
+  env::SimEnv environment;
+  Cell cell;
+  RxRecovery plain{environment, cell, {}, RxRecovery::Options{}};
+  auto bug = env::order_condition(environment);
+  auto status = plain.execute([&] { return run_under(bug, cell); });
+  EXPECT_FALSE(status.has_value());
+  EXPECT_EQ(plain.unrecovered(), 1u);
+}
+
+TEST(Rx, TaxonomyMatchesPaperRow) {
+  const auto t = RxRecovery::taxonomy();
+  EXPECT_EQ(t.type, core::RedundancyType::environment);
+  EXPECT_EQ(t.adjudicator, core::AdjudicatorKind::reactive_explicit);
+}
+
+}  // namespace
+}  // namespace redundancy::techniques

@@ -1,0 +1,115 @@
+#include "techniques/self_checking.hpp"
+
+#include <gtest/gtest.h>
+
+namespace redundancy::techniques {
+namespace {
+
+using SC = SelfCheckingProgramming<int, int>;
+using core::Result;
+
+core::Variant<int, int> twice(std::string name) {
+  return core::make_variant<int, int>(std::move(name),
+                                      [](const int& x) -> Result<int> {
+                                        return 2 * x;
+                                      });
+}
+
+core::Variant<int, int> broken(std::string name) {
+  return core::make_variant<int, int>(std::move(name),
+                                      [](const int&) -> Result<int> {
+                                        return core::failure(
+                                            core::FailureKind::crash);
+                                      });
+}
+
+core::AcceptanceTest<int, int> even_check() {
+  return [](const int&, const int& out) { return out % 2 == 0; };
+}
+
+TEST(SelfChecking, ActingComponentServes) {
+  SC sc{{SC::checked(twice("acting"), even_check()),
+         SC::checked(twice("spare"), even_check())}};
+  auto out = sc.run(21);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out.value(), 42);
+  EXPECT_EQ(sc.acting(), 0u);
+  EXPECT_EQ(sc.in_service(), 2u);
+}
+
+TEST(SelfChecking, HotSpareTakesOverWithoutRollback) {
+  SC sc{{SC::checked(broken("acting"), even_check()),
+         SC::checked(twice("spare"), even_check())}};
+  auto out = sc.run(21);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out.value(), 42);
+  EXPECT_EQ(sc.acting(), 1u);
+  EXPECT_EQ(sc.in_service(), 1u);  // failed acting component discarded
+  EXPECT_EQ(sc.metrics().rollbacks, 0u);  // the defining contrast with RB
+}
+
+TEST(SelfChecking, RedundancyConsumedUntilExhausted) {
+  SC sc{{SC::checked(broken("a"), even_check()),
+         SC::checked(broken("b"), even_check()),
+         SC::checked(twice("c"), even_check())}};
+  ASSERT_TRUE(sc.run(1).has_value());
+  EXPECT_EQ(sc.in_service(), 1u);
+  ASSERT_TRUE(sc.run(2).has_value());
+  EXPECT_EQ(sc.in_service(), 1u);
+}
+
+TEST(SelfChecking, AllConsumedMeansOutage) {
+  SC sc{{SC::checked(broken("a"), even_check())}};
+  EXPECT_FALSE(sc.run(1).has_value());
+  EXPECT_FALSE(sc.run(2).has_value());
+  EXPECT_EQ(sc.in_service(), 0u);
+  sc.redeploy_all();
+  EXPECT_EQ(sc.in_service(), 1u);
+}
+
+TEST(SelfChecking, ComparedPairDetectsInternalDisagreement) {
+  auto off = core::make_variant<int, int>("off",
+                                          [](const int& x) -> Result<int> {
+                                            return 2 * x + 2;
+                                          });
+  SC sc{{SC::compared(twice("first"), off),
+         SC::checked(twice("spare"), even_check())}};
+  auto out = sc.run(10);
+  // The pair disagrees -> its component fails its implicit check -> spare.
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out.value(), 20);
+  EXPECT_EQ(sc.acting(), 1u);
+}
+
+TEST(SelfChecking, ComparedPairAgreementServes) {
+  SC sc{{SC::compared(twice("first"), twice("second"))}};
+  auto out = sc.run(8);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out.value(), 16);
+}
+
+TEST(SelfChecking, ComparedPairCostIsSumOfBoth) {
+  auto pair = SC::compared(twice("a"), twice("b"));
+  EXPECT_DOUBLE_EQ(pair.variant.cost, 2.0);
+}
+
+TEST(SelfChecking, WrongOutputCaughtByBuiltInTest) {
+  auto odd = core::make_variant<int, int>("odd",
+                                          [](const int& x) -> Result<int> {
+                                            return 2 * x + 1;
+                                          });
+  SC sc{{SC::checked(odd, even_check()),
+         SC::checked(twice("spare"), even_check())}};
+  auto out = sc.run(3);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out.value(), 6);
+}
+
+TEST(SelfChecking, TaxonomyMatchesPaperRow) {
+  const auto t = SC::taxonomy();
+  EXPECT_EQ(t.adjudicator, core::AdjudicatorKind::reactive_hybrid);
+  EXPECT_EQ(t.pattern, core::ArchitecturalPattern::parallel_selection);
+}
+
+}  // namespace
+}  // namespace redundancy::techniques

@@ -1,0 +1,82 @@
+#include "techniques/self_optimizing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace redundancy::techniques {
+namespace {
+
+QosImplementation impl(std::string name, double latency) {
+  return {std::move(name), [latency](double x) {
+            return std::pair<double, double>{x * 2, latency};
+          }};
+}
+
+TEST(SelfOptimizing, StaysOnHealthyImplementation) {
+  SelfOptimizing so{{impl("fast", 10.0), impl("slow", 90.0)},
+                    {.sla_latency_ms = 50.0, .window = 8, .warmup = 4}};
+  for (int i = 0; i < 50; ++i) {
+    auto out = so.run(i);
+    ASSERT_TRUE(out.has_value());
+  }
+  EXPECT_EQ(so.active(), "fast");
+  EXPECT_EQ(so.switches(), 0u);
+  EXPECT_EQ(so.sla_violations(), 0u);
+}
+
+TEST(SelfOptimizing, SwitchesAwayFromDegradedImplementation) {
+  SelfOptimizing so{{impl("degraded", 200.0), impl("backup", 10.0)},
+                    {.sla_latency_ms = 50.0, .window = 8, .warmup = 4}};
+  for (int i = 0; i < 20; ++i) (void)so.run(i);
+  EXPECT_EQ(so.active(), "backup");
+  EXPECT_EQ(so.switches(), 1u);
+  EXPECT_GT(so.sla_violations(), 0u);
+}
+
+TEST(SelfOptimizing, DegradationAtRuntimeTriggersSwitch) {
+  double lat_a = 10.0;
+  QosImplementation dynamic{"a", [&lat_a](double x) {
+                              return std::pair<double, double>{x, lat_a};
+                            }};
+  SelfOptimizing so{{dynamic, impl("b", 20.0)},
+                    {.sla_latency_ms = 50.0, .window = 4, .warmup = 2}};
+  for (int i = 0; i < 10; ++i) (void)so.run(i);
+  EXPECT_EQ(so.active(), "a");
+  lat_a = 300.0;  // performance fault appears
+  for (int i = 0; i < 10; ++i) (void)so.run(i);
+  EXPECT_EQ(so.active(), "b");
+}
+
+TEST(SelfOptimizing, RotatesThroughAllWhenEveryoneIsSlow) {
+  SelfOptimizing so{{impl("a", 100.0), impl("b", 100.0), impl("c", 100.0)},
+                    {.sla_latency_ms = 50.0, .window = 4, .warmup = 2}};
+  for (int i = 0; i < 30; ++i) (void)so.run(i);
+  EXPECT_GE(so.switches(), 3u);
+}
+
+TEST(SelfOptimizing, ReturnsComputedValue) {
+  SelfOptimizing so{{impl("a", 1.0)}, {.sla_latency_ms = 50.0}};
+  auto out = so.run(21.0);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_DOUBLE_EQ(out.value(), 42.0);
+}
+
+TEST(SelfOptimizing, EmptyImplementationListIsUnavailable) {
+  SelfOptimizing so{{}, {.sla_latency_ms = 50.0}};
+  EXPECT_FALSE(so.run(1).has_value());
+}
+
+TEST(SelfOptimizing, WindowAverageReflectsRecentHistory) {
+  SelfOptimizing so{{impl("a", 30.0)},
+                    {.sla_latency_ms = 100.0, .window = 4, .warmup = 8}};
+  for (int i = 0; i < 6; ++i) (void)so.run(i);
+  EXPECT_NEAR(so.window_average_latency(), 30.0, 1e-9);
+}
+
+TEST(SelfOptimizing, TaxonomyMatchesPaperRow) {
+  const auto t = SelfOptimizing::taxonomy();
+  EXPECT_EQ(t.intention, core::Intention::deliberate);
+  EXPECT_EQ(t.adjudicator, core::AdjudicatorKind::reactive_explicit);
+}
+
+}  // namespace
+}  // namespace redundancy::techniques

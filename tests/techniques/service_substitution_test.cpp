@@ -1,0 +1,100 @@
+#include "techniques/service_substitution.hpp"
+
+#include <gtest/gtest.h>
+
+namespace redundancy::techniques {
+namespace {
+
+using services::Endpoint;
+using services::EndpointPtr;
+using services::Interface;
+using services::Message;
+using services::Qos;
+using services::Registry;
+
+Interface weather_iface() {
+  return Interface{"forecast", {"city"}, {"temp"}};
+}
+
+EndpointPtr provider(std::string id, std::int64_t temp) {
+  return std::make_shared<Endpoint>(
+      std::move(id), weather_iface(),
+      [temp](const Message&) -> core::Result<Message> {
+        return Message{{"temp", temp}};
+      });
+}
+
+TEST(ServiceSubstitution, ServesFromPrimaryWhenHealthy) {
+  Registry reg;
+  reg.add(provider("meteo-a", 20));
+  reg.add(provider("meteo-b", 21));
+  ServiceSubstitution sub{weather_iface(), reg};
+  auto out = sub.call({{"city", std::string{"Lugano"}}});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(std::get<std::int64_t>(out.value().at("temp")), 20);
+  EXPECT_EQ(sub.metrics().recoveries, 0u);
+}
+
+TEST(ServiceSubstitution, MasksProviderOutage) {
+  Registry reg;
+  auto a = provider("meteo-a", 20);
+  reg.add(a);
+  reg.add(provider("meteo-b", 21));
+  ServiceSubstitution sub{weather_iface(), reg};
+  (void)sub.call({{"city", std::string{"Lugano"}}});
+  a->kill();
+  auto out = sub.call({{"city", std::string{"Lugano"}}});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(std::get<std::int64_t>(out.value().at("temp")), 21);
+  EXPECT_EQ(sub.metrics().recoveries, 1u);
+  EXPECT_EQ(sub.metrics().unrecovered, 0u);
+}
+
+TEST(ServiceSubstitution, AdaptsSimilarInterfaceWhenExactPoolDry) {
+  Registry reg;
+  auto a = provider("meteo-a", 20);
+  reg.add(a);
+  reg.add(std::make_shared<Endpoint>(
+      "legacy", Interface{"forecast", {"city"}, {"temperature"}},
+      [](const Message&) -> core::Result<Message> {
+        return Message{{"temperature", std::int64_t{19}}};
+      }));
+  ServiceSubstitution sub{weather_iface(), reg};
+  a->kill();
+  auto out = sub.call({{"city", std::string{"Lugano"}}});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(std::get<std::int64_t>(out.value().at("temp")), 19);
+  EXPECT_EQ(sub.binding()->converted_rebinds(), 1u);
+}
+
+TEST(ServiceSubstitution, AllProvidersDeadIsUnrecovered) {
+  Registry reg;
+  auto a = provider("meteo-a", 20);
+  auto b = provider("meteo-b", 21);
+  reg.add(a);
+  reg.add(b);
+  ServiceSubstitution sub{weather_iface(), reg};
+  a->kill();
+  b->kill();
+  auto out = sub.call({});
+  EXPECT_FALSE(out.has_value());
+  EXPECT_EQ(sub.metrics().unrecovered, 1u);
+}
+
+TEST(ServiceSubstitution, MetricsCountRequests) {
+  Registry reg;
+  reg.add(provider("a", 1));
+  ServiceSubstitution sub{weather_iface(), reg};
+  for (int i = 0; i < 7; ++i) (void)sub.call({});
+  EXPECT_EQ(sub.metrics().requests, 7u);
+}
+
+TEST(ServiceSubstitution, TaxonomyMatchesPaperRow) {
+  const auto t = ServiceSubstitution::taxonomy();
+  EXPECT_EQ(t.intention, core::Intention::opportunistic);
+  EXPECT_EQ(t.type, core::RedundancyType::code);
+  EXPECT_EQ(t.adjudicator, core::AdjudicatorKind::reactive_explicit);
+}
+
+}  // namespace
+}  // namespace redundancy::techniques

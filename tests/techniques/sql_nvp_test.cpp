@@ -1,0 +1,151 @@
+#include "techniques/sql_nvp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sql/chaos.hpp"
+
+namespace redundancy::techniques {
+namespace {
+
+using sql::Condition;
+using sql::Row;
+
+ReplicatedSqlServer healthy_triple() {
+  std::vector<sql::StorePtr> replicas;
+  replicas.push_back(sql::make_vector_store());
+  replicas.push_back(sql::make_btree_store());
+  replicas.push_back(sql::make_log_store());
+  return ReplicatedSqlServer{std::move(replicas)};
+}
+
+TEST(ReplicatedSql, BehavesLikeASingleStore) {
+  auto server = healthy_triple();
+  ASSERT_TRUE(server.create_table("inv", {"id", "qty"}).has_value());
+  ASSERT_TRUE(server.insert("inv", {1, 10}).has_value());
+  ASSERT_TRUE(server.insert("inv", {2, 20}).has_value());
+  EXPECT_EQ(server.select("inv", std::nullopt).value(),
+            (std::vector<Row>{{1, 10}, {2, 20}}));
+  EXPECT_EQ(
+      server.update("inv", Condition{"id", Condition::Op::eq, 2}, "qty", 25)
+          .value(),
+      1);
+  EXPECT_EQ(server.remove("inv", Condition{"qty", Condition::Op::lt, 20})
+                .value(),
+            1);
+  EXPECT_EQ(server.replicas_in_service(), 3u);
+  EXPECT_EQ(server.divergences_masked(), 0u);
+}
+
+TEST(ReplicatedSql, ErrorsVoteLikeValues) {
+  auto server = healthy_triple();
+  ASSERT_TRUE(server.create_table("t", {"id"}).has_value());
+  ASSERT_TRUE(server.insert("t", {1}).has_value());
+  // Every correct engine reports the duplicate key: the verdict is the
+  // *failure*, unanimously, and nobody gets evicted.
+  auto dup = server.insert("t", {1});
+  EXPECT_FALSE(dup.has_value());
+  EXPECT_EQ(server.replicas_in_service(), 3u);
+}
+
+TEST(ReplicatedSql, MasksCorruptReadsAndEvictsTheLiar) {
+  std::vector<sql::StorePtr> replicas;
+  replicas.push_back(sql::make_vector_store());
+  replicas.push_back(sql::make_btree_store());
+  replicas.push_back(sql::make_chaotic_store(
+      sql::make_log_store(),
+      {.lose_mutation_probability = 0, .corrupt_read_probability = 1.0,
+       .seed = 3}));
+  ReplicatedSqlServer server{std::move(replicas)};
+  ASSERT_TRUE(server.create_table("t", {"id", "v"}).has_value());
+  ASSERT_TRUE(server.insert("t", {1, 100}).has_value());
+  auto rows = server.select("t", std::nullopt);
+  ASSERT_TRUE(rows.has_value());
+  EXPECT_EQ(rows.value(), (std::vector<Row>{{1, 100}}));  // corruption masked
+  EXPECT_GE(server.divergences_masked(), 1u);
+  EXPECT_EQ(server.replicas_in_service(), 2u);  // the chaotic engine is out
+}
+
+TEST(ReplicatedSql, ReconciliationCatchesLostUpdates) {
+  std::vector<sql::StorePtr> replicas;
+  replicas.push_back(sql::make_vector_store());
+  replicas.push_back(sql::make_btree_store());
+  replicas.push_back(sql::make_chaotic_store(
+      sql::make_log_store(),
+      {.lose_mutation_probability = 1.0, .corrupt_read_probability = 0,
+       .seed = 5}));
+  ReplicatedSqlServer server{std::move(replicas),
+                             {.reconcile_every = 0, .evict_divergent = true}};
+  ASSERT_TRUE(server.create_table("t", {"id", "v"}).has_value());
+  // The lost insert is acknowledged everywhere — outputs agree, nothing is
+  // detected yet. Only the *state* diverged.
+  ASSERT_TRUE(server.insert("t", {1, 100}).has_value());
+  EXPECT_EQ(server.replicas_in_service(), 3u);
+  ASSERT_TRUE(server.reconcile().has_value());
+  EXPECT_EQ(server.replicas_in_service(), 2u);
+  // And the surviving quorum has the row.
+  EXPECT_EQ(server.select("t", std::nullopt).value(),
+            (std::vector<Row>{{1, 100}}));
+}
+
+TEST(ReplicatedSql, PeriodicReconciliationIsAutomatic) {
+  std::vector<sql::StorePtr> replicas;
+  replicas.push_back(sql::make_vector_store());
+  replicas.push_back(sql::make_btree_store());
+  replicas.push_back(sql::make_chaotic_store(
+      sql::make_log_store(), {.lose_mutation_probability = 1.0, .seed = 7}));
+  ReplicatedSqlServer server{std::move(replicas), {.reconcile_every = 4}};
+  ASSERT_TRUE(server.create_table("t", {"id"}).has_value());
+  for (std::int64_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(server.insert("t", {i}).has_value());
+  }
+  EXPECT_EQ(server.replicas_in_service(), 2u);
+}
+
+TEST(ReplicatedSql, TwoLiarsOutvoteTheTruthTeller) {
+  // The voting limit, reproduced at the database level: with 2 of 3
+  // replicas wrong *in the same way*, the majority verdict is wrong.
+  std::vector<sql::StorePtr> replicas;
+  replicas.push_back(sql::make_chaotic_store(
+      sql::make_vector_store(), {.lose_mutation_probability = 1.0, .seed = 9}));
+  replicas.push_back(sql::make_chaotic_store(
+      sql::make_btree_store(), {.lose_mutation_probability = 1.0, .seed = 9}));
+  replicas.push_back(sql::make_log_store());
+  ReplicatedSqlServer server{std::move(replicas), {.reconcile_every = 0}};
+  ASSERT_TRUE(server.create_table("t", {"id"}).has_value());
+  ASSERT_TRUE(server.insert("t", {1}).has_value());
+  (void)server.reconcile();
+  // The honest log engine is the minority — it gets evicted.
+  EXPECT_TRUE(server.evicted().contains(2));
+  EXPECT_EQ(server.select("t", std::nullopt).value(), (std::vector<Row>{}));
+}
+
+TEST(ReplicatedSql, AllEvictedMeansOutage) {
+  std::vector<sql::StorePtr> replicas;
+  replicas.push_back(sql::make_vector_store());
+  ReplicatedSqlServer server{std::move(replicas)};
+  ASSERT_TRUE(server.create_table("t", {"id"}).has_value());
+  // A single replica can never be evicted by a vote of one; simulate a
+  // two-replica split instead.
+  std::vector<sql::StorePtr> pair;
+  pair.push_back(sql::make_vector_store());
+  pair.push_back(sql::make_chaotic_store(
+      sql::make_btree_store(), {.corrupt_read_probability = 1.0, .seed = 2}));
+  ReplicatedSqlServer split{std::move(pair), {.reconcile_every = 0}};
+  ASSERT_TRUE(split.create_table("t", {"id", "v"}).has_value());
+  ASSERT_TRUE(split.insert("t", {1, 5}).has_value());
+  // 1-vs-1 disagreement: no majority of the 2 ballots.
+  auto rows = split.select("t", std::nullopt);
+  EXPECT_FALSE(rows.has_value());
+  EXPECT_EQ(rows.error().kind, core::FailureKind::adjudication_failed);
+}
+
+TEST(ReplicatedSql, MetricsAccount) {
+  auto server = healthy_triple();
+  ASSERT_TRUE(server.create_table("t", {"id"}).has_value());
+  ASSERT_TRUE(server.insert("t", {1}).has_value());
+  EXPECT_GE(server.metrics().requests, 2u);
+  EXPECT_GE(server.metrics().variant_executions, 6u);
+}
+
+}  // namespace
+}  // namespace redundancy::techniques

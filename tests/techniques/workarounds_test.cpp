@@ -1,0 +1,150 @@
+#include "techniques/workarounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace redundancy::techniques {
+namespace {
+
+TEST(GenerateWorkarounds, SingleRuleSingleSite) {
+  std::vector<RewriteRule> rules{{"expand", {"addAll"}, {"add", "add"}}};
+  auto alts = generate_workarounds({"open", "addAll", "close"}, rules, 1);
+  ASSERT_EQ(alts.size(), 1u);
+  EXPECT_EQ(alts[0], (Sequence{"open", "add", "add", "close"}));
+}
+
+TEST(GenerateWorkarounds, AllSitesRewrittenSeparately) {
+  std::vector<RewriteRule> rules{{"r", {"a"}, {"b"}}};
+  auto alts = generate_workarounds({"a", "x", "a"}, rules, 1);
+  ASSERT_EQ(alts.size(), 2u);
+  EXPECT_EQ(alts[0], (Sequence{"b", "x", "a"}));
+  EXPECT_EQ(alts[1], (Sequence{"a", "x", "b"}));
+}
+
+TEST(GenerateWorkarounds, BreadthFirstByRewriteCount) {
+  std::vector<RewriteRule> rules{{"r", {"a"}, {"b"}}};
+  auto alts = generate_workarounds({"a", "a"}, rules, 2);
+  // Depth 1: {b,a}, {a,b}; depth 2: {b,b}.
+  ASSERT_EQ(alts.size(), 3u);
+  EXPECT_EQ(alts[2], (Sequence{"b", "b"}));
+}
+
+TEST(GenerateWorkarounds, DeduplicatesAndExcludesOriginal) {
+  // Symmetric rules regenerate the original; it must not reappear.
+  std::vector<RewriteRule> rules{{"fwd", {"a"}, {"b"}}, {"bwd", {"b"}, {"a"}}};
+  auto alts = generate_workarounds({"a"}, rules, 3);
+  ASSERT_EQ(alts.size(), 1u);
+  EXPECT_EQ(alts[0], (Sequence{"b"}));
+}
+
+TEST(GenerateWorkarounds, MaxCandidatesCapsOutput) {
+  std::vector<RewriteRule> rules{{"r1", {"a"}, {"b"}}, {"r2", {"a"}, {"c"}},
+                                 {"r3", {"a"}, {"d"}}};
+  auto alts = generate_workarounds({"a", "a", "a"}, rules, 3, 5);
+  EXPECT_EQ(alts.size(), 5u);
+}
+
+TEST(GenerateWorkarounds, MultiTokenPatterns) {
+  std::vector<RewriteRule> rules{
+      {"merge", {"add", "add"}, {"addAll"}}};
+  auto alts = generate_workarounds({"add", "add", "add"}, rules, 1);
+  ASSERT_EQ(alts.size(), 2u);
+  EXPECT_EQ(alts[0], (Sequence{"addAll", "add"}));
+}
+
+TEST(GenerateWorkarounds, NoApplicableRuleMeansNoCandidates) {
+  std::vector<RewriteRule> rules{{"r", {"zzz"}, {"y"}}};
+  EXPECT_TRUE(generate_workarounds({"a", "b"}, rules, 3).empty());
+}
+
+// --- The end-to-end container scenario -------------------------------------
+//
+// A container whose bulk operation addAll(1,2) hits a Bohrbug, while the
+// elementary add(x) operations work. The API is intrinsically redundant:
+// addAll(x,y) == add(x); add(y) — the published motivating example.
+
+core::Status run_container(const Sequence& seq) {
+  std::vector<int> state;
+  bool open = false;
+  for (const Action& op : seq) {
+    if (op == "open") {
+      open = true;
+    } else if (op == "close") {
+      open = false;
+    } else if (op == "add(1)") {
+      if (!open) return core::failure(core::FailureKind::crash, "not open");
+      state.push_back(1);
+    } else if (op == "add(2)") {
+      if (!open) return core::failure(core::FailureKind::crash, "not open");
+      state.push_back(2);
+    } else if (op == "addAll(1,2)") {
+      return core::failure(core::FailureKind::crash, "bulk-insert bug",
+                           core::FaultClass::bohrbug);
+    } else {
+      return core::failure(core::FailureKind::crash, "unknown op " + op);
+    }
+  }
+  // Validation: intended effect is the container holding {1, 2}.
+  if (state == std::vector<int>{1, 2} && !open) return core::ok_status();
+  return core::failure(core::FailureKind::acceptance_failed, "wrong state");
+}
+
+std::vector<RewriteRule> container_rules() {
+  return {
+      {"bulk-to-singles", {"addAll(1,2)"}, {"add(1)", "add(2)"}},
+      {"singles-to-bulk", {"add(1)", "add(2)"}, {"addAll(1,2)"}},
+  };
+}
+
+TEST(AutomaticWorkarounds, HealsTheFailingBulkInsert) {
+  AutomaticWorkarounds healer{container_rules(), run_container};
+  const Sequence failing{"open", "addAll(1,2)", "close"};
+  ASSERT_FALSE(run_container(failing).has_value());
+  auto workaround = healer.heal(failing);
+  ASSERT_TRUE(workaround.has_value());
+  EXPECT_EQ(workaround.value(),
+            (Sequence{"open", "add(1)", "add(2)", "close"}));
+  EXPECT_EQ(healer.healed(), 1u);
+  EXPECT_EQ(healer.candidates_tried(), 1u);  // ranked first, worked first
+}
+
+TEST(AutomaticWorkarounds, ReportsWhenNoWorkaroundExists) {
+  // Equivalence rules that only shuffle between equally broken forms.
+  std::vector<RewriteRule> rules{
+      {"rename", {"addAll(1,2)"}, {"brokenToo"}},
+  };
+  auto always_fail = [](const Sequence&) -> core::Status {
+    return core::failure(core::FailureKind::crash);
+  };
+  AutomaticWorkarounds healer{rules, always_fail};
+  auto out = healer.heal({"open", "addAll(1,2)", "close"});
+  ASSERT_FALSE(out.has_value());
+  EXPECT_EQ(out.error().kind, core::FailureKind::no_alternatives);
+  EXPECT_EQ(healer.unhealed(), 1u);
+}
+
+TEST(AutomaticWorkarounds, CandidatesTriedCountsExecutorCalls) {
+  std::vector<RewriteRule> rules{{"r1", {"a"}, {"b"}}, {"r2", {"a"}, {"c"}}};
+  std::size_t calls = 0;
+  AutomaticWorkarounds healer{
+      rules, [&calls](const Sequence& s) -> core::Status {
+        ++calls;
+        if (s == Sequence{"c"}) return core::ok_status();
+        return core::failure(core::FailureKind::crash);
+      }};
+  auto out = healer.heal({"a"});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out.value(), (Sequence{"c"}));
+  EXPECT_EQ(calls, 2u);
+  EXPECT_EQ(healer.candidates_tried(), 2u);
+}
+
+TEST(AutomaticWorkarounds, TaxonomyMatchesPaperRow) {
+  const auto t = AutomaticWorkarounds::taxonomy();
+  EXPECT_EQ(t.intention, core::Intention::opportunistic);
+  EXPECT_EQ(t.pattern, core::ArchitecturalPattern::intra_component);
+}
+
+}  // namespace
+}  // namespace redundancy::techniques

@@ -1,0 +1,217 @@
+#include "techniques/wrappers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace redundancy::techniques {
+namespace {
+
+std::vector<std::byte> bytes(std::size_t n) {
+  return std::vector<std::byte>(n, std::byte{0x55});
+}
+
+TEST(HeapHealer, InBoundsWritesPassThrough) {
+  env::HeapModel heap{1024};
+  HeapHealer healer{heap};
+  auto a = healer.malloc(32);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE(healer.write(a.value(), 0, bytes(32)).has_value());
+  EXPECT_EQ(healer.prevented_overflows(), 0u);
+}
+
+TEST(HeapHealer, RejectsOverflowBeforeItCorrupts) {
+  env::HeapModel heap{1024};
+  HeapHealer healer{heap};
+  auto a = healer.malloc(16);
+  auto b = healer.malloc(16);
+  auto status = healer.write(a.value(), 0, bytes(64));
+  ASSERT_FALSE(status.has_value());
+  EXPECT_EQ(status.error().kind, core::FailureKind::corrupted_state);
+  EXPECT_EQ(healer.prevented_overflows(), 1u);
+  EXPECT_FALSE(heap.is_corrupted(b.value()));  // neighbour survived
+}
+
+TEST(HeapHealer, UnprotectedHeapGetsCorrupted) {
+  // Control: the same overflow without the healer clobbers the neighbour.
+  env::HeapModel heap{1024};
+  auto a = heap.malloc(16);
+  auto b = heap.malloc(16);
+  EXPECT_TRUE(heap.write_raw(a.value(), 0, bytes(64)).has_value());
+  EXPECT_TRUE(heap.is_corrupted(b.value()));
+}
+
+TEST(HeapHealer, TruncatePolicyKeepsPrefix) {
+  env::HeapModel heap{1024};
+  HeapHealer healer{heap, HeapHealer::Policy::truncate};
+  auto a = healer.malloc(16);
+  auto b = healer.malloc(16);
+  EXPECT_TRUE(healer.write(a.value(), 8, bytes(64)).has_value());
+  EXPECT_EQ(healer.prevented_overflows(), 1u);
+  EXPECT_FALSE(heap.is_corrupted(b.value()));
+}
+
+TEST(HeapHealer, TruncateBeyondEndStillRejects) {
+  env::HeapModel heap{1024};
+  HeapHealer healer{heap, HeapHealer::Policy::truncate};
+  auto a = healer.malloc(16);
+  // Write starting past the block's end has no in-bounds prefix.
+  EXPECT_FALSE(healer.write(a.value(), 20, bytes(4)).has_value());
+}
+
+TEST(HeapHealer, FreeForgetsBlock) {
+  env::HeapModel heap{1024};
+  HeapHealer healer{heap};
+  auto a = healer.malloc(16);
+  ASSERT_TRUE(healer.free(a.value()).has_value());
+  EXPECT_FALSE(healer.write(a.value(), 0, bytes(4)).has_value());
+}
+
+// --- ProtectorWrapper -------------------------------------------------------
+
+services::Message msg(std::int64_t n) {
+  return {{"n", n}};
+}
+
+TEST(Protector, AllowsValidCalls) {
+  ProtectorWrapper p;
+  p.expose("sqrt", [](const services::Message& m) -> core::Result<services::Message> {
+    return services::Message{{"r", std::get<std::int64_t>(m.at("n")) / 2}};
+  });
+  p.require("sqrt", [](const services::Message& m) {
+    return std::get<std::int64_t>(m.at("n")) >= 0;
+  });
+  EXPECT_TRUE(p.call("sqrt", msg(16)).has_value());
+  EXPECT_EQ(p.rejected(), 0u);
+}
+
+TEST(Protector, RejectsPreconditionViolations) {
+  ProtectorWrapper p;
+  bool reached = false;
+  p.expose("sqrt",
+           [&reached](const services::Message&) -> core::Result<services::Message> {
+             reached = true;
+             return services::Message{};
+           });
+  p.require("sqrt", [](const services::Message& m) {
+    return std::get<std::int64_t>(m.at("n")) >= 0;
+  });
+  auto out = p.call("sqrt", msg(-4));
+  ASSERT_FALSE(out.has_value());
+  EXPECT_EQ(out.error().kind, core::FailureKind::acceptance_failed);
+  EXPECT_FALSE(reached);  // the COTS component never saw the bad call
+  EXPECT_EQ(p.rejected(), 1u);
+}
+
+TEST(Protector, FixerRepairsViolatingRequests) {
+  ProtectorWrapper p;
+  p.expose("sqrt", [](const services::Message& m) -> core::Result<services::Message> {
+    return services::Message{{"r", std::get<std::int64_t>(m.at("n"))}};
+  });
+  p.require(
+      "sqrt",
+      [](const services::Message& m) {
+        return std::get<std::int64_t>(m.at("n")) >= 0;
+      },
+      [](services::Message m) {  // clamp to the valid domain
+        m["n"] = std::int64_t{0};
+        return m;
+      });
+  auto out = p.call("sqrt", msg(-4));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(std::get<std::int64_t>(out.value().at("r")), 0);
+  EXPECT_EQ(p.repaired(), 1u);
+  EXPECT_EQ(p.rejected(), 0u);
+}
+
+TEST(Protector, UnknownOperationIsUnavailable) {
+  ProtectorWrapper p;
+  EXPECT_FALSE(p.call("nothing", {}).has_value());
+}
+
+TEST(Protector, MultiplePreconditionsAllChecked) {
+  ProtectorWrapper p;
+  p.expose("op", [](const services::Message&) -> core::Result<services::Message> {
+    return services::Message{};
+  });
+  p.require("op", [](const services::Message& m) { return m.contains("a"); });
+  p.require("op", [](const services::Message& m) { return m.contains("b"); });
+  EXPECT_FALSE(p.call("op", {{"a", std::int64_t{1}}}).has_value());
+  EXPECT_TRUE(
+      p.call("op", {{"a", std::int64_t{1}}, {"b", std::int64_t{2}}}).has_value());
+}
+
+// --- ProtocolGuard ----------------------------------------------------------
+
+ProtocolGuard file_protocol() {
+  ProtocolGuard guard{"closed"};
+  guard.allow("closed", "open", "open");
+  guard.allow("open", "read", "open");
+  guard.allow("open", "write", "open");
+  guard.allow("open", "close", "closed");
+  return guard;
+}
+
+TEST(ProtocolGuard, LegalSequencePasses) {
+  auto guard = file_protocol();
+  EXPECT_TRUE(guard.fire("open").has_value());
+  EXPECT_TRUE(guard.fire("read").has_value());
+  EXPECT_TRUE(guard.fire("write").has_value());
+  EXPECT_TRUE(guard.fire("close").has_value());
+  EXPECT_EQ(guard.state(), "closed");
+  EXPECT_EQ(guard.violations(), 0u);
+}
+
+TEST(ProtocolGuard, UseBeforeOpenRejected) {
+  auto guard = file_protocol();
+  auto out = guard.fire("read");
+  ASSERT_FALSE(out.has_value());
+  EXPECT_EQ(out.error().kind, core::FailureKind::acceptance_failed);
+  EXPECT_EQ(guard.violations(), 1u);
+  EXPECT_EQ(guard.state(), "closed");  // illegal calls do not advance
+}
+
+TEST(ProtocolGuard, UseAfterCloseRejected) {
+  auto guard = file_protocol();
+  ASSERT_TRUE(guard.fire("open").has_value());
+  ASSERT_TRUE(guard.fire("close").has_value());
+  EXPECT_FALSE(guard.fire("write").has_value());
+}
+
+TEST(ProtocolGuard, DoubleOpenRejected) {
+  auto guard = file_protocol();
+  ASSERT_TRUE(guard.fire("open").has_value());
+  EXPECT_FALSE(guard.fire("open").has_value());
+}
+
+TEST(ProtocolGuard, ResetRestoresInitialState) {
+  auto guard = file_protocol();
+  ASSERT_TRUE(guard.fire("open").has_value());
+  guard.reset();
+  EXPECT_EQ(guard.state(), "closed");
+  EXPECT_TRUE(guard.fire("open").has_value());
+}
+
+TEST(ProtocolGuard, GuardedOperationOnlyRunsInProtocol) {
+  auto guard = file_protocol();
+  int component_calls = 0;
+  auto read = guard.guard(
+      "read", [&component_calls](const services::Message&)
+                  -> core::Result<services::Message> {
+        ++component_calls;
+        return services::Message{{"data", std::int64_t{42}}};
+      });
+  EXPECT_FALSE(read({}).has_value());   // still closed
+  EXPECT_EQ(component_calls, 0);        // the COTS component was shielded
+  ASSERT_TRUE(guard.fire("open").has_value());
+  auto out = read({});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(component_calls, 1);
+}
+
+TEST(Wrappers, TaxonomyMatchesPaperRow) {
+  const auto t = HeapHealer::taxonomy();
+  EXPECT_EQ(t.adjudicator, core::AdjudicatorKind::preventive);
+  EXPECT_EQ(t.faults, core::TargetFaults::bohrbugs_and_malicious);
+}
+
+}  // namespace
+}  // namespace redundancy::techniques

@@ -1,0 +1,63 @@
+#include "util/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/byte_buffer.hpp"
+
+namespace redundancy::util {
+namespace {
+
+TEST(Crc32, KnownVector) {
+  // The canonical CRC-32 check value.
+  EXPECT_EQ(crc32(std::string_view{"123456789"}), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyIsZero) { EXPECT_EQ(crc32(std::string_view{""}), 0u); }
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  std::string a = "the quick brown fox";
+  std::string b = a;
+  b[3] = static_cast<char>(b[3] ^ 0x01);
+  EXPECT_NE(crc32(std::string_view{a}), crc32(std::string_view{b}));
+}
+
+TEST(Fnv1a, DistinctStringsDistinctHashes) {
+  EXPECT_NE(fnv1a("abc"), fnv1a("abd"));
+  EXPECT_NE(fnv1a("abc"), fnv1a("cba"));
+  EXPECT_EQ(fnv1a("abc"), fnv1a("abc"));
+}
+
+TEST(HashMix, OrderSensitive) {
+  const auto a = hash_mix(hash_mix(0, 1), 2);
+  const auto b = hash_mix(hash_mix(0, 2), 1);
+  EXPECT_NE(a, b);
+}
+
+TEST(ByteBuffer, RoundTripsScalarsAndStrings) {
+  ByteBuffer buf;
+  buf.put<std::int64_t>(-42);
+  buf.put_string("hello");
+  buf.put<double>(2.5);
+  auto r = buf.reader();
+  EXPECT_EQ(r.get<std::int64_t>(), -42);
+  EXPECT_EQ(r.get_string(), "hello");
+  EXPECT_DOUBLE_EQ(r.get<double>(), 2.5);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteBuffer, TruncatedReadThrows) {
+  ByteBuffer buf;
+  buf.put<std::uint8_t>(1);
+  auto r = buf.reader();
+  EXPECT_THROW((void)r.get<std::int64_t>(), std::out_of_range);
+}
+
+TEST(ByteBuffer, TruncatedStringThrows) {
+  ByteBuffer buf;
+  buf.put<std::uint32_t>(1000);  // claims 1000 bytes follow; none do
+  auto r = buf.reader();
+  EXPECT_THROW((void)r.get_string(), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace redundancy::util

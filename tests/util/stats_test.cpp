@@ -1,0 +1,171 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace redundancy::util {
+namespace {
+
+TEST(Accumulator, KnownValues) {
+  Accumulator acc;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(v);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.ci95(), 0.0);
+}
+
+TEST(Accumulator, MergeEqualsSequential) {
+  Rng rng{3};
+  Accumulator whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(5.0, 3.0);
+    whole.add(v);
+    (i % 2 == 0 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Accumulator, MergeWithEmpty) {
+  Accumulator a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(Proportion, ValueAndWilson) {
+  Proportion p;
+  for (int i = 0; i < 80; ++i) p.add(true);
+  for (int i = 0; i < 20; ++i) p.add(false);
+  EXPECT_DOUBLE_EQ(p.value(), 0.8);
+  auto [lo, hi] = p.wilson95();
+  EXPECT_LT(lo, 0.8);
+  EXPECT_GT(hi, 0.8);
+  EXPECT_GT(lo, 0.70);
+  EXPECT_LT(hi, 0.88);
+}
+
+TEST(Proportion, EmptyIsVacuous) {
+  Proportion p;
+  EXPECT_EQ(p.value(), 0.0);
+  auto [lo, hi] = p.wilson95();
+  EXPECT_EQ(lo, 0.0);
+  EXPECT_EQ(hi, 1.0);
+}
+
+TEST(Histogram, PercentilesOfUniformData) {
+  Histogram h{0.0, 100.0, 100};
+  for (int i = 0; i < 100'000; ++i) {
+    h.add(static_cast<double>(i % 100) + 0.5);
+  }
+  EXPECT_NEAR(h.percentile(50), 50.0, 2.0);
+  EXPECT_NEAR(h.percentile(90), 90.0, 2.0);
+  EXPECT_NEAR(h.percentile(99), 99.0, 2.0);
+}
+
+TEST(Histogram, OverflowAndUnderflowClamp) {
+  Histogram h{0.0, 10.0, 10};
+  h.add(-5.0);
+  h.add(50.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 10.0);
+}
+
+TEST(Histogram, AsciiRenders) {
+  Histogram h{0.0, 4.0, 4};
+  for (int i = 0; i < 10; ++i) h.add(1.5);
+  const std::string art = h.ascii(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+// Property sweeps -----------------------------------------------------------
+
+class StatsPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StatsPropertyTest, HistogramPercentileIsMonotone) {
+  Rng rng{GetParam()};
+  Histogram h{0.0, 100.0, 32};
+  const int n = 200 + static_cast<int>(rng.below(2000));
+  for (int i = 0; i < n; ++i) h.add(rng.uniform(-10.0, 110.0));
+  double prev = h.percentile(0);
+  for (double p = 5; p <= 100; p += 5) {
+    const double cur = h.percentile(p);
+    ASSERT_GE(cur, prev) << "p=" << p;
+    prev = cur;
+  }
+}
+
+TEST_P(StatsPropertyTest, AccumulatorMergeIsOrderInsensitive) {
+  Rng rng{GetParam() * 3 + 1};
+  Accumulator a, b, c;
+  Accumulator ab_c, a_bc;
+  std::vector<double> va, vb, vc;
+  for (int i = 0; i < 50; ++i) va.push_back(rng.normal(1, 2));
+  for (int i = 0; i < 30; ++i) vb.push_back(rng.normal(-3, 1));
+  for (int i = 0; i < 70; ++i) vc.push_back(rng.normal(10, 5));
+  for (double v : va) a.add(v);
+  for (double v : vb) b.add(v);
+  for (double v : vc) c.add(v);
+  // (a + b) + c
+  ab_c = a;
+  ab_c.merge(b);
+  ab_c.merge(c);
+  // a + (b + c)
+  Accumulator bc = b;
+  bc.merge(c);
+  a_bc = a;
+  a_bc.merge(bc);
+  EXPECT_EQ(ab_c.count(), a_bc.count());
+  EXPECT_NEAR(ab_c.mean(), a_bc.mean(), 1e-9);
+  EXPECT_NEAR(ab_c.variance(), a_bc.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(ab_c.min(), a_bc.min());
+  EXPECT_DOUBLE_EQ(ab_c.max(), a_bc.max());
+}
+
+TEST_P(StatsPropertyTest, WilsonIntervalContainsThePointEstimate) {
+  Rng rng{GetParam() * 7 + 5};
+  Proportion p;
+  const int n = 1 + static_cast<int>(rng.below(500));
+  for (int i = 0; i < n; ++i) p.add(rng.chance(0.3));
+  auto [lo, hi] = p.wilson95();
+  EXPECT_LE(lo, p.value() + 1e-12);
+  EXPECT_GE(hi, p.value() - 1e-12);
+  EXPECT_GE(lo, 0.0);
+  EXPECT_LE(hi, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+TEST(Sample, ExactPercentiles) {
+  Sample s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_NEAR(s.percentile(0), 1.0, 1e-12);
+  EXPECT_NEAR(s.percentile(100), 100.0, 1e-12);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+}  // namespace
+}  // namespace redundancy::util

@@ -1,0 +1,53 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace redundancy::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t{"Demo"};
+  t.header({"name", "value"});
+  t.row({"alpha", "1"});
+  t.row({"beta", "22"});
+  const std::string out = t.str();
+  EXPECT_NE(out.find("Demo"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(Table, ColumnsAreAligned) {
+  Table t{"T"};
+  t.header({"a", "b"});
+  t.row({"xxxx", "y"});
+  const std::string out = t.str();
+  // Header cell "a" must be padded to the width of "xxxx".
+  EXPECT_NE(out.find("a    | b"), std::string::npos);
+}
+
+TEST(Table, SeparatorEmitsRule) {
+  Table t{"T"};
+  t.header({"col"});
+  t.row({"111"});
+  t.separator();
+  t.row({"222"});
+  const std::string out = t.str();
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, ShortRowsPadMissingCells) {
+  Table t{"T"};
+  t.header({"a", "b", "c"});
+  t.row({"only"});
+  EXPECT_NO_THROW((void)t.str());
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::pct(0.421, 1), "42.1%");
+  EXPECT_EQ(Table::count(17), "17");
+}
+
+}  // namespace
+}  // namespace redundancy::util

@@ -1,0 +1,53 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace redundancy::util {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsResults) {
+  ThreadPool pool{4};
+  auto f1 = pool.submit([] { return 21 * 2; });
+  auto f2 = pool.submit([] { return std::string{"ok"}; });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPool, RunAllExecutesEveryTask) {
+  ThreadPool pool{4};
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 100; ++i) {
+    tasks.emplace_back([&counter] { counter.fetch_add(1); });
+  }
+  pool.run_all(std::move(tasks));
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, RunAllOnEmptyIsNoop) {
+  ThreadPool pool{2};
+  EXPECT_NO_THROW(pool.run_all({}));
+}
+
+TEST(ThreadPool, ManySubmissionsAllComplete) {
+  ThreadPool pool{3};
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.submit([i] { return i; }));
+  }
+  long long sum = 0;
+  for (auto& f : futures) sum += f.get();
+  EXPECT_EQ(sum, 499LL * 500 / 2);
+}
+
+TEST(ThreadPool, SharedPoolIsUsable) {
+  auto f = ThreadPool::shared().submit([] { return 7; });
+  EXPECT_EQ(f.get(), 7);
+  EXPECT_GE(ThreadPool::shared().size(), 2u);
+}
+
+}  // namespace
+}  // namespace redundancy::util

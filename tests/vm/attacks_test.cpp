@@ -1,0 +1,129 @@
+#include "vm/attacks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vm/address_space.hpp"
+#include "vm/vm.hpp"
+
+namespace redundancy::vm {
+namespace {
+
+using L = ServerLayout;
+
+Vm plain_server(std::size_t memory = 1024) {
+  Vm machine{VmConfig{.memory_words = memory}};
+  machine.load(vulnerable_server(), 0, 0);
+  (void)machine.poke(L::secret, kSecretValue);
+  return machine;
+}
+
+TEST(VulnerableServer, LayoutOffsetsMatchAssembly) {
+  const Program server = vulnerable_server();
+  // The dispatch targets compiled into the constants must point at the
+  // handler and gadget entry instructions.
+  ASSERT_GT(server.size(), L::leak_gadget);
+  EXPECT_EQ(server.code[L::handler_entry].op, Op::load);
+  EXPECT_EQ(server.code[L::handler_entry].operand,
+            static_cast<std::int64_t>(L::buffer));
+  EXPECT_EQ(server.code[L::leak_gadget].op, Op::load);
+  EXPECT_EQ(server.code[L::leak_gadget].operand,
+            static_cast<std::int64_t>(L::secret));
+  // The fnptr cell sits immediately after the buffer: the overflow target.
+  EXPECT_EQ(L::fnptr, L::buffer + L::buffer_cap);
+}
+
+TEST(VulnerableServer, BenignRequestSumsPayload) {
+  Vm machine = plain_server();
+  auto out = machine.run(0, benign_request(19, 23));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out.value().ret, 42);
+  ASSERT_EQ(out.value().output.size(), 1u);
+  EXPECT_EQ(out.value().output[0], 42);
+}
+
+TEST(VulnerableServer, FullBufferWithoutOverflowIsStillBenign) {
+  Vm machine = plain_server();
+  Request req{8, 1, 2, 0, 0, 0, 0, 0, 0};  // exactly fills the buffer
+  auto out = machine.run(0, req);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out.value().ret, 3);
+}
+
+TEST(AbsoluteAddressAttack, SucceedsAgainstUnprotectedServer) {
+  Vm machine = plain_server();
+  auto out = machine.run(0, absolute_address_attack(0));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out.value().ret, kSecretValue);  // secret exfiltrated
+}
+
+TEST(CodeInjectionAttack, SucceedsAgainstUnprotectedServer) {
+  Vm machine = plain_server();
+  auto out = machine.run(0, code_injection_attack(0, 0));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out.value().ret, kSecretValue);
+}
+
+TEST(AbsoluteAddressAttack, SegfaultsInDifferentlyBasedReplica) {
+  const auto parts = partition_address_space(4096, 2);
+  VmConfig cfg;
+  cfg.memory_words = 4096;
+  cfg.region_base = parts[1].base;
+  cfg.region_words = parts[1].words;
+  Vm replica{cfg};
+  replica.load(vulnerable_server(), parts[1].base, 0);
+  (void)replica.poke(parts[1].base + L::secret, kSecretValue);
+  // Attacker assumed replica 0's layout.
+  auto out = replica.run(parts[1].base, absolute_address_attack(parts[0].base));
+  ASSERT_FALSE(out.has_value());
+  EXPECT_NE(out.error().detail.find("segmentation fault"), std::string::npos);
+}
+
+TEST(CodeInjectionAttack, TrapsUnderWrongTag) {
+  VmConfig cfg;
+  cfg.memory_words = 1024;
+  cfg.enforce_tags = true;
+  cfg.expected_tag = 2;
+  Vm replica{cfg};
+  replica.load(vulnerable_server(), 0, 2);
+  (void)replica.poke(L::secret, kSecretValue);
+  auto out = replica.run(0, code_injection_attack(0, /*tag_guess=*/1));
+  ASSERT_FALSE(out.has_value());
+  EXPECT_NE(out.error().detail.find("tag mismatch"), std::string::npos);
+}
+
+TEST(CodeInjectionAttack, CorrectTagGuessBeatsASingleTaggedReplica) {
+  // Tagging without replication only helps if the attacker cannot guess the
+  // tag; with the right guess the injection still runs — which is why the
+  // defense needs N variants with *different* tags.
+  VmConfig cfg;
+  cfg.memory_words = 1024;
+  cfg.enforce_tags = true;
+  cfg.expected_tag = 2;
+  Vm replica{cfg};
+  replica.load(vulnerable_server(), 0, 2);
+  (void)replica.poke(L::secret, kSecretValue);
+  auto out = replica.run(0, code_injection_attack(0, /*tag_guess=*/2));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out.value().ret, kSecretValue);
+}
+
+TEST(PartitionAddressSpace, DisjointEqualSlices) {
+  const auto parts = partition_address_space(1000, 3);
+  ASSERT_EQ(parts.size(), 3u);
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    EXPECT_EQ(parts[i].words, 333u);
+    for (std::size_t j = i + 1; j < parts.size(); ++j) {
+      EXPECT_FALSE(parts[i].overlaps(parts[j]));
+    }
+  }
+  EXPECT_TRUE(parts[0].contains(0));
+  EXPECT_FALSE(parts[0].contains(333));
+  EXPECT_TRUE(parts[1].contains(333));
+}
+
+TEST(PartitionAddressSpace, ZeroReplicasIsEmpty) {
+  EXPECT_TRUE(partition_address_space(100, 0).empty());
+}
+
+}  // namespace
+}  // namespace redundancy::vm

@@ -1,0 +1,248 @@
+#include "vm/vm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vm/assembler.hpp"
+
+namespace redundancy::vm {
+namespace {
+
+Behaviour run_ok(const std::string& src,
+                 std::vector<std::int64_t> args = {}) {
+  auto prog = assemble("t", src);
+  EXPECT_TRUE(prog.has_value()) << (prog ? "" : prog.error().describe());
+  auto out = execute(prog.value(), args);
+  EXPECT_TRUE(out.has_value()) << (out ? "" : out.error().describe());
+  return out.value();
+}
+
+core::Failure run_trap(const std::string& src,
+                       std::vector<std::int64_t> args = {}) {
+  auto prog = assemble("t", src);
+  EXPECT_TRUE(prog.has_value());
+  auto out = execute(prog.value(), args);
+  EXPECT_FALSE(out.has_value());
+  return out ? core::failure(core::FailureKind::crash) : out.error();
+}
+
+TEST(Vm, Arithmetic) {
+  EXPECT_EQ(run_ok("push 6\npush 7\nmul\nhalt").ret, 42);
+  EXPECT_EQ(run_ok("push 10\npush 3\nsub\nhalt").ret, 7);
+  EXPECT_EQ(run_ok("push 10\npush 3\ndiv\nhalt").ret, 3);
+  EXPECT_EQ(run_ok("push 10\npush 3\nmod\nhalt").ret, 1);
+  EXPECT_EQ(run_ok("push 5\nneg\nhalt").ret, -5);
+}
+
+TEST(Vm, Comparisons) {
+  EXPECT_EQ(run_ok("push 2\npush 2\neq\nhalt").ret, 1);
+  EXPECT_EQ(run_ok("push 1\npush 2\nlt\nhalt").ret, 1);
+  EXPECT_EQ(run_ok("push 1\npush 2\ngt\nhalt").ret, 0);
+  EXPECT_EQ(run_ok("push 1\npush 0\nand\nhalt").ret, 0);
+  EXPECT_EQ(run_ok("push 1\npush 0\nor\nhalt").ret, 1);
+  EXPECT_EQ(run_ok("push 0\nnot\nhalt").ret, 1);
+}
+
+TEST(Vm, StackManipulation) {
+  EXPECT_EQ(run_ok("push 1\npush 2\nswap\nhalt").ret, 1);
+  EXPECT_EQ(run_ok("push 3\ndup\nadd\nhalt").ret, 6);
+  EXPECT_EQ(run_ok("push 4\npush 9\nover\nhalt").ret, 4);
+  EXPECT_EQ(run_ok("push 1\npush 2\npop\nhalt").ret, 1);
+}
+
+TEST(Vm, ArgsAndOutput) {
+  auto b = run_ok("arg 0\narg 1\nadd\ndup\nout\nhalt", {20, 22});
+  EXPECT_EQ(b.ret, 42);
+  ASSERT_EQ(b.output.size(), 1u);
+  EXPECT_EQ(b.output[0], 42);
+  EXPECT_EQ(run_ok("nargs\nhalt", {1, 2, 3}).ret, 3);
+  EXPECT_EQ(run_ok("push 1\nargi\nhalt", {5, 9}).ret, 9);
+}
+
+TEST(Vm, ControlFlowJumpsAndLabels) {
+  EXPECT_EQ(run_ok("jmp skip\npush 99\nhalt\nskip:\npush 7\nhalt").ret, 7);
+  EXPECT_EQ(run_ok("push 0\njz t\npush 1\nhalt\nt:\npush 2\nhalt").ret, 2);
+  EXPECT_EQ(run_ok("push 1\njz t\npush 1\nhalt\nt:\npush 2\nhalt").ret, 1);
+}
+
+TEST(Vm, ControlFlowCountdownLoop) {
+  // Compute sum of 1..arg0 with a memory-resident loop counter.
+  const std::string src = R"(
+    arg 0
+    store 200        ; i = n
+    push 0
+    store 201        ; acc = 0
+  loop:
+    load 200
+    jz done
+    load 201
+    load 200
+    add
+    store 201        ; acc += i
+    load 200
+    push 1
+    sub
+    store 200        ; i -= 1
+    jmp loop
+  done:
+    load 201
+    halt
+  )";
+  EXPECT_EQ(run_ok(src, {10}).ret, 55);
+  EXPECT_EQ(run_ok(src, {0}).ret, 0);
+}
+
+TEST(Vm, MemoryLoadStore) {
+  EXPECT_EQ(run_ok("push 123\nstore 500\nload 500\nhalt").ret, 123);
+}
+
+TEST(Vm, IndirectMemory) {
+  EXPECT_EQ(run_ok("push 77\npusha 700\nstorei\npush 700\nloadi\nhalt").ret,
+            77);
+}
+
+TEST(Vm, Traps) {
+  EXPECT_EQ(run_trap("push 1\npush 0\ndiv\nhalt").kind,
+            core::FailureKind::crash);
+  EXPECT_EQ(run_trap("pop\nhalt").kind, core::FailureKind::crash);
+  EXPECT_EQ(run_trap("arg 5\nhalt", {1}).kind, core::FailureKind::crash);
+  EXPECT_EQ(run_trap("push -1\nloadi\nhalt").kind, core::FailureKind::crash);
+}
+
+TEST(Vm, StepLimitIsTimeout) {
+  VmConfig cfg;
+  cfg.max_steps = 100;
+  auto prog = assemble("spin", "here:\njmp here\n");
+  auto out = execute(prog.value(), {}, cfg);
+  ASSERT_FALSE(out.has_value());
+  EXPECT_EQ(out.error().kind, core::FailureKind::timeout);
+}
+
+TEST(Vm, EmptyStackHaltReturnsZero) {
+  EXPECT_EQ(run_ok("halt").ret, 0);
+}
+
+TEST(Vm, FallingOffMemoryTraps) {
+  // 'nop' then walk into zeroed memory: zeros decode as nop and the pc
+  // eventually leaves memory.
+  VmConfig cfg;
+  cfg.memory_words = 64;
+  cfg.max_steps = 1000;
+  auto prog = assemble("walk", "nop\n");
+  auto out = execute(prog.value(), {}, cfg);
+  ASSERT_FALSE(out.has_value());
+}
+
+TEST(Vm, TagEnforcementTrapsForeignCode) {
+  auto prog = assemble("t", "push 1\nhalt").take();
+  VmConfig cfg;
+  cfg.enforce_tags = true;
+  cfg.expected_tag = 3;
+  Vm machine{cfg};
+  machine.load(prog, 0, 3);  // correct tag: runs
+  EXPECT_TRUE(machine.run(0, {}).has_value());
+  machine.reset();
+  machine.load(prog, 0, 1);  // wrong tag: traps at the first fetch
+  auto out = machine.run(0, {});
+  ASSERT_FALSE(out.has_value());
+  EXPECT_NE(out.error().detail.find("tag"), std::string::npos);
+}
+
+TEST(Vm, RegionEnforcementSegfaults) {
+  auto prog =
+      assemble("t", "push 42\npush 10\nstorei\nhalt").take();  // abs store @10
+  VmConfig cfg;
+  cfg.memory_words = 1024;
+  cfg.region_base = 512;
+  cfg.region_words = 512;
+  Vm machine{cfg};
+  machine.load(prog, 512, 0);
+  auto out = machine.run(512, {});
+  ASSERT_FALSE(out.has_value());
+  EXPECT_NE(out.error().detail.find("segmentation fault"), std::string::npos);
+}
+
+TEST(Vm, RebasedProgramBehavesIdentically) {
+  auto prog = assemble("t", "push 5\nstore 100\nload 100\ndup\nout\nhalt").take();
+  auto at0 = execute(prog, {});
+  Vm machine{VmConfig{.memory_words = 8192}};
+  machine.load(prog, 4000, 0);
+  auto at4000 = machine.run(4000, {});
+  ASSERT_TRUE(at0.has_value());
+  ASSERT_TRUE(at4000.has_value());
+  EXPECT_EQ(at0.value(), at4000.value());
+}
+
+TEST(Vm, PeekPoke) {
+  Vm machine{VmConfig{.memory_words = 128}};
+  EXPECT_TRUE(machine.poke(100, 7).has_value());
+  EXPECT_EQ(machine.peek(100).value(), 7);
+  EXPECT_FALSE(machine.poke(1000, 1).has_value());
+  EXPECT_FALSE(machine.peek(1000).has_value());
+}
+
+TEST(Encoding, RoundTripsAllFields) {
+  for (const auto op : {Op::push, Op::jmp, Op::halt, Op::out}) {
+    for (const std::int64_t operand : {0LL, 1LL, -1LL, 123456LL, -99999LL}) {
+      for (const std::uint8_t tag : {0, 1, 255}) {
+        const Decoded d = decode(encode(op, operand, tag));
+        ASSERT_TRUE(d.valid);
+        EXPECT_EQ(d.op, op);
+        EXPECT_EQ(d.operand, operand);
+        EXPECT_EQ(d.tag, tag);
+      }
+    }
+  }
+}
+
+TEST(Encoding, InvalidOpcodeRejected) {
+  const Word garbage = 0x7fffffffffffffffLL;
+  EXPECT_FALSE(decode(garbage).valid);
+}
+
+TEST(Assembler, RoundTrip) {
+  const std::string src = "push 3\npush 4\nadd\nhalt\n";
+  auto prog = assemble("rt", src).take();
+  EXPECT_EQ(format(prog), src);
+}
+
+TEST(Assembler, LabelsAndComments) {
+  auto prog = assemble("t", R"(
+    ; entry
+    push 1
+    jnz end    ; forward reference
+    push 99
+  end:
+    halt
+  )");
+  ASSERT_TRUE(prog.has_value());
+  auto out = execute(prog.value(), {});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out.value().ret, 0);
+}
+
+TEST(Assembler, Errors) {
+  EXPECT_FALSE(assemble("t", "frobnicate\n").has_value());
+  EXPECT_FALSE(assemble("t", "push\n").has_value());        // missing operand
+  EXPECT_FALSE(assemble("t", "jmp nowhere\n").has_value()); // unresolved label
+  EXPECT_FALSE(assemble("t", "add 3\n").has_value());       // unexpected operand
+}
+
+TEST(Program, DisassembleListsInstructions) {
+  auto prog = assemble("t", "push 7\nhalt\n").take();
+  const auto text = prog.disassemble();
+  EXPECT_NE(text.find("push"), std::string::npos);
+  EXPECT_NE(text.find("7"), std::string::npos);
+}
+
+TEST(Program, ImageRebasesAddressOperandsOnly) {
+  Program prog;
+  prog.code = {{Op::push, 5}, {Op::load, 10}, {Op::jmp, 0}};
+  const auto image = prog.image(100, 2);
+  EXPECT_EQ(decode(image[0]).operand, 5);    // immediates untouched
+  EXPECT_EQ(decode(image[1]).operand, 110);  // addresses rebased
+  EXPECT_EQ(decode(image[2]).operand, 100);
+  EXPECT_EQ(decode(image[0]).tag, 2);
+}
+
+}  // namespace
+}  // namespace redundancy::vm
