@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_voters.dir/bench_voters.cpp.o"
+  "CMakeFiles/bench_voters.dir/bench_voters.cpp.o.d"
+  "bench_voters"
+  "bench_voters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_voters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

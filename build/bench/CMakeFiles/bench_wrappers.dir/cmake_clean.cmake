@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wrappers.dir/bench_wrappers.cpp.o"
+  "CMakeFiles/bench_wrappers.dir/bench_wrappers.cpp.o.d"
+  "bench_wrappers"
+  "bench_wrappers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wrappers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_ablation_adjudicators.dir/exp_ablation_adjudicators.cpp.o"
+  "CMakeFiles/exp_ablation_adjudicators.dir/exp_ablation_adjudicators.cpp.o.d"
+  "exp_ablation_adjudicators"
+  "exp_ablation_adjudicators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_ablation_adjudicators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_checkpoint_recovery.dir/exp_checkpoint_recovery.cpp.o"
+  "CMakeFiles/exp_checkpoint_recovery.dir/exp_checkpoint_recovery.cpp.o.d"
+  "exp_checkpoint_recovery"
+  "exp_checkpoint_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_checkpoint_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_cost_of_redundancy.dir/exp_cost_of_redundancy.cpp.o"
+  "CMakeFiles/exp_cost_of_redundancy.dir/exp_cost_of_redundancy.cpp.o.d"
+  "exp_cost_of_redundancy"
+  "exp_cost_of_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_cost_of_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

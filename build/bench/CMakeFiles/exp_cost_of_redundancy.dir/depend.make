@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_cost_of_redundancy.
+# This may be replaced when dependencies are built.

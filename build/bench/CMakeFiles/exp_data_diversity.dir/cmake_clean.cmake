@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_data_diversity.dir/exp_data_diversity.cpp.o"
+  "CMakeFiles/exp_data_diversity.dir/exp_data_diversity.cpp.o.d"
+  "exp_data_diversity"
+  "exp_data_diversity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_data_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

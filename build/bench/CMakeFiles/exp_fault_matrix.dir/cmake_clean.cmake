@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fault_matrix.dir/exp_fault_matrix.cpp.o"
+  "CMakeFiles/exp_fault_matrix.dir/exp_fault_matrix.cpp.o.d"
+  "exp_fault_matrix"
+  "exp_fault_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fault_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_genetic_repair.dir/exp_genetic_repair.cpp.o"
+  "CMakeFiles/exp_genetic_repair.dir/exp_genetic_repair.cpp.o.d"
+  "exp_genetic_repair"
+  "exp_genetic_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_genetic_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

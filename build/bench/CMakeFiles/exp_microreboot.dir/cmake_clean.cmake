@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_microreboot.dir/exp_microreboot.cpp.o"
+  "CMakeFiles/exp_microreboot.dir/exp_microreboot.cpp.o.d"
+  "exp_microreboot"
+  "exp_microreboot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_microreboot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_nvp_reliability.dir/exp_nvp_reliability.cpp.o"
+  "CMakeFiles/exp_nvp_reliability.dir/exp_nvp_reliability.cpp.o.d"
+  "exp_nvp_reliability"
+  "exp_nvp_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_nvp_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_process_replicas.dir/exp_process_replicas.cpp.o"
+  "CMakeFiles/exp_process_replicas.dir/exp_process_replicas.cpp.o.d"
+  "exp_process_replicas"
+  "exp_process_replicas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_process_replicas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_process_replicas.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_recovery_blocks.dir/exp_recovery_blocks.cpp.o"
+  "CMakeFiles/exp_recovery_blocks.dir/exp_recovery_blocks.cpp.o.d"
+  "exp_recovery_blocks"
+  "exp_recovery_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_recovery_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

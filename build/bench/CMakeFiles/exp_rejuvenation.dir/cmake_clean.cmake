@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_rejuvenation.dir/exp_rejuvenation.cpp.o"
+  "CMakeFiles/exp_rejuvenation.dir/exp_rejuvenation.cpp.o.d"
+  "exp_rejuvenation"
+  "exp_rejuvenation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_rejuvenation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

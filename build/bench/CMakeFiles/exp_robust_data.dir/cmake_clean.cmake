@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_robust_data.dir/exp_robust_data.cpp.o"
+  "CMakeFiles/exp_robust_data.dir/exp_robust_data.cpp.o.d"
+  "exp_robust_data"
+  "exp_robust_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_robust_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

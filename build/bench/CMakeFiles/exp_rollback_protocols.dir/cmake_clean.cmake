@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_rollback_protocols.dir/exp_rollback_protocols.cpp.o"
+  "CMakeFiles/exp_rollback_protocols.dir/exp_rollback_protocols.cpp.o.d"
+  "exp_rollback_protocols"
+  "exp_rollback_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_rollback_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_rollback_protocols.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_rule_engine.dir/exp_rule_engine.cpp.o"
+  "CMakeFiles/exp_rule_engine.dir/exp_rule_engine.cpp.o.d"
+  "exp_rule_engine"
+  "exp_rule_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_rule_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

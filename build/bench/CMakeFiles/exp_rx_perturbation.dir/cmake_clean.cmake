@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_rx_perturbation.dir/exp_rx_perturbation.cpp.o"
+  "CMakeFiles/exp_rx_perturbation.dir/exp_rx_perturbation.cpp.o.d"
+  "exp_rx_perturbation"
+  "exp_rx_perturbation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_rx_perturbation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_self_checking.dir/exp_self_checking.cpp.o"
+  "CMakeFiles/exp_self_checking.dir/exp_self_checking.cpp.o.d"
+  "exp_self_checking"
+  "exp_self_checking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_self_checking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_self_optimizing.dir/exp_self_optimizing.cpp.o"
+  "CMakeFiles/exp_self_optimizing.dir/exp_self_optimizing.cpp.o.d"
+  "exp_self_optimizing"
+  "exp_self_optimizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_self_optimizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

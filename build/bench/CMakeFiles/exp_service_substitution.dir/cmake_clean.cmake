@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_service_substitution.dir/exp_service_substitution.cpp.o"
+  "CMakeFiles/exp_service_substitution.dir/exp_service_substitution.cpp.o.d"
+  "exp_service_substitution"
+  "exp_service_substitution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_service_substitution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

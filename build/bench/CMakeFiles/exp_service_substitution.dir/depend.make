@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_service_substitution.
+# This may be replaced when dependencies are built.

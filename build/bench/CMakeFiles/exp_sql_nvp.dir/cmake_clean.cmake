@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_sql_nvp.dir/exp_sql_nvp.cpp.o"
+  "CMakeFiles/exp_sql_nvp.dir/exp_sql_nvp.cpp.o.d"
+  "exp_sql_nvp"
+  "exp_sql_nvp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_sql_nvp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_sql_nvp.
+# This may be replaced when dependencies are built.

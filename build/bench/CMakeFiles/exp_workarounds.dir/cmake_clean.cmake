@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_workarounds.dir/exp_workarounds.cpp.o"
+  "CMakeFiles/exp_workarounds.dir/exp_workarounds.cpp.o.d"
+  "exp_workarounds"
+  "exp_workarounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_workarounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_taxonomy.dir/table1_taxonomy.cpp.o"
+  "CMakeFiles/table1_taxonomy.dir/table1_taxonomy.cpp.o.d"
+  "table1_taxonomy"
+  "table1_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

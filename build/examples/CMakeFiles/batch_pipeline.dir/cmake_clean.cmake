@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_pipeline.dir/batch_pipeline.cpp.o"
+  "CMakeFiles/batch_pipeline.dir/batch_pipeline.cpp.o.d"
+  "batch_pipeline"
+  "batch_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

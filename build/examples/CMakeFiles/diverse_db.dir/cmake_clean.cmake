@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diverse_db.dir/diverse_db.cpp.o"
+  "CMakeFiles/diverse_db.dir/diverse_db.cpp.o.d"
+  "diverse_db"
+  "diverse_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diverse_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flight_control.dir/flight_control.cpp.o"
+  "CMakeFiles/flight_control.dir/flight_control.cpp.o.d"
+  "flight_control"
+  "flight_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flight_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/survivable_server.dir/survivable_server.cpp.o"
+  "CMakeFiles/survivable_server.dir/survivable_server.cpp.o.d"
+  "survivable_server"
+  "survivable_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/survivable_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

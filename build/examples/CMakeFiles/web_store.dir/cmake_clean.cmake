@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_store.dir/web_store.cpp.o"
+  "CMakeFiles/web_store.dir/web_store.cpp.o.d"
+  "web_store"
+  "web_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/failure.cpp" "src/CMakeFiles/redundancy.dir/core/failure.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/core/failure.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/redundancy.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/CMakeFiles/redundancy.dir/core/registry.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/core/registry.cpp.o.d"
+  "/root/repo/src/core/taxonomy.cpp" "src/CMakeFiles/redundancy.dir/core/taxonomy.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/core/taxonomy.cpp.o.d"
+  "/root/repo/src/env/aging.cpp" "src/CMakeFiles/redundancy.dir/env/aging.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/env/aging.cpp.o.d"
+  "/root/repo/src/env/checkpoint.cpp" "src/CMakeFiles/redundancy.dir/env/checkpoint.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/env/checkpoint.cpp.o.d"
+  "/root/repo/src/env/heap_model.cpp" "src/CMakeFiles/redundancy.dir/env/heap_model.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/env/heap_model.cpp.o.d"
+  "/root/repo/src/env/simenv.cpp" "src/CMakeFiles/redundancy.dir/env/simenv.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/env/simenv.cpp.o.d"
+  "/root/repo/src/faults/campaign.cpp" "src/CMakeFiles/redundancy.dir/faults/campaign.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/faults/campaign.cpp.o.d"
+  "/root/repo/src/faults/fault.cpp" "src/CMakeFiles/redundancy.dir/faults/fault.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/faults/fault.cpp.o.d"
+  "/root/repo/src/rollback/distsim.cpp" "src/CMakeFiles/redundancy.dir/rollback/distsim.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/rollback/distsim.cpp.o.d"
+  "/root/repo/src/services/binding.cpp" "src/CMakeFiles/redundancy.dir/services/binding.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/services/binding.cpp.o.d"
+  "/root/repo/src/services/converter.cpp" "src/CMakeFiles/redundancy.dir/services/converter.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/services/converter.cpp.o.d"
+  "/root/repo/src/services/registry.cpp" "src/CMakeFiles/redundancy.dir/services/registry.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/services/registry.cpp.o.d"
+  "/root/repo/src/services/service.cpp" "src/CMakeFiles/redundancy.dir/services/service.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/services/service.cpp.o.d"
+  "/root/repo/src/services/workflow.cpp" "src/CMakeFiles/redundancy.dir/services/workflow.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/services/workflow.cpp.o.d"
+  "/root/repo/src/sql/btree_store.cpp" "src/CMakeFiles/redundancy.dir/sql/btree_store.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/sql/btree_store.cpp.o.d"
+  "/root/repo/src/sql/chaos.cpp" "src/CMakeFiles/redundancy.dir/sql/chaos.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/sql/chaos.cpp.o.d"
+  "/root/repo/src/sql/log_store.cpp" "src/CMakeFiles/redundancy.dir/sql/log_store.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/sql/log_store.cpp.o.d"
+  "/root/repo/src/sql/vector_store.cpp" "src/CMakeFiles/redundancy.dir/sql/vector_store.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/sql/vector_store.cpp.o.d"
+  "/root/repo/src/techniques/checkpoint_recovery.cpp" "src/CMakeFiles/redundancy.dir/techniques/checkpoint_recovery.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/techniques/checkpoint_recovery.cpp.o.d"
+  "/root/repo/src/techniques/genetic_repair.cpp" "src/CMakeFiles/redundancy.dir/techniques/genetic_repair.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/techniques/genetic_repair.cpp.o.d"
+  "/root/repo/src/techniques/microreboot.cpp" "src/CMakeFiles/redundancy.dir/techniques/microreboot.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/techniques/microreboot.cpp.o.d"
+  "/root/repo/src/techniques/nvariant_data.cpp" "src/CMakeFiles/redundancy.dir/techniques/nvariant_data.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/techniques/nvariant_data.cpp.o.d"
+  "/root/repo/src/techniques/process_pair.cpp" "src/CMakeFiles/redundancy.dir/techniques/process_pair.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/techniques/process_pair.cpp.o.d"
+  "/root/repo/src/techniques/process_replicas.cpp" "src/CMakeFiles/redundancy.dir/techniques/process_replicas.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/techniques/process_replicas.cpp.o.d"
+  "/root/repo/src/techniques/register_all.cpp" "src/CMakeFiles/redundancy.dir/techniques/register_all.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/techniques/register_all.cpp.o.d"
+  "/root/repo/src/techniques/rejuvenation.cpp" "src/CMakeFiles/redundancy.dir/techniques/rejuvenation.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/techniques/rejuvenation.cpp.o.d"
+  "/root/repo/src/techniques/robust_data.cpp" "src/CMakeFiles/redundancy.dir/techniques/robust_data.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/techniques/robust_data.cpp.o.d"
+  "/root/repo/src/techniques/rule_engine.cpp" "src/CMakeFiles/redundancy.dir/techniques/rule_engine.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/techniques/rule_engine.cpp.o.d"
+  "/root/repo/src/techniques/rx.cpp" "src/CMakeFiles/redundancy.dir/techniques/rx.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/techniques/rx.cpp.o.d"
+  "/root/repo/src/techniques/self_optimizing.cpp" "src/CMakeFiles/redundancy.dir/techniques/self_optimizing.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/techniques/self_optimizing.cpp.o.d"
+  "/root/repo/src/techniques/service_substitution.cpp" "src/CMakeFiles/redundancy.dir/techniques/service_substitution.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/techniques/service_substitution.cpp.o.d"
+  "/root/repo/src/techniques/sql_nvp.cpp" "src/CMakeFiles/redundancy.dir/techniques/sql_nvp.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/techniques/sql_nvp.cpp.o.d"
+  "/root/repo/src/techniques/workarounds.cpp" "src/CMakeFiles/redundancy.dir/techniques/workarounds.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/techniques/workarounds.cpp.o.d"
+  "/root/repo/src/techniques/wrappers.cpp" "src/CMakeFiles/redundancy.dir/techniques/wrappers.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/techniques/wrappers.cpp.o.d"
+  "/root/repo/src/util/checksum.cpp" "src/CMakeFiles/redundancy.dir/util/checksum.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/util/checksum.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/redundancy.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/redundancy.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/redundancy.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/util/thread_pool.cpp.o.d"
+  "/root/repo/src/vm/address_space.cpp" "src/CMakeFiles/redundancy.dir/vm/address_space.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/vm/address_space.cpp.o.d"
+  "/root/repo/src/vm/assembler.cpp" "src/CMakeFiles/redundancy.dir/vm/assembler.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/vm/assembler.cpp.o.d"
+  "/root/repo/src/vm/attacks.cpp" "src/CMakeFiles/redundancy.dir/vm/attacks.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/vm/attacks.cpp.o.d"
+  "/root/repo/src/vm/program.cpp" "src/CMakeFiles/redundancy.dir/vm/program.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/vm/program.cpp.o.d"
+  "/root/repo/src/vm/vm.cpp" "src/CMakeFiles/redundancy.dir/vm/vm.cpp.o" "gcc" "src/CMakeFiles/redundancy.dir/vm/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

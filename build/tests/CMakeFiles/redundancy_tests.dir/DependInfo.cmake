@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/acceptance_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/core/acceptance_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/core/acceptance_test.cpp.o.d"
+  "/root/repo/tests/core/adaptive_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/core/adaptive_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/core/adaptive_test.cpp.o.d"
+  "/root/repo/tests/core/patterns_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/core/patterns_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/core/patterns_test.cpp.o.d"
+  "/root/repo/tests/core/result_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/core/result_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/core/result_test.cpp.o.d"
+  "/root/repo/tests/core/taxonomy_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/core/taxonomy_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/core/taxonomy_test.cpp.o.d"
+  "/root/repo/tests/core/voters_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/core/voters_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/core/voters_test.cpp.o.d"
+  "/root/repo/tests/env/aging_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/env/aging_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/env/aging_test.cpp.o.d"
+  "/root/repo/tests/env/checkpoint_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/env/checkpoint_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/env/checkpoint_test.cpp.o.d"
+  "/root/repo/tests/env/heap_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/env/heap_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/env/heap_test.cpp.o.d"
+  "/root/repo/tests/env/simenv_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/env/simenv_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/env/simenv_test.cpp.o.d"
+  "/root/repo/tests/faults/fault_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/faults/fault_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/faults/fault_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/rollback/distsim_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/rollback/distsim_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/rollback/distsim_test.cpp.o.d"
+  "/root/repo/tests/services/services_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/services/services_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/services/services_test.cpp.o.d"
+  "/root/repo/tests/services/workflow_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/services/workflow_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/services/workflow_test.cpp.o.d"
+  "/root/repo/tests/sql/chaos_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/sql/chaos_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/sql/chaos_test.cpp.o.d"
+  "/root/repo/tests/sql/store_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/sql/store_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/sql/store_test.cpp.o.d"
+  "/root/repo/tests/techniques/checkpoint_recovery_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/techniques/checkpoint_recovery_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/techniques/checkpoint_recovery_test.cpp.o.d"
+  "/root/repo/tests/techniques/data_diversity_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/techniques/data_diversity_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/techniques/data_diversity_test.cpp.o.d"
+  "/root/repo/tests/techniques/genetic_repair_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/techniques/genetic_repair_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/techniques/genetic_repair_test.cpp.o.d"
+  "/root/repo/tests/techniques/healer_fuzz_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/techniques/healer_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/techniques/healer_fuzz_test.cpp.o.d"
+  "/root/repo/tests/techniques/microreboot_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/techniques/microreboot_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/techniques/microreboot_test.cpp.o.d"
+  "/root/repo/tests/techniques/nvariant_data_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/techniques/nvariant_data_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/techniques/nvariant_data_test.cpp.o.d"
+  "/root/repo/tests/techniques/nvp_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/techniques/nvp_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/techniques/nvp_test.cpp.o.d"
+  "/root/repo/tests/techniques/process_pair_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/techniques/process_pair_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/techniques/process_pair_test.cpp.o.d"
+  "/root/repo/tests/techniques/process_replicas_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/techniques/process_replicas_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/techniques/process_replicas_test.cpp.o.d"
+  "/root/repo/tests/techniques/recovery_blocks_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/techniques/recovery_blocks_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/techniques/recovery_blocks_test.cpp.o.d"
+  "/root/repo/tests/techniques/rejuvenation_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/techniques/rejuvenation_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/techniques/rejuvenation_test.cpp.o.d"
+  "/root/repo/tests/techniques/robust_data_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/techniques/robust_data_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/techniques/robust_data_test.cpp.o.d"
+  "/root/repo/tests/techniques/rule_engine_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/techniques/rule_engine_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/techniques/rule_engine_test.cpp.o.d"
+  "/root/repo/tests/techniques/rx_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/techniques/rx_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/techniques/rx_test.cpp.o.d"
+  "/root/repo/tests/techniques/self_checking_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/techniques/self_checking_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/techniques/self_checking_test.cpp.o.d"
+  "/root/repo/tests/techniques/self_optimizing_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/techniques/self_optimizing_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/techniques/self_optimizing_test.cpp.o.d"
+  "/root/repo/tests/techniques/service_substitution_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/techniques/service_substitution_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/techniques/service_substitution_test.cpp.o.d"
+  "/root/repo/tests/techniques/sql_nvp_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/techniques/sql_nvp_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/techniques/sql_nvp_test.cpp.o.d"
+  "/root/repo/tests/techniques/workarounds_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/techniques/workarounds_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/techniques/workarounds_test.cpp.o.d"
+  "/root/repo/tests/techniques/wrappers_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/techniques/wrappers_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/techniques/wrappers_test.cpp.o.d"
+  "/root/repo/tests/util/checksum_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/util/checksum_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/util/checksum_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/stats_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/util/stats_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/util/stats_test.cpp.o.d"
+  "/root/repo/tests/util/table_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/util/table_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/util/table_test.cpp.o.d"
+  "/root/repo/tests/util/thread_pool_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/util/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/util/thread_pool_test.cpp.o.d"
+  "/root/repo/tests/vm/attacks_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/vm/attacks_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/vm/attacks_test.cpp.o.d"
+  "/root/repo/tests/vm/vm_fuzz_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/vm/vm_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/vm/vm_fuzz_test.cpp.o.d"
+  "/root/repo/tests/vm/vm_test.cpp" "tests/CMakeFiles/redundancy_tests.dir/vm/vm_test.cpp.o" "gcc" "tests/CMakeFiles/redundancy_tests.dir/vm/vm_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/redundancy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
