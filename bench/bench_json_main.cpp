@@ -1,0 +1,123 @@
+// Custom google-benchmark main for every bench_* binary: runs the registered
+// benchmarks with the usual console output, then writes BENCH_<binary>.json
+// next to the working directory so the perf trajectory can be tracked across
+// PRs by machines, not eyeballs. Schema documented in EXPERIMENTS.md.
+//
+// Per benchmark we record ops/sec and per-iteration latency. p50/p95 are
+// computed over per-repetition samples; with the default single repetition
+// they equal the one measured mean (pass --benchmark_repetitions=N for real
+// percentiles).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace {
+
+/// Console output plus a per-repetition latency sample per benchmark.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Series {
+    std::vector<double> latency_ns;  // per-iteration real time, one entry
+                                     // per repetition
+    std::int64_t threads = 1;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      Series& s = series_[run.benchmark_name()];
+      s.latency_ns.push_back(run.real_accumulated_time * 1e9 / iters);
+      s.threads = run.threads;
+    }
+  }
+
+  [[nodiscard]] const std::map<std::string, Series>& series() const {
+    return series_;
+  }
+
+ private:
+  std::map<std::string, Series> series_;
+};
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string basename_of(const char* path) {
+  std::string s{path};
+  const auto slash = s.find_last_of('/');
+  if (slash != std::string::npos) s = s.substr(slash + 1);
+  return s;
+}
+
+void write_json(const std::string& binary,
+                const std::map<std::string, CollectingReporter::Series>& all) {
+  const std::string path = "BENCH_" + binary + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_json_main: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"binary\": \"%s\",\n", json_escape(binary).c_str());
+  std::fprintf(f, "  \"pool_threads\": %zu,\n",
+               redundancy::util::ThreadPool::shared_size_from_env());
+  std::fprintf(f, "  \"benchmarks\": [\n");
+  bool first = true;
+  for (const auto& [name, s] : all) {
+    double mean = 0.0;
+    for (double x : s.latency_ns) mean += x;
+    mean /= s.latency_ns.empty() ? 1.0 : double(s.latency_ns.size());
+    const double ops = mean > 0.0 ? 1e9 / mean : 0.0;
+    std::fprintf(f,
+                 "%s    {\"name\": \"%s\", \"ops_per_sec\": %.3f, "
+                 "\"latency_ns_mean\": %.1f, \"latency_ns_p50\": %.1f, "
+                 "\"latency_ns_p95\": %.1f, \"repetitions\": %zu, "
+                 "\"threads\": %lld}",
+                 first ? "" : ",\n", json_escape(name).c_str(), ops, mean,
+                 percentile(s.latency_ns, 50.0), percentile(s.latency_ns, 95.0),
+                 s.latency_ns.size(), static_cast<long long>(s.threads));
+    first = false;
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string binary = basename_of(argv[0]);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  write_json(binary, reporter.series());
+  benchmark::Shutdown();
+  return 0;
+}

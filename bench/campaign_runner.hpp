@@ -1,0 +1,58 @@
+// Shared helper for the experiment drivers: run a fault-injection campaign
+// through faults::run_campaign_parallel with one system instance per shard
+// and merge the per-instance metrics afterwards.
+//
+// Techniques are cheap to construct but carry per-instance state (metrics,
+// disabled components, learned weights), so shards must not share one
+// instance. The worker count is pinned — not taken from the machine — so
+// shard boundaries, and therefore the printed numbers of *stateful* systems,
+// are identical everywhere. Stateless systems produce counts identical to
+// the serial runner for any worker count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "faults/campaign.hpp"
+
+namespace redundancy::bench {
+
+/// Pinned shard count for every experiment driver (reproducibility beats
+/// auto-scaling here; the pool still provides the actual threads).
+inline constexpr std::size_t kCampaignWorkers = 8;
+
+template <typename System>
+struct ShardedCampaign {
+  faults::CampaignReport report;
+  core::Metrics metrics;  ///< sum over all shard instances
+  std::vector<std::shared_ptr<System>> shards;
+};
+
+/// `make_system` builds one shared_ptr<System> per shard (called on this
+/// thread); `run_one(system, input)` serves one request on it.
+template <typename In, typename Out, typename MakeSystem, typename RunOne>
+auto run_sharded(std::string name, std::size_t requests,
+                 std::function<In(std::size_t, util::Rng&)> workload,
+                 MakeSystem make_system, RunOne run_one,
+                 std::function<Out(const In&)> oracle,
+                 std::uint64_t seed = 1) {
+  using System = typename decltype(make_system())::element_type;
+  ShardedCampaign<System> out;
+  out.report = faults::run_campaign_parallel<In, Out>(
+      std::move(name), requests, std::move(workload),
+      [&]() -> std::function<core::Result<Out>(const In&)> {
+        std::shared_ptr<System> sys = make_system();
+        out.shards.push_back(sys);
+        return [sys, run_one](const In& x) { return run_one(*sys, x); };
+      },
+      std::move(oracle), seed, kCampaignWorkers);
+  for (const auto& s : out.shards) out.metrics += s->metrics();
+  return out;
+}
+
+}  // namespace redundancy::bench

@@ -5,7 +5,9 @@
 // version execution = 1), adjudicator evaluations, and how the technique's
 // redundancy is consumed.
 #include <iostream>
+#include <memory>
 
+#include "campaign_runner.hpp"
 #include "faults/campaign.hpp"
 #include "faults/fault.hpp"
 #include "techniques/nvp.hpp"
@@ -48,54 +50,63 @@ int main() {
                 "adjudicator design cost", "redundancy consumed"});
 
   {
-    techniques::NVersionProgramming<int, int> nvp{versions(3)};
-    auto r = faults::run_campaign<int, int>(
+    using Nvp = techniques::NVersionProgramming<int, int>;
+    auto cell = bench::run_sharded<int, int>(
         "nvp", kRequests, workload,
-        [&nvp](const int& x) { return nvp.run(x); }, golden);
+        [] { return std::make_shared<Nvp>(versions(3)); },
+        [](Nvp& nvp, const int& x) { return nvp.run(x); }, golden);
     table.row({"N-version programming",
-               util::Table::pct(r.reliability_value(), 2),
-               util::Table::num(nvp.metrics().cost_per_request(), 2),
-               util::Table::num(double(nvp.metrics().adjudications) /
-                                    double(nvp.metrics().requests),
+               util::Table::pct(cell.report.reliability_value(), 2),
+               util::Table::num(cell.metrics.cost_per_request(), 2),
+               util::Table::num(double(cell.metrics.adjudications) /
+                                    double(cell.metrics.requests),
                                 2),
                "none (generic vote)", "none"});
   }
   {
-    techniques::RecoveryBlocks<int, int> rb{versions(3), oracle()};
-    auto r = faults::run_campaign<int, int>(
-        "rb", kRequests, workload, [&rb](const int& x) { return rb.run(x); },
-        golden);
-    table.row({"Recovery blocks", util::Table::pct(r.reliability_value(), 2),
-               util::Table::num(rb.metrics().cost_per_request(), 2),
-               util::Table::num(double(rb.metrics().adjudications) /
-                                    double(rb.metrics().requests),
+    using Rb = techniques::RecoveryBlocks<int, int>;
+    auto cell = bench::run_sharded<int, int>(
+        "rb", kRequests, workload,
+        [] { return std::make_shared<Rb>(versions(3), oracle()); },
+        [](Rb& rb, const int& x) { return rb.run(x); }, golden);
+    table.row({"Recovery blocks",
+               util::Table::pct(cell.report.reliability_value(), 2),
+               util::Table::num(cell.metrics.cost_per_request(), 2),
+               util::Table::num(double(cell.metrics.adjudications) /
+                                    double(cell.metrics.requests),
                                 2),
                "high (acceptance test)", "none (retried per request)"});
   }
   {
     using SC = techniques::SelfCheckingProgramming<int, int>;
-    auto pool = versions(3);
-    std::vector<SC::Component> comps;
-    for (auto& v : pool) comps.push_back(SC::checked(std::move(v), oracle()));
-    SC sc{std::move(comps)};
     // Failed components are discarded for good; operations redeploys the
     // pool whenever it is down to its last component — the paper's point
     // that execution *consumes* explicit redundancy, made operational.
-    auto r = faults::run_campaign<int, int>(
+    // Each shard runs its own pool, so consumption happens per shard.
+    auto cell = bench::run_sharded<int, int>(
         "sc", kRequests, workload,
-        [&sc](const int& x) {
+        [] {
+          auto pool = versions(3);
+          std::vector<SC::Component> comps;
+          for (auto& v : pool) {
+            comps.push_back(SC::checked(std::move(v), oracle()));
+          }
+          return std::make_shared<SC>(std::move(comps));
+        },
+        [](SC& sc, const int& x) {
           if (sc.in_service() <= 1) sc.redeploy_all();
           return sc.run(x);
         },
         golden);
-    table.row(
-        {"Self-checking programming", util::Table::pct(r.reliability_value(), 2),
-         util::Table::num(sc.metrics().cost_per_request(), 2),
-         util::Table::num(double(sc.metrics().adjudications) /
-                              double(sc.metrics().requests),
-                          2),
-         "flexible (per component)",
-         std::to_string(sc.metrics().disabled_components) + " components"});
+    table.row({"Self-checking programming",
+               util::Table::pct(cell.report.reliability_value(), 2),
+               util::Table::num(cell.metrics.cost_per_request(), 2),
+               util::Table::num(double(cell.metrics.adjudications) /
+                                    double(cell.metrics.requests),
+                                2),
+               "flexible (per component)",
+               std::to_string(cell.metrics.disabled_components) +
+                   " components"});
   }
   table.print(std::cout);
   std::cout

@@ -8,7 +8,9 @@
 // small relative to the re-expression displacement, and the gain shrinks
 // as the region grows (a re-expressed point lands back inside it).
 #include <iostream>
+#include <memory>
 
+#include "campaign_runner.hpp"
 #include "faults/campaign.hpp"
 #include "faults/fault.hpp"
 #include "techniques/data_diversity.hpp"
@@ -61,33 +63,47 @@ int main() {
 
   for (const double region : {0.01, 0.05, 0.20, 0.50}) {
     auto program = kernel(region);
-    // Plain, unprotected run.
-    auto plain = faults::run_campaign<std::int64_t, std::int64_t>(
-        "plain", kRequests, workload, program, golden);
+    // Plain, unprotected run: the kernel is a pure function, so one shared
+    // system serves every shard.
+    auto plain = faults::run_campaign_parallel<std::int64_t, std::int64_t>(
+        "plain", kRequests, workload, program, golden, 1,
+        bench::kCampaignWorkers);
     // Retry block with identity + two exact re-expressions.
-    techniques::RetryBlock<std::int64_t, std::int64_t> retry{
-        program,
-        {techniques::identity_reexpression<std::int64_t, std::int64_t>(),
-         shift(1), shift(2)},
-        [](const std::int64_t&, const std::int64_t&) { return true; }};
-    auto rb = faults::run_campaign<std::int64_t, std::int64_t>(
+    using Retry = techniques::RetryBlock<std::int64_t, std::int64_t>;
+    auto rb = bench::run_sharded<std::int64_t, std::int64_t>(
         "retry", kRequests, workload,
-        [&retry](const std::int64_t& x) { return retry.run(x); }, golden);
+        [&] {
+          return std::make_shared<Retry>(
+              program,
+              std::vector<techniques::ReExpression<std::int64_t, std::int64_t>>{
+                  techniques::identity_reexpression<std::int64_t,
+                                                    std::int64_t>(),
+                  shift(1), shift(2)},
+              [](const std::int64_t&, const std::int64_t&) { return true; });
+        },
+        [](Retry& retry, const std::int64_t& x) { return retry.run(x); },
+        golden);
     // N-copy programming over the same re-expressions.
-    techniques::NCopyProgramming<std::int64_t, std::int64_t> ncopy{
-        program,
-        {techniques::identity_reexpression<std::int64_t, std::int64_t>(),
-         shift(1), shift(2)},
-        core::plurality_voter<std::int64_t>()};
-    auto nc = faults::run_campaign<std::int64_t, std::int64_t>(
+    using NCopy = techniques::NCopyProgramming<std::int64_t, std::int64_t>;
+    auto nc = bench::run_sharded<std::int64_t, std::int64_t>(
         "ncopy", kRequests, workload,
-        [&ncopy](const std::int64_t& x) { return ncopy.run(x); }, golden);
+        [&] {
+          return std::make_shared<NCopy>(
+              program,
+              std::vector<techniques::ReExpression<std::int64_t, std::int64_t>>{
+                  techniques::identity_reexpression<std::int64_t,
+                                                    std::int64_t>(),
+                  shift(1), shift(2)},
+              core::plurality_voter<std::int64_t>());
+        },
+        [](NCopy& ncopy, const std::int64_t& x) { return ncopy.run(x); },
+        golden);
 
     table.row({util::Table::pct(region, 0),
                util::Table::pct(plain.reliability_value(), 2),
-               util::Table::pct(rb.reliability_value(), 2),
-               util::Table::pct(nc.reliability_value(), 2),
-               util::Table::num(retry.metrics().executions_per_request(), 2)});
+               util::Table::pct(rb.report.reliability_value(), 2),
+               util::Table::pct(nc.report.reliability_value(), 2),
+               util::Table::num(rb.metrics.executions_per_request(), 2)});
   }
   table.print(std::cout);
   std::cout << "Shape check: plain reliability is 1-region. Re-expression\n"

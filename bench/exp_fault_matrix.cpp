@@ -57,6 +57,11 @@ std::vector<core::Variant<int, int>> faulty_versions(std::size_t n, bool bohr) {
   return vs;
 }
 
+// Deliberately stays on the *serial* runner: most cells inject Heisenbugs
+// (a shared RNG re-rolled per execution) or drive order-dependent state
+// (checkpoint recovery, aging + rejuvenation, replica reset), so the draw
+// sequence — and thus the printed matrix — is only reproducible when
+// requests execute in stream order.
 double campaign(std::function<core::Result<int>(const int&)> system) {
   return faults::run_campaign<int, int>("cell", kRequests, workload(),
                                         std::move(system), golden)

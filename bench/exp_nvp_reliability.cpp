@@ -8,7 +8,9 @@
 // answer). Shape to reproduce: reliability climbs steeply with N for
 // independent faults and stays flat for fully correlated ones.
 #include <iostream>
+#include <memory>
 
+#include "campaign_runner.hpp"
 #include "faults/campaign.hpp"
 #include "faults/fault.hpp"
 #include "techniques/nvp.hpp"
@@ -49,13 +51,13 @@ int main() {
           correlated ? "correlated (shared region)" : "independent regions",
           util::Table::pct(p, 0)};
       for (const std::size_t n : {1u, 3u, 5u, 7u, 9u}) {
-        techniques::NVersionProgramming<int, int> nvp{
-            versions(n, p, correlated)};
-        auto report = faults::run_campaign<int, int>(
+        using Nvp = techniques::NVersionProgramming<int, int>;
+        auto cell = bench::run_sharded<int, int>(
             "nvp", kRequests,
             [](std::size_t i, util::Rng&) { return static_cast<int>(i); },
-            [&nvp](const int& x) { return nvp.run(x); }, golden);
-        cells.push_back(util::Table::pct(report.reliability_value(), 2));
+            [&] { return std::make_shared<Nvp>(versions(n, p, correlated)); },
+            [](Nvp& nvp, const int& x) { return nvp.run(x); }, golden);
+        cells.push_back(util::Table::pct(cell.report.reliability_value(), 2));
       }
       table.row(std::move(cells));
     }

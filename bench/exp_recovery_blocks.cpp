@@ -7,7 +7,9 @@
 // reliability when the acceptance test is strong, and silently degrades as
 // the acceptance test weakens — the vote needs no such trust.
 #include <iostream>
+#include <memory>
 
+#include "campaign_runner.hpp"
 #include "faults/campaign.hpp"
 #include "faults/fault.hpp"
 #include "techniques/nvp.hpp"
@@ -57,27 +59,30 @@ int main() {
                 "execs/req"});
 
   {
-    techniques::NVersionProgramming<int, int> nvp{versions(kN, kFaultRate)};
-    auto report = faults::run_campaign<int, int>(
+    using Nvp = techniques::NVersionProgramming<int, int>;
+    auto cell = bench::run_sharded<int, int>(
         "nvp", kRequests, workload,
-        [&nvp](const int& x) { return nvp.run(x); }, golden);
+        [] { return std::make_shared<Nvp>(versions(kN, kFaultRate)); },
+        [](Nvp& nvp, const int& x) { return nvp.run(x); }, golden);
     table.row({"N-version programming", "implicit majority vote",
-               util::Table::pct(report.reliability_value(), 2),
-               util::Table::pct(report.safety_value(), 2),
-               util::Table::num(nvp.metrics().executions_per_request(), 2)});
+               util::Table::pct(cell.report.reliability_value(), 2),
+               util::Table::pct(cell.report.safety_value(), 2),
+               util::Table::num(cell.metrics.executions_per_request(), 2)});
   }
   table.separator();
   for (const double q : {1.0, 0.9, 0.5, 0.0}) {
-    techniques::RecoveryBlocks<int, int> rb{versions(kN, kFaultRate),
-                                            detector(q)};
-    auto report = faults::run_campaign<int, int>(
+    using Rb = techniques::RecoveryBlocks<int, int>;
+    auto cell = bench::run_sharded<int, int>(
         "rb", kRequests, workload,
-        [&rb](const int& x) { return rb.run(x); }, golden);
+        [&] {
+          return std::make_shared<Rb>(versions(kN, kFaultRate), detector(q));
+        },
+        [](Rb& rb, const int& x) { return rb.run(x); }, golden);
     table.row({"recovery blocks",
                "explicit test, " + util::Table::pct(q, 0) + " detection",
-               util::Table::pct(report.reliability_value(), 2),
-               util::Table::pct(report.safety_value(), 2),
-               util::Table::num(rb.metrics().executions_per_request(), 2)});
+               util::Table::pct(cell.report.reliability_value(), 2),
+               util::Table::pct(cell.report.safety_value(), 2),
+               util::Table::num(cell.metrics.executions_per_request(), 2)});
   }
   table.print(std::cout);
   std::cout << "Shape check: with an oracle acceptance test, recovery blocks\n"

@@ -7,7 +7,9 @@
 // sequential alternatives pays ~1 execution when healthy and degrades
 // gracefully.
 #include <iostream>
+#include <memory>
 
+#include "campaign_runner.hpp"
 #include "core/parallel_evaluation.hpp"
 #include "core/parallel_selection.hpp"
 #include "core/sequential_alternatives.hpp"
@@ -53,69 +55,89 @@ int main() {
 
   for (std::size_t n : {3u, 5u, 7u}) {
     {  // (a) parallel evaluation: run all, vote once, implicit adjudicator
-      core::ParallelEvaluation<int, int> pe{make_pool(n, kFaultRate),
-                                            core::majority_voter<int>()};
-      auto report = faults::run_campaign<int, int>(
+      using PE = core::ParallelEvaluation<int, int>;
+      auto cell = bench::run_sharded<int, int>(
           "pe", kRequests, workload,
-          [&pe](const int& x) { return pe.run(x); }, golden);
+          [&] {
+            return std::make_shared<PE>(make_pool(n, kFaultRate),
+                                        core::majority_voter<int>());
+          },
+          [](PE& pe, const int& x) { return pe.run(x); }, golden);
       table.row({"(a) parallel evaluation", util::Table::count(n),
-                 util::Table::pct(report.reliability_value(), 2),
-                 util::Table::num(pe.metrics().executions_per_request(), 2),
-                 util::Table::count(pe.metrics().adjudications), "0"});
+                 util::Table::pct(cell.report.reliability_value(), 2),
+                 util::Table::num(cell.metrics.executions_per_request(), 2),
+                 util::Table::count(cell.metrics.adjudications), "0"});
     }
     {  // (b) parallel selection, masking discipline: per-component checks
        // select the best result each round; suited to transient/per-input
        // faults, nothing is consumed.
       using PS = core::ParallelSelection<int, int>;
-      std::vector<PS::Checked> comps;
-      for (auto& v : make_pool(n, kFaultRate)) {
-        comps.push_back(PS::Checked{std::move(v), oracle_test()});
-      }
-      PS ps{std::move(comps),
-            typename PS::Options{.disable_on_failure = false, .lazy = false}};
-      auto report = faults::run_campaign<int, int>(
+      auto cell = bench::run_sharded<int, int>(
           "ps", kRequests, workload,
-          [&ps](const int& x) { return ps.run(x); }, golden);
+          [&] {
+            std::vector<PS::Checked> comps;
+            for (auto& v : make_pool(n, kFaultRate)) {
+              comps.push_back(PS::Checked{std::move(v), oracle_test()});
+            }
+            return std::make_shared<PS>(
+                std::move(comps), typename PS::Options{
+                                      .disable_on_failure = false,
+                                      .lazy = false});
+          },
+          [](PS& ps, const int& x) { return ps.run(x); }, golden);
       table.row({"(b) parallel selection (mask)", util::Table::count(n),
-                 util::Table::pct(report.reliability_value(), 2),
-                 util::Table::num(ps.metrics().executions_per_request(), 2),
-                 util::Table::count(ps.metrics().adjudications), "0"});
+                 util::Table::pct(cell.report.reliability_value(), 2),
+                 util::Table::num(cell.metrics.executions_per_request(), 2),
+                 util::Table::count(cell.metrics.adjudications), "0"});
     }
     {  // (b) parallel selection, consuming discipline: a rejected component
        // is discarded for good (self-checking hot-spare semantics). Against
        // per-input faults this drains the pool — the figure quantifies the
        // paper's warning that "execution progressively consumes the initial
-       // explicit redundancy" unless components are redeployed.
+       // explicit redundancy" unless components are redeployed. Each shard
+       // consumes (and redeploys) its own pool.
       using PS = core::ParallelSelection<int, int>;
-      std::vector<PS::Checked> comps;
-      for (auto& v : make_pool(n, kFaultRate)) {
-        comps.push_back(PS::Checked{std::move(v), oracle_test()});
-      }
-      PS ps{std::move(comps)};
-      std::size_t served = 0;
-      auto report = faults::run_campaign<int, int>(
+      struct Consuming {
+        PS ps;
+        std::size_t served = 0;
+        core::Result<int> run(const int& x) {
+          if (++served % 50 == 0) ps.reinstate_all();  // ops redeploys
+          return ps.run(x);
+        }
+        [[nodiscard]] const core::Metrics& metrics() const noexcept {
+          return ps.metrics();
+        }
+      };
+      auto cell = bench::run_sharded<int, int>(
           "ps", kRequests, workload,
-          [&ps, &served](const int& x) {
-            if (++served % 50 == 0) ps.reinstate_all();  // ops redeploys
-            return ps.run(x);
+          [&] {
+            std::vector<PS::Checked> comps;
+            for (auto& v : make_pool(n, kFaultRate)) {
+              comps.push_back(PS::Checked{std::move(v), oracle_test()});
+            }
+            return std::make_shared<Consuming>(
+                Consuming{PS{std::move(comps)}});
           },
-          golden);
+          [](Consuming& c, const int& x) { return c.run(x); }, golden);
       table.row({"(b) parallel selection (consume)", util::Table::count(n),
-                 util::Table::pct(report.reliability_value(), 2),
-                 util::Table::num(ps.metrics().executions_per_request(), 2),
-                 util::Table::count(ps.metrics().adjudications),
-                 util::Table::count(ps.metrics().disabled_components)});
+                 util::Table::pct(cell.report.reliability_value(), 2),
+                 util::Table::num(cell.metrics.executions_per_request(), 2),
+                 util::Table::count(cell.metrics.adjudications),
+                 util::Table::count(cell.metrics.disabled_components)});
     }
     {  // (c) sequential alternatives: try next only on rejection
-      core::SequentialAlternatives<int, int> sa{make_pool(n, kFaultRate),
-                                                oracle_test()};
-      auto report = faults::run_campaign<int, int>(
+      using SA = core::SequentialAlternatives<int, int>;
+      auto cell = bench::run_sharded<int, int>(
           "sa", kRequests, workload,
-          [&sa](const int& x) { return sa.run(x); }, golden);
+          [&] {
+            return std::make_shared<SA>(make_pool(n, kFaultRate),
+                                        oracle_test());
+          },
+          [](SA& sa, const int& x) { return sa.run(x); }, golden);
       table.row({"(c) sequential alternatives", util::Table::count(n),
-                 util::Table::pct(report.reliability_value(), 2),
-                 util::Table::num(sa.metrics().executions_per_request(), 2),
-                 util::Table::count(sa.metrics().adjudications), "0"});
+                 util::Table::pct(cell.report.reliability_value(), 2),
+                 util::Table::num(cell.metrics.executions_per_request(), 2),
+                 util::Table::count(cell.metrics.adjudications), "0"});
     }
     table.separator();
   }

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Build and run the microbenchmark suite. Each bench_* binary prints the
+# usual google-benchmark console table and writes BENCH_<name>.json (schema:
+# EXPERIMENTS.md) into OUT_DIR for machine tracking across PRs.
+#
+# Usage:
+#   scripts/bench.sh                  # all benches
+#   scripts/bench.sh bench_patterns   # just one
+#
+# Environment:
+#   BUILD_DIR  cmake build tree            (default: build)
+#   OUT_DIR    where BENCH_*.json land     (default: $BUILD_DIR/bench-results)
+#   BENCH_ARGS extra google-benchmark args (e.g. --benchmark_repetitions=5)
+#   REDUNDANCY_THREADS  shared-pool size override, recorded in the JSON
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT_DIR="${OUT_DIR:-${BUILD_DIR}/bench-results}"
+
+cmake -S . -B "${BUILD_DIR}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+benches=("$@")
+if [ "${#benches[@]}" -eq 0 ]; then
+  benches=(bench_patterns bench_voters bench_checkpoint bench_vm
+           bench_wrappers bench_sql bench_rollback)
+fi
+cmake --build "${BUILD_DIR}" -j "$(nproc)" -- "${benches[@]}"
+
+mkdir -p "${OUT_DIR}"
+repo_root="$(pwd)"
+for b in "${benches[@]}"; do
+  echo "=== ${b} ==="
+  # shellcheck disable=SC2086  # BENCH_ARGS is intentionally word-split
+  (cd "${OUT_DIR}" && "${repo_root}/${BUILD_DIR}/bench/${b}" ${BENCH_ARGS:-})
+done
+echo "results: ${OUT_DIR}/BENCH_*.json"

@@ -4,12 +4,29 @@
 // (typically an implicit voter) evaluates the full set of results. This is
 // the architecture of N-version programming, N-copy data diversity, process
 // replicas, and N-variant data.
+//
+// Threaded execution fans out on the shared work-stealing pool. Ballots
+// complete out of order; the caller joins them collectively (helping with
+// queued work while it waits) and accounts each ballot exactly once after it
+// lands. With Adjudication::incremental the caller additionally re-votes on
+// the ballots that have arrived so far — padding the missing ones with
+// failure placeholders so the electorate size stays fixed — and returns as
+// soon as the voter reaches a success verdict. Stragglers then finish in the
+// background; their execution cost is folded into the metrics on the next
+// call.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <functional>
-#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "core/concurrency.hpp"
 #include "core/metrics.hpp"
 #include "core/variant.hpp"
 #include "core/voters.hpp"
@@ -17,80 +34,257 @@
 
 namespace redundancy::core {
 
-enum class Concurrency {
-  sequential,  ///< run variants one by one (deterministic; default)
-  threaded,    ///< fan out on the shared thread pool (variants must be thread-safe)
-};
-
 template <typename In, typename Out>
 class ParallelEvaluation {
  public:
   ParallelEvaluation(std::vector<Variant<In, Out>> variants, Voter<Out> voter,
-                     Concurrency mode = Concurrency::sequential)
-      : variants_(std::move(variants)), voter_(std::move(voter)), mode_(mode) {}
+                     Concurrency mode = Concurrency::sequential,
+                     Adjudication adjudication = Adjudication::join_all)
+      : variants_(std::make_shared<std::vector<Variant<In, Out>>>(
+            std::move(variants))),
+        voter_(std::move(voter)),
+        mode_(mode),
+        adjudication_(adjudication),
+        deferred_(std::make_shared<Deferred>()) {}
 
   /// Run every variant on `input` and adjudicate the ballots.
   Result<Out> run(const In& input) {
+    fold_deferred();
     ++metrics_.requests;
+    if (mode_ == Concurrency::threaded &&
+        adjudication_ == Adjudication::incremental) {
+      // Incremental adjudication may outlive this call, so it needs its own
+      // copy of the input; fall back to join_all for move-only inputs.
+      if constexpr (std::is_copy_constructible_v<In>) {
+        return run_incremental(input);
+      }
+    }
     auto ballots = collect(input);
     ++metrics_.adjudications;
     Result<Out> verdict = voter_(ballots);
-    if (verdict.has_value()) {
-      // The mechanism masked any variant failures that occurred.
-      bool any_failed = false;
-      for (const auto& b : ballots) {
-        if (!b.result.has_value()) any_failed = true;
-      }
-      if (any_failed) ++metrics_.recoveries;
-    } else {
-      ++metrics_.unrecovered;
-    }
+    finish(verdict, any_failed(ballots));
     return verdict;
   }
 
   /// Expose raw ballots (used by techniques that post-process divergence,
-  /// e.g. process replicas reporting which replica diverged).
+  /// e.g. process replicas reporting which replica diverged). Always joins
+  /// every variant, regardless of the adjudication mode.
   std::vector<Ballot<Out>> collect(const In& input) {
+    fold_deferred();
+    const std::size_t n = variants_->size();
     std::vector<Ballot<Out>> ballots;
-    ballots.reserve(variants_.size());
+    ballots.reserve(n);
     if (mode_ == Concurrency::threaded) {
-      std::vector<std::future<Result<Out>>> futures;
-      futures.reserve(variants_.size());
-      for (auto& v : variants_) {
-        futures.push_back(util::ThreadPool::shared().submit(
-            [&v, &input] { return v(input); }));
+      // Fan out once, join collectively: slots fill in whatever order the
+      // variants finish, and nothing is accounted until after the barrier,
+      // so the bookkeeping below touches ballots only on this thread.
+      std::vector<std::optional<Ballot<Out>>> slots(n);
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        tasks.push_back([this, i, &slots, &input] {
+          const Variant<In, Out>& v = (*variants_)[i];
+          slots[i].emplace(Ballot<Out>{i, v.name, v(input)});
+        });
       }
-      for (std::size_t i = 0; i < variants_.size(); ++i) {
-        account(variants_[i]);
-        Result<Out> r = futures[i].get();
-        if (!r.has_value()) ++metrics_.variant_failures;
-        ballots.push_back({i, variants_[i].name, std::move(r)});
+      util::ThreadPool::shared().run_all(std::move(tasks));
+      for (std::size_t i = 0; i < n; ++i) {
+        account((*variants_)[i]);
+        if (!slots[i]->result.has_value()) ++metrics_.variant_failures;
+        ballots.push_back(std::move(*slots[i]));
       }
     } else {
-      for (std::size_t i = 0; i < variants_.size(); ++i) {
-        account(variants_[i]);
-        Result<Out> r = variants_[i](input);
+      for (std::size_t i = 0; i < n; ++i) {
+        account((*variants_)[i]);
+        Result<Out> r = (*variants_)[i](input);
         if (!r.has_value()) ++metrics_.variant_failures;
-        ballots.push_back({i, variants_[i].name, std::move(r)});
+        ballots.push_back({i, (*variants_)[i].name, std::move(r)});
       }
     }
     return ballots;
   }
 
-  [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
-  void reset_metrics() noexcept { metrics_.reset(); }
-  [[nodiscard]] std::size_t width() const noexcept { return variants_.size(); }
+  [[nodiscard]] const Metrics& metrics() const noexcept {
+    fold_deferred();
+    return metrics_;
+  }
+  void reset_metrics() noexcept {
+    fold_deferred();
+    metrics_.reset();
+  }
+  [[nodiscard]] std::size_t width() const noexcept { return variants_->size(); }
 
  private:
+  /// Work accounted by stragglers after an incremental early return. Folded
+  /// into metrics_ lazily so metrics stay a plain struct on the hot path.
+  struct Deferred {
+    std::atomic<std::size_t> executions{0};
+    std::atomic<std::size_t> failures{0};
+    std::atomic<double> cost{0.0};
+  };
+
+  /// Everything a straggler variant may touch after the caller has returned.
+  struct IncrementalState {
+    IncrementalState(const In& in,
+                     std::shared_ptr<std::vector<Variant<In, Out>>> vs,
+                     std::shared_ptr<Deferred> d, std::size_t n)
+        : input(in),
+          variants(std::move(vs)),
+          deferred(std::move(d)),
+          arrived(n) {}
+
+    const In input;
+    std::shared_ptr<std::vector<Variant<In, Out>>> variants;
+    std::shared_ptr<Deferred> deferred;
+    std::vector<std::optional<Ballot<Out>>> arrived;
+    std::size_t arrived_count = 0;
+    std::size_t done = 0;
+    bool caller_gone = false;
+    std::mutex m;
+    std::condition_variable cv;
+    util::CancellationToken token;
+  };
+
+  Result<Out> run_incremental(const In& input) {
+    const std::size_t n = variants_->size();
+    auto& pool = util::ThreadPool::shared();
+    auto st =
+        std::make_shared<IncrementalState>(input, variants_, deferred_, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      pool.post(util::ThreadPool::Task{[st, i] {
+        if (st->token.cancelled()) {
+          // Skipped before starting: no work done, nothing to account.
+          std::lock_guard lock(st->m);
+          ++st->done;
+          return;
+        }
+        const Variant<In, Out>& v = (*st->variants)[i];
+        Result<Out> r = v(st->input);
+        std::unique_lock lock(st->m);
+        ++st->done;
+        if (st->caller_gone) {
+          // The verdict is already out; fold this work in later.
+          st->deferred->executions.fetch_add(1, std::memory_order_relaxed);
+          st->deferred->cost.fetch_add(v.cost, std::memory_order_relaxed);
+          if (!r.has_value()) {
+            st->deferred->failures.fetch_add(1, std::memory_order_relaxed);
+          }
+          return;
+        }
+        st->arrived[i].emplace(Ballot<Out>{i, v.name, std::move(r)});
+        ++st->arrived_count;
+        lock.unlock();
+        st->cv.notify_all();
+      }});
+    }
+
+    std::optional<Result<Out>> early;
+    std::size_t last_voted = 0;
+    std::unique_lock lock(st->m);
+    pool.help_until(lock, st->cv, [&] {
+      if (st->done == n) return true;
+      if (st->arrived_count > last_voted) {
+        last_voted = st->arrived_count;
+        ++metrics_.adjudications;
+        Result<Out> v = voter_(padded_ballots(*st, n));
+        if (v.has_value()) {
+          early.emplace(std::move(v));
+          return true;
+        }
+      }
+      return false;
+    });
+
+    // Account every ballot that made it in before we leave; stragglers go
+    // through the Deferred counters instead.
+    bool failed_seen = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!st->arrived[i].has_value()) continue;
+      account((*variants_)[i]);
+      if (!st->arrived[i]->result.has_value()) {
+        ++metrics_.variant_failures;
+        failed_seen = true;
+      }
+    }
+
+    if (early.has_value()) {
+      st->caller_gone = true;
+      st->token.cancel();
+      lock.unlock();
+      Result<Out> verdict = std::move(*early);
+      finish(verdict, failed_seen);
+      return verdict;
+    }
+
+    // All variants finished without an early success: vote the full set.
+    std::vector<Ballot<Out>> ballots;
+    ballots.reserve(st->arrived_count);
+    for (auto& slot : st->arrived) {
+      if (slot.has_value()) ballots.push_back(std::move(*slot));
+    }
+    lock.unlock();
+    ++metrics_.adjudications;
+    Result<Out> verdict = voter_(ballots);
+    finish(verdict, failed_seen);
+    return verdict;
+  }
+
+  /// Arrived ballots plus failure placeholders for the rest, so the voter
+  /// sees the full electorate size (a strict majority of n stays a strict
+  /// majority once every ballot is in).
+  static std::vector<Ballot<Out>> padded_ballots(const IncrementalState& st,
+                                                 std::size_t n) {
+    std::vector<Ballot<Out>> ballots;
+    ballots.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (st.arrived[i].has_value()) {
+        ballots.push_back(*st.arrived[i]);
+      } else {
+        ballots.push_back({i, (*st.variants)[i].name,
+                           failure(FailureKind::unavailable,
+                                   "ballot not yet available")});
+      }
+    }
+    return ballots;
+  }
+
+  static bool any_failed(const std::vector<Ballot<Out>>& ballots) {
+    for (const auto& b : ballots) {
+      if (!b.result.has_value()) return true;
+    }
+    return false;
+  }
+
+  void finish(const Result<Out>& verdict, bool failed_seen) {
+    if (verdict.has_value()) {
+      if (failed_seen) ++metrics_.recoveries;
+    } else {
+      ++metrics_.unrecovered;
+    }
+  }
+
   void account(const Variant<In, Out>& v) {
     ++metrics_.variant_executions;
     metrics_.cost_units += v.cost;
   }
 
-  std::vector<Variant<In, Out>> variants_;
+  void fold_deferred() const noexcept {
+    const std::size_t ex =
+        deferred_->executions.exchange(0, std::memory_order_relaxed);
+    const std::size_t fl =
+        deferred_->failures.exchange(0, std::memory_order_relaxed);
+    const double cost = deferred_->cost.exchange(0.0, std::memory_order_relaxed);
+    metrics_.variant_executions += ex;
+    metrics_.variant_failures += fl;
+    metrics_.cost_units += cost;
+  }
+
+  std::shared_ptr<std::vector<Variant<In, Out>>> variants_;
   Voter<Out> voter_;
   Concurrency mode_;
-  Metrics metrics_;
+  Adjudication adjudication_;
+  std::shared_ptr<Deferred> deferred_;
+  mutable Metrics metrics_;
 };
 
 }  // namespace redundancy::core

@@ -6,12 +6,29 @@
 // "acting / hot spare" discipline of self-checking programming (Laprie et
 // al.): a failed acting component is discarded and its spare takes over, so
 // redundancy is progressively consumed.
+//
+// With Options::concurrency == Concurrency::threaded the components fan out
+// on the shared pool through submit_first_wins: the first result to *arrive*
+// and pass its acceptance test is returned immediately, the shared
+// cancellation token skips components that have not started, and stragglers
+// finish in the background. Selection is therefore by completion time rather
+// than by component priority — the latency-optimal reading of Figure 1(b).
+// Straggler bookkeeping (failed acceptance tests, disables, cost) is folded
+// into the metrics on the next call.
 #pragma once
 
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "core/concurrency.hpp"
 #include "core/metrics.hpp"
 #include "core/variant.hpp"
+#include "util/thread_pool.hpp"
 
 namespace redundancy::core {
 
@@ -27,22 +44,74 @@ class ParallelSelection {
     /// Take failing components permanently out of service.
     bool disable_on_failure = true;
     /// Stop executing spares once a passing result is found. Figure 1(b)
-    /// runs everything in parallel, so the default is to run all.
+    /// runs everything in parallel, so the default is to run all. Threaded
+    /// execution is inherently lazy (first acceptable ballot wins).
     bool lazy = false;
+    /// Sequential keeps priority order; threaded returns the first passing
+    /// result to arrive. Components must be thread-safe when threaded.
+    Concurrency concurrency = Concurrency::sequential;
   };
 
   explicit ParallelSelection(std::vector<Checked> components,
                              Options options = {})
-      : components_(std::move(components)), options_(options) {}
+      : components_(std::make_shared<std::vector<Checked>>(
+            std::move(components))),
+        options_(options),
+        pending_(std::make_shared<Pending>(components_->size())) {}
 
   Result<Out> run(const In& input) {
+    fold_pending();
     ++metrics_.requests;
+    if (options_.concurrency == Concurrency::threaded) {
+      if constexpr (std::is_copy_constructible_v<In>) {
+        return run_threaded(input);
+      }
+    }
+    return run_sequential(input);
+  }
+
+  /// Index of the component whose result was last selected.
+  [[nodiscard]] std::size_t acting() const noexcept { return acting_; }
+  [[nodiscard]] std::size_t alive() const noexcept {
+    fold_pending();
+    std::size_t n = 0;
+    for (const auto& c : *components_) n += c.variant.enabled ? 1 : 0;
+    return n;
+  }
+  /// Re-enable every component (e.g. after repair / redeployment).
+  void reinstate_all() noexcept {
+    fold_pending();
+    for (auto& c : *components_) c.variant.enabled = true;
+  }
+
+  [[nodiscard]] const Metrics& metrics() const noexcept {
+    fold_pending();
+    return metrics_;
+  }
+  void reset_metrics() noexcept {
+    fold_pending();
+    metrics_.reset();
+  }
+
+ private:
+  /// Bookkeeping written by straggler components after an early return,
+  /// folded into metrics_/enabled flags on the next call from the owner.
+  struct Pending {
+    explicit Pending(std::size_t n) : failed(n) {}
+    std::vector<std::atomic<bool>> failed;
+    std::atomic<std::size_t> executions{0};
+    std::atomic<std::size_t> failures{0};
+    std::atomic<std::size_t> adjudications{0};
+    std::atomic<double> cost{0.0};
+  };
+
+  Result<Out> run_sequential(const In& input) {
     Result<Out> selected =
         failure(FailureKind::no_alternatives, "all components disabled");
     bool have = false;
     bool any_failed = false;
-    for (std::size_t i = 0; i < components_.size(); ++i) {
-      auto& c = components_[i];
+    for (std::size_t i = 0; i < components_->size(); ++i) {
+      auto& c = (*components_)[i];
       if (!c.variant.enabled) continue;
       if (options_.lazy && have) break;
       ++metrics_.variant_executions;
@@ -76,25 +145,88 @@ class ParallelSelection {
     return selected;
   }
 
-  /// Index of the component whose result was last selected.
-  [[nodiscard]] std::size_t acting() const noexcept { return acting_; }
-  [[nodiscard]] std::size_t alive() const noexcept {
-    std::size_t n = 0;
-    for (const auto& c : components_) n += c.variant.enabled ? 1 : 0;
-    return n;
-  }
-  /// Re-enable every component (e.g. after repair / redeployment).
-  void reinstate_all() noexcept {
-    for (auto& c : components_) c.variant.enabled = true;
+  Result<Out> run_threaded(const In& input) {
+    // Everything a straggler may touch after run() returns: its own copy of
+    // the input plus shared ownership of the components and the fold-later
+    // counters.
+    struct Shared {
+      Shared(const In& in, std::shared_ptr<std::vector<Checked>> cs,
+             std::shared_ptr<Pending> p)
+          : input(in), components(std::move(cs)), pending(std::move(p)) {}
+      const In input;
+      std::shared_ptr<std::vector<Checked>> components;
+      std::shared_ptr<Pending> pending;
+    };
+    auto sh = std::make_shared<Shared>(input, components_, pending_);
+
+    std::vector<std::function<std::optional<Out>(const util::CancellationToken&)>>
+        tasks;
+    std::vector<std::size_t> index_of;  // task slot -> component index
+    for (std::size_t i = 0; i < components_->size(); ++i) {
+      if (!(*components_)[i].variant.enabled) continue;
+      index_of.push_back(i);
+      tasks.push_back(
+          [sh, i](const util::CancellationToken&) -> std::optional<Out> {
+            const Checked& c = (*sh->components)[i];
+            Pending& p = *sh->pending;
+            p.executions.fetch_add(1, std::memory_order_relaxed);
+            p.cost.fetch_add(c.variant.cost, std::memory_order_relaxed);
+            Result<Out> r = c.variant(sh->input);
+            p.adjudications.fetch_add(1, std::memory_order_relaxed);
+            if (r.has_value() && c.check(sh->input, r.value())) {
+              return std::move(r).take();
+            }
+            p.failures.fetch_add(1, std::memory_order_relaxed);
+            p.failed[i].store(true, std::memory_order_release);
+            return std::nullopt;
+          });
+    }
+    if (tasks.empty()) {
+      ++metrics_.unrecovered;
+      return failure(FailureKind::no_alternatives, "all components disabled");
+    }
+
+    auto fw = util::ThreadPool::shared().submit_first_wins<Out>(std::move(tasks));
+    const std::size_t failures_folded = fold_pending();
+    if (fw.value.has_value()) {
+      acting_ = index_of[fw.winner];
+      if (failures_folded > 0) ++metrics_.recoveries;
+      return Result<Out>{std::move(*fw.value)};
+    }
+    ++metrics_.unrecovered;
+    return failure(FailureKind::no_alternatives, "no passing component");
   }
 
-  [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
-  void reset_metrics() noexcept { metrics_.reset(); }
+  /// Fold straggler bookkeeping into metrics_ and the enabled flags. Only
+  /// the owning thread touches metrics_ and `enabled`, so this is race-free
+  /// as long as run()/metrics() are not called concurrently (they never
+  /// were). Returns the number of failures folded in.
+  std::size_t fold_pending() const noexcept {
+    Pending& p = *pending_;
+    const std::size_t ex = p.executions.exchange(0, std::memory_order_relaxed);
+    const std::size_t fl = p.failures.exchange(0, std::memory_order_relaxed);
+    const std::size_t ad =
+        p.adjudications.exchange(0, std::memory_order_relaxed);
+    const double cost = p.cost.exchange(0.0, std::memory_order_relaxed);
+    metrics_.variant_executions += ex;
+    metrics_.variant_failures += fl;
+    metrics_.adjudications += ad;
+    metrics_.cost_units += cost;
+    for (std::size_t i = 0; i < p.failed.size(); ++i) {
+      if (!p.failed[i].exchange(false, std::memory_order_acq_rel)) continue;
+      auto& c = (*components_)[i];
+      if (options_.disable_on_failure && c.variant.enabled) {
+        c.variant.enabled = false;
+        ++metrics_.disabled_components;
+      }
+    }
+    return fl;
+  }
 
- private:
-  std::vector<Checked> components_;
+  std::shared_ptr<std::vector<Checked>> components_;
   Options options_;
-  Metrics metrics_;
+  std::shared_ptr<Pending> pending_;
+  mutable Metrics metrics_;
   std::size_t acting_ = 0;
 };
 

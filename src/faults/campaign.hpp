@@ -2,14 +2,25 @@
 // experiment. A campaign drives a system-under-test with a seeded workload,
 // checks each response against an oracle, and reports reliability with
 // confidence intervals.
+//
+// Request i draws from its own generator, derived from the campaign seed by
+// counter-based splitting (util::Rng::split(i), SplitMix64-style). The draw
+// sequence of request i is therefore a pure function of (seed, i) — never of
+// which worker processed it or of how many requests ran before it — so
+// run_campaign_parallel produces byte-identical counts for any worker count,
+// and identical to the serial run_campaign.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/result.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace redundancy::faults {
 
@@ -26,7 +37,50 @@ struct CampaignReport {
   [[nodiscard]] double reliability_value() const { return reliability.value(); }
   [[nodiscard]] double safety_value() const { return safety.value(); }
   [[nodiscard]] std::string summary() const;
+
+  /// Pool another (shard) report into this one. Counts and proportions are
+  /// sums, so merging is commutative and associative; the name is kept.
+  void merge(const CampaignReport& other) {
+    requests += other.requests;
+    correct += other.correct;
+    wrong += other.wrong;
+    detected += other.detected;
+    reliability.merge(other.reliability);
+    safety.merge(other.safety);
+  }
 };
+
+namespace detail {
+
+/// Judge one request and record it. Shared by the serial and parallel
+/// runners so their per-request behaviour cannot drift apart.
+template <typename In, typename Out>
+void campaign_step(CampaignReport& report, std::size_t i, const util::Rng& base,
+                   const std::function<In(std::size_t, util::Rng&)>& workload,
+                   const std::function<core::Result<Out>(const In&)>& system,
+                   const std::function<Out(const In&)>& oracle) {
+  util::Rng rng = base.split(i);
+  const In input = workload(i, rng);
+  core::Result<Out> out = system(input);
+  ++report.requests;
+  bool is_correct = false;
+  bool is_detected = false;
+  if (out.has_value()) {
+    if (out.value() == oracle(input)) {
+      ++report.correct;
+      is_correct = true;
+    } else {
+      ++report.wrong;
+    }
+  } else {
+    ++report.detected;
+    is_detected = true;
+  }
+  report.reliability.add(is_correct);
+  report.safety.add(is_correct || is_detected);
+}
+
+}  // namespace detail
 
 /// Run `requests` inputs from `workload` through `system`, judging each
 /// output against `oracle`.
@@ -38,28 +92,76 @@ CampaignReport run_campaign(std::string name, std::size_t requests,
                             std::uint64_t seed = 1) {
   CampaignReport report;
   report.name = std::move(name);
-  util::Rng rng{seed};
+  const util::Rng base{seed};
   for (std::size_t i = 0; i < requests; ++i) {
-    const In input = workload(i, rng);
-    core::Result<Out> out = system(input);
-    ++report.requests;
-    bool is_correct = false;
-    bool is_detected = false;
-    if (out.has_value()) {
-      if (out.value() == oracle(input)) {
-        ++report.correct;
-        is_correct = true;
-      } else {
-        ++report.wrong;
-      }
-    } else {
-      ++report.detected;
-      is_detected = true;
-    }
-    report.reliability.add(is_correct);
-    report.safety.add(is_correct || is_detected);
+    detail::campaign_step<In, Out>(report, i, base, workload, system, oracle);
   }
   return report;
+}
+
+/// Parallel campaign: contiguous shards of the request stream run on the
+/// shared pool, one system instance per shard (built by `system_factory` on
+/// the calling thread, so factories need not be thread-safe — this is how
+/// stateful systems, e.g. techniques holding their own RNG or disable flags,
+/// stay race-free). Shard reports merge in shard order. Thanks to
+/// counter-based seed splitting the merged counts are byte-identical for any
+/// `workers` value, including 1, and identical to run_campaign — provided
+/// the system's response to request i does not depend on which requests it
+/// served before (true of the stateless systems the experiments measure).
+/// Task exceptions are forwarded to the caller.
+template <typename In, typename Out>
+CampaignReport run_campaign_parallel(
+    std::string name, std::size_t requests,
+    std::function<In(std::size_t, util::Rng&)> workload,
+    std::function<std::function<core::Result<Out>(const In&)>()> system_factory,
+    std::function<Out(const In&)> oracle, std::uint64_t seed = 1,
+    std::size_t workers = 0) {
+  auto& pool = util::ThreadPool::shared();
+  if (workers == 0) workers = pool.size();
+  workers = std::clamp<std::size_t>(workers, 1, std::max<std::size_t>(1, requests));
+
+  const util::Rng base{seed};
+  std::vector<std::function<core::Result<Out>(const In&)>> systems;
+  systems.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) systems.push_back(system_factory());
+
+  std::vector<CampaignReport> shards(workers);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(workers);
+  const std::size_t chunk = requests / workers;
+  const std::size_t extra = requests % workers;
+  std::size_t begin = 0;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t end = begin + chunk + (w < extra ? 1 : 0);
+    tasks.push_back([&shards, &systems, &workload, &oracle, &base, w, begin,
+                     end] {
+      for (std::size_t i = begin; i < end; ++i) {
+        detail::campaign_step<In, Out>(shards[w], i, base, workload,
+                                       systems[w], oracle);
+      }
+    });
+    begin = end;
+  }
+  pool.run_all(std::move(tasks), util::ThreadPool::ExceptionPolicy::forward);
+
+  CampaignReport report;
+  report.name = std::move(name);
+  for (const auto& shard : shards) report.merge(shard);
+  return report;
+}
+
+/// Convenience overload for a single thread-safe (typically stateless)
+/// system shared by every shard.
+template <typename In, typename Out>
+CampaignReport run_campaign_parallel(
+    std::string name, std::size_t requests,
+    std::function<In(std::size_t, util::Rng&)> workload,
+    std::function<core::Result<Out>(const In&)> system,
+    std::function<Out(const In&)> oracle, std::uint64_t seed = 1,
+    std::size_t workers = 0) {
+  return run_campaign_parallel<In, Out>(
+      std::move(name), requests, std::move(workload),
+      [&system] { return system; }, std::move(oracle), seed, workers);
 }
 
 }  // namespace redundancy::faults

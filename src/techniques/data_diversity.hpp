@@ -106,9 +106,11 @@ class NCopyProgramming {
  public:
   NCopyProgramming(std::function<core::Result<Out>(const In&)> program,
                    std::vector<ReExpression<In, Out>> reexpressions,
-                   core::Voter<Out> voter = core::majority_voter<Out>())
+                   core::Voter<Out> voter = core::majority_voter<Out>(),
+                   core::Concurrency mode = core::Concurrency::sequential,
+                   core::Adjudication adjudication = core::Adjudication::join_all)
       : engine_(wrap(std::move(program), std::move(reexpressions)),
-                std::move(voter)) {}
+                std::move(voter), mode, adjudication) {}
 
   core::Result<Out> run(const In& input) { return engine_.run(input); }
 

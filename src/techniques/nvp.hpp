@@ -22,12 +22,16 @@ class NVersionProgramming {
  public:
   /// `versions` are the independently developed implementations. The
   /// default adjudicator is the strict-majority voter; pass e.g.
-  /// core::median_voter for inexact voting.
+  /// core::median_voter for inexact voting. With Concurrency::threaded +
+  /// Adjudication::incremental the vote is re-taken as ballots arrive and
+  /// run() returns as soon as a majority exists — only sound for
+  /// majority-style voters (see core/concurrency.hpp).
   explicit NVersionProgramming(
       std::vector<core::Variant<In, Out>> versions,
       core::Voter<Out> voter = core::majority_voter<Out>(),
-      core::Concurrency mode = core::Concurrency::sequential)
-      : engine_(std::move(versions), std::move(voter), mode) {}
+      core::Concurrency mode = core::Concurrency::sequential,
+      core::Adjudication adjudication = core::Adjudication::join_all)
+      : engine_(std::move(versions), std::move(voter), mode, adjudication) {}
 
   core::Result<Out> run(const In& input) { return engine_.run(input); }
 

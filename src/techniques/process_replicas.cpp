@@ -1,5 +1,9 @@
 #include "techniques/process_replicas.hpp"
 
+#include <optional>
+
+#include "util/thread_pool.hpp"
+
 namespace redundancy::techniques {
 
 ProcessReplicas::ProcessReplicas(
@@ -42,10 +46,27 @@ core::Result<vm::Behaviour> ProcessReplicas::serve(
   ++requests_;
   std::vector<core::Ballot<vm::Behaviour>> ballots;
   ballots.reserve(vms_.size());
-  for (std::size_t r = 0; r < vms_.size(); ++r) {
-    auto behaviour = vms_[r]->run(partitions_[r].base, request);
-    ballots.push_back(
-        {r, "replica-" + std::to_string(r), std::move(behaviour)});
+  if (options_.concurrency == core::Concurrency::threaded) {
+    // Replicas are disjoint VMs, so each can run on its own worker; the
+    // barrier below keeps the comparison over the complete behaviour set.
+    std::vector<std::optional<core::Ballot<vm::Behaviour>>> slots(vms_.size());
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(vms_.size());
+    for (std::size_t r = 0; r < vms_.size(); ++r) {
+      tasks.push_back([this, r, &slots, &request] {
+        slots[r].emplace(core::Ballot<vm::Behaviour>{
+            r, "replica-" + std::to_string(r),
+            vms_[r]->run(partitions_[r].base, request)});
+      });
+    }
+    util::ThreadPool::shared().run_all(std::move(tasks));
+    for (auto& slot : slots) ballots.push_back(std::move(*slot));
+  } else {
+    for (std::size_t r = 0; r < vms_.size(); ++r) {
+      auto behaviour = vms_[r]->run(partitions_[r].base, request);
+      ballots.push_back(
+          {r, "replica-" + std::to_string(r), std::move(behaviour)});
+    }
   }
   auto verdict = core::unanimity_voter<vm::Behaviour>()(ballots);
   if (!verdict.has_value() &&

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "core/concurrency.hpp"
 #include "core/registry.hpp"
 #include "core/voters.hpp"
 #include "vm/address_space.hpp"
@@ -34,6 +35,10 @@ class ProcessReplicas {
     bool tag_instructions = true;     ///< Cox mechanism 2
     std::size_t memory_words = 4096;
     std::uint64_t max_steps = 20'000;
+    /// Threaded runs each replica VM on the shared pool (VMs are disjoint,
+    /// so this is safe); the comparison still waits for every replica —
+    /// divergence detection needs the full behaviour set.
+    core::Concurrency concurrency = core::Concurrency::sequential;
   };
 
   /// Load `program` into every replica; `plant` pokes per-replica data

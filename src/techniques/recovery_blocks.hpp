@@ -10,8 +10,10 @@
 #pragma once
 
 #include <optional>
+#include <utility>
 #include <vector>
 
+#include "core/parallel_selection.hpp"
 #include "core/registry.hpp"
 #include "core/sequential_alternatives.hpp"
 #include "env/checkpoint.hpp"
@@ -74,6 +76,51 @@ class RecoveryBlocks {
   std::optional<env::CheckpointStore> store_;
   env::Checkpointable* state_ = nullptr;
   core::SequentialAlternatives<In, Out> engine_;
+};
+
+/// Concurrent recovery blocks: primary and alternates race on the shared
+/// pool and the first result to pass the acceptance test is returned
+/// (Randell's scheme with the rollback latency traded for redundant
+/// execution cost). Only valid for *stateless* (pure) alternates — there is
+/// no checkpoint to restore because nothing shared is mutated — and the
+/// alternates must be thread-safe. Unlike the sequential form, a rejected
+/// alternate is not taken out of service: rejection reflects this input,
+/// not component death.
+template <typename In, typename Out>
+class ConcurrentRecoveryBlocks {
+ public:
+  ConcurrentRecoveryBlocks(std::vector<core::Variant<In, Out>> alternates,
+                           core::AcceptanceTest<In, Out> acceptance)
+      : engine_(wrap(std::move(alternates), std::move(acceptance)),
+                typename core::ParallelSelection<In, Out>::Options{
+                    .disable_on_failure = false,
+                    .lazy = true,
+                    .concurrency = core::Concurrency::threaded}) {}
+
+  core::Result<Out> run(const In& input) { return engine_.run(input); }
+
+  /// Index of the alternate whose result was last accepted.
+  [[nodiscard]] std::size_t last_used_alternate() const noexcept {
+    return engine_.acting();
+  }
+  [[nodiscard]] const core::Metrics& metrics() const noexcept {
+    return engine_.metrics();
+  }
+  void reset_metrics() noexcept { engine_.reset_metrics(); }
+
+ private:
+  static std::vector<typename core::ParallelSelection<In, Out>::Checked> wrap(
+      std::vector<core::Variant<In, Out>> alternates,
+      core::AcceptanceTest<In, Out> acceptance) {
+    std::vector<typename core::ParallelSelection<In, Out>::Checked> checked;
+    checked.reserve(alternates.size());
+    for (auto& alt : alternates) {
+      checked.push_back({std::move(alt), acceptance});
+    }
+    return checked;
+  }
+
+  core::ParallelSelection<In, Out> engine_;
 };
 
 }  // namespace redundancy::techniques

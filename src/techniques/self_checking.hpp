@@ -54,10 +54,17 @@ class SelfCheckingProgramming {
     return Component{std::move(fused), core::accept_all<In, Out>()};
   }
 
-  explicit SelfCheckingProgramming(std::vector<Component> components)
+  /// With Concurrency::threaded the components fan out on the shared pool
+  /// and the first passing result to arrive wins (components must be
+  /// thread-safe); sequential keeps the acting/spare priority order.
+  explicit SelfCheckingProgramming(
+      std::vector<Component> components,
+      core::Concurrency mode = core::Concurrency::sequential)
       : engine_(std::move(components),
                 typename core::ParallelSelection<In, Out>::Options{
-                    .disable_on_failure = true, .lazy = false}) {}
+                    .disable_on_failure = true,
+                    .lazy = false,
+                    .concurrency = mode}) {}
 
   core::Result<Out> run(const In& input) { return engine_.run(input); }
 

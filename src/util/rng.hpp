@@ -117,6 +117,18 @@ class Rng {
     return Rng{s};
   }
 
+  /// Derive the `stream`-th child generator WITHOUT mutating this one:
+  /// a counter-based SplitMix64 derivation over (state, stream), so
+  /// split(i) is a pure function of the parent's seed and i. The parallel
+  /// campaign runner relies on this to give request i the same generator
+  /// no matter which worker (or how many workers) processes it.
+  [[nodiscard]] Rng split(std::uint64_t stream) const noexcept {
+    std::uint64_t sm = state_[0] ^ rotl(state_[1], 13) ^ rotl(state_[2], 29) ^
+                       rotl(state_[3], 43);
+    sm += stream;
+    return Rng{splitmix64(sm)};
+  }
+
   /// Fisher-Yates shuffle of a random-access container.
   template <typename Container>
   void shuffle(Container& c) noexcept {

@@ -48,6 +48,13 @@ class Proportion {
   /// Wilson score interval at 95%.
   [[nodiscard]] std::pair<double, double> wilson95() const noexcept;
 
+  /// Pool another sample into this one (commutative and associative, so
+  /// shard-local proportions can be merged in any order).
+  void merge(const Proportion& other) noexcept {
+    n_ += other.n_;
+    k_ += other.k_;
+  }
+
  private:
   std::size_t n_ = 0;
   std::size_t k_ = 0;

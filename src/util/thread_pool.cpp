@@ -1,59 +1,201 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
+#include <cstdlib>
+#include <exception>
 
 namespace redundancy::util {
+
+namespace {
+
+// Which pool (if any) owns the current thread, and that worker's queue
+// index. Lets submit-from-worker go to the submitter's own deque, keeping
+// recursive fan-out cache-local and contention-free.
+thread_local ThreadPool* tls_pool = nullptr;
+thread_local std::size_t tls_index = 0;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(2, std::thread::hardware_concurrency());
   }
+  queues_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
-    stopping_ = true;
+    std::lock_guard lock(sleep_mutex_);
+    stopping_.store(true, std::memory_order_release);
   }
-  cv_.notify_all();
+  sleep_cv_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (stopping_ && queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop();
+void ThreadPool::post(Task task) {
+  std::size_t qi;
+  if (tls_pool == this) {
+    qi = tls_index;
+  } else {
+    qi = next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  }
+  {
+    std::lock_guard lock(queues_[qi]->m);
+    queues_[qi]->q.push_back(std::move(task));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  sleep_cv_.notify_one();
+}
+
+bool ThreadPool::on_worker_thread() const noexcept { return tls_pool == this; }
+
+bool ThreadPool::try_pop(std::size_t self, Task& out) {
+  // active_ rises before pending_ falls, so wait_idle never observes
+  // "nothing queued, nothing running" for a task that is between queues.
+  {  // Own deque first, newest task first: depth-first, cache-hot.
+    WorkerQueue& mine = *queues_[self];
+    std::lock_guard lock(mine.m);
+    if (!mine.q.empty()) {
+      out = std::move(mine.q.back());
+      mine.q.pop_back();
+      active_.fetch_add(1, std::memory_order_release);
+      pending_.fetch_sub(1, std::memory_order_release);
+      return true;
     }
-    task();
+  }
+  // Steal the oldest task from a victim, scanning from our right neighbour.
+  const std::size_t n = queues_.size();
+  for (std::size_t offset = 1; offset < n; ++offset) {
+    WorkerQueue& victim = *queues_[(self + offset) % n];
+    std::lock_guard lock(victim.m);
+    if (!victim.q.empty()) {
+      out = std::move(victim.q.front());
+      victim.q.pop_front();
+      active_.fetch_add(1, std::memory_order_release);
+      pending_.fetch_sub(1, std::memory_order_release);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ThreadPool::try_run_one() {
+  Task task;
+  const std::size_t start = tls_pool == this ? tls_index : 0;
+  const std::size_t n = queues_.size();
+  bool got = false;
+  for (std::size_t offset = 0; offset < n && !got; ++offset) {
+    WorkerQueue& victim = *queues_[(start + offset) % n];
+    std::lock_guard lock(victim.m);
+    if (!victim.q.empty()) {
+      task = std::move(victim.q.front());
+      victim.q.pop_front();
+      active_.fetch_add(1, std::memory_order_release);
+      pending_.fetch_sub(1, std::memory_order_release);
+      got = true;
+    }
+  }
+  if (!got) return false;
+  task();
+  active_.fetch_sub(1, std::memory_order_release);
+  return true;
+}
+
+void ThreadPool::wait_idle() {
+  for (;;) {
+    while (try_run_one()) {
+    }
+    if (pending_.load(std::memory_order_acquire) == 0 &&
+        active_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  tls_pool = this;
+  tls_index = self;
+  for (;;) {
+    Task task;
+    if (try_pop(self, task)) {
+      task();
+      active_.fetch_sub(1, std::memory_order_release);
+      continue;
+    }
+    if (stopping_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+    // post() notifies without holding sleep_mutex_ (keeps the submit hot
+    // path off the global lock), so a notify can race past the predicate
+    // check; the timed wait bounds that lost-wakeup window to 1ms.
+    std::unique_lock lock(sleep_mutex_);
+    sleep_cv_.wait_for(lock, std::chrono::milliseconds(1), [this] {
+      return stopping_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
   }
 }
 
 void ThreadPool::run_all(std::vector<std::function<void()>> tasks) {
+  run_all(std::move(tasks), ExceptionPolicy::swallow);
+}
+
+void ThreadPool::run_all(std::vector<std::function<void()>> tasks,
+                         ExceptionPolicy policy) {
   if (tasks.empty()) return;
-  std::atomic<std::size_t> remaining{tasks.size()};
-  std::promise<void> done;
-  auto fut = done.get_future();
+  struct State {
+    std::mutex m;
+    std::condition_variable cv;
+    std::size_t remaining;
+    std::exception_ptr first_error;
+  };
+  auto st = std::make_shared<State>();
+  st->remaining = tasks.size();
   for (auto& t : tasks) {
-    submit([&remaining, &done, task = std::move(t)] {
-      task();
-      if (remaining.fetch_sub(1) == 1) done.set_value();
-    });
+    post(Task{[st, task = std::move(t)] {
+      std::exception_ptr error;
+      try {
+        task();
+      } catch (...) {
+        error = std::current_exception();
+      }
+      {
+        std::lock_guard lock(st->m);
+        if (error && !st->first_error) st->first_error = error;
+        --st->remaining;
+      }
+      st->cv.notify_all();
+    }});
   }
-  fut.wait();
+  std::unique_lock lock(st->m);
+  help_until(lock, st->cv, [&] { return st->remaining == 0; });
+  if (policy == ExceptionPolicy::forward && st->first_error) {
+    std::rethrow_exception(st->first_error);
+  }
+}
+
+std::size_t ThreadPool::shared_size_from_env() noexcept {
+  if (const char* env = std::getenv("REDUNDANCY_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0 && v <= 1024) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  return std::max<std::size_t>(std::thread::hardware_concurrency(), 8);
 }
 
 ThreadPool& ThreadPool::shared() {
-  static ThreadPool pool;
+  static ThreadPool pool{shared_size_from_env()};
   return pool;
 }
 

@@ -1,20 +1,73 @@
-// Minimal work-stealing-free fixed thread pool used by the parallel
-// redundancy patterns (parallel evaluation / parallel selection).
+// Work-stealing fixed thread pool used by the parallel redundancy patterns
+// (parallel evaluation / parallel selection) and the parallel campaign
+// runner.
+//
+// Each worker owns a deque: it pushes and pops at the back (LIFO, cache-hot)
+// and thieves steal from the front (FIFO, oldest first). Submissions from
+// non-worker threads are distributed round-robin; submissions from a worker
+// go to that worker's own deque. Waiters (run_all, submit_first_wins, the
+// incremental adjudication loop in ParallelEvaluation) that are themselves
+// pool workers *help*: while blocked they steal and execute queued tasks, so
+// nested fan-out on the shared pool cannot deadlock even when every worker
+// is itself waiting. External waiters block instead — helping would let a
+// slow stolen task delay an already-decided early-return verdict.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
-#include <queue>
+#include <optional>
 #include <thread>
 #include <vector>
 
+#include "util/unique_function.hpp"
+
 namespace redundancy::util {
+
+/// Cooperative cancellation: a shared flag observed by in-flight tasks.
+/// Copies share the flag. Cancelling never interrupts a running task; it
+/// tells tasks that have not started (and cooperative loops inside tasks)
+/// that their result is no longer wanted.
+class CancellationToken {
+ public:
+  CancellationToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return flag_->load(std::memory_order_acquire);
+  }
+  void cancel() const noexcept {
+    flag_->store(true, std::memory_order_release);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
 
 class ThreadPool {
  public:
+  using Task = UniqueFunction<void()>;
+
+  enum class ExceptionPolicy {
+    swallow,  ///< drop exceptions thrown by tasks
+    forward,  ///< rethrow the first task exception in the waiting thread
+  };
+
+  /// Outcome of submit_first_wins.
+  template <typename R>
+  struct FirstWins {
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+    std::optional<R> value;     ///< the winning result, if any task produced one
+    std::size_t winner = npos;  ///< index of the winning task
+    std::size_t executed = 0;   ///< tasks that ran before cancellation took hold
+                                ///< (counted at the time the wait ended)
+  };
+
   /// Spawns `threads` workers (defaults to hardware concurrency, min 2).
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
@@ -22,36 +75,154 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueue a task; returns a future for its result.
+  /// Enqueue a task; returns a future for its result. The callable is moved
+  /// straight into the queue — no shared_ptr/packaged-task heap wrapping.
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
-    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
-    std::future<R> fut = task->get_future();
-    {
-      std::lock_guard lock(mutex_);
-      queue_.emplace([task] { (*task)(); });
-    }
-    cv_.notify_one();
+    std::packaged_task<R()> task{std::forward<F>(fn)};
+    std::future<R> fut = task.get_future();
+    post(Task{std::move(task)});
     return fut;
   }
 
-  /// Run all thunks, blocking until every one has completed.
+  /// Enqueue a fire-and-forget task. The task must not throw.
+  void post(Task task);
+
+  /// Run all thunks, blocking until every one has completed. Exceptions are
+  /// swallowed (historic behaviour); use the ExceptionPolicy overload to
+  /// forward them. The waiting thread helps execute queued tasks.
   void run_all(std::vector<std::function<void()>> tasks);
+  void run_all(std::vector<std::function<void()>> tasks,
+               ExceptionPolicy policy);
+
+  /// Submit every task and block until one returns an engaged optional (the
+  /// "first acceptable ballot") or all return nullopt. On a win the shared
+  /// CancellationToken is cancelled: queued tasks that have not started are
+  /// skipped, and stragglers already running finish in the background
+  /// without blocking the caller. Tasks must own (or share ownership of)
+  /// everything they touch, since they may outlive this call.
+  template <typename R>
+  FirstWins<R> submit_first_wins(
+      std::vector<std::function<std::optional<R>(const CancellationToken&)>>
+          tasks) {
+    FirstWins<R> out;
+    const std::size_t n = tasks.size();
+    if (n == 0) return out;
+
+    struct State {
+      std::mutex m;
+      std::condition_variable cv;
+      std::optional<R> value;
+      std::size_t winner = FirstWins<R>::npos;
+      std::size_t settled = 0;   // tasks finished or skipped
+      std::size_t executed = 0;  // tasks that actually ran
+      CancellationToken token;
+    };
+    auto st = std::make_shared<State>();
+
+    for (std::size_t i = 0; i < n; ++i) {
+      post(Task{[st, i, fn = std::move(tasks[i])] {
+        std::optional<R> r;
+        const bool ran = !st->token.cancelled();
+        if (ran) {
+          try {
+            r = fn(st->token);
+          } catch (...) {
+            r.reset();  // a throwing candidate is a losing candidate
+          }
+        }
+        {
+          std::lock_guard lock(st->m);
+          if (ran) ++st->executed;
+          if (r.has_value() && st->winner == FirstWins<R>::npos) {
+            st->winner = i;
+            st->value = std::move(r);
+            st->token.cancel();
+          }
+          ++st->settled;
+        }
+        st->cv.notify_all();
+      }});
+    }
+
+    std::unique_lock lock(st->m);
+    help_until(lock, st->cv, [&] {
+      return st->winner != FirstWins<R>::npos || st->settled == n;
+    });
+    out.value = st->value;  // winner is fixed once set; copy is race-free
+    out.winner = st->winner;
+    out.executed = st->executed;
+    return out;
+  }
+
+  /// Steal one queued task and run it on the calling thread. Returns false
+  /// if every deque was empty.
+  bool try_run_one();
+
+  /// Block until no task is queued or running — i.e. all stragglers from
+  /// first-wins / incremental-adjudication runs have settled. The caller
+  /// helps drain the queues while waiting.
+  void wait_idle();
+
+  /// Wait until done() holds. A caller that is itself a worker of this pool
+  /// helps with queued work instead of blocking (otherwise nested fan-out
+  /// could leave every worker waiting on tasks nobody runs). An external
+  /// caller just waits: helping would risk running a slow straggler inline
+  /// and missing an already-decided first-wins / incremental verdict.
+  /// `lock` must be held on entry and is held again on return; done() is
+  /// only evaluated under the lock.
+  template <typename Pred>
+  void help_until(std::unique_lock<std::mutex>& lock,
+                  std::condition_variable& cv, Pred done) {
+    const bool helper = on_worker_thread();
+    while (!done()) {
+      if (helper) {
+        lock.unlock();
+        const bool ran = try_run_one();
+        lock.lock();
+        if (done()) break;
+        if (ran) continue;
+      }
+      cv.wait_for(lock, std::chrono::milliseconds(1));
+    }
+  }
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
+  /// Number of tasks queued but not yet claimed by a worker.
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return pending_.load(std::memory_order_acquire);
+  }
+
   /// Process-wide shared pool for pattern executors that do not own one.
+  /// Sized from the REDUNDANCY_THREADS environment variable when set,
+  /// otherwise max(hardware concurrency, 8) — latency-bound redundancy
+  /// patterns want a variant-wide fan-out even on small machines.
   static ThreadPool& shared();
 
- private:
-  void worker_loop();
+  /// The size shared() would use (exposed so the env-var parsing is
+  /// testable without touching the process-wide singleton).
+  static std::size_t shared_size_from_env() noexcept;
 
+ private:
+  struct WorkerQueue {
+    std::mutex m;
+    std::deque<Task> q;
+  };
+
+  void worker_loop(std::size_t self);
+  bool try_pop(std::size_t self, Task& out);
+  [[nodiscard]] bool on_worker_thread() const noexcept;
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<std::size_t> active_{0};  ///< tasks currently executing
+  std::atomic<std::size_t> next_queue_{0};
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  std::atomic<bool> stopping_{false};
 };
 
 }  // namespace redundancy::util

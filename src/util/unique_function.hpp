@@ -1,0 +1,127 @@
+// Move-only callable wrapper with small-buffer optimization.
+//
+// std::function requires copyability, which forces task queues to wrap
+// move-only payloads (promises, packaged_tasks) in shared_ptr — one heap
+// allocation and two atomic refcount bumps per submitted task. UniqueFunction
+// stores any move-constructible callable, inline when it fits, so the
+// ThreadPool hot path allocates nothing for small closures.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace redundancy::util {
+
+template <typename Signature>
+class UniqueFunction;
+
+template <typename R, typename... Args>
+class UniqueFunction<R(Args...)> {
+  // Large enough for a packaged_task or a lambda with a few captured
+  // pointers; anything bigger spills to the heap.
+  static constexpr std::size_t kInlineSize = 6 * sizeof(void*);
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+ public:
+  UniqueFunction() noexcept = default;
+  UniqueFunction(std::nullptr_t) noexcept {}
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, UniqueFunction> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  UniqueFunction(F&& fn) {  // NOLINT(bugprone-forwarding-reference-overload)
+    if constexpr (sizeof(D) <= kInlineSize && alignof(D) <= kInlineAlign &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buffer_)) D(std::forward<F>(fn));
+      ops_ = &inline_ops<D>;
+    } else {
+      ::new (static_cast<void*>(buffer_))
+          D*(new D(std::forward<F>(fn)));
+      ops_ = &heap_ops<D>;
+    }
+  }
+
+  UniqueFunction(UniqueFunction&& other) noexcept { move_from(other); }
+
+  UniqueFunction& operator=(UniqueFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  ~UniqueFunction() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    return ops_->invoke(buffer_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void* storage, Args&&... args);
+    void (*relocate)(void* dst, void* src) noexcept;  // move into dst, destroy src
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename D>
+  static D& inline_target(void* storage) noexcept {
+    return *std::launder(reinterpret_cast<D*>(storage));
+  }
+  template <typename D>
+  static D*& heap_slot(void* storage) noexcept {
+    return *std::launder(reinterpret_cast<D**>(storage));
+  }
+
+  template <typename D>
+  static constexpr Ops inline_ops{
+      [](void* s, Args&&... args) -> R {
+        return inline_target<D>(s)(std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) D(std::move(inline_target<D>(src)));
+        inline_target<D>(src).~D();
+      },
+      [](void* s) noexcept { inline_target<D>(s).~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops heap_ops{
+      [](void* s, Args&&... args) -> R {
+        return (*heap_slot<D>(s))(std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) D*(heap_slot<D>(src));
+      },
+      [](void* s) noexcept { delete heap_slot<D>(s); },
+  };
+
+  void move_from(UniqueFunction& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(buffer_, other.buffer_);
+      ops_ = std::exchange(other.ops_, nullptr);
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buffer_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(kInlineAlign) unsigned char buffer_[kInlineSize]{};
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace redundancy::util

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "core/parallel_evaluation.hpp"
 #include "core/parallel_selection.hpp"
 #include "core/sequential_alternatives.hpp"
+#include "util/thread_pool.hpp"
 
 namespace redundancy::core {
 namespace {
@@ -75,6 +79,67 @@ TEST(ParallelEvaluation, ThreadedModeMatchesSequential) {
   }
 }
 
+TEST(ParallelEvaluation, ThreadedMasksMinorityFailure) {
+  ParallelEvaluation<int, int> pe{{good("a"), crashing("b"), good("c")},
+                                  majority_voter<int>(),
+                                  Concurrency::threaded};
+  auto out = pe.run(10);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out.value(), 20);
+  EXPECT_EQ(pe.metrics().recoveries, 1u);
+  EXPECT_EQ(pe.metrics().variant_executions, 3u);
+  EXPECT_EQ(pe.metrics().variant_failures, 1u);
+}
+
+TEST(ParallelEvaluation, IncrementalMatchesSequentialVerdicts) {
+  std::vector<Variant<int, int>> vs{good("a"), crashing("b"), good("c")};
+  ParallelEvaluation<int, int> seq{vs, majority_voter<int>()};
+  ParallelEvaluation<int, int> inc{vs, majority_voter<int>(),
+                                   Concurrency::threaded,
+                                   Adjudication::incremental};
+  for (int i = 0; i < 30; ++i) {
+    auto a = seq.run(i);
+    auto b = inc.run(i);
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(a.value(), b.value());
+  }
+  util::ThreadPool::shared().wait_idle();
+}
+
+TEST(ParallelEvaluation, IncrementalReturnsBeforeSlowStraggler) {
+  auto slow = make_variant<int, int>("slow", [](const int& x) -> Result<int> {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    return x * 2;
+  });
+  ParallelEvaluation<int, int> pe{{good("a"), good("b"), slow},
+                                  majority_voter<int>(),
+                                  Concurrency::threaded,
+                                  Adjudication::incremental};
+  const auto t0 = std::chrono::steady_clock::now();
+  auto out = pe.run(4);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out.value(), 8);  // the two fast agreeing variants carry the vote
+  EXPECT_LT(elapsed, std::chrono::milliseconds(90));
+  // The straggler's work is folded into the metrics once it lands — unless
+  // cancellation reached it before it started, in which case it never runs.
+  util::ThreadPool::shared().wait_idle();
+  EXPECT_GE(pe.metrics().variant_executions, 2u);
+  EXPECT_LE(pe.metrics().variant_executions, 3u);
+}
+
+TEST(ParallelEvaluation, IncrementalUnrecoveredWhenMajorityCrashes) {
+  ParallelEvaluation<int, int> pe{{crashing("a"), crashing("b"), good("c")},
+                                  majority_voter<int>(),
+                                  Concurrency::threaded,
+                                  Adjudication::incremental};
+  auto out = pe.run(1);
+  EXPECT_FALSE(out.has_value());
+  EXPECT_EQ(pe.metrics().unrecovered, 1u);
+  util::ThreadPool::shared().wait_idle();
+}
+
 TEST(ParallelEvaluation, UnrecoveredCounted) {
   ParallelEvaluation<int, int> pe{{crashing("a"), crashing("b"), good("c")},
                                   majority_voter<int>()};
@@ -141,6 +206,66 @@ TEST(ParallelSelection, AllFailedIsNoAlternatives) {
   out = ps.run(1);
   EXPECT_FALSE(out.has_value());
   EXPECT_EQ(ps.alive(), 0u);
+}
+
+TEST(ParallelSelection, ThreadedReturnsPassingResult) {
+  using PS = ParallelSelection<int, int>;
+  auto is_even = [](const int&, const int& out) { return out % 2 == 0; };
+  PS ps{{PS::Checked{good("odd", 1), is_even},
+         PS::Checked{good("even"), is_even}},
+        PS::Options{.disable_on_failure = false,
+                    .lazy = true,
+                    .concurrency = Concurrency::threaded}};
+  auto out = ps.run(4);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out.value(), 8);  // only "even" passes the acceptance test
+  EXPECT_EQ(ps.acting(), 1u);
+  util::ThreadPool::shared().wait_idle();
+}
+
+TEST(ParallelSelection, ThreadedDisablesCrashedComponent) {
+  using PS = ParallelSelection<int, int>;
+  PS ps{{PS::Checked{crashing("primary"), accept_all<int, int>()},
+         PS::Checked{good("spare"), accept_all<int, int>()}},
+        PS::Options{.concurrency = Concurrency::threaded}};
+  auto out = ps.run(3);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out.value(), 6);
+  EXPECT_EQ(ps.acting(), 1u);
+  util::ThreadPool::shared().wait_idle();  // let the straggler settle
+  EXPECT_EQ(ps.alive(), 1u);               // folding disables the crasher
+}
+
+TEST(ParallelSelection, ThreadedAllFailingIsNoAlternatives) {
+  using PS = ParallelSelection<int, int>;
+  PS ps{{PS::Checked{crashing("a"), accept_all<int, int>()},
+         PS::Checked{crashing("b"), accept_all<int, int>()}},
+        PS::Options{.concurrency = Concurrency::threaded}};
+  auto out = ps.run(1);
+  ASSERT_FALSE(out.has_value());
+  EXPECT_EQ(out.error().kind, FailureKind::no_alternatives);
+  EXPECT_EQ(ps.metrics().unrecovered, 1u);
+  util::ThreadPool::shared().wait_idle();
+  EXPECT_EQ(ps.alive(), 0u);
+}
+
+TEST(ParallelSelection, ThreadedFirstArrivalWinsOverPriority) {
+  using PS = ParallelSelection<int, int>;
+  auto slow_primary =
+      make_variant<int, int>("slow", [](const int& x) -> Result<int> {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        return x * 2;
+      });
+  PS ps{{PS::Checked{slow_primary, accept_all<int, int>()},
+         PS::Checked{good("fast", 100), accept_all<int, int>()}},
+        PS::Options{.disable_on_failure = false,
+                    .lazy = true,
+                    .concurrency = Concurrency::threaded}};
+  auto out = ps.run(1);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out.value(), 102);  // completion order, not priority order
+  EXPECT_EQ(ps.acting(), 1u);
+  util::ThreadPool::shared().wait_idle();
 }
 
 TEST(ParallelSelection, ReinstateRestoresService) {

@@ -1,0 +1,151 @@
+// Determinism contract of the parallel campaign runner: thanks to
+// counter-based seed splitting (util::Rng::split), request i draws the same
+// randomness no matter which worker serves it, so the merged counts are
+// byte-identical for any worker count and identical to the serial runner.
+#include "faults/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "faults/fault.hpp"
+
+namespace redundancy::faults {
+namespace {
+
+int golden(const int& x) { return x * 3; }
+
+std::function<int(std::size_t, util::Rng&)> uniform_workload() {
+  return [](std::size_t, util::Rng& rng) {
+    return static_cast<int>(rng.below(100'000));
+  };
+}
+
+/// A faulty system: bohrbug on ~20% of the input domain — failure is a pure
+/// function of the input, so any sharding sees the same outcomes.
+std::function<core::Result<int>(const int&)> faulty_system() {
+  auto inj = std::make_shared<FaultInjector<int, int>>("sut", golden);
+  inj->add(bohrbug<int, int>("b", 0.2, 17, core::FailureKind::crash));
+  return [inj](const int& x) { return (*inj)(x); };
+}
+
+bool same_counts(const CampaignReport& a, const CampaignReport& b) {
+  return a.requests == b.requests && a.correct == b.correct &&
+         a.wrong == b.wrong && a.detected == b.detected &&
+         a.reliability.trials() == b.reliability.trials() &&
+         a.reliability.successes() == b.reliability.successes() &&
+         a.safety.trials() == b.safety.trials() &&
+         a.safety.successes() == b.safety.successes();
+}
+
+TEST(CampaignParallel, CountsIdenticalForAnyWorkerCount) {
+  constexpr std::size_t kRequests = 2'000;
+  constexpr std::uint64_t kSeed = 42;
+  const auto serial = run_campaign<int, int>(
+      "serial", kRequests, uniform_workload(), faulty_system(),
+      std::function<int(const int&)>{golden}, kSeed);
+  EXPECT_GT(serial.detected, 0u);  // the bug fires: comparison is non-trivial
+  EXPECT_GT(serial.correct, 0u);
+  for (std::size_t workers : {1u, 2u, 8u}) {
+    const auto parallel = run_campaign_parallel<int, int>(
+        "parallel", kRequests, uniform_workload(),
+        [] { return faulty_system(); },
+        std::function<int(const int&)>{golden}, kSeed, workers);
+    EXPECT_TRUE(same_counts(serial, parallel)) << "workers=" << workers;
+  }
+}
+
+TEST(CampaignParallel, SharedSystemOverloadMatchesSerial) {
+  constexpr std::size_t kRequests = 1'000;
+  const auto system = faulty_system();
+  const auto serial = run_campaign<int, int>(
+      "serial", kRequests, uniform_workload(), system,
+      std::function<int(const int&)>{golden}, 7);
+  const auto parallel = run_campaign_parallel<int, int>(
+      "parallel", kRequests, uniform_workload(), system,
+      std::function<int(const int&)>{golden}, 7, 4);
+  EXPECT_TRUE(same_counts(serial, parallel));
+}
+
+TEST(CampaignParallel, FactoryBuildsOneSystemPerShard) {
+  std::atomic<int> built{0};
+  (void)run_campaign_parallel<int, int>(
+      "count", 100, uniform_workload(),
+      [&built]() -> std::function<core::Result<int>(const int&)> {
+        built.fetch_add(1);
+        return [](const int& x) -> core::Result<int> { return golden(x); };
+      },
+      std::function<int(const int&)>{golden}, 1, 4);
+  EXPECT_EQ(built.load(), 4);
+}
+
+TEST(CampaignParallel, WorkerCountClampedToRequests) {
+  const auto report = run_campaign_parallel<int, int>(
+      "tiny", 3, uniform_workload(),
+      [] { return faulty_system(); }, std::function<int(const int&)>{golden},
+      1, 16);
+  EXPECT_EQ(report.requests, 3u);
+}
+
+TEST(CampaignParallel, SystemExceptionReachesCaller) {
+  EXPECT_THROW(
+      (run_campaign_parallel<int, int>(
+          "throwing", 50, uniform_workload(),
+          []() -> std::function<core::Result<int>(const int&)> {
+            return [](const int&) -> core::Result<int> {
+              throw std::runtime_error{"sut exploded"};
+            };
+          },
+          std::function<int(const int&)>{golden}, 1, 2)),
+      std::runtime_error);
+}
+
+TEST(CampaignReportMerge, SumsCountsAndProportions) {
+  CampaignReport a;
+  a.name = "a";
+  a.requests = 10;
+  a.correct = 7;
+  a.wrong = 1;
+  a.detected = 2;
+  for (int i = 0; i < 7; ++i) a.reliability.add(true);
+  for (int i = 0; i < 3; ++i) a.reliability.add(false);
+  for (int i = 0; i < 9; ++i) a.safety.add(true);
+  a.safety.add(false);
+
+  CampaignReport b;
+  b.name = "b";
+  b.requests = 5;
+  b.correct = 5;
+  for (int i = 0; i < 5; ++i) {
+    b.reliability.add(true);
+    b.safety.add(true);
+  }
+
+  a.merge(b);
+  EXPECT_EQ(a.name, "a");  // merge keeps the receiver's name
+  EXPECT_EQ(a.requests, 15u);
+  EXPECT_EQ(a.correct, 12u);
+  EXPECT_EQ(a.wrong, 1u);
+  EXPECT_EQ(a.detected, 2u);
+  EXPECT_EQ(a.reliability.trials(), 15u);
+  EXPECT_EQ(a.reliability.successes(), 12u);
+  EXPECT_EQ(a.safety.trials(), 15u);
+  EXPECT_EQ(a.safety.successes(), 14u);
+}
+
+TEST(CampaignReportMerge, MergeWithEmptyIsIdentity) {
+  CampaignReport a;
+  a.requests = 4;
+  a.correct = 4;
+  for (int i = 0; i < 4; ++i) {
+    a.reliability.add(true);
+    a.safety.add(true);
+  }
+  a.merge(CampaignReport{});
+  EXPECT_EQ(a.requests, 4u);
+  EXPECT_DOUBLE_EQ(a.reliability_value(), 1.0);
+}
+
+}  // namespace
+}  // namespace redundancy::faults

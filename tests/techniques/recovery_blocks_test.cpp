@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "faults/fault.hpp"
+#include "util/thread_pool.hpp"
 
 namespace redundancy::techniques {
 namespace {
@@ -130,6 +131,41 @@ TEST(RecoveryBlocks, TaxonomyMatchesPaperRow) {
   const auto t = RecoveryBlocks<int, int>::taxonomy();
   EXPECT_EQ(t.adjudicator, core::AdjudicatorKind::reactive_explicit);
   EXPECT_EQ(t.pattern, core::ArchitecturalPattern::sequential_alternatives);
+}
+
+// --- concurrent form --------------------------------------------------------
+
+TEST(ConcurrentRecoveryBlocks, FirstPassingResultWins) {
+  ConcurrentRecoveryBlocks<int, int> rb{{wrong("primary"), square("alt")},
+                                        square_acceptance()};
+  auto out = rb.run(5);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out.value(), 25);
+  EXPECT_EQ(rb.last_used_alternate(), 1u);
+  util::ThreadPool::shared().wait_idle();
+}
+
+TEST(ConcurrentRecoveryBlocks, RejectedAlternateStaysInService) {
+  ConcurrentRecoveryBlocks<int, int> rb{{wrong("primary"), square("alt")},
+                                        square_acceptance()};
+  for (int i = 0; i < 5; ++i) {
+    auto out = rb.run(i);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out.value(), i * i);
+  }
+  util::ThreadPool::shared().wait_idle();
+  // Rejection reflects the input, not component death: the primary keeps
+  // being tried (and keeps failing) on every request.
+  EXPECT_EQ(rb.metrics().disabled_components, 0u);
+}
+
+TEST(ConcurrentRecoveryBlocks, ExhaustionFails) {
+  ConcurrentRecoveryBlocks<int, int> rb{{wrong("a"), wrong("b")},
+                                        square_acceptance()};
+  auto out = rb.run(2);
+  ASSERT_FALSE(out.has_value());
+  EXPECT_EQ(out.error().kind, core::FailureKind::no_alternatives);
+  util::ThreadPool::shared().wait_idle();
 }
 
 }  // namespace

@@ -73,6 +73,31 @@ TEST(Proportion, EmptyIsVacuous) {
   EXPECT_EQ(hi, 1.0);
 }
 
+TEST(Proportion, MergeEqualsSequential) {
+  Proportion whole;
+  Proportion left;
+  Proportion right;
+  for (int i = 0; i < 30; ++i) {
+    const bool s = i % 3 != 0;
+    whole.add(s);
+    (i < 13 ? left : right).add(s);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.trials(), whole.trials());
+  EXPECT_EQ(left.successes(), whole.successes());
+  EXPECT_DOUBLE_EQ(left.value(), whole.value());
+  EXPECT_EQ(left.wilson95(), whole.wilson95());
+}
+
+TEST(Proportion, MergeWithEmptyIsIdentity) {
+  Proportion p;
+  p.add(true);
+  p.add(false);
+  p.merge(Proportion{});
+  EXPECT_EQ(p.trials(), 2u);
+  EXPECT_EQ(p.successes(), 1u);
+}
+
 TEST(Histogram, PercentilesOfUniformData) {
   Histogram h{0.0, 100.0, 100};
   for (int i = 0; i < 100'000; ++i) {

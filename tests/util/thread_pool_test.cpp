@@ -2,8 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
 #include <numeric>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+
+#include "util/unique_function.hpp"
 
 namespace redundancy::util {
 namespace {
@@ -47,6 +56,183 @@ TEST(ThreadPool, SharedPoolIsUsable) {
   auto f = ThreadPool::shared().submit([] { return 7; });
   EXPECT_EQ(f.get(), 7);
   EXPECT_GE(ThreadPool::shared().size(), 2u);
+}
+
+TEST(ThreadPool, SubmitMoveOnlyCallable) {
+  ThreadPool pool{2};
+  auto payload = std::make_unique<int>(99);
+  auto f = pool.submit([p = std::move(payload)] { return *p; });
+  EXPECT_EQ(f.get(), 99);
+}
+
+TEST(ThreadPool, NestedFanOutDoesNotDeadlock) {
+  // Every worker blocks in a nested run_all; the help-while-waiting path
+  // must execute the inner tasks or this test hangs.
+  ThreadPool pool{2};
+  std::atomic<int> inner{0};
+  std::vector<std::function<void()>> outer;
+  for (int i = 0; i < 4; ++i) {
+    outer.emplace_back([&pool, &inner] {
+      std::vector<std::function<void()>> tasks;
+      for (int j = 0; j < 8; ++j) {
+        tasks.emplace_back([&inner] { inner.fetch_add(1); });
+      }
+      pool.run_all(std::move(tasks));
+    });
+  }
+  pool.run_all(std::move(outer));
+  EXPECT_EQ(inner.load(), 32);
+}
+
+TEST(ThreadPool, RunAllForwardsFirstException) {
+  ThreadPool pool{2};
+  std::atomic<int> completed{0};
+  std::vector<std::function<void()>> tasks;
+  tasks.emplace_back([] { throw std::runtime_error{"boom"}; });
+  for (int i = 0; i < 5; ++i) {
+    tasks.emplace_back([&completed] { completed.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.run_all(std::move(tasks), ThreadPool::ExceptionPolicy::forward),
+               std::runtime_error);
+  EXPECT_EQ(completed.load(), 5);  // the throw does not abort the batch
+}
+
+TEST(ThreadPool, RunAllSwallowPolicyIgnoresExceptions) {
+  ThreadPool pool{2};
+  std::vector<std::function<void()>> tasks;
+  tasks.emplace_back([] { throw std::runtime_error{"boom"}; });
+  EXPECT_NO_THROW(pool.run_all(std::move(tasks)));
+}
+
+TEST(ThreadPool, FirstWinsReturnsWinner) {
+  ThreadPool pool{4};
+  std::vector<std::function<std::optional<int>(const CancellationToken&)>>
+      tasks;
+  tasks.emplace_back([](const CancellationToken&) -> std::optional<int> {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    return 100;
+  });
+  tasks.emplace_back(
+      [](const CancellationToken&) -> std::optional<int> { return 7; });
+  auto fw = pool.submit_first_wins<int>(std::move(tasks));
+  ASSERT_TRUE(fw.value.has_value());
+  EXPECT_EQ(*fw.value, 7);
+  EXPECT_EQ(fw.winner, 1u);
+  pool.wait_idle();  // the slow straggler finishes detached
+}
+
+TEST(ThreadPool, FirstWinsAllRejectedReturnsEmpty) {
+  ThreadPool pool{2};
+  std::vector<std::function<std::optional<int>(const CancellationToken&)>>
+      tasks;
+  for (int i = 0; i < 4; ++i) {
+    tasks.emplace_back(
+        [](const CancellationToken&) -> std::optional<int> { return std::nullopt; });
+  }
+  auto fw = pool.submit_first_wins<int>(std::move(tasks));
+  EXPECT_FALSE(fw.value.has_value());
+  EXPECT_EQ(fw.winner, ThreadPool::FirstWins<int>::npos);
+  EXPECT_EQ(fw.executed, 4u);
+}
+
+TEST(ThreadPool, FirstWinsOnEmptyInput) {
+  ThreadPool pool{2};
+  auto fw = pool.submit_first_wins<int>({});
+  EXPECT_FALSE(fw.value.has_value());
+  EXPECT_EQ(fw.executed, 0u);
+}
+
+TEST(ThreadPool, FirstWinsThrowingTaskLoses) {
+  ThreadPool pool{2};
+  std::vector<std::function<std::optional<int>(const CancellationToken&)>>
+      tasks;
+  tasks.emplace_back([](const CancellationToken&) -> std::optional<int> {
+    throw std::runtime_error{"bad candidate"};
+  });
+  tasks.emplace_back([](const CancellationToken&) -> std::optional<int> {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    return 11;
+  });
+  auto fw = pool.submit_first_wins<int>(std::move(tasks));
+  ASSERT_TRUE(fw.value.has_value());
+  EXPECT_EQ(*fw.value, 11);
+  EXPECT_EQ(fw.winner, 1u);
+}
+
+TEST(ThreadPool, FirstWinsCancellationSkipsUnstartedTasks) {
+  // One worker: tasks run one at a time. The first task wins, so the
+  // remaining queued tasks must be skipped, not executed.
+  ThreadPool pool{1};
+  std::atomic<int> ran{0};
+  std::vector<std::function<std::optional<int>(const CancellationToken&)>>
+      tasks;
+  for (int i = 0; i < 16; ++i) {
+    tasks.emplace_back([&ran](const CancellationToken&) -> std::optional<int> {
+      ran.fetch_add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      return 1;
+    });
+  }
+  auto fw = pool.submit_first_wins<int>(std::move(tasks));
+  pool.wait_idle();
+  ASSERT_TRUE(fw.value.has_value());
+  EXPECT_LT(ran.load(), 16);
+}
+
+TEST(ThreadPool, WaitIdleDrainsStragglers) {
+  ThreadPool pool{2};
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.post(ThreadPool::Task{[&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      done.fetch_add(1);
+    }});
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 8);
+  EXPECT_EQ(pool.pending(), 0u);
+}
+
+TEST(ThreadPool, SharedSizeHonoursEnvVariable) {
+  ::setenv("REDUNDANCY_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::shared_size_from_env(), 3u);
+  ::setenv("REDUNDANCY_THREADS", "0", 1);  // invalid: fall back
+  EXPECT_GE(ThreadPool::shared_size_from_env(), 8u);
+  ::setenv("REDUNDANCY_THREADS", "12abc", 1);  // trailing junk: fall back
+  EXPECT_GE(ThreadPool::shared_size_from_env(), 8u);
+  ::setenv("REDUNDANCY_THREADS", "99999", 1);  // absurd: fall back
+  EXPECT_GE(ThreadPool::shared_size_from_env(), 8u);
+  ::unsetenv("REDUNDANCY_THREADS");
+  EXPECT_GE(ThreadPool::shared_size_from_env(), 8u);
+}
+
+TEST(CancellationToken, CopiesShareTheFlag) {
+  CancellationToken a;
+  CancellationToken b = a;
+  EXPECT_FALSE(b.cancelled());
+  a.cancel();
+  EXPECT_TRUE(b.cancelled());
+}
+
+TEST(UniqueFunction, InvokesSmallAndLargeCallables) {
+  UniqueFunction<int()> small{[] { return 5; }};
+  EXPECT_EQ(small(), 5);
+
+  // Large capture forces the heap path.
+  std::array<int, 64> big{};
+  big[63] = 9;
+  UniqueFunction<int()> large{[big] { return big[63]; }};
+  EXPECT_EQ(large(), 9);
+
+  UniqueFunction<int()> moved = std::move(large);
+  EXPECT_EQ(moved(), 9);
+}
+
+TEST(UniqueFunction, HoldsMoveOnlyCapture) {
+  auto p = std::make_unique<int>(3);
+  UniqueFunction<int()> f{[p = std::move(p)] { return *p; }};
+  UniqueFunction<int()> g = std::move(f);
+  EXPECT_EQ(g(), 3);
 }
 
 }  // namespace
