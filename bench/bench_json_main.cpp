@@ -3,19 +3,21 @@
 // next to the working directory so the perf trajectory can be tracked across
 // PRs by machines, not eyeballs. Schema documented in EXPERIMENTS.md.
 //
-// Per benchmark we record ops/sec and per-iteration latency. p50/p95 are
-// computed over per-repetition samples; with the default single repetition
-// they equal the one measured mean (pass --benchmark_repetitions=N for real
-// percentiles).
+// Per benchmark we record ops/sec and per-iteration latency. Each
+// per-repetition sample feeds an obs::Histogram, and p50/p95/p99 are that
+// histogram's deterministic log-linear percentile estimates; with the
+// default single repetition they collapse to the one measured bucket (pass
+// --benchmark_repetitions=N for real percentiles).
 #include <benchmark/benchmark.h>
 
-#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "obs/histogram.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -49,14 +51,16 @@ class CollectingReporter : public benchmark::ConsoleReporter {
   std::map<std::string, Series> series_;
 };
 
-double percentile(std::vector<double> xs, double p) {
-  if (xs.empty()) return 0.0;
-  std::sort(xs.begin(), xs.end());
-  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+/// Snapshot of the latency samples through the same log2 histogram the
+/// runtime metrics use, so BENCH_*.json percentiles and metrics_*.prom
+/// agree on bucketing and estimation.
+redundancy::obs::HistogramSnapshot to_histogram(
+    const std::vector<double>& latency_ns) {
+  redundancy::obs::Histogram hist;
+  for (double x : latency_ns) {
+    hist.record(x <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(x)));
+  }
+  return hist.snapshot();
 }
 
 std::string json_escape(const std::string& s) {
@@ -94,14 +98,16 @@ void write_json(const std::string& binary,
     for (double x : s.latency_ns) mean += x;
     mean /= s.latency_ns.empty() ? 1.0 : double(s.latency_ns.size());
     const double ops = mean > 0.0 ? 1e9 / mean : 0.0;
+    const auto snap = to_histogram(s.latency_ns);
     std::fprintf(f,
                  "%s    {\"name\": \"%s\", \"ops_per_sec\": %.3f, "
                  "\"latency_ns_mean\": %.1f, \"latency_ns_p50\": %.1f, "
-                 "\"latency_ns_p95\": %.1f, \"repetitions\": %zu, "
-                 "\"threads\": %lld}",
+                 "\"latency_ns_p95\": %.1f, \"latency_ns_p99\": %.1f, "
+                 "\"repetitions\": %zu, \"threads\": %lld}",
                  first ? "" : ",\n", json_escape(name).c_str(), ops, mean,
-                 percentile(s.latency_ns, 50.0), percentile(s.latency_ns, 95.0),
-                 s.latency_ns.size(), static_cast<long long>(s.threads));
+                 snap.percentile(50.0), snap.percentile(95.0),
+                 snap.percentile(99.0), s.latency_ns.size(),
+                 static_cast<long long>(s.threads));
     first = false;
   }
   std::fprintf(f, "\n  ]\n}\n");

@@ -1,15 +1,19 @@
 #!/usr/bin/env bash
 # Build and run the microbenchmark suite. Each bench_* binary prints the
 # usual google-benchmark console table and writes BENCH_<name>.json (schema:
-# EXPERIMENTS.md) into OUT_DIR for machine tracking across PRs.
+# EXPERIMENTS.md) into OUT_DIR for machine tracking across PRs. Observability
+# artifacts the binaries emit alongside (*.trace.jsonl traces and
+# metrics_*.prom Prometheus text files, e.g. from
+# exp_observability_overhead) are collected into OUT_DIR too.
 #
 # Usage:
 #   scripts/bench.sh                  # all benches
 #   scripts/bench.sh bench_patterns   # just one
+#   scripts/bench.sh exp_observability_overhead   # obs overhead + artifacts
 #
 # Environment:
 #   BUILD_DIR  cmake build tree            (default: build)
-#   OUT_DIR    where BENCH_*.json land     (default: $BUILD_DIR/bench-results)
+#   OUT_DIR    where artifacts land        (default: $BUILD_DIR/bench-results)
 #   BENCH_ARGS extra google-benchmark args (e.g. --benchmark_repetitions=5)
 #   REDUNDANCY_THREADS  shared-pool size override, recorded in the JSON
 set -euo pipefail
@@ -33,4 +37,8 @@ for b in "${benches[@]}"; do
   # shellcheck disable=SC2086  # BENCH_ARGS is intentionally word-split
   (cd "${OUT_DIR}" && "${repo_root}/${BUILD_DIR}/bench/${b}" ${BENCH_ARGS:-})
 done
-echo "results: ${OUT_DIR}/BENCH_*.json"
+artifacts="$(cd "${OUT_DIR}" &&
+             ls BENCH_*.json ./*.trace.jsonl metrics_*.prom 2>/dev/null ||
+             true)"
+echo "results in ${OUT_DIR}:"
+echo "${artifacts:-  (none)}"

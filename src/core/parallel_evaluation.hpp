@@ -30,6 +30,7 @@
 #include "core/metrics.hpp"
 #include "core/variant.hpp"
 #include "core/voters.hpp"
+#include "obs/obs.hpp"
 #include "util/thread_pool.hpp"
 
 namespace redundancy::core {
@@ -47,22 +48,47 @@ class ParallelEvaluation {
         adjudication_(adjudication),
         deferred_(std::make_shared<Deferred>()) {}
 
+  /// Label under which spans, adjudication events, and registry metrics are
+  /// emitted (techniques set their own: "nvp", "process_replicas", ...).
+  void set_obs_label(std::string label) {
+    obs_label_ = std::move(label);
+    lat_hist_ = nullptr;
+    req_counter_ = nullptr;
+  }
+
   /// Run every variant on `input` and adjudicate the ballots.
   Result<Out> run(const In& input) {
     fold_deferred();
     ++metrics_.requests;
-    if (mode_ == Concurrency::threaded &&
-        adjudication_ == Adjudication::incremental) {
-      // Incremental adjudication may outlive this call, so it needs its own
-      // copy of the input; fall back to join_all for move-only inputs.
-      if constexpr (std::is_copy_constructible_v<In>) {
-        return run_incremental(input);
+    obs::ScopedSpan span{obs_label_};
+    const std::uint64_t t0 = obs::enabled() ? obs::now_ns() : 0;
+    Result<Out> verdict = [&]() -> Result<Out> {
+      if (mode_ == Concurrency::threaded &&
+          adjudication_ == Adjudication::incremental) {
+        // Incremental adjudication may outlive this call, so it needs its
+        // own copy of the input; fall back to join_all for move-only inputs.
+        if constexpr (std::is_copy_constructible_v<In>) {
+          return run_incremental(input);
+        }
       }
-    }
-    auto ballots = collect(input);
-    ++metrics_.adjudications;
-    Result<Out> verdict = voter_(ballots);
-    finish(verdict, any_failed(ballots));
+      auto ballots = collect(input);
+      ++metrics_.adjudications;
+      Result<Out> v = voter_(ballots);
+      if (span.active()) {
+        obs::AdjudicationEvent event;
+        event.technique = obs_label_;
+        event.electorate = ballots.size();
+        event.ballots_seen = ballots.size();
+        event.ballots_failed = failed_count(ballots);
+        event.accepted = v.has_value();
+        event.verdict = v.has_value() ? "ok" : v.error().describe();
+        obs::record_adjudication(span.context(), std::move(event));
+      }
+      finish(v, any_failed(ballots));
+      return v;
+    }();
+    if (t0 != 0) account_observability(t0, verdict.has_value());
+    span.set_ok(verdict.has_value());
     return verdict;
   }
 
@@ -72,6 +98,9 @@ class ParallelEvaluation {
   std::vector<Ballot<Out>> collect(const In& input) {
     fold_deferred();
     const std::size_t n = variants_->size();
+    // Variant spans parent on the caller's span (run()'s, or whatever the
+    // caller has ambient) — passed explicitly so the edge survives stealing.
+    const obs::SpanContext ctx = obs::current_context();
     std::vector<Ballot<Out>> ballots;
     ballots.reserve(n);
     if (mode_ == Concurrency::threaded) {
@@ -82,9 +111,12 @@ class ParallelEvaluation {
       std::vector<std::function<void()>> tasks;
       tasks.reserve(n);
       for (std::size_t i = 0; i < n; ++i) {
-        tasks.push_back([this, i, &slots, &input] {
+        tasks.push_back([this, i, &slots, &input, ctx] {
           const Variant<In, Out>& v = (*variants_)[i];
+          obs::ScopedSpan vspan{"variant", ctx};
+          vspan.set_detail(v.name);
           slots[i].emplace(Ballot<Out>{i, v.name, v(input)});
+          vspan.set_ok(slots[i]->result.has_value());
         });
       }
       util::ThreadPool::shared().run_all(std::move(tasks));
@@ -96,7 +128,10 @@ class ParallelEvaluation {
     } else {
       for (std::size_t i = 0; i < n; ++i) {
         account((*variants_)[i]);
+        obs::ScopedSpan vspan{"variant", ctx};
+        vspan.set_detail((*variants_)[i].name);
         Result<Out> r = (*variants_)[i](input);
+        vspan.set_ok(r.has_value());
         if (!r.has_value()) ++metrics_.variant_failures;
         ballots.push_back({i, (*variants_)[i].name, std::move(r)});
       }
@@ -148,10 +183,11 @@ class ParallelEvaluation {
   Result<Out> run_incremental(const In& input) {
     const std::size_t n = variants_->size();
     auto& pool = util::ThreadPool::shared();
+    const obs::SpanContext ctx = obs::current_context();
     auto st =
         std::make_shared<IncrementalState>(input, variants_, deferred_, n);
     for (std::size_t i = 0; i < n; ++i) {
-      pool.post(util::ThreadPool::Task{[st, i] {
+      pool.post(util::ThreadPool::Task{[st, i, ctx] {
         if (st->token.cancelled()) {
           // Skipped before starting: no work done, nothing to account.
           std::lock_guard lock(st->m);
@@ -159,7 +195,13 @@ class ParallelEvaluation {
           return;
         }
         const Variant<In, Out>& v = (*st->variants)[i];
-        Result<Out> r = v(st->input);
+        Result<Out> r = [&] {
+          obs::ScopedSpan vspan{"variant", ctx};
+          vspan.set_detail(v.name);
+          Result<Out> out = v(st->input);
+          vspan.set_ok(out.has_value());
+          return out;
+        }();
         std::unique_lock lock(st->m);
         ++st->done;
         if (st->caller_gone) {
@@ -180,13 +222,18 @@ class ParallelEvaluation {
 
     std::optional<Result<Out>> early;
     std::size_t last_voted = 0;
+    std::size_t rounds = 0;
     std::unique_lock lock(st->m);
     pool.help_until(lock, st->cv, [&] {
       if (st->done == n) return true;
       if (st->arrived_count > last_voted) {
         last_voted = st->arrived_count;
         ++metrics_.adjudications;
+        ++rounds;
         Result<Out> v = voter_(padded_ballots(*st, n));
+        if (ctx.active()) {
+          record_incremental_vote(ctx, *st, n, rounds, v);
+        }
         if (v.has_value()) {
           early.emplace(std::move(v));
           return true;
@@ -225,8 +272,42 @@ class ParallelEvaluation {
     lock.unlock();
     ++metrics_.adjudications;
     Result<Out> verdict = voter_(ballots);
+    if (ctx.active()) {
+      obs::AdjudicationEvent event;
+      event.technique = obs_label_;
+      event.round = rounds + 1;
+      event.electorate = n;
+      event.ballots_seen = ballots.size();
+      event.ballots_failed = failed_count(ballots);
+      event.accepted = verdict.has_value();
+      event.verdict = verdict.has_value() ? "ok" : verdict.error().describe();
+      obs::record_adjudication(ctx, std::move(event));
+    }
     finish(verdict, failed_seen);
     return verdict;
+  }
+
+  /// Emit the adjudication event for one incremental revote round. Called
+  /// with the state lock held, so `done`/`arrived` reads are consistent.
+  void record_incremental_vote(obs::SpanContext ctx,
+                               const IncrementalState& st, std::size_t n,
+                               std::size_t round, const Result<Out>& v) {
+    obs::AdjudicationEvent event;
+    event.technique = obs_label_;
+    event.round = round;
+    event.electorate = n;
+    event.ballots_seen = st.arrived_count;
+    for (const auto& slot : st.arrived) {
+      if (slot.has_value() && !slot->result.has_value()) {
+        ++event.ballots_failed;
+      }
+    }
+    event.accepted = v.has_value();
+    event.verdict = v.has_value() ? "ok" : v.error().describe();
+    // A success verdict short-circuits the join: everything not yet done is
+    // cancelled (or finishes as an unobserved straggler).
+    if (v.has_value()) event.stragglers_cancelled = n - st.done;
+    obs::record_adjudication(ctx, std::move(event));
   }
 
   /// Arrived ballots plus failure placeholders for the rest, so the voter
@@ -253,6 +334,27 @@ class ParallelEvaluation {
       if (!b.result.has_value()) return true;
     }
     return false;
+  }
+
+  static std::size_t failed_count(const std::vector<Ballot<Out>>& ballots) {
+    std::size_t failed = 0;
+    for (const auto& b : ballots) {
+      if (!b.result.has_value()) ++failed;
+    }
+    return failed;
+  }
+
+  /// Always-on (sampling-independent) registry metrics for one request.
+  /// References are resolved lazily and cached: the registry lookup locks.
+  void account_observability(std::uint64_t t0, bool ok) {
+    if (lat_hist_ == nullptr) {
+      lat_hist_ = &obs::histogram(obs_label_ + ".request_ns");
+      req_counter_ = &obs::counter(obs_label_ + ".requests");
+      fail_counter_ = &obs::counter(obs_label_ + ".unrecovered");
+    }
+    lat_hist_->record(obs::now_ns() - t0);
+    req_counter_->add();
+    if (!ok) fail_counter_->add();
   }
 
   void finish(const Result<Out>& verdict, bool failed_seen) {
@@ -285,6 +387,10 @@ class ParallelEvaluation {
   Adjudication adjudication_;
   std::shared_ptr<Deferred> deferred_;
   mutable Metrics metrics_;
+  std::string obs_label_ = "parallel_evaluation";
+  obs::Histogram* lat_hist_ = nullptr;
+  obs::Counter* req_counter_ = nullptr;
+  obs::Counter* fail_counter_ = nullptr;
 };
 
 }  // namespace redundancy::core

@@ -28,6 +28,7 @@
 #include "core/concurrency.hpp"
 #include "core/metrics.hpp"
 #include "core/variant.hpp"
+#include "obs/obs.hpp"
 #include "util/thread_pool.hpp"
 
 namespace redundancy::core {
@@ -59,15 +60,30 @@ class ParallelSelection {
         options_(options),
         pending_(std::make_shared<Pending>(components_->size())) {}
 
+  /// Label under which spans, adjudication events, and registry metrics are
+  /// emitted (techniques set their own: "self_checking", ...).
+  void set_obs_label(std::string label) {
+    obs_label_ = std::move(label);
+    lat_hist_ = nullptr;
+    req_counter_ = nullptr;
+  }
+
   Result<Out> run(const In& input) {
     fold_pending();
     ++metrics_.requests;
-    if (options_.concurrency == Concurrency::threaded) {
-      if constexpr (std::is_copy_constructible_v<In>) {
-        return run_threaded(input);
+    obs::ScopedSpan span{obs_label_};
+    const std::uint64_t t0 = obs::enabled() ? obs::now_ns() : 0;
+    Result<Out> verdict = [&] {
+      if (options_.concurrency == Concurrency::threaded) {
+        if constexpr (std::is_copy_constructible_v<In>) {
+          return run_threaded(input);
+        }
       }
-    }
-    return run_sequential(input);
+      return run_sequential(input);
+    }();
+    if (t0 != 0) account_observability(t0, verdict.has_value());
+    span.set_ok(verdict.has_value());
+    return verdict;
   }
 
   /// Index of the component whose result was last selected.
@@ -106,19 +122,26 @@ class ParallelSelection {
   };
 
   Result<Out> run_sequential(const In& input) {
+    const obs::SpanContext ctx = obs::current_context();
     Result<Out> selected =
         failure(FailureKind::no_alternatives, "all components disabled");
     bool have = false;
     bool any_failed = false;
+    std::size_t executed = 0;
+    std::size_t failed = 0;
     for (std::size_t i = 0; i < components_->size(); ++i) {
       auto& c = (*components_)[i];
       if (!c.variant.enabled) continue;
       if (options_.lazy && have) break;
       ++metrics_.variant_executions;
       metrics_.cost_units += c.variant.cost;
+      obs::ScopedSpan cspan{"component", ctx};
+      cspan.set_detail(c.variant.name);
       Result<Out> r = c.variant(input);
       ++metrics_.adjudications;
+      ++executed;
       const bool pass = r.has_value() && c.check(input, r.value());
+      cspan.set_ok(pass);
       if (pass) {
         if (!have) {
           selected = std::move(r);
@@ -127,6 +150,7 @@ class ParallelSelection {
         }
       } else {
         ++metrics_.variant_failures;
+        ++failed;
         any_failed = true;
         if (options_.disable_on_failure) {
           c.variant.enabled = false;
@@ -141,6 +165,17 @@ class ParallelSelection {
       if (selected.has_value()) {
         selected = failure(FailureKind::no_alternatives, "no passing component");
       }
+    }
+    if (ctx.active()) {
+      obs::AdjudicationEvent event;
+      event.technique = obs_label_;
+      event.electorate = components_->size();
+      event.ballots_seen = executed;
+      event.ballots_failed = failed;
+      event.accepted = have;
+      event.verdict = have ? "ok" : "no passing component";
+      if (have) event.winner = (*components_)[acting_].variant.name;
+      obs::record_adjudication(ctx, std::move(event));
     }
     return selected;
   }
@@ -158,6 +193,7 @@ class ParallelSelection {
       std::shared_ptr<Pending> pending;
     };
     auto sh = std::make_shared<Shared>(input, components_, pending_);
+    const obs::SpanContext ctx = obs::current_context();
 
     std::vector<std::function<std::optional<Out>(const util::CancellationToken&)>>
         tasks;
@@ -166,16 +202,19 @@ class ParallelSelection {
       if (!(*components_)[i].variant.enabled) continue;
       index_of.push_back(i);
       tasks.push_back(
-          [sh, i](const util::CancellationToken&) -> std::optional<Out> {
+          [sh, i, ctx](const util::CancellationToken&) -> std::optional<Out> {
             const Checked& c = (*sh->components)[i];
             Pending& p = *sh->pending;
             p.executions.fetch_add(1, std::memory_order_relaxed);
             p.cost.fetch_add(c.variant.cost, std::memory_order_relaxed);
+            obs::ScopedSpan cspan{"component", ctx};
+            cspan.set_detail(c.variant.name);
             Result<Out> r = c.variant(sh->input);
             p.adjudications.fetch_add(1, std::memory_order_relaxed);
             if (r.has_value() && c.check(sh->input, r.value())) {
               return std::move(r).take();
             }
+            cspan.set_ok(false);
             p.failures.fetch_add(1, std::memory_order_relaxed);
             p.failed[i].store(true, std::memory_order_release);
             return std::nullopt;
@@ -186,10 +225,26 @@ class ParallelSelection {
       return failure(FailureKind::no_alternatives, "all components disabled");
     }
 
+    const std::size_t eligible = tasks.size();
     auto fw = util::ThreadPool::shared().submit_first_wins<Out>(std::move(tasks));
     const std::size_t failures_folded = fold_pending();
-    if (fw.value.has_value()) {
-      acting_ = index_of[fw.winner];
+    const bool won = fw.value.has_value();
+    if (won) acting_ = index_of[fw.winner];
+    if (ctx.active()) {
+      // Selection is by completion time: the verdict is the first passing
+      // ballot, everything not yet executed was cancelled.
+      obs::AdjudicationEvent event;
+      event.technique = obs_label_;
+      event.electorate = eligible;
+      event.ballots_seen = fw.executed;
+      event.ballots_failed = failures_folded;
+      event.accepted = won;
+      event.verdict = won ? "ok" : "no passing component";
+      if (won) event.winner = (*components_)[acting_].variant.name;
+      event.stragglers_cancelled = eligible - fw.executed;
+      obs::record_adjudication(ctx, std::move(event));
+    }
+    if (won) {
       if (failures_folded > 0) ++metrics_.recoveries;
       return Result<Out>{std::move(*fw.value)};
     }
@@ -223,11 +278,27 @@ class ParallelSelection {
     return fl;
   }
 
+  /// Always-on (sampling-independent) registry metrics for one request.
+  void account_observability(std::uint64_t t0, bool ok) {
+    if (lat_hist_ == nullptr) {
+      lat_hist_ = &obs::histogram(obs_label_ + ".request_ns");
+      req_counter_ = &obs::counter(obs_label_ + ".requests");
+      fail_counter_ = &obs::counter(obs_label_ + ".unrecovered");
+    }
+    lat_hist_->record(obs::now_ns() - t0);
+    req_counter_->add();
+    if (!ok) fail_counter_->add();
+  }
+
   std::shared_ptr<std::vector<Checked>> components_;
   Options options_;
   std::shared_ptr<Pending> pending_;
   mutable Metrics metrics_;
   std::size_t acting_ = 0;
+  std::string obs_label_ = "parallel_selection";
+  obs::Histogram* lat_hist_ = nullptr;
+  obs::Counter* req_counter_ = nullptr;
+  obs::Counter* fail_counter_ = nullptr;
 };
 
 }  // namespace redundancy::core

@@ -10,6 +10,7 @@ TechniqueRegistry& TechniqueRegistry::instance() {
 }
 
 void TechniqueRegistry::add(TaxonomyEntry entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = std::find_if(entries_.begin(), entries_.end(),
                          [&entry](const TaxonomyEntry& e) {
                            return e.name == entry.name;
@@ -22,10 +23,21 @@ void TechniqueRegistry::add(TaxonomyEntry entry) {
 }
 
 std::optional<TaxonomyEntry> TechniqueRegistry::find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& e : entries_) {
     if (e.name == name) return e;
   }
   return std::nullopt;
+}
+
+std::vector<TaxonomyEntry> TechniqueRegistry::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_;
+}
+
+std::size_t TechniqueRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
 }
 
 }  // namespace redundancy::core

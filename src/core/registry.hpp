@@ -5,6 +5,7 @@
 // diffs the generated table against the published one.
 #pragma once
 
+#include <mutex>
 #include <optional>
 #include <string_view>
 #include <vector>
@@ -13,6 +14,8 @@
 
 namespace redundancy::core {
 
+/// Thread-safe: techniques register themselves lazily, so add/find can race
+/// when instrumented benchmarks construct techniques from pool workers.
 class TechniqueRegistry {
  public:
   /// Process-wide registry instance.
@@ -23,13 +26,13 @@ class TechniqueRegistry {
   void add(TaxonomyEntry entry);
 
   [[nodiscard]] std::optional<TaxonomyEntry> find(std::string_view name) const;
-  /// Entries in registration (paper Table 2) order.
-  [[nodiscard]] const std::vector<TaxonomyEntry>& entries() const noexcept {
-    return entries_;
-  }
-  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  /// Entries in registration (paper Table 2) order. Returns a snapshot so
+  /// iteration never races with a concurrent add().
+  [[nodiscard]] std::vector<TaxonomyEntry> entries() const;
+  [[nodiscard]] std::size_t size() const;
 
  private:
+  mutable std::mutex mutex_;
   std::vector<TaxonomyEntry> entries_;
 };
 

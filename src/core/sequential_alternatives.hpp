@@ -8,10 +8,13 @@
 #pragma once
 
 #include <functional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/metrics.hpp"
 #include "core/variant.hpp"
+#include "obs/obs.hpp"
 
 namespace redundancy::core {
 
@@ -31,13 +34,26 @@ class SequentialAlternatives {
       : alternatives_(std::move(alternatives)), accept_(std::move(accept)),
         options_(std::move(options)) {}
 
+  /// Label under which spans, adjudication events, and registry metrics are
+  /// emitted (techniques set their own: "recovery_blocks", ...).
+  void set_obs_label(std::string label) {
+    obs_label_ = std::move(label);
+    lat_hist_ = nullptr;
+    req_counter_ = nullptr;
+  }
+
   Result<Out> run(const In& input) {
     ++metrics_.requests;
+    obs::ScopedSpan span{obs_label_};
+    const obs::SpanContext ctx = span.context();
+    const std::uint64_t t0 = obs::enabled() ? obs::now_ns() : 0;
     const std::size_t limit =
         options_.max_attempts == 0
             ? alternatives_.size()
             : std::min(options_.max_attempts, alternatives_.size());
     Failure last = failure(FailureKind::no_alternatives, "no alternatives");
+    std::size_t attempted = 0;
+    std::size_t failed = 0;
     for (std::size_t i = 0; i < limit; ++i) {
       if (!alternatives_[i].enabled) continue;
       if (i > 0 && options_.rollback) {
@@ -46,9 +62,14 @@ class SequentialAlternatives {
       }
       ++metrics_.variant_executions;
       metrics_.cost_units += alternatives_[i].cost;
+      obs::ScopedSpan aspan{"alternative", ctx};
+      aspan.set_detail(alternatives_[i].name);
       Result<Out> r = alternatives_[i](input);
+      ++attempted;
       if (!r.has_value()) {
         ++metrics_.variant_failures;
+        ++failed;
+        aspan.set_ok(false);
         last = r.error();
         continue;
       }
@@ -56,13 +77,22 @@ class SequentialAlternatives {
       if (accept_(input, r.value())) {
         if (i > 0) ++metrics_.recoveries;
         last_used_ = i;
+        record_verdict(ctx, limit, attempted, failed, true,
+                       alternatives_[i].name);
+        if (t0 != 0) account_observability(t0, true);
+        span.set_ok(true);
         return r;
       }
       ++metrics_.variant_failures;
+      ++failed;
+      aspan.set_ok(false);
       last = failure(FailureKind::acceptance_failed,
                      "rejected result of " + alternatives_[i].name);
     }
     ++metrics_.unrecovered;
+    record_verdict(ctx, limit, attempted, failed, false, last.describe());
+    if (t0 != 0) account_observability(t0, false);
+    span.set_ok(false);
     return Result<Out>{failure(FailureKind::no_alternatives, last.describe(),
                                last.cause)};
   }
@@ -74,11 +104,46 @@ class SequentialAlternatives {
   [[nodiscard]] std::size_t width() const noexcept { return alternatives_.size(); }
 
  private:
+  void record_verdict(obs::SpanContext ctx, std::size_t electorate,
+                      std::size_t attempted, std::size_t failed, bool accepted,
+                      const std::string& winner_or_verdict) {
+    if (!ctx.active()) return;
+    obs::AdjudicationEvent event;
+    event.technique = obs_label_;
+    event.electorate = electorate;
+    event.ballots_seen = attempted;
+    event.ballots_failed = failed;
+    event.accepted = accepted;
+    if (accepted) {
+      event.verdict = "ok";
+      event.winner = winner_or_verdict;
+    } else {
+      event.verdict = winner_or_verdict;
+    }
+    obs::record_adjudication(ctx, std::move(event));
+  }
+
+  /// Always-on (sampling-independent) registry metrics for one request.
+  void account_observability(std::uint64_t t0, bool ok) {
+    if (lat_hist_ == nullptr) {
+      lat_hist_ = &obs::histogram(obs_label_ + ".request_ns");
+      req_counter_ = &obs::counter(obs_label_ + ".requests");
+      fail_counter_ = &obs::counter(obs_label_ + ".unrecovered");
+    }
+    lat_hist_->record(obs::now_ns() - t0);
+    req_counter_->add();
+    if (!ok) fail_counter_->add();
+  }
+
   std::vector<Variant<In, Out>> alternatives_;
   AcceptanceTest<In, Out> accept_;
   Options options_;
   Metrics metrics_;
   std::size_t last_used_ = 0;
+  std::string obs_label_ = "sequential_alternatives";
+  obs::Histogram* lat_hist_ = nullptr;
+  obs::Counter* req_counter_ = nullptr;
+  obs::Counter* fail_counter_ = nullptr;
 };
 
 }  // namespace redundancy::core

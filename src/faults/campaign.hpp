@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/result.hpp"
+#include "obs/obs.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
@@ -61,7 +62,17 @@ void campaign_step(CampaignReport& report, std::size_t i, const util::Rng& base,
                    const std::function<Out(const In&)>& oracle) {
   util::Rng rng = base.split(i);
   const In input = workload(i, rng);
+  std::uint64_t t0 = 0;
+  if (obs::enabled()) {
+    static obs::Counter& requests = obs::counter("campaign.requests");
+    requests.add();
+    t0 = obs::now_ns();
+  }
   core::Result<Out> out = system(input);
+  if (t0 != 0) {
+    static obs::Histogram& latency = obs::histogram("campaign.request_ns");
+    latency.record(obs::now_ns() - t0);
+  }
   ++report.requests;
   bool is_correct = false;
   bool is_detected = false;
@@ -92,6 +103,8 @@ CampaignReport run_campaign(std::string name, std::size_t requests,
                             std::uint64_t seed = 1) {
   CampaignReport report;
   report.name = std::move(name);
+  obs::ScopedSpan span{"campaign"};
+  span.set_detail(report.name);
   const util::Rng base{seed};
   for (std::size_t i = 0; i < requests; ++i) {
     detail::campaign_step<In, Out>(report, i, base, workload, system, oracle);
@@ -120,6 +133,10 @@ CampaignReport run_campaign_parallel(
   if (workers == 0) workers = pool.size();
   workers = std::clamp<std::size_t>(workers, 1, std::max<std::size_t>(1, requests));
 
+  obs::ScopedSpan span{"campaign"};
+  span.set_detail(name);
+  const obs::SpanContext ctx = span.context();
+
   const util::Rng base{seed};
   std::vector<std::function<core::Result<Out>(const In&)>> systems;
   systems.reserve(workers);
@@ -134,7 +151,10 @@ CampaignReport run_campaign_parallel(
   for (std::size_t w = 0; w < workers; ++w) {
     const std::size_t end = begin + chunk + (w < extra ? 1 : 0);
     tasks.push_back([&shards, &systems, &workload, &oracle, &base, w, begin,
-                     end] {
+                     end, ctx] {
+      obs::ScopedSpan shard_span{"campaign.shard", ctx};
+      shard_span.set_detail("requests [" + std::to_string(begin) + ", " +
+                            std::to_string(end) + ")");
       for (std::size_t i = begin; i < end; ++i) {
         detail::campaign_step<In, Out>(shards[w], i, base, workload,
                                        systems[w], oracle);

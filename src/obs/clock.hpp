@@ -1,0 +1,22 @@
+// Monotonic nanosecond clock shared by every obs:: component.
+//
+// All trace timestamps and latency samples are taken from one steady clock
+// so span intervals and histogram samples are directly comparable. Wall
+// time never appears in traces: a trace is ordered by the monotonic
+// timeline of the process that emitted it.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace redundancy::obs {
+
+/// Nanoseconds since an arbitrary (per-process) steady epoch.
+[[nodiscard]] inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace redundancy::obs

@@ -1,0 +1,60 @@
+// Lock-sharded monotonic counter.
+//
+// Hot paths (pool workers, variant tasks) bump a per-thread shard with one
+// relaxed atomic add on a private cache line; readers sum the shards. The
+// total is exact — shards are plain partial sums, so merging snapshots from
+// different shards/processes is ordinary addition and a sharded campaign
+// reports byte-identical totals for any worker count or interleaving.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace redundancy::obs {
+
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  /// Add `n` to the calling thread's shard (relaxed; never blocks).
+  void add(std::uint64_t n = 1) noexcept {
+    shards_[shard_index()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Exact sum over all shards.
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& s : shards_) {
+      sum += s.value.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+  void reset() noexcept {
+    for (auto& s : shards_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+
+  /// Threads are spread over shards round-robin at first use; the index is
+  /// sticky per thread so a worker always hits the same cache line.
+  [[nodiscard]] static std::size_t shard_index() noexcept {
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t mine =
+        next.fetch_add(1, std::memory_order_relaxed) % kShards;
+    return mine;
+  }
+
+  std::array<Shard, kShards> shards_;
+};
+
+}  // namespace redundancy::obs

@@ -1,0 +1,66 @@
+#include "obs/histogram.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace redundancy::obs {
+
+std::size_t Histogram::bucket_of(std::uint64_t value) noexcept {
+  if (value <= 1) return 0;
+  const auto b = static_cast<std::size_t>(std::bit_width(value - 1));
+  return b < kBuckets ? b : kBuckets - 1;
+}
+
+std::uint64_t HistogramSnapshot::bucket_bound(std::size_t b) noexcept {
+  if (b >= kBuckets - 1) return UINT64_MAX;
+  return std::uint64_t{1} << b;
+}
+
+HistogramSnapshot& HistogramSnapshot::merge(
+    const HistogramSnapshot& other) noexcept {
+  for (std::size_t b = 0; b < kBuckets; ++b) buckets[b] += other.buckets[b];
+  count += other.count;
+  sum += other.sum;
+  return *this;
+}
+
+double HistogramSnapshot::percentile(double p) const noexcept {
+  if (count == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Rank of the target sample (1-based, ceil): the smallest bucket whose
+  // cumulative count reaches it holds the percentile.
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count)));
+  const std::uint64_t target = rank == 0 ? 1 : rank;
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const std::uint64_t before = cumulative;
+    cumulative += buckets[b];
+    if (cumulative < target) continue;
+    // Log-linear interpolation between the bucket's bounds by the target's
+    // position inside the bucket.
+    const double lo = b == 0 ? 0.0 : static_cast<double>(bucket_bound(b - 1));
+    const double hi = b >= kBuckets - 1
+                          ? static_cast<double>(std::uint64_t{1} << 63)
+                          : static_cast<double>(bucket_bound(b));
+    const double frac = static_cast<double>(target - before) /
+                        static_cast<double>(buckets[b]);
+    return lo + (hi - lo) * frac;
+  }
+  return static_cast<double>(bucket_bound(kBuckets - 2));
+}
+
+std::string HistogramSnapshot::summary() const {
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "count=%llu sum=%llu mean=%.1f p50=%.1f p95=%.1f p99=%.1f",
+                static_cast<unsigned long long>(count),
+                static_cast<unsigned long long>(sum), mean(), percentile(50.0),
+                percentile(95.0), percentile(99.0));
+  return buf;
+}
+
+}  // namespace redundancy::obs

@@ -1,0 +1,91 @@
+// Log2-bucketed latency histogram with mergeable snapshots.
+//
+// Bucket b counts samples whose value v satisfies 2^(b-1) < v <= 2^b (bucket
+// 0 counts v <= 1), i.e. the bucket index of v > 1 is bit_width(v - 1).
+// Recording is one relaxed atomic add on a bucket plus count/sum updates —
+// cheap enough for per-task latencies on the pool hot path. Buckets, count
+// and sum are exact integers, so HistogramSnapshot::merge is plain addition
+// and sharded campaigns aggregate to byte-identical snapshots regardless of
+// worker count or interleaving. Percentiles are estimated by log-linear
+// interpolation inside the winning bucket; they are a deterministic function
+// of the (exact) bucket counts.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace redundancy::obs {
+
+/// Plain-value copy of a Histogram, mergeable and queryable.
+struct HistogramSnapshot {
+  static constexpr std::size_t kBuckets = 64;
+
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+
+  /// Inclusive upper bound of bucket `b` (2^b; the last bucket is +inf).
+  [[nodiscard]] static std::uint64_t bucket_bound(std::size_t b) noexcept;
+
+  HistogramSnapshot& merge(const HistogramSnapshot& other) noexcept;
+
+  [[nodiscard]] double mean() const noexcept {
+    return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
+  }
+
+  /// Estimated value at percentile `p` in [0, 100]. Deterministic given the
+  /// bucket counts; exact to within one log2 bucket.
+  [[nodiscard]] double percentile(double p) const noexcept;
+
+  /// "count=N sum=S mean=M p50=... p95=... p99=..." for logs.
+  [[nodiscard]] std::string summary() const;
+};
+
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = HistogramSnapshot::kBuckets;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Record one sample (relaxed; never blocks).
+  void record(std::uint64_t value) noexcept {
+    buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] HistogramSnapshot snapshot() const noexcept {
+    HistogramSnapshot s;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      s.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+    }
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum = sum_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Index of the bucket that counts `value`.
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t value) noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+}  // namespace redundancy::obs

@@ -1,0 +1,103 @@
+#include "obs/metrics_registry.hpp"
+
+#include <fstream>
+#include <ostream>
+
+namespace redundancy::obs {
+
+namespace {
+
+std::string sanitise(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::instance() {
+  // Leaked on purpose: pool workers hold cached Counter/Histogram pointers
+  // and may still bump them during static destruction.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  for (auto& [n, c] : counters_) {
+    if (n == name) return *c;
+  }
+  counters_.emplace_back(name, std::make_unique<Counter>());
+  return *counters_.back().second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  for (auto& [n, h] : histograms_) {
+    if (n == name) return *h;
+  }
+  histograms_.emplace_back(name, std::make_unique<Histogram>());
+  return *histograms_.back().second;
+}
+
+void MetricsRegistry::render_prometheus(std::ostream& out) const {
+  std::lock_guard lock(mutex_);
+  for (const auto& [name, c] : counters_) {
+    const std::string p = sanitise(name);
+    out << "# TYPE " << p << "_total counter\n";
+    out << p << "_total " << c->total() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string p = sanitise(name);
+    const HistogramSnapshot s = h->snapshot();
+    out << "# TYPE " << p << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+      cumulative += s.buckets[b];
+      // Only emit buckets up to the last occupied one; +Inf carries the rest.
+      if (s.buckets[b] == 0) continue;
+      out << p << "_bucket{le=\"" << HistogramSnapshot::bucket_bound(b)
+          << "\"} " << cumulative << "\n";
+    }
+    out << p << "_bucket{le=\"+Inf\"} " << s.count << "\n";
+    out << p << "_sum " << s.sum << "\n";
+    out << p << "_count " << s.count << "\n";
+  }
+}
+
+bool MetricsRegistry::write_prometheus_file(const std::string& path) const {
+  std::ofstream out{path};
+  if (!out.is_open()) return false;
+  render_prometheus(out);
+  return true;
+}
+
+void MetricsRegistry::reset_all() {
+  std::lock_guard lock(mutex_);
+  for (auto& [n, c] : counters_) c->reset();
+  for (auto& [n, h] : histograms_) h->reset();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+MetricsRegistry::counter_totals() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [n, c] : counters_) out.emplace_back(n, c->total());
+  return out;
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>>
+MetricsRegistry::histogram_snapshots() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::pair<std::string, HistogramSnapshot>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [n, h] : histograms_) out.emplace_back(n, h->snapshot());
+  return out;
+}
+
+}  // namespace redundancy::obs

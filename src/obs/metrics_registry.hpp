@@ -1,0 +1,58 @@
+// Named metric registry with Prometheus text exposition.
+//
+// Instrumentation sites resolve a Counter/Histogram by name once (keeping a
+// reference; registered metrics are never destroyed before process exit) and
+// then update it lock-free. The registry itself is mutex-guarded only on the
+// registration path. render_prometheus() writes the standard text exposition
+// format — counters as `<name>_total`, histograms with cumulative log2 `le`
+// buckets plus `_sum`/`_count` — so any Prometheus scraper or promtool can
+// consume a metrics_*.prom artifact directly.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/counter.hpp"
+#include "obs/histogram.hpp"
+
+namespace redundancy::obs {
+
+class MetricsRegistry {
+ public:
+  /// Process-wide registry used by all built-in instrumentation.
+  static MetricsRegistry& instance();
+
+  /// Find-or-create by name. The returned reference stays valid for the
+  /// registry's lifetime. Thread-safe.
+  Counter& counter(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Prometheus text exposition of every registered metric, in registration
+  /// order. Metric names are sanitised ('.' and '-' become '_').
+  void render_prometheus(std::ostream& out) const;
+
+  /// Write render_prometheus() to `path` (convention: metrics_<name>.prom).
+  /// Returns false if the file could not be opened.
+  bool write_prometheus_file(const std::string& path) const;
+
+  /// Zero every registered metric (tests; metrics stay registered).
+  void reset_all();
+
+  /// Snapshot of (name, total) for every counter, registration order.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+  counter_totals() const;
+  /// Snapshot of (name, snapshot) for every histogram, registration order.
+  [[nodiscard]] std::vector<std::pair<std::string, HistogramSnapshot>>
+  histogram_snapshots() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
+  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_;
+};
+
+}  // namespace redundancy::obs

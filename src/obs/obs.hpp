@@ -1,0 +1,38 @@
+// Umbrella header for instrumentation sites.
+//
+// Typical usage at a redundancy decision point:
+//
+//   obs::ScopedSpan span{"nvp.run"};               // sampled request span
+//   ...fan variants out, passing span.context()...
+//   obs::ScopedSpan child{"variant", ctx};         // child, any thread
+//   obs::record_adjudication(span.context(), ev);  // why the verdict
+//   obs::counter("nvp.requests").add();            // exact, always-on
+//   obs::histogram("nvp.request_ns").record(dt);
+//
+// Every call is a no-op unless obs::enabled() (and compiles away entirely
+// under -DREDUNDANCY_OBS_NOOP).
+#pragma once
+
+#include <string>
+
+#include "obs/clock.hpp"
+#include "obs/counter.hpp"
+#include "obs/event.hpp"
+#include "obs/histogram.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/recorder.hpp"
+#include "obs/sink.hpp"
+
+namespace redundancy::obs {
+
+/// Find-or-create a named metric in the process-wide registry. Call sites
+/// should cache the reference (e.g. in a function-local static) — it stays
+/// valid for the life of the process.
+[[nodiscard]] inline Counter& counter(const std::string& name) {
+  return MetricsRegistry::instance().counter(name);
+}
+[[nodiscard]] inline Histogram& histogram(const std::string& name) {
+  return MetricsRegistry::instance().histogram(name);
+}
+
+}  // namespace redundancy::obs

@@ -1,0 +1,148 @@
+#include "obs/recorder.hpp"
+
+#include <utility>
+
+namespace redundancy::obs {
+
+namespace {
+
+/// Ambient per-thread span context; ScopedSpan saves and restores it.
+thread_local SpanContext tls_context;
+
+}  // namespace
+
+SpanContext current_context() noexcept { return tls_context; }
+
+Recorder& Recorder::instance() {
+  // Leaked on purpose: pool workers may record during static destruction.
+  static Recorder* recorder = new Recorder();
+  return *recorder;
+}
+
+void Recorder::add_sink(std::shared_ptr<TraceSink> sink) {
+  std::lock_guard lock(sinks_mutex_);
+  sinks_.push_back(std::move(sink));
+  sink_count_.store(sinks_.size(), std::memory_order_release);
+}
+
+void Recorder::clear_sinks() {
+  std::lock_guard lock(sinks_mutex_);
+  sinks_.clear();
+  sink_count_.store(0, std::memory_order_release);
+}
+
+Recorder::ThreadBuffer& Recorder::local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [this] {
+    auto b = std::make_shared<ThreadBuffer>();
+    std::lock_guard lock(buffers_mutex_);
+    buffers_.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+void Recorder::push(Item item) {
+  if (sink_count() == 0) return;  // nothing would drain the buffer
+  ThreadBuffer& buffer = local_buffer();
+  bool full;
+  {
+    std::lock_guard lock(buffer.m);
+    buffer.items.push_back(std::move(item));
+    full = buffer.items.size() >= kDrainBatch;
+  }
+  if (full) drain(buffer);
+}
+
+void Recorder::record(SpanRecord span) { push(Item{std::move(span)}); }
+
+void Recorder::record(AdjudicationEvent event) { push(Item{std::move(event)}); }
+
+void Recorder::drain(ThreadBuffer& buffer) {
+  std::vector<Item> items;
+  {
+    std::lock_guard lock(buffer.m);
+    items.swap(buffer.items);
+  }
+  if (items.empty()) return;
+  std::lock_guard lock(sinks_mutex_);
+  for (const Item& item : items) {
+    for (const auto& sink : sinks_) {
+      if (const auto* span = std::get_if<SpanRecord>(&item)) {
+        sink->on_span(*span);
+      } else {
+        sink->on_adjudication(std::get<AdjudicationEvent>(item));
+      }
+    }
+  }
+}
+
+void Recorder::flush() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard lock(buffers_mutex_);
+    buffers = buffers_;
+  }
+  for (const auto& buffer : buffers) drain(*buffer);
+  std::lock_guard lock(sinks_mutex_);
+  for (const auto& sink : sinks_) sink->flush();
+}
+
+void ScopedSpan::init_ambient(std::string_view name) {
+  Recorder& rec = Recorder::instance();
+  prev_ = tls_context;
+  if (prev_.trace == SpanContext::kSuppressedTrace) {
+    return;  // inside an unsampled request: stay silent, nothing to restore
+  }
+  if (prev_.trace == 0) {
+    // Root span: this is where the sampling decision is drawn.
+    if (!rec.sample_next_trace()) {
+      tls_context = SpanContext{SpanContext::kSuppressedTrace, 0};
+      restore_ = true;
+      return;
+    }
+    rec_.trace_id = rec.next_trace_id();
+    rec_.parent_id = 0;
+  } else {
+    rec_.trace_id = prev_.trace;
+    rec_.parent_id = prev_.span;
+  }
+  rec_.span_id = rec.next_span_id();
+  rec_.name.assign(name);
+  rec_.t_start_ns = now_ns();
+  tls_context = SpanContext{rec_.trace_id, rec_.span_id};
+  restore_ = true;
+  active_ = true;
+}
+
+void ScopedSpan::init_child(std::string_view name, SpanContext ctx) {
+  Recorder& rec = Recorder::instance();
+  rec_.trace_id = ctx.trace;
+  rec_.parent_id = ctx.span;
+  rec_.span_id = rec.next_span_id();
+  rec_.name.assign(name);
+  rec_.t_start_ns = now_ns();
+  prev_ = tls_context;
+  tls_context = SpanContext{rec_.trace_id, rec_.span_id};
+  restore_ = true;
+  active_ = true;
+}
+
+void ScopedSpan::finish() {
+  if (restore_) tls_context = prev_;
+  if (active_) {
+    rec_.t_end_ns = now_ns();
+    Recorder::instance().record(std::move(rec_));
+  }
+  restore_ = false;
+  active_ = false;
+}
+
+void record_adjudication(SpanContext ctx, AdjudicationEvent event) {
+  if (!enabled() || !ctx.active()) return;
+  event.trace_id = ctx.trace;
+  event.parent_id = ctx.span;
+  if (event.t_ns == 0) event.t_ns = now_ns();
+  Recorder::instance().record(std::move(event));
+}
+
+}  // namespace redundancy::obs

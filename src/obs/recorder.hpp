@@ -1,0 +1,198 @@
+// obs::Recorder — thread-safe, low-overhead span/event recorder.
+//
+// Design constraints, in order:
+//   1. Disabled cost ~zero. Every instrumentation site is gated on
+//      obs::enabled(), a single relaxed atomic load (and with
+//      -DREDUNDANCY_OBS_NOOP the whole layer folds away at compile time).
+//   2. Enabled cost bounded. Records go into a per-thread buffer (one
+//      uncontended mutex + vector push); sinks see them in batches, either
+//      when a buffer fills or on an explicit flush(). Root spans are
+//      sampled 1-in-sample_every (default 1: trace everything; production
+//      drivers raise it), while Counters/Histograms in MetricsRegistry stay
+//      exact and always-on.
+//   3. Causality survives work stealing. A span's (trace, span) context is
+//      an explicit value that instrumentation passes into pool tasks; a
+//      variant span records the request span as its parent regardless of
+//      which worker ran it.
+//
+// The Recorder and MetricsRegistry singletons are intentionally leaked so
+// pool workers draining tasks during static destruction can still touch
+// them safely.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "obs/clock.hpp"
+#include "obs/event.hpp"
+#include "obs/sink.hpp"
+
+namespace redundancy::obs {
+
+namespace detail {
+/// Global on/off switch, read on every instrumentation fast path.
+inline std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+#ifdef REDUNDANCY_OBS_NOOP
+inline constexpr bool kCompiledIn = false;
+#else
+inline constexpr bool kCompiledIn = true;
+#endif
+
+/// True when the observability layer is compiled in and switched on. One
+/// relaxed load; with REDUNDANCY_OBS_NOOP the branch is dead code.
+[[nodiscard]] inline bool enabled() noexcept {
+  return kCompiledIn && detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// The (trace, span) pair instrumentation threads through pool tasks so
+/// child spans keep their parent across threads.
+struct SpanContext {
+  TraceId trace = 0;
+  SpanId span = 0;
+  [[nodiscard]] bool active() const noexcept {
+    return trace != 0 && trace != kSuppressedTrace;
+  }
+  /// Sentinel ambient trace meaning "root was not sampled: record nothing
+  /// below this point either".
+  static constexpr TraceId kSuppressedTrace = UINT64_MAX;
+};
+
+/// The calling thread's ambient span context (set by live ScopedSpans).
+[[nodiscard]] SpanContext current_context() noexcept;
+
+class Recorder {
+ public:
+  /// Process-wide recorder (leaked singleton; see header comment).
+  static Recorder& instance();
+
+  void set_enabled(bool on) noexcept {
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+  }
+
+  /// Sample 1 in `n` root spans (n >= 1; 1 = trace every request).
+  /// Counters and histograms are unaffected by sampling.
+  void set_sample_every(std::uint64_t n) noexcept {
+    sample_every_.store(n == 0 ? 1 : n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sample_every() const noexcept {
+    return sample_every_.load(std::memory_order_relaxed);
+  }
+  /// Draw the sampling decision for the next root span.
+  [[nodiscard]] bool sample_next_trace() noexcept {
+    const std::uint64_t n = sample_every();
+    if (n <= 1) return true;
+    return trace_counter_.fetch_add(1, std::memory_order_relaxed) % n == 0;
+  }
+
+  void add_sink(std::shared_ptr<TraceSink> sink);
+  void clear_sinks();
+  [[nodiscard]] std::size_t sink_count() const noexcept {
+    return sink_count_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] TraceId next_trace_id() noexcept {
+    return next_trace_.fetch_add(1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] SpanId next_span_id() noexcept {
+    return next_span_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Buffer one record on the calling thread. Drops when no sink is
+  /// attached (nothing would ever drain the buffers).
+  void record(SpanRecord span);
+  void record(AdjudicationEvent event);
+
+  /// Drain every thread's buffer into the sinks (in each thread's record
+  /// order), then flush the sinks. Call after quiescing the workload —
+  /// records from threads still actively recording may land in the next
+  /// flush.
+  void flush();
+
+ private:
+  Recorder() = default;
+
+  using Item = std::variant<SpanRecord, AdjudicationEvent>;
+  struct ThreadBuffer {
+    std::mutex m;
+    std::vector<Item> items;
+  };
+  /// Records buffered per thread before an inline drain kicks in.
+  static constexpr std::size_t kDrainBatch = 512;
+
+  [[nodiscard]] ThreadBuffer& local_buffer();
+  void push(Item item);
+  void drain(ThreadBuffer& buffer);
+
+  std::atomic<std::uint64_t> sample_every_{1};
+  std::atomic<std::uint64_t> trace_counter_{0};
+  std::atomic<std::uint64_t> next_trace_{1};
+  std::atomic<std::uint64_t> next_span_{1};
+
+  mutable std::mutex buffers_mutex_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+
+  mutable std::mutex sinks_mutex_;
+  std::vector<std::shared_ptr<TraceSink>> sinks_;
+  std::atomic<std::size_t> sink_count_{0};
+};
+
+/// RAII span. Constructed cheaply when the layer is disabled (one relaxed
+/// load, no allocation); when active, records itself on destruction.
+class ScopedSpan {
+ public:
+  /// Root-or-nested span in the calling thread's ambient context: inherits
+  /// the ambient (trace, span) as parent, or starts a new (sampled) trace
+  /// when there is none.
+  explicit ScopedSpan(std::string_view name) {
+    if (enabled()) init_ambient(name);
+  }
+
+  /// Cross-thread child span: explicit parent context (pass the request
+  /// span's context() into the pool task). Inactive when `ctx` is.
+  ScopedSpan(std::string_view name, SpanContext ctx) {
+    if (enabled() && ctx.active()) init_child(name, ctx);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() {
+    if (restore_ || active_) finish();
+  }
+
+  [[nodiscard]] bool active() const noexcept { return active_; }
+  [[nodiscard]] SpanContext context() const noexcept {
+    return active_ ? SpanContext{rec_.trace_id, rec_.span_id} : SpanContext{};
+  }
+
+  /// Owner-thread only; no-ops when inactive.
+  void set_ok(bool ok) noexcept {
+    if (active_) rec_.ok = ok;
+  }
+  void set_detail(std::string_view detail) {
+    if (active_) rec_.detail.assign(detail);
+  }
+
+ private:
+  void init_ambient(std::string_view name);
+  void init_child(std::string_view name, SpanContext ctx);
+  void finish();
+
+  SpanRecord rec_;
+  SpanContext prev_;
+  bool restore_ = false;  ///< ambient context was changed; undo in dtor
+  bool active_ = false;
+};
+
+/// Emit an adjudication event under `ctx` (no-op when disabled or when the
+/// context is inactive, e.g. an unsampled request). Fills trace/parent/time.
+void record_adjudication(SpanContext ctx, AdjudicationEvent event);
+
+}  // namespace redundancy::obs

@@ -1,0 +1,100 @@
+#include "obs/sink.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace redundancy::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_jsonl(const SpanRecord& span) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "{\"type\":\"span\",\"trace\":%" PRIu64 ",\"span\":%" PRIu64
+                ",\"parent\":%" PRIu64 ",\"t_start_ns\":%" PRIu64
+                ",\"t_end_ns\":%" PRIu64 ",\"ok\":%s",
+                span.trace_id, span.span_id, span.parent_id, span.t_start_ns,
+                span.t_end_ns, span.ok ? "true" : "false");
+  std::string out{buf};
+  out += ",\"name\":\"" + json_escape(span.name) + "\"";
+  out += ",\"detail\":\"" + json_escape(span.detail) + "\"}";
+  return out;
+}
+
+std::string to_jsonl(const AdjudicationEvent& e) {
+  char buf[320];
+  std::snprintf(buf, sizeof buf,
+                "{\"type\":\"adjudication\",\"trace\":%" PRIu64
+                ",\"parent\":%" PRIu64 ",\"t_ns\":%" PRIu64
+                ",\"round\":%zu,\"electorate\":%zu,\"ballots_seen\":%zu,"
+                "\"ballots_failed\":%zu,\"stragglers_cancelled\":%zu,"
+                "\"accepted\":%s",
+                e.trace_id, e.parent_id, e.t_ns, e.round, e.electorate,
+                e.ballots_seen, e.ballots_failed, e.stragglers_cancelled,
+                e.accepted ? "true" : "false");
+  std::string out{buf};
+  out += ",\"technique\":\"" + json_escape(e.technique) + "\"";
+  out += ",\"verdict\":\"" + json_escape(e.verdict) + "\"";
+  out += ",\"winner\":\"" + json_escape(e.winner) + "\"}";
+  return out;
+}
+
+JsonlTraceSink::JsonlTraceSink(const std::string& path) {
+  auto file = std::make_unique<std::ofstream>(path, std::ios::app);
+  if (file->is_open()) {
+    owned_ = std::move(file);
+    out_ = owned_.get();
+  }
+}
+
+JsonlTraceSink::JsonlTraceSink(std::ostream& out) : out_(&out) {}
+
+JsonlTraceSink::~JsonlTraceSink() { flush(); }
+
+void JsonlTraceSink::on_span(const SpanRecord& span) {
+  if (out_ != nullptr) *out_ << to_jsonl(span) << '\n';
+}
+
+void JsonlTraceSink::on_adjudication(const AdjudicationEvent& event) {
+  if (out_ != nullptr) *out_ << to_jsonl(event) << '\n';
+}
+
+void JsonlTraceSink::flush() {
+  if (out_ != nullptr) out_->flush();
+}
+
+}  // namespace redundancy::obs

@@ -1,0 +1,102 @@
+// Export sinks for trace events.
+//
+// The Recorder drains per-thread buffers into every attached sink under one
+// sink lock, so sink implementations see events one batch at a time and need
+// no internal synchronisation beyond their own state. Three implementations:
+//
+//   JsonlTraceSink   — one JSON object per line (schema: EXPERIMENTS.md);
+//                      the machine-readable trace artifact (*.trace.jsonl).
+//   CollectingSink   — keeps the records in memory; what tests assert on.
+//   NullSink         — counts and drops; the overhead-measurement baseline.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace redundancy::obs {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_span(const SpanRecord& span) = 0;
+  virtual void on_adjudication(const AdjudicationEvent& event) = 0;
+  /// Called by Recorder::flush after a drain; push buffered bytes out.
+  virtual void flush() {}
+};
+
+/// Escape a string for embedding in a JSON string literal.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// Serialise one record as a single JSONL line (no trailing newline).
+[[nodiscard]] std::string to_jsonl(const SpanRecord& span);
+[[nodiscard]] std::string to_jsonl(const AdjudicationEvent& event);
+
+/// Writes each record as one JSON line to an owned file or borrowed stream.
+class JsonlTraceSink final : public TraceSink {
+ public:
+  /// Append to (or create) `path`; by convention "<name>.trace.jsonl".
+  explicit JsonlTraceSink(const std::string& path);
+  /// Write to a caller-owned stream (tests use std::ostringstream).
+  explicit JsonlTraceSink(std::ostream& out);
+  ~JsonlTraceSink() override;
+
+  void on_span(const SpanRecord& span) override;
+  void on_adjudication(const AdjudicationEvent& event) override;
+  void flush() override;
+
+  /// False if the file path could not be opened (events are dropped).
+  [[nodiscard]] bool is_open() const noexcept { return out_ != nullptr; }
+
+ private:
+  std::unique_ptr<std::ostream> owned_;
+  std::ostream* out_ = nullptr;
+};
+
+/// Retains every record in memory for inspection.
+class CollectingSink final : public TraceSink {
+ public:
+  void on_span(const SpanRecord& span) override { spans_.push_back(span); }
+  void on_adjudication(const AdjudicationEvent& event) override {
+    adjudications_.push_back(event);
+  }
+
+  [[nodiscard]] const std::vector<SpanRecord>& spans() const noexcept {
+    return spans_;
+  }
+  [[nodiscard]] const std::vector<AdjudicationEvent>& adjudications()
+      const noexcept {
+    return adjudications_;
+  }
+  void clear() {
+    spans_.clear();
+    adjudications_.clear();
+  }
+
+ private:
+  std::vector<SpanRecord> spans_;
+  std::vector<AdjudicationEvent> adjudications_;
+};
+
+/// Counts and discards — the cheapest possible sink, used to measure the
+/// recorder's own overhead without serialisation cost.
+class NullSink final : public TraceSink {
+ public:
+  void on_span(const SpanRecord&) override { ++spans_; }
+  void on_adjudication(const AdjudicationEvent&) override { ++adjudications_; }
+
+  [[nodiscard]] std::size_t spans() const noexcept { return spans_; }
+  [[nodiscard]] std::size_t adjudications() const noexcept {
+    return adjudications_;
+  }
+
+ private:
+  std::size_t spans_ = 0;
+  std::size_t adjudications_ = 0;
+};
+
+}  // namespace redundancy::obs

@@ -31,7 +31,9 @@ class NVersionProgramming {
       core::Voter<Out> voter = core::majority_voter<Out>(),
       core::Concurrency mode = core::Concurrency::sequential,
       core::Adjudication adjudication = core::Adjudication::join_all)
-      : engine_(std::move(versions), std::move(voter), mode, adjudication) {}
+      : engine_(std::move(versions), std::move(voter), mode, adjudication) {
+    engine_.set_obs_label("nvp");
+  }
 
   core::Result<Out> run(const In& input) { return engine_.run(input); }
 

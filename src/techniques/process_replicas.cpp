@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "obs/obs.hpp"
 #include "util/thread_pool.hpp"
 
 namespace redundancy::techniques {
@@ -44,6 +45,9 @@ void ProcessReplicas::reset() {
 core::Result<vm::Behaviour> ProcessReplicas::serve(
     const std::vector<std::int64_t>& request) {
   ++requests_;
+  obs::ScopedSpan span{"process_replicas.serve"};
+  const obs::SpanContext ctx = span.context();
+  const std::uint64_t t0 = obs::enabled() ? obs::now_ns() : 0;
   std::vector<core::Ballot<vm::Behaviour>> ballots;
   ballots.reserve(vms_.size());
   if (options_.concurrency == core::Concurrency::threaded) {
@@ -53,26 +57,57 @@ core::Result<vm::Behaviour> ProcessReplicas::serve(
     std::vector<std::function<void()>> tasks;
     tasks.reserve(vms_.size());
     for (std::size_t r = 0; r < vms_.size(); ++r) {
-      tasks.push_back([this, r, &slots, &request] {
+      tasks.push_back([this, r, &slots, &request, ctx] {
+        obs::ScopedSpan rspan{"replica", ctx};
+        rspan.set_detail("replica-" + std::to_string(r));
         slots[r].emplace(core::Ballot<vm::Behaviour>{
             r, "replica-" + std::to_string(r),
             vms_[r]->run(partitions_[r].base, request)});
+        rspan.set_ok(slots[r]->result.has_value());
       });
     }
     util::ThreadPool::shared().run_all(std::move(tasks));
     for (auto& slot : slots) ballots.push_back(std::move(*slot));
   } else {
     for (std::size_t r = 0; r < vms_.size(); ++r) {
+      obs::ScopedSpan rspan{"replica", ctx};
+      rspan.set_detail("replica-" + std::to_string(r));
       auto behaviour = vms_[r]->run(partitions_[r].base, request);
+      rspan.set_ok(behaviour.has_value());
       ballots.push_back(
           {r, "replica-" + std::to_string(r), std::move(behaviour)});
     }
   }
   auto verdict = core::unanimity_voter<vm::Behaviour>()(ballots);
-  if (!verdict.has_value() &&
-      verdict.error().kind == core::FailureKind::detected_attack) {
-    ++detections_;
+  const bool attack = !verdict.has_value() &&
+                      verdict.error().kind == core::FailureKind::detected_attack;
+  if (attack) ++detections_;
+  if (ctx.active()) {
+    obs::AdjudicationEvent event;
+    event.technique = "process_replicas";
+    event.electorate = ballots.size();
+    event.ballots_seen = ballots.size();
+    for (const auto& b : ballots) {
+      if (!b.result.has_value()) ++event.ballots_failed;
+    }
+    event.accepted = verdict.has_value();
+    event.verdict = verdict.has_value()
+                        ? "ok"
+                        : (attack ? "divergence: " + verdict.error().describe()
+                                  : verdict.error().describe());
+    obs::record_adjudication(ctx, std::move(event));
   }
+  if (t0 != 0) {
+    static obs::Histogram& latency =
+        obs::histogram("process_replicas.request_ns");
+    static obs::Counter& served = obs::counter("process_replicas.requests");
+    static obs::Counter& detected =
+        obs::counter("process_replicas.detections");
+    latency.record(obs::now_ns() - t0);
+    served.add();
+    if (attack) detected.add();
+  }
+  span.set_ok(verdict.has_value());
   return verdict;
 }
 

@@ -26,7 +26,9 @@ class RecoveryBlocks {
   /// Stateless form: no rollback is needed because alternates are pure.
   RecoveryBlocks(std::vector<core::Variant<In, Out>> alternates,
                  core::AcceptanceTest<In, Out> acceptance)
-      : engine_(std::move(alternates), std::move(acceptance)) {}
+      : engine_(std::move(alternates), std::move(acceptance)) {
+    engine_.set_obs_label("recovery_blocks");
+  }
 
   /// Stateful form: `state` is checkpointed on entry to run() and restored
   /// before each alternate after a rejection — Randell's recovery cache.
@@ -43,7 +45,9 @@ class RecoveryBlocks {
                             (void)store_->restore_latest(*state_);
                           }
                         },
-                    .max_attempts = 0}) {}
+                    .max_attempts = 0}) {
+    engine_.set_obs_label("recovery_blocks");
+  }
 
   core::Result<Out> run(const In& input) {
     if (state_ != nullptr) store_->capture(*state_);
@@ -95,7 +99,9 @@ class ConcurrentRecoveryBlocks {
                 typename core::ParallelSelection<In, Out>::Options{
                     .disable_on_failure = false,
                     .lazy = true,
-                    .concurrency = core::Concurrency::threaded}) {}
+                    .concurrency = core::Concurrency::threaded}) {
+    engine_.set_obs_label("concurrent_recovery_blocks");
+  }
 
   core::Result<Out> run(const In& input) { return engine_.run(input); }
 

@@ -64,7 +64,9 @@ class SelfCheckingProgramming {
                 typename core::ParallelSelection<In, Out>::Options{
                     .disable_on_failure = true,
                     .lazy = false,
-                    .concurrency = mode}) {}
+                    .concurrency = mode}) {
+    engine_.set_obs_label("self_checking");
+  }
 
   core::Result<Out> run(const In& input) { return engine_.run(input); }
 

@@ -1,6 +1,7 @@
 #include "techniques/sql_nvp.hpp"
 
 #include "core/voters.hpp"
+#include "obs/obs.hpp"
 
 namespace redundancy::techniques {
 
@@ -16,16 +17,32 @@ template <typename T>
 core::Result<T> ReplicatedSqlServer::adjudicate(
     const std::function<core::Result<T>(sql::SqlStore&)>& op) const {
   ++metrics_.requests;
+  obs::ScopedSpan span{"sql_nvp.op"};
+  const obs::SpanContext ctx = span.context();
+  const std::uint64_t t0 = obs::enabled() ? obs::now_ns() : 0;
   std::vector<core::Ballot<T>> ballots;
   for (std::size_t i = 0; i < replicas_.size(); ++i) {
     if (evicted_.contains(i)) continue;
     ++metrics_.variant_executions;
+    obs::ScopedSpan rspan{"replica", ctx};
+    rspan.set_detail(std::string{replicas_[i]->engine()});
     auto out = op(*replicas_[i]);
+    rspan.set_ok(out.has_value());
     if (!out.has_value()) ++metrics_.variant_failures;
     ballots.push_back({i, std::string{replicas_[i]->engine()}, std::move(out)});
   }
+  const auto finish = [&](bool ok) {
+    if (t0 != 0) {
+      static obs::Histogram& latency = obs::histogram("sql_nvp.request_ns");
+      static obs::Counter& requests = obs::counter("sql_nvp.requests");
+      latency.record(obs::now_ns() - t0);
+      requests.add();
+    }
+    span.set_ok(ok);
+  };
   if (ballots.empty()) {
     ++metrics_.unrecovered;
+    finish(false);
     return core::failure(core::FailureKind::no_alternatives,
                          "every replica evicted");
   }
@@ -55,8 +72,22 @@ core::Result<T> ReplicatedSqlServer::adjudicate(
     wrapped.push_back({b.variant_index, b.variant_name, std::move(o)});
   }
   auto verdict = core::majority_voter<Outcome>()(wrapped);
+  if (ctx.active()) {
+    obs::AdjudicationEvent event;
+    event.technique = "sql_nvp";
+    event.electorate = replicas_.size();
+    event.ballots_seen = wrapped.size();
+    for (const auto& b : wrapped) {
+      if (!b.result.value().ok) ++event.ballots_failed;
+    }
+    event.accepted = verdict.has_value();
+    event.verdict =
+        verdict.has_value() ? "ok" : "replica outputs have no majority";
+    obs::record_adjudication(ctx, std::move(event));
+  }
   if (!verdict.has_value()) {
     ++metrics_.unrecovered;
+    finish(false);
     return core::failure(core::FailureKind::adjudication_failed,
                          "replica outputs have no majority");
   }
@@ -65,12 +96,17 @@ core::Result<T> ReplicatedSqlServer::adjudicate(
     if (b.result.value() == verdict.value()) continue;
     ++divergences_;
     ++metrics_.recoveries;
+    if (obs::enabled()) {
+      static obs::Counter& diverged = obs::counter("sql_nvp.divergences");
+      diverged.add();
+    }
     if (options_.evict_divergent) {
       evicted_.insert(b.variant_index);
       ++metrics_.disabled_components;
     }
   }
   const Outcome& out = verdict.value();
+  finish(out.ok);
   if (!out.ok) return core::failure(out.kind, "replicated verdict: failure");
   return out.value;
 }

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <exception>
 
+#include "obs/obs.hpp"
+
 namespace redundancy::util {
 
 namespace {
@@ -13,6 +15,23 @@ namespace {
 // recursive fan-out cache-local and contention-free.
 thread_local ThreadPool* tls_pool = nullptr;
 thread_local std::size_t tls_index = 0;
+
+// Engine metrics, resolved once and leaked with the registry so workers
+// draining during static destruction stay safe. Updated only when
+// obs::enabled() — the disabled hot path pays one relaxed load.
+struct PoolMetrics {
+  obs::Counter& posted = obs::counter("pool.tasks_posted");
+  obs::Counter& executed = obs::counter("pool.tasks_executed");
+  obs::Counter& stolen = obs::counter("pool.tasks_stolen");
+  obs::Counter& helped = obs::counter("pool.tasks_helped");
+  obs::Histogram& queue_depth = obs::histogram("pool.queue_depth_at_post");
+  obs::Histogram& task_ns = obs::histogram("pool.task_exec_ns");
+
+  static PoolMetrics& get() {
+    static PoolMetrics* metrics = new PoolMetrics();
+    return *metrics;
+  }
+};
 
 }  // namespace
 
@@ -50,7 +69,12 @@ void ThreadPool::post(Task task) {
     std::lock_guard lock(queues_[qi]->m);
     queues_[qi]->q.push_back(std::move(task));
   }
-  pending_.fetch_add(1, std::memory_order_release);
+  const std::size_t depth = pending_.fetch_add(1, std::memory_order_release) + 1;
+  if (obs::enabled()) {
+    PoolMetrics& m = PoolMetrics::get();
+    m.posted.add();
+    m.queue_depth.record(depth);
+  }
   sleep_cv_.notify_one();
 }
 
@@ -80,6 +104,7 @@ bool ThreadPool::try_pop(std::size_t self, Task& out) {
       victim.q.pop_front();
       active_.fetch_add(1, std::memory_order_release);
       pending_.fetch_sub(1, std::memory_order_release);
+      if (obs::enabled()) PoolMetrics::get().stolen.add();
       return true;
     }
   }
@@ -103,7 +128,16 @@ bool ThreadPool::try_run_one() {
     }
   }
   if (!got) return false;
-  task();
+  if (obs::enabled()) {
+    PoolMetrics& m = PoolMetrics::get();
+    m.helped.add();
+    const std::uint64_t t0 = obs::now_ns();
+    task();
+    m.task_ns.record(obs::now_ns() - t0);
+    m.executed.add();
+  } else {
+    task();
+  }
   active_.fetch_sub(1, std::memory_order_release);
   return true;
 }
@@ -126,7 +160,15 @@ void ThreadPool::worker_loop(std::size_t self) {
   for (;;) {
     Task task;
     if (try_pop(self, task)) {
-      task();
+      if (obs::enabled()) {
+        PoolMetrics& m = PoolMetrics::get();
+        const std::uint64_t t0 = obs::now_ns();
+        task();
+        m.task_ns.record(obs::now_ns() - t0);
+        m.executed.add();
+      } else {
+        task();
+      }
       active_.fetch_sub(1, std::memory_order_release);
       continue;
     }

@@ -1,0 +1,106 @@
+// core::Metrics accumulation and reporting: operator+= is what merges
+// per-shard campaign metrics, so it must sum every field exactly.
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace redundancy::core {
+namespace {
+
+Metrics sample(std::size_t scale) {
+  Metrics m;
+  m.requests = 1 * scale;
+  m.variant_executions = 2 * scale;
+  m.variant_failures = 3 * scale;
+  m.adjudications = 4 * scale;
+  m.rollbacks = 5 * scale;
+  m.recoveries = 6 * scale;
+  m.unrecovered = 7 * scale;
+  m.disabled_components = 8 * scale;
+  m.cost_units = 9.5 * static_cast<double>(scale);
+  return m;
+}
+
+TEST(Metrics, PlusEqualsSumsEveryField) {
+  Metrics a = sample(1);
+  Metrics b = sample(10);
+  Metrics& ret = (a += b);
+  EXPECT_EQ(&ret, &a);  // returns *this for chaining
+  EXPECT_EQ(a.requests, 11u);
+  EXPECT_EQ(a.variant_executions, 22u);
+  EXPECT_EQ(a.variant_failures, 33u);
+  EXPECT_EQ(a.adjudications, 44u);
+  EXPECT_EQ(a.rollbacks, 55u);
+  EXPECT_EQ(a.recoveries, 66u);
+  EXPECT_EQ(a.unrecovered, 77u);
+  EXPECT_EQ(a.disabled_components, 88u);
+  EXPECT_DOUBLE_EQ(a.cost_units, 9.5 * 11.0);
+}
+
+TEST(Metrics, PlusEqualsWithDefaultIsIdentity) {
+  Metrics a = sample(3);
+  const Metrics before = a;
+  a += Metrics{};
+  EXPECT_EQ(a.requests, before.requests);
+  EXPECT_EQ(a.variant_executions, before.variant_executions);
+  EXPECT_EQ(a.variant_failures, before.variant_failures);
+  EXPECT_EQ(a.adjudications, before.adjudications);
+  EXPECT_EQ(a.rollbacks, before.rollbacks);
+  EXPECT_EQ(a.recoveries, before.recoveries);
+  EXPECT_EQ(a.unrecovered, before.unrecovered);
+  EXPECT_EQ(a.disabled_components, before.disabled_components);
+  EXPECT_DOUBLE_EQ(a.cost_units, before.cost_units);
+}
+
+TEST(Metrics, MergeOrderDoesNotMatter) {
+  Metrics ab = sample(2);
+  ab += sample(5);
+  Metrics ba = sample(5);
+  ba += sample(2);
+  EXPECT_EQ(ab.requests, ba.requests);
+  EXPECT_EQ(ab.variant_executions, ba.variant_executions);
+  EXPECT_DOUBLE_EQ(ab.cost_units, ba.cost_units);
+  EXPECT_EQ(ab.summary(), ba.summary());
+}
+
+TEST(Metrics, SummaryReportsEveryCounter) {
+  Metrics m = sample(1);
+  const std::string s = m.summary();
+  EXPECT_NE(s.find("requests=1"), std::string::npos) << s;
+  EXPECT_NE(s.find("execs=2"), std::string::npos) << s;
+  EXPECT_NE(s.find("fails=3"), std::string::npos) << s;
+  EXPECT_NE(s.find("adjudications=4"), std::string::npos) << s;
+  EXPECT_NE(s.find("rollbacks=5"), std::string::npos) << s;
+  EXPECT_NE(s.find("recovered=6"), std::string::npos) << s;
+  EXPECT_NE(s.find("unrecovered=7"), std::string::npos) << s;
+  EXPECT_NE(s.find("cost=9.5"), std::string::npos) << s;
+}
+
+TEST(Metrics, SummaryOfFreshMetricsIsAllZero) {
+  const std::string s = Metrics{}.summary();
+  EXPECT_NE(s.find("requests=0"), std::string::npos) << s;
+  EXPECT_NE(s.find("cost=0.0"), std::string::npos) << s;
+}
+
+TEST(Metrics, ResetClearsEverything) {
+  Metrics m = sample(4);
+  m.reset();
+  EXPECT_EQ(m.requests, 0u);
+  EXPECT_EQ(m.variant_executions, 0u);
+  EXPECT_EQ(m.disabled_components, 0u);
+  EXPECT_DOUBLE_EQ(m.cost_units, 0.0);
+}
+
+TEST(Metrics, PerRequestRatios) {
+  Metrics m;
+  EXPECT_DOUBLE_EQ(m.executions_per_request(), 0.0);  // no div-by-zero
+  EXPECT_DOUBLE_EQ(m.cost_per_request(), 0.0);
+  m.requests = 4;
+  m.variant_executions = 12;
+  m.cost_units = 6.0;
+  EXPECT_DOUBLE_EQ(m.executions_per_request(), 3.0);
+  EXPECT_DOUBLE_EQ(m.cost_per_request(), 1.5);
+}
+
+}  // namespace
+}  // namespace redundancy::core

@@ -1,0 +1,353 @@
+// obs::Recorder end-to-end: a traced 3-variant NVP request round-trips
+// through the JSONL sink and back through a schema-checking parser; sampling
+// suppresses whole traces; span parentage survives explicit-context
+// propagation across threads.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/variant.hpp"
+#include "obs/obs.hpp"
+#include "techniques/nvp.hpp"
+
+namespace redundancy::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser for one flat object per line — just enough to
+// schema-check the trace without a JSON dependency.
+
+struct JsonValue {
+  enum class Kind { string, number, boolean } kind = Kind::string;
+  std::string str;
+  std::uint64_t num = 0;
+  bool b = false;
+};
+
+using JsonObject = std::map<std::string, JsonValue>;
+
+/// Parses a flat {"k": v, ...} object; returns false on malformed input.
+bool parse_flat_json(const std::string& line, JsonObject& out) {
+  std::size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  };
+  auto parse_string = [&](std::string& s) {
+    if (line[i] != '"') return false;
+    ++i;
+    s.clear();
+    while (i < line.size() && line[i] != '"') {
+      if (line[i] == '\\') {
+        if (++i >= line.size()) return false;
+        switch (line[i]) {
+          case 'n': s.push_back('\n'); break;
+          case 't': s.push_back('\t'); break;
+          case 'r': s.push_back('\r'); break;
+          case 'u':
+            if (i + 4 >= line.size()) return false;
+            s.push_back(static_cast<char>(
+                std::stoi(line.substr(i + 1, 4), nullptr, 16)));
+            i += 4;
+            break;
+          default: s.push_back(line[i]);
+        }
+      } else {
+        s.push_back(line[i]);
+      }
+      ++i;
+    }
+    if (i >= line.size()) return false;
+    ++i;  // closing quote
+    return true;
+  };
+  skip_ws();
+  if (i >= line.size() || line[i] != '{') return false;
+  ++i;
+  skip_ws();
+  if (i < line.size() && line[i] == '}') return true;
+  while (i < line.size()) {
+    skip_ws();
+    std::string key;
+    if (!parse_string(key)) return false;
+    skip_ws();
+    if (i >= line.size() || line[i] != ':') return false;
+    ++i;
+    skip_ws();
+    JsonValue v;
+    if (line[i] == '"') {
+      v.kind = JsonValue::Kind::string;
+      if (!parse_string(v.str)) return false;
+    } else if (line.compare(i, 4, "true") == 0) {
+      v.kind = JsonValue::Kind::boolean;
+      v.b = true;
+      i += 4;
+    } else if (line.compare(i, 5, "false") == 0) {
+      v.kind = JsonValue::Kind::boolean;
+      v.b = false;
+      i += 5;
+    } else {
+      v.kind = JsonValue::Kind::number;
+      std::size_t start = i;
+      while (i < line.size() &&
+             ((line[i] >= '0' && line[i] <= '9') || line[i] == '-')) {
+        ++i;
+      }
+      if (i == start) return false;
+      v.num = std::stoull(line.substr(start, i - start));
+    }
+    out[key] = std::move(v);
+    skip_ws();
+    if (i < line.size() && line[i] == ',') {
+      ++i;
+      continue;
+    }
+    break;
+  }
+  skip_ws();
+  return i < line.size() && line[i] == '}';
+}
+
+// ---------------------------------------------------------------------------
+
+class RecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!kCompiledIn) GTEST_SKIP() << "obs compiled out (REDUNDANCY_OBS_NOOP)";
+    auto& rec = Recorder::instance();
+    rec.clear_sinks();
+    rec.set_sample_every(1);
+    rec.set_enabled(true);
+  }
+  void TearDown() override {
+    auto& rec = Recorder::instance();
+    rec.set_enabled(false);
+    rec.clear_sinks();
+    rec.set_sample_every(1);
+  }
+};
+
+techniques::NVersionProgramming<int, int> make_nvp() {
+  std::vector<core::Variant<int, int>> versions;
+  for (int i = 0; i < 3; ++i) {
+    versions.push_back(core::make_variant<int, int>(
+        "version-" + std::to_string(i),
+        [](const int& x) -> core::Result<int> { return x * 2; }));
+  }
+  return techniques::NVersionProgramming<int, int>(std::move(versions));
+}
+
+void expect_number(const JsonObject& o, const std::string& key) {
+  auto it = o.find(key);
+  ASSERT_NE(it, o.end()) << "missing field " << key;
+  EXPECT_EQ(it->second.kind, JsonValue::Kind::number) << key;
+}
+
+void expect_string(const JsonObject& o, const std::string& key) {
+  auto it = o.find(key);
+  ASSERT_NE(it, o.end()) << "missing field " << key;
+  EXPECT_EQ(it->second.kind, JsonValue::Kind::string) << key;
+}
+
+void expect_boolean(const JsonObject& o, const std::string& key) {
+  auto it = o.find(key);
+  ASSERT_NE(it, o.end()) << "missing field " << key;
+  EXPECT_EQ(it->second.kind, JsonValue::Kind::boolean) << key;
+}
+
+TEST_F(RecorderTest, JsonlNvpRequestRoundTripsWithValidSchema) {
+  std::ostringstream trace;
+  Recorder::instance().add_sink(std::make_shared<JsonlTraceSink>(trace));
+
+  auto nvp = make_nvp();
+  auto out = nvp.run(21);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out.value(), 42);
+  Recorder::instance().flush();
+
+  std::vector<JsonObject> spans;
+  std::vector<JsonObject> adjudications;
+  std::istringstream lines{trace.str()};
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    JsonObject obj;
+    ASSERT_TRUE(parse_flat_json(line, obj)) << "bad JSONL line: " << line;
+    ASSERT_TRUE(obj.count("type")) << line;
+    if (obj["type"].str == "span") {
+      expect_number(obj, "trace");
+      expect_number(obj, "span");
+      expect_number(obj, "parent");
+      expect_number(obj, "t_start_ns");
+      expect_number(obj, "t_end_ns");
+      expect_boolean(obj, "ok");
+      expect_string(obj, "name");
+      expect_string(obj, "detail");
+      EXPECT_GE(obj["t_end_ns"].num, obj["t_start_ns"].num);
+      spans.push_back(std::move(obj));
+    } else if (obj["type"].str == "adjudication") {
+      expect_number(obj, "trace");
+      expect_number(obj, "parent");
+      expect_number(obj, "t_ns");
+      expect_number(obj, "round");
+      expect_number(obj, "electorate");
+      expect_number(obj, "ballots_seen");
+      expect_number(obj, "ballots_failed");
+      expect_number(obj, "stragglers_cancelled");
+      expect_boolean(obj, "accepted");
+      expect_string(obj, "technique");
+      expect_string(obj, "verdict");
+      expect_string(obj, "winner");
+      adjudications.push_back(std::move(obj));
+    } else {
+      FAIL() << "unknown record type in " << line;
+    }
+  }
+
+  // One request span, three variant spans, one vote — all in one trace.
+  ASSERT_EQ(spans.size(), 4u);
+  ASSERT_EQ(adjudications.size(), 1u);
+  const JsonObject* root = nullptr;
+  for (auto& s : spans) {
+    if (s.at("name").str == "nvp") root = &s;
+  }
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->at("parent").num, 0u);
+  EXPECT_TRUE(root->at("ok").b);
+  std::size_t variants = 0;
+  for (const auto& s : spans) {
+    EXPECT_EQ(s.at("trace").num, root->at("trace").num);
+    if (&s == root) continue;
+    EXPECT_EQ(s.at("name").str, "variant");
+    EXPECT_EQ(s.at("parent").num, root->at("span").num);
+    EXPECT_TRUE(s.at("ok").b);
+    EXPECT_EQ(s.at("detail").str.rfind("version-", 0), 0u);
+    EXPECT_GE(s.at("t_start_ns").num, root->at("t_start_ns").num);
+    ++variants;
+  }
+  EXPECT_EQ(variants, 3u);
+  const JsonObject& vote = adjudications[0];
+  EXPECT_EQ(vote.at("trace").num, root->at("trace").num);
+  EXPECT_EQ(vote.at("parent").num, root->at("span").num);
+  EXPECT_EQ(vote.at("technique").str, "nvp");
+  EXPECT_EQ(vote.at("electorate").num, 3u);
+  EXPECT_EQ(vote.at("ballots_seen").num, 3u);
+  EXPECT_EQ(vote.at("ballots_failed").num, 0u);
+  EXPECT_TRUE(vote.at("accepted").b);
+  EXPECT_EQ(vote.at("verdict").str, "ok");
+}
+
+TEST_F(RecorderTest, SamplingSuppressesWholeTraces) {
+  auto sink = std::make_shared<CollectingSink>();
+  Recorder::instance().add_sink(sink);
+  Recorder::instance().set_sample_every(4);
+
+  auto nvp = make_nvp();
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(nvp.run(i).has_value());
+  Recorder::instance().flush();
+
+  // Exactly 2 of 8 consecutive roots are drawn at 1-in-4, whatever the
+  // global phase; descendants of unsampled roots are suppressed with them.
+  std::size_t roots = 0;
+  std::size_t variants = 0;
+  for (const auto& s : sink->spans()) {
+    if (s.name == "nvp") ++roots;
+    if (s.name == "variant") ++variants;
+  }
+  EXPECT_EQ(roots, 2u);
+  EXPECT_EQ(variants, 3 * roots);
+  EXPECT_EQ(sink->adjudications().size(), roots);
+}
+
+TEST_F(RecorderTest, DisabledRecorderEmitsNothing) {
+  auto sink = std::make_shared<CollectingSink>();
+  Recorder::instance().add_sink(sink);
+  Recorder::instance().set_enabled(false);
+
+  auto nvp = make_nvp();
+  ASSERT_TRUE(nvp.run(1).has_value());
+  Recorder::instance().flush();
+  EXPECT_TRUE(sink->spans().empty());
+  EXPECT_TRUE(sink->adjudications().empty());
+}
+
+TEST_F(RecorderTest, CountersAccrueEvenWithoutSinks) {
+  // Metrics are always-on when enabled; traces need a sink but counters
+  // and histograms do not.
+  auto& requests = counter("nvp.requests");
+  auto& latency = histogram("nvp.request_ns");
+  const std::uint64_t req0 = requests.total();
+  const std::uint64_t lat0 = latency.count();
+
+  auto nvp = make_nvp();
+  ASSERT_TRUE(nvp.run(1).has_value());
+  ASSERT_TRUE(nvp.run(2).has_value());
+  EXPECT_EQ(requests.total() - req0, 2u);
+  EXPECT_EQ(latency.count() - lat0, 2u);
+}
+
+TEST_F(RecorderTest, AmbientNestingLinksParentAndChild) {
+  auto sink = std::make_shared<CollectingSink>();
+  Recorder::instance().add_sink(sink);
+  {
+    ScopedSpan outer{"outer"};
+    ScopedSpan inner{"inner"};
+    inner.set_detail("nested");
+  }
+  Recorder::instance().flush();
+  ASSERT_EQ(sink->spans().size(), 2u);
+  const SpanRecord& inner = sink->spans()[0];  // closes first
+  const SpanRecord& outer = sink->spans()[1];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.parent_id, 0u);
+  EXPECT_EQ(inner.trace_id, outer.trace_id);
+  EXPECT_EQ(inner.parent_id, outer.span_id);
+}
+
+TEST_F(RecorderTest, ExplicitContextCrossesThreads) {
+  auto sink = std::make_shared<CollectingSink>();
+  Recorder::instance().add_sink(sink);
+  SpanContext root_ctx;
+  {
+    ScopedSpan root{"request"};
+    root_ctx = root.context();
+    std::thread worker([root_ctx] {
+      ScopedSpan child{"work", root_ctx};
+      child.set_ok(true);
+    });
+    worker.join();
+  }
+  Recorder::instance().flush();
+  ASSERT_EQ(sink->spans().size(), 2u);
+  const SpanRecord* child = nullptr;
+  const SpanRecord* root = nullptr;
+  for (const auto& s : sink->spans()) {
+    if (s.name == "work") child = &s;
+    if (s.name == "request") root = &s;
+  }
+  ASSERT_NE(child, nullptr);
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(child->trace_id, root->trace_id);
+  EXPECT_EQ(child->parent_id, root->span_id);
+  EXPECT_EQ(root->span_id, root_ctx.span);
+}
+
+TEST_F(RecorderTest, InactiveContextMakesChildSilent) {
+  auto sink = std::make_shared<CollectingSink>();
+  Recorder::instance().add_sink(sink);
+  {
+    ScopedSpan child{"work", SpanContext{}};  // no parent: stays inactive
+    EXPECT_FALSE(child.active());
+  }
+  Recorder::instance().flush();
+  EXPECT_TRUE(sink->spans().empty());
+}
+
+}  // namespace
+}  // namespace redundancy::obs
