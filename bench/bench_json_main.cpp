@@ -8,6 +8,12 @@
 // histogram's deterministic log-linear percentile estimates; with the
 // default single repetition they collapse to the one measured bucket (pass
 // --benchmark_repetitions=N for real percentiles).
+//
+// Live telemetry is opt-in via the REDUNDANCY_OBS_* environment: with
+// REDUNDANCY_OBS_HTTP_PORT set, every bench binary exposes /metrics,
+// /healthz and /traces while it runs (and lingers REDUNDANCY_OBS_HTTP_
+// LINGER_MS afterwards); REDUNDANCY_OBS_TRACE_FILE records a JSONL trace
+// for tools/tracetool.
 #include <benchmark/benchmark.h>
 
 #include <cmath>
@@ -17,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "core/live_telemetry.hpp"
 #include "obs/histogram.hpp"
 #include "util/thread_pool.hpp"
 
@@ -118,12 +125,14 @@ void write_json(const std::string& binary,
 }  // namespace
 
 int main(int argc, char** argv) {
+  auto telemetry = redundancy::core::start_live_telemetry_from_env();
   const std::string binary = basename_of(argv[0]);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   CollectingReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   write_json(binary, reporter.series());
+  if (telemetry) redundancy::core::linger_from_env();
   benchmark::Shutdown();
   return 0;
 }

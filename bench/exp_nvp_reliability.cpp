@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "campaign_runner.hpp"
+#include "core/live_telemetry.hpp"
 #include "faults/campaign.hpp"
 #include "faults/fault.hpp"
 #include "techniques/nvp.hpp"
@@ -39,6 +40,7 @@ std::vector<core::Variant<int, int>> versions(std::size_t n, double p,
 }  // namespace
 
 int main() {
+  auto telemetry = core::start_live_telemetry_from_env();
   constexpr std::size_t kRequests = 30'000;
   util::Table table{
       "E1. N-version programming: reliability vs N, fault rate, and "
@@ -97,5 +99,6 @@ int main() {
                "(approx. P[>=majority correct]); shared region -> flat at\n"
                "~(1-p): voting cannot help when versions fail together. The\n"
                "2k+1 table masks exactly f<=k.\n";
+  if (telemetry) core::linger_from_env();
   return 0;
 }

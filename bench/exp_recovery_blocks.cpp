@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "campaign_runner.hpp"
+#include "core/live_telemetry.hpp"
 #include "faults/campaign.hpp"
 #include "faults/fault.hpp"
 #include "techniques/nvp.hpp"
@@ -46,6 +47,7 @@ core::AcceptanceTest<int, int> detector(double q) {
 }  // namespace
 
 int main() {
+  auto telemetry = core::start_live_telemetry_from_env();
   constexpr std::size_t kRequests = 30'000;
   constexpr double kFaultRate = 0.10;
   constexpr std::size_t kN = 3;
@@ -91,5 +93,6 @@ int main() {
                "slip through (safety drops) while NVP's implicit vote is\n"
                "immune to adjudicator quality — the paper's design-cost vs\n"
                "execution-cost trade-off.\n";
+  if (telemetry) core::linger_from_env();
   return 0;
 }

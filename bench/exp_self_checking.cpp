@@ -8,6 +8,7 @@
 // system goes down until redeployment.
 #include <iostream>
 
+#include "core/live_telemetry.hpp"
 #include "faults/fault.hpp"
 #include "techniques/self_checking.hpp"
 #include "util/table.hpp"
@@ -21,6 +22,7 @@ int golden(const int& x) { return 2 * x + 1; }
 }  // namespace
 
 int main() {
+  auto telemetry = core::start_live_telemetry_from_env();
   using SC = techniques::SelfCheckingProgramming<int, int>;
 
   // Components fail permanently when their burst window opens.
@@ -72,5 +74,6 @@ int main() {
                "requests at t=200 and t=500); rollbacks stay 0 throughout —\n"
                "the defining contrast with recovery blocks. After t=800 the\n"
                "redundancy is fully consumed and the system is down.\n";
+  if (telemetry) core::linger_from_env();
   return 0;
 }

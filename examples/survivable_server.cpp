@@ -12,8 +12,16 @@
 //
 // An attacker mixes benign traffic with absolute-address hijacks, code
 // injection, and heap smashes.
+//
+// Live telemetry (opt-in): REDUNDANCY_OBS_HTTP_PORT=9137 starts the
+// embedded exporter — `curl localhost:9137/metrics` scrapes Prometheus
+// text, `/healthz` reports per-technique health from recent adjudication
+// verdicts, `/traces?n=10` tails recent request spans. Set
+// REDUNDANCY_OBS_HTTP_LINGER_MS to keep the endpoints up after the
+// workload finishes.
 #include <iostream>
 
+#include "core/live_telemetry.hpp"
 #include "techniques/nvariant_data.hpp"
 #include "techniques/process_replicas.hpp"
 #include "techniques/wrappers.hpp"
@@ -24,6 +32,7 @@
 using namespace redundancy;
 
 int main() {
+  auto telemetry = core::start_live_telemetry_from_env();
   util::Rng rng{1337};
 
   techniques::ProcessReplicas replicas{
@@ -113,5 +122,6 @@ int main() {
                     ? "Zero leaks, zero corrupted blocks: every attack was "
                       "detected or defused.\n"
                     : "SOME ATTACKS SUCCEEDED — see the table.\n");
+  if (telemetry) core::linger_from_env();
   return (leaks == 0 && heap.corrupted_blocks() == 0) ? 0 : 1;
 }

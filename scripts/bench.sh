@@ -28,7 +28,7 @@ if [ "${#benches[@]}" -eq 0 ]; then
   benches=(bench_patterns bench_voters bench_checkpoint bench_vm
            bench_wrappers bench_sql bench_rollback)
 fi
-cmake --build "${BUILD_DIR}" -j "$(nproc)" -- "${benches[@]}"
+cmake --build "${BUILD_DIR}" -j "$(nproc)" -- "${benches[@]}" tracetool
 
 mkdir -p "${OUT_DIR}"
 repo_root="$(pwd)"
@@ -37,8 +37,18 @@ for b in "${benches[@]}"; do
   # shellcheck disable=SC2086  # BENCH_ARGS is intentionally word-split
   (cd "${OUT_DIR}" && "${repo_root}/${BUILD_DIR}/bench/${b}" ${BENCH_ARGS:-})
 done
+# Every recorded trace gets the tracetool treatment: per-technique
+# reliability attribution, critical-path latency decomposition, and the
+# SLO/error-budget report, as <trace>.report.md next to the trace.
+for trace in "${OUT_DIR}"/*.trace.jsonl; do
+  [ -e "${trace}" ] || continue
+  report="${trace%.trace.jsonl}.report.md"
+  echo "=== tracetool report $(basename "${trace}") ==="
+  "${BUILD_DIR}/tools/tracetool" report --out="${report}" "${trace}"
+done
+
 artifacts="$(cd "${OUT_DIR}" &&
-             ls BENCH_*.json ./*.trace.jsonl metrics_*.prom 2>/dev/null ||
-             true)"
+             ls BENCH_*.json ./*.trace.jsonl ./*.report.md metrics_*.prom \
+               2>/dev/null || true)"
 echo "results in ${OUT_DIR}:"
 echo "${artifacts:-  (none)}"

@@ -1,0 +1,99 @@
+// Per-technique health derived from recent adjudication verdicts.
+//
+// The paper's adjudicator is the component that *knows* whether redundancy
+// is currently earning its keep: a verdict that accepts with zero failed
+// ballots means the variants agree (healthy); accepting while masking
+// failed ballots means the technique is actively spending redundancy to
+// stay correct (degraded); rejecting means redundancy was exhausted
+// (failing). HealthTracker folds the stream of obs::AdjudicationEvents into
+// exactly that three-state signal, per technique, over a sliding window of
+// the most recent verdicts — the body behind `GET /healthz`.
+//
+//   ok        — no rejected and no masked verdicts in the window
+//   degraded  — accepting, but ≥1 verdict masked failed ballots
+//   failing   — ≥1 verdict in the window rejected outright
+//
+// It plugs straight into the Recorder as a TraceSink (span records are
+// ignored), so health tracks whatever the instrumentation already emits.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/event.hpp"
+#include "obs/sink.hpp"
+
+namespace redundancy::core {
+
+enum class HealthState : std::uint8_t { unknown, ok, degraded, failing };
+
+[[nodiscard]] std::string_view to_string(HealthState state) noexcept;
+
+/// One technique's view over its window of recent verdicts.
+struct TechniqueHealth {
+  HealthState state = HealthState::unknown;
+  std::size_t window = 0;    ///< verdicts currently in the window
+  std::size_t accepted = 0;  ///< accepted verdicts in the window
+  std::size_t masked = 0;    ///< accepted with ballots_failed > 0
+  std::size_t rejected = 0;  ///< verdicts that carried no value
+  std::uint64_t stragglers_cancelled = 0;  ///< summed over the window
+};
+
+class HealthTracker final : public obs::TraceSink {
+ public:
+  /// `window` = verdicts retained per technique (the health horizon).
+  explicit HealthTracker(std::size_t window = 64);
+
+  void on_span(const obs::SpanRecord&) override {}
+  void on_adjudication(const obs::AdjudicationEvent& event) override {
+    observe(event);
+  }
+
+  /// Fold one verdict in (also usable without the Recorder). Thread-safe.
+  void observe(const obs::AdjudicationEvent& event);
+
+  /// Health of one technique (state `unknown` when never seen).
+  [[nodiscard]] TechniqueHealth technique(const std::string& name) const;
+
+  /// Every technique seen so far, sorted by name.
+  [[nodiscard]] std::vector<std::pair<std::string, TechniqueHealth>>
+  snapshot() const;
+
+  /// Worst state over all techniques (`unknown` when nothing observed yet —
+  /// an idle process is not unhealthy).
+  [[nodiscard]] HealthState overall() const;
+
+  /// The /healthz body: one summary line, then one line per technique.
+  [[nodiscard]] std::string healthz_text() const;
+
+  void reset();
+
+ private:
+  struct Window {
+    struct Verdict {
+      bool accepted = false;
+      bool masked = false;
+      std::uint32_t stragglers = 0;
+    };
+    std::deque<Verdict> recent;
+    std::size_t accepted = 0;
+    std::size_t masked = 0;
+    std::size_t rejected = 0;
+    std::uint64_t stragglers_cancelled = 0;
+  };
+
+  [[nodiscard]] static TechniqueHealth derive(const Window& w);
+
+  const std::size_t window_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Window> techniques_;
+};
+
+}  // namespace redundancy::core

@@ -1,0 +1,108 @@
+#include "core/live_telemetry.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "obs/obs.hpp"
+
+namespace redundancy::core {
+
+namespace {
+
+/// getenv as a non-negative integer; `fallback` when unset or malformed.
+long long env_ll(const char* name, long long fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  char* stop = nullptr;
+  const long long v = std::strtoll(s, &stop, 10);
+  if (stop == s || *stop != '\0' || v < 0) return fallback;
+  return v;
+}
+
+}  // namespace
+
+LiveTelemetry::~LiveTelemetry() {
+  obs::Recorder::instance().flush();
+  if (http) http->stop();
+}
+
+std::unique_ptr<LiveTelemetry> start_live_telemetry_from_env() {
+  const char* trace_path = std::getenv("REDUNDANCY_OBS_TRACE_FILE");
+  const bool want_trace = trace_path != nullptr && *trace_path != '\0';
+  const char* port_env = std::getenv("REDUNDANCY_OBS_HTTP_PORT");
+  const bool want_http = port_env != nullptr && *port_env != '\0';
+  if (!want_trace && !want_http) return nullptr;
+
+  auto telemetry = std::make_unique<LiveTelemetry>();
+  auto& recorder = obs::Recorder::instance();
+
+  telemetry->health = std::make_shared<HealthTracker>();
+  recorder.add_sink(telemetry->health);
+  if (want_trace) {
+    telemetry->trace_file = std::make_shared<obs::JsonlTraceSink>(
+        std::string{trace_path});
+    if (telemetry->trace_file->is_open()) {
+      recorder.add_sink(telemetry->trace_file);
+    } else {
+      std::fprintf(stderr, "obs: cannot open trace file %s\n", trace_path);
+    }
+  }
+
+  recorder.set_sample_every(
+      static_cast<std::uint64_t>(env_ll("REDUNDANCY_OBS_SAMPLE", 1)));
+  recorder.set_enabled(true);
+
+  if (want_http) {
+    telemetry->ring = std::make_shared<obs::RingTraceSink>();
+    recorder.add_sink(telemetry->ring);
+
+    obs::HttpExporter::Options options;
+    options.port = static_cast<std::uint16_t>(
+        env_ll("REDUNDANCY_OBS_HTTP_PORT", 0));
+    const auto health = telemetry->health;
+    options.healthz_handler = [health]() -> obs::HttpResponse {
+      // Drain the per-thread buffers so the window sees current verdicts.
+      obs::Recorder::instance().flush();
+      const HealthState state = health->overall();
+      return {state == HealthState::failing ? 503 : 200,
+              "text/plain; charset=utf-8", health->healthz_text()};
+    };
+    const auto ring = telemetry->ring;
+    options.traces_handler = [ring](std::size_t n) -> obs::HttpResponse {
+      obs::Recorder::instance().flush();
+      std::string body;
+      for (const auto& line : ring->tail(n)) {
+        body += line;
+        body += '\n';
+      }
+      return {200, "application/x-ndjson", std::move(body)};
+    };
+
+    telemetry->http = std::make_unique<obs::HttpExporter>();
+    if (telemetry->http->start(std::move(options))) {
+      std::fprintf(stderr,
+                   "obs: live telemetry on http://127.0.0.1:%u "
+                   "(/metrics /healthz /traces?n=K)\n",
+                   static_cast<unsigned>(telemetry->http->port()));
+    } else {
+      std::fprintf(stderr, "obs: could not bind http exporter on port %s\n",
+                   port_env);
+      telemetry->http.reset();
+    }
+  }
+  return telemetry;
+}
+
+void linger_from_env() {
+  // Scrapers arriving during the linger want the final verdicts visible.
+  obs::Recorder::instance().flush();
+  const long long ms = env_ll("REDUNDANCY_OBS_HTTP_LINGER_MS", 0);
+  if (ms <= 0) return;
+  std::fprintf(stderr, "obs: lingering %lld ms for scrapers\n", ms);
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace redundancy::core

@@ -1,0 +1,51 @@
+// One-call wiring of live telemetry for examples, benches and experiment
+// drivers, driven entirely by environment variables so every binary stays
+// opt-in and zero-cost by default:
+//
+//   REDUNDANCY_OBS_HTTP_PORT   start obs::HttpExporter on 127.0.0.1:<port>
+//                              (0 = ephemeral; the chosen port is printed).
+//                              Serves /metrics, /healthz (from a
+//                              core::HealthTracker fed by the recorder) and
+//                              /traces?n=K (from a RingTraceSink).
+//   REDUNDANCY_OBS_TRACE_FILE  also append every record to this JSONL file
+//                              (tools/tracetool input).
+//   REDUNDANCY_OBS_SAMPLE      root-span sampling divisor (default 1).
+//   REDUNDANCY_OBS_HTTP_LINGER_MS
+//                              how long linger_from_env() sleeps before the
+//                              process exits, so scrapers can hit the
+//                              endpoints after the workload finished.
+//
+// Setting either of the first two enables the recorder for the process
+// lifetime. With none of them set, start_live_telemetry_from_env() returns
+// nullptr and nothing changes.
+#pragma once
+
+#include <memory>
+
+#include "core/health.hpp"
+#include "obs/http_exporter.hpp"
+#include "obs/sink.hpp"
+
+namespace redundancy::core {
+
+/// Owns the wired-up telemetry; destroying it flushes the recorder and
+/// stops the HTTP thread (sinks stay attached — the Recorder is process-
+/// wide and the process is exiting anyway).
+struct LiveTelemetry {
+  std::shared_ptr<HealthTracker> health;
+  std::shared_ptr<obs::RingTraceSink> ring;
+  std::shared_ptr<obs::JsonlTraceSink> trace_file;
+  std::unique_ptr<obs::HttpExporter> http;
+
+  ~LiveTelemetry();
+};
+
+/// Wire up whatever the REDUNDANCY_OBS_* environment asks for; nullptr when
+/// none of it is set.
+std::unique_ptr<LiveTelemetry> start_live_telemetry_from_env();
+
+/// Sleep REDUNDANCY_OBS_HTTP_LINGER_MS milliseconds (0/unset: return at
+/// once) so a scraper can reach the endpoints after the workload is done.
+void linger_from_env();
+
+}  // namespace redundancy::core

@@ -281,9 +281,9 @@ class ParallelSelection {
   /// Always-on (sampling-independent) registry metrics for one request.
   void account_observability(std::uint64_t t0, bool ok) {
     if (lat_hist_ == nullptr) {
-      lat_hist_ = &obs::histogram(obs_label_ + ".request_ns");
-      req_counter_ = &obs::counter(obs_label_ + ".requests");
-      fail_counter_ = &obs::counter(obs_label_ + ".unrecovered");
+      lat_hist_ = &obs::histogram("technique.request_ns", obs_label_);
+      req_counter_ = &obs::counter("technique.requests", obs_label_);
+      fail_counter_ = &obs::counter("technique.unrecovered", obs_label_);
     }
     lat_hist_->record(obs::now_ns() - t0);
     req_counter_->add();

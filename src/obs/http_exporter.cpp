@@ -1,0 +1,204 @@
+#include "obs/http_exporter.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <utility>
+
+#include "obs/metrics_registry.hpp"
+
+namespace redundancy::obs {
+
+namespace {
+
+constexpr int kPollIntervalMs = 100;   // stop-flag check cadence
+constexpr int kRequestTimeoutMs = 2000;
+constexpr std::size_t kMaxRequestBytes = 8192;
+constexpr std::size_t kDefaultTraceTail = 32;
+
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "OK";
+  }
+}
+
+/// Parse "n=K" out of a query string; default when absent or malformed.
+std::size_t tail_count(const std::string& query) {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t end = query.find('&', pos);
+    if (end == std::string::npos) end = query.size();
+    const std::string param = query.substr(pos, end - pos);
+    if (param.rfind("n=", 0) == 0) {
+      const std::string value = param.substr(2);
+      char* stop = nullptr;
+      const unsigned long long n = std::strtoull(value.c_str(), &stop, 10);
+      if (stop != value.c_str() && *stop == '\0' && n > 0) {
+        return static_cast<std::size_t>(n);
+      }
+      return kDefaultTraceTail;
+    }
+    pos = end + 1;
+  }
+  return kDefaultTraceTail;
+}
+
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool HttpExporter::start(Options options) {
+  if (running()) return false;
+  options_ = std::move(options);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, options_.backlog) != 0) {
+    ::close(fd);
+    return false;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return false;
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+  return true;
+}
+
+void HttpExporter::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpExporter::serve_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollIntervalMs);
+    if (ready <= 0) continue;  // timeout (re-check stop flag) or EINTR
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    handle_connection(conn);
+    ::close(conn);
+  }
+}
+
+void HttpExporter::handle_connection(int fd) {
+  // Read until the end of the request head, a byte cap, or a timeout. The
+  // request body (there is none for GET) is ignored.
+  std::string request;
+  const std::uint64_t deadline_hint = kRequestTimeoutMs / kPollIntervalMs;
+  for (std::uint64_t waits = 0; request.find("\r\n\r\n") == std::string::npos;) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollIntervalMs);
+    if (ready < 0 && errno != EINTR) return;
+    if (ready <= 0) {
+      if (++waits > deadline_hint || stop_.load(std::memory_order_acquire)) {
+        return;
+      }
+      continue;
+    }
+    char buf[1024];
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) return;
+    request.append(buf, static_cast<std::size_t>(n));
+    if (request.size() > kMaxRequestBytes) return;
+  }
+
+  // Request line: METHOD SP target SP version.
+  HttpResponse response;
+  const std::size_t line_end = request.find("\r\n");
+  const std::string line = request.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    response = {400, "text/plain; charset=utf-8", "bad request\n"};
+  } else if (line.substr(0, sp1) != "GET") {
+    response = {405, "text/plain; charset=utf-8", "method not allowed\n"};
+  } else {
+    response = route(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  }
+
+  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                     reason_phrase(response.status) + "\r\n";
+  head += "Content-Type: " + response.content_type + "\r\n";
+  head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  head += "Connection: close\r\n\r\n";
+  if (write_all(fd, head)) (void)write_all(fd, response.body);
+  served_.fetch_add(1, std::memory_order_relaxed);
+}
+
+HttpResponse HttpExporter::route(const std::string& target) {
+  std::string path = target;
+  std::string query;
+  if (const std::size_t q = target.find('?'); q != std::string::npos) {
+    path = target.substr(0, q);
+    query = target.substr(q + 1);
+  }
+
+  if (path == "/metrics") {
+    if (options_.metrics_handler) return options_.metrics_handler();
+    return {200, "text/plain; version=0.0.4; charset=utf-8",
+            MetricsRegistry::instance().render_prometheus_text()};
+  }
+  if (path == "/healthz") {
+    if (options_.healthz_handler) return options_.healthz_handler();
+    return {200, "text/plain; charset=utf-8", "ok\n"};
+  }
+  if (path == "/traces") {
+    if (options_.traces_handler) {
+      return options_.traces_handler(tail_count(query));
+    }
+    return {404, "text/plain; charset=utf-8", "no trace ring attached\n"};
+  }
+  return {404, "text/plain; charset=utf-8",
+          "not found; try /metrics, /healthz, /traces?n=K\n"};
+}
+
+}  // namespace redundancy::obs

@@ -1,0 +1,91 @@
+// obs::HttpExporter — embedded HTTP/1.1 scrape endpoint for live telemetry.
+//
+// A redundancy layer that serves traffic must expose its adjudicator
+// verdicts and variant health *while running*, not only as post-mortem
+// files. This is a deliberately small POSIX-socket server: one dedicated
+// thread, a bounded accept backlog, connections handled serially (scrapers
+// are few and periodic), graceful shutdown on destruction. Routes:
+//
+//   GET /metrics    — Prometheus text exposition of obs::MetricsRegistry
+//                     (same bucketing as the metrics_*.prom artifacts).
+//   GET /healthz    — per-technique health; callers wire in a handler
+//                     derived from recent adjudication verdicts
+//                     (core::HealthTracker). 200 when serving, 503 failing.
+//   GET /traces?n=K — tail of the ring of recent root spans as JSONL
+//                     (RingTraceSink).
+//
+// The exporter never touches the recorder fast path: a scrape reads the
+// registry/ring under their own locks. It compiles (and works — counters
+// simply read zero) under -DREDUNDANCY_OBS_NOOP.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace redundancy::obs {
+
+/// What a route handler returns; the exporter adds the status line,
+/// Content-Length and Connection: close.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class HttpExporter {
+ public:
+  struct Options {
+    /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (read the
+    /// result from port()).
+    std::uint16_t port = 0;
+    /// Bounded accept backlog passed to listen(2).
+    int backlog = 16;
+    /// Override the /metrics body. Default: MetricsRegistry exposition.
+    std::function<HttpResponse()> metrics_handler;
+    /// Override /healthz. Default: 200 "ok\n" (no health source wired).
+    std::function<HttpResponse()> healthz_handler;
+    /// Serve /traces?n=K. Default: 404 (no ring sink wired).
+    std::function<HttpResponse(std::size_t n)> traces_handler;
+  };
+
+  HttpExporter() = default;
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+  ~HttpExporter() { stop(); }
+
+  /// Bind, listen and start the serving thread. False if the socket could
+  /// not be set up (port in use, no permissions); safe to call once.
+  bool start(Options options);
+
+  /// Graceful shutdown: stops accepting, finishes the in-flight connection,
+  /// joins the thread. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+  /// Actual bound port (resolves port 0 to the kernel's pick).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  /// Requests answered since start (any status).
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+  [[nodiscard]] HttpResponse route(const std::string& target);
+
+  Options options_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> served_{0};
+};
+
+}  // namespace redundancy::obs

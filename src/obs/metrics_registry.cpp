@@ -1,7 +1,9 @@
 #include "obs/metrics_registry.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <ostream>
+#include <sstream>
 
 namespace redundancy::obs {
 
@@ -17,6 +19,54 @@ std::string sanitise(const std::string& name) {
   return out;
 }
 
+std::string escape_label(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// `{technique="nvp"}` (or "" when unlabelled); `extra` appends one more
+/// label pair, used for the histogram `le` label.
+std::string label_set(const std::string& technique,
+                      const std::string& extra = {}) {
+  if (technique.empty() && extra.empty()) return {};
+  std::string out{"{"};
+  if (!technique.empty()) {
+    out += "technique=\"" + escape_label(technique) + "\"";
+    if (!extra.empty()) out += ",";
+  }
+  out += extra;
+  out += "}";
+  return out;
+}
+
+std::string exposition_key(const std::string& name,
+                           const std::string& technique) {
+  return technique.empty() ? name : name + label_set(technique);
+}
+
+/// Sorted (family, technique, metric*) view for deterministic rendering.
+template <typename Entry>
+std::vector<const Entry*> sorted_view(const std::vector<Entry>& entries) {
+  std::vector<const Entry*> view;
+  view.reserve(entries.size());
+  for (const auto& e : entries) view.push_back(&e);
+  std::sort(view.begin(), view.end(), [](const Entry* a, const Entry* b) {
+    const std::string fa = sanitise(a->name), fb = sanitise(b->name);
+    if (fa != fb) return fa < fb;
+    return a->technique < b->technique;
+  });
+  return view;
+}
+
 }  // namespace
 
 MetricsRegistry& MetricsRegistry::instance() {
@@ -26,47 +76,72 @@ MetricsRegistry& MetricsRegistry::instance() {
   return *registry;
 }
 
-Counter& MetricsRegistry::counter(const std::string& name) {
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& technique) {
   std::lock_guard lock(mutex_);
-  for (auto& [n, c] : counters_) {
-    if (n == name) return *c;
+  for (auto& e : counters_) {
+    if (e.name == name && e.technique == technique) return *e.metric;
   }
-  counters_.emplace_back(name, std::make_unique<Counter>());
-  return *counters_.back().second;
+  counters_.push_back({name, technique, std::make_unique<Counter>()});
+  return *counters_.back().metric;
 }
 
-Histogram& MetricsRegistry::histogram(const std::string& name) {
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& technique) {
   std::lock_guard lock(mutex_);
-  for (auto& [n, h] : histograms_) {
-    if (n == name) return *h;
+  for (auto& e : histograms_) {
+    if (e.name == name && e.technique == technique) return *e.metric;
   }
-  histograms_.emplace_back(name, std::make_unique<Histogram>());
-  return *histograms_.back().second;
+  histograms_.push_back({name, technique, std::make_unique<Histogram>()});
+  return *histograms_.back().metric;
 }
 
 void MetricsRegistry::render_prometheus(std::ostream& out) const {
   std::lock_guard lock(mutex_);
-  for (const auto& [name, c] : counters_) {
-    const std::string p = sanitise(name);
-    out << "# TYPE " << p << "_total counter\n";
-    out << p << "_total " << c->total() << "\n";
+  std::string prev_family;
+  for (const auto* e : sorted_view(counters_)) {
+    const std::string fam = sanitise(e->name);
+    if (fam != prev_family) {
+      out << "# HELP " << fam << "_total redundancy counter " << fam << "\n";
+      out << "# TYPE " << fam << "_total counter\n";
+      prev_family = fam;
+    }
+    out << fam << "_total" << label_set(e->technique) << " "
+        << e->metric->total() << "\n";
   }
-  for (const auto& [name, h] : histograms_) {
-    const std::string p = sanitise(name);
-    const HistogramSnapshot s = h->snapshot();
-    out << "# TYPE " << p << " histogram\n";
+  prev_family.clear();
+  for (const auto* e : sorted_view(histograms_)) {
+    const std::string fam = sanitise(e->name);
+    if (fam != prev_family) {
+      out << "# HELP " << fam << " redundancy histogram " << fam << "\n";
+      out << "# TYPE " << fam << " histogram\n";
+      prev_family = fam;
+    }
+    const HistogramSnapshot s = e->metric->snapshot();
     std::uint64_t cumulative = 0;
     for (std::size_t b = 0; b < HistogramSnapshot::kBuckets; ++b) {
       cumulative += s.buckets[b];
       // Only emit buckets up to the last occupied one; +Inf carries the rest.
       if (s.buckets[b] == 0) continue;
-      out << p << "_bucket{le=\"" << HistogramSnapshot::bucket_bound(b)
-          << "\"} " << cumulative << "\n";
+      out << fam << "_bucket"
+          << label_set(e->technique,
+                       "le=\"" +
+                           std::to_string(HistogramSnapshot::bucket_bound(b)) +
+                           "\"")
+          << " " << cumulative << "\n";
     }
-    out << p << "_bucket{le=\"+Inf\"} " << s.count << "\n";
-    out << p << "_sum " << s.sum << "\n";
-    out << p << "_count " << s.count << "\n";
+    out << fam << "_bucket" << label_set(e->technique, "le=\"+Inf\"") << " "
+        << s.count << "\n";
+    out << fam << "_sum" << label_set(e->technique) << " " << s.sum << "\n";
+    out << fam << "_count" << label_set(e->technique) << " " << s.count
+        << "\n";
   }
+}
+
+std::string MetricsRegistry::render_prometheus_text() const {
+  std::ostringstream out;
+  render_prometheus(out);
+  return out.str();
 }
 
 bool MetricsRegistry::write_prometheus_file(const std::string& path) const {
@@ -78,8 +153,8 @@ bool MetricsRegistry::write_prometheus_file(const std::string& path) const {
 
 void MetricsRegistry::reset_all() {
   std::lock_guard lock(mutex_);
-  for (auto& [n, c] : counters_) c->reset();
-  for (auto& [n, h] : histograms_) h->reset();
+  for (auto& e : counters_) e.metric->reset();
+  for (auto& e : histograms_) e.metric->reset();
 }
 
 std::vector<std::pair<std::string, std::uint64_t>>
@@ -87,7 +162,9 @@ MetricsRegistry::counter_totals() const {
   std::lock_guard lock(mutex_);
   std::vector<std::pair<std::string, std::uint64_t>> out;
   out.reserve(counters_.size());
-  for (const auto& [n, c] : counters_) out.emplace_back(n, c->total());
+  for (const auto& e : counters_) {
+    out.emplace_back(exposition_key(e.name, e.technique), e.metric->total());
+  }
   return out;
 }
 
@@ -96,7 +173,10 @@ MetricsRegistry::histogram_snapshots() const {
   std::lock_guard lock(mutex_);
   std::vector<std::pair<std::string, HistogramSnapshot>> out;
   out.reserve(histograms_.size());
-  for (const auto& [n, h] : histograms_) out.emplace_back(n, h->snapshot());
+  for (const auto& e : histograms_) {
+    out.emplace_back(exposition_key(e.name, e.technique),
+                     e.metric->snapshot());
+  }
   return out;
 }
 

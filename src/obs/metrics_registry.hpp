@@ -3,10 +3,16 @@
 // Instrumentation sites resolve a Counter/Histogram by name once (keeping a
 // reference; registered metrics are never destroyed before process exit) and
 // then update it lock-free. The registry itself is mutex-guarded only on the
-// registration path. render_prometheus() writes the standard text exposition
-// format — counters as `<name>_total`, histograms with cumulative log2 `le`
-// buckets plus `_sum`/`_count` — so any Prometheus scraper or promtool can
-// consume a metrics_*.prom artifact directly.
+// registration path. Metrics may carry a fixed `technique=` label so one
+// family (e.g. technique_requests_total) holds one series per redundancy
+// technique instead of mangling the technique into the metric name.
+//
+// render_prometheus() writes the standard text exposition format — HELP/TYPE
+// headers per family, counters as `<name>_total`, histograms with cumulative
+// log2 `le` buckets plus `_sum`/`_count` — sorted by (family, label) so the
+// output is byte-deterministic regardless of registration order. Any
+// Prometheus scraper or promtool can consume a metrics_*.prom artifact (or a
+// live `GET /metrics` scrape from obs::HttpExporter) directly.
 #pragma once
 
 #include <iosfwd>
@@ -26,14 +32,21 @@ class MetricsRegistry {
   /// Process-wide registry used by all built-in instrumentation.
   static MetricsRegistry& instance();
 
-  /// Find-or-create by name. The returned reference stays valid for the
-  /// registry's lifetime. Thread-safe.
-  Counter& counter(const std::string& name);
-  Histogram& histogram(const std::string& name);
+  /// Find-or-create by (name, technique label). The returned reference stays
+  /// valid for the registry's lifetime. Thread-safe. An empty `technique`
+  /// means an unlabelled series.
+  Counter& counter(const std::string& name, const std::string& technique = "");
+  Histogram& histogram(const std::string& name,
+                       const std::string& technique = "");
 
-  /// Prometheus text exposition of every registered metric, in registration
-  /// order. Metric names are sanitised ('.' and '-' become '_').
+  /// Prometheus text exposition of every registered metric, sorted by
+  /// (sanitised family name, technique label) — byte-deterministic for a
+  /// given set of metric values. Metric names are sanitised to
+  /// [a-zA-Z0-9_:].
   void render_prometheus(std::ostream& out) const;
+
+  /// render_prometheus() as a string (what `GET /metrics` serves).
+  [[nodiscard]] std::string render_prometheus_text() const;
 
   /// Write render_prometheus() to `path` (convention: metrics_<name>.prom).
   /// Returns false if the file could not be opened.
@@ -42,17 +55,26 @@ class MetricsRegistry {
   /// Zero every registered metric (tests; metrics stay registered).
   void reset_all();
 
-  /// Snapshot of (name, total) for every counter, registration order.
+  /// Snapshot of (exposition key, total) for every counter, registration
+  /// order. Labelled series render as `name{technique="x"}`.
   [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
   counter_totals() const;
-  /// Snapshot of (name, snapshot) for every histogram, registration order.
+  /// Snapshot of (exposition key, snapshot) for every histogram,
+  /// registration order.
   [[nodiscard]] std::vector<std::pair<std::string, HistogramSnapshot>>
   histogram_snapshots() const;
 
  private:
+  template <typename T>
+  struct Entry {
+    std::string name;
+    std::string technique;  ///< "" = unlabelled
+    std::unique_ptr<T> metric;
+  };
+
   mutable std::mutex mutex_;
-  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
-  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_;
+  std::vector<Entry<Counter>> counters_;
+  std::vector<Entry<Histogram>> histograms_;
 };
 
 }  // namespace redundancy::obs

@@ -27,12 +27,17 @@ namespace redundancy::obs {
 
 /// Find-or-create a named metric in the process-wide registry. Call sites
 /// should cache the reference (e.g. in a function-local static) — it stays
-/// valid for the life of the process.
-[[nodiscard]] inline Counter& counter(const std::string& name) {
-  return MetricsRegistry::instance().counter(name);
+/// valid for the life of the process. Pass `technique` to register one
+/// labelled series per redundancy technique under a shared family name
+/// (rendered as `name{technique="nvp"}`) instead of mangling the technique
+/// into the metric name.
+[[nodiscard]] inline Counter& counter(const std::string& name,
+                                      const std::string& technique = "") {
+  return MetricsRegistry::instance().counter(name, technique);
 }
-[[nodiscard]] inline Histogram& histogram(const std::string& name) {
-  return MetricsRegistry::instance().histogram(name);
+[[nodiscard]] inline Histogram& histogram(const std::string& name,
+                                          const std::string& technique = "") {
+  return MetricsRegistry::instance().histogram(name, technique);
 }
 
 }  // namespace redundancy::obs

@@ -1,5 +1,6 @@
 #include "obs/recorder.hpp"
 
+#include <random>
 #include <utility>
 
 namespace redundancy::obs {
@@ -12,6 +13,20 @@ thread_local SpanContext tls_context;
 }  // namespace
 
 SpanContext current_context() noexcept { return tls_context; }
+
+Recorder::Recorder() {
+  // Trace files are opened in append mode and are routinely written by
+  // several processes in sequence (one campaign driver per technique into
+  // one combined *.trace.jsonl). Starting each process's id space at a
+  // random offset keeps (trace, span) ids unique across those appends.
+  // The offset leaves 2^34 ids of head room, far from the
+  // SpanContext::kSuppressedTrace sentinel at UINT64_MAX.
+  std::random_device entropy;
+  const std::uint64_t base =
+      ((static_cast<std::uint64_t>(entropy()) & 0x3FFFFFFFu) << 34) | 1u;
+  next_trace_.store(base, std::memory_order_relaxed);
+  next_span_.store(base, std::memory_order_relaxed);
+}
 
 Recorder& Recorder::instance() {
   // Leaked on purpose: pool workers may record during static destruction.

@@ -117,7 +117,7 @@ class Recorder {
   void flush();
 
  private:
-  Recorder() = default;
+  Recorder();
 
   using Item = std::variant<SpanRecord, AdjudicationEvent>;
   struct ThreadBuffer {

@@ -86,15 +86,49 @@ JsonlTraceSink::JsonlTraceSink(std::ostream& out) : out_(&out) {}
 JsonlTraceSink::~JsonlTraceSink() { flush(); }
 
 void JsonlTraceSink::on_span(const SpanRecord& span) {
-  if (out_ != nullptr) *out_ << to_jsonl(span) << '\n';
+  append_line(to_jsonl(span));
 }
 
 void JsonlTraceSink::on_adjudication(const AdjudicationEvent& event) {
-  if (out_ != nullptr) *out_ << to_jsonl(event) << '\n';
+  append_line(to_jsonl(event));
+}
+
+void JsonlTraceSink::append_line(std::string line) {
+  if (out_ == nullptr) return;
+  pending_ += line;
+  pending_ += '\n';
+  if (pending_.size() >= kFlushBytes) flush();
 }
 
 void JsonlTraceSink::flush() {
-  if (out_ != nullptr) out_->flush();
+  if (out_ == nullptr) return;
+  if (!pending_.empty()) {
+    out_->write(pending_.data(),
+                static_cast<std::streamsize>(pending_.size()));
+    pending_.clear();
+  }
+  out_->flush();
+}
+
+RingTraceSink::RingTraceSink(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void RingTraceSink::on_span(const SpanRecord& span) {
+  if (span.parent_id != 0) return;
+  std::lock_guard lock(mutex_);
+  lines_.push_back(to_jsonl(span));
+  while (lines_.size() > capacity_) lines_.pop_front();
+}
+
+std::vector<std::string> RingTraceSink::tail(std::size_t n) const {
+  std::lock_guard lock(mutex_);
+  const std::size_t take = n < lines_.size() ? n : lines_.size();
+  return {lines_.end() - static_cast<std::ptrdiff_t>(take), lines_.end()};
+}
+
+std::size_t RingTraceSink::size() const {
+  std::lock_guard lock(mutex_);
+  return lines_.size();
 }
 
 }  // namespace redundancy::obs

@@ -2,17 +2,23 @@
 //
 // The Recorder drains per-thread buffers into every attached sink under one
 // sink lock, so sink implementations see events one batch at a time and need
-// no internal synchronisation beyond their own state. Three implementations:
+// no internal synchronisation beyond their own state — except RingTraceSink,
+// which is also read concurrently by the HTTP exporter thread and guards its
+// ring itself. Four implementations:
 //
 //   JsonlTraceSink   — one JSON object per line (schema: EXPERIMENTS.md);
 //                      the machine-readable trace artifact (*.trace.jsonl).
+//   RingTraceSink    — bounded ring of the most recent *root* spans, served
+//                      live by obs::HttpExporter as `GET /traces?n=K`.
 //   CollectingSink   — keeps the records in memory; what tests assert on.
 //   NullSink         — counts and drops; the overhead-measurement baseline.
 #pragma once
 
 #include <cstddef>
+#include <deque>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -37,8 +43,18 @@ class TraceSink {
 [[nodiscard]] std::string to_jsonl(const AdjudicationEvent& event);
 
 /// Writes each record as one JSON line to an owned file or borrowed stream.
+///
+/// Crash-safety: records accumulate as complete lines in an internal buffer
+/// and reach the underlying stream only in whole-line blocks, each followed
+/// immediately by a stream flush. The stream's own buffer therefore never
+/// sits on a partial line between flushes — a sink dropped mid-campaign
+/// (destructor flushes) or a process that dies between batches leaves a file
+/// of complete JSONL lines, never a truncated record.
 class JsonlTraceSink final : public TraceSink {
  public:
+  /// Buffered bytes that trigger an automatic flush().
+  static constexpr std::size_t kFlushBytes = 1 << 16;
+
   /// Append to (or create) `path`; by convention "<name>.trace.jsonl".
   explicit JsonlTraceSink(const std::string& path);
   /// Write to a caller-owned stream (tests use std::ostringstream).
@@ -47,14 +63,40 @@ class JsonlTraceSink final : public TraceSink {
 
   void on_span(const SpanRecord& span) override;
   void on_adjudication(const AdjudicationEvent& event) override;
+  /// Push every buffered line to the stream and flush the stream.
   void flush() override;
 
   /// False if the file path could not be opened (events are dropped).
   [[nodiscard]] bool is_open() const noexcept { return out_ != nullptr; }
 
  private:
+  void append_line(std::string line);
+
   std::unique_ptr<std::ostream> owned_;
   std::ostream* out_ = nullptr;
+  std::string pending_;  ///< complete ('\n'-terminated) lines only
+};
+
+/// Bounded ring of the most recent root spans, kept as ready-to-serve JSONL
+/// lines. The Recorder writes under the sink lock while the HTTP exporter
+/// thread reads tail() concurrently, so the ring carries its own mutex.
+class RingTraceSink final : public TraceSink {
+ public:
+  explicit RingTraceSink(std::size_t capacity = 256);
+
+  /// Keeps root spans (parent_id == 0) only: one line per recent request.
+  void on_span(const SpanRecord& span) override;
+  void on_adjudication(const AdjudicationEvent&) override {}
+
+  /// Up to the `n` most recent root spans, oldest first.
+  [[nodiscard]] std::vector<std::string> tail(std::size_t n) const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<std::string> lines_;
 };
 
 /// Retains every record in memory for inspection.

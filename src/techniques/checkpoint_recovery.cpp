@@ -43,15 +43,15 @@ core::Status CheckpointRecovery::run(const std::function<core::Status()>& op) {
                           bool accepted) {
     if (t0 != 0) {
       static obs::Histogram& latency =
-          obs::histogram("checkpoint_recovery.request_ns");
+          obs::histogram("technique.request_ns", "checkpoint_recovery");
       static obs::Counter& requests =
-          obs::counter("checkpoint_recovery.requests");
+          obs::counter("technique.requests", "checkpoint_recovery");
       static obs::Counter& rolled =
-          obs::counter("checkpoint_recovery.rollbacks");
+          obs::counter("technique.rollbacks", "checkpoint_recovery");
       static obs::Counter& recovered =
-          obs::counter("checkpoint_recovery.recoveries");
+          obs::counter("technique.recoveries", "checkpoint_recovery");
       static obs::Counter& lost =
-          obs::counter("checkpoint_recovery.unrecovered");
+          obs::counter("technique.unrecovered", "checkpoint_recovery");
       latency.record(obs::now_ns() - t0);
       requests.add();
       if (failures != 0) rolled.add(failures);

@@ -99,10 +99,11 @@ core::Result<vm::Behaviour> ProcessReplicas::serve(
   }
   if (t0 != 0) {
     static obs::Histogram& latency =
-        obs::histogram("process_replicas.request_ns");
-    static obs::Counter& served = obs::counter("process_replicas.requests");
+        obs::histogram("technique.request_ns", "process_replicas");
+    static obs::Counter& served =
+        obs::counter("technique.requests", "process_replicas");
     static obs::Counter& detected =
-        obs::counter("process_replicas.detections");
+        obs::counter("technique.detections", "process_replicas");
     latency.record(obs::now_ns() - t0);
     served.add();
     if (attack) detected.add();

@@ -33,8 +33,10 @@ core::Result<T> ReplicatedSqlServer::adjudicate(
   }
   const auto finish = [&](bool ok) {
     if (t0 != 0) {
-      static obs::Histogram& latency = obs::histogram("sql_nvp.request_ns");
-      static obs::Counter& requests = obs::counter("sql_nvp.requests");
+      static obs::Histogram& latency =
+          obs::histogram("technique.request_ns", "sql_nvp");
+      static obs::Counter& requests =
+          obs::counter("technique.requests", "sql_nvp");
       latency.record(obs::now_ns() - t0);
       requests.add();
     }
@@ -97,7 +99,8 @@ core::Result<T> ReplicatedSqlServer::adjudicate(
     ++divergences_;
     ++metrics_.recoveries;
     if (obs::enabled()) {
-      static obs::Counter& diverged = obs::counter("sql_nvp.divergences");
+      static obs::Counter& diverged =
+          obs::counter("technique.divergences", "sql_nvp");
       diverged.add();
     }
     if (options_.evict_divergent) {

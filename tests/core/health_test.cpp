@@ -1,0 +1,123 @@
+// core::HealthTracker: adjudication verdicts fold into the three-state
+// per-technique health signal behind GET /healthz.
+#include "core/health.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/event.hpp"
+
+namespace redundancy::core {
+namespace {
+
+obs::AdjudicationEvent verdict(const std::string& technique, bool accepted,
+                               std::size_t ballots_failed = 0,
+                               std::size_t stragglers = 0) {
+  obs::AdjudicationEvent e;
+  e.technique = technique;
+  e.electorate = 3;
+  e.ballots_seen = 3 - stragglers;
+  e.ballots_failed = ballots_failed;
+  e.accepted = accepted;
+  e.verdict = accepted ? "ok" : "no majority";
+  e.stragglers_cancelled = stragglers;
+  return e;
+}
+
+TEST(HealthTracker, UnknownUntilFirstVerdict) {
+  HealthTracker tracker;
+  EXPECT_EQ(tracker.technique("nvp").state, HealthState::unknown);
+  EXPECT_EQ(tracker.overall(), HealthState::unknown);
+  EXPECT_EQ(tracker.healthz_text(), "status: unknown\n");
+}
+
+TEST(HealthTracker, CleanAcceptsAreOk) {
+  HealthTracker tracker;
+  for (int i = 0; i < 5; ++i) tracker.observe(verdict("nvp", true));
+  const TechniqueHealth h = tracker.technique("nvp");
+  EXPECT_EQ(h.state, HealthState::ok);
+  EXPECT_EQ(h.window, 5u);
+  EXPECT_EQ(h.accepted, 5u);
+  EXPECT_EQ(h.masked, 0u);
+  EXPECT_EQ(h.rejected, 0u);
+  EXPECT_EQ(tracker.overall(), HealthState::ok);
+}
+
+TEST(HealthTracker, MaskingFailedBallotsIsDegraded) {
+  HealthTracker tracker;
+  tracker.observe(verdict("nvp", true));
+  tracker.observe(verdict("nvp", true, /*ballots_failed=*/1));
+  const TechniqueHealth h = tracker.technique("nvp");
+  EXPECT_EQ(h.state, HealthState::degraded);
+  EXPECT_EQ(h.masked, 1u);
+  EXPECT_EQ(h.accepted, 2u);
+}
+
+TEST(HealthTracker, RejectionIsFailingAndDominatesOverall) {
+  HealthTracker tracker;
+  tracker.observe(verdict("nvp", true));
+  tracker.observe(verdict("recovery_blocks", true, 1));
+  tracker.observe(verdict("self_checking", false, 3));
+  EXPECT_EQ(tracker.technique("nvp").state, HealthState::ok);
+  EXPECT_EQ(tracker.technique("recovery_blocks").state,
+            HealthState::degraded);
+  EXPECT_EQ(tracker.technique("self_checking").state, HealthState::failing);
+  EXPECT_EQ(tracker.overall(), HealthState::failing);
+}
+
+TEST(HealthTracker, WindowEvictionLetsHealthRecover) {
+  HealthTracker tracker{4};
+  tracker.observe(verdict("nvp", false, 3));
+  EXPECT_EQ(tracker.technique("nvp").state, HealthState::failing);
+  for (int i = 0; i < 3; ++i) tracker.observe(verdict("nvp", true));
+  // Rejection still inside the 4-verdict window.
+  EXPECT_EQ(tracker.technique("nvp").state, HealthState::failing);
+  tracker.observe(verdict("nvp", true));
+  // Window slid past the rejection; only clean accepts remain.
+  const TechniqueHealth h = tracker.technique("nvp");
+  EXPECT_EQ(h.state, HealthState::ok);
+  EXPECT_EQ(h.window, 4u);
+  EXPECT_EQ(h.accepted, 4u);
+  EXPECT_EQ(h.rejected, 0u);
+}
+
+TEST(HealthTracker, StragglerCountsAgeOutWithTheWindow) {
+  HealthTracker tracker{2};
+  tracker.observe(verdict("nvp", true, 0, /*stragglers=*/2));
+  tracker.observe(verdict("nvp", true, 0, 1));
+  EXPECT_EQ(tracker.technique("nvp").stragglers_cancelled, 3u);
+  tracker.observe(verdict("nvp", true));
+  EXPECT_EQ(tracker.technique("nvp").stragglers_cancelled, 1u);
+}
+
+TEST(HealthTracker, SnapshotIsSortedAndHealthzTextListsEveryTechnique) {
+  HealthTracker tracker;
+  tracker.observe(verdict("self_checking", true));
+  tracker.observe(verdict("nvp", true, 1));
+  const auto snap = tracker.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].first, "nvp");
+  EXPECT_EQ(snap[1].first, "self_checking");
+
+  const std::string text = tracker.healthz_text();
+  EXPECT_EQ(text.rfind("status: degraded\n", 0), 0u);
+  EXPECT_NE(text.find("nvp: degraded window=1 accepted=1 masked=1 "
+                      "rejected=0 stragglers_cancelled=0\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("self_checking: ok window=1"), std::string::npos);
+}
+
+TEST(HealthTracker, ActsAsTraceSinkAndResets) {
+  HealthTracker tracker;
+  obs::TraceSink& sink = tracker;
+  sink.on_adjudication(verdict("nvp", false, 2));
+  sink.on_span(obs::SpanRecord{});  // ignored
+  EXPECT_EQ(tracker.technique("nvp").state, HealthState::failing);
+  tracker.reset();
+  EXPECT_EQ(tracker.technique("nvp").state, HealthState::unknown);
+  EXPECT_EQ(tracker.overall(), HealthState::unknown);
+}
+
+}  // namespace
+}  // namespace redundancy::core

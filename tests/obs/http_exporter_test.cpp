@@ -1,0 +1,189 @@
+// obs::HttpExporter tests drive the real server over a loopback socket: a
+// raw POSIX-socket client sends the request bytes and reads until EOF, so
+// what is asserted is the exact wire behaviour a scraper sees.
+#include "obs/http_exporter.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace redundancy::obs {
+namespace {
+
+struct Reply {
+  int status = 0;
+  std::string head;  ///< status line + headers
+  std::string body;
+};
+
+/// Send `request` verbatim to 127.0.0.1:port, read to EOF, split the reply.
+Reply raw_request(std::uint16_t port, const std::string& request) {
+  Reply reply;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return reply;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return reply;
+  }
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                             0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const auto split = raw.find("\r\n\r\n");
+  if (split == std::string::npos) return reply;
+  reply.head = raw.substr(0, split);
+  reply.body = raw.substr(split + 4);
+  if (reply.head.rfind("HTTP/1.1 ", 0) == 0) {
+    reply.status = std::atoi(reply.head.c_str() + 9);
+  }
+  return reply;
+}
+
+Reply http_get(std::uint16_t port, const std::string& target) {
+  return raw_request(port, "GET " + target +
+                               " HTTP/1.1\r\nHost: localhost\r\n"
+                               "Connection: close\r\n\r\n");
+}
+
+/// First sample value for `series` (an exact exposition key like
+/// `foo_sum{technique="x"}`) in a Prometheus text body; -1 if absent.
+double sample_value(const std::string& body, const std::string& series) {
+  std::istringstream in{body};
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(series + " ", 0) == 0) {
+      return std::stod(line.substr(series.size() + 1));
+    }
+  }
+  return -1.0;
+}
+
+TEST(HttpExporter, StartsOnEphemeralPortAndStopsGracefully) {
+  HttpExporter exporter;
+  ASSERT_TRUE(exporter.start({}));
+  EXPECT_TRUE(exporter.running());
+  EXPECT_NE(exporter.port(), 0);
+  const std::uint16_t port = exporter.port();
+  exporter.stop();
+  EXPECT_FALSE(exporter.running());
+  exporter.stop();  // idempotent
+
+  // The listen socket is gone: a fresh GET cannot get an answer.
+  const Reply after = http_get(port, "/metrics");
+  EXPECT_EQ(after.status, 0);
+}
+
+TEST(HttpExporter, MetricsBodyMatchesInProcessHistogramSnapshot) {
+  auto& hist = histogram("http_exporter_test.latency_ns", "nvp");
+  auto& requests = counter("http_exporter_test.requests", "nvp");
+  hist.record(100);
+  hist.record(900);
+  hist.record(70'000);
+  requests.add(3);
+  const HistogramSnapshot snap = hist.snapshot();
+  const std::uint64_t total = requests.total();
+
+  HttpExporter exporter;
+  ASSERT_TRUE(exporter.start({}));
+  const Reply reply = http_get(exporter.port(), "/metrics");
+  ASSERT_EQ(reply.status, 200);
+  EXPECT_NE(reply.head.find("text/plain; version=0.0.4"), std::string::npos);
+
+  // The acceptance check: the scraped histogram agrees with the live
+  // obs::Histogram snapshot, exactly.
+  const std::string fam = "http_exporter_test_latency_ns";
+  EXPECT_EQ(sample_value(reply.body, fam + "_sum{technique=\"nvp\"}"),
+            static_cast<double>(snap.sum));
+  EXPECT_EQ(sample_value(reply.body, fam + "_count{technique=\"nvp\"}"),
+            static_cast<double>(snap.count));
+  EXPECT_EQ(sample_value(reply.body,
+                         "http_exporter_test_requests_total"
+                         "{technique=\"nvp\"}"),
+            static_cast<double>(total));
+  EXPECT_GE(exporter.requests_served(), 1u);
+}
+
+TEST(HttpExporter, CustomHandlersServeHealthzAndTraces) {
+  HttpExporter::Options options;
+  options.healthz_handler = [] {
+    return HttpResponse{503, "text/plain; charset=utf-8", "status: failing\n"};
+  };
+  options.traces_handler = [](std::size_t n) {
+    return HttpResponse{200, "application/x-ndjson",
+                        "tail=" + std::to_string(n) + "\n"};
+  };
+  HttpExporter exporter;
+  ASSERT_TRUE(exporter.start(std::move(options)));
+
+  const Reply health = http_get(exporter.port(), "/healthz");
+  EXPECT_EQ(health.status, 503);
+  EXPECT_EQ(health.body, "status: failing\n");
+
+  const Reply traces = http_get(exporter.port(), "/traces?n=7");
+  EXPECT_EQ(traces.status, 200);
+  EXPECT_EQ(traces.body, "tail=7\n");
+  EXPECT_NE(traces.head.find("application/x-ndjson"), std::string::npos);
+
+  // Default tail when no n= is given.
+  const Reply defaulted = http_get(exporter.port(), "/traces");
+  EXPECT_EQ(defaulted.body, "tail=32\n");
+}
+
+TEST(HttpExporter, DefaultHealthzIsOkAndDefaultTracesIs404) {
+  HttpExporter exporter;
+  ASSERT_TRUE(exporter.start({}));
+  const Reply health = http_get(exporter.port(), "/healthz");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_EQ(health.body, "ok\n");
+  EXPECT_EQ(http_get(exporter.port(), "/traces").status, 404);
+  EXPECT_EQ(http_get(exporter.port(), "/nope").status, 404);
+}
+
+TEST(HttpExporter, RejectsNonGetAndMalformedRequests) {
+  HttpExporter exporter;
+  ASSERT_TRUE(exporter.start({}));
+  const Reply post = raw_request(
+      exporter.port(),
+      "POST /metrics HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n");
+  EXPECT_EQ(post.status, 405);
+  const Reply garbage = raw_request(exporter.port(), "garbage\r\n\r\n");
+  EXPECT_EQ(garbage.status, 400);
+}
+
+TEST(HttpExporter, ExplicitPortIsHonoured) {
+  HttpExporter first;
+  ASSERT_TRUE(first.start({}));
+  // Re-binding the same port must fail while `first` holds it.
+  HttpExporter second;
+  HttpExporter::Options options;
+  options.port = first.port();
+  EXPECT_FALSE(second.start(std::move(options)));
+}
+
+}  // namespace
+}  // namespace redundancy::obs

@@ -49,8 +49,9 @@ TEST(ObsStress, SpanTreeAndCountersSurviveWorkStealing) {
   rec.set_sample_every(1);
   rec.set_enabled(true);
 
-  auto& requests = obs::counter("parallel_evaluation.requests");
-  auto& latency = obs::histogram("parallel_evaluation.request_ns");
+  auto& requests = obs::counter("technique.requests", "parallel_evaluation");
+  auto& latency = obs::histogram("technique.request_ns",
+                                 "parallel_evaluation");
   const std::uint64_t req0 = requests.total();
   const std::uint64_t lat0 = latency.count();
 

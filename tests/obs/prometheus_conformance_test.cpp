@@ -1,0 +1,227 @@
+// Parser-style conformance checks on the Prometheus text exposition: a
+// small line parser walks render_prometheus() output and asserts the format
+// invariants a real scraper (or promtool) relies on — HELP/TYPE headers per
+// family, counters named `_total`, cumulative monotone histogram buckets
+// with `le` increasing and `+Inf` equal to `_count`, legal metric names, and
+// byte-deterministic output regardless of registration order.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics_registry.hpp"
+
+namespace redundancy::obs {
+namespace {
+
+struct Sample {
+  std::string name;    ///< family member, e.g. foo_bucket
+  std::string labels;  ///< raw text between {} (may be empty)
+  double value = 0.0;
+};
+
+struct Exposition {
+  std::set<std::string> helped;            ///< names with a # HELP line
+  std::map<std::string, std::string> type; ///< name -> counter|histogram
+  std::vector<Sample> samples;             ///< in output order
+};
+
+/// ASSERT_* needs a void-returning function, hence the out-parameter.
+void parse(const std::string& text, Exposition& exp) {
+  std::istringstream in{text};
+  std::string line;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line.rfind("# HELP ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      exp.helped.insert(rest.substr(0, rest.find(' ')));
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      const auto space = rest.find(' ');
+      ASSERT_NE(space, std::string::npos) << line;
+      exp.type[rest.substr(0, space)] = rest.substr(space + 1);
+      continue;
+    }
+    ASSERT_NE(line[0], '#') << "unknown comment line: " << line;
+    Sample s;
+    auto brace = line.find('{');
+    if (brace != std::string::npos) {
+      const auto close = line.find('}', brace);
+      ASSERT_NE(close, std::string::npos) << line;
+      s.name = line.substr(0, brace);
+      s.labels = line.substr(brace + 1, close - brace - 1);
+      s.value = std::stod(line.substr(close + 2));
+    } else {
+      const auto space = line.find(' ');
+      ASSERT_NE(space, std::string::npos) << line;
+      s.name = line.substr(0, space);
+      s.value = std::stod(line.substr(space + 1));
+    }
+    exp.samples.push_back(std::move(s));
+  }
+}
+
+bool legal_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+/// Strip the histogram/counter member suffix to get the TYPE'd family name.
+std::string family_of(const std::string& sample_name) {
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    const std::string s{suffix};
+    if (sample_name.size() > s.size() &&
+        sample_name.compare(sample_name.size() - s.size(), s.size(), s) == 0) {
+      const std::string fam = sample_name.substr(0, sample_name.size() -
+                                                        s.size());
+      return fam;
+    }
+  }
+  return sample_name;
+}
+
+/// The `le` value of a bucket label set, and the labels without it.
+std::pair<std::string, std::string> split_le(const std::string& labels) {
+  const auto pos = labels.find("le=\"");
+  if (pos == std::string::npos) return {"", labels};
+  const auto end = labels.find('"', pos + 4);
+  std::string le = labels.substr(pos + 4, end - pos - 4);
+  std::string rest = labels;
+  // le is rendered last, so also drop a preceding comma.
+  rest.erase(pos > 0 ? pos - 1 : pos);
+  return {le, rest};
+}
+
+class PrometheusConformance : public ::testing::Test {
+ protected:
+  PrometheusConformance() {
+    reg_.counter("conformance.requests", "nvp").add(5);
+    reg_.counter("conformance.requests", "recovery_blocks").add(2);
+    reg_.counter("conformance.unlabelled").add(1);
+    auto& h = reg_.histogram("conformance.latency_ns", "nvp");
+    for (std::uint64_t v : {1, 2, 3, 100, 5'000, 70'000, 70'001}) h.record(v);
+    reg_.histogram("conformance.latency_ns", "self_checking").record(9);
+    reg_.histogram("conformance.empty_hist");  // zero samples
+  }
+
+  MetricsRegistry reg_;
+};
+
+TEST_F(PrometheusConformance, EveryFamilyHasHelpAndTypeBeforeSamples) {
+  Exposition exp;
+  parse(reg_.render_prometheus_text(), exp);
+  ASSERT_FALSE(exp.samples.empty());
+  for (const Sample& s : exp.samples) {
+    const std::string fam =
+        exp.type.count(s.name) ? s.name : family_of(s.name);
+    EXPECT_TRUE(exp.type.count(fam)) << "no # TYPE for " << s.name;
+    EXPECT_TRUE(exp.helped.count(fam)) << "no # HELP for " << s.name;
+  }
+}
+
+TEST_F(PrometheusConformance, CountersAreTotalSuffixedAndTyped) {
+  Exposition exp;
+  parse(reg_.render_prometheus_text(), exp);
+  for (const auto& [name, type] : exp.type) {
+    EXPECT_TRUE(type == "counter" || type == "histogram") << name;
+    if (type == "counter") {
+      EXPECT_TRUE(name.size() > 6 &&
+                  name.compare(name.size() - 6, 6, "_total") == 0)
+          << "counter family not _total-suffixed: " << name;
+    }
+  }
+  EXPECT_EQ(exp.type.at("conformance_requests_total"), "counter");
+  EXPECT_EQ(exp.type.at("conformance_latency_ns"), "histogram");
+}
+
+TEST_F(PrometheusConformance, MetricAndLabelNamesAreLegal) {
+  Exposition exp;
+  parse(reg_.render_prometheus_text(), exp);
+  for (const Sample& s : exp.samples) {
+    EXPECT_TRUE(legal_metric_name(s.name)) << s.name;
+    if (!s.labels.empty()) {
+      EXPECT_TRUE(s.labels.rfind("technique=\"", 0) == 0 ||
+                  s.labels.rfind("le=\"", 0) == 0)
+          << s.labels;
+    }
+  }
+}
+
+TEST_F(PrometheusConformance, HistogramBucketsAreCumulativeAndBounded) {
+  Exposition exp;
+  parse(reg_.render_prometheus_text(), exp);
+
+  // series labels -> ascending (le, cumulative count) in output order.
+  std::map<std::string, std::vector<std::pair<std::string, double>>> buckets;
+  std::map<std::string, double> sums, counts;
+  for (const Sample& s : exp.samples) {
+    const std::string fam = family_of(s.name);
+    if (exp.type.count(fam) == 0 || exp.type.at(fam) != "histogram") continue;
+    if (s.name == fam + "_bucket") {
+      auto [le, rest] = split_le(s.labels);
+      buckets[fam + "{" + rest + "}"].emplace_back(le, s.value);
+    } else if (s.name == fam + "_sum") {
+      sums[fam + "{" + s.labels + "}"] = s.value;
+    } else if (s.name == fam + "_count") {
+      counts[fam + "{" + s.labels + "}"] = s.value;
+    }
+  }
+  ASSERT_FALSE(buckets.empty());
+  for (const auto& [series, bs] : buckets) {
+    ASSERT_FALSE(bs.empty()) << series;
+    // +Inf must close the series and match _count; counts must be
+    // cumulative (non-decreasing) and le strictly increasing.
+    EXPECT_EQ(bs.back().first, "+Inf") << series;
+    ASSERT_TRUE(counts.count(series)) << series;
+    ASSERT_TRUE(sums.count(series)) << series;
+    EXPECT_EQ(bs.back().second, counts.at(series)) << series;
+    long double prev_le = -1.0L;
+    double prev_count = -1.0;
+    for (const auto& [le, cumulative] : bs) {
+      if (le != "+Inf") {
+        const long double bound = std::stold(le);
+        EXPECT_GT(bound, prev_le) << series;
+        prev_le = bound;
+      }
+      EXPECT_GE(cumulative, prev_count) << series;
+      prev_count = cumulative;
+    }
+  }
+
+  // The labelled series carries exactly the recorded samples.
+  const std::string series = "conformance_latency_ns{technique=\"nvp\"}";
+  EXPECT_EQ(counts.at(series), 7.0);
+  EXPECT_EQ(sums.at(series), 1.0 + 2 + 3 + 100 + 5'000 + 70'000 + 70'001);
+}
+
+TEST_F(PrometheusConformance, RenderIsByteDeterministic) {
+  EXPECT_EQ(reg_.render_prometheus_text(), reg_.render_prometheus_text());
+
+  // Same metrics registered in the opposite order render identically: the
+  // exposition is sorted by (family, technique), not registration order.
+  MetricsRegistry a, b;
+  a.counter("order.requests", "nvp").add(3);
+  a.counter("order.requests", "self_checking").add(4);
+  a.histogram("order.latency", "nvp").record(17);
+  b.histogram("order.latency", "nvp").record(17);
+  b.counter("order.requests", "self_checking").add(4);
+  b.counter("order.requests", "nvp").add(3);
+  EXPECT_EQ(a.render_prometheus_text(), b.render_prometheus_text());
+}
+
+}  // namespace
+}  // namespace redundancy::obs

@@ -279,8 +279,8 @@ TEST_F(RecorderTest, DisabledRecorderEmitsNothing) {
 TEST_F(RecorderTest, CountersAccrueEvenWithoutSinks) {
   // Metrics are always-on when enabled; traces need a sink but counters
   // and histograms do not.
-  auto& requests = counter("nvp.requests");
-  auto& latency = histogram("nvp.request_ns");
+  auto& requests = counter("technique.requests", "nvp");
+  auto& latency = histogram("technique.request_ns", "nvp");
   const std::uint64_t req0 = requests.total();
   const std::uint64_t lat0 = latency.count();
 

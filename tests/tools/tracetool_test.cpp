@@ -1,0 +1,245 @@
+// tracetool analysis model tests. Traces are synthesised through the same
+// obs::to_jsonl serialiser the runtime sinks use, so these tests pin the
+// producer/consumer contract: whatever the recorder writes, tracetool reads.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "obs/sink.hpp"
+#include "tracetool/jsonl.hpp"
+#include "tracetool/trace_model.hpp"
+
+namespace redundancy::tracetool {
+namespace {
+
+obs::SpanRecord span(std::uint64_t id, std::uint64_t parent,
+                     const std::string& name, std::uint64_t start,
+                     std::uint64_t end, bool ok = true) {
+  obs::SpanRecord s;
+  s.trace_id = 1;
+  s.span_id = id;
+  s.parent_id = parent;
+  s.name = name;
+  s.t_start_ns = start;
+  s.t_end_ns = end;
+  s.ok = ok;
+  return s;
+}
+
+obs::AdjudicationEvent adjudication(const std::string& technique,
+                                    bool accepted, std::size_t seen,
+                                    std::size_t failed, std::size_t round = 1,
+                                    std::size_t stragglers = 0) {
+  obs::AdjudicationEvent e;
+  e.trace_id = 1;
+  e.technique = technique;
+  e.round = round;
+  e.electorate = seen + stragglers;
+  e.ballots_seen = seen;
+  e.ballots_failed = failed;
+  e.accepted = accepted;
+  e.verdict = accepted ? "ok" : "no acceptable result";
+  e.stragglers_cancelled = stragglers;
+  return e;
+}
+
+/// One request per technique: an NVP vote that masked a failed ballot, a
+/// recovery-blocks run whose alternatives all failed, and a self-checking
+/// switchover that cancelled a straggler.
+TraceData make_trace() {
+  std::ostringstream out;
+  // nvp: parent 1000..10000, variants windowed 2000..7000.
+  out << obs::to_jsonl(span(10, 0, "nvp", 1'000, 10'000)) << "\n";
+  out << obs::to_jsonl(span(11, 10, "variant", 2'000, 5'000)) << "\n";
+  out << obs::to_jsonl(span(12, 10, "variant", 2'200, 6'000)) << "\n";
+  out << obs::to_jsonl(span(13, 10, "variant", 2'100, 7'000)) << "\n";
+  out << obs::to_jsonl(adjudication("nvp", true, 3, 1)) << "\n";
+  // recovery blocks: sequential alternatives, both rejected.
+  out << obs::to_jsonl(span(20, 0, "recovery_blocks", 0, 8'000)) << "\n";
+  out << obs::to_jsonl(span(21, 20, "alternative", 1'000, 3'000, false))
+      << "\n";
+  out << obs::to_jsonl(span(22, 20, "alternative", 3'000, 6'000, false))
+      << "\n";
+  out << obs::to_jsonl(adjudication("recovery_blocks", false, 2, 2, 2))
+      << "\n";
+  // self-checking: acting + spare components, one straggler cancelled.
+  out << obs::to_jsonl(span(30, 0, "self_checking", 0, 5'000)) << "\n";
+  out << obs::to_jsonl(span(31, 30, "component", 0, 4'000)) << "\n";
+  out << obs::to_jsonl(span(32, 30, "component", 0, 4'500)) << "\n";
+  out << obs::to_jsonl(adjudication("self_checking", true, 2, 0, 1, 1))
+      << "\n";
+
+  std::istringstream in{out.str()};
+  TraceData trace;
+  load_trace(in, trace);
+  return trace;
+}
+
+TEST(TracetoolLoad, RoundTripsRecorderSerialisation) {
+  const TraceData trace = make_trace();
+  ASSERT_EQ(trace.spans.size(), 10u);
+  ASSERT_EQ(trace.adjudications.size(), 3u);
+  EXPECT_EQ(trace.malformed_lines, 0u);
+  EXPECT_EQ(trace.unknown_records, 0u);
+
+  const obs::SpanRecord& root = trace.spans[0];
+  EXPECT_EQ(root.name, "nvp");
+  EXPECT_EQ(root.span_id, 10u);
+  EXPECT_EQ(root.parent_id, 0u);
+  EXPECT_EQ(root.t_start_ns, 1'000u);
+  EXPECT_TRUE(root.ok);
+  EXPECT_FALSE(trace.spans[5].ok);
+
+  const obs::AdjudicationEvent& vote = trace.adjudications[0];
+  EXPECT_EQ(vote.technique, "nvp");
+  EXPECT_TRUE(vote.accepted);
+  EXPECT_EQ(vote.ballots_failed, 1u);
+}
+
+TEST(TracetoolLoad, CountsMalformedAndUnknownLines) {
+  std::istringstream in{
+      "{\"type\":\"span\",\"trace\":1\n"      // truncated record
+      "{\"type\":\"checkpoint\",\"id\":1}\n"  // parseable, unknown type
+      "\n"                                    // blank lines are skipped
+      "not json at all\n"};
+  TraceData trace;
+  load_trace(in, trace);
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.malformed_lines, 2u);
+  EXPECT_EQ(trace.unknown_records, 1u);
+}
+
+TEST(TracetoolJsonl, KeepsUint64TimestampsExact) {
+  // 2^63 + 3 is not representable as a double; the parser must keep it.
+  const auto object = parse_flat_object(
+      "{\"t\":9223372036854775811,\"s\":\"a\\\"b\\n\",\"neg\":-2.5,"
+      "\"on\":true,\"off\":null}");
+  ASSERT_TRUE(object.has_value());
+  EXPECT_EQ(object->at("t").u64, 9223372036854775811ull);
+  EXPECT_EQ(object->at("s").str, "a\"b\n");
+  EXPECT_EQ(object->at("neg").num, -2.5);
+  EXPECT_TRUE(object->at("on").b);
+  EXPECT_FALSE(parse_flat_object("{\"nested\":{}}").has_value());
+  EXPECT_FALSE(parse_flat_object("{\"t\":1").has_value());
+  EXPECT_FALSE(parse_flat_object("{\"t\":1} trailing").has_value());
+}
+
+TEST(TracetoolAttribution, AttributesVerdictsPerTechniqueWithFaultClass) {
+  const auto rows = attribute(make_trace());
+  ASSERT_EQ(rows.size(), 3u);
+  // Sorted by technique name.
+  EXPECT_EQ(rows[0].technique, "nvp");
+  EXPECT_EQ(rows[1].technique, "recovery_blocks");
+  EXPECT_EQ(rows[2].technique, "self_checking");
+
+  EXPECT_EQ(rows[0].fault_class, "development");
+  EXPECT_EQ(rows[0].verdicts, 1u);
+  EXPECT_EQ(rows[0].accepted, 1u);
+  EXPECT_EQ(rows[0].masked, 1u);
+  EXPECT_EQ(rows[0].ballots_seen, 3u);
+  EXPECT_EQ(rows[0].ballots_failed, 1u);
+  EXPECT_DOUBLE_EQ(rows[0].mask_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(rows[0].failure_rate(), 0.0);
+
+  EXPECT_EQ(rows[1].rejected, 1u);
+  EXPECT_EQ(rows[1].rounds, 2u);
+  EXPECT_DOUBLE_EQ(rows[1].failure_rate(), 1.0);
+
+  EXPECT_EQ(rows[2].stragglers_cancelled, 1u);
+  EXPECT_DOUBLE_EQ(rows[2].straggler_cancel_rate(), 1.0 / 3.0);
+}
+
+TEST(TracetoolAttribution, FaultClassMirrorsTable2) {
+  EXPECT_EQ(fault_class_of("nvp"), "development");
+  EXPECT_EQ(fault_class_of("recovery_blocks"), "development");
+  EXPECT_EQ(fault_class_of("self_checking"), "development");
+  EXPECT_EQ(fault_class_of("process_replicas"), "malicious");
+  EXPECT_EQ(fault_class_of("checkpoint_recovery"), "Heisenbugs");
+  EXPECT_EQ(fault_class_of("microreboot"), "Heisenbugs");
+  EXPECT_EQ(fault_class_of("not_a_technique"), "—");
+}
+
+TEST(TracetoolLatency, DecomposesCriticalPathPerPattern) {
+  const auto rows = critical_path(make_trace());
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].pattern, "nvp");
+  EXPECT_EQ(rows[1].pattern, "recovery_blocks");
+  EXPECT_EQ(rows[2].pattern, "self_checking");
+
+  // nvp: parent 1000..10000; variant window 2000..7000.
+  EXPECT_EQ(rows[0].requests, 1u);
+  EXPECT_EQ(rows[0].total_ns, 9'000u);
+  EXPECT_EQ(rows[0].queue_ns, 1'000u);
+  EXPECT_EQ(rows[0].variant_ns, 5'000u);
+  EXPECT_EQ(rows[0].adjudication_ns, 3'000u);
+  EXPECT_EQ(rows[0].variant_work_ns, 3'000u + 3'800 + 4'900);
+
+  // recovery blocks: queue 1000, window 1000..6000, tail 2000.
+  EXPECT_EQ(rows[1].queue_ns, 1'000u);
+  EXPECT_EQ(rows[1].variant_ns, 5'000u);
+  EXPECT_EQ(rows[1].adjudication_ns, 2'000u);
+
+  // Decomposition tiles the parent span exactly for each request.
+  for (const auto& r : rows) {
+    EXPECT_EQ(r.queue_ns + r.variant_ns + r.adjudication_ns, r.total_ns)
+        << r.pattern;
+  }
+}
+
+TEST(TracetoolSlo, ErrorBudgetAccounting) {
+  const SloReport report = slo_report(make_trace(), 99.0);
+  ASSERT_EQ(report.rows.size(), 4u);
+  EXPECT_EQ(report.rows.back().technique, "overall");
+
+  const SloRow& nvp = report.rows[0];
+  EXPECT_DOUBLE_EQ(nvp.failure_rate, 0.0);
+  EXPECT_DOUBLE_EQ(nvp.budget_consumed, 0.0);
+
+  const SloRow& rb = report.rows[1];
+  EXPECT_DOUBLE_EQ(rb.failure_rate, 1.0);
+  EXPECT_NEAR(rb.budget_consumed, 100.0, 1e-9);
+
+  const SloRow& overall = report.rows.back();
+  EXPECT_EQ(overall.verdicts, 3u);
+  EXPECT_EQ(overall.rejected, 1u);
+  EXPECT_NEAR(overall.failure_rate, 1.0 / 3.0, 1e-12);
+}
+
+TEST(TracetoolMarkdown, RendersAllThreeReports) {
+  const TraceData trace = make_trace();
+
+  const std::string attribution = attribution_markdown(attribute(trace));
+  EXPECT_NE(attribution.find("| technique | faults (Table 2) |"),
+            std::string::npos);
+  EXPECT_NE(attribution.find("| nvp | development | 1 | 1 | 1 | 0 |"),
+            std::string::npos);
+  EXPECT_NE(attribution.find("| recovery_blocks | development |"),
+            std::string::npos);
+  EXPECT_NE(attribution.find("| self_checking | development |"),
+            std::string::npos);
+
+  const std::string latency = latency_markdown(critical_path(trace));
+  EXPECT_NE(latency.find("| nvp | 1 |"), std::string::npos);
+  EXPECT_NE(latency.find("adjudication µs"), std::string::npos);
+
+  const std::string slo = slo_markdown(slo_report(trace, 99.0));
+  EXPECT_NE(slo.find("| nvp | 1 | 0 | 0.00% | 0.00% | within budget |"),
+            std::string::npos);
+  EXPECT_NE(slo.find("EXHAUSTED"), std::string::npos);
+  EXPECT_NE(slo.find("| overall | 3 | 1 |"), std::string::npos);
+}
+
+TEST(TracetoolMarkdown, EmptyTraceRendersPlaceholders) {
+  const TraceData trace;
+  EXPECT_NE(attribution_markdown(attribute(trace))
+                .find("_no adjudication events in trace_"),
+            std::string::npos);
+  EXPECT_NE(latency_markdown(critical_path(trace))
+                .find("_no pattern spans in trace_"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace redundancy::tracetool

@@ -1,0 +1,149 @@
+#include "tracetool/jsonl.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace redundancy::tracetool {
+
+namespace {
+
+struct Cursor {
+  std::string_view s;
+  std::size_t pos = 0;
+
+  [[nodiscard]] bool done() const noexcept { return pos >= s.size(); }
+  [[nodiscard]] char peek() const noexcept { return done() ? '\0' : s[pos]; }
+  void skip_ws() {
+    while (!done() && (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\r')) {
+      ++pos;
+    }
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (peek() != c) return false;
+    ++pos;
+    return true;
+  }
+  bool consume_word(std::string_view w) {
+    skip_ws();
+    if (s.substr(pos, w.size()) != w) return false;
+    pos += w.size();
+    return true;
+  }
+};
+
+bool parse_string(Cursor& c, std::string& out) {
+  if (!c.consume('"')) return false;
+  out.clear();
+  while (!c.done()) {
+    const char ch = c.s[c.pos++];
+    if (ch == '"') return true;
+    if (ch != '\\') {
+      out.push_back(ch);
+      continue;
+    }
+    if (c.done()) return false;
+    const char esc = c.s[c.pos++];
+    switch (esc) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case '/': out.push_back('/'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case 't': out.push_back('\t'); break;
+      case 'b': out.push_back('\b'); break;
+      case 'f': out.push_back('\f'); break;
+      case 'u': {
+        if (c.pos + 4 > c.s.size()) return false;
+        const std::string hex{c.s.substr(c.pos, 4)};
+        c.pos += 4;
+        char* stop = nullptr;
+        const long code = std::strtol(hex.c_str(), &stop, 16);
+        if (stop != hex.c_str() + 4) return false;
+        // The sinks only escape control characters; anything else is kept
+        // as a replacement byte rather than implementing full UTF-16.
+        out.push_back(code < 0x80 ? static_cast<char>(code) : '?');
+        break;
+      }
+      default: return false;
+    }
+  }
+  return false;  // unterminated string
+}
+
+bool parse_value(Cursor& c, JsonValue& out) {
+  c.skip_ws();
+  const char ch = c.peek();
+  if (ch == '"') {
+    out.kind = JsonValue::Kind::string;
+    return parse_string(c, out.str);
+  }
+  if (c.consume_word("true")) {
+    out.kind = JsonValue::Kind::boolean;
+    out.b = true;
+    return true;
+  }
+  if (c.consume_word("false")) {
+    out.kind = JsonValue::Kind::boolean;
+    out.b = false;
+    return true;
+  }
+  if (c.consume_word("null")) {
+    out.kind = JsonValue::Kind::null;
+    return true;
+  }
+  // Number. Collect the token, then decide integer vs double.
+  const std::size_t start = c.pos;
+  if (c.peek() == '-') ++c.pos;
+  bool is_double = false;
+  while (!c.done()) {
+    const char d = c.peek();
+    if (std::isdigit(static_cast<unsigned char>(d)) != 0) {
+      ++c.pos;
+    } else if (d == '.' || d == 'e' || d == 'E' || d == '+' || d == '-') {
+      is_double = true;
+      ++c.pos;
+    } else {
+      break;
+    }
+  }
+  if (c.pos == start) return false;
+  const std::string token{c.s.substr(start, c.pos - start)};
+  char* stop = nullptr;
+  if (is_double || token[0] == '-') {
+    out.kind = JsonValue::Kind::number;
+    out.num = std::strtod(token.c_str(), &stop);
+  } else {
+    out.kind = JsonValue::Kind::uinteger;
+    out.u64 = std::strtoull(token.c_str(), &stop, 10);
+  }
+  return stop == token.c_str() + token.size();
+}
+
+}  // namespace
+
+std::optional<JsonObject> parse_flat_object(std::string_view line) {
+  Cursor c{line};
+  if (!c.consume('{')) return std::nullopt;
+  JsonObject out;
+  c.skip_ws();
+  if (c.consume('}')) {
+    c.skip_ws();
+    return c.done() ? std::optional{out} : std::nullopt;
+  }
+  while (true) {
+    std::string key;
+    if (!parse_string(c, key)) return std::nullopt;
+    if (!c.consume(':')) return std::nullopt;
+    JsonValue value;
+    if (!parse_value(c, value)) return std::nullopt;
+    out[std::move(key)] = std::move(value);
+    if (c.consume(',')) continue;
+    if (c.consume('}')) break;
+    return std::nullopt;
+  }
+  c.skip_ws();
+  return c.done() ? std::optional{out} : std::nullopt;
+}
+
+}  // namespace redundancy::tracetool

@@ -1,0 +1,37 @@
+// Minimal JSON parser for the flat one-object-per-line trace schema the
+// obs:: sinks emit (EXPERIMENTS.md). Values are strings, integers, doubles,
+// booleans or null — the schema nests nothing, so neither does the parser.
+// Unsigned 64-bit integers are kept exact (trace ids and steady-clock
+// nanosecond timestamps overflow a double's 53-bit mantissa).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace redundancy::tracetool {
+
+struct JsonValue {
+  enum class Kind { string, uinteger, number, boolean, null };
+  Kind kind = Kind::null;
+  std::string str;
+  std::uint64_t u64 = 0;
+  double num = 0.0;
+  bool b = false;
+
+  /// Numeric value regardless of integer/double representation.
+  [[nodiscard]] double as_number() const noexcept {
+    return kind == Kind::uinteger ? static_cast<double>(u64) : num;
+  }
+};
+
+using JsonObject = std::map<std::string, JsonValue>;
+
+/// Parse one flat JSON object; nullopt on malformed input (a truncated
+/// line, nested structure, trailing garbage).
+[[nodiscard]] std::optional<JsonObject> parse_flat_object(
+    std::string_view line);
+
+}  // namespace redundancy::tracetool

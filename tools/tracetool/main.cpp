@@ -1,0 +1,96 @@
+// tracetool — reliability attribution from recorded traces.
+//
+//   tracetool report [--slo=99.9] [--out=FILE] <trace.jsonl> [more...]
+//
+// Loads *.trace.jsonl files (the obs:: JSONL schema, EXPERIMENTS.md),
+// reconstructs span trees, and emits one markdown document with three
+// sections: per-technique reliability attribution against the paper's
+// Table-2 fault classes, a critical-path latency breakdown per pattern, and
+// an SLO / error-budget report over the adjudication failure rate.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tracetool/trace_model.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: tracetool report [--slo=PCT] [--out=FILE] "
+               "<trace.jsonl> [more.jsonl...]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::string{argv[1]} != "report") return usage();
+
+  double slo_pct = 99.9;
+  std::string out_path;
+  std::vector<std::string> inputs;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg{argv[i]};
+    if (arg.rfind("--slo=", 0) == 0) {
+      char* stop = nullptr;
+      slo_pct = std::strtod(arg.c_str() + 6, &stop);
+      if (*stop != '\0' || slo_pct <= 0.0 || slo_pct >= 100.0) {
+        std::fprintf(stderr, "tracetool: bad --slo value '%s'\n",
+                     arg.c_str() + 6);
+        return 2;
+      }
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) return usage();
+
+  redundancy::tracetool::TraceData trace;
+  for (const auto& path : inputs) {
+    std::ifstream in{path};
+    if (!in.is_open()) {
+      std::fprintf(stderr, "tracetool: cannot open %s\n", path.c_str());
+      return 1;
+    }
+    redundancy::tracetool::load_trace(in, trace);
+  }
+
+  std::string doc;
+  doc += "# tracetool report\n\n";
+  doc += "Input: " + std::to_string(inputs.size()) + " file(s), " +
+         std::to_string(trace.spans.size()) + " spans, " +
+         std::to_string(trace.adjudications.size()) +
+         " adjudication events";
+  if (trace.malformed_lines > 0) {
+    doc += " (" + std::to_string(trace.malformed_lines) +
+           " malformed lines skipped)";
+  }
+  doc += "\n\n";
+  doc += "## Per-technique reliability attribution (Table 2 fault classes)\n\n";
+  doc += attribution_markdown(attribute(trace));
+  doc += "\n## Critical-path latency breakdown per pattern\n\n";
+  doc += latency_markdown(critical_path(trace));
+  doc += "\n## SLO / error budget (adjudication failure rate)\n\n";
+  doc += slo_markdown(slo_report(trace, slo_pct));
+
+  if (out_path.empty()) {
+    std::cout << doc;
+  } else {
+    std::ofstream out{out_path};
+    if (!out.is_open()) {
+      std::fprintf(stderr, "tracetool: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << doc;
+    std::fprintf(stderr, "tracetool: wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,298 @@
+#include "tracetool/trace_model.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <istream>
+#include <map>
+#include <utility>
+
+#include "tracetool/jsonl.hpp"
+
+namespace redundancy::tracetool {
+
+namespace {
+
+std::string get_str(const JsonObject& o, const char* key) {
+  const auto it = o.find(key);
+  return it != o.end() && it->second.kind == JsonValue::Kind::string
+             ? it->second.str
+             : std::string{};
+}
+
+std::uint64_t get_u64(const JsonObject& o, const char* key) {
+  const auto it = o.find(key);
+  if (it == o.end()) return 0;
+  if (it->second.kind == JsonValue::Kind::uinteger) return it->second.u64;
+  if (it->second.kind == JsonValue::Kind::number && it->second.num > 0) {
+    return static_cast<std::uint64_t>(it->second.num);
+  }
+  return 0;
+}
+
+bool get_bool(const JsonObject& o, const char* key) {
+  const auto it = o.find(key);
+  return it != o.end() && it->second.kind == JsonValue::Kind::boolean &&
+         it->second.b;
+}
+
+/// Span names the instrumentation uses for one unit of variant execution.
+bool is_variant_span(const std::string& name) {
+  return name == "variant" || name == "component" || name == "alternative" ||
+         name == "replica";
+}
+
+std::string pct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f%%", fraction * 100.0);
+  return buf;
+}
+
+std::string fixed(double v, int digits = 1) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+}  // namespace
+
+void load_trace(std::istream& in, TraceData& out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto object = parse_flat_object(line);
+    if (!object.has_value()) {
+      ++out.malformed_lines;
+      continue;
+    }
+    const std::string type = get_str(*object, "type");
+    if (type == "span") {
+      obs::SpanRecord span;
+      span.trace_id = get_u64(*object, "trace");
+      span.span_id = get_u64(*object, "span");
+      span.parent_id = get_u64(*object, "parent");
+      span.name = get_str(*object, "name");
+      span.detail = get_str(*object, "detail");
+      span.t_start_ns = get_u64(*object, "t_start_ns");
+      span.t_end_ns = get_u64(*object, "t_end_ns");
+      span.ok = get_bool(*object, "ok");
+      out.spans.push_back(std::move(span));
+    } else if (type == "adjudication") {
+      obs::AdjudicationEvent event;
+      event.trace_id = get_u64(*object, "trace");
+      event.parent_id = get_u64(*object, "parent");
+      event.technique = get_str(*object, "technique");
+      event.t_ns = get_u64(*object, "t_ns");
+      event.round = get_u64(*object, "round");
+      event.electorate = get_u64(*object, "electorate");
+      event.ballots_seen = get_u64(*object, "ballots_seen");
+      event.ballots_failed = get_u64(*object, "ballots_failed");
+      event.accepted = get_bool(*object, "accepted");
+      event.verdict = get_str(*object, "verdict");
+      event.winner = get_str(*object, "winner");
+      event.stragglers_cancelled = get_u64(*object, "stragglers_cancelled");
+      out.adjudications.push_back(std::move(event));
+    } else {
+      ++out.unknown_records;
+    }
+  }
+}
+
+std::string fault_class_of(const std::string& technique) {
+  // The obs labels each instrumentation site emits, mapped to the fault
+  // class Table 2 assigns the technique family (paper_cell spellings).
+  static const std::map<std::string, std::string> kFaults{
+      {"nvp", "development"},
+      {"sql_nvp", "development"},
+      {"recovery_blocks", "development"},
+      {"concurrent_recovery_blocks", "development"},
+      {"self_checking", "development"},
+      {"parallel_evaluation", "development"},
+      {"parallel_selection", "development"},
+      {"sequential_alternatives", "development"},
+      {"data_diversity", "development"},
+      {"process_replicas", "malicious"},
+      {"checkpoint_recovery", "Heisenbugs"},
+      {"process_pair", "Heisenbugs"},
+      {"microreboot", "Heisenbugs"},
+  };
+  const auto it = kFaults.find(technique);
+  return it != kFaults.end() ? it->second : "—";
+}
+
+std::vector<TechniqueAttribution> attribute(const TraceData& trace) {
+  std::map<std::string, TechniqueAttribution> rows;
+  for (const auto& e : trace.adjudications) {
+    TechniqueAttribution& row = rows[e.technique];
+    if (row.verdicts == 0) {
+      row.technique = e.technique;
+      row.fault_class = fault_class_of(e.technique);
+    }
+    ++row.verdicts;
+    if (e.accepted) {
+      ++row.accepted;
+      if (e.ballots_failed > 0) ++row.masked;
+    } else {
+      ++row.rejected;
+    }
+    row.ballots_seen += e.ballots_seen;
+    row.ballots_failed += e.ballots_failed;
+    row.stragglers_cancelled += e.stragglers_cancelled;
+    row.rounds += e.round;
+  }
+  std::vector<TechniqueAttribution> out;
+  out.reserve(rows.size());
+  for (auto& [name, row] : rows) out.push_back(std::move(row));
+  return out;
+}
+
+std::vector<PatternLatency> critical_path(const TraceData& trace) {
+  // Index spans by (trace, span) — span ids alone can collide between the
+  // processes that appended to one trace file — and collect, per parent
+  // span, the variant-execution children. A span that parents variant spans
+  // is a pattern span (its name is the technique/pattern label), whether it
+  // is a root (live request) or nested under a campaign shard.
+  using SpanKey = std::pair<obs::TraceId, obs::SpanId>;
+  std::map<SpanKey, const obs::SpanRecord*> by_id;
+  for (const auto& s : trace.spans) {
+    by_id.emplace(SpanKey{s.trace_id, s.span_id}, &s);
+  }
+
+  struct Window {
+    std::uint64_t first_start = UINT64_MAX;
+    std::uint64_t last_end = 0;
+    std::uint64_t work = 0;
+  };
+  std::map<SpanKey, Window> windows;
+  for (const auto& s : trace.spans) {
+    if (!is_variant_span(s.name) || s.parent_id == 0) continue;
+    const SpanKey parent_key{s.trace_id, s.parent_id};
+    if (by_id.find(parent_key) == by_id.end()) continue;
+    Window& w = windows[parent_key];
+    w.first_start = std::min(w.first_start, s.t_start_ns);
+    w.last_end = std::max(w.last_end, s.t_end_ns);
+    w.work += s.duration_ns();
+  }
+
+  std::map<std::string, PatternLatency> rows;
+  for (const auto& [parent_key, w] : windows) {
+    const obs::SpanRecord& parent = *by_id.at(parent_key);
+    PatternLatency& row = rows[parent.name];
+    if (row.requests == 0) row.pattern = parent.name;
+    ++row.requests;
+    row.total_ns += parent.duration_ns();
+    if (w.first_start >= parent.t_start_ns) {
+      row.queue_ns += w.first_start - parent.t_start_ns;
+    }
+    if (w.last_end >= w.first_start) {
+      row.variant_ns += w.last_end - w.first_start;
+    }
+    if (parent.t_end_ns >= w.last_end) {
+      row.adjudication_ns += parent.t_end_ns - w.last_end;
+    }
+    row.variant_work_ns += w.work;
+  }
+
+  std::vector<PatternLatency> out;
+  out.reserve(rows.size());
+  for (auto& [name, row] : rows) out.push_back(std::move(row));
+  return out;
+}
+
+SloReport slo_report(const TraceData& trace, double slo_pct) {
+  SloReport report;
+  report.slo_pct = slo_pct;
+  const double budget = 1.0 - slo_pct / 100.0;  // allowed failure fraction
+  SloRow overall;
+  overall.technique = "overall";
+  for (const auto& row : attribute(trace)) {
+    SloRow r;
+    r.technique = row.technique;
+    r.verdicts = row.verdicts;
+    r.rejected = row.rejected;
+    r.failure_rate = row.failure_rate();
+    r.budget_consumed = budget > 0.0 ? r.failure_rate / budget : 0.0;
+    overall.verdicts += r.verdicts;
+    overall.rejected += r.rejected;
+    report.rows.push_back(std::move(r));
+  }
+  overall.failure_rate = overall.verdicts
+                             ? double(overall.rejected) /
+                                   double(overall.verdicts)
+                             : 0.0;
+  overall.budget_consumed =
+      budget > 0.0 ? overall.failure_rate / budget : 0.0;
+  report.rows.push_back(std::move(overall));
+  return report;
+}
+
+std::string attribution_markdown(
+    const std::vector<TechniqueAttribution>& rows) {
+  std::string out;
+  out +=
+      "| technique | faults (Table 2) | verdicts | accepted | masked | "
+      "failed | mask rate | failure rate | ballots seen | ballots failed | "
+      "straggler-cancel rate | avg rounds |\n";
+  out +=
+      "|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n";
+  for (const auto& r : rows) {
+    const double avg_rounds =
+        r.verdicts ? double(r.rounds) / double(r.verdicts) : 0.0;
+    out += "| " + r.technique + " | " + r.fault_class + " | " +
+           std::to_string(r.verdicts) + " | " + std::to_string(r.accepted) +
+           " | " + std::to_string(r.masked) + " | " +
+           std::to_string(r.rejected) + " | " + pct(r.mask_rate()) + " | " +
+           pct(r.failure_rate()) + " | " + std::to_string(r.ballots_seen) +
+           " | " + std::to_string(r.ballots_failed) + " | " +
+           pct(r.straggler_cancel_rate()) + " | " + fixed(avg_rounds, 2) +
+           " |\n";
+  }
+  if (rows.empty()) out += "| _no adjudication events in trace_ ||||||||||||\n";
+  return out;
+}
+
+std::string latency_markdown(const std::vector<PatternLatency>& rows) {
+  std::string out;
+  out +=
+      "| pattern | requests | mean total µs | queue µs (%) | variant µs (%) "
+      "| adjudication µs (%) | fan-out work µs |\n";
+  out += "|---|---:|---:|---:|---:|---:|---:|\n";
+  for (const auto& r : rows) {
+    if (r.requests == 0) continue;
+    const double n = double(r.requests);
+    const double total = double(r.total_ns) / n / 1000.0;
+    const double queue = double(r.queue_ns) / n / 1000.0;
+    const double variant = double(r.variant_ns) / n / 1000.0;
+    const double adjudicate = double(r.adjudication_ns) / n / 1000.0;
+    const double work = double(r.variant_work_ns) / n / 1000.0;
+    const double denom = total > 0.0 ? total : 1.0;
+    out += "| " + r.pattern + " | " + std::to_string(r.requests) + " | " +
+           fixed(total) + " | " + fixed(queue) + " (" +
+           pct(queue / denom) + ") | " + fixed(variant) + " (" +
+           pct(variant / denom) + ") | " + fixed(adjudicate) + " (" +
+           pct(adjudicate / denom) + ") | " + fixed(work) + " |\n";
+  }
+  if (rows.empty()) out += "| _no pattern spans in trace_ |||||||\n";
+  return out;
+}
+
+std::string slo_markdown(const SloReport& report) {
+  std::string out;
+  out += "SLO target: " + fixed(report.slo_pct, 3) +
+         "% of adjudications accepted (error budget " +
+         pct(1.0 - report.slo_pct / 100.0) + ")\n\n";
+  out +=
+      "| technique | verdicts | failed | failure rate | error budget "
+      "consumed | status |\n";
+  out += "|---|---:|---:|---:|---:|---|\n";
+  for (const auto& r : report.rows) {
+    const char* status = r.budget_consumed > 1.0          ? "EXHAUSTED"
+                         : r.budget_consumed > 0.75       ? "at risk"
+                                                          : "within budget";
+    out += "| " + r.technique + " | " + std::to_string(r.verdicts) + " | " +
+           std::to_string(r.rejected) + " | " + pct(r.failure_rate) + " | " +
+           pct(r.budget_consumed) + " | " + status + " |\n";
+  }
+  return out;
+}
+
+}  // namespace redundancy::tracetool

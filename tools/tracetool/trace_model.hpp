@@ -1,0 +1,114 @@
+// tracetool's analysis model: load *.trace.jsonl files, reconstruct span
+// trees, and derive the three reports the CLI prints —
+//
+//  (a) per-technique reliability attribution: verdict counts, ballots
+//      failed vs masked, straggler-cancellation rates, next to the fault
+//      class Table 2 of the paper assigns the technique;
+//  (b) critical-path latency breakdown per pattern: where a request's time
+//      went — pool queueing before the first variant started, the variant
+//      window itself, and adjudication after the last ballot arrived;
+//  (c) an SLO / error-budget report over the adjudication failure rate.
+//
+// All three are recomputed from recorded traces, not from campaign
+// counters: the trace is the ground truth for what the adjudicators
+// actually decided.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace redundancy::tracetool {
+
+struct TraceData {
+  std::vector<obs::SpanRecord> spans;
+  std::vector<obs::AdjudicationEvent> adjudications;
+  std::size_t malformed_lines = 0;  ///< truncated/unparseable lines skipped
+  std::size_t unknown_records = 0;  ///< parseable lines of unknown "type"
+
+  [[nodiscard]] bool empty() const noexcept {
+    return spans.empty() && adjudications.empty();
+  }
+};
+
+/// Append every record found in `in` (one JSON object per line).
+void load_trace(std::istream& in, TraceData& out);
+
+/// (a) One technique's attribution row.
+struct TechniqueAttribution {
+  std::string technique;
+  std::string fault_class;        ///< Table-2 "Faults" cell, "—" if unknown
+  std::size_t verdicts = 0;
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  std::size_t masked = 0;         ///< accepted with ballots_failed > 0
+  std::size_t ballots_seen = 0;
+  std::size_t ballots_failed = 0;
+  std::size_t stragglers_cancelled = 0;
+  std::size_t rounds = 0;         ///< summed revote rounds
+
+  [[nodiscard]] double mask_rate() const noexcept {
+    return verdicts ? double(masked) / double(verdicts) : 0.0;
+  }
+  [[nodiscard]] double failure_rate() const noexcept {
+    return verdicts ? double(rejected) / double(verdicts) : 0.0;
+  }
+  [[nodiscard]] double straggler_cancel_rate() const noexcept {
+    return ballots_seen + stragglers_cancelled > 0
+               ? double(stragglers_cancelled) /
+                     double(ballots_seen + stragglers_cancelled)
+               : 0.0;
+  }
+};
+
+/// The Table-2 fault class ("development", "malicious", ...) for an obs
+/// technique label ("nvp", "recovery_blocks", ...); "—" when unknown.
+[[nodiscard]] std::string fault_class_of(const std::string& technique);
+
+[[nodiscard]] std::vector<TechniqueAttribution> attribute(
+    const TraceData& trace);  // sorted by technique name
+
+/// (b) Aggregated critical-path decomposition for one pattern label (the
+/// name of every span that directly parents variant-execution spans).
+struct PatternLatency {
+  std::string pattern;
+  std::size_t requests = 0;
+  std::uint64_t total_ns = 0;        ///< summed pattern-span durations
+  std::uint64_t queue_ns = 0;        ///< span start -> first variant start
+  std::uint64_t variant_ns = 0;      ///< first variant start -> last end
+  std::uint64_t adjudication_ns = 0; ///< last variant end -> span end
+  std::uint64_t variant_work_ns = 0; ///< summed variant durations (fan-out)
+};
+
+[[nodiscard]] std::vector<PatternLatency> critical_path(
+    const TraceData& trace);  // sorted by pattern name
+
+/// (c) Error-budget accounting at `slo_pct` (e.g. 99.9 = three nines of
+/// accepted adjudications).
+struct SloRow {
+  std::string technique;
+  std::size_t verdicts = 0;
+  std::size_t rejected = 0;
+  double failure_rate = 0.0;
+  double budget_consumed = 0.0;  ///< failure_rate / (1 - slo), 1.0 = spent
+};
+
+struct SloReport {
+  double slo_pct = 99.9;
+  std::vector<SloRow> rows;  ///< per technique, sorted; last row = overall
+};
+
+[[nodiscard]] SloReport slo_report(const TraceData& trace, double slo_pct);
+
+/// Markdown renderings (what `tracetool report` prints).
+[[nodiscard]] std::string attribution_markdown(
+    const std::vector<TechniqueAttribution>& rows);
+[[nodiscard]] std::string latency_markdown(
+    const std::vector<PatternLatency>& rows);
+[[nodiscard]] std::string slo_markdown(const SloReport& report);
+
+}  // namespace redundancy::tracetool
