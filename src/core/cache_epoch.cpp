@@ -1,0 +1,19 @@
+#include "core/cache_epoch.hpp"
+
+#include <atomic>
+
+namespace redundancy::core {
+
+namespace {
+std::atomic<std::uint64_t> g_epoch{1};
+}  // namespace
+
+std::uint64_t cache_epoch() noexcept {
+  return g_epoch.load(std::memory_order_relaxed);
+}
+
+std::uint64_t advance_cache_epoch() noexcept {
+  return g_epoch.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace redundancy::core

@@ -1,0 +1,27 @@
+// Process-wide cache invalidation epoch.
+//
+// Environment-level redundancy (rejuvenation, microreboot, full reboot)
+// deliberately discards accumulated state to clear aging and Heisenbug
+// residue. Memoized adjudicated results are exactly such state: a cached
+// verdict computed before a restart may embed the very corruption the
+// restart was performed to shed. Every restart event therefore advances the
+// global epoch; RedundancyCache entries are stamped with the epoch current
+// when they were stored and treated as misses once it moves on.
+//
+// The epoch is a single monotonic counter — advancing it is wait-free and
+// costs the caches nothing until the next lookup touches a stale entry.
+#pragma once
+
+#include <cstdint>
+
+namespace redundancy::core {
+
+/// The current invalidation epoch (relaxed load; wait-free).
+[[nodiscard]] std::uint64_t cache_epoch() noexcept;
+
+/// Advance the epoch, invalidating every cached verdict process-wide.
+/// Returns the new epoch. Called by rejuvenation and microreboot on every
+/// restart event; safe from any thread.
+std::uint64_t advance_cache_epoch() noexcept;
+
+}  // namespace redundancy::core

@@ -13,6 +13,7 @@ Metrics& Metrics::operator+=(const Metrics& other) {
   recoveries += other.recoveries;
   unrecovered += other.unrecovered;
   disabled_components += other.disabled_components;
+  hedged_launches += other.hedged_launches;
   cost_units += other.cost_units;
   return *this;
 }

@@ -20,6 +20,7 @@ struct Metrics {
   std::size_t recoveries = 0;          ///< failures masked by the mechanism
   std::size_t unrecovered = 0;         ///< requests that failed despite redundancy
   std::size_t disabled_components = 0; ///< components taken out of service
+  std::size_t hedged_launches = 0;     ///< alternatives started on budget expiry
   double cost_units = 0.0;             ///< abstract execution cost consumed
 
   void reset() { *this = Metrics{}; }

@@ -28,9 +28,11 @@
 
 #include "core/concurrency.hpp"
 #include "core/metrics.hpp"
+#include "core/redundancy_cache.hpp"
 #include "core/variant.hpp"
 #include "core/voters.hpp"
 #include "obs/obs.hpp"
+#include "util/checksum.hpp"
 #include "util/thread_pool.hpp"
 
 namespace redundancy::core {
@@ -52,12 +54,55 @@ class ParallelEvaluation {
   /// emitted (techniques set their own: "nvp", "process_replicas", ...).
   void set_obs_label(std::string label) {
     obs_label_ = std::move(label);
+    label_salt_ = util::fnv1a(obs_label_);
     lat_hist_ = nullptr;
     req_counter_ = nullptr;
   }
 
-  /// Run every variant on `input` and adjudicate the ballots.
+  /// Memoize adjudicated verdicts keyed by (technique, input digest). Only
+  /// sound for deterministic variant sets: a cached verdict replays the
+  /// adjudication the electorate produced the first time. Invalidated by
+  /// rejuvenation/microreboot epochs, invalidate_cache(), and the TTL.
+  void enable_cache(CacheConfig config = {}) {
+    static_assert(util::is_digestible_v<In>,
+                  "enable_cache needs a digestible input type (integral, "
+                  "string, float, vector/optional/pair of those)");
+    if (config.label.empty() || config.label == "cache") {
+      config.label = obs_label_;
+    }
+    cache_ = std::make_unique<RedundancyCache<Out>>(std::move(config));
+  }
+  void disable_cache() noexcept { cache_.reset(); }
+  [[nodiscard]] RedundancyCache<Out>* cache() noexcept { return cache_.get(); }
+  void invalidate_cache() noexcept {
+    if (cache_) cache_->invalidate_all();
+  }
+
+  /// Run every variant on `input` and adjudicate the ballots (through the
+  /// result cache when one is enabled — a hit skips the electorate and the
+  /// voter entirely and performs no heap allocation).
   Result<Out> run(const In& input) {
+    if constexpr (util::is_digestible_v<In>) {
+      if (cache_) {
+        const std::uint64_t t0 = obs::now_ns();
+        bool executed = false;
+        Result<Out> verdict =
+            cache_->get_or_run(cache_key(input), [&]() -> Result<Out> {
+              executed = true;
+              return run_uncached(input);
+            });
+        if (!executed) {  // cache hit or coalesced onto another run
+          ++metrics_.requests;
+          account_observability(t0, verdict.has_value());
+        }
+        return verdict;
+      }
+    }
+    return run_uncached(input);
+  }
+
+ private:
+  Result<Out> run_uncached(const In& input) {
     fold_deferred();
     ++metrics_.requests;
     obs::ScopedSpan span{obs_label_};
@@ -92,6 +137,7 @@ class ParallelEvaluation {
     return verdict;
   }
 
+ public:
   /// Expose raw ballots (used by techniques that post-process divergence,
   /// e.g. process replicas reporting which replica diverged). Always joins
   /// every variant, regardless of the adjudication mode.
@@ -106,12 +152,17 @@ class ParallelEvaluation {
     if (mode_ == Concurrency::threaded) {
       // Fan out once, join collectively: slots fill in whatever order the
       // variants finish, and nothing is accounted until after the barrier,
-      // so the bookkeeping below touches ballots only on this thread.
-      std::vector<std::optional<Ballot<Out>>> slots(n);
-      std::vector<std::function<void()>> tasks;
+      // so the bookkeeping below touches ballots only on this thread. The
+      // slot array is member scratch (collect() runs on the owner thread
+      // only) and the task closures capture four words + a span context, so
+      // they live in the Task inline buffer — after warm-up the fan-out
+      // itself costs no heap allocation beyond the task vector.
+      std::vector<std::optional<Ballot<Out>>>& slots = slots_scratch_;
+      slots.assign(n, std::nullopt);
+      std::vector<util::ThreadPool::Task> tasks;
       tasks.reserve(n);
       for (std::size_t i = 0; i < n; ++i) {
-        tasks.push_back([this, i, &slots, &input, ctx] {
+        tasks.emplace_back([this, i, &slots, &input, ctx] {
           const Variant<In, Out>& v = (*variants_)[i];
           obs::ScopedSpan vspan{"variant", ctx};
           vspan.set_detail(v.name);
@@ -125,6 +176,7 @@ class ParallelEvaluation {
         if (!slots[i]->result.has_value()) ++metrics_.variant_failures;
         ballots.push_back(std::move(*slots[i]));
       }
+      slots.clear();
     } else {
       for (std::size_t i = 0; i < n; ++i) {
         account((*variants_)[i]);
@@ -381,12 +433,24 @@ class ParallelEvaluation {
     metrics_.cost_units += cost;
   }
 
+  /// (technique, input) cache key: the obs label salts the input digest so
+  /// two engines sharing one process never collide on equal inputs.
+  [[nodiscard]] std::uint64_t cache_key(const In& input) const noexcept {
+    util::Digest64 d;
+    d.update(label_salt_);
+    d.update(input);
+    return d.value();
+  }
+
   std::shared_ptr<std::vector<Variant<In, Out>>> variants_;
   Voter<Out> voter_;
   Concurrency mode_;
   Adjudication adjudication_;
   std::shared_ptr<Deferred> deferred_;
+  std::unique_ptr<RedundancyCache<Out>> cache_;
+  std::vector<std::optional<Ballot<Out>>> slots_scratch_;
   mutable Metrics metrics_;
+  std::uint64_t label_salt_ = util::fnv1a("parallel_evaluation");
   std::string obs_label_ = "parallel_evaluation";
   obs::Histogram* lat_hist_ = nullptr;
   obs::Counter* req_counter_ = nullptr;

@@ -27,8 +27,10 @@
 
 #include "core/concurrency.hpp"
 #include "core/metrics.hpp"
+#include "core/redundancy_cache.hpp"
 #include "core/variant.hpp"
 #include "obs/obs.hpp"
+#include "util/checksum.hpp"
 #include "util/thread_pool.hpp"
 
 namespace redundancy::core {
@@ -64,11 +66,52 @@ class ParallelSelection {
   /// emitted (techniques set their own: "self_checking", ...).
   void set_obs_label(std::string label) {
     obs_label_ = std::move(label);
+    label_salt_ = util::fnv1a(obs_label_);
     lat_hist_ = nullptr;
     req_counter_ = nullptr;
   }
 
+  /// Memoize selected results keyed by (technique, input digest). Only sound
+  /// for deterministic components; note a cached verdict also skips the
+  /// acceptance tests, so disable_on_failure bookkeeping only advances on
+  /// misses.
+  void enable_cache(CacheConfig config = {}) {
+    static_assert(util::is_digestible_v<In>,
+                  "enable_cache needs a digestible input type (integral, "
+                  "string, float, vector/optional/pair of those)");
+    if (config.label.empty() || config.label == "cache") {
+      config.label = obs_label_;
+    }
+    cache_ = std::make_unique<RedundancyCache<Out>>(std::move(config));
+  }
+  void disable_cache() noexcept { cache_.reset(); }
+  [[nodiscard]] RedundancyCache<Out>* cache() noexcept { return cache_.get(); }
+  void invalidate_cache() noexcept {
+    if (cache_) cache_->invalidate_all();
+  }
+
   Result<Out> run(const In& input) {
+    if constexpr (util::is_digestible_v<In>) {
+      if (cache_) {
+        const std::uint64_t t0 = obs::now_ns();
+        bool executed = false;
+        Result<Out> verdict =
+            cache_->get_or_run(cache_key(input), [&]() -> Result<Out> {
+              executed = true;
+              return run_adjudicated(input);
+            });
+        if (!executed) {  // cache hit or coalesced onto another run
+          ++metrics_.requests;
+          account_observability(t0, verdict.has_value());
+        }
+        return verdict;
+      }
+    }
+    return run_adjudicated(input);
+  }
+
+ private:
+  Result<Out> run_adjudicated(const In& input) {
     fold_pending();
     ++metrics_.requests;
     obs::ScopedSpan span{obs_label_};
@@ -86,6 +129,7 @@ class ParallelSelection {
     return verdict;
   }
 
+ public:
   /// Index of the component whose result was last selected.
   [[nodiscard]] std::size_t acting() const noexcept { return acting_; }
   [[nodiscard]] std::size_t alive() const noexcept {
@@ -186,39 +230,48 @@ class ParallelSelection {
     // counters.
     struct Shared {
       Shared(const In& in, std::shared_ptr<std::vector<Checked>> cs,
-             std::shared_ptr<Pending> p)
-          : input(in), components(std::move(cs)), pending(std::move(p)) {}
+             std::shared_ptr<Pending> p, obs::SpanContext c)
+          : input(in),
+            components(std::move(cs)),
+            pending(std::move(p)),
+            ctx(c) {}
       const In input;
       std::shared_ptr<std::vector<Checked>> components;
       std::shared_ptr<Pending> pending;
+      const obs::SpanContext ctx;  ///< one copy per run, not per task
     };
-    auto sh = std::make_shared<Shared>(input, components_, pending_);
-    const obs::SpanContext ctx = obs::current_context();
+    auto sh =
+        std::make_shared<Shared>(input, components_, pending_,
+                                 obs::current_context());
+    const obs::SpanContext ctx = sh->ctx;
 
-    std::vector<std::function<std::optional<Out>(const util::CancellationToken&)>>
-        tasks;
+    // Raw lambdas (shared state + index: 24 bytes), so neither the task nor
+    // the first-wins wrapper around it spills out of the Task inline buffer.
+    auto task_for = [&sh](std::size_t i) {
+      return [sh, i](const util::CancellationToken&) -> std::optional<Out> {
+        const Checked& c = (*sh->components)[i];
+        Pending& p = *sh->pending;
+        p.executions.fetch_add(1, std::memory_order_relaxed);
+        p.cost.fetch_add(c.variant.cost, std::memory_order_relaxed);
+        obs::ScopedSpan cspan{"component", sh->ctx};
+        cspan.set_detail(c.variant.name);
+        Result<Out> r = c.variant(sh->input);
+        p.adjudications.fetch_add(1, std::memory_order_relaxed);
+        if (r.has_value() && c.check(sh->input, r.value())) {
+          return std::move(r).take();
+        }
+        cspan.set_ok(false);
+        p.failures.fetch_add(1, std::memory_order_relaxed);
+        p.failed[i].store(true, std::memory_order_release);
+        return std::nullopt;
+      };
+    };
+    std::vector<decltype(task_for(0))> tasks;
     std::vector<std::size_t> index_of;  // task slot -> component index
     for (std::size_t i = 0; i < components_->size(); ++i) {
       if (!(*components_)[i].variant.enabled) continue;
       index_of.push_back(i);
-      tasks.push_back(
-          [sh, i, ctx](const util::CancellationToken&) -> std::optional<Out> {
-            const Checked& c = (*sh->components)[i];
-            Pending& p = *sh->pending;
-            p.executions.fetch_add(1, std::memory_order_relaxed);
-            p.cost.fetch_add(c.variant.cost, std::memory_order_relaxed);
-            obs::ScopedSpan cspan{"component", ctx};
-            cspan.set_detail(c.variant.name);
-            Result<Out> r = c.variant(sh->input);
-            p.adjudications.fetch_add(1, std::memory_order_relaxed);
-            if (r.has_value() && c.check(sh->input, r.value())) {
-              return std::move(r).take();
-            }
-            cspan.set_ok(false);
-            p.failures.fetch_add(1, std::memory_order_relaxed);
-            p.failed[i].store(true, std::memory_order_release);
-            return std::nullopt;
-          });
+      tasks.push_back(task_for(i));
     }
     if (tasks.empty()) {
       ++metrics_.unrecovered;
@@ -290,11 +343,21 @@ class ParallelSelection {
     if (!ok) fail_counter_->add();
   }
 
+  /// (technique, input) cache key — see ParallelEvaluation::cache_key.
+  [[nodiscard]] std::uint64_t cache_key(const In& input) const noexcept {
+    util::Digest64 d;
+    d.update(label_salt_);
+    d.update(input);
+    return d.value();
+  }
+
   std::shared_ptr<std::vector<Checked>> components_;
   Options options_;
   std::shared_ptr<Pending> pending_;
+  std::unique_ptr<RedundancyCache<Out>> cache_;
   mutable Metrics metrics_;
   std::size_t acting_ = 0;
+  std::uint64_t label_salt_ = util::fnv1a("parallel_selection");
   std::string obs_label_ = "parallel_selection";
   obs::Histogram* lat_hist_ = nullptr;
   obs::Counter* req_counter_ = nullptr;

@@ -47,6 +47,19 @@ class [[nodiscard]] Result {
     return std::get<1>(state_);
   }
 
+  // Hot-path accessors: nullptr instead of a throw on the wrong arm, so the
+  // cache and the hedging scheduler can branch on an adjudicated verdict
+  // without touching the exception machinery. The variant itself is in-place
+  // storage — a Result owns no heap block beyond what T/Failure allocate —
+  // which is what lets a cache hit be served as a plain copy.
+  [[nodiscard]] const T* try_value() const noexcept {
+    return std::get_if<0>(&state_);
+  }
+  [[nodiscard]] T* try_value() noexcept { return std::get_if<0>(&state_); }
+  [[nodiscard]] const Failure* try_error() const noexcept {
+    return std::get_if<1>(&state_);
+  }
+
   [[nodiscard]] T value_or(T fallback) const& {
     return has_value() ? std::get<0>(state_) : std::move(fallback);
   }

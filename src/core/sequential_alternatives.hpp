@@ -5,16 +5,42 @@
 // optional state rollback. This is the architecture of recovery blocks
 // (Randell 1975), retry blocks, registry-based recovery, and dynamic service
 // substitution.
+//
+// Two hot-path additions on top of the classic scheme:
+//
+//   * Result cache (enable_cache): adjudicated verdicts are memoized by
+//     (technique, input digest); a hit skips every alternative and the
+//     acceptance test. See core/redundancy_cache.hpp.
+//   * Hedged execution (Options::Hedge): instead of waiting for the primary
+//     to fail or time out, the next alternative is launched as soon as the
+//     primary has been running longer than a latency budget derived live
+//     from the technique's own obs::Histogram (multiplier × p-quantile of
+//     observed alternative latencies). First result to pass the acceptance
+//     test wins; the shared CancellationToken skips alternatives that have
+//     not started, and stragglers fold their bookkeeping into the metrics on
+//     the next call — the same discipline the parallel patterns use. Hedging
+//     engages only for stateless blocks (no rollback installed): concurrent
+//     alternatives cannot share a restore point.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "core/metrics.hpp"
+#include "core/redundancy_cache.hpp"
 #include "core/variant.hpp"
 #include "obs/obs.hpp"
+#include "util/checksum.hpp"
+#include "util/thread_pool.hpp"
 
 namespace redundancy::core {
 
@@ -23,48 +49,165 @@ class SequentialAlternatives {
  public:
   struct Options {
     /// Invoked before every alternative after the first — the recovery-block
-    /// "restore to the state before the primary ran".
+    /// "restore to the state before the primary ran". Installing a rollback
+    /// disables hedging: concurrent alternatives cannot share it.
     std::function<void()> rollback;
     /// Give up after this many alternatives (0 = try all).
     std::size_t max_attempts = 0;
+
+    /// Latency-budget hedging for stateless alternative sets.
+    struct Hedge {
+      bool enabled = false;
+      /// Budget = multiplier × this percentile of the live alternative
+      /// latency histogram (technique.alternative_ns{technique=label}).
+      double quantile = 95.0;
+      double multiplier = 1.0;
+      /// Budget used until the histogram has min_samples observations.
+      std::uint64_t fallback_budget_ns = 10'000'000;  // 10ms
+      std::uint64_t min_samples = 32;
+      /// Clamp on the derived budget (0 = unclamped). The floor keeps a
+      /// freak-fast p95 from hedging every request; the ceiling bounds how
+      /// long a stuck primary can delay the first hedge.
+      std::uint64_t min_budget_ns = 100'000;  // 100µs
+      std::uint64_t max_budget_ns = 0;
+    };
+    Hedge hedge;
   };
 
   SequentialAlternatives(std::vector<Variant<In, Out>> alternatives,
                          AcceptanceTest<In, Out> accept, Options options = {})
-      : alternatives_(std::move(alternatives)), accept_(std::move(accept)),
-        options_(std::move(options)) {}
+      : alternatives_(std::make_shared<std::vector<Variant<In, Out>>>(
+            std::move(alternatives))),
+        accept_(std::make_shared<AcceptanceTest<In, Out>>(std::move(accept))),
+        options_(std::move(options)),
+        pending_(std::make_shared<Pending>()) {}
 
   /// Label under which spans, adjudication events, and registry metrics are
   /// emitted (techniques set their own: "recovery_blocks", ...).
   void set_obs_label(std::string label) {
     obs_label_ = std::move(label);
+    label_salt_ = util::fnv1a(obs_label_);
     lat_hist_ = nullptr;
     req_counter_ = nullptr;
+    alt_hist_ = nullptr;
+  }
+
+  /// Memoize adjudicated verdicts keyed by (technique, input digest). Only
+  /// sound for deterministic alternative sets.
+  void enable_cache(CacheConfig config = {}) {
+    static_assert(util::is_digestible_v<In>,
+                  "enable_cache needs a digestible input type (integral, "
+                  "string, float, vector/optional/pair of those)");
+    if (config.label.empty() || config.label == "cache") {
+      config.label = obs_label_;
+    }
+    cache_ = std::make_unique<RedundancyCache<Out>>(std::move(config));
+  }
+  void disable_cache() noexcept { cache_.reset(); }
+  [[nodiscard]] RedundancyCache<Out>* cache() noexcept { return cache_.get(); }
+  void invalidate_cache() noexcept {
+    if (cache_) cache_->invalidate_all();
   }
 
   Result<Out> run(const In& input) {
+    if constexpr (util::is_digestible_v<In>) {
+      if (cache_) {
+        const std::uint64_t t0 = obs::now_ns();
+        bool executed = false;
+        Result<Out> verdict =
+            cache_->get_or_run(cache_key(input), [&]() -> Result<Out> {
+              executed = true;
+              return run_uncached(input);
+            });
+        if (!executed) {  // cache hit or coalesced onto another run
+          ++metrics_.requests;
+          account_observability(t0, verdict.has_value());
+        }
+        return verdict;
+      }
+    }
+    return run_uncached(input);
+  }
+
+  /// Index of the alternative whose result was last accepted.
+  [[nodiscard]] std::size_t last_used() const noexcept { return last_used_; }
+  [[nodiscard]] const Metrics& metrics() const noexcept {
+    fold_pending();
+    return metrics_;
+  }
+  void reset_metrics() noexcept {
+    fold_pending();
+    metrics_.reset();
+  }
+  [[nodiscard]] std::size_t width() const noexcept {
+    return alternatives_->size();
+  }
+
+  /// Install or update the hedging policy after construction. Hedging still
+  /// only engages when no rollback is installed and In is copyable.
+  void set_hedge(typename Options::Hedge hedge) noexcept {
+    options_.hedge = hedge;
+  }
+
+  /// The hedge budget the next request would use (exposed for tests and the
+  /// hedging experiment): multiplier × quantile of the live alternative
+  /// latency histogram, clamped; the fallback until min_samples landed.
+  [[nodiscard]] std::uint64_t hedge_budget_ns() {
+    const typename Options::Hedge& h = options_.hedge;
+    obs::Histogram& hist = alternative_histogram();
+    if (hist.count() < h.min_samples) return h.fallback_budget_ns;
+    const double p = hist.snapshot().percentile(h.quantile);
+    auto budget = static_cast<std::uint64_t>(p * h.multiplier);
+    if (h.min_budget_ns != 0) budget = std::max(budget, h.min_budget_ns);
+    if (h.max_budget_ns != 0) budget = std::min(budget, h.max_budget_ns);
+    return budget;
+  }
+
+ private:
+  /// Bookkeeping written by hedge stragglers after an early return, folded
+  /// into metrics_ on the next call from the owner thread.
+  struct Pending {
+    std::atomic<std::size_t> executions{0};
+    std::atomic<std::size_t> failures{0};
+    std::atomic<std::size_t> adjudications{0};
+    std::atomic<double> cost{0.0};
+  };
+
+  Result<Out> run_uncached(const In& input) {
+    if (options_.hedge.enabled && !options_.rollback) {
+      // Hedging needs its own copy of the input: stragglers may touch it
+      // after run() returns.
+      if constexpr (std::is_copy_constructible_v<In>) {
+        return run_hedged(input);
+      }
+    }
+    return run_sequential(input);
+  }
+
+  Result<Out> run_sequential(const In& input) {
+    fold_pending();
     ++metrics_.requests;
     obs::ScopedSpan span{obs_label_};
     const obs::SpanContext ctx = span.context();
     const std::uint64_t t0 = obs::enabled() ? obs::now_ns() : 0;
-    const std::size_t limit =
-        options_.max_attempts == 0
-            ? alternatives_.size()
-            : std::min(options_.max_attempts, alternatives_.size());
+    const std::size_t limit = attempt_limit();
     Failure last = failure(FailureKind::no_alternatives, "no alternatives");
     std::size_t attempted = 0;
     std::size_t failed = 0;
     for (std::size_t i = 0; i < limit; ++i) {
-      if (!alternatives_[i].enabled) continue;
+      const Variant<In, Out>& alt = (*alternatives_)[i];
+      if (!alt.enabled) continue;
       if (i > 0 && options_.rollback) {
         options_.rollback();
         ++metrics_.rollbacks;
       }
       ++metrics_.variant_executions;
-      metrics_.cost_units += alternatives_[i].cost;
+      metrics_.cost_units += alt.cost;
       obs::ScopedSpan aspan{"alternative", ctx};
-      aspan.set_detail(alternatives_[i].name);
-      Result<Out> r = alternatives_[i](input);
+      aspan.set_detail(alt.name);
+      const std::uint64_t a0 = obs::now_ns();
+      Result<Out> r = alt(input);
+      alternative_histogram().record(obs::now_ns() - a0);
       ++attempted;
       if (!r.has_value()) {
         ++metrics_.variant_failures;
@@ -74,11 +217,10 @@ class SequentialAlternatives {
         continue;
       }
       ++metrics_.adjudications;
-      if (accept_(input, r.value())) {
+      if ((*accept_)(input, r.value())) {
         if (i > 0) ++metrics_.recoveries;
         last_used_ = i;
-        record_verdict(ctx, limit, attempted, failed, true,
-                       alternatives_[i].name);
+        record_verdict(ctx, limit, attempted, failed, true, alt.name);
         if (t0 != 0) account_observability(t0, true);
         span.set_ok(true);
         return r;
@@ -87,7 +229,7 @@ class SequentialAlternatives {
       ++failed;
       aspan.set_ok(false);
       last = failure(FailureKind::acceptance_failed,
-                     "rejected result of " + alternatives_[i].name);
+                     "rejected result of " + alt.name);
     }
     ++metrics_.unrecovered;
     record_verdict(ctx, limit, attempted, failed, false, last.describe());
@@ -97,13 +239,217 @@ class SequentialAlternatives {
                                last.cause)};
   }
 
-  /// Index of the alternative whose result was last accepted.
-  [[nodiscard]] std::size_t last_used() const noexcept { return last_used_; }
-  [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
-  void reset_metrics() noexcept { metrics_.reset(); }
-  [[nodiscard]] std::size_t width() const noexcept { return alternatives_.size(); }
+  /// Everything a hedged straggler may touch after run() returns.
+  struct HedgeShared {
+    HedgeShared(const In& in,
+                std::shared_ptr<std::vector<Variant<In, Out>>> alts,
+                std::shared_ptr<AcceptanceTest<In, Out>> acc,
+                std::shared_ptr<Pending> p, obs::SpanContext c,
+                obs::Histogram* hist)
+        : input(in),
+          alternatives(std::move(alts)),
+          accept(std::move(acc)),
+          pending(std::move(p)),
+          ctx(c),
+          alt_hist(hist) {}
 
- private:
+    const In input;
+    std::shared_ptr<std::vector<Variant<In, Out>>> alternatives;
+    std::shared_ptr<AcceptanceTest<In, Out>> accept;
+    std::shared_ptr<Pending> pending;
+    const obs::SpanContext ctx;
+    obs::Histogram* alt_hist;  ///< registry-owned; outlives every straggler
+
+    std::mutex m;
+    std::condition_variable cv;
+    std::optional<Result<Out>> winner;
+    std::size_t winner_index = static_cast<std::size_t>(-1);
+    std::size_t launched = 0;
+    std::size_t settled = 0;  ///< finished or skipped-by-cancellation
+    std::size_t failed = 0;   ///< settled without a passing result
+    std::optional<Failure> last_error;
+    util::CancellationToken token;
+  };
+
+  Result<Out> run_hedged(const In& input) {
+    fold_pending();
+    ++metrics_.requests;
+    obs::ScopedSpan span{obs_label_};
+    const std::uint64_t t0 = obs::enabled() ? obs::now_ns() : 0;
+    auto& pool = util::ThreadPool::shared();
+    auto sh = std::make_shared<HedgeShared>(input, alternatives_, accept_,
+                                            pending_, span.context(),
+                                            &alternative_histogram());
+
+    // Eligible alternatives in priority order, honouring max_attempts.
+    const std::size_t limit = attempt_limit();
+    std::vector<std::size_t> eligible;
+    eligible.reserve(limit);
+    for (std::size_t i = 0; i < limit; ++i) {
+      if ((*alternatives_)[i].enabled) eligible.push_back(i);
+    }
+    if (eligible.empty()) {
+      ++metrics_.unrecovered;
+      record_verdict(sh->ctx, limit, 0, 0, false, "no alternatives");
+      if (t0 != 0) account_observability(t0, false);
+      span.set_ok(false);
+      return Result<Out>{
+          failure(FailureKind::no_alternatives, "no alternatives")};
+    }
+
+    std::size_t next = 0;
+    launch(pool, sh, eligible[next++]);
+
+    std::unique_lock lock(sh->m);
+    for (;;) {
+      const bool more = next < eligible.size();
+      // The budget is re-read from the live histogram at every hedge point,
+      // so it adapts as latency observations accumulate mid-burst.
+      const std::uint64_t deadline =
+          more ? obs::now_ns() + hedge_budget_ns() : 0;
+      bool hedge_fire = false;
+      pool.help_until(lock, sh->cv, [&] {
+        if (sh->winner.has_value()) return true;
+        if (sh->settled == sh->launched) return true;  // all outcomes in
+        if (more && obs::now_ns() >= deadline) {
+          hedge_fire = true;
+          return true;
+        }
+        return false;
+      });
+      if (sh->winner.has_value()) break;
+      if (sh->settled == sh->launched && !more) break;  // exhausted
+      if (hedge_fire || sh->settled == sh->launched) {
+        // Budget elapsed (hedge) or everything launched so far already
+        // failed (classic sequential fallthrough): activate the next
+        // alternative. metrics_.hedges counts only true hedges.
+        if (hedge_fire) ++metrics_.hedged_launches;
+        lock.unlock();
+        launch(pool, sh, eligible[next++]);
+        lock.lock();
+      }
+    }
+
+    const bool won = sh->winner.has_value();
+    const std::size_t attempted = sh->settled;
+    const std::size_t failed = sh->failed;
+    Result<Out> verdict = won ? std::move(*sh->winner)
+                              : Result<Out>{failure(
+                                    FailureKind::no_alternatives,
+                                    sh->last_error
+                                        ? sh->last_error->describe()
+                                        : "no passing alternative")};
+    if (won) {
+      last_used_ = sh->winner_index;
+      sh->token.cancel();  // losers still queued are skipped
+    }
+    const std::size_t stragglers = sh->launched - sh->settled;
+    lock.unlock();
+
+    fold_pending();
+    if (won) {
+      if (failed > 0 || last_used_ != eligible.front()) ++metrics_.recoveries;
+    } else {
+      ++metrics_.unrecovered;
+    }
+    if (sh->ctx.active()) {
+      obs::AdjudicationEvent event;
+      event.technique = obs_label_;
+      event.electorate = eligible.size();
+      event.ballots_seen = attempted;
+      event.ballots_failed = failed;
+      event.accepted = won;
+      event.verdict = won ? "ok" : "no passing alternative";
+      if (won) event.winner = (*alternatives_)[last_used_].name;
+      event.stragglers_cancelled = stragglers;
+      obs::record_adjudication(sh->ctx, std::move(event));
+    }
+    if (t0 != 0) account_observability(t0, won);
+    span.set_ok(won);
+    return verdict;
+  }
+
+  /// Post one alternative onto the pool as a hedge leg. The task owns a
+  /// shared_ptr to everything it touches: it may settle after run() returned.
+  void launch(util::ThreadPool& pool, const std::shared_ptr<HedgeShared>& sh,
+              std::size_t index) {
+    {
+      std::lock_guard lock(sh->m);
+      ++sh->launched;
+    }
+    pool.post(util::ThreadPool::Task{[sh, index] {
+      if (sh->token.cancelled()) {
+        std::lock_guard lock(sh->m);
+        ++sh->settled;
+        ++sh->failed;
+        sh->cv.notify_all();
+        return;
+      }
+      const Variant<In, Out>& alt = (*sh->alternatives)[index];
+      Pending& p = *sh->pending;
+      p.executions.fetch_add(1, std::memory_order_relaxed);
+      p.cost.fetch_add(alt.cost, std::memory_order_relaxed);
+      obs::ScopedSpan aspan{"alternative", sh->ctx};
+      aspan.set_detail(alt.name);
+      const std::uint64_t a0 = obs::now_ns();
+      Result<Out> r = [&]() -> Result<Out> {
+        try {
+          return alt(sh->input);
+        } catch (...) {
+          return Result<Out>{
+              failure(FailureKind::crash, "alternative threw")};
+        }
+      }();
+      sh->alt_hist->record(obs::now_ns() - a0);
+      bool pass = false;
+      Failure why = failure(FailureKind::no_alternatives);
+      if (r.has_value()) {
+        p.adjudications.fetch_add(1, std::memory_order_relaxed);
+        pass = (*sh->accept)(sh->input, r.value());
+        if (!pass) {
+          why = failure(FailureKind::acceptance_failed,
+                        "rejected result of " + alt.name);
+        }
+      } else {
+        why = r.error();
+      }
+      aspan.set_ok(pass);
+      if (!pass) p.failures.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard lock(sh->m);
+        ++sh->settled;
+        if (pass) {
+          if (!sh->winner.has_value()) {
+            sh->winner.emplace(std::move(r));
+            sh->winner_index = index;
+            sh->token.cancel();
+          }
+        } else {
+          ++sh->failed;
+          sh->last_error.emplace(std::move(why));
+        }
+        sh->cv.notify_all();
+      }
+    }});
+  }
+
+  [[nodiscard]] std::size_t attempt_limit() const noexcept {
+    return options_.max_attempts == 0
+               ? alternatives_->size()
+               : std::min(options_.max_attempts, alternatives_->size());
+  }
+
+  void fold_pending() const noexcept {
+    Pending& p = *pending_;
+    metrics_.variant_executions +=
+        p.executions.exchange(0, std::memory_order_relaxed);
+    metrics_.variant_failures +=
+        p.failures.exchange(0, std::memory_order_relaxed);
+    metrics_.adjudications +=
+        p.adjudications.exchange(0, std::memory_order_relaxed);
+    metrics_.cost_units += p.cost.exchange(0.0, std::memory_order_relaxed);
+  }
+
   void record_verdict(obs::SpanContext ctx, std::size_t electorate,
                       std::size_t attempted, std::size_t failed, bool accepted,
                       const std::string& winner_or_verdict) {
@@ -135,15 +481,35 @@ class SequentialAlternatives {
     if (!ok) fail_counter_->add();
   }
 
-  std::vector<Variant<In, Out>> alternatives_;
-  AcceptanceTest<In, Out> accept_;
+  /// Live per-alternative latency histogram the hedge budget derives from.
+  [[nodiscard]] obs::Histogram& alternative_histogram() {
+    if (alt_hist_ == nullptr) {
+      alt_hist_ = &obs::histogram("technique.alternative_ns", obs_label_);
+    }
+    return *alt_hist_;
+  }
+
+  /// (technique, input) cache key — see ParallelEvaluation::cache_key.
+  [[nodiscard]] std::uint64_t cache_key(const In& input) const noexcept {
+    util::Digest64 d;
+    d.update(label_salt_);
+    d.update(input);
+    return d.value();
+  }
+
+  std::shared_ptr<std::vector<Variant<In, Out>>> alternatives_;
+  std::shared_ptr<AcceptanceTest<In, Out>> accept_;
   Options options_;
-  Metrics metrics_;
+  std::shared_ptr<Pending> pending_;
+  std::unique_ptr<RedundancyCache<Out>> cache_;
+  mutable Metrics metrics_;
   std::size_t last_used_ = 0;
+  std::uint64_t label_salt_ = util::fnv1a("sequential_alternatives");
   std::string obs_label_ = "sequential_alternatives";
   obs::Histogram* lat_hist_ = nullptr;
   obs::Counter* req_counter_ = nullptr;
   obs::Counter* fail_counter_ = nullptr;
+  obs::Histogram* alt_hist_ = nullptr;
 };
 
 }  // namespace redundancy::core

@@ -143,7 +143,7 @@ CampaignReport run_campaign_parallel(
   for (std::size_t w = 0; w < workers; ++w) systems.push_back(system_factory());
 
   std::vector<CampaignReport> shards(workers);
-  std::vector<std::function<void()>> tasks;
+  std::vector<util::ThreadPool::Task> tasks;
   tasks.reserve(workers);
   const std::size_t chunk = requests / workers;
   const std::size_t extra = requests % workers;

@@ -26,6 +26,7 @@ const char* reason_phrase(int status) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
     case 503: return "Service Unavailable";
     default: return "OK";
   }
@@ -131,38 +132,51 @@ void HttpExporter::serve_loop() {
 
 void HttpExporter::handle_connection(int fd) {
   // Read until the end of the request head, a byte cap, or a timeout. The
-  // request body (there is none for GET) is ignored.
+  // request body (there is none for GET) is ignored. Pathological inputs
+  // (oversized head, stalled sender) get a diagnostic status rather than a
+  // silent connection drop — a curl in a CI script should print "408", not
+  // "connection reset by peer".
   std::string request;
+  HttpResponse response;
+  bool parse = true;
   const std::uint64_t deadline_hint = kRequestTimeoutMs / kPollIntervalMs;
   for (std::uint64_t waits = 0; request.find("\r\n\r\n") == std::string::npos;) {
     pollfd pfd{fd, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, kPollIntervalMs);
     if (ready < 0 && errno != EINTR) return;
     if (ready <= 0) {
-      if (++waits > deadline_hint || stop_.load(std::memory_order_acquire)) {
-        return;
+      if (stop_.load(std::memory_order_acquire)) return;
+      if (++waits > deadline_hint) {
+        response = {408, "text/plain; charset=utf-8", "request timeout\n"};
+        parse = false;
+        break;
       }
       continue;
     }
     char buf[1024];
     const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
-    if (n <= 0) return;
+    if (n <= 0) return;  // peer hung up; nobody is listening for a reply
     request.append(buf, static_cast<std::size_t>(n));
-    if (request.size() > kMaxRequestBytes) return;
+    if (request.size() > kMaxRequestBytes) {
+      response = {400, "text/plain; charset=utf-8", "request too large\n"};
+      parse = false;
+      break;
+    }
   }
 
-  // Request line: METHOD SP target SP version.
-  HttpResponse response;
-  const std::size_t line_end = request.find("\r\n");
-  const std::string line = request.substr(0, line_end);
-  const std::size_t sp1 = line.find(' ');
-  const std::size_t sp2 = line.find(' ', sp1 + 1);
-  if (sp1 == std::string::npos || sp2 == std::string::npos) {
-    response = {400, "text/plain; charset=utf-8", "bad request\n"};
-  } else if (line.substr(0, sp1) != "GET") {
-    response = {405, "text/plain; charset=utf-8", "method not allowed\n"};
-  } else {
-    response = route(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  if (parse) {
+    // Request line: METHOD SP target SP version.
+    const std::size_t line_end = request.find("\r\n");
+    const std::string line = request.substr(0, line_end);
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 = line.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+      response = {400, "text/plain; charset=utf-8", "bad request\n"};
+    } else if (line.substr(0, sp1) != "GET") {
+      response = {405, "text/plain; charset=utf-8", "method not allowed\n"};
+    } else {
+      response = route(line.substr(sp1 + 1, sp2 - sp1 - 1));
+    }
   }
 
   std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
@@ -171,6 +185,10 @@ void HttpExporter::handle_connection(int fd) {
   head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
   head += "Connection: close\r\n\r\n";
   if (write_all(fd, head)) (void)write_all(fd, response.body);
+  // Graceful close: half-close our side and let the client read to EOF.
+  // Closing with unread data in the socket can turn into an RST that races
+  // the response bytes on loopback.
+  ::shutdown(fd, SHUT_WR);
   served_.fetch_add(1, std::memory_order_relaxed);
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/cache_epoch.hpp"
+
 namespace redundancy::techniques {
 
 using core::failure;
@@ -75,6 +77,10 @@ void MicrorebootContainer::subtree(const std::string& name,
 
 MicrorebootContainer::RecoveryReport MicrorebootContainer::restart(
     const std::vector<std::string>& names) {
+  // Restarting components sheds their accumulated state; verdicts memoized
+  // before the restart may embed exactly the corruption being shed, so the
+  // process-wide cache epoch advances and strands them.
+  if (!names.empty()) core::advance_cache_epoch();
   RecoveryReport report;
   for (const auto& name : names) {
     Component& c = components_.at(name);

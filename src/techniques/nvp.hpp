@@ -37,6 +37,18 @@ class NVersionProgramming {
 
   core::Result<Out> run(const In& input) { return engine_.run(input); }
 
+  /// Memoize adjudicated majority verdicts (deterministic version sets
+  /// only); keyed by (technique, input digest), invalidated by restart
+  /// epochs. See core/redundancy_cache.hpp.
+  void enable_cache(core::CacheConfig config = {}) {
+    engine_.enable_cache(std::move(config));
+  }
+  void disable_cache() noexcept { engine_.disable_cache(); }
+  [[nodiscard]] core::RedundancyCache<Out>* cache() noexcept {
+    return engine_.cache();
+  }
+  void invalidate_cache() noexcept { engine_.invalidate_cache(); }
+
   /// Number of faulty results a full-width majority round can mask.
   [[nodiscard]] std::size_t tolerated_faults() const noexcept {
     return engine_.width() == 0 ? 0 : (engine_.width() - 1) / 2;

@@ -54,7 +54,7 @@ core::Result<vm::Behaviour> ProcessReplicas::serve(
     // Replicas are disjoint VMs, so each can run on its own worker; the
     // barrier below keeps the comparison over the complete behaviour set.
     std::vector<std::optional<core::Ballot<vm::Behaviour>>> slots(vms_.size());
-    std::vector<std::function<void()>> tasks;
+    std::vector<util::ThreadPool::Task> tasks;
     tasks.reserve(vms_.size());
     for (std::size_t r = 0; r < vms_.size(); ++r) {
       tasks.push_back([this, r, &slots, &request, ctx] {

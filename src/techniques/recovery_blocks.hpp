@@ -9,6 +9,7 @@
 // Pattern: sequential alternatives (Figure 1c).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -45,13 +46,40 @@ class RecoveryBlocks {
                             (void)store_->restore_latest(*state_);
                           }
                         },
-                    .max_attempts = 0}) {
+                    .max_attempts = 0,
+                    .hedge = {}}) {
     engine_.set_obs_label("recovery_blocks");
   }
 
   core::Result<Out> run(const In& input) {
     if (state_ != nullptr) store_->capture(*state_);
     return engine_.run(input);
+  }
+
+  /// Memoize accepted results (stateless, deterministic alternate sets
+  /// only); keyed by (technique, input digest), invalidated by restart
+  /// epochs. See core/redundancy_cache.hpp.
+  void enable_cache(core::CacheConfig config = {}) {
+    engine_.enable_cache(std::move(config));
+  }
+  void disable_cache() noexcept { engine_.disable_cache(); }
+  [[nodiscard]] core::RedundancyCache<Out>* cache() noexcept {
+    return engine_.cache();
+  }
+  void invalidate_cache() noexcept { engine_.invalidate_cache(); }
+
+  /// Hedge slow primaries: launch the next alternate once the primary has
+  /// run past a p95-derived latency budget instead of waiting for it to
+  /// fail. Stateless form only — the engine ignores hedging when a rollback
+  /// is installed.
+  void enable_hedging(
+      typename core::SequentialAlternatives<In, Out>::Options::Hedge hedge =
+          {.enabled = true}) {
+    hedge.enabled = true;
+    engine_.set_hedge(hedge);
+  }
+  [[nodiscard]] std::uint64_t hedge_budget_ns() {
+    return engine_.hedge_budget_ns();
   }
 
   [[nodiscard]] std::size_t last_used_alternate() const noexcept {

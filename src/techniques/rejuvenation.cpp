@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "core/cache_epoch.hpp"
+
 namespace redundancy::techniques {
 
 std::string RejuvenationPolicy::describe() const {
@@ -38,6 +40,9 @@ RejuvenationRun serve_with_rejuvenation(const env::AgingConfig& aging,
          proc.age_fraction() >= policy.age_threshold);
     if (due) {
       proc.reboot();
+      // A rejuvenation discards accumulated state; memoized verdicts are
+      // part of that state, so every RedundancyCache is invalidated too.
+      core::advance_cache_epoch();
       // reboot() charged the full crash-reboot time; planned restarts cost
       // policy.planned_downtime instead.
       run.downtime += policy.planned_downtime;
@@ -55,6 +60,7 @@ RejuvenationRun serve_with_rejuvenation(const env::AgingConfig& aging,
       ++run.failed;
       ++run.crashes;
       proc.reboot();
+      core::advance_cache_epoch();  // crash-reboot invalidates caches too
       run.downtime += aging.reboot_time;
       run.elapsed += aging.reboot_time;
       since_rejuvenation = 0;

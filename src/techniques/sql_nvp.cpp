@@ -2,8 +2,28 @@
 
 #include "core/voters.hpp"
 #include "obs/obs.hpp"
+#include "util/checksum.hpp"
 
 namespace redundancy::techniques {
+
+namespace {
+
+/// Digest of a select statement: table plus the (presence, column, op,
+/// value) of the condition, length-prefixed so keys are unambiguous.
+std::uint64_t select_key(const std::string& table,
+                         const std::optional<sql::Condition>& where) {
+  util::Digest64 d;
+  d.update(table);
+  d.update(where.has_value());
+  if (where.has_value()) {
+    d.update(where->column);
+    d.update(where->op);
+    d.update(where->value);
+  }
+  return d.value();
+}
+
+}  // namespace
 
 ReplicatedSqlServer::ReplicatedSqlServer(std::vector<sql::StorePtr> replicas,
                                          Options options)
@@ -106,6 +126,8 @@ core::Result<T> ReplicatedSqlServer::adjudicate(
     if (options_.evict_divergent) {
       evicted_.insert(b.variant_index);
       ++metrics_.disabled_components;
+      // The electorate changed; verdicts voted by the old quorum are stale.
+      invalidate_select_cache();
     }
   }
   const Outcome& out = verdict.value();
@@ -136,6 +158,7 @@ core::Status ReplicatedSqlServer::create_table(
   auto out = adjudicate<core::Unit>([&](sql::SqlStore& s) {
     return s.create_table(table, columns);
   });
+  invalidate_select_cache();
   maybe_reconcile();
   return out;
 }
@@ -144,6 +167,7 @@ core::Status ReplicatedSqlServer::insert(const std::string& table,
                                          sql::Row row) {
   auto out = adjudicate<core::Unit>(
       [&](sql::SqlStore& s) { return s.insert(table, row); });
+  invalidate_select_cache();
   maybe_reconcile();
   return out;
 }
@@ -151,8 +175,23 @@ core::Status ReplicatedSqlServer::insert(const std::string& table,
 core::Result<std::vector<sql::Row>> ReplicatedSqlServer::select(
     const std::string& table,
     const std::optional<sql::Condition>& where) const {
+  if (select_cache_) {
+    return select_cache_->get_or_run(select_key(table, where), [&] {
+      return adjudicate<std::vector<sql::Row>>(
+          [&](sql::SqlStore& s) { return s.select(table, where); });
+    });
+  }
   return adjudicate<std::vector<sql::Row>>(
       [&](sql::SqlStore& s) { return s.select(table, where); });
+}
+
+void ReplicatedSqlServer::enable_select_cache(core::CacheConfig config) {
+  if (config.label.empty() || config.label == "cache") {
+    config.label = "sql_nvp";
+  }
+  select_cache_ =
+      std::make_unique<core::RedundancyCache<std::vector<sql::Row>>>(
+          std::move(config));
 }
 
 core::Result<std::int64_t> ReplicatedSqlServer::update(
@@ -161,6 +200,7 @@ core::Result<std::int64_t> ReplicatedSqlServer::update(
   auto out = adjudicate<std::int64_t>([&](sql::SqlStore& s) {
     return s.update(table, where, column, value);
   });
+  invalidate_select_cache();
   maybe_reconcile();
   return out;
 }
@@ -169,6 +209,7 @@ core::Result<std::int64_t> ReplicatedSqlServer::remove(
     const std::string& table, const sql::Condition& where) {
   auto out = adjudicate<std::int64_t>(
       [&](sql::SqlStore& s) { return s.remove(table, where); });
+  invalidate_select_cache();
   maybe_reconcile();
   return out;
 }

@@ -14,10 +14,12 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <set>
 #include <vector>
 
 #include "core/metrics.hpp"
+#include "core/redundancy_cache.hpp"
 #include "core/registry.hpp"
 #include "sql/store.hpp"
 
@@ -57,6 +59,18 @@ class ReplicatedSqlServer final : public sql::SqlStore {
   /// Compare replica state digests now; evict any minority.
   core::Status reconcile();
 
+  /// Memoize adjudicated select() verdicts keyed by the (table, condition)
+  /// digest. Every mutation (insert/update/remove/create_table) and every
+  /// reconciliation eviction invalidates the whole cache — adjudicated reads
+  /// must never outlive the state they were voted on. Restart epochs
+  /// (rejuvenation/microreboot) invalidate as usual.
+  void enable_select_cache(core::CacheConfig config = {});
+  void disable_select_cache() noexcept { select_cache_.reset(); }
+  [[nodiscard]] core::RedundancyCache<std::vector<sql::Row>>* select_cache()
+      const noexcept {
+    return select_cache_.get();
+  }
+
   [[nodiscard]] std::size_t replicas_in_service() const;
   [[nodiscard]] const std::set<std::size_t>& evicted() const noexcept {
     return evicted_;
@@ -90,8 +104,13 @@ class ReplicatedSqlServer final : public sql::SqlStore {
       const std::function<core::Result<T>(sql::SqlStore&)>& op) const;
 
   void maybe_reconcile();
+  void invalidate_select_cache() const noexcept {
+    if (select_cache_) select_cache_->invalidate_all();
+  }
 
   std::vector<sql::StorePtr> replicas_;
+  mutable std::unique_ptr<core::RedundancyCache<std::vector<sql::Row>>>
+      select_cache_;
   Options options_;
   mutable std::set<std::size_t> evicted_;
   mutable std::size_t divergences_ = 0;

@@ -1,11 +1,16 @@
 // Checksums and hashes used by robust data structures, software audits,
-// checkpoint integrity verification, and N-variant data tagging.
+// checkpoint integrity verification, N-variant data tagging, and the
+// redundancy result cache (Digest64 / digest64 below).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 namespace redundancy::util {
 
@@ -31,5 +36,129 @@ namespace redundancy::util {
   h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
   return h;
 }
+
+/// Strong 64-bit finalizer (splitmix64): full-avalanche bit mixing, so
+/// nearby inputs (sequential keys, short strings) land in unrelated cache
+/// shards and TinyLFU sketch rows.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Streaming 64-bit digest for cache keys: FNV-1a accumulation over a typed,
+/// length-prefixed encoding, finalized through mix64 (wyhash-style avalanche).
+/// Unlike the buffer-oriented crc32/fnv1a above, Digest64 consumes *values* —
+/// integers, floats, strings, containers — with no intermediate buffer, so a
+/// request key is computed allocation-free on the cache hot path. Every
+/// variable-length update is length-prefixed, making the encoding
+/// prefix-unambiguous: update("ab"), update("c") never collides with
+/// update("a"), update("bc").
+class Digest64 {
+ public:
+  constexpr Digest64() = default;
+
+  /// Raw bytes (no length prefix; compose carefully or prefer update()).
+  constexpr Digest64& bytes(const char* data, std::size_t n) noexcept {
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= static_cast<std::uint8_t>(data[i]);
+      h_ *= 0x100000001b3ULL;
+    }
+    return *this;
+  }
+
+  constexpr Digest64& update(std::string_view s) noexcept {
+    word(s.size());
+    return bytes(s.data(), s.size());
+  }
+  constexpr Digest64& update(const char* s) noexcept {
+    return update(std::string_view{s});
+  }
+  constexpr Digest64& update(bool v) noexcept { return word(v ? 1 : 0); }
+
+  template <typename T,
+            typename = std::enable_if_t<std::is_integral_v<T> ||
+                                        std::is_enum_v<T>>>
+  constexpr Digest64& update(T v) noexcept {
+    // Canonical 8-byte form: sign-extended for signed types, so the digest
+    // of an int equals the digest of the same value as int64_t.
+    if constexpr (std::is_enum_v<T>) {
+      return word(static_cast<std::uint64_t>(
+          static_cast<std::underlying_type_t<T>>(v)));
+    } else if constexpr (std::is_signed_v<T>) {
+      return word(static_cast<std::uint64_t>(static_cast<std::int64_t>(v)));
+    } else {
+      return word(static_cast<std::uint64_t>(v));
+    }
+  }
+
+  Digest64& update(double v) noexcept {
+    // Bit pattern of the canonical double; +0.0 and -0.0 digest equal.
+    if (v == 0.0) v = 0.0;
+    std::uint64_t bits = 0;
+    static_assert(sizeof bits == sizeof v);
+    __builtin_memcpy(&bits, &v, sizeof bits);
+    return word(bits);
+  }
+  Digest64& update(float v) noexcept { return update(static_cast<double>(v)); }
+
+  template <typename T>
+  Digest64& update(const std::vector<T>& vs) noexcept {
+    word(vs.size());
+    for (const auto& v : vs) update(v);
+    return *this;
+  }
+  template <typename T>
+  Digest64& update(const std::optional<T>& v) noexcept {
+    word(v.has_value() ? 1 : 0);
+    if (v.has_value()) update(*v);
+    return *this;
+  }
+  template <typename A, typename B>
+  Digest64& update(const std::pair<A, B>& p) noexcept {
+    update(p.first);
+    return update(p.second);
+  }
+
+  /// Finalized digest of everything updated so far.
+  [[nodiscard]] constexpr std::uint64_t value() const noexcept {
+    return mix64(h_);
+  }
+
+ private:
+  constexpr Digest64& word(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xffU;
+      h_ *= 0x100000001b3ULL;
+    }
+    return *this;
+  }
+
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;  // FNV-1a 64 offset basis
+};
+
+/// One-shot digest of a value sequence: digest64(a, b, c).
+template <typename... Ts>
+[[nodiscard]] std::uint64_t digest64(const Ts&... vs) noexcept {
+  Digest64 d;
+  (d.update(vs), ...);
+  return d.value();
+}
+
+namespace detail {
+template <typename T, typename = void>
+struct IsDigestible : std::false_type {};
+template <typename T>
+struct IsDigestible<T, std::void_t<decltype(std::declval<Digest64&>().update(
+                           std::declval<const T&>()))>> : std::true_type {};
+}  // namespace detail
+
+/// True when digest64(T) compiles — the pattern executors use this to derive
+/// a default cache key function for their input type.
+template <typename T>
+inline constexpr bool is_digestible_v = detail::IsDigestible<T>::value;
 
 }  // namespace redundancy::util

@@ -187,12 +187,7 @@ void ThreadPool::worker_loop(std::size_t self) {
   }
 }
 
-void ThreadPool::run_all(std::vector<std::function<void()>> tasks) {
-  run_all(std::move(tasks), ExceptionPolicy::swallow);
-}
-
-void ThreadPool::run_all(std::vector<std::function<void()>> tasks,
-                         ExceptionPolicy policy) {
+void ThreadPool::run_all(std::vector<Task> tasks, ExceptionPolicy policy) {
   if (tasks.empty()) return;
   struct State {
     std::mutex m;
@@ -200,28 +195,32 @@ void ThreadPool::run_all(std::vector<std::function<void()>> tasks,
     std::size_t remaining;
     std::exception_ptr first_error;
   };
-  auto st = std::make_shared<State>();
-  st->remaining = tasks.size();
+  // run_all is a barrier: this frame outlives every wrapper, so the join
+  // state lives on the stack and wrappers borrow it (and the tasks) by raw
+  // pointer — 16 bytes captured, always inline in the Task buffer.
+  State st;
+  st.remaining = tasks.size();
   for (auto& t : tasks) {
-    post(Task{[st, task = std::move(t)] {
+    post(Task{[st = &st, task = &t] {
       std::exception_ptr error;
       try {
-        task();
+        (*task)();
       } catch (...) {
         error = std::current_exception();
       }
-      {
-        std::lock_guard lock(st->m);
-        if (error && !st->first_error) st->first_error = error;
-        --st->remaining;
-      }
+      // notify_all under the lock: the waiter cannot observe remaining==0
+      // (and destroy the stack state) until this wrapper has released the
+      // mutex, after which it never touches st again.
+      std::lock_guard lock(st->m);
+      if (error && !st->first_error) st->first_error = error;
+      --st->remaining;
       st->cv.notify_all();
     }});
   }
-  std::unique_lock lock(st->m);
-  help_until(lock, st->cv, [&] { return st->remaining == 0; });
-  if (policy == ExceptionPolicy::forward && st->first_error) {
-    std::rethrow_exception(st->first_error);
+  std::unique_lock lock(st.m);
+  help_until(lock, st.cv, [&] { return st.remaining == 0; });
+  if (policy == ExceptionPolicy::forward && st.first_error) {
+    std::rethrow_exception(st.first_error);
   }
 }
 

@@ -94,23 +94,31 @@ class ThreadPool {
   /// Enqueue a fire-and-forget task. The task must not throw.
   void post(Task task);
 
-  /// Run all thunks, blocking until every one has completed. Exceptions are
-  /// swallowed (historic behaviour); use the ExceptionPolicy overload to
-  /// forward them. The waiting thread helps execute queued tasks.
-  void run_all(std::vector<std::function<void()>> tasks);
-  void run_all(std::vector<std::function<void()>> tasks,
-               ExceptionPolicy policy);
+  /// Run all tasks, blocking until every one has completed. Exceptions are
+  /// swallowed by default; ExceptionPolicy::forward rethrows the first task
+  /// exception in the waiting thread. The waiting thread helps execute
+  /// queued tasks. run_all is a barrier, so the posted wrappers borrow the
+  /// task vector and the join state by raw pointer — two words per task,
+  /// always inline in the queue's UniqueFunction buffer, no per-task heap
+  /// allocation.
+  void run_all(std::vector<Task> tasks,
+               ExceptionPolicy policy = ExceptionPolicy::swallow);
 
   /// Submit every task and block until one returns an engaged optional (the
   /// "first acceptable ballot") or all return nullopt. On a win the shared
   /// CancellationToken is cancelled: queued tasks that have not started are
   /// skipped, and stragglers already running finish in the background
   /// without blocking the caller. Tasks must own (or share ownership of)
-  /// everything they touch, since they may outlive this call.
-  template <typename R>
-  FirstWins<R> submit_first_wins(
-      std::vector<std::function<std::optional<R>(const CancellationToken&)>>
-          tasks) {
+  /// everything they touch, since they may outlive this call. F is any
+  /// callable `std::optional<R>(const CancellationToken&)` — pass raw
+  /// lambdas, not std::function, so the posted wrapper (shared state + index
+  /// + callable) stays inside the Task inline buffer.
+  template <typename R, typename F>
+  FirstWins<R> submit_first_wins(std::vector<F> tasks) {
+    static_assert(
+        std::is_invocable_r_v<std::optional<R>, F&, const CancellationToken&>,
+        "first-wins tasks take the shared CancellationToken and return "
+        "std::optional<R>");
     FirstWins<R> out;
     const std::size_t n = tasks.size();
     if (n == 0) return out;
@@ -127,7 +135,7 @@ class ThreadPool {
     auto st = std::make_shared<State>();
 
     for (std::size_t i = 0; i < n; ++i) {
-      post(Task{[st, i, fn = std::move(tasks[i])] {
+      post(Task{[st, i, fn = std::move(tasks[i])]() mutable {
         std::optional<R> r;
         const bool ran = !st->token.cancelled();
         if (ran) {

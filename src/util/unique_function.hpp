@@ -20,9 +20,10 @@ class UniqueFunction;
 
 template <typename R, typename... Args>
 class UniqueFunction<R(Args...)> {
-  // Large enough for a packaged_task or a lambda with a few captured
+  // Large enough for a packaged_task, a first-wins wrapper (shared state +
+  // index + small callable), or a lambda with a handful of captured
   // pointers; anything bigger spills to the heap.
-  static constexpr std::size_t kInlineSize = 6 * sizeof(void*);
+  static constexpr std::size_t kInlineSize = 8 * sizeof(void*);
   static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
 
  public:

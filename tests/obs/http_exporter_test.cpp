@@ -185,5 +185,54 @@ TEST(HttpExporter, ExplicitPortIsHonoured) {
   EXPECT_FALSE(second.start(std::move(options)));
 }
 
+TEST(HttpExporter, OversizedRequestGets400NotConnectionDrop) {
+  HttpExporter exporter;
+  ASSERT_TRUE(exporter.start({}));
+  // A request head larger than the 8 KiB cap must still produce an HTTP
+  // reply; a silent close would leave status == 0 here.
+  std::string request = "GET /metrics HTTP/1.1\r\nX-Filler: ";
+  request.append(10'000, 'x');
+  request += "\r\n\r\n";
+  const Reply reply = raw_request(exporter.port(), request);
+  EXPECT_EQ(reply.status, 400);
+  EXPECT_EQ(reply.body, "request too large\n");
+}
+
+TEST(HttpExporter, StalledSenderGets408NotConnectionDrop) {
+  HttpExporter exporter;
+  ASSERT_TRUE(exporter.start({}));
+  // Send an incomplete head and then go quiet: the server must answer 408
+  // after its read deadline instead of dropping the connection.
+  const Reply reply =
+      raw_request(exporter.port(), "GET /metrics HTTP/1.1\r\nHost: x\r\n");
+  EXPECT_EQ(reply.status, 408);
+  EXPECT_EQ(reply.body, "request timeout\n");
+}
+
+TEST(HttpExporter, RestartsBackToBackOnTheSamePort) {
+  // The port-reuse regression: stop() leaves the socket in TIME_WAIT-ish
+  // states that, without SO_REUSEADDR, make an immediate re-bind of the
+  // same port flake. Cycle the same exporter object and a fresh one
+  // through the identical fixed port.
+  HttpExporter first;
+  ASSERT_TRUE(first.start({}));
+  const std::uint16_t port = first.port();
+  EXPECT_EQ(http_get(port, "/healthz").status, 200);
+  first.stop();
+
+  HttpExporter::Options reuse;
+  reuse.port = port;
+  ASSERT_TRUE(first.start(std::move(reuse)));
+  EXPECT_EQ(first.port(), port);
+  EXPECT_EQ(http_get(port, "/healthz").status, 200);
+  first.stop();
+
+  HttpExporter second;
+  HttpExporter::Options options;
+  options.port = port;
+  ASSERT_TRUE(second.start(std::move(options)));
+  EXPECT_EQ(http_get(port, "/healthz").status, 200);
+}
+
 }  // namespace
 }  // namespace redundancy::obs

@@ -105,6 +105,26 @@ TEST(Nvp, MetricsCountEveryVersionEveryRequest) {
   EXPECT_EQ(nvp.metrics().requests, 0u);
 }
 
+TEST(Nvp, EnableCacheMemoizesVerdicts) {
+  NVersionProgramming<int, int> nvp{versions(3, 0.0)};
+  nvp.enable_cache();
+  for (int i = 0; i < 6; ++i) {
+    auto out = nvp.run(4);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out.value(), 16);
+  }
+  if (core::kCacheCompiledIn) {
+    EXPECT_EQ(nvp.metrics().variant_executions, 3u);  // one miss, five hits
+    EXPECT_EQ(nvp.metrics().requests, 6u);
+    ASSERT_NE(nvp.cache(), nullptr);
+    nvp.invalidate_cache();
+    (void)nvp.run(4);
+    EXPECT_EQ(nvp.metrics().variant_executions, 6u);
+    nvp.disable_cache();
+    EXPECT_EQ(nvp.cache(), nullptr);
+  }
+}
+
 TEST(Nvp, TaxonomyMatchesPaperRow) {
   const auto t = NVersionProgramming<int, int>::taxonomy();
   EXPECT_EQ(t.intention, core::Intention::deliberate);

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "faults/fault.hpp"
 #include "util/thread_pool.hpp"
 
@@ -131,6 +134,51 @@ TEST(RecoveryBlocks, TaxonomyMatchesPaperRow) {
   const auto t = RecoveryBlocks<int, int>::taxonomy();
   EXPECT_EQ(t.adjudicator, core::AdjudicatorKind::reactive_explicit);
   EXPECT_EQ(t.pattern, core::ArchitecturalPattern::sequential_alternatives);
+}
+
+TEST(RecoveryBlocks, EnableCacheSkipsAlternatesOnRepeats) {
+  RecoveryBlocks<int, int> rb{{wrong("primary"), square("alt")},
+                              square_acceptance()};
+  rb.enable_cache();
+  for (int i = 0; i < 4; ++i) {
+    auto out = rb.run(5);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out.value(), 25);
+  }
+  if (core::kCacheCompiledIn) {
+    // The miss ran primary + alternate; hits ran neither.
+    EXPECT_EQ(rb.metrics().variant_executions, 2u);
+    EXPECT_EQ(rb.metrics().requests, 4u);
+  }
+}
+
+TEST(RecoveryBlocks, EnableHedgingRacesAlternatesOnSlowPrimary) {
+  RecoveryBlocks<int, int> rb{
+      {core::make_variant<int, int>("slow-primary",
+                                    [](const int& x) -> Result<int> {
+                                      std::this_thread::sleep_for(
+                                          std::chrono::milliseconds(100));
+                                      return x * x;
+                                    }),
+       square("fast-alt")},
+      square_acceptance()};
+  typename core::SequentialAlternatives<int, int>::Options::Hedge hedge;
+  hedge.enabled = true;
+  hedge.fallback_budget_ns = 2'000'000;  // hedge after 2ms
+  hedge.min_samples = 1'000'000;         // pin to the fallback budget
+  hedge.min_budget_ns = 0;
+  rb.enable_hedging(hedge);
+  EXPECT_EQ(rb.hedge_budget_ns(), 2'000'000u);
+
+  const auto start = std::chrono::steady_clock::now();
+  auto out = rb.run(6);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out.value(), 36);
+  EXPECT_LT(elapsed, std::chrono::milliseconds(80))
+      << "the fast alternate should win long before the primary finishes";
+  util::ThreadPool::shared().wait_idle();
+  EXPECT_GE(rb.metrics().hedged_launches, 1u);
 }
 
 // --- concurrent form --------------------------------------------------------

@@ -147,5 +147,94 @@ TEST(ReplicatedSql, MetricsAccount) {
   EXPECT_GE(server.metrics().variant_executions, 6u);
 }
 
+TEST(ReplicatedSql, SelectCacheServesRepeatsWithoutReVoting) {
+  auto server = healthy_triple();
+  server.enable_select_cache();
+  ASSERT_TRUE(server.create_table("inv", {"id", "qty"}).has_value());
+  ASSERT_TRUE(server.insert("inv", {1, 10}).has_value());
+  const std::size_t runs_before = server.metrics().variant_executions;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(server.select("inv", std::nullopt).value(),
+              (std::vector<Row>{{1, 10}}));
+  }
+  if (core::kCacheCompiledIn) {
+    // One adjudicated select fanned out to 3 replicas; three hits ran none.
+    EXPECT_EQ(server.metrics().variant_executions, runs_before + 3);
+    ASSERT_NE(server.select_cache(), nullptr);
+    EXPECT_GE(server.select_cache()->stats().hits, 3u);
+  }
+}
+
+TEST(ReplicatedSql, MutationsInvalidateTheSelectCache) {
+  auto server = healthy_triple();
+  server.enable_select_cache();
+  ASSERT_TRUE(server.create_table("inv", {"id", "qty"}).has_value());
+  ASSERT_TRUE(server.insert("inv", {1, 10}).has_value());
+  EXPECT_EQ(server.select("inv", std::nullopt).value(),
+            (std::vector<Row>{{1, 10}}));
+  // The cached verdict must not survive the write: a stale read here would
+  // be a correctness bug, not a performance artifact.
+  ASSERT_TRUE(server.insert("inv", {2, 20}).has_value());
+  EXPECT_EQ(server.select("inv", std::nullopt).value(),
+            (std::vector<Row>{{1, 10}, {2, 20}}));
+  ASSERT_TRUE(
+      server.update("inv", Condition{"id", Condition::Op::eq, 1}, "qty", 15)
+          .has_value());
+  EXPECT_EQ(server.select("inv", Condition{"id", Condition::Op::eq, 1}).value(),
+            (std::vector<Row>{{1, 15}}));
+  ASSERT_TRUE(
+      server.remove("inv", Condition{"id", Condition::Op::eq, 2}).has_value());
+  EXPECT_EQ(server.select("inv", std::nullopt).value(),
+            (std::vector<Row>{{1, 15}}));
+}
+
+TEST(ReplicatedSql, SelectCacheKeysDistinguishConditions) {
+  auto server = healthy_triple();
+  server.enable_select_cache();
+  ASSERT_TRUE(server.create_table("t", {"id", "v"}).has_value());
+  ASSERT_TRUE(server.insert("t", {1, 10}).has_value());
+  ASSERT_TRUE(server.insert("t", {2, 20}).has_value());
+  EXPECT_EQ(server.select("t", std::nullopt).value().size(), 2u);
+  EXPECT_EQ(server.select("t", Condition{"id", Condition::Op::eq, 1}).value(),
+            (std::vector<Row>{{1, 10}}));
+  EXPECT_EQ(server.select("t", Condition{"id", Condition::Op::lt, 2}).value(),
+            (std::vector<Row>{{1, 10}}));
+  // Same column+value, different op: must not collide.
+  EXPECT_EQ(server.select("t", Condition{"id", Condition::Op::gt, 1}).value(),
+            (std::vector<Row>{{2, 20}}));
+}
+
+TEST(ReplicatedSql, EvictionInvalidatesCachedQuorumVerdicts) {
+  std::vector<sql::StorePtr> replicas;
+  replicas.push_back(sql::make_vector_store());
+  replicas.push_back(sql::make_btree_store());
+  replicas.push_back(sql::make_chaotic_store(
+      sql::make_log_store(),
+      {.lose_mutation_probability = 0, .corrupt_read_probability = 1.0,
+       .seed = 3}));
+  ReplicatedSqlServer server{std::move(replicas)};
+  server.enable_select_cache();
+  ASSERT_TRUE(server.create_table("t", {"id", "v"}).has_value());
+  ASSERT_TRUE(server.insert("t", {1, 100}).has_value());
+  // Warm a verdict while the liar is still in the electorate. Corruption
+  // flips one cell of one row — an empty result set passes through intact,
+  // so this vote is unanimous and nobody is evicted yet.
+  const Condition none{"id", Condition::Op::gt, 5};
+  EXPECT_EQ(server.select("t", none).value(), (std::vector<Row>{}));
+  EXPECT_EQ(server.replicas_in_service(), 3u);
+  // A select over real rows diverges, masks the liar, evicts it — and must
+  // strand every verdict the old 3-replica quorum voted.
+  EXPECT_EQ(server.select("t", std::nullopt).value(),
+            (std::vector<Row>{{1, 100}}));
+  EXPECT_EQ(server.replicas_in_service(), 2u);
+  const std::size_t runs_before = server.metrics().variant_executions;
+  EXPECT_EQ(server.select("t", none).value(), (std::vector<Row>{}));
+  if (core::kCacheCompiledIn) {
+    // Re-adjudicated by the surviving pair, not served from the stale entry.
+    EXPECT_EQ(server.metrics().variant_executions, runs_before + 2);
+    EXPECT_GE(server.select_cache()->stats().invalidations, 1u);
+  }
+}
+
 }  // namespace
 }  // namespace redundancy::techniques

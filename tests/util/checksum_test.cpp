@@ -59,5 +59,81 @@ TEST(ByteBuffer, TruncatedStringThrows) {
   EXPECT_THROW((void)r.get_string(), std::out_of_range);
 }
 
+TEST(Mix64, AvalanchesAdjacentInputs) {
+  // Sequential inputs must land far apart — this is what spreads nearby
+  // cache keys across shards and sketch rows.
+  EXPECT_NE(mix64(1), mix64(2));
+  EXPECT_NE(mix64(1) >> 32, mix64(2) >> 32);  // high bits differ too
+  EXPECT_NE(mix64(1), 1u);  // (0 is splitmix64's fixed point, 1 is not)
+  EXPECT_EQ(mix64(42), mix64(42));
+}
+
+TEST(Digest64, DeterministicAndValueSensitive) {
+  EXPECT_EQ(digest64(std::string_view{"abc"}, 7),
+            digest64(std::string_view{"abc"}, 7));
+  EXPECT_NE(digest64(std::string_view{"abc"}, 7),
+            digest64(std::string_view{"abc"}, 8));
+  EXPECT_NE(digest64(std::string_view{"abc"}), digest64(std::string_view{"abd"}));
+}
+
+TEST(Digest64, LengthPrefixPreventsConcatenationAmbiguity) {
+  // "ab"+"c" and "a"+"bc" concatenate to the same byte stream; the length
+  // prefix keeps the digests distinct.
+  EXPECT_NE(digest64(std::string_view{"ab"}, std::string_view{"c"}),
+            digest64(std::string_view{"a"}, std::string_view{"bc"}));
+  EXPECT_NE(digest64(std::string_view{"abc"}),
+            digest64(std::string_view{"ab"}, std::string_view{"c"}));
+}
+
+TEST(Digest64, IntegralTypesDigestCanonically) {
+  // The digest sees a sign-extended 8-byte form: the same value hashes
+  // identically no matter which integer type carried it.
+  EXPECT_EQ(digest64(static_cast<int>(-5)),
+            digest64(static_cast<std::int64_t>(-5)));
+  EXPECT_EQ(digest64(static_cast<short>(7)),
+            digest64(static_cast<std::uint64_t>(7)));
+  EXPECT_NE(digest64(-5), digest64(5));
+}
+
+TEST(Digest64, SignedZeroDoublesDigestEqual) {
+  EXPECT_EQ(digest64(0.0), digest64(-0.0));
+  EXPECT_NE(digest64(0.0), digest64(1.0));
+  EXPECT_EQ(digest64(2.5F), digest64(2.5));  // floats widen to double
+}
+
+TEST(Digest64, ContainersAndOptionals) {
+  const std::vector<int> a{1, 2, 3};
+  const std::vector<int> b{1, 2};
+  EXPECT_NE(digest64(a), digest64(b));
+  EXPECT_EQ(digest64(a), digest64(std::vector<int>{1, 2, 3}));
+
+  const std::optional<int> none;
+  const std::optional<int> some{0};
+  EXPECT_NE(digest64(none), digest64(some));
+
+  EXPECT_NE(digest64(std::pair<int, int>{1, 2}),
+            digest64(std::pair<int, int>{2, 1}));
+}
+
+TEST(Digest64, StreamingMatchesOneShot) {
+  Digest64 d;
+  d.update(std::string_view{"key"});
+  d.update(42);
+  d.update(true);
+  EXPECT_EQ(d.value(), digest64(std::string_view{"key"}, 42, true));
+}
+
+TEST(Digest64, DigestibleTrait) {
+  static_assert(is_digestible_v<int>);
+  static_assert(is_digestible_v<std::string_view>);
+  static_assert(is_digestible_v<std::string>);
+  static_assert(is_digestible_v<double>);
+  static_assert(is_digestible_v<std::vector<std::int64_t>>);
+  static_assert(is_digestible_v<std::optional<int>>);
+  struct Opaque {};
+  static_assert(!is_digestible_v<Opaque>);
+  SUCCEED();
+}
+
 }  // namespace
 }  // namespace redundancy::util

@@ -64,10 +64,10 @@ TEST(PoolStress, FirstWinsChurn) {
 TEST(PoolStress, NestedFanOutUnderLoad) {
   util::ThreadPool pool{3};
   std::atomic<int> leaves{0};
-  std::vector<std::function<void()>> outer;
+  std::vector<util::ThreadPool::Task> outer;
   for (int i = 0; i < 32; ++i) {
     outer.emplace_back([&pool, &leaves] {
-      std::vector<std::function<void()>> inner;
+      std::vector<util::ThreadPool::Task> inner;
       for (int j = 0; j < 4; ++j) {
         inner.emplace_back([&leaves] { leaves.fetch_add(1); });
       }

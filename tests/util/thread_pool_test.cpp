@@ -28,7 +28,7 @@ TEST(ThreadPool, SubmitReturnsResults) {
 TEST(ThreadPool, RunAllExecutesEveryTask) {
   ThreadPool pool{4};
   std::atomic<int> counter{0};
-  std::vector<std::function<void()>> tasks;
+  std::vector<ThreadPool::Task> tasks;
   for (int i = 0; i < 100; ++i) {
     tasks.emplace_back([&counter] { counter.fetch_add(1); });
   }
@@ -70,10 +70,10 @@ TEST(ThreadPool, NestedFanOutDoesNotDeadlock) {
   // must execute the inner tasks or this test hangs.
   ThreadPool pool{2};
   std::atomic<int> inner{0};
-  std::vector<std::function<void()>> outer;
+  std::vector<ThreadPool::Task> outer;
   for (int i = 0; i < 4; ++i) {
     outer.emplace_back([&pool, &inner] {
-      std::vector<std::function<void()>> tasks;
+      std::vector<ThreadPool::Task> tasks;
       for (int j = 0; j < 8; ++j) {
         tasks.emplace_back([&inner] { inner.fetch_add(1); });
       }
@@ -87,7 +87,7 @@ TEST(ThreadPool, NestedFanOutDoesNotDeadlock) {
 TEST(ThreadPool, RunAllForwardsFirstException) {
   ThreadPool pool{2};
   std::atomic<int> completed{0};
-  std::vector<std::function<void()>> tasks;
+  std::vector<ThreadPool::Task> tasks;
   tasks.emplace_back([] { throw std::runtime_error{"boom"}; });
   for (int i = 0; i < 5; ++i) {
     tasks.emplace_back([&completed] { completed.fetch_add(1); });
@@ -99,7 +99,7 @@ TEST(ThreadPool, RunAllForwardsFirstException) {
 
 TEST(ThreadPool, RunAllSwallowPolicyIgnoresExceptions) {
   ThreadPool pool{2};
-  std::vector<std::function<void()>> tasks;
+  std::vector<ThreadPool::Task> tasks;
   tasks.emplace_back([] { throw std::runtime_error{"boom"}; });
   EXPECT_NO_THROW(pool.run_all(std::move(tasks)));
 }
@@ -137,9 +137,37 @@ TEST(ThreadPool, FirstWinsAllRejectedReturnsEmpty) {
 
 TEST(ThreadPool, FirstWinsOnEmptyInput) {
   ThreadPool pool{2};
-  auto fw = pool.submit_first_wins<int>({});
+  std::vector<std::function<std::optional<int>(const CancellationToken&)>>
+      tasks;
+  auto fw = pool.submit_first_wins<int>(std::move(tasks));
   EXPECT_FALSE(fw.value.has_value());
   EXPECT_EQ(fw.executed, 0u);
+}
+
+TEST(ThreadPool, FirstWinsAcceptsRawLambdas) {
+  // The generic overload takes any callable type — a vector of raw lambdas
+  // skips the std::function wrapper entirely (the allocation-free path the
+  // pattern executors use).
+  ThreadPool pool{4};
+  std::atomic<int>* observed = nullptr;
+  std::atomic<int> ran{0};
+  observed = &ran;
+  auto make = [observed](int v) {
+    return [observed, v](const CancellationToken&) -> std::optional<int> {
+      observed->fetch_add(1);
+      if (v < 0) return std::nullopt;
+      return v;
+    };
+  };
+  using Lambda = decltype(make(0));
+  std::vector<Lambda> tasks;
+  tasks.push_back(make(-1));
+  tasks.push_back(make(42));
+  auto fw = pool.submit_first_wins<int>(std::move(tasks));
+  pool.wait_idle();
+  ASSERT_TRUE(fw.value.has_value());
+  EXPECT_EQ(*fw.value, 42);
+  EXPECT_EQ(fw.winner, 1u);
 }
 
 TEST(ThreadPool, FirstWinsThrowingTaskLoses) {
