@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Compare fresh BENCH_*.json results against committed baselines.
+
+Every BENCH_<name>.json under the baseline directory must have a matching
+fresh file in the results directory, and every benchmark series in the
+baseline must still exist with ops_per_sec no more than --threshold below
+the recorded value. Improvements and small wobble pass; a missing file,
+a vanished series, or a regression beyond the threshold fails the run.
+
+Baselines are machine-specific throughput snapshots: refresh them
+(--update) whenever the benchmark machine or the intended performance
+envelope changes, and commit the result so the trajectory is reviewable.
+
+Usage:
+  scripts/bench_compare.py [results_dir]
+      [--baselines bench/baselines] [--threshold 0.20] [--update]
+
+Exit codes: 0 ok, 1 regression/missing data, 2 usage or I/O error.
+"""
+
+import argparse
+import json
+import pathlib
+import shutil
+import sys
+
+
+def load_series(path):
+    """Map benchmark name -> ops_per_sec for one BENCH_*.json file."""
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    series = {}
+    for bench in doc.get("benchmarks", []):
+        name = bench.get("name")
+        ops = bench.get("ops_per_sec")
+        if name is not None and isinstance(ops, (int, float)):
+            series[name] = float(ops)
+    return series
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results_dir", nargs="?", default="build/bench",
+                        help="directory holding fresh BENCH_*.json files")
+    parser.add_argument("--baselines", default="bench/baselines",
+                        help="directory of committed baseline JSON files")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed fractional ops_per_sec drop (0.20 = 20%%)")
+    parser.add_argument("--update", action="store_true",
+                        help="copy fresh results over the baselines and exit")
+    args = parser.parse_args()
+
+    results = pathlib.Path(args.results_dir)
+    baselines = pathlib.Path(args.baselines)
+    if not results.is_dir():
+        print(f"bench_compare: results dir {results} not found", file=sys.stderr)
+        return 2
+    if not baselines.is_dir():
+        print(f"bench_compare: baseline dir {baselines} not found",
+              file=sys.stderr)
+        return 2
+
+    if args.update:
+        updated = 0
+        for fresh in sorted(results.glob("BENCH_*.json")):
+            shutil.copy(fresh, baselines / fresh.name)
+            print(f"updated {baselines / fresh.name}")
+            updated += 1
+        if updated == 0:
+            print(f"bench_compare: no BENCH_*.json in {results}",
+                  file=sys.stderr)
+            return 2
+        return 0
+
+    baseline_files = sorted(baselines.glob("BENCH_*.json"))
+    if not baseline_files:
+        print(f"bench_compare: no baselines in {baselines}", file=sys.stderr)
+        return 2
+
+    failures = []
+    for base_path in baseline_files:
+        fresh_path = results / base_path.name
+        if not fresh_path.is_file():
+            failures.append(f"{base_path.name}: no fresh result in {results}")
+            continue
+        base = load_series(base_path)
+        fresh = load_series(fresh_path)
+        print(f"== {base_path.name}")
+        for name, base_ops in sorted(base.items()):
+            if name not in fresh:
+                failures.append(f"{base_path.name}: series '{name}' vanished")
+                continue
+            fresh_ops = fresh[name]
+            delta = (fresh_ops - base_ops) / base_ops if base_ops else 0.0
+            floor = base_ops * (1.0 - args.threshold)
+            verdict = "ok" if fresh_ops >= floor else "REGRESSION"
+            print(f"  {name:<32} {base_ops:>14.0f} -> {fresh_ops:>14.0f} "
+                  f"ops/s  ({delta:+6.1%})  {verdict}")
+            if fresh_ops < floor:
+                failures.append(
+                    f"{base_path.name}: '{name}' {fresh_ops:.0f} ops/s is "
+                    f"{-delta:.1%} below baseline {base_ops:.0f} "
+                    f"(threshold {args.threshold:.0%})")
+
+    if failures:
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nall benchmarks within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -159,10 +159,8 @@ class ParallelEvaluation {
       // itself costs no heap allocation beyond the task vector.
       std::vector<std::optional<Ballot<Out>>>& slots = slots_scratch_;
       slots.assign(n, std::nullopt);
-      std::vector<util::ThreadPool::Task> tasks;
-      tasks.reserve(n);
       for (std::size_t i = 0; i < n; ++i) {
-        tasks.emplace_back([this, i, &slots, &input, ctx] {
+        batch_.add([this, i, &slots, &input, ctx] {
           const Variant<In, Out>& v = (*variants_)[i];
           obs::ScopedSpan vspan{"variant", ctx};
           vspan.set_detail(v.name);
@@ -170,7 +168,9 @@ class ParallelEvaluation {
           vspan.set_ok(slots[i]->result.has_value());
         });
       }
-      util::ThreadPool::shared().run_all(std::move(tasks));
+      // One submission epoch for the whole electorate: one wake-up, one
+      // pending update, and the builder's storage is reused next call.
+      batch_.run_and_wait();
       for (std::size_t i = 0; i < n; ++i) {
         account((*variants_)[i]);
         if (!slots[i]->result.has_value()) ++metrics_.variant_failures;
@@ -239,7 +239,7 @@ class ParallelEvaluation {
     auto st =
         std::make_shared<IncrementalState>(input, variants_, deferred_, n);
     for (std::size_t i = 0; i < n; ++i) {
-      pool.post(util::ThreadPool::Task{[st, i, ctx] {
+      batch_.add([st, i, ctx] {
         if (st->token.cancelled()) {
           // Skipped before starting: no work done, nothing to account.
           std::lock_guard lock(st->m);
@@ -269,8 +269,11 @@ class ParallelEvaluation {
         ++st->arrived_count;
         lock.unlock();
         st->cv.notify_all();
-      }});
+      });
     }
+    // Fire-and-forget as one batch: stragglers may outlive this call, but
+    // the submission epoch (wake-up + bookkeeping) is still paid once.
+    batch_.dispatch();
 
     std::optional<Result<Out>> early;
     std::size_t last_voted = 0;
@@ -449,6 +452,7 @@ class ParallelEvaluation {
   std::shared_ptr<Deferred> deferred_;
   std::unique_ptr<RedundancyCache<Out>> cache_;
   std::vector<std::optional<Ballot<Out>>> slots_scratch_;
+  util::BatchRunner batch_;  ///< reusable fan-out builder (owner thread only)
   mutable Metrics metrics_;
   std::uint64_t label_salt_ = util::fnv1a("parallel_evaluation");
   std::string obs_label_ = "parallel_evaluation";

@@ -143,15 +143,14 @@ CampaignReport run_campaign_parallel(
   for (std::size_t w = 0; w < workers; ++w) systems.push_back(system_factory());
 
   std::vector<CampaignReport> shards(workers);
-  std::vector<util::ThreadPool::Task> tasks;
-  tasks.reserve(workers);
+  util::BatchRunner batch{&pool};
   const std::size_t chunk = requests / workers;
   const std::size_t extra = requests % workers;
   std::size_t begin = 0;
   for (std::size_t w = 0; w < workers; ++w) {
     const std::size_t end = begin + chunk + (w < extra ? 1 : 0);
-    tasks.push_back([&shards, &systems, &workload, &oracle, &base, w, begin,
-                     end, ctx] {
+    batch.add([&shards, &systems, &workload, &oracle, &base, w, begin,
+               end, ctx] {
       obs::ScopedSpan shard_span{"campaign.shard", ctx};
       shard_span.set_detail("requests [" + std::to_string(begin) + ", " +
                             std::to_string(end) + ")");
@@ -162,7 +161,9 @@ CampaignReport run_campaign_parallel(
     });
     begin = end;
   }
-  pool.run_all(std::move(tasks), util::ThreadPool::ExceptionPolicy::forward);
+  // All shards enter the pool as one batch: a single wake-up fans the
+  // campaign across the workers via stealing.
+  batch.run_and_wait(util::ThreadPool::ExceptionPolicy::forward);
 
   CampaignReport report;
   report.name = std::move(name);

@@ -184,12 +184,14 @@ void HttpExporter::handle_connection(int fd) {
   head += "Content-Type: " + response.content_type + "\r\n";
   head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
   head += "Connection: close\r\n\r\n";
+  // Count before the reply bytes leave: a scraper that has read a complete
+  // response must observe the incremented counter.
+  served_.fetch_add(1, std::memory_order_relaxed);
   if (write_all(fd, head)) (void)write_all(fd, response.body);
   // Graceful close: half-close our side and let the client read to EOF.
   // Closing with unread data in the socket can turn into an RST that races
   // the response bytes on loopback.
   ::shutdown(fd, SHUT_WR);
-  served_.fetch_add(1, std::memory_order_relaxed);
 }
 
 HttpResponse HttpExporter::route(const std::string& target) {

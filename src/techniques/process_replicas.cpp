@@ -54,10 +54,9 @@ core::Result<vm::Behaviour> ProcessReplicas::serve(
     // Replicas are disjoint VMs, so each can run on its own worker; the
     // barrier below keeps the comparison over the complete behaviour set.
     std::vector<std::optional<core::Ballot<vm::Behaviour>>> slots(vms_.size());
-    std::vector<util::ThreadPool::Task> tasks;
-    tasks.reserve(vms_.size());
+    util::BatchRunner batch;
     for (std::size_t r = 0; r < vms_.size(); ++r) {
-      tasks.push_back([this, r, &slots, &request, ctx] {
+      batch.add([this, r, &slots, &request, ctx] {
         obs::ScopedSpan rspan{"replica", ctx};
         rspan.set_detail("replica-" + std::to_string(r));
         slots[r].emplace(core::Ballot<vm::Behaviour>{
@@ -66,7 +65,7 @@ core::Result<vm::Behaviour> ProcessReplicas::serve(
         rspan.set_ok(slots[r]->result.has_value());
       });
     }
-    util::ThreadPool::shared().run_all(std::move(tasks));
+    batch.run_and_wait();
     for (auto& slot : slots) ballots.push_back(std::move(*slot));
   } else {
     for (std::size_t r = 0; r < vms_.size(); ++r) {

@@ -1,0 +1,147 @@
+// Bump-pointer arena for per-call scratch on the adjudication hot path.
+//
+// A vote over N ballots needs a handful of short arrays (digests, group
+// reps, counts) whose lifetime is exactly one adjudication. Allocating
+// them from the heap puts malloc/free on every cache-miss verdict; the
+// arena hands out pointers by bumping a cursor and reclaims everything at
+// scope exit by moving the cursor back.
+//
+// Usage is stack-disciplined via ArenaScope, so nested users on the same
+// thread (an outer adjudication that indirectly triggers an inner one)
+// compose: each scope releases only what was allocated after it opened.
+// Memory blocks are never freed on release — they are reused by the next
+// scope — so a thread's arena reaches its high-water mark once and the
+// steady state performs no allocation at all (see thread_arena()).
+//
+// Only trivially-destructible types may be placed here: release never
+// runs destructors.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace redundancy::util {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t initial_block_bytes = 4096)
+      : initial_block_bytes_(initial_block_bytes < 64 ? 64
+                                                      : initial_block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Raw allocation; `align` must be a power of two.
+  [[nodiscard]] void* allocate(std::size_t bytes, std::size_t align) {
+    while (current_ < blocks_.size()) {
+      Block& b = blocks_[current_];
+      const std::size_t aligned = align_up(b.used, align);
+      if (aligned + bytes <= b.capacity) {
+        b.used = aligned + bytes;
+        return b.data.get() + aligned;
+      }
+      ++current_;
+      if (current_ < blocks_.size()) blocks_[current_].used = 0;
+    }
+    const std::size_t last_cap =
+        blocks_.empty() ? initial_block_bytes_ / 2 : blocks_.back().capacity;
+    std::size_t cap = last_cap * 2;
+    if (cap < bytes + align) cap = bytes + align;
+    blocks_.push_back(Block{std::make_unique<std::byte[]>(cap), cap, 0});
+    current_ = blocks_.size() - 1;
+    Block& b = blocks_.back();
+    const std::size_t aligned = align_up(0, align);
+    b.used = aligned + bytes;
+    return b.data.get() + aligned;
+  }
+
+  /// Uninitialized array of n Ts (value-initialized), arena-owned.
+  template <typename T>
+    requires(std::is_trivially_destructible_v<T>)
+  [[nodiscard]] std::span<T> alloc_array(std::size_t n) {
+    if (n == 0) return {};
+    auto* p = static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+    for (std::size_t i = 0; i < n; ++i) ::new (static_cast<void*>(p + i)) T{};
+    return {p, n};
+  }
+
+  struct Marker {
+    std::size_t block = 0;
+    std::size_t used = 0;
+  };
+
+  [[nodiscard]] Marker mark() const noexcept {
+    if (blocks_.empty()) return {};
+    return {current_, blocks_[current_].used};
+  }
+
+  /// Roll the cursor back to `m`. Everything allocated after the marker is
+  /// reclaimed; the blocks stay around for reuse.
+  void release_to(Marker m) noexcept {
+    if (blocks_.empty()) return;
+    if (m.block >= blocks_.size()) return;  // stale marker; keep everything
+    for (std::size_t i = m.block + 1; i <= current_ && i < blocks_.size(); ++i) {
+      blocks_[i].used = 0;
+    }
+    current_ = m.block;
+    blocks_[current_].used = m.used;
+  }
+
+  void reset() noexcept { release_to(Marker{}); }
+
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.capacity;
+    return total;
+  }
+
+  [[nodiscard]] std::size_t bytes_used() const noexcept {
+    std::size_t total = 0;
+    for (std::size_t i = 0; i <= current_ && i < blocks_.size(); ++i) {
+      total += blocks_[i].used;
+    }
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t capacity;
+    std::size_t used;
+  };
+
+  static std::size_t align_up(std::size_t v, std::size_t align) noexcept {
+    return (v + align - 1) & ~(align - 1);
+  }
+
+  std::size_t initial_block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t current_ = 0;
+};
+
+/// RAII watermark: releases everything allocated in the scope on exit.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& arena) noexcept
+      : arena_(arena), mark_(arena.mark()) {}
+  ~ArenaScope() { arena_.release_to(mark_); }
+
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  Arena& arena_;
+  Arena::Marker mark_;
+};
+
+/// The calling thread's scratch arena. Warm after first use: steady-state
+/// adjudication allocates nothing.
+[[nodiscard]] inline Arena& thread_arena() {
+  thread_local Arena arena{4096};
+  return arena;
+}
+
+}  // namespace redundancy::util

@@ -2,6 +2,7 @@
 // messages. Little-endian, length-prefixed strings, no alignment games.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <span>
@@ -9,6 +10,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/wordwise.hpp"
 
 namespace redundancy::util {
 
@@ -19,19 +22,36 @@ class ByteBuffer {
 
   [[nodiscard]] const std::vector<std::byte>& bytes() const noexcept { return bytes_; }
   [[nodiscard]] std::size_t size() const noexcept { return bytes_.size(); }
+  [[nodiscard]] const std::byte* data() const noexcept { return bytes_.data(); }
   [[nodiscard]] std::span<const std::byte> span() const noexcept { return bytes_; }
+
+  void reserve(std::size_t capacity) { bytes_.reserve(capacity); }
 
   template <typename T>
     requires std::is_trivially_copyable_v<T>
   void put(const T& v) {
     const auto* p = reinterpret_cast<const std::byte*>(&v);
-    bytes_.insert(bytes_.end(), p, p + sizeof(T));
+    append(p, sizeof(T));
+  }
+
+  /// Raw-bytes fast path: one capacity check + one memcpy.
+  void put_bytes(std::span<const std::byte> bytes) {
+    append(bytes.data(), bytes.size());
   }
 
   void put_string(std::string_view s) {
+    // One growth decision for prefix + payload, then two appends that are
+    // guaranteed not to reallocate.
+    ensure(sizeof(std::uint32_t) + s.size());
     put(static_cast<std::uint32_t>(s.size()));
-    const auto* p = reinterpret_cast<const std::byte*>(s.data());
-    bytes_.insert(bytes_.end(), p, p + s.size());
+    append(reinterpret_cast<const std::byte*>(s.data()), s.size());
+  }
+
+  /// Word-wise byte equality (see util/wordwise.hpp) — checkpoint blobs
+  /// compare at SIMD speed in the adjudication voters.
+  [[nodiscard]] friend bool operator==(const ByteBuffer& a,
+                                       const ByteBuffer& b) noexcept {
+    return wordwise::equal(a.span(), b.span());
   }
 
   /// Sequential reader over a ByteBuffer.
@@ -71,6 +91,21 @@ class ByteBuffer {
   [[nodiscard]] Reader reader() const { return Reader{*this}; }
 
  private:
+  /// Geometric growth ahead of an `extra`-byte append. libstdc++'s insert
+  /// range already grows geometrically, but an explicit doubling policy
+  /// here keeps large checkpoint serialization linear on every toolchain
+  /// and lets put_string make one growth decision for two appends.
+  void ensure(std::size_t extra) {
+    const std::size_t need = bytes_.size() + extra;
+    if (need <= bytes_.capacity()) return;
+    bytes_.reserve(std::max(need, bytes_.capacity() * 2));
+  }
+
+  void append(const std::byte* p, std::size_t n) {
+    ensure(n);
+    bytes_.insert(bytes_.end(), p, p + n);
+  }
+
   std::vector<std::byte> bytes_;
 };
 

@@ -1,0 +1,184 @@
+// Chase–Lev work-stealing deque (Chase & Lev, SPAA 2005), in the C++11
+// memory-model formulation of Lê, Pop, Cohen & Zappa Nardelli (PPoPP 2013,
+// "Correct and Efficient Work-Stealing for Weak Memory Models").
+//
+// One owner thread pushes and pops at the *bottom*; any number of thieves
+// steal from the *top*. The owner's push is a release store and its pop is
+// a single RMW-free fast path except for the last-element race, which a
+// seq_cst CAS on `top` arbitrates. Thieves race each other (and the owner's
+// last-element pop) with the same CAS, so the deque needs no mutex at all.
+//
+// Deviations from the letter of the PPoPP'13 listing, both deliberate:
+//
+//   * The fence-based relaxed accesses are folded into the atomic
+//     operations themselves (seq_cst store of `bottom` in pop, seq_cst
+//     loads in steal, release/acquire on the slots). ThreadSanitizer does
+//     not model standalone atomic_thread_fence, so the fence formulation
+//     reports false races; the folded form is TSan-exact and costs one
+//     XCHG per pop on x86.
+//   * Slots hold std::atomic<T> where T is a trivially-copyable word
+//     (static_asserted). A thief must read a slot *before* its CAS claims
+//     it and discard the value on CAS failure — only a word-sized atomic
+//     read makes that benign. Task payloads therefore go through the deque
+//     by pointer (the ThreadPool stores TaskNode*).
+//
+// The circular array grows by doubling. Retired arrays are kept on a chain
+// until the deque is destroyed: a thief that loaded the old array can still
+// read a stale slot, so the memory must outlive every concurrent steal; the
+// elements it read remain valid because grow() copies the live range
+// [top, bottom) and `top` only moves through successful CASes.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+namespace redundancy::util {
+
+template <typename T>
+class ChaseLevDeque {
+  static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= sizeof(void*),
+                "slots are raced through std::atomic<T>: T must be a "
+                "trivially-copyable word (use a pointer for bigger payloads)");
+
+ public:
+  explicit ChaseLevDeque(std::size_t initial_capacity = 64)
+      : array_(Array::create(round_up_pow2(initial_capacity), nullptr)) {}
+
+  ~ChaseLevDeque() {
+    Array* a = array_.load(std::memory_order_relaxed);
+    while (a != nullptr) {
+      Array* prev = a->retired_prev;
+      Array::destroy(a);
+      a = prev;
+    }
+  }
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  /// Owner only: push at the bottom. Grows the array when full.
+  void push(T value) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Array* a = array_.load(std::memory_order_relaxed);
+    if (b - t >= static_cast<std::int64_t>(a->capacity)) {
+      a = grow(a, t, b);
+    }
+    // Release: a thief that acquire-loads this slot (after observing the
+    // advanced bottom) also sees everything the owner wrote into the
+    // pointee before pushing.
+    a->slot(b).store(value, std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  /// Owner only: pop from the bottom (LIFO). Returns false when empty.
+  [[nodiscard]] bool pop(T& out) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Array* a = array_.load(std::memory_order_relaxed);
+    // seq_cst store/load pair: the reservation of slot b must be globally
+    // ordered against a concurrent thief's top load, or both could take
+    // the last element.
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {  // already empty
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return false;
+    }
+    out = a->slot(b).load(std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: race the thieves for it.
+      const bool won = top_.compare_exchange_strong(
+          t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return won;
+    }
+    return true;
+  }
+
+  /// Any thread: steal from the top (FIFO). Returns false when empty or
+  /// when the CAS lost a race (callers treat both as "try elsewhere").
+  [[nodiscard]] bool steal(T& out) {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return false;
+    Array* a = array_.load(std::memory_order_acquire);
+    // Read before claiming; on CAS failure the (word-sized) value is
+    // simply discarded.
+    const T value = a->slot(t).load(std::memory_order_acquire);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return false;
+    }
+    out = value;
+    return true;
+  }
+
+  /// Approximate size (racy; monitoring only).
+  [[nodiscard]] std::size_t size_approx() const noexcept {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  [[nodiscard]] bool empty_approx() const noexcept {
+    return size_approx() == 0;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return array_.load(std::memory_order_relaxed)->capacity;
+  }
+
+ private:
+  struct Array {
+    std::size_t capacity;   // power of two
+    std::size_t mask;       // capacity - 1
+    Array* retired_prev;    // predecessor kept alive for in-flight thieves
+    // Flexible slot storage lives right behind the header.
+    [[nodiscard]] std::atomic<T>& slot(std::int64_t i) noexcept {
+      return slots()[static_cast<std::size_t>(i) & mask];
+    }
+    [[nodiscard]] std::atomic<T>* slots() noexcept {
+      return reinterpret_cast<std::atomic<T>*>(this + 1);
+    }
+
+    static Array* create(std::size_t capacity, Array* prev) {
+      void* mem = ::operator new(sizeof(Array) +
+                                 capacity * sizeof(std::atomic<T>));
+      Array* a = static_cast<Array*>(mem);
+      a->capacity = capacity;
+      a->mask = capacity - 1;
+      a->retired_prev = prev;
+      std::atomic<T>* s = a->slots();
+      for (std::size_t i = 0; i < capacity; ++i) {
+        ::new (static_cast<void*>(&s[i])) std::atomic<T>();
+      }
+      return a;
+    }
+    static void destroy(Array* a) { ::operator delete(a); }
+  };
+
+  Array* grow(Array* old, std::int64_t t, std::int64_t b) {
+    Array* bigger = Array::create(old->capacity * 2, old);
+    for (std::int64_t i = t; i < b; ++i) {
+      bigger->slot(i).store(old->slot(i).load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    }
+    // Release-publish so thieves acquire-loading array_ see filled slots.
+    array_.store(bigger, std::memory_order_release);
+    return bigger;
+  }
+
+  static std::size_t round_up_pow2(std::size_t n) noexcept {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p < 2 ? 2 : p;
+  }
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Array*> array_;
+};
+
+}  // namespace redundancy::util

@@ -1,6 +1,8 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 
@@ -10,7 +12,7 @@ namespace redundancy::util {
 
 namespace {
 
-// Which pool (if any) owns the current thread, and that worker's queue
+// Which pool (if any) owns the current thread, and that worker's deque
 // index. Lets submit-from-worker go to the submitter's own deque, keeping
 // recursive fan-out cache-local and contention-free.
 thread_local ThreadPool* tls_pool = nullptr;
@@ -26,6 +28,7 @@ struct PoolMetrics {
   obs::Counter& helped = obs::counter("pool.tasks_helped");
   obs::Histogram& queue_depth = obs::histogram("pool.queue_depth_at_post");
   obs::Histogram& task_ns = obs::histogram("pool.task_exec_ns");
+  obs::Histogram& steal_ns = obs::histogram("pool.steal_ns");
 
   static PoolMetrics& get() {
     static PoolMetrics* metrics = new PoolMetrics();
@@ -33,15 +36,103 @@ struct PoolMetrics {
   }
 };
 
+// Recycled TaskNode storage. Nodes migrate between threads — allocated by
+// the submitter, freed by the executor — so per-thread caches drift
+// one-sided: a pure submitter's cache drains while the workers' caches
+// overflow, and a naive bounded cache degenerates to one malloc + one
+// free per task. The global transfer list fixes that: overflow is spliced
+// to it in chains of kNodeTransfer under one lock, and an empty cache
+// refills from it the same way, so the amortized cross-thread cost is two
+// lock round-trips per kNodeTransfer tasks. A cache is only ever touched
+// by its owning thread; cross-thread handoff of a node's *contents*
+// happens through the deque slots' release/acquire or the injector mutex.
+constexpr std::size_t kNodeCacheMax = 256;   // per-thread hoard bound
+constexpr std::size_t kNodeTransfer = 128;   // chain length per splice
+
+struct GlobalNodeList {
+  std::mutex m;
+  pool_detail::TaskNode* head = nullptr;  // chains linked through ->next
+  std::size_t size = 0;
+
+  // Leaked singleton, same idiom as PoolMetrics: worker threads of
+  // static-storage pools free nodes during process teardown.
+  static GlobalNodeList& get() {
+    static GlobalNodeList* list = new GlobalNodeList();
+    return *list;
+  }
+};
+
+struct NodeCache {
+  std::vector<pool_detail::TaskNode*> free;
+  ~NodeCache() {
+    for (pool_detail::TaskNode* n : free) delete n;
+  }
+};
+
+NodeCache& node_cache() {
+  thread_local NodeCache cache;
+  return cache;
+}
+
+pool_detail::TaskNode* alloc_node(UniqueFunction<void()>&& task) {
+  NodeCache& cache = node_cache();
+  if (cache.free.empty()) {
+    // Refill in bulk from the global list before falling back to new.
+    GlobalNodeList& global = GlobalNodeList::get();
+    std::lock_guard lock(global.m);
+    while (global.head != nullptr && cache.free.size() < kNodeTransfer) {
+      pool_detail::TaskNode* n = global.head;
+      global.head = n->next;
+      --global.size;
+      cache.free.push_back(n);
+    }
+  }
+  pool_detail::TaskNode* n;
+  if (!cache.free.empty()) {
+    n = cache.free.back();
+    cache.free.pop_back();
+  } else {
+    n = new pool_detail::TaskNode();
+  }
+  n->task = std::move(task);
+  n->next = nullptr;
+  return n;
+}
+
+void free_node(pool_detail::TaskNode* n) {
+  n->task = UniqueFunction<void()>{};  // release the payload eagerly
+  n->next = nullptr;
+  NodeCache& cache = node_cache();
+  cache.free.push_back(n);
+  if (cache.free.size() > kNodeCacheMax) {
+    // Splice half the hoard to the global list as one chain, built before
+    // the lock so the critical section is two pointer writes.
+    pool_detail::TaskNode* head = nullptr;
+    pool_detail::TaskNode* tail = nullptr;
+    for (std::size_t i = 0; i < kNodeTransfer; ++i) {
+      pool_detail::TaskNode* t = cache.free.back();
+      cache.free.pop_back();
+      t->next = head;
+      head = t;
+      if (tail == nullptr) tail = t;
+    }
+    GlobalNodeList& global = GlobalNodeList::get();
+    std::lock_guard lock(global.m);
+    tail->next = global.head;
+    global.head = head;
+    global.size += kNodeTransfer;
+  }
+}
+
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(2, std::thread::hardware_concurrency());
   }
-  queues_.reserve(threads);
+  workers_state_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    queues_.push_back(std::make_unique<WorkerQueue>());
+    workers_state_.push_back(std::make_unique<Worker>());
   }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
@@ -50,95 +141,223 @@ ThreadPool::ThreadPool(std::size_t threads) {
 }
 
 ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard lock(sleep_mutex_);
-    stopping_.store(true, std::memory_order_release);
-  }
-  sleep_cv_.notify_all();
+  stopping_.store(true, std::memory_order_seq_cst);
+  unpark_all();
   for (auto& w : workers_) w.join();
-}
-
-void ThreadPool::post(Task task) {
-  std::size_t qi;
-  if (tls_pool == this) {
-    qi = tls_index;
-  } else {
-    qi = next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
-  }
-  {
-    std::lock_guard lock(queues_[qi]->m);
-    queues_[qi]->q.push_back(std::move(task));
-  }
-  const std::size_t depth = pending_.fetch_add(1, std::memory_order_release) + 1;
-  if (obs::enabled()) {
-    PoolMetrics& m = PoolMetrics::get();
-    m.posted.add();
-    m.queue_depth.record(depth);
-  }
-  sleep_cv_.notify_one();
+  // Workers only exit once pending_ == 0, so the injector is empty here.
 }
 
 bool ThreadPool::on_worker_thread() const noexcept { return tls_pool == this; }
 
-bool ThreadPool::try_pop(std::size_t self, Task& out) {
-  // active_ rises before pending_ falls, so wait_idle never observes
-  // "nothing queued, nothing running" for a task that is between queues.
-  {  // Own deque first, newest task first: depth-first, cache-hot.
-    WorkerQueue& mine = *queues_[self];
-    std::lock_guard lock(mine.m);
-    if (!mine.q.empty()) {
-      out = std::move(mine.q.back());
-      mine.q.pop_back();
-      active_.fetch_add(1, std::memory_order_release);
-      pending_.fetch_sub(1, std::memory_order_release);
-      return true;
-    }
-  }
-  // Steal the oldest task from a victim, scanning from our right neighbour.
-  const std::size_t n = queues_.size();
-  for (std::size_t offset = 1; offset < n; ++offset) {
-    WorkerQueue& victim = *queues_[(self + offset) % n];
-    std::lock_guard lock(victim.m);
-    if (!victim.q.empty()) {
-      out = std::move(victim.q.front());
-      victim.q.pop_front();
-      active_.fetch_add(1, std::memory_order_release);
-      pending_.fetch_sub(1, std::memory_order_release);
-      if (obs::enabled()) PoolMetrics::get().stolen.add();
-      return true;
-    }
-  }
-  return false;
+void ThreadPool::post(Task task) {
+  TaskNode* node = alloc_node(std::move(task));
+  enqueue_chain(node, node, 1);
 }
 
-bool ThreadPool::try_run_one() {
-  Task task;
-  const std::size_t start = tls_pool == this ? tls_index : 0;
-  const std::size_t n = queues_.size();
-  bool got = false;
-  for (std::size_t offset = 0; offset < n && !got; ++offset) {
-    WorkerQueue& victim = *queues_[(start + offset) % n];
-    std::lock_guard lock(victim.m);
-    if (!victim.q.empty()) {
-      task = std::move(victim.q.front());
-      victim.q.pop_front();
-      active_.fetch_add(1, std::memory_order_release);
-      pending_.fetch_sub(1, std::memory_order_release);
-      got = true;
+void ThreadPool::submit_batch(std::span<Task> tasks) {
+  if (tasks.empty()) return;
+  TaskNode* head = nullptr;
+  TaskNode* tail = nullptr;
+  for (Task& t : tasks) {
+    TaskNode* node = alloc_node(std::move(t));
+    if (head == nullptr) {
+      head = tail = node;
+    } else {
+      tail->next = node;
+      tail = node;
     }
   }
-  if (!got) return false;
+  enqueue_chain(head, tail, tasks.size());
+}
+
+void ThreadPool::enqueue_chain(TaskNode* head, TaskNode* tail,
+                               std::size_t n) {
+  // The counter rises before any node becomes claimable, so pending_ never
+  // underflows; seq_cst makes the increment globally ordered against a
+  // parking worker's recheck (Dekker handshake — see worker_loop).
+  const std::size_t depth =
+      pending_.fetch_add(n, std::memory_order_seq_cst) + n;
+  if (tls_pool == this) {
+    // Worker fan-out: straight into our own deque, where thieves (woken by
+    // the chain below) redistribute it. No lock at all on this path.
+    Worker& me = *workers_state_[tls_index];
+    for (TaskNode* p = head; p != nullptr;) {
+      TaskNode* next = p->next;
+      p->next = nullptr;
+      me.deque.push(p);
+      p = next;
+    }
+  } else {
+    std::lock_guard lock(injector_m_);
+    if (injector_tail_ != nullptr) {
+      injector_tail_->next = head;
+    } else {
+      injector_head_ = head;
+    }
+    injector_tail_ = tail;
+    injector_size_.fetch_add(n, std::memory_order_release);
+  }
   if (obs::enabled()) {
     PoolMetrics& m = PoolMetrics::get();
-    m.helped.add();
+    m.posted.add(n);
+    m.queue_depth.record(depth);
+  }
+  unpark_one();
+}
+
+void ThreadPool::unpark_one() {
+  // seq_cst pairs with the parking worker's advertisement + pending
+  // recheck: either the worker sees our pending_ add and aborts the park,
+  // or its num_parked_ increment is ordered before this load and we find
+  // its parked flag in the scan below.
+  if (num_parked_.load(std::memory_order_seq_cst) == 0) return;
+  for (auto& wp : workers_state_) {
+    Worker& w = *wp;
+    if (w.parked.load(std::memory_order_seq_cst)) {
+      {
+        // The lock orders the token against the condvar wait predicate; a
+        // worker between "parked = true" and the wait still sees it.
+        std::lock_guard lock(w.m);
+        w.notified.store(true, std::memory_order_relaxed);
+      }
+      w.cv.notify_one();
+      return;
+    }
+  }
+}
+
+void ThreadPool::unpark_all() {
+  for (auto& wp : workers_state_) {
+    Worker& w = *wp;
+    {
+      std::lock_guard lock(w.m);
+      w.notified.store(true, std::memory_order_relaxed);
+    }
+    w.cv.notify_all();
+  }
+}
+
+ThreadPool::TaskNode* ThreadPool::injector_pop_locked() {
+  TaskNode* n = injector_head_;
+  if (n == nullptr) return nullptr;
+  injector_head_ = n->next;
+  if (injector_head_ == nullptr) injector_tail_ = nullptr;
+  n->next = nullptr;
+  injector_size_.fetch_sub(1, std::memory_order_release);
+  return n;
+}
+
+ThreadPool::TaskNode* ThreadPool::steal_sweep(std::size_t start,
+                                              std::size_t skip) {
+  const std::size_t n = workers_state_.size();
+  const bool timed = obs::enabled();
+  const std::uint64_t t0 = timed ? obs::now_ns() : 0;
+  for (std::size_t off = 0; off < n; ++off) {
+    const std::size_t victim = (start + off) % n;
+    if (victim == skip) continue;
+    TaskNode* node = nullptr;
+    if (workers_state_[victim]->deque.steal(node)) {
+      // active_ rises before pending_ falls, so wait_idle never observes
+      // "nothing queued, nothing running" for an in-flight task.
+      active_.fetch_add(1, std::memory_order_release);
+      pending_.fetch_sub(1, std::memory_order_release);
+      if (timed) {
+        PoolMetrics& m = PoolMetrics::get();
+        m.stolen.add();
+        m.steal_ns.record(obs::now_ns() - t0);
+      }
+      return node;
+    }
+  }
+  return nullptr;
+}
+
+ThreadPool::TaskNode* ThreadPool::acquire_task(std::size_t self) {
+  Worker& me = *workers_state_[self];
+  TaskNode* node = nullptr;
+  if (me.deque.pop(node)) {
+    active_.fetch_add(1, std::memory_order_release);
+    pending_.fetch_sub(1, std::memory_order_release);
+    return node;
+  }
+  if (injector_size_.load(std::memory_order_acquire) > 0) {
+    // Amortized injector drain: claim one node to run and move a fair
+    // share of the backlog into our own deque, where it becomes stealable
+    // (moved nodes stay "pending" — they are still queued, just elsewhere).
+    TaskNode* extras = nullptr;
+    {
+      std::lock_guard lock(injector_m_);
+      node = injector_pop_locked();
+      if (node != nullptr) {
+        std::size_t share = injector_size_.load(std::memory_order_relaxed) /
+                            (workers_state_.size() + 1);
+        share = std::min<std::size_t>(share, 32);
+        if (share > 0 && injector_head_ != nullptr) {
+          extras = injector_head_;
+          TaskNode* last = extras;
+          std::size_t taken = 1;
+          while (taken < share && last->next != nullptr) {
+            last = last->next;
+            ++taken;
+          }
+          injector_head_ = last->next;
+          if (injector_head_ == nullptr) injector_tail_ = nullptr;
+          last->next = nullptr;
+          injector_size_.fetch_sub(taken, std::memory_order_release);
+        }
+      }
+    }
+    if (node != nullptr) {
+      active_.fetch_add(1, std::memory_order_release);
+      pending_.fetch_sub(1, std::memory_order_release);
+      for (TaskNode* p = extras; p != nullptr;) {
+        TaskNode* next = p->next;
+        p->next = nullptr;
+        me.deque.push(p);
+        p = next;
+      }
+      return node;
+    }
+  }
+  return steal_sweep(self + 1, self);
+}
+
+ThreadPool::TaskNode* ThreadPool::acquire_task_external() {
+  if (injector_size_.load(std::memory_order_acquire) > 0) {
+    TaskNode* node = nullptr;
+    {
+      std::lock_guard lock(injector_m_);
+      node = injector_pop_locked();
+    }
+    if (node != nullptr) {
+      active_.fetch_add(1, std::memory_order_release);
+      pending_.fetch_sub(1, std::memory_order_release);
+      return node;
+    }
+  }
+  return steal_sweep(0, static_cast<std::size_t>(-1));
+}
+
+void ThreadPool::execute(TaskNode* node) {
+  if (obs::enabled()) {
+    PoolMetrics& m = PoolMetrics::get();
     const std::uint64_t t0 = obs::now_ns();
-    task();
+    node->task();
     m.task_ns.record(obs::now_ns() - t0);
     m.executed.add();
   } else {
-    task();
+    node->task();
   }
   active_.fetch_sub(1, std::memory_order_release);
+  free_node(node);
+}
+
+bool ThreadPool::try_run_one() {
+  TaskNode* node = on_worker_thread() ? acquire_task(tls_index)
+                                      : acquire_task_external();
+  if (node == nullptr) return false;
+  if (obs::enabled()) PoolMetrics::get().helped.add();
+  execute(node);
   return true;
 }
 
@@ -157,82 +376,148 @@ void ThreadPool::wait_idle() {
 void ThreadPool::worker_loop(std::size_t self) {
   tls_pool = this;
   tls_index = self;
+  Worker& me = *workers_state_[self];
   for (;;) {
-    Task task;
-    if (try_pop(self, task)) {
-      if (obs::enabled()) {
-        PoolMetrics& m = PoolMetrics::get();
-        const std::uint64_t t0 = obs::now_ns();
-        task();
-        m.task_ns.record(obs::now_ns() - t0);
-        m.executed.add();
-      } else {
-        task();
+    TaskNode* node = acquire_task(self);
+    if (node != nullptr) {
+      // Wake chaining: if more work remains and someone is asleep, pass
+      // the baton before executing — a batch of N wakes workers one by
+      // one without a thundering herd.
+      if (pending_.load(std::memory_order_acquire) > 0 &&
+          num_parked_.load(std::memory_order_acquire) > 0) {
+        unpark_one();
       }
-      active_.fetch_sub(1, std::memory_order_release);
+      execute(node);
       continue;
     }
     if (stopping_.load(std::memory_order_acquire) &&
         pending_.load(std::memory_order_acquire) == 0) {
       return;
     }
-    // post() notifies without holding sleep_mutex_ (keeps the submit hot
-    // path off the global lock), so a notify can race past the predicate
-    // check; the timed wait bounds that lost-wakeup window to 1ms.
-    std::unique_lock lock(sleep_mutex_);
-    sleep_cv_.wait_for(lock, std::chrono::milliseconds(1), [this] {
-      return stopping_.load(std::memory_order_acquire) ||
-             pending_.load(std::memory_order_acquire) > 0;
-    });
+    // Park. Dekker-style handshake with enqueue_chain: advertise the park
+    // (parked flag + num_parked_), then recheck pending_ — all seq_cst. A
+    // submitter either sees our advertisement in its wake scan or we see
+    // its pending_ increment here and abort the park.
+    me.parked.store(true, std::memory_order_seq_cst);
+    num_parked_.fetch_add(1, std::memory_order_seq_cst);
+    if (pending_.load(std::memory_order_seq_cst) > 0 ||
+        stopping_.load(std::memory_order_seq_cst)) {
+      me.parked.store(false, std::memory_order_relaxed);
+      num_parked_.fetch_sub(1, std::memory_order_seq_cst);
+      std::this_thread::yield();  // tasks are in flight; rescan shortly
+      continue;
+    }
+    {
+      std::unique_lock lock(me.m);
+      // The timed wait is a safety net only: every wake normally arrives
+      // through the notified token set under this mutex.
+      me.cv.wait_for(lock, std::chrono::milliseconds(2), [&] {
+        return me.notified.load(std::memory_order_relaxed) ||
+               stopping_.load(std::memory_order_acquire);
+      });
+      me.notified.store(false, std::memory_order_relaxed);
+    }
+    me.parked.store(false, std::memory_order_relaxed);
+    num_parked_.fetch_sub(1, std::memory_order_seq_cst);
   }
 }
 
-void ThreadPool::run_all(std::vector<Task> tasks, ExceptionPolicy policy) {
+void ThreadPool::run_all(std::span<Task> tasks, ExceptionPolicy policy) {
   if (tasks.empty()) return;
   struct State {
+    std::atomic<std::size_t> remaining;
     std::mutex m;
     std::condition_variable cv;
-    std::size_t remaining;
-    std::exception_ptr first_error;
+    bool done = false;               // guarded by m
+    std::exception_ptr first_error;  // guarded by m
   };
   // run_all is a barrier: this frame outlives every wrapper, so the join
   // state lives on the stack and wrappers borrow it (and the tasks) by raw
-  // pointer — 16 bytes captured, always inline in the Task buffer.
+  // pointer — 16 bytes captured, always inline in the Task buffer. The
+  // whole batch goes in with one pending epoch and one wake-up, and
+  // completions count down on an atomic: only the LAST wrapper takes the
+  // mutex (to flip `done` and notify), so a batch of N costs one lock
+  // round-trip instead of N. The waiter reads `done` — never the atomic —
+  // under the mutex, so it cannot pop this frame until the last wrapper
+  // has released m, after which no wrapper touches st again.
   State st;
-  st.remaining = tasks.size();
-  for (auto& t : tasks) {
-    post(Task{[st = &st, task = &t] {
+  st.remaining.store(tasks.size(), std::memory_order_relaxed);
+  TaskNode* head = nullptr;
+  TaskNode* tail = nullptr;
+  for (Task& t : tasks) {
+    TaskNode* node = alloc_node(Task{[st_ptr = &st, task = &t] {
       std::exception_ptr error;
       try {
         (*task)();
       } catch (...) {
         error = std::current_exception();
       }
-      // notify_all under the lock: the waiter cannot observe remaining==0
-      // (and destroy the stack state) until this wrapper has released the
-      // mutex, after which it never touches st again.
-      std::lock_guard lock(st->m);
-      if (error && !st->first_error) st->first_error = error;
-      --st->remaining;
-      st->cv.notify_all();
+      if (error) {
+        std::lock_guard lock(st_ptr->m);
+        if (!st_ptr->first_error) st_ptr->first_error = error;
+      }
+      // acq_rel: completions happen-before the last wrapper's notify, and
+      // thus before the waiter returns.
+      if (st_ptr->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard lock(st_ptr->m);
+        st_ptr->done = true;
+        st_ptr->cv.notify_all();
+      }
     }});
+    if (head == nullptr) {
+      head = tail = node;
+    } else {
+      tail->next = node;
+      tail = node;
+    }
+  }
+  enqueue_chain(head, tail, tasks.size());
+  // Helper fast path: drain work without touching the join mutex — the
+  // countdown is the only thing the loop reads. Only when the queues run
+  // dry with wrappers still in flight (another worker claimed them) does
+  // the waiter fall through to the lock + cv slow path.
+  if (on_worker_thread()) {
+    while (st.remaining.load(std::memory_order_acquire) != 0) {
+      if (!try_run_one()) break;
+    }
   }
   std::unique_lock lock(st.m);
-  help_until(lock, st.cv, [&] { return st.remaining == 0; });
+  help_until(lock, st.cv, [&] { return st.done; });
   if (policy == ExceptionPolicy::forward && st.first_error) {
     std::rethrow_exception(st.first_error);
   }
 }
 
 std::size_t ThreadPool::shared_size_from_env() noexcept {
-  if (const char* env = std::getenv("REDUNDANCY_THREADS")) {
-    char* end = nullptr;
-    const unsigned long v = std::strtoul(env, &end, 10);
-    if (end != env && *end == '\0' && v > 0 && v <= 1024) {
-      return static_cast<std::size_t>(v);
+  const std::size_t fallback =
+      std::max<std::size_t>(std::thread::hardware_concurrency(), 8);
+  const char* env = std::getenv("REDUNDANCY_THREADS");
+  if (env == nullptr) return fallback;
+  // Strict parse: decimal digits only (no sign, whitespace, or suffix),
+  // value in [1, 1024]. Anything else is loudly rejected — a silently
+  // mis-sized pool is exactly the kind of configuration fault this library
+  // exists to catch elsewhere.
+  std::size_t value = 0;
+  bool valid = *env != '\0';
+  for (const char* p = env; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') {
+      valid = false;
+      break;
+    }
+    value = value * 10 + static_cast<std::size_t>(*p - '0');
+    if (value > 1024) {
+      valid = false;
+      break;
     }
   }
-  return std::max<std::size_t>(std::thread::hardware_concurrency(), 8);
+  if (!valid || value == 0) {
+    std::fprintf(stderr,
+                 "[redundancy] REDUNDANCY_THREADS='%s' is not a valid thread "
+                 "count (expected an integer in 1..1024); using %zu threads\n",
+                 env, fallback);
+    return fallback;
+  }
+  return value;
 }
 
 ThreadPool& ThreadPool::shared() {

@@ -1,36 +1,51 @@
-// Work-stealing fixed thread pool used by the parallel redundancy patterns
-// (parallel evaluation / parallel selection) and the parallel campaign
-// runner.
+// Lock-free work-stealing thread pool used by the parallel redundancy
+// patterns (parallel evaluation / parallel selection), hedged sequential
+// alternatives, and the parallel campaign runner.
 //
-// Each worker owns a deque: it pushes and pops at the back (LIFO, cache-hot)
-// and thieves steal from the front (FIFO, oldest first). Submissions from
-// non-worker threads are distributed round-robin; submissions from a worker
-// go to that worker's own deque. Waiters (run_all, submit_first_wins, the
-// incremental adjudication loop in ParallelEvaluation) that are themselves
-// pool workers *help*: while blocked they steal and execute queued tasks, so
-// nested fan-out on the shared pool cannot deadlock even when every worker
-// is itself waiting. External waiters block instead — helping would let a
-// slow stolen task delay an already-decided early-return verdict.
+// Each worker owns a Chase–Lev deque (util/chase_lev_deque.hpp): the owner
+// pushes and pops at the bottom with plain release stores (LIFO, cache-hot)
+// and thieves CAS the top (FIFO, oldest first) — no mutex anywhere on the
+// worker hot path. Submissions from non-worker threads land in a shared
+// injector list; workers drain it in amortized batches into their own
+// deques, where the tasks become stealable. Idle workers park on their own
+// mutex+condvar pair (one parking lot per worker, not a global broadcast
+// condition variable): a submitter wakes exactly one parked worker, and a
+// worker that dequeues work while more is pending wakes the next — wake-ups
+// chain instead of stampeding.
+//
+// submit_batch posts a whole fan-out with one pending-counter epoch and one
+// wake-up instead of N; BatchRunner (bottom of this header) is the reusable
+// builder the pattern executors use, so a steady-state variant fan-out
+// performs no allocation beyond recycled task nodes.
+//
+// Waiters (run_all, submit_first_wins, the incremental adjudication loop in
+// ParallelEvaluation) that are themselves pool workers *help*: while blocked
+// they steal and execute queued tasks, so nested fan-out on the shared pool
+// cannot deadlock even when every worker is itself waiting. External waiters
+// block instead — helping would let a slow stolen task delay an
+// already-decided early-return verdict.
 //
 // When the obs:: layer is enabled the engine reports itself through the
 // metrics registry: pool.tasks_posted/executed/stolen/helped counters, a
-// pool.queue_depth_at_post histogram, and a pool.task_exec_ns latency
-// histogram. Disabled cost is one relaxed atomic load per site.
+// pool.queue_depth_at_post histogram, a pool.task_exec_ns latency histogram,
+// and a pool.steal_ns histogram over successful steal operations. Disabled
+// cost is one relaxed atomic load per site.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
 #include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <thread>
 #include <vector>
 
+#include "util/chase_lev_deque.hpp"
 #include "util/unique_function.hpp"
 
 namespace redundancy::util {
@@ -53,6 +68,29 @@ class CancellationToken {
  private:
   std::shared_ptr<std::atomic<bool>> flag_;
 };
+
+namespace pool_detail {
+
+/// A queued task. Owned linearly: freelist/submitter → deque or injector →
+/// executor → freelist. Handed across threads only through the deque's
+/// release/acquire slot protocol or the injector mutex, so the payload
+/// needs no synchronization of its own. Recycled through a bounded
+/// thread-local cache, making the steady-state submit path allocation-free.
+struct TaskNode {
+  UniqueFunction<void()> task;
+  TaskNode* next = nullptr;  ///< injector chain link
+};
+
+/// Per-worker state: the lock-free deque plus a private parking lot.
+struct Worker {
+  ChaseLevDeque<TaskNode*> deque;
+  std::mutex m;                      ///< guards the condvar handshake only
+  std::condition_variable cv;
+  std::atomic<bool> parked{false};   ///< registered as sleeping
+  std::atomic<bool> notified{false}; ///< wake token (consumed on wake)
+};
+
+}  // namespace pool_detail
 
 class ThreadPool {
  public:
@@ -94,15 +132,26 @@ class ThreadPool {
   /// Enqueue a fire-and-forget task. The task must not throw.
   void post(Task task);
 
+  /// Enqueue every task in the span (each is moved from) with a single
+  /// pending-counter update and a single wake-up: the woken worker wakes
+  /// the next as long as work remains, so a whole variant fan-out pays one
+  /// epoch of bookkeeping instead of N. From a worker thread the batch goes
+  /// to the worker's own deque (thieves distribute it); from an external
+  /// thread it is appended to the injector under one lock.
+  void submit_batch(std::span<Task> tasks);
+
   /// Run all tasks, blocking until every one has completed. Exceptions are
   /// swallowed by default; ExceptionPolicy::forward rethrows the first task
   /// exception in the waiting thread. The waiting thread helps execute
-  /// queued tasks. run_all is a barrier, so the posted wrappers borrow the
-  /// task vector and the join state by raw pointer — two words per task,
-  /// always inline in the queue's UniqueFunction buffer, no per-task heap
-  /// allocation.
-  void run_all(std::vector<Task> tasks,
+  /// queued tasks. run_all is a barrier, so the enqueued wrappers borrow
+  /// the caller's tasks and the join state by raw pointer — two words per
+  /// task, and the whole batch is submitted with one wake-up.
+  void run_all(std::span<Task> tasks,
                ExceptionPolicy policy = ExceptionPolicy::swallow);
+  void run_all(std::vector<Task> tasks,
+               ExceptionPolicy policy = ExceptionPolicy::swallow) {
+    run_all(std::span<Task>{tasks}, policy);
+  }
 
   /// Submit every task and block until one returns an engaged optional (the
   /// "first acceptable ballot") or all return nullopt. On a win the shared
@@ -111,8 +160,9 @@ class ThreadPool {
   /// without blocking the caller. Tasks must own (or share ownership of)
   /// everything they touch, since they may outlive this call. F is any
   /// callable `std::optional<R>(const CancellationToken&)` — pass raw
-  /// lambdas, not std::function, so the posted wrapper (shared state + index
-  /// + callable) stays inside the Task inline buffer.
+  /// lambdas, not std::function, so the enqueued wrapper (shared state +
+  /// index + callable) stays inside the Task inline buffer. The whole
+  /// candidate set is submitted as one batch (one wake-up).
   template <typename R, typename F>
   FirstWins<R> submit_first_wins(std::vector<F> tasks) {
     static_assert(
@@ -134,8 +184,10 @@ class ThreadPool {
     };
     auto st = std::make_shared<State>();
 
+    std::vector<Task> wrapped;
+    wrapped.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
-      post(Task{[st, i, fn = std::move(tasks[i])]() mutable {
+      wrapped.emplace_back([st, i, fn = std::move(tasks[i])]() mutable {
         std::optional<R> r;
         const bool ran = !st->token.cancelled();
         if (ran) {
@@ -156,8 +208,9 @@ class ThreadPool {
           ++st->settled;
         }
         st->cv.notify_all();
-      }});
+      });
     }
+    submit_batch(wrapped);
 
     std::unique_lock lock(st->m);
     help_until(lock, st->cv, [&] {
@@ -170,7 +223,7 @@ class ThreadPool {
   }
 
   /// Steal one queued task and run it on the calling thread. Returns false
-  /// if every deque was empty.
+  /// if every deque (and the injector) was empty.
   bool try_run_one();
 
   /// Block until no task is queued or running — i.e. all stragglers from
@@ -203,15 +256,29 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
-  /// Number of tasks queued but not yet claimed by a worker.
+  /// Number of tasks queued but not yet claimed by a worker. Transiently
+  /// over-counts during a submission (the counter rises before the nodes
+  /// land), never under-counts.
   [[nodiscard]] std::size_t pending() const noexcept {
     return pending_.load(std::memory_order_acquire);
   }
 
+  /// True when no task is queued or running. Claims raise active_ before
+  /// dropping pending_, and submissions raise pending_ before the nodes
+  /// land, so this can transiently read false for an idle pool but never
+  /// true for a busy one — safe to poll as a quiescence barrier without
+  /// the helping drain wait_idle() performs.
+  [[nodiscard]] bool idle() const noexcept {
+    return pending_.load(std::memory_order_acquire) == 0 &&
+           active_.load(std::memory_order_acquire) == 0;
+  }
+
   /// Process-wide shared pool for pattern executors that do not own one.
-  /// Sized from the REDUNDANCY_THREADS environment variable when set,
-  /// otherwise max(hardware concurrency, 8) — latency-bound redundancy
-  /// patterns want a variant-wide fan-out even on small machines.
+  /// Sized from the REDUNDANCY_THREADS environment variable when set to a
+  /// valid count (1..1024), otherwise max(hardware concurrency, 8) —
+  /// latency-bound redundancy patterns want a variant-wide fan-out even on
+  /// small machines. Invalid values (zero, negative, garbage, overflow)
+  /// are rejected with a stderr warning and fall back.
   static ThreadPool& shared();
 
   /// The size shared() would use (exposed so the env-var parsing is
@@ -219,23 +286,76 @@ class ThreadPool {
   static std::size_t shared_size_from_env() noexcept;
 
  private:
-  struct WorkerQueue {
-    std::mutex m;
-    std::deque<Task> q;
-  };
+  using TaskNode = pool_detail::TaskNode;
+  using Worker = pool_detail::Worker;
 
   void worker_loop(std::size_t self);
-  bool try_pop(std::size_t self, Task& out);
   [[nodiscard]] bool on_worker_thread() const noexcept;
 
-  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  /// Claim the next runnable node for worker `self`: own deque, then an
+  /// amortized injector grab, then a steal sweep over the other deques.
+  TaskNode* acquire_task(std::size_t self);
+  /// Claim a node as an outsider (try_run_one from a non-worker thread):
+  /// injector first, then steal from every deque.
+  TaskNode* acquire_task_external();
+  TaskNode* steal_sweep(std::size_t start, std::size_t skip);
+  TaskNode* injector_pop_locked();  ///< caller holds injector_m_
+  void enqueue_chain(TaskNode* head, TaskNode* tail, std::size_t n);
+  void execute(TaskNode* node);
+  void unpark_one();
+  void unpark_all();
+
+  std::vector<std::unique_ptr<Worker>> workers_state_;
   std::vector<std::thread> workers_;
   std::atomic<std::size_t> pending_{0};
-  std::atomic<std::size_t> active_{0};  ///< tasks currently executing
-  std::atomic<std::size_t> next_queue_{0};
-  std::mutex sleep_mutex_;
-  std::condition_variable sleep_cv_;
+  std::atomic<std::size_t> active_{0};      ///< tasks currently executing
+  std::atomic<std::size_t> num_parked_{0};  ///< workers asleep in their lot
+  std::mutex injector_m_;                   ///< guards the external chain
+  TaskNode* injector_head_ = nullptr;
+  TaskNode* injector_tail_ = nullptr;
+  std::atomic<std::size_t> injector_size_{0};  ///< lock-free emptiness probe
   std::atomic<bool> stopping_{false};
+};
+
+/// Reusable fan-out builder: collect the tasks of one submission epoch,
+/// then hand the whole batch to the pool at once (one pending-counter
+/// update, one wake-up). The internal vector keeps its capacity across
+/// epochs, so a pattern that owns a BatchRunner fans out allocation-free in
+/// steady state. Not thread-safe; one builder per submitting thread.
+class BatchRunner {
+ public:
+  /// Bind to `pool`, or to ThreadPool::shared() when null. The pool is
+  /// resolved lazily so a BatchRunner member does not force singleton
+  /// construction at pattern-construction time.
+  explicit BatchRunner(ThreadPool* pool = nullptr) noexcept : pool_(pool) {}
+
+  template <typename F>
+  void add(F&& fn) {
+    tasks_.emplace_back(std::forward<F>(fn));
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return tasks_.empty(); }
+
+  /// Fire-and-forget: submit everything added since the last dispatch.
+  void dispatch() {
+    pool().submit_batch(tasks_);
+    tasks_.clear();  // keeps capacity for the next epoch
+  }
+
+  /// Barrier: submit the batch and help until every task completed.
+  void run_and_wait(
+      ThreadPool::ExceptionPolicy policy = ThreadPool::ExceptionPolicy::swallow) {
+    pool().run_all(std::span<ThreadPool::Task>{tasks_}, policy);
+    tasks_.clear();
+  }
+
+  [[nodiscard]] ThreadPool& pool() noexcept {
+    return pool_ != nullptr ? *pool_ : ThreadPool::shared();
+  }
+
+ private:
+  ThreadPool* pool_;
+  std::vector<ThreadPool::Task> tasks_;
 };
 
 }  // namespace redundancy::util

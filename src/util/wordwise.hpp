@@ -1,0 +1,146 @@
+// Word-wise byte kernels for the adjudication hot path.
+//
+// Voting over N variant outputs is, at the byte level, "are these blobs
+// identical?" asked O(N²)/O(N) times per verdict. These kernels answer it
+// in 8-byte words instead of bytes: `equal` compares 32-byte blocks with a
+// branch per block (the inner word loop auto-vectorizes to SIMD compares),
+// and `hash64` folds a blob to a 64-bit digest so an N-way vote can group
+// ballots with O(N) integer compares and at most one byte-exact confirm.
+//
+// `byte_view` defines which output types may take this path. Soundness
+// rule: byte equality must coincide with value equality, so a type
+// qualifies only when std::has_unique_object_representations_v holds for
+// it (or for its element type) — padding bytes, NaNs and -0.0 disqualify
+// themselves automatically and stay on the scalar Eq path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+
+#include "util/checksum.hpp"
+
+namespace redundancy::util::wordwise {
+
+namespace detail {
+
+/// Contiguous-storage types (std::string, std::vector<T>, ByteBuffer,
+/// std::span, std::array) whose elements compare correctly byte-wise.
+template <typename T>
+concept ContiguousBytes = requires(const T& t) {
+  { t.data() };
+  { t.size() } -> std::convertible_to<std::size_t>;
+} && std::is_pointer_v<decltype(std::declval<const T&>().data())> &&
+    std::has_unique_object_representations_v<std::remove_cv_t<
+        std::remove_pointer_t<decltype(std::declval<const T&>().data())>>>;
+
+}  // namespace detail
+
+/// Types whose value equality is exactly byte equality of their view.
+template <typename T>
+inline constexpr bool byte_viewable_v =
+    detail::ContiguousBytes<T> ||
+    (std::is_trivially_copyable_v<T> &&
+     std::has_unique_object_representations_v<T>);
+
+/// The raw bytes of `v` — contiguous storage for string/vector-like types,
+/// the object representation for padding-free scalar/struct types.
+template <typename T>
+  requires(byte_viewable_v<T>)
+[[nodiscard]] std::span<const std::byte> byte_view(const T& v) noexcept {
+  if constexpr (detail::ContiguousBytes<T>) {
+    using E = std::remove_cv_t<
+        std::remove_pointer_t<decltype(std::declval<const T&>().data())>>;
+    return {reinterpret_cast<const std::byte*>(v.data()),
+            v.size() * sizeof(E)};
+  } else {
+    return {reinterpret_cast<const std::byte*>(&v), sizeof(T)};
+  }
+}
+
+/// Byte equality in 8-byte words. Compares 32-byte blocks with one branch
+/// per block — the four-word accumulation inside a block has no early
+/// exit, so the compiler turns it into SIMD loads and compares. Handles
+/// any alignment (memcpy word loads) and any length (overlapping final
+/// word when n >= 8, byte loop below that).
+[[nodiscard]] inline bool equal(std::span<const std::byte> a,
+                                std::span<const std::byte> b) noexcept {
+  if (a.size() != b.size()) return false;
+  const std::size_t n = a.size();
+  const std::byte* pa = a.data();
+  const std::byte* pb = b.data();
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    std::uint64_t wa[4];
+    std::uint64_t wb[4];
+    std::memcpy(wa, pa + i, 32);
+    std::memcpy(wb, pb + i, 32);
+    const std::uint64_t diff = (wa[0] ^ wb[0]) | (wa[1] ^ wb[1]) |
+                               (wa[2] ^ wb[2]) | (wa[3] ^ wb[3]);
+    if (diff != 0) return false;
+  }
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t wa;
+    std::uint64_t wb;
+    std::memcpy(&wa, pa + i, 8);
+    std::memcpy(&wb, pb + i, 8);
+    if (wa != wb) return false;
+  }
+  if (i < n) {
+    if (n >= 8) {
+      // Overlapping final word re-reads a few already-compared bytes.
+      std::uint64_t wa;
+      std::uint64_t wb;
+      std::memcpy(&wa, pa + n - 8, 8);
+      std::memcpy(&wb, pb + n - 8, 8);
+      return wa == wb;
+    }
+    for (; i < n; ++i) {
+      if (pa[i] != pb[i]) return false;
+    }
+  }
+  return true;
+}
+
+/// 64-bit content digest: FNV-1a over 8-byte words, length folded into the
+/// seed (so "" and "\0" differ), mix64-finalized for full avalanche. Equal
+/// blobs always collide; unequal blobs collide with probability ~2^-64,
+/// which is why voters confirm the winning group byte-exactly.
+[[nodiscard]] inline std::uint64_t hash64(
+    std::span<const std::byte> bytes) noexcept {
+  constexpr std::uint64_t kOffset = 1469598103934665603ull;
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t h = kOffset ^ (static_cast<std::uint64_t>(bytes.size()) * kPrime);
+  const std::byte* p = bytes.data();
+  const std::size_t n = bytes.size();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p + i, 8);
+    h = (h ^ w) * kPrime;
+  }
+  if (i < n) {
+    std::uint64_t w = 0;  // zero-padded tail; length in the seed disambiguates
+    std::memcpy(&w, p + i, n - i);
+    h = (h ^ w) * kPrime;
+  }
+  return mix64(h);
+}
+
+/// Digest of any byte-viewable value.
+template <typename T>
+  requires(byte_viewable_v<T>)
+[[nodiscard]] std::uint64_t hash64_of(const T& v) noexcept {
+  return hash64(byte_view(v));
+}
+
+/// Byte equality of any two byte-viewable values.
+template <typename T>
+  requires(byte_viewable_v<T>)
+[[nodiscard]] bool equal_values(const T& a, const T& b) noexcept {
+  return equal(byte_view(a), byte_view(b));
+}
+
+}  // namespace redundancy::util::wordwise

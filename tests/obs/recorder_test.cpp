@@ -240,6 +240,11 @@ TEST_F(RecorderTest, JsonlNvpRequestRoundTripsWithValidSchema) {
   EXPECT_EQ(vote.at("ballots_failed").num, 0u);
   EXPECT_TRUE(vote.at("accepted").b);
   EXPECT_EQ(vote.at("verdict").str, "ok");
+
+  // Drop the sink before `trace` leaves scope: the sink's destructor
+  // flushes its stream, and TearDown's clear_sinks() would otherwise run
+  // it against a destroyed ostringstream (caught as a SEGV under TSan).
+  Recorder::instance().clear_sinks();
 }
 
 TEST_F(RecorderTest, SamplingSuppressesWholeTraces) {

@@ -1,0 +1,113 @@
+#include "util/byte_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace redundancy::util {
+namespace {
+
+TEST(ByteBuffer, PutGetRoundTrip) {
+  ByteBuffer buf;
+  buf.put(std::uint32_t{0xDEADBEEF});
+  buf.put(std::int64_t{-42});
+  buf.put(3.5);
+  buf.put_string("checkpoint");
+  auto r = buf.reader();
+  EXPECT_EQ(r.get<std::uint32_t>(), 0xDEADBEEFu);
+  EXPECT_EQ(r.get<std::int64_t>(), -42);
+  EXPECT_EQ(r.get<double>(), 3.5);
+  EXPECT_EQ(r.get_string(), "checkpoint");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteBuffer, PutBytesAppendsVerbatim) {
+  ByteBuffer buf;
+  buf.put(std::uint8_t{7});
+  std::vector<std::byte> blob(13);
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    blob[i] = static_cast<std::byte>(i * 3 + 1);
+  }
+  buf.put_bytes(blob);
+  ASSERT_EQ(buf.size(), 1 + blob.size());
+  EXPECT_EQ(std::memcmp(buf.data() + 1, blob.data(), blob.size()), 0);
+}
+
+TEST(ByteBuffer, PutBytesEmptySpanIsANoOp) {
+  ByteBuffer buf;
+  buf.put_bytes(std::span<const std::byte>{});
+  EXPECT_EQ(buf.size(), 0u);
+}
+
+TEST(ByteBuffer, PutStringMakesOneGrowthDecision) {
+  // put_string reserves prefix + payload up front, so the appends must not
+  // reallocate: capacity after the call covers exactly what was written.
+  ByteBuffer buf;
+  const std::string s(100, 'x');
+  buf.put_string(s);
+  EXPECT_EQ(buf.size(), sizeof(std::uint32_t) + s.size());
+  auto r = buf.reader();
+  EXPECT_EQ(r.get_string(), s);
+}
+
+TEST(ByteBuffer, ReserveAvoidsIncrementalReallocation) {
+  ByteBuffer buf;
+  buf.reserve(64 * 1024);
+  const std::byte* before = buf.data();
+  std::vector<std::byte> chunk(1024, std::byte{0x5A});
+  for (int i = 0; i < 64; ++i) buf.put_bytes(chunk);
+  EXPECT_EQ(buf.size(), 64u * 1024u);
+  // A sufficient reserve means the backing store never moved.
+  EXPECT_EQ(buf.data(), before);
+}
+
+TEST(ByteBuffer, GrowsGeometricallyPastReserve) {
+  ByteBuffer buf;
+  std::vector<std::byte> chunk(4096, std::byte{1});
+  for (int i = 0; i < 100; ++i) buf.put_bytes(chunk);
+  EXPECT_EQ(buf.size(), 100u * 4096u);
+  for (std::size_t i = 0; i < buf.size(); i += 4096) {
+    EXPECT_EQ(buf.data()[i], std::byte{1});
+  }
+}
+
+TEST(ByteBuffer, EqualityIsWordwiseOnContents) {
+  ByteBuffer a;
+  ByteBuffer b;
+  EXPECT_TRUE(a == b);  // both empty
+  a.put_string("same bytes");
+  b.put_string("same bytes");
+  EXPECT_TRUE(a == b);
+  ByteBuffer c;
+  c.put_string("same byteZ");
+  EXPECT_FALSE(a == c);
+  ByteBuffer shorter;
+  shorter.put(std::uint32_t{10});
+  EXPECT_FALSE(a == shorter);  // size mismatch
+}
+
+TEST(ByteBuffer, ReaderThrowsOnTruncatedRead) {
+  ByteBuffer buf;
+  buf.put(std::uint16_t{1});
+  auto r = buf.reader();
+  EXPECT_THROW((void)r.get<std::uint64_t>(), std::out_of_range);
+  // The length prefix may decode, but the payload is missing.
+  ByteBuffer lying;
+  lying.put(std::uint32_t{100});  // claims a 100-byte string follows
+  auto r2 = lying.reader();
+  EXPECT_THROW((void)r2.get_string(), std::out_of_range);
+}
+
+TEST(ByteBuffer, ConstructFromExistingBytes) {
+  std::vector<std::byte> raw(8, std::byte{0x11});
+  ByteBuffer buf{raw};
+  EXPECT_EQ(buf.size(), 8u);
+  EXPECT_EQ(buf.bytes(), raw);
+}
+
+}  // namespace
+}  // namespace redundancy::util

@@ -1,0 +1,122 @@
+#include "util/chase_lev_deque.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace redundancy::util {
+namespace {
+
+TEST(ChaseLevDeque, PopIsLifoForTheOwner) {
+  ChaseLevDeque<std::uintptr_t> d;
+  for (std::uintptr_t i = 1; i <= 5; ++i) d.push(i);
+  std::uintptr_t v = 0;
+  for (std::uintptr_t expect = 5; expect >= 1; --expect) {
+    ASSERT_TRUE(d.pop(v));
+    EXPECT_EQ(v, expect);
+  }
+  EXPECT_FALSE(d.pop(v));
+}
+
+TEST(ChaseLevDeque, StealIsFifoFromTheTop) {
+  ChaseLevDeque<std::uintptr_t> d;
+  for (std::uintptr_t i = 1; i <= 5; ++i) d.push(i);
+  std::uintptr_t v = 0;
+  for (std::uintptr_t expect = 1; expect <= 5; ++expect) {
+    ASSERT_TRUE(d.steal(v));
+    EXPECT_EQ(v, expect);
+  }
+  EXPECT_FALSE(d.steal(v));
+}
+
+TEST(ChaseLevDeque, EmptyDequeRefusesBothEnds) {
+  ChaseLevDeque<std::uintptr_t> d;
+  std::uintptr_t v = 0;
+  EXPECT_FALSE(d.pop(v));
+  EXPECT_FALSE(d.steal(v));
+  EXPECT_TRUE(d.empty_approx());
+  EXPECT_EQ(d.size_approx(), 0u);
+}
+
+TEST(ChaseLevDeque, PopAndStealMeetInTheMiddle) {
+  ChaseLevDeque<std::uintptr_t> d;
+  for (std::uintptr_t i = 1; i <= 6; ++i) d.push(i);
+  std::uintptr_t v = 0;
+  ASSERT_TRUE(d.steal(v));
+  EXPECT_EQ(v, 1u);
+  ASSERT_TRUE(d.pop(v));
+  EXPECT_EQ(v, 6u);
+  ASSERT_TRUE(d.steal(v));
+  EXPECT_EQ(v, 2u);
+  ASSERT_TRUE(d.pop(v));
+  EXPECT_EQ(v, 5u);
+  ASSERT_TRUE(d.pop(v));
+  EXPECT_EQ(v, 4u);
+  // One element left: pop takes the contended single-element path (CAS).
+  ASSERT_TRUE(d.pop(v));
+  EXPECT_EQ(v, 3u);
+  EXPECT_FALSE(d.pop(v));
+  EXPECT_FALSE(d.steal(v));
+}
+
+TEST(ChaseLevDeque, GrowsPastInitialCapacityWithoutLoss) {
+  ChaseLevDeque<std::uintptr_t> d{4};
+  const std::size_t initial = d.capacity();
+  const std::uintptr_t n = 1000;
+  for (std::uintptr_t i = 1; i <= n; ++i) d.push(i);
+  EXPECT_GT(d.capacity(), initial);
+  EXPECT_EQ(d.size_approx(), n);
+  std::uintptr_t v = 0;
+  for (std::uintptr_t expect = n; expect >= 1; --expect) {
+    ASSERT_TRUE(d.pop(v));
+    ASSERT_EQ(v, expect);
+  }
+  EXPECT_FALSE(d.pop(v));
+}
+
+TEST(ChaseLevDeque, IndexWrapAroundKeepsOrder) {
+  // Push/pop cycles advance top and bottom far beyond the capacity, so the
+  // ring indices wrap many times; order must be preserved throughout.
+  ChaseLevDeque<std::uintptr_t> d{8};
+  std::uintptr_t v = 0;
+  for (std::uintptr_t round = 0; round < 500; ++round) {
+    d.push(round * 3 + 1);
+    d.push(round * 3 + 2);
+    d.push(round * 3 + 3);
+    ASSERT_TRUE(d.steal(v));
+    EXPECT_EQ(v, round * 3 + 1);
+    ASSERT_TRUE(d.pop(v));
+    EXPECT_EQ(v, round * 3 + 3);
+    ASSERT_TRUE(d.pop(v));
+    EXPECT_EQ(v, round * 3 + 2);
+  }
+  EXPECT_TRUE(d.empty_approx());
+}
+
+TEST(ChaseLevDeque, CapacityRoundsUpToPowerOfTwo) {
+  ChaseLevDeque<std::uintptr_t> d{9};
+  EXPECT_EQ(d.capacity(), 16u);
+  ChaseLevDeque<std::uintptr_t> e{1};
+  for (std::uintptr_t i = 0; i < 3; ++i) e.push(i);
+  std::uintptr_t v = 0;
+  ASSERT_TRUE(e.pop(v));
+  EXPECT_EQ(v, 2u);
+}
+
+TEST(ChaseLevDeque, StoresPointers) {
+  // The intended payload: TaskNode*-style pointers.
+  ChaseLevDeque<int*> d;
+  int a = 1;
+  int b = 2;
+  d.push(&a);
+  d.push(&b);
+  int* p = nullptr;
+  ASSERT_TRUE(d.steal(p));
+  EXPECT_EQ(p, &a);
+  ASSERT_TRUE(d.pop(p));
+  EXPECT_EQ(p, &b);
+}
+
+}  // namespace
+}  // namespace redundancy::util

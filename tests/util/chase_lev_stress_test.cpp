@@ -1,0 +1,131 @@
+// Chase–Lev deque stress: owner/thief interleavings meant for the
+// ThreadSanitizer build (-DREDUNDANCY_SANITIZE=thread). Correctness
+// criterion everywhere: every pushed item is consumed exactly once —
+// by the owner or by exactly one thief — and nothing is invented.
+#include "util/chase_lev_deque.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace redundancy::util {
+namespace {
+
+/// Runs `items` values through one owner and `thieves` stealing threads;
+/// returns per-item consumption counts.
+std::vector<std::uint8_t> churn(std::size_t items, std::size_t thieves,
+                                std::size_t initial_capacity) {
+  ChaseLevDeque<std::uintptr_t> deque{initial_capacity};
+  std::vector<std::atomic<std::uint8_t>> seen(items);
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> consumed{0};
+
+  std::vector<std::thread> gang;
+  gang.reserve(thieves);
+  for (std::size_t t = 0; t < thieves; ++t) {
+    gang.emplace_back([&] {
+      std::uintptr_t v = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        if (deque.steal(v)) {
+          seen[v - 1].fetch_add(1, std::memory_order_relaxed);
+          consumed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  // Owner: push in bursts, pop a share back — the worker-loop shape.
+  std::size_t produced = 0;
+  std::size_t popped = 0;
+  std::uintptr_t v = 0;
+  while (produced < items) {
+    for (int burst = 0; burst < 32 && produced < items; ++burst) {
+      deque.push(static_cast<std::uintptr_t>(++produced));
+    }
+    for (int back = 0; back < 8; ++back) {
+      if (deque.pop(v)) {
+        seen[v - 1].fetch_add(1, std::memory_order_relaxed);
+        ++popped;
+      }
+    }
+  }
+  while (deque.pop(v)) {
+    seen[v - 1].fetch_add(1, std::memory_order_relaxed);
+    ++popped;
+  }
+  while (consumed.load(std::memory_order_acquire) + popped < items) {
+    if (deque.pop(v)) {
+      seen[v - 1].fetch_add(1, std::memory_order_relaxed);
+      ++popped;
+    }
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& g : gang) g.join();
+
+  std::vector<std::uint8_t> counts(items);
+  for (std::size_t i = 0; i < items; ++i) {
+    counts[i] = seen[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+TEST(ChaseLevStress, EveryItemConsumedExactlyOnce) {
+  const auto counts = churn(60'000, 3, 64);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    ASSERT_EQ(counts[i], 1u) << "item " << i + 1;
+  }
+}
+
+TEST(ChaseLevStress, GrowUnderConcurrentSteals) {
+  // Tiny initial capacity forces repeated grow() while thieves hold stale
+  // array pointers — exercises the retired-array chain.
+  const auto counts = churn(20'000, 4, 2);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    ASSERT_EQ(counts[i], 1u) << "item " << i + 1;
+  }
+}
+
+TEST(ChaseLevStress, SingleElementContention) {
+  // One element at a time: the owner's pop and the thieves' steals race on
+  // the same slot through the top CAS — the classic Chase–Lev hot spot.
+  ChaseLevDeque<std::uintptr_t> deque{2};
+  constexpr std::size_t kItems = 30'000;
+  std::vector<std::atomic<std::uint8_t>> seen(kItems);
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> consumed{0};
+  std::vector<std::thread> gang;
+  for (std::size_t t = 0; t < 3; ++t) {
+    gang.emplace_back([&] {
+      std::uintptr_t v = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        if (deque.steal(v)) {
+          seen[v - 1].fetch_add(1, std::memory_order_relaxed);
+          consumed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::size_t popped = 0;
+  std::uintptr_t v = 0;
+  for (std::uintptr_t i = 1; i <= kItems; ++i) {
+    deque.push(i);
+    if (deque.pop(v)) {
+      seen[v - 1].fetch_add(1, std::memory_order_relaxed);
+      ++popped;
+    }
+  }
+  while (consumed.load(std::memory_order_acquire) + popped < kItems) {
+    std::this_thread::yield();
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& g : gang) g.join();
+  for (std::size_t i = 0; i < kItems; ++i) {
+    ASSERT_EQ(seen[i].load(), 1u) << "item " << i + 1;
+  }
+}
+
+}  // namespace
+}  // namespace redundancy::util

@@ -38,7 +38,8 @@ TEST(ThreadPool, RunAllExecutesEveryTask) {
 
 TEST(ThreadPool, RunAllOnEmptyIsNoop) {
   ThreadPool pool{2};
-  EXPECT_NO_THROW(pool.run_all({}));
+  EXPECT_NO_THROW(pool.run_all(std::vector<ThreadPool::Task>{}));
+  EXPECT_NO_THROW(pool.run_all(std::span<ThreadPool::Task>{}));
 }
 
 TEST(ThreadPool, ManySubmissionsAllComplete) {
@@ -232,6 +233,137 @@ TEST(ThreadPool, SharedSizeHonoursEnvVariable) {
   EXPECT_GE(ThreadPool::shared_size_from_env(), 8u);
   ::unsetenv("REDUNDANCY_THREADS");
   EXPECT_GE(ThreadPool::shared_size_from_env(), 8u);
+}
+
+TEST(ThreadPool, SharedSizeStrictParseRejectsSignAndWhitespace) {
+  // The parser is digits-only: forms strtoul would have accepted silently
+  // must now fall back loudly.
+  ::setenv("REDUNDANCY_THREADS", "+3", 1);
+  EXPECT_GE(ThreadPool::shared_size_from_env(), 8u);
+  ::setenv("REDUNDANCY_THREADS", " 3", 1);
+  EXPECT_GE(ThreadPool::shared_size_from_env(), 8u);
+  ::setenv("REDUNDANCY_THREADS", "3 ", 1);
+  EXPECT_GE(ThreadPool::shared_size_from_env(), 8u);
+  ::setenv("REDUNDANCY_THREADS", "0x4", 1);
+  EXPECT_GE(ThreadPool::shared_size_from_env(), 8u);
+  ::setenv("REDUNDANCY_THREADS", "-2", 1);
+  EXPECT_GE(ThreadPool::shared_size_from_env(), 8u);
+  ::setenv("REDUNDANCY_THREADS", "", 1);
+  EXPECT_GE(ThreadPool::shared_size_from_env(), 8u);
+  // Boundary values of the accepted range.
+  ::setenv("REDUNDANCY_THREADS", "1", 1);
+  EXPECT_EQ(ThreadPool::shared_size_from_env(), 1u);
+  ::setenv("REDUNDANCY_THREADS", "1024", 1);
+  EXPECT_EQ(ThreadPool::shared_size_from_env(), 1024u);
+  ::setenv("REDUNDANCY_THREADS", "1025", 1);
+  EXPECT_GE(ThreadPool::shared_size_from_env(), 8u);
+  ::unsetenv("REDUNDANCY_THREADS");
+}
+
+TEST(ThreadPool, SubmitBatchRunsEveryTask) {
+  ThreadPool pool{3};
+  std::atomic<int> counter{0};
+  std::vector<ThreadPool::Task> tasks;
+  for (int i = 0; i < 256; ++i) {
+    tasks.emplace_back([&counter] { counter.fetch_add(1); });
+  }
+  pool.submit_batch(tasks);
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 256);
+}
+
+TEST(ThreadPool, SubmitBatchFromWorkerThreadIsStealable) {
+  // A batch posted from inside a worker lands in that worker's own deque;
+  // the other workers must still be able to steal and finish it.
+  ThreadPool pool{3};
+  std::atomic<int> counter{0};
+  auto f = pool.submit([&pool, &counter] {
+    std::vector<ThreadPool::Task> tasks;
+    for (int i = 0; i < 64; ++i) {
+      tasks.emplace_back([&counter] { counter.fetch_add(1); });
+    }
+    pool.submit_batch(tasks);
+    return 1;
+  });
+  EXPECT_EQ(f.get(), 1);
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, SubmitBatchEmptyIsNoop) {
+  ThreadPool pool{2};
+  std::vector<ThreadPool::Task> none;
+  EXPECT_NO_THROW(pool.submit_batch(none));
+  EXPECT_TRUE(pool.idle());
+}
+
+TEST(ThreadPool, IdleReflectsQuiescence) {
+  ThreadPool pool{2};
+  pool.wait_idle();
+  EXPECT_TRUE(pool.idle());
+  std::atomic<bool> release{false};
+  std::atomic<bool> entered{false};
+  pool.post(ThreadPool::Task{[&] {
+    entered.store(true);
+    while (!release.load()) std::this_thread::yield();
+  }});
+  while (!entered.load()) std::this_thread::yield();
+  EXPECT_FALSE(pool.idle());  // a task is running: active_ > 0
+  release.store(true);
+  pool.wait_idle();
+  EXPECT_TRUE(pool.idle());
+}
+
+TEST(BatchRunner, DispatchRunsEverythingAdded) {
+  ThreadPool pool{2};
+  BatchRunner runner{&pool};
+  EXPECT_TRUE(runner.empty());
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 32; ++i) {
+    runner.add([&counter] { counter.fetch_add(1); });
+  }
+  EXPECT_EQ(runner.size(), 32u);
+  runner.dispatch();
+  EXPECT_TRUE(runner.empty());  // drained, capacity retained
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(BatchRunner, RunAndWaitIsABarrierAndReusable) {
+  ThreadPool pool{3};
+  BatchRunner runner{&pool};
+  std::atomic<int> counter{0};
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    for (int i = 0; i < 16; ++i) {
+      runner.add([&counter] { counter.fetch_add(1); });
+    }
+    runner.run_and_wait();
+    // Barrier semantics: all of this epoch's tasks completed before return.
+    EXPECT_EQ(counter.load(), (epoch + 1) * 16);
+    EXPECT_TRUE(runner.empty());
+  }
+}
+
+TEST(BatchRunner, RunAndWaitForwardsFirstException) {
+  ThreadPool pool{2};
+  BatchRunner runner{&pool};
+  std::atomic<int> survived{0};
+  runner.add([] { throw std::runtime_error{"batch boom"}; });
+  for (int i = 0; i < 4; ++i) {
+    runner.add([&survived] { survived.fetch_add(1); });
+  }
+  EXPECT_THROW(runner.run_and_wait(ThreadPool::ExceptionPolicy::forward),
+               std::runtime_error);
+  EXPECT_EQ(survived.load(), 4);  // the throw does not abort the batch
+}
+
+TEST(BatchRunner, DefaultsToTheSharedPool) {
+  BatchRunner runner;
+  std::atomic<int> counter{0};
+  runner.add([&counter] { counter.fetch_add(1); });
+  runner.run_and_wait();
+  EXPECT_EQ(counter.load(), 1);
+  EXPECT_EQ(&runner.pool(), &ThreadPool::shared());
 }
 
 TEST(CancellationToken, CopiesShareTheFlag) {
