@@ -26,6 +26,22 @@
 // ChaseLevDeque while three thieves spin stealing; each successful steal
 // is timed around the steal() call itself. Reported as p50/p95/p99.
 //
+// Part D (the PR-6 gate) — contended external submission. Eight submitter
+// threads hammer post() concurrently; the single-lane shape (injector_lanes
+// = 1, the PR-5 centralized injector) is measured against the sharded
+// default. Per-post latency is sampled inside the submitters, throughput
+// from the wall clock. Gate: sharded/single >= 1.3x — enforced only when
+// hardware_concurrency >= 4 (on fewer cores the submitters are serialized
+// by the scheduler and the lock is not the bottleneck; reported otherwise).
+//
+// Part E (reported) — steal distribution. One external submitter feeds its
+// single home lane in batches while every worker must pull the backlog out
+// through lane drains + topology-ordered steal sweeps; reported as task/s.
+//
+// Part F (reported) — metric shard throughput. All threads hammer one
+// obs::Counter and one obs::Histogram; totals are checked exactly (the
+// sharding must never lose an increment).
+//
 // Emits BENCH_exp_engine_throughput.json in the bench_json_main schema
 // (percentiles are exact order statistics over the recorded samples).
 #include <algorithm>
@@ -63,6 +79,13 @@ constexpr double kSpeedupGate = 2.0;
 
 constexpr std::size_t kStealItems = 400'000;
 constexpr std::size_t kThieves = 3;
+
+constexpr std::size_t kSubmitters = 8;       // Part D contended submitters
+constexpr std::size_t kSubmitTasks = 8'000;  // per submitter per round
+constexpr double kShardGate = 1.3;           // Part D gate (>= 4 cores only)
+
+constexpr std::size_t kFanoutTasks = 100'000;  // Part E, per round
+constexpr std::size_t kMetricOps = 200'000;    // Part F, per thread per round
 
 std::uint64_t splitmix(std::uint64_t& state) {
   std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
@@ -556,6 +579,147 @@ Series bench_steal_latency() {
   return s;
 }
 
+// --------------------------------------------------------------------------
+// Part D: contended external submission (the PR-6 gate)
+// --------------------------------------------------------------------------
+
+/// kSubmitters external threads hammer post() concurrently into a pool
+/// built with `lanes` injector lanes (1 = the PR-5 centralized injector,
+/// 0 = the sharded default). Throughput comes from the wall clock over
+/// submit+drain; the latency distribution from sampling every 32nd post()
+/// call inside the submitters — that is the operation the lane sharding
+/// exists to de-serialize.
+Series bench_contended_submission(std::size_t threads, std::size_t lanes) {
+  Series best;
+  for (int r = 0; r < kRounds; ++r) {
+    util::ThreadPool pool{threads, lanes};
+    std::atomic<std::size_t> executed{0};
+    std::atomic<bool> go{false};
+    std::vector<std::vector<double>> samples(kSubmitters);
+    std::vector<std::thread> submitters;
+    submitters.reserve(kSubmitters);
+    for (std::size_t t = 0; t < kSubmitters; ++t) {
+      submitters.emplace_back([&, t] {
+        auto& mine = samples[t];
+        mine.reserve(kSubmitTasks / 32 + 1);
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        for (std::size_t i = 0; i < kSubmitTasks; ++i) {
+          const bool sampled = i % 32 == 0;
+          const std::uint64_t p0 = sampled ? obs::now_ns() : 0;
+          pool.post(util::ThreadPool::Task{[&executed] {
+            executed.fetch_add(1, std::memory_order_relaxed);
+          }});
+          if (sampled) mine.push_back(double(obs::now_ns() - p0));
+        }
+      });
+    }
+    const std::uint64_t t0 = obs::now_ns();
+    go.store(true, std::memory_order_release);
+    for (auto& t : submitters) t.join();
+    pool.wait_idle();
+    const std::uint64_t wall = obs::now_ns() - t0;
+    if (executed.load() != kSubmitters * kSubmitTasks) {
+      std::fprintf(stderr,
+                   "exp_engine_throughput: %zu-lane pool lost submissions\n",
+                   pool.injector_lanes());
+      std::exit(2);
+    }
+    Series s;
+    s.mean_ns = double(wall) / double(kSubmitters * kSubmitTasks);
+    for (auto& v : samples) {
+      s.latency_ns.insert(s.latency_ns.end(), v.begin(), v.end());
+    }
+    if (best.mean_ns == 0.0 || s.mean_ns < best.mean_ns) best = std::move(s);
+  }
+  return best;
+}
+
+// --------------------------------------------------------------------------
+// Part E: steal distribution (reported)
+// --------------------------------------------------------------------------
+
+/// One external submitter's whole backlog chains into its single home lane;
+/// the workers must spread it across themselves through lane drains and
+/// topology-ordered steal sweeps. Measures how fast a lopsided backlog is
+/// redistributed, wave by wave.
+Series bench_steal_distribution(std::size_t threads) {
+  Series best;
+  for (int r = 0; r < kRounds; ++r) {
+    util::ThreadPool pool{threads};
+    std::atomic<std::size_t> executed{0};
+    Series s;
+    s.latency_ns.reserve(kFanoutTasks / kWave + 1);
+    const std::uint64_t t0 = obs::now_ns();
+    for (std::size_t base = 0; base < kFanoutTasks; base += kWave) {
+      const std::size_t end = std::min(base + kWave, kFanoutTasks);
+      const std::uint64_t w0 = obs::now_ns();
+      std::vector<util::ThreadPool::Task> batch;
+      batch.reserve(end - base);
+      for (std::size_t i = base; i < end; ++i) {
+        batch.emplace_back([&executed, i] {
+          executed.fetch_add(
+              std::size_t(1) + std::size_t(campaign_body(int(i)) & 0),
+              std::memory_order_relaxed);
+        });
+      }
+      pool.submit_batch(batch);
+      while (!pool.idle()) std::this_thread::yield();
+      s.latency_ns.push_back(double(obs::now_ns() - w0) / double(end - base));
+    }
+    s.mean_ns = double(obs::now_ns() - t0) / double(kFanoutTasks);
+    if (executed.load() != kFanoutTasks) {
+      std::fprintf(stderr, "exp_engine_throughput: fan-out lost tasks\n");
+      std::exit(2);
+    }
+    if (best.mean_ns == 0.0 || s.mean_ns < best.mean_ns) best = std::move(s);
+  }
+  return best;
+}
+
+// --------------------------------------------------------------------------
+// Part F: metric shard throughput (reported)
+// --------------------------------------------------------------------------
+
+/// All threads hammer one obs::Counter and one obs::Histogram — the single
+/// hottest metric pattern in the engine hot path. The sharding must never
+/// lose an increment: totals are checked exactly after every round.
+Series bench_metric_shards(std::size_t threads) {
+  Series best;
+  for (int r = 0; r < kRounds; ++r) {
+    obs::Counter counter;
+    obs::Histogram histogram;
+    std::atomic<bool> go{false};
+    std::vector<double> per_thread_ns(threads, 0.0);
+    std::vector<std::thread> hammers;
+    hammers.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      hammers.emplace_back([&, t] {
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        const std::uint64_t h0 = obs::now_ns();
+        for (std::size_t i = 0; i < kMetricOps; ++i) {
+          counter.add(1);
+          histogram.record(i & 0xFFF);
+        }
+        per_thread_ns[t] = double(obs::now_ns() - h0) / double(kMetricOps);
+      });
+    }
+    const std::uint64_t t0 = obs::now_ns();
+    go.store(true, std::memory_order_release);
+    for (auto& t : hammers) t.join();
+    const std::uint64_t wall = obs::now_ns() - t0;
+    if (counter.total() != threads * kMetricOps ||
+        histogram.count() != threads * kMetricOps) {
+      std::fprintf(stderr, "exp_engine_throughput: metric shards lost ops\n");
+      std::exit(2);
+    }
+    Series s;
+    s.latency_ns = per_thread_ns;  // per-thread mean ns per add+record pair
+    s.mean_ns = double(wall) / double(threads * kMetricOps);
+    if (best.mean_ns == 0.0 || s.mean_ns < best.mean_ns) best = std::move(s);
+  }
+  return best;
+}
+
 void write_json(const std::vector<std::pair<std::string, Series>>& all,
                 std::size_t threads) {
   const char* path = "BENCH_exp_engine_throughput.json";
@@ -639,12 +803,57 @@ int main() {
               steal.latency_ns.size(), steal.percentile(50.0),
               steal.percentile(95.0), steal.percentile(99.0));
 
+  std::printf("Part D: contended external submission, %zu submitters x %zu "
+              "post()s, single lane vs sharded default, best of %d\n",
+              kSubmitters, kSubmitTasks, kRounds);
+  const Series submit_single = bench_contended_submission(threads, 1);
+  const Series submit_sharded = bench_contended_submission(threads, 0);
+  const double shard_speedup = submit_sharded.mean_ns > 0.0
+                                   ? submit_single.mean_ns /
+                                         submit_sharded.mean_ns
+                                   : 0.0;
+  std::printf("  %-28s %10.1f ns/task %12.0f task/s  p99 post %6.0f ns\n",
+              "single injector (PR-5)", submit_single.mean_ns,
+              submit_single.ops_per_sec(), submit_single.percentile(99.0));
+  std::printf("  %-28s %10.1f ns/task %12.0f task/s  p99 post %6.0f ns\n",
+              "sharded injector", submit_sharded.mean_ns,
+              submit_sharded.ops_per_sec(), submit_sharded.percentile(99.0));
+  const bool shard_gate_active = std::thread::hardware_concurrency() >= 4;
+  const bool shard_pass = !shard_gate_active || shard_speedup >= kShardGate;
+  if (shard_gate_active) {
+    std::printf("  speedup %.2fx (gate >= %.1fx) -> %s\n\n", shard_speedup,
+                kShardGate, shard_pass ? "PASS" : "FAIL");
+  } else {
+    std::printf("  speedup %.2fx (gate >= %.1fx skipped: < 4 cores, "
+                "submitters are time-sliced so the lane lock is not the "
+                "bottleneck)\n\n",
+                shard_speedup, kShardGate);
+  }
+
+  const Series fanout = bench_steal_distribution(threads);
+  std::printf("Part E: steal distribution, 1 submitter's lane fanned out to "
+              "%zu workers, %zu tasks (reported, no gate)\n",
+              threads, kFanoutTasks);
+  std::printf("  %10.1f ns/task %12.0f task/s  p99/wave %6.0f ns\n\n",
+              fanout.mean_ns, fanout.ops_per_sec(), fanout.percentile(99.0));
+
+  const Series metric = bench_metric_shards(threads);
+  std::printf("Part F: metric shard throughput, %zu threads x %zu "
+              "Counter::add + Histogram::record pairs (reported, no gate)\n",
+              threads, kMetricOps);
+  std::printf("  %10.1f ns/pair %12.0f pair/s  worst thread %6.0f ns/pair\n\n",
+              metric.mean_ns, metric.ops_per_sec(), metric.percentile(99.0));
+
   write_json({{"engine_mutex_campaign", mutex_campaign},
               {"engine_lockfree_campaign", lockfree_campaign},
               {"pattern_mutex_serve", mutex_patterns},
               {"pattern_lockfree_serve", lockfree_patterns},
-              {"steal_latency", steal}},
+              {"steal_latency", steal},
+              {"submit_single_lane", submit_single},
+              {"submit_sharded", submit_sharded},
+              {"steal_distribution", fanout},
+              {"obs_metric_shards", metric}},
              threads);
 
-  return pass ? 0 : 1;
+  return pass && shard_pass ? 0 : 1;
 }

@@ -3,9 +3,15 @@
 
 Every BENCH_<name>.json under the baseline directory must have a matching
 fresh file in the results directory, and every benchmark series in the
-baseline must still exist with ops_per_sec no more than --threshold below
-the recorded value. Improvements and small wobble pass; a missing file,
-a vanished series, or a regression beyond the threshold fails the run.
+baseline must still exist. All numeric metrics shared by baseline and
+candidate are compared in a per-metric delta table; the pass/fail gate is
+ops_per_sec (throughput must not drop more than --threshold below the
+recorded value — improvements and small wobble pass). Latency metrics
+(latency_ns_*) are direction-aware in the table (lower is better) but
+report-only: percentile tails are too machine-noisy to gate on.
+
+A missing file, a vanished series, or an ops_per_sec regression beyond the
+threshold fails the run.
 
 Baselines are machine-specific throughput snapshots: refresh them
 (--update) whenever the benchmark machine or the intended performance
@@ -24,18 +30,62 @@ import pathlib
 import shutil
 import sys
 
+# Metrics excluded from the delta table: identity/shape fields, not
+# performance measurements.
+NON_METRIC_KEYS = {"name", "repetitions", "threads"}
+
+# The only gated metric. Everything else in the table is report-only.
+GATED_METRIC = "ops_per_sec"
+
 
 def load_series(path):
-    """Map benchmark name -> ops_per_sec for one BENCH_*.json file."""
+    """Map benchmark name -> {metric: value} for one BENCH_*.json file."""
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
     series = {}
     for bench in doc.get("benchmarks", []):
         name = bench.get("name")
-        ops = bench.get("ops_per_sec")
-        if name is not None and isinstance(ops, (int, float)):
-            series[name] = float(ops)
+        if name is None:
+            continue
+        metrics = {}
+        for key, value in bench.items():
+            if key in NON_METRIC_KEYS:
+                continue
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                metrics[key] = float(value)
+        series[name] = metrics
     return series
+
+
+def lower_is_better(metric):
+    return metric.startswith("latency")
+
+
+def compare_series(file_name, name, base, fresh, threshold, failures):
+    """Print the per-metric delta table for one series; record failures."""
+    for metric in sorted(set(base) & set(fresh)):
+        base_v, fresh_v = base[metric], fresh[metric]
+        delta = (fresh_v - base_v) / base_v if base_v else 0.0
+        improved = delta < 0.0 if lower_is_better(metric) else delta > 0.0
+        gated = metric == GATED_METRIC
+        regressed = gated and fresh_v < base_v * (1.0 - threshold)
+        if regressed:
+            verdict = "REGRESSION"
+        elif not gated:
+            verdict = "better" if improved and abs(delta) > 1e-9 else "info"
+        else:
+            verdict = "ok"
+        print(f"  {name:<26} {metric:<17} {base_v:>14.1f} -> "
+              f"{fresh_v:>14.1f}  ({delta:+7.1%})  {verdict}")
+        if regressed:
+            failures.append(
+                f"{file_name}: '{name}' {metric} {fresh_v:.0f} is "
+                f"{-delta:.1%} below baseline {base_v:.0f} "
+                f"(threshold {threshold:.0%})")
+    for metric in sorted(set(base) - set(fresh)):
+        print(f"  {name:<26} {metric:<17} only in baseline (skipped)")
+    for metric in sorted(set(fresh) - set(base)):
+        print(f"  {name:<26} {metric:<17} new metric (no baseline)")
 
 
 def main():
@@ -86,21 +136,14 @@ def main():
         base = load_series(base_path)
         fresh = load_series(fresh_path)
         print(f"== {base_path.name}")
-        for name, base_ops in sorted(base.items()):
+        for name, base_metrics in sorted(base.items()):
             if name not in fresh:
                 failures.append(f"{base_path.name}: series '{name}' vanished")
                 continue
-            fresh_ops = fresh[name]
-            delta = (fresh_ops - base_ops) / base_ops if base_ops else 0.0
-            floor = base_ops * (1.0 - args.threshold)
-            verdict = "ok" if fresh_ops >= floor else "REGRESSION"
-            print(f"  {name:<32} {base_ops:>14.0f} -> {fresh_ops:>14.0f} "
-                  f"ops/s  ({delta:+6.1%})  {verdict}")
-            if fresh_ops < floor:
-                failures.append(
-                    f"{base_path.name}: '{name}' {fresh_ops:.0f} ops/s is "
-                    f"{-delta:.1%} below baseline {base_ops:.0f} "
-                    f"(threshold {args.threshold:.0%})")
+            compare_series(base_path.name, name, base_metrics, fresh[name],
+                           args.threshold, failures)
+        for name in sorted(set(fresh) - set(base)):
+            print(f"  {name:<26} new series (no baseline — run --update)")
 
     if failures:
         print(f"\n{len(failures)} regression(s):", file=sys.stderr)

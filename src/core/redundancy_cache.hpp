@@ -57,6 +57,7 @@
 #include "core/result.hpp"
 #include "obs/clock.hpp"
 #include "obs/obs.hpp"
+#include "util/cacheline.hpp"
 #include "util/checksum.hpp"
 #include "util/thread_pool.hpp"
 
@@ -408,6 +409,14 @@ class RedundancyCache {
   [[nodiscard]] std::size_t shard_count() const noexcept {
     return shards_.size();
   }
+  /// Layout introspection for tests/util/layout_test.cpp: the per-shard
+  /// header (mutex first) must start on its own cache line.
+  [[nodiscard]] static constexpr std::size_t shard_alignment() noexcept {
+    return alignof(Shard);
+  }
+  [[nodiscard]] const void* shard_addr(std::size_t i) const noexcept {
+    return shards_[i].get();
+  }
 
  private:
   struct Entry {
@@ -426,7 +435,12 @@ class RedundancyCache {
     std::optional<Result<Out>> result;
   };
 
-  struct Shard {
+  // Cache-line aligned so the shard header — the mutex every operation on
+  // the shard spins through — starts on its own line. Shards are allocated
+  // individually, so the alignment (not allocator luck) is what keeps one
+  // shard's lock traffic from invalidating a neighbouring allocation
+  // (FL001); layout_test.cpp asserts the alignment survives refactors.
+  struct alignas(util::kCacheLine) Shard {
     explicit Shard(std::size_t cap) : capacity(cap < 1 ? 1 : cap), sketch(cap) {
       map.reserve(capacity + 1);
     }

@@ -7,12 +7,12 @@
 // core/patterns.hpp compose sets of variants with adjudicators.
 #pragma once
 
-#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/result.hpp"
+#include "util/small_function.hpp"
 
 namespace redundancy::core {
 
@@ -21,8 +21,12 @@ struct Variant {
   /// Human-readable identity ("version-A", "sqrt/newton", endpoint URL...).
   std::string name;
   /// The implementation. Must be callable concurrently if the enclosing
-  /// pattern is configured for threaded execution.
-  std::function<Result<Out>(const In&)> fn;
+  /// pattern is configured for threaded execution. SmallFunction, not
+  /// std::function: invoking a variant is the single hottest indirect call
+  /// in the engine (every task of every fan-out), and the 64-byte inline
+  /// buffer keeps the closure state on the wrapper's own cache lines
+  /// instead of behind libstdc++'s manager-thunk double hop (FL031).
+  util::SmallFunction<Result<Out>(const In&)> fn;
   /// Abstract execution cost (used by the cost-of-redundancy experiments;
   /// sequential patterns consume cost only for the variants they run).
   double cost = 1.0;
@@ -34,7 +38,7 @@ struct Variant {
 
 template <typename In, typename Out>
 [[nodiscard]] Variant<In, Out> make_variant(
-    std::string name, std::function<Result<Out>(const In&)> fn,
+    std::string name, util::SmallFunction<Result<Out>(const In&)> fn,
     double cost = 1.0) {
   return Variant<In, Out>{std::move(name), std::move(fn), cost, true};
 }
@@ -49,8 +53,10 @@ struct Ballot {
 
 /// Explicit adjudicator: judges a single (input, output) pair — the
 /// "acceptance test" of recovery blocks and self-checking components.
+/// SmallFunction for the same reason as Variant::fn: acceptance runs once
+/// per produced output on the pattern hot path.
 template <typename In, typename Out>
-using AcceptanceTest = std::function<bool(const In&, const Out&)>;
+using AcceptanceTest = util::SmallFunction<bool(const In&, const Out&)>;
 
 /// Trivially accepting test (useful to degrade a pattern to "first result").
 template <typename In, typename Out>

@@ -28,12 +28,19 @@
 
 #include "core/variant.hpp"
 #include "util/arena.hpp"
+#include "util/small_function.hpp"
 #include "util/wordwise.hpp"
 
 namespace redundancy::core {
 
+/// The adjudicator slot of every voting pattern. SmallFunction, not
+/// std::function: the voter runs once per adjudication round (and once per
+/// *ballot* in incremental adjudication), and every voter this header
+/// builds fits the 64-byte inline buffer — so adjudication never chases a
+/// heap-allocated closure (FL031).
 template <typename Out>
-using Voter = std::function<Result<Out>(const std::vector<Ballot<Out>>&)>;
+using Voter =
+    util::SmallFunction<Result<Out>(const std::vector<Ballot<Out>>&)>;
 
 namespace voter_detail {
 

@@ -9,11 +9,19 @@
 // which worker processed it or of how many requests ran before it — so
 // run_campaign_parallel produces byte-identical counts for any worker count,
 // and identical to the serial run_campaign.
+//
+// The workload/system/oracle slots are generic callable template parameters,
+// not std::function: the campaign loop invokes all three once per request,
+// and with the concrete closure types visible the compiler inlines them into
+// the loop body — the previous std::function signatures put two erased
+// indirect calls (and a possible heap-allocated closure) on every request of
+// every experiment (FL031). Call sites are unchanged: they already name the
+// <In, Out> pair explicitly and pass raw lambdas.
 #pragma once
 
 #include <algorithm>
-#include <functional>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -55,11 +63,11 @@ namespace detail {
 
 /// Judge one request and record it. Shared by the serial and parallel
 /// runners so their per-request behaviour cannot drift apart.
-template <typename In, typename Out>
+template <typename In, typename Out, typename Workload, typename System,
+          typename Oracle>
 void campaign_step(CampaignReport& report, std::size_t i, const util::Rng& base,
-                   const std::function<In(std::size_t, util::Rng&)>& workload,
-                   const std::function<core::Result<Out>(const In&)>& system,
-                   const std::function<Out(const In&)>& oracle) {
+                   const Workload& workload, const System& system,
+                   const Oracle& oracle) {
   util::Rng rng = base.split(i);
   const In input = workload(i, rng);
   std::uint64_t t0 = 0;
@@ -95,11 +103,10 @@ void campaign_step(CampaignReport& report, std::size_t i, const util::Rng& base,
 
 /// Run `requests` inputs from `workload` through `system`, judging each
 /// output against `oracle`.
-template <typename In, typename Out>
+template <typename In, typename Out, typename Workload, typename System,
+          typename Oracle>
 CampaignReport run_campaign(std::string name, std::size_t requests,
-                            std::function<In(std::size_t, util::Rng&)> workload,
-                            std::function<core::Result<Out>(const In&)> system,
-                            std::function<Out(const In&)> oracle,
+                            Workload workload, System system, Oracle oracle,
                             std::uint64_t seed = 1) {
   CampaignReport report;
   report.name = std::move(name);
@@ -122,13 +129,19 @@ CampaignReport run_campaign(std::string name, std::size_t requests,
 /// the system's response to request i does not depend on which requests it
 /// served before (true of the stateless systems the experiments measure).
 /// Task exceptions are forwarded to the caller.
-template <typename In, typename Out>
-CampaignReport run_campaign_parallel(
-    std::string name, std::size_t requests,
-    std::function<In(std::size_t, util::Rng&)> workload,
-    std::function<std::function<core::Result<Out>(const In&)>()> system_factory,
-    std::function<Out(const In&)> oracle, std::uint64_t seed = 1,
-    std::size_t workers = 0) {
+///
+/// The two run_campaign_parallel overloads are told apart by how the fourth
+/// argument is invocable: a nullary callable is a system *factory*, a
+/// callable taking `const In&` is a shared system (overload below).
+template <typename In, typename Out, typename Workload, typename SystemFactory,
+          typename Oracle,
+          std::enable_if_t<std::is_invocable_v<SystemFactory&>, int> = 0>
+CampaignReport run_campaign_parallel(std::string name, std::size_t requests,
+                                     Workload workload,
+                                     SystemFactory system_factory,
+                                     Oracle oracle, std::uint64_t seed = 1,
+                                     std::size_t workers = 0) {
+  using System = std::decay_t<std::invoke_result_t<SystemFactory&>>;
   auto& pool = util::ThreadPool::shared();
   if (workers == 0) workers = pool.size();
   workers = std::clamp<std::size_t>(workers, 1, std::max<std::size_t>(1, requests));
@@ -138,7 +151,7 @@ CampaignReport run_campaign_parallel(
   const obs::SpanContext ctx = span.context();
 
   const util::Rng base{seed};
-  std::vector<std::function<core::Result<Out>(const In&)>> systems;
+  std::vector<System> systems;
   systems.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) systems.push_back(system_factory());
 
@@ -173,13 +186,15 @@ CampaignReport run_campaign_parallel(
 
 /// Convenience overload for a single thread-safe (typically stateless)
 /// system shared by every shard.
-template <typename In, typename Out>
-CampaignReport run_campaign_parallel(
-    std::string name, std::size_t requests,
-    std::function<In(std::size_t, util::Rng&)> workload,
-    std::function<core::Result<Out>(const In&)> system,
-    std::function<Out(const In&)> oracle, std::uint64_t seed = 1,
-    std::size_t workers = 0) {
+template <typename In, typename Out, typename Workload, typename System,
+          typename Oracle,
+          std::enable_if_t<std::is_invocable_v<System&, const In&> &&
+                               !std::is_invocable_v<System&>,
+                           int> = 0>
+CampaignReport run_campaign_parallel(std::string name, std::size_t requests,
+                                     Workload workload, System system,
+                                     Oracle oracle, std::uint64_t seed = 1,
+                                     std::size_t workers = 0) {
   return run_campaign_parallel<In, Out>(
       std::move(name), requests, std::move(workload),
       [&system] { return system; }, std::move(oracle), seed, workers);

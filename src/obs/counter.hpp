@@ -1,60 +1,79 @@
-// Lock-sharded monotonic counter.
+// Lock-free sharded monotonic counter.
 //
 // Hot paths (pool workers, variant tasks) bump a per-thread shard with one
 // relaxed atomic add on a private cache line; readers sum the shards. The
 // total is exact — shards are plain partial sums, so merging snapshots from
 // different shards/processes is ordinary addition and a sharded campaign
 // reports byte-identical totals for any worker count or interleaving.
+//
+// The shard count scales with the machine (obs/shard.hpp): a power of two
+// covering hardware_concurrency(), clamped to [4, 64], decided once per
+// process. Each shard is alignas(kCacheLine) and padded to exactly one
+// line, so two threads on different shards never invalidate each other —
+// the fixed 16-shard array this replaces aliased threads 1 and 17 onto one
+// line on wide machines (FL001).
 #pragma once
 
-#include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+
+#include "obs/shard.hpp"
+#include "util/cacheline.hpp"
 
 namespace redundancy::obs {
 
 class Counter {
  public:
-  static constexpr std::size_t kShards = 16;
+  Counter()
+      : mask_(detail::counter_shards() - 1),
+        shards_(new Shard[detail::counter_shards()]) {}
 
-  Counter() = default;
   Counter(const Counter&) = delete;
   Counter& operator=(const Counter&) = delete;
 
   /// Add `n` to the calling thread's shard (relaxed; never blocks).
   void add(std::uint64_t n = 1) noexcept {
-    shards_[shard_index()].value.fetch_add(n, std::memory_order_relaxed);
+    shards_[detail::thread_shard_cookie() & mask_].value.fetch_add(
+        n, std::memory_order_relaxed);
   }
 
   /// Exact sum over all shards.
   [[nodiscard]] std::uint64_t total() const noexcept {
     std::uint64_t sum = 0;
-    for (const auto& s : shards_) {
-      sum += s.value.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      sum += shards_[i].value.load(std::memory_order_relaxed);
     }
     return sum;
   }
 
   void reset() noexcept {
-    for (auto& s : shards_) s.value.store(0, std::memory_order_relaxed);
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      shards_[i].value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  [[nodiscard]] std::size_t shards() const noexcept { return mask_ + 1; }
+
+  /// Layout introspection for tests/util/layout_test.cpp: address of shard
+  /// `i`'s hot word, and the stride between adjacent shards.
+  [[nodiscard]] const void* shard_addr(std::size_t i) const noexcept {
+    return &shards_[i].value;
+  }
+  [[nodiscard]] static constexpr std::size_t shard_stride() noexcept {
+    return sizeof(Shard);
   }
 
  private:
-  struct alignas(64) Shard {
+  struct alignas(util::kCacheLine) Shard {
     std::atomic<std::uint64_t> value{0};
   };
+  static_assert(sizeof(Shard) == util::kCacheLine,
+                "a counter shard must occupy exactly one cache line");
 
-  /// Threads are spread over shards round-robin at first use; the index is
-  /// sticky per thread so a worker always hits the same cache line.
-  [[nodiscard]] static std::size_t shard_index() noexcept {
-    static std::atomic<std::size_t> next{0};
-    thread_local const std::size_t mine =
-        next.fetch_add(1, std::memory_order_relaxed) % kShards;
-    return mine;
-  }
-
-  std::array<Shard, kShards> shards_;
+  std::size_t mask_;  ///< shard count - 1 (power of two)
+  std::unique_ptr<Shard[]> shards_;
 };
 
 }  // namespace redundancy::obs

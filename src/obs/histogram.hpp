@@ -2,20 +2,32 @@
 //
 // Bucket b counts samples whose value v satisfies 2^(b-1) < v <= 2^b (bucket
 // 0 counts v <= 1), i.e. the bucket index of v > 1 is bit_width(v - 1).
-// Recording is one relaxed atomic add on a bucket plus count/sum updates —
-// cheap enough for per-task latencies on the pool hot path. Buckets, count
-// and sum are exact integers, so HistogramSnapshot::merge is plain addition
-// and sharded campaigns aggregate to byte-identical snapshots regardless of
-// worker count or interleaving. Percentiles are estimated by log-linear
-// interpolation inside the winning bucket; they are a deterministic function
-// of the (exact) bucket counts.
+// Recording is three relaxed atomic adds (bucket, count, sum) — cheap enough
+// for per-task latencies on the pool hot path. Buckets, count and sum are
+// exact integers, so HistogramSnapshot::merge is plain addition and sharded
+// campaigns aggregate to byte-identical snapshots regardless of worker count
+// or interleaving. Percentiles are estimated by log-linear interpolation
+// inside the winning bucket; they are a deterministic function of the
+// (exact) bucket counts.
+//
+// The histogram is sharded like obs::Counter (obs/shard.hpp): each writer
+// thread lands on a sticky cache-line-aligned shard holding its own bucket
+// array + count + sum, so two workers recording task latencies never touch
+// the same lines — the previous single-shard layout made count_/sum_ a
+// process-global contention point on every record() (FL001/FL041). A shard
+// is ~9 cache lines, so the shard count is capped lower than the counter's
+// (16); snapshot() sums shard-wise, which keeps totals exact.
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
+
+#include "obs/shard.hpp"
+#include "util/cacheline.hpp"
 
 namespace redundancy::obs {
 
@@ -48,44 +60,76 @@ class Histogram {
  public:
   static constexpr std::size_t kBuckets = HistogramSnapshot::kBuckets;
 
-  Histogram() = default;
+  Histogram()
+      : mask_(detail::histogram_shards() - 1),
+        shards_(new Shard[detail::histogram_shards()]) {}
+
   Histogram(const Histogram&) = delete;
   Histogram& operator=(const Histogram&) = delete;
 
-  /// Record one sample (relaxed; never blocks).
+  /// Record one sample (relaxed; never blocks). All three adds hit the
+  /// calling thread's own shard.
   void record(std::uint64_t value) noexcept {
-    buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
-    count_.fetch_add(1, std::memory_order_relaxed);
-    sum_.fetch_add(value, std::memory_order_relaxed);
+    Shard& s = shards_[detail::thread_shard_cookie() & mask_];
+    s.buckets[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(value, std::memory_order_relaxed);
   }
 
   [[nodiscard]] HistogramSnapshot snapshot() const noexcept {
-    HistogramSnapshot s;
-    for (std::size_t b = 0; b < kBuckets; ++b) {
-      s.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+    HistogramSnapshot out;
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      const Shard& s = shards_[i];
+      for (std::size_t b = 0; b < kBuckets; ++b) {
+        out.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+      }
+      out.count += s.count.load(std::memory_order_relaxed);
+      out.sum += s.sum.load(std::memory_order_relaxed);
     }
-    s.count = count_.load(std::memory_order_relaxed);
-    s.sum = sum_.load(std::memory_order_relaxed);
-    return s;
+    return out;
   }
 
   [[nodiscard]] std::uint64_t count() const noexcept {
-    return count_.load(std::memory_order_relaxed);
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      total += shards_[i].count.load(std::memory_order_relaxed);
+    }
+    return total;
   }
 
   void reset() noexcept {
-    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
-    count_.store(0, std::memory_order_relaxed);
-    sum_.store(0, std::memory_order_relaxed);
+    for (std::size_t i = 0; i <= mask_; ++i) {
+      Shard& s = shards_[i];
+      for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+      s.count.store(0, std::memory_order_relaxed);
+      s.sum.store(0, std::memory_order_relaxed);
+    }
   }
+
+  [[nodiscard]] std::size_t shards() const noexcept { return mask_ + 1; }
 
   /// Index of the bucket that counts `value`.
   [[nodiscard]] static std::size_t bucket_of(std::uint64_t value) noexcept;
 
+  /// Layout introspection for tests/util/layout_test.cpp.
+  [[nodiscard]] const void* shard_addr(std::size_t i) const noexcept {
+    return &shards_[i];
+  }
+  [[nodiscard]] static constexpr std::size_t shard_stride() noexcept {
+    return sizeof(Shard);
+  }
+
  private:
-  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<std::uint64_t> sum_{0};
+  struct alignas(util::kCacheLine) Shard {
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+  };
+  static_assert(sizeof(Shard) % util::kCacheLine == 0,
+                "adjacent histogram shards must not share a cache line");
+
+  std::size_t mask_;  ///< shard count - 1 (power of two)
+  std::unique_ptr<Shard[]> shards_;
 };
 
 }  // namespace redundancy::obs

@@ -1,0 +1,51 @@
+// Shared sharding policy for the obs:: metric primitives.
+//
+// Counter and Histogram spread writers over cache-line-aligned shards so
+// concurrent hot paths never bump the same line. The shard counts scale
+// with the machine instead of a fixed 16 (the PR-4 shape): a 64-way box
+// gets 64 counter shards, a 2-core CI runner pays for 4. Both counts are
+// powers of two so the sticky per-thread cookie maps to a shard with one
+// AND — and because every metric uses the same cookie, a given thread
+// lands on the same shard index in every counter and histogram it touches,
+// keeping its metric working set at one line per metric.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+
+#include "util/cacheline.hpp"
+
+namespace redundancy::obs::detail {
+
+/// Sticky per-thread shard cookie: threads are numbered round-robin at
+/// first use; metrics reduce the cookie with `cookie & (shards - 1)`.
+[[nodiscard]] inline std::size_t thread_shard_cookie() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t mine =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return mine;
+}
+
+/// Counter shards: power of two covering the hardware thread count,
+/// clamped to [4, 64]. A shard is one cache line (8 payload bytes), so
+/// even the 64-shard ceiling costs 4 KiB per counter.
+[[nodiscard]] inline std::size_t counter_shards() noexcept {
+  static const std::size_t n = [] {
+    std::size_t hw = std::thread::hardware_concurrency();
+    if (hw < 4) hw = 4;
+    if (hw > 64) hw = 64;
+    return util::round_up_pow2(hw);
+  }();
+  return n;
+}
+
+/// Histogram shards: same scaling, but capped at 16 — a histogram shard
+/// carries 64 buckets + count + sum (~9 cache lines), so the cap bounds a
+/// large registry at ~9 KiB per histogram instead of ~36 KiB.
+[[nodiscard]] inline std::size_t histogram_shards() noexcept {
+  const std::size_t n = counter_shards();
+  return n < 16 ? n : 16;
+}
+
+}  // namespace redundancy::obs::detail

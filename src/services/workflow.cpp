@@ -47,7 +47,7 @@ class InvokeBinding final : public Activity {
 
 class Assign final : public Activity {
  public:
-  Assign(std::string name, std::function<Message(Message)> fn)
+  Assign(std::string name, util::UniqueFunction<Message(Message)> fn)
       : name_(std::move(name)), fn_(std::move(fn)) {}
   core::Result<Message> execute(const Message& input,
                                 WorkflowContext&) override {
@@ -59,7 +59,7 @@ class Assign final : public Activity {
 
  private:
   std::string name_;
-  std::function<Message(Message)> fn_;
+  util::UniqueFunction<Message(Message)> fn_;
 };
 
 class Sequence final : public Activity {
@@ -109,7 +109,7 @@ class Retry final : public Activity {
 class Alternatives final : public Activity {
  public:
   Alternatives(std::vector<ActivityPtr> children,
-               std::function<bool(const Message&)> accept)
+               util::UniqueFunction<bool(const Message&)> accept)
       : children_(std::move(children)), accept_(std::move(accept)) {}
   core::Result<Message> execute(const Message& input,
                                 WorkflowContext& ctx) override {
@@ -134,7 +134,7 @@ class Alternatives final : public Activity {
 
  private:
   std::vector<ActivityPtr> children_;
-  std::function<bool(const Message&)> accept_;
+  util::UniqueFunction<bool(const Message&)> accept_;
 };
 
 class ParallelVote final : public Activity {
@@ -229,7 +229,7 @@ ActivityPtr invoke(EndpointPtr endpoint) {
 ActivityPtr invoke(std::shared_ptr<DynamicBinding> binding) {
   return std::make_shared<InvokeBinding>(std::move(binding));
 }
-ActivityPtr assign(std::string name, std::function<Message(Message)> fn) {
+ActivityPtr assign(std::string name, util::UniqueFunction<Message(Message)> fn) {
   return std::make_shared<Assign>(std::move(name), std::move(fn));
 }
 ActivityPtr sequence(std::vector<ActivityPtr> children) {
@@ -239,7 +239,7 @@ ActivityPtr retry(ActivityPtr child, std::size_t attempts) {
   return std::make_shared<Retry>(std::move(child), attempts);
 }
 ActivityPtr alternatives(std::vector<ActivityPtr> children,
-                         std::function<bool(const Message&)> accept) {
+                         util::UniqueFunction<bool(const Message&)> accept) {
   return std::make_shared<Alternatives>(std::move(children), std::move(accept));
 }
 ActivityPtr parallel_vote(std::vector<ActivityPtr> branches,

@@ -9,7 +9,6 @@
 // the BPEL retry command.
 #pragma once
 
-#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -19,6 +18,7 @@
 #include "core/voters.hpp"
 #include "services/binding.hpp"
 #include "services/service.hpp"
+#include "util/unique_function.hpp"
 
 namespace redundancy::services {
 
@@ -40,9 +40,12 @@ using ActivityPtr = std::shared_ptr<Activity>;
 [[nodiscard]] ActivityPtr invoke(EndpointPtr endpoint);
 /// Invoke through a dynamic binding (substitution happens inside).
 [[nodiscard]] ActivityPtr invoke(std::shared_ptr<DynamicBinding> binding);
-/// Pure message transformation (BPEL <assign>).
+/// Pure message transformation (BPEL <assign>). The transform is a
+/// UniqueFunction — activities live behind shared_ptr and are never copied,
+/// so the cheaper move-only wrapper (inline storage, single indirect call)
+/// replaces std::function on the per-message execute path (FL031).
 [[nodiscard]] ActivityPtr assign(std::string name,
-                                 std::function<Message(Message)> fn);
+                                 util::UniqueFunction<Message(Message)> fn);
 /// Run children in order, feeding each the previous output.
 [[nodiscard]] ActivityPtr sequence(std::vector<ActivityPtr> children);
 /// Re-run the child up to `attempts` times until it succeeds.
@@ -51,7 +54,7 @@ using ActivityPtr = std::shared_ptr<Activity>;
 /// passes the acceptance test.
 [[nodiscard]] ActivityPtr alternatives(
     std::vector<ActivityPtr> children,
-    std::function<bool(const Message&)> accept);
+    util::UniqueFunction<bool(const Message&)> accept);
 /// N-version node: run all branches on the same input, vote on the results.
 [[nodiscard]] ActivityPtr parallel_vote(std::vector<ActivityPtr> branches,
                                         core::Voter<Message> voter);

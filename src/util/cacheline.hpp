@@ -1,0 +1,45 @@
+// Cache-line geometry for the hot-path layout rules (DESIGN.md "Memory
+// layout & dispatch rules").
+//
+// kCacheLine is the *destructive* interference size: two atomics closer
+// than this ping-pong a line between cores when written from different
+// threads (false sharing, faultline FL002), and a mutable struct that
+// straddles a line boundary pays two coherence misses per touch (FL001).
+// Hot per-worker / per-shard state is therefore
+//
+//   * aligned to kCacheLine (`alignas(util::kCacheLine)`), and
+//   * padded to a whole multiple of it (static_asserted at the type),
+//
+// so adjacent instances in an array can never share a line.
+//
+// std::hardware_destructive_interference_size is the standard spelling,
+// but GCC warns on every ABI-visible use (-Winterference-size) because its
+// value may differ between translation units compiled with different
+// -mtune flags. A project-wide constant sidesteps that: one value,
+// everywhere, chosen per architecture (128 on modern aarch64/ppc64 where
+// the prefetcher pairs lines; 64 elsewhere).
+#pragma once
+
+#include <cstddef>
+
+namespace redundancy::util {
+
+#if defined(__aarch64__) || defined(__powerpc64__)
+inline constexpr std::size_t kCacheLine = 128;
+#else
+inline constexpr std::size_t kCacheLine = 64;
+#endif
+
+/// Round `n` up to the next multiple of the cache line size.
+[[nodiscard]] constexpr std::size_t cacheline_ceil(std::size_t n) noexcept {
+  return (n + kCacheLine - 1) / kCacheLine * kCacheLine;
+}
+
+/// Round `n` up to the next power of two (minimum 1).
+[[nodiscard]] constexpr std::size_t round_up_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace redundancy::util

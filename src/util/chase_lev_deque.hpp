@@ -34,6 +34,8 @@
 #include <cstdint>
 #include <type_traits>
 
+#include "util/cacheline.hpp"
+
 namespace redundancy::util {
 
 template <typename T>
@@ -176,9 +178,27 @@ class ChaseLevDeque {
     return p < 2 ? 2 : p;
   }
 
-  std::atomic<std::int64_t> top_{0};
-  std::atomic<std::int64_t> bottom_{0};
+  // top_ and bottom_ live on separate cache lines: thieves CAS top_ on
+  // every steal attempt while the owner writes bottom_ on every push/pop.
+  // Sharing one line would make each owner push invalidate every thief's
+  // cached copy of top_ (and vice versa) — classic false sharing on the
+  // single hottest pair of words in the engine. array_ rides with bottom_:
+  // both are owner-written (push/grow) and thief-read, so they change
+  // together.
+  alignas(kCacheLine) std::atomic<std::int64_t> top_{0};
+  alignas(kCacheLine) std::atomic<std::int64_t> bottom_{0};
   std::atomic<Array*> array_;
+
+ public:
+  /// Layout introspection for tests/util/layout_test.cpp (FL001/FL002
+  /// regression guard): the contended indices must not share a line.
+  [[nodiscard]] const void* top_addr() const noexcept { return &top_; }
+  [[nodiscard]] const void* bottom_addr() const noexcept { return &bottom_; }
 };
+
+static_assert(alignof(ChaseLevDeque<void*>) >= kCacheLine,
+              "deque instances must start on a cache-line boundary");
+static_assert(sizeof(ChaseLevDeque<void*>) % kCacheLine == 0,
+              "adjacent deques must not share a cache line");
 
 }  // namespace redundancy::util

@@ -1,0 +1,172 @@
+// Copyable callable wrapper with small-buffer optimization — the
+// static-dispatch replacement for std::function on the adjudication hot
+// path.
+//
+// std::function is the right shape for Voter / Variant::fn / AcceptanceTest
+// (copyable, type-erased, storable in vectors of variants), but libstdc++'s
+// implementation routes every call through _M_invoker plus a second jump
+// into the manager thunk machinery, and its 16-byte buffer spills most
+// capturing lambdas (a weighted voter's vector + flag, a comparator with
+// state) to the heap. SmallFunction keeps the type erasure — one indirect
+// call through a per-type ops table — but with a 64-byte inline buffer
+// sized for every closure the core patterns build, so adjudicating a round
+// is call-through-pointer with zero allocation and the callable's state on
+// the same cache line as the wrapper.
+//
+// Unlike util::UniqueFunction (move-only, task queues) this is copyable:
+// Variant<In, Out> values are copied into pattern executors and campaign
+// grids. Invocation is const-qualified like std::function's: the target is
+// invoked through a mutable buffer, so stateful callables keep working.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace redundancy::util {
+
+template <typename Signature>
+class SmallFunction;
+
+template <typename R, typename... Args>
+class SmallFunction<R(Args...)> {
+  // Covers every adjudicator the library builds: the biggest (weighted
+  // voter: vector<double> + bool + comparator) is 32 bytes on LP64.
+  static constexpr std::size_t kInlineSize = 8 * sizeof(void*);
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+ public:
+  SmallFunction() noexcept = default;
+  SmallFunction(std::nullptr_t) noexcept {}
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, SmallFunction> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  SmallFunction(F&& fn) {  // NOLINT(bugprone-forwarding-reference-overload)
+    static_assert(std::is_copy_constructible_v<D>,
+                  "SmallFunction targets must be copyable (use "
+                  "util::UniqueFunction for move-only callables)");
+    if constexpr (sizeof(D) <= kInlineSize && alignof(D) <= kInlineAlign &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buffer_)) D(std::forward<F>(fn));
+      ops_ = &inline_ops<D>;
+    } else {
+      ::new (static_cast<void*>(buffer_)) D*(new D(std::forward<F>(fn)));
+      ops_ = &heap_ops<D>;
+    }
+  }
+
+  SmallFunction(const SmallFunction& other) {
+    if (other.ops_ != nullptr) {
+      other.ops_->copy(buffer_, other.buffer_);
+      ops_ = other.ops_;
+    }
+  }
+
+  SmallFunction(SmallFunction&& other) noexcept { move_from(other); }
+
+  SmallFunction& operator=(const SmallFunction& other) {
+    if (this != &other) {
+      SmallFunction tmp{other};  // copy may throw; build it first
+      reset();
+      move_from(tmp);
+    }
+    return *this;
+  }
+
+  SmallFunction& operator=(SmallFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  ~SmallFunction() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+  /// Const like std::function::operator(): the target lives in a mutable
+  /// buffer, so stateful callables are invoked through a non-const lvalue.
+  R operator()(Args... args) const {
+    return ops_->invoke(buffer_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void* storage, Args&&... args);
+    void (*copy)(void* dst, const void* src);  // copy-construct into dst
+    void (*relocate)(void* dst, void* src) noexcept;  // move into dst + destroy
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename D>
+  static D& inline_target(void* storage) noexcept {
+    return *std::launder(reinterpret_cast<D*>(storage));
+  }
+  template <typename D>
+  static const D& inline_ctarget(const void* storage) noexcept {
+    return *std::launder(reinterpret_cast<const D*>(storage));
+  }
+  template <typename D>
+  static D*& heap_slot(void* storage) noexcept {
+    return *std::launder(reinterpret_cast<D**>(storage));
+  }
+  template <typename D>
+  static D* const& heap_cslot(const void* storage) noexcept {
+    return *std::launder(reinterpret_cast<D* const*>(storage));
+  }
+
+  template <typename D>
+  static constexpr Ops inline_ops{
+      [](void* s, Args&&... args) -> R {
+        return inline_target<D>(s)(std::forward<Args>(args)...);
+      },
+      [](void* dst, const void* src) {
+        ::new (dst) D(inline_ctarget<D>(src));
+      },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) D(std::move(inline_target<D>(src)));
+        inline_target<D>(src).~D();
+      },
+      [](void* s) noexcept { inline_target<D>(s).~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops heap_ops{
+      [](void* s, Args&&... args) -> R {
+        return (*heap_slot<D>(s))(std::forward<Args>(args)...);
+      },
+      [](void* dst, const void* src) {
+        ::new (dst) D*(new D(*heap_cslot<D>(src)));
+      },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) D*(heap_slot<D>(src));
+      },
+      [](void* s) noexcept { delete heap_slot<D>(s); },
+  };
+
+  void move_from(SmallFunction& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(buffer_, other.buffer_);
+      ops_ = std::exchange(other.ops_, nullptr);
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buffer_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(kInlineAlign) mutable unsigned char buffer_[kInlineSize]{};
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace redundancy::util

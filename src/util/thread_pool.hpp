@@ -5,13 +5,26 @@
 // Each worker owns a Chase–Lev deque (util/chase_lev_deque.hpp): the owner
 // pushes and pops at the bottom with plain release stores (LIFO, cache-hot)
 // and thieves CAS the top (FIFO, oldest first) — no mutex anywhere on the
-// worker hot path. Submissions from non-worker threads land in a shared
-// injector list; workers drain it in amortized batches into their own
-// deques, where the tasks become stealable. Idle workers park on their own
+// worker hot path. Submissions from non-worker threads land in a *sharded*
+// injector: a power-of-two array of cache-line-aligned lanes, each its own
+// mutex-protected FIFO chain, with submitter threads hashed to a sticky
+// home lane — eight external submitters contend on eight different locks
+// instead of one (the PR-5 injector was a single centralized dispatcher,
+// faultline FL061/FL041). Workers drain lanes in amortized batches into
+// their own deques, where the tasks become stealable; each worker prefers
+// the lane it is affine to, so a submitter/worker pair in steady state
+// keeps reusing the same lane's lines. Idle workers park on their own
 // mutex+condvar pair (one parking lot per worker, not a global broadcast
 // condition variable): a submitter wakes exactly one parked worker, and a
 // worker that dequeues work while more is pending wakes the next — wake-ups
 // chain instead of stampeding.
+//
+// Steal order is topology-aware: at construction each worker gets its own
+// victim permutation that visits same-cluster workers (util/topology.hpp —
+// SMT siblings / LLC sharers, by worker index as a locality proxy) before
+// remote ones, with per-worker randomized tie-breaking inside each distance
+// class so simultaneously-starved workers fan out over different victims
+// instead of stampeding the same deque.
 //
 // submit_batch posts a whole fan-out with one pending-counter epoch and one
 // wake-up instead of N; BatchRunner (bottom of this header) is the reusable
@@ -36,6 +49,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
@@ -45,6 +59,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/cacheline.hpp"
 #include "util/chase_lev_deque.hpp"
 #include "util/unique_function.hpp"
 
@@ -73,22 +88,54 @@ namespace pool_detail {
 
 /// A queued task. Owned linearly: freelist/submitter → deque or injector →
 /// executor → freelist. Handed across threads only through the deque's
-/// release/acquire slot protocol or the injector mutex, so the payload
-/// needs no synchronization of its own. Recycled through a bounded
-/// thread-local cache, making the steady-state submit path allocation-free.
-struct TaskNode {
+/// release/acquire slot protocol or a lane mutex, so the payload needs no
+/// synchronization of its own. Recycled through a bounded thread-local
+/// cache, making the steady-state submit path allocation-free. Cache-line
+/// aligned: the executor writes the node (payload teardown, next link)
+/// while the recycler chains through it — a node sharing a line with its
+/// freelist neighbour would ping-pong between the freeing and reusing
+/// threads.
+struct alignas(kCacheLine) TaskNode {
   UniqueFunction<void()> task;
-  TaskNode* next = nullptr;  ///< injector chain link
+  TaskNode* next = nullptr;  ///< injector/freelist chain link
 };
+static_assert(sizeof(TaskNode) % kCacheLine == 0,
+              "adjacent task nodes must not share a cache line");
 
 /// Per-worker state: the lock-free deque plus a private parking lot.
-struct Worker {
+/// Aligned and padded to whole cache lines so workers packed in an array
+/// never share a line: the deque indices are the hottest words in the
+/// engine (owner writes bottom, every thief CASes top), and the parking
+/// flags are written by submitters during the wake handshake. The deque
+/// leads (its own internal alignment keeps top/bottom apart); the parking
+/// lot trails on its own line — it is only touched on the park/unpark
+/// slow path, so parking traffic never invalidates deque lines.
+struct alignas(kCacheLine) Worker {
   ChaseLevDeque<TaskNode*> deque;
-  std::mutex m;                      ///< guards the condvar handshake only
+  alignas(kCacheLine) std::mutex m;  ///< guards the condvar handshake only
   std::condition_variable cv;
   std::atomic<bool> parked{false};   ///< registered as sleeping
   std::atomic<bool> notified{false}; ///< wake token (consumed on wake)
 };
+static_assert(sizeof(Worker) % kCacheLine == 0,
+              "adjacent workers must not share a cache line");
+
+/// One injector lane: a mutex-protected FIFO chain of externally-submitted
+/// tasks. The emptiness probe (`size`) sits alone on the first line so the
+/// every-claim "is there injector work?" scan by idle workers never touches
+/// the line the lock and chain pointers bounce on; lanes are aligned and
+/// padded so neighbouring lanes in the array never share a line (the whole
+/// point of sharding the injector is that submitters on different lanes do
+/// not communicate at all).
+struct alignas(kCacheLine) InjectorLane {
+  std::atomic<std::size_t> size{0};  ///< lock-free emptiness probe
+  char probe_pad_[kCacheLine - sizeof(std::atomic<std::size_t>)]{};
+  std::mutex m;
+  TaskNode* head = nullptr;
+  TaskNode* tail = nullptr;
+};
+static_assert(sizeof(InjectorLane) % kCacheLine == 0,
+              "adjacent injector lanes must not share a cache line");
 
 }  // namespace pool_detail
 
@@ -112,7 +159,11 @@ class ThreadPool {
   };
 
   /// Spawns `threads` workers (defaults to hardware concurrency, min 2).
-  explicit ThreadPool(std::size_t threads = 0);
+  /// `injector_lanes` overrides the external-submission lane count (0 =
+  /// derive a power of two from the worker count; 1 reproduces the PR-5
+  /// single-injector shape, used by the engine benchmarks as the
+  /// contention baseline). Rounded up to a power of two, capped at 64.
+  explicit ThreadPool(std::size_t threads = 0, std::size_t injector_lanes = 0);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -256,6 +307,19 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
+  /// Number of external-submission lanes (power of two).
+  [[nodiscard]] std::size_t injector_lanes() const noexcept {
+    return lane_mask_ + 1;
+  }
+
+  /// The lane external submissions from the calling thread land in. Sticky
+  /// per thread (submitter-affinity hashing); exposed for tests.
+  [[nodiscard]] std::size_t home_lane() const noexcept;
+
+  /// The victim order worker `self` sweeps on a failed pop (topology-near
+  /// workers first, per-worker shuffled tie-breaks). Exposed for tests.
+  [[nodiscard]] std::vector<std::size_t> steal_order(std::size_t self) const;
+
   /// Number of tasks queued but not yet claimed by a worker. Transiently
   /// over-counts during a submission (the counter rises before the nodes
   /// land), never under-counts.
@@ -288,33 +352,61 @@ class ThreadPool {
  private:
   using TaskNode = pool_detail::TaskNode;
   using Worker = pool_detail::Worker;
+  using InjectorLane = pool_detail::InjectorLane;
 
   void worker_loop(std::size_t self);
   [[nodiscard]] bool on_worker_thread() const noexcept;
+  void build_steal_orders();
 
   /// Claim the next runnable node for worker `self`: own deque, then an
-  /// amortized injector grab, then a steal sweep over the other deques.
+  /// amortized grab from the affine injector lane (then the others), then
+  /// a near-first steal sweep over the other deques.
   TaskNode* acquire_task(std::size_t self);
   /// Claim a node as an outsider (try_run_one from a non-worker thread):
-  /// injector first, then steal from every deque.
+  /// injector lanes first, then steal from every deque.
   TaskNode* acquire_task_external();
-  TaskNode* steal_sweep(std::size_t start, std::size_t skip);
-  TaskNode* injector_pop_locked();  ///< caller holds injector_m_
+  /// One steal attempt against `victim` with claim bookkeeping.
+  TaskNode* try_steal(std::size_t victim);
+  TaskNode* steal_sweep_worker(std::size_t self);
+  TaskNode* steal_sweep_external();
+  /// Drain the front of `lane` (caller runs the first node; a fair share
+  /// of the rest lands in worker `self`'s deque when self != npos).
+  TaskNode* drain_lane(InjectorLane& lane, std::size_t self);
   void enqueue_chain(TaskNode* head, TaskNode* tail, std::size_t n);
   void execute(TaskNode* node);
   void unpark_one();
   void unpark_all();
 
-  std::vector<std::unique_ptr<Worker>> workers_state_;
+  static constexpr std::size_t kNoWorker = static_cast<std::size_t>(-1);
+
+  // Workers live in one contiguous aligned array (not a vector of
+  // unique_ptrs): the per-worker alignas padding, not allocator luck, is
+  // what guarantees neighbouring workers never share a line — and the
+  // layout test can assert it.
+  std::unique_ptr<Worker[]> workers_state_;
+  std::size_t nworkers_ = 0;
+  std::unique_ptr<InjectorLane[]> lanes_;  ///< power-of-two sharded injector
+  std::size_t lane_mask_ = 0;
+  /// Flattened per-worker victim permutations, nworkers_-1 entries each,
+  /// built once at construction (near clusters first, shuffled ties).
+  std::vector<std::uint32_t> steal_orders_;
   std::vector<std::thread> workers_;
-  std::atomic<std::size_t> pending_{0};
-  std::atomic<std::size_t> active_{0};      ///< tasks currently executing
-  std::atomic<std::size_t> num_parked_{0};  ///< workers asleep in their lot
-  std::mutex injector_m_;                   ///< guards the external chain
-  TaskNode* injector_head_ = nullptr;
-  TaskNode* injector_tail_ = nullptr;
-  std::atomic<std::size_t> injector_size_{0};  ///< lock-free emptiness probe
+  // Each global counter on its own line: pending_ is written by every
+  // submit and every claim, active_ by every execute, num_parked_ only on
+  // the park/unpark slow path — stacking them on one line would couple the
+  // slow path's writes to the hot counters (FL002).
+  alignas(kCacheLine) std::atomic<std::size_t> pending_{0};
+  alignas(kCacheLine) std::atomic<std::size_t> active_{0};
+  alignas(kCacheLine) std::atomic<std::size_t> num_parked_{0};
   std::atomic<bool> stopping_{false};
+
+ public:
+  /// Layout introspection for tests/util/layout_test.cpp.
+  [[nodiscard]] const void* pending_addr() const noexcept { return &pending_; }
+  [[nodiscard]] const void* active_addr() const noexcept { return &active_; }
+  [[nodiscard]] const void* parked_count_addr() const noexcept {
+    return &num_parked_;
+  }
 };
 
 /// Reusable fan-out builder: collect the tasks of one submission epoch,
