@@ -1,0 +1,61 @@
+// gateway_demo: a long-running net::Gateway host for end-to-end drills —
+// the demo routes (/fast hedged+cached, /vote 3-variant majority, /echo,
+// /big) plus the in-process /metrics and /healthz, served until SIGTERM or
+// SIGINT. This is what the gateway-e2e CI job curls against.
+//
+// Environment:
+//   REDUNDANCY_GATEWAY_PORT       listen port (default 8217)
+//   REDUNDANCY_GATEWAY_LINGER_MS  exit after this long even without a
+//                                 signal (default: run until signalled)
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "core/health.hpp"
+#include "net/gateway.hpp"
+
+namespace {
+
+std::sig_atomic_t g_stop = 0;
+void handle_stop(int) { g_stop = 1; }
+
+std::size_t env_or(const char* name, std::size_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  return static_cast<std::size_t>(std::strtoull(raw, nullptr, 10));
+}
+
+}  // namespace
+
+int main() {
+  using namespace redundancy;
+  core::HealthTracker health;
+  net::Gateway::Options options;
+  options.conn.port =
+      static_cast<std::uint16_t>(env_or("REDUNDANCY_GATEWAY_PORT", 8217));
+  options.health = &health;
+  net::Gateway gateway{options};
+  net::install_demo_routes(gateway);
+  if (!gateway.start()) {
+    std::fprintf(stderr, "gateway_demo: failed to start on port %zu\n",
+                 env_or("REDUNDANCY_GATEWAY_PORT", 8217));
+    return 1;
+  }
+  std::signal(SIGTERM, handle_stop);
+  std::signal(SIGINT, handle_stop);
+  std::printf("gateway_demo: serving on port %u\n", gateway.port());
+  std::fflush(stdout);
+
+  const std::size_t linger_ms = env_or("REDUNDANCY_GATEWAY_LINGER_MS", 0);
+  std::size_t elapsed_ms = 0;
+  while (g_stop == 0 && (linger_ms == 0 || elapsed_ms < linger_ms)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    elapsed_ms += 50;
+  }
+  gateway.stop();
+  std::printf("gateway_demo: clean shutdown, jobs in flight: %zu\n",
+              gateway.jobs_inflight());
+  return gateway.jobs_inflight() == 0 ? 0 : 1;
+}

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# End-to-end drill for the net::Gateway front door: start the long-running
+# gateway_demo host, drive real traffic through every demo route, verify
+# the in-process /metrics and /healthz endpoints answer through the same
+# socket, then run the exp_gateway load generator for the machine-readable
+# BENCH_exp_gateway.json artifact.
+#
+# Usage:
+#   scripts/gateway_e2e.sh
+#
+# Environment:
+#   BUILD_DIR  cmake build tree                 (default: build)
+#   OUT_DIR    where artifacts land             (default: $BUILD_DIR/gateway-e2e)
+#   PORT       gateway_demo listen port         (default: 8217)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT_DIR="${OUT_DIR:-${BUILD_DIR}/gateway-e2e}"
+PORT="${PORT:-8217}"
+
+mkdir -p "${OUT_DIR}"
+repo_root="$(pwd)"
+
+REDUNDANCY_GATEWAY_PORT="${PORT}" REDUNDANCY_GATEWAY_LINGER_MS=120000 \
+  "${BUILD_DIR}/examples/gateway_demo" & server=$!
+trap 'kill "${server}" 2>/dev/null || true' EXIT
+
+for i in $(seq 1 50); do
+  curl -sf "localhost:${PORT}/healthz" -o "${OUT_DIR}/healthz.txt" && break
+  sleep 0.2
+done
+
+# Drive traffic through every route; answers must be exact.
+test "$(curl -sf "localhost:${PORT}/echo?x=41")" = "41"
+fast_a="$(curl -sf "localhost:${PORT}/fast?x=7")"
+fast_b="$(curl -sf "localhost:${PORT}/fast?x=7")"   # cache hit, same answer
+vote="$(curl -sf "localhost:${PORT}/vote?x=7")"     # majority of 3 variants
+test "${fast_a}" = "${fast_b}"
+test "${fast_a}" = "${vote}"
+for i in $(seq 1 100); do
+  curl -sf "localhost:${PORT}/fast?x=${i}" > /dev/null
+done
+curl -s -o /dev/null -w '%{http_code}' "localhost:${PORT}/nope" | grep -q 404
+
+# Operational endpoints, through the same front door, after real load.
+curl -sf "localhost:${PORT}/metrics" -o "${OUT_DIR}/metrics_gateway.prom"
+grep -q 'gateway_requests' "${OUT_DIR}/metrics_gateway.prom"
+grep -q 'gateway_accepted' "${OUT_DIR}/metrics_gateway.prom"
+grep -q 'technique_requests_total{technique="gateway_fast"}' \
+  "${OUT_DIR}/metrics_gateway.prom"
+curl -sf "localhost:${PORT}/healthz" -o "${OUT_DIR}/healthz.txt"
+
+kill "${server}"
+wait "${server}"   # clean shutdown must report zero jobs in flight
+trap - EXIT
+
+# The load generator: brief closed+open-loop run plus the connection-scale
+# part (fd-budget scaled; the 10k gate arms itself on >= 4 cores).
+(cd "${OUT_DIR}" &&
+  REDUNDANCY_GATEWAY_DURATION_MS="${GATEWAY_BENCH_DURATION_MS:-1000}" \
+    "${repo_root}/${BUILD_DIR}/bench/exp_gateway")
+
+echo "gateway-e2e artifacts in ${OUT_DIR}:"
+ls "${OUT_DIR}"

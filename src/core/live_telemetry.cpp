@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "obs/obs.hpp"
+#include "util/signals.hpp"
 
 namespace redundancy::core {
 
@@ -35,6 +36,10 @@ std::unique_ptr<LiveTelemetry> start_live_telemetry_from_env() {
   const char* port_env = std::getenv("REDUNDANCY_OBS_HTTP_PORT");
   const bool want_http = port_env != nullptr && *port_env != '\0';
   if (!want_trace && !want_http) return nullptr;
+
+  // A scraper that hangs up mid-response must not SIGPIPE the process the
+  // exporter is embedded in.
+  util::ignore_sigpipe();
 
   auto telemetry = std::make_unique<LiveTelemetry>();
   auto& recorder = obs::Recorder::instance();

@@ -1,0 +1,76 @@
+// net::CompletionQueue — the lock-free hand-back channel from pool workers
+// to the event loop.
+//
+// The gateway's serving path crosses threads twice: the loop thread batches
+// parsed requests into the engine (ThreadPool::submit_batch), and each
+// finished task must hand its response back to the loop, which owns every
+// socket. The return channel is an intrusive MPSC Treiber stack: producers
+// (pool workers, any number, any interleaving) push with one CAS loop and
+// no allocation; the single consumer (the loop) takes the whole backlog
+// with one exchange and reverses it into FIFO order. push() reports
+// whether the stack was empty so the producer knows to write the loop's
+// wakeup fd — one eventfd write per *burst* of completions, not per
+// completion (the same one-wake-per-batch discipline submit_batch applies
+// on the way in).
+//
+// Nodes are owned by the producer until push() returns, then by the
+// consumer after drain() — the same linear hand-off the pool's TaskNodes
+// use, so the payload needs no synchronization beyond the release/acquire
+// pair on head_.
+#pragma once
+
+#include <atomic>
+
+namespace redundancy::net {
+
+/// Base class for anything flowing through a CompletionQueue. Embed-first
+/// (CRTP-style static_cast on the consumer side).
+struct CompletionNode {
+  CompletionNode* next = nullptr;
+};
+
+class CompletionQueue {
+ public:
+  CompletionQueue() = default;
+  CompletionQueue(const CompletionQueue&) = delete;
+  CompletionQueue& operator=(const CompletionQueue&) = delete;
+
+  /// Push one node (producer side, any thread). Returns true when the
+  /// queue was empty — the caller should wake the consumer; false means a
+  /// wakeup is already owed by an earlier producer.
+  bool push(CompletionNode* node) noexcept {
+    CompletionNode* head = head_.load(std::memory_order_relaxed);
+    do {
+      node->next = head;
+    } while (!head_.compare_exchange_weak(head, node,
+                                          std::memory_order_release,
+                                          std::memory_order_relaxed));
+    return head == nullptr;
+  }
+
+  /// Take the whole backlog (consumer side, single thread), in FIFO push
+  /// order. Returns nullptr when empty; otherwise a next-linked chain the
+  /// caller now owns.
+  [[nodiscard]] CompletionNode* drain() noexcept {
+    CompletionNode* head = head_.exchange(nullptr, std::memory_order_acquire);
+    // The stack pops newest-first; reverse once so completions are handled
+    // in the order the workers produced them.
+    CompletionNode* fifo = nullptr;
+    while (head != nullptr) {
+      CompletionNode* next = head->next;
+      head->next = fifo;
+      fifo = head;
+      head = next;
+    }
+    return fifo;
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    return head_.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  std::atomic<CompletionNode*> head_{nullptr};
+};
+
+}  // namespace redundancy::net

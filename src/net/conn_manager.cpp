@@ -1,0 +1,339 @@
+#include "net/conn_manager.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "obs/obs.hpp"
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+namespace redundancy::net {
+
+namespace {
+
+bool set_nonblocking(int fd) noexcept {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+constexpr std::size_t kReadChunk = 16 * 1024;
+
+}  // namespace
+
+ConnManager::ConnManager(EventLoop& loop, Options options)
+    : loop_(loop), options_(options) {
+  accepted_ = &obs::counter("gateway.accepted");
+  closed_ = &obs::counter("gateway.closed");
+  requests_ = &obs::counter("gateway.requests");
+  responses_ = &obs::counter("gateway.responses");
+  shed_conns_ = &obs::counter("gateway.shed_connections");
+  shed_inflight_ = &obs::counter("gateway.shed_inflight");
+  timeouts_idle_ = &obs::counter("gateway.timeouts_idle");
+  timeouts_write_ = &obs::counter("gateway.timeouts_write");
+  bad_requests_ = &obs::counter("gateway.bad_requests");
+  orphan_responses_ = &obs::counter("gateway.orphan_responses");
+  state_reading_ = &obs::counter("gateway.conn_reading");
+  state_dispatched_ = &obs::counter("gateway.conn_dispatched");
+  state_writing_ = &obs::counter("gateway.conn_writing");
+  state_draining_ = &obs::counter("gateway.conn_draining");
+  request_ns_ = &obs::histogram("gateway.request_ns");
+}
+
+ConnManager::~ConnManager() {
+  close_all();
+  stop_listening();
+}
+
+bool ConnManager::listen() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return false;
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listen_fd_, options_.backlog) != 0 ||
+      !set_nonblocking(listen_fd_)) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  if (!loop_.add(listen_fd_, kReadable, this)) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  return true;
+}
+
+void ConnManager::stop_listening() {
+  if (listen_fd_ < 0) return;
+  loop_.remove(listen_fd_);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void ConnManager::close_all() {
+  // teardown() erases from conns_; drain by repeatedly taking the first.
+  while (!conns_.empty()) teardown(*conns_.begin()->second);
+}
+
+void ConnManager::on_io(std::uint32_t events) {
+  if ((events & kReadable) == 0) return;
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN: backlog drained (other errors: retry next wakeup)
+    }
+    if (conns_.size() >= options_.max_connections) {
+      // Accept-then-close is the cheapest refusal: the peer sees an
+      // immediate RST/EOF instead of hanging in the backlog.
+      shed_conns_->add();
+      ::close(fd);
+      continue;
+    }
+    if (!set_nonblocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    if (options_.sndbuf_bytes > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.sndbuf_bytes,
+                   sizeof options_.sndbuf_bytes);
+    }
+    const std::uint64_t id = next_id_++;
+    auto conn = std::make_unique<Conn>(this, fd, id);
+    Conn& c = *conn;
+    if (!loop_.add(fd, kReadable, &c)) {
+      ::close(fd);
+      continue;
+    }
+    conns_.emplace(id, std::move(conn));
+    accepted_->add();
+    state_reading_->add();
+    loop_.timers().arm(c.timer, loop_.now_ms(), options_.idle_timeout_ms);
+  }
+}
+
+void ConnManager::conn_io(Conn& conn, std::uint32_t events) {
+  if (events == 0) {  // timer fired
+    on_timeout(conn);
+    return;
+  }
+  if (events & kError) {
+    teardown(conn);
+    return;
+  }
+  if (events & kWritable) {
+    const std::uint64_t id = conn.id;  // on_writable may destroy conn
+    on_writable(conn);
+    if (conns_.find(id) == conns_.end()) return;
+  }
+  if (events & (kReadable | kHangup)) on_readable(conn);
+}
+
+void ConnManager::on_readable(Conn& conn) {
+  for (;;) {
+    const std::size_t old_size = conn.in.size();
+    conn.in.resize(old_size + kReadChunk);
+    const ssize_t n = ::recv(conn.fd, conn.in.data() + old_size, kReadChunk, 0);
+    if (n > 0) {
+      conn.in.resize(old_size + static_cast<std::size_t>(n));
+      if (conn.state == ConnState::draining) conn.in.clear();  // discard
+      if (static_cast<std::size_t>(n) < kReadChunk) break;
+      continue;
+    }
+    conn.in.resize(old_size);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    teardown(conn);  // EOF or hard error
+    return;
+  }
+  if (conn.state == ConnState::reading) try_parse(conn);
+}
+
+void ConnManager::try_parse(Conn& conn) {
+  while (conn.state == ConnState::reading) {
+    const http::ParseResult r =
+        http::parse_request(conn.in, options_.max_request_bytes);
+    switch (r.status) {
+      case http::ParseStatus::incomplete:
+        // Deliberately no timer refresh: the idle deadline covers the
+        // *whole* request, so trickled bytes never extend it (slow loris).
+        return;
+      case http::ParseStatus::bad:
+        bad_requests_->add();
+        respond_now(conn, 400, "bad request\n");
+        return;
+      case http::ParseStatus::too_large:
+        bad_requests_->add();
+        respond_now(conn, 431, "request too large\n");
+        return;
+      case http::ParseStatus::ok:
+        break;
+    }
+    requests_->add();
+    if (inflight_ >= options_.max_inflight) {
+      shed_inflight_->add();
+      respond_now(conn, 503, "overloaded\n");
+      return;
+    }
+    if (!handler_) {
+      respond_now(conn, 500, "no handler\n");
+      return;
+    }
+    conn.state = ConnState::dispatched;
+    state_dispatched_->add();
+    conn.close_after_write = !r.request.keep_alive;
+    conn.dispatch_t0_ns = obs::now_ns();
+    ++inflight_;
+    loop_.timers().cancel(conn.timer);  // the handler owns its own latency
+    loop_.modify(conn.fd, 0);           // backpressure: stop reading
+    // Consume the request BEFORE the handler runs: an inline respond()
+    // re-enters try_parse via resume_reading(), and must only ever see the
+    // pipelined tail. swap keeps the parsed views (which point into the old
+    // buffer) valid for the duration of the handler call.
+    std::string request_bytes;
+    request_bytes.swap(conn.in);
+    conn.in.assign(request_bytes, r.consumed, std::string::npos);
+    const std::uint64_t id = conn.id;  // an inline respond() may destroy conn
+    handler_(id, r.request);
+    // conn may now be gone or in any state (an inline handler may have
+    // already responded — and even served pipelined follow-ups).
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    if (conn.state != ConnState::reading) return;
+  }
+}
+
+void ConnManager::respond(std::uint64_t conn_id, http::Response response) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end() || it->second->state != ConnState::dispatched) {
+    // The connection died (timeout/teardown) while its request was in
+    // flight; the slot was already released by teardown().
+    orphan_responses_->add();
+    return;
+  }
+  Conn& conn = *it->second;
+  --inflight_;
+  request_ns_->record(obs::now_ns() - conn.dispatch_t0_ns);
+  start_write(conn, response);
+}
+
+void ConnManager::respond_now(Conn& conn, int status, std::string body) {
+  http::Response response;
+  response.status = status;
+  response.body = std::move(body);
+  conn.close_after_write = true;
+  start_write(conn, response);
+}
+
+void ConnManager::start_write(Conn& conn, const http::Response& response) {
+  conn.out = http::response_head(response.status, response.content_type,
+                                 response.body.size(),
+                                 /*keep_alive=*/!conn.close_after_write);
+  conn.out += response.body;
+  conn.out_off = 0;
+  conn.state = ConnState::writing;
+  state_writing_->add();
+  loop_.timers().arm(conn.timer, loop_.now_ms(), options_.write_timeout_ms);
+  on_writable(conn);
+}
+
+void ConnManager::on_writable(Conn& conn) {
+  if (conn.state != ConnState::writing) return;
+  while (conn.out_off < conn.out.size()) {
+    const ssize_t n = ::send(conn.fd, conn.out.data() + conn.out_off,
+                             conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Peer not draining: wait for writability under a deadline.
+      loop_.modify(conn.fd, kWritable);
+      return;
+    }
+    teardown(conn);  // EPIPE/ECONNRESET: peer is gone
+    return;
+  }
+  // Response fully flushed.
+  responses_->add();
+  conn.out.clear();
+  conn.out_off = 0;
+  if (conn.close_after_write) {
+    start_drain(conn);
+  } else {
+    resume_reading(conn);
+  }
+}
+
+void ConnManager::start_drain(Conn& conn) {
+  conn.state = ConnState::draining;
+  state_draining_->add();
+  conn.in.clear();
+  ::shutdown(conn.fd, SHUT_WR);
+  loop_.modify(conn.fd, kReadable);
+  loop_.timers().arm(conn.timer, loop_.now_ms(), options_.drain_timeout_ms);
+}
+
+void ConnManager::resume_reading(Conn& conn) {
+  conn.state = ConnState::reading;
+  state_reading_->add();
+  conn.close_after_write = false;
+  loop_.modify(conn.fd, kReadable);
+  loop_.timers().arm(conn.timer, loop_.now_ms(), options_.idle_timeout_ms);
+  // Pipelined bytes may already hold the next request.
+  if (!conn.in.empty()) try_parse(conn);
+}
+
+void ConnManager::on_timeout(Conn& conn) {
+  switch (conn.state) {
+    case ConnState::reading:
+      timeouts_idle_->add();
+      respond_now(conn, 408, "request timeout\n");
+      return;
+    case ConnState::dispatched:
+      return;  // no timer runs here; spurious fire after a state change
+    case ConnState::writing:
+      timeouts_write_->add();
+      teardown(conn);
+      return;
+    case ConnState::draining:
+      teardown(conn);
+      return;
+  }
+}
+
+void ConnManager::teardown(Conn& conn) {
+  if (conn.state == ConnState::dispatched) {
+    // The response for this request will arrive later and find no
+    // connection; release the admission slot now.
+    --inflight_;
+  }
+  loop_.remove(conn.fd);
+  ::close(conn.fd);
+  closed_->add();
+  const std::uint64_t id = conn.id;
+  conns_.erase(id);  // destroys conn (timer detaches itself)
+}
+
+}  // namespace redundancy::net

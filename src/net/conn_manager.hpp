@@ -1,0 +1,175 @@
+// net::ConnManager — listener + per-connection state machines on one
+// EventLoop.
+//
+// Every connection is a small state machine driven entirely from the loop
+// thread (no locks anywhere in this file):
+//
+//   reading ──parse ok──▶ dispatched ──respond()──▶ writing ─┬─▶ reading
+//      │                      │                              └─▶ draining
+//      └──── idle timeout / bad request / shed ──▶ writing(close) ─▶ ...
+//
+//   * reading:    buffering request bytes. The idle deadline is armed when
+//                 the connection becomes idle and is NOT refreshed by
+//                 partial reads — a slow-loris client dribbling one byte
+//                 per tick cannot hold a slot past the deadline.
+//   * dispatched: one complete request handed to the request handler (the
+//                 gateway batches it into the engine). Read interest is
+//                 dropped — pipelined bytes stay buffered but unparsed, so
+//                 a client cannot force unbounded in-flight work; no timer
+//                 runs (the handler owns its own latency).
+//   * writing:    flushing head+body. A short write arms write interest
+//                 and a write deadline; a peer that stops draining its
+//                 receive window is cut off, not waited on forever.
+//   * draining:   response sent with Connection: close — shutdown(SHUT_WR)
+//                 then discard input until EOF (or a drain deadline), the
+//                 lingering close that lets the peer read the final bytes.
+//
+// Admission control happens at the two edges: accept() sheds beyond
+// max_connections (accept-then-close, cheapest possible refusal), and a
+// parsed request beyond max_inflight is answered 503 + close without ever
+// reaching the engine. Both sheds are counted.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "net/event_loop.hpp"
+#include "net/http.hpp"
+#include "util/unique_function.hpp"
+
+namespace redundancy::obs {
+class Counter;
+class Histogram;
+}  // namespace redundancy::obs
+
+namespace redundancy::net {
+
+class ConnManager final : public IoHandler {
+ public:
+  struct Options {
+    /// Bind 127.0.0.1:port; 0 picks an ephemeral port (read it back).
+    std::uint16_t port = 0;
+    int backlog = 128;
+    /// Accept-side shed threshold (listener slot excluded).
+    std::size_t max_connections = 10000;
+    /// Requests dispatched but not yet responded; beyond this a parsed
+    /// request is answered 503 and the connection closed.
+    std::size_t max_inflight = 1024;
+    std::uint64_t idle_timeout_ms = 30'000;   ///< reading, whole request
+    std::uint64_t write_timeout_ms = 10'000;  ///< writing, whole response
+    std::uint64_t drain_timeout_ms = 1'000;   ///< draining, until peer EOF
+    std::size_t max_request_bytes = 1 << 20;
+    /// >0: shrink SO_SNDBUF so tests can force partial writes / EAGAIN.
+    int sndbuf_bytes = 0;
+  };
+
+  /// Aggregate connection counts (loop thread only; for tests + /metrics).
+  struct Stats {
+    std::size_t connections = 0;  ///< live sockets in any state
+    std::size_t inflight = 0;     ///< dispatched, awaiting respond()
+  };
+
+  /// Invoked on the loop thread once per parsed request. The Request's
+  /// views are valid only for the duration of the call — copy what the
+  /// handler needs. The handler must eventually cause respond(conn_id,...)
+  /// on the loop thread (or the connection dies by timeout/teardown).
+  using RequestHandler =
+      util::UniqueFunction<void(std::uint64_t conn_id,
+                                const http::Request& request)>;
+
+  ConnManager(EventLoop& loop, Options options);
+  ConnManager(const ConnManager&) = delete;
+  ConnManager& operator=(const ConnManager&) = delete;
+  ~ConnManager();
+
+  void set_request_handler(RequestHandler handler) {
+    handler_ = std::move(handler);
+  }
+
+  /// Bind + listen + register with the loop. False on socket failure.
+  [[nodiscard]] bool listen();
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Deliver the response for a dispatched request. Loop thread only. An
+  /// unknown id (the connection was torn down while the request was in
+  /// flight) is a counted no-op.
+  void respond(std::uint64_t conn_id, http::Response response);
+
+  /// Stop accepting (close the listener). Loop thread only.
+  void stop_listening();
+  /// Tear down every connection immediately. Loop thread only.
+  void close_all();
+
+  [[nodiscard]] Stats stats() const noexcept {
+    return Stats{conns_.size(), inflight_};
+  }
+
+  /// Listener readiness: accept until EAGAIN, shedding past the cap.
+  void on_io(std::uint32_t events) override;
+
+ private:
+  enum class ConnState : std::uint8_t { reading, dispatched, writing, draining };
+
+  struct Conn final : IoHandler {
+    Conn(ConnManager* m, int fd_, std::uint64_t id_)
+        : mgr(m), fd(fd_), id(id_), timer(this) {}
+    void on_io(std::uint32_t events) override { mgr->conn_io(*this, events); }
+
+    ConnManager* mgr;
+    int fd;
+    std::uint64_t id;
+    ConnState state = ConnState::reading;
+    bool close_after_write = false;
+    std::string in;
+    std::string out;
+    std::size_t out_off = 0;
+    std::uint64_t dispatch_t0_ns = 0;
+    TimerWheel::Timer timer;  ///< detaches itself on Conn destruction
+  };
+
+  void conn_io(Conn& conn, std::uint32_t events);
+  void on_readable(Conn& conn);
+  void on_writable(Conn& conn);
+  void on_timeout(Conn& conn);
+  /// Parse as many buffered requests as admission allows (one at a time —
+  /// a connection has at most one request in flight).
+  void try_parse(Conn& conn);
+  /// Queue a locally-generated response (400/408/431/503) and close after.
+  void respond_now(Conn& conn, int status, std::string body);
+  void start_write(Conn& conn, const http::Response& response);
+  void start_drain(Conn& conn);
+  void resume_reading(Conn& conn);
+  void teardown(Conn& conn);
+
+  EventLoop& loop_;
+  Options options_;
+  RequestHandler handler_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::size_t inflight_ = 0;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+
+  // Registry-owned counters, resolved once (obs::counter is find-or-create
+  // under a registry lock; the serving path should not take it per event).
+  obs::Counter* accepted_ = nullptr;
+  obs::Counter* closed_ = nullptr;
+  obs::Counter* requests_ = nullptr;
+  obs::Counter* responses_ = nullptr;
+  obs::Counter* shed_conns_ = nullptr;
+  obs::Counter* shed_inflight_ = nullptr;
+  obs::Counter* timeouts_idle_ = nullptr;
+  obs::Counter* timeouts_write_ = nullptr;
+  obs::Counter* bad_requests_ = nullptr;
+  obs::Counter* orphan_responses_ = nullptr;
+  obs::Counter* state_reading_ = nullptr;
+  obs::Counter* state_dispatched_ = nullptr;
+  obs::Counter* state_writing_ = nullptr;
+  obs::Counter* state_draining_ = nullptr;
+  obs::Histogram* request_ns_ = nullptr;
+};
+
+}  // namespace redundancy::net

@@ -1,0 +1,315 @@
+#include "net/event_loop.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <time.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#else
+// Completes the forward declaration so the scratch vector's destructor
+// instantiates; the epoll code paths are compiled out entirely.
+struct epoll_event {
+  int unused;
+};
+#endif
+
+#include <cerrno>
+#include <cstdint>
+#include <thread>
+
+namespace redundancy::net {
+
+namespace {
+
+/// Non-zero, stable id for the current thread (hash of std::thread::id).
+std::uint64_t thread_cookie() noexcept {
+  const std::uint64_t h =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return h == 0 ? 1 : h;
+}
+
+bool set_nonblocking(int fd) noexcept {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+#ifdef __linux__
+std::uint32_t to_epoll(std::uint32_t interest) noexcept {
+  std::uint32_t ev = EPOLLRDHUP;  // half-close is always interesting
+  if (interest & kReadable) ev |= EPOLLIN;
+  if (interest & kWritable) ev |= EPOLLOUT;
+  return ev;
+}
+
+std::uint32_t from_epoll(std::uint32_t ev) noexcept {
+  std::uint32_t events = 0;
+  if (ev & EPOLLIN) events |= kReadable;
+  if (ev & EPOLLOUT) events |= kWritable;
+  if (ev & EPOLLERR) events |= kError;
+  if (ev & (EPOLLHUP | EPOLLRDHUP)) events |= kHangup;
+  return events;
+}
+#endif
+
+short to_poll(std::uint32_t interest) noexcept {
+  short ev = 0;
+  if (interest & kReadable) ev |= POLLIN;
+  if (interest & kWritable) ev |= POLLOUT;
+  return ev;
+}
+
+std::uint32_t from_poll(short ev) noexcept {
+  std::uint32_t events = 0;
+  if (ev & POLLIN) events |= kReadable;
+  if (ev & POLLOUT) events |= kWritable;
+  if (ev & POLLERR) events |= kError;
+  if (ev & (POLLHUP | POLLNVAL)) events |= kHangup;
+  return events;
+}
+
+}  // namespace
+
+std::uint64_t monotonic_ms() noexcept {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000u +
+         static_cast<std::uint64_t>(ts.tv_nsec) / 1'000'000u;
+}
+
+EventLoop::EventLoop() : EventLoop(Options{}) {}
+
+EventLoop::EventLoop(Options options)
+    : options_(options),
+      wheel_(options.timer_slots, options.timer_tick_ms) {
+  backend_ = options.backend;
+#ifdef __linux__
+  if (backend_ == Backend::automatic) backend_ = Backend::epoll;
+#else
+  if (backend_ == Backend::automatic) backend_ = Backend::poll;
+  if (backend_ == Backend::epoll) return;  // not available: loop stays dead
+#endif
+
+#ifdef __linux__
+  if (backend_ == Backend::epoll) {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) return;
+    epoll_scratch_.resize(256);
+  }
+  const int efd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (efd >= 0) {
+    wake_read_fd_ = efd;
+    wake_write_fd_ = efd;
+  }
+#endif
+  if (wake_read_fd_ < 0) {
+    int fds[2] = {-1, -1};
+    if (::pipe(fds) != 0) return;
+    if (!set_nonblocking(fds[0]) || !set_nonblocking(fds[1])) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      return;
+    }
+    wake_read_fd_ = fds[0];
+    wake_write_fd_ = fds[1];
+  }
+  // The wakeup fd is a permanent registration.
+  add(wake_read_fd_, kReadable, nullptr);
+}
+
+EventLoop::~EventLoop() {
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0 && wake_write_fd_ != wake_read_fd_) {
+    ::close(wake_write_fd_);
+  }
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+bool EventLoop::ok() const noexcept { return wake_read_fd_ >= 0; }
+
+bool EventLoop::add(int fd, std::uint32_t interest, IoHandler* handler) {
+  if (!ok() || fd < 0) return false;
+  if (static_cast<std::size_t>(fd) >= table_.size()) {
+    table_.resize(static_cast<std::size_t>(fd) + 1);
+  }
+  Registration& reg = table_[static_cast<std::size_t>(fd)];
+  if (reg.interest != 0 || reg.handler != nullptr ||
+      fd == wake_read_fd_) {
+    if (fd != wake_read_fd_ || reg.interest != 0) return false;  // duplicate
+  }
+  if (!backend_add(fd, interest)) return false;
+  reg.handler = handler;
+  reg.interest = interest;
+  ++nfds_;
+  poll_dirty_ = true;
+  return true;
+}
+
+bool EventLoop::modify(int fd, std::uint32_t interest) {
+  if (!ok() || fd < 0 || static_cast<std::size_t>(fd) >= table_.size()) {
+    return false;
+  }
+  Registration& reg = table_[static_cast<std::size_t>(fd)];
+  if (reg.interest == 0 && reg.handler == nullptr) return false;
+  if (reg.interest == interest) return true;
+  if (!backend_modify(fd, interest)) return false;
+  reg.interest = interest;
+  poll_dirty_ = true;
+  return true;
+}
+
+void EventLoop::remove(int fd) {
+  if (fd < 0 || static_cast<std::size_t>(fd) >= table_.size()) return;
+  Registration& reg = table_[static_cast<std::size_t>(fd)];
+  if (reg.interest == 0 && reg.handler == nullptr) return;
+  backend_remove(fd);
+  reg = Registration{};
+  --nfds_;
+  poll_dirty_ = true;
+}
+
+void EventLoop::run() {
+  if (!ok()) return;
+  loop_thread_id_.store(thread_cookie(), std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  now_ms_ = monotonic_ms();
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int timeout =
+        wheel_.next_timeout_ms(now_ms_, options_.idle_timeout_ms);
+    const int ready = backend_wait(timeout);
+    if (ready < 0) break;  // backend failed hard (EINTR is mapped to 0)
+    wheel_.advance(now_ms_, [](TimerWheel::Timer& timer) {
+      // The wheel stores handler-owned timers; the owner cookie is the
+      // IoHandler to notify. A null owner is a plain deadline marker.
+      if (timer.owner() != nullptr) {
+        static_cast<IoHandler*>(timer.owner())->on_io(0);
+      }
+    });
+    if (cycle_handler_) cycle_handler_();
+  }
+  running_.store(false, std::memory_order_release);
+  stop_.store(false, std::memory_order_release);  // re-runnable
+}
+
+void EventLoop::stop() {
+  stop_.store(true, std::memory_order_release);
+  wake();
+}
+
+void EventLoop::wake() {
+  if (wake_write_fd_ < 0) return;
+  const std::uint64_t one = 1;
+  for (;;) {
+    const ssize_t n = ::write(wake_write_fd_, &one, sizeof one);
+    if (n >= 0 || errno != EINTR) break;  // EAGAIN: a wake is already queued
+  }
+}
+
+bool EventLoop::in_loop_thread() const noexcept {
+  return loop_thread_id_.load(std::memory_order_acquire) == thread_cookie();
+}
+
+void EventLoop::dispatch(int fd, std::uint32_t events) {
+  if (fd == wake_read_fd_) {
+    drain_wakeup();
+    if (wake_handler_) wake_handler_();
+    return;
+  }
+  if (static_cast<std::size_t>(fd) >= table_.size()) return;
+  const Registration reg = table_[static_cast<std::size_t>(fd)];
+  // A handler earlier in this batch may have removed (or re-registered)
+  // this fd; the table, not the stale readiness record, is authoritative.
+  if (reg.handler == nullptr) return;
+  reg.handler->on_io(events);
+}
+
+void EventLoop::drain_wakeup() {
+  std::uint64_t buf = 0;
+  // eventfd: one 8-byte read resets the counter. pipe: read until dry.
+  while (::read(wake_read_fd_, &buf, sizeof buf) > 0) {
+    if (wake_read_fd_ == wake_write_fd_) break;
+  }
+}
+
+bool EventLoop::backend_add(int fd, std::uint32_t interest) {
+#ifdef __linux__
+  if (backend_ == Backend::epoll) {
+    epoll_event ev{};
+    ev.events = to_epoll(interest);
+    ev.data.fd = fd;
+    return ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0;
+  }
+#endif
+  (void)interest;
+  return true;  // poll backend: the registration table is the state
+}
+
+bool EventLoop::backend_modify(int fd, std::uint32_t interest) {
+#ifdef __linux__
+  if (backend_ == Backend::epoll) {
+    epoll_event ev{};
+    ev.events = to_epoll(interest);
+    ev.data.fd = fd;
+    return ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0;
+  }
+#endif
+  (void)fd;
+  (void)interest;
+  return true;
+}
+
+void EventLoop::backend_remove(int fd) {
+#ifdef __linux__
+  if (backend_ == Backend::epoll) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+#endif
+  (void)fd;
+}
+
+int EventLoop::backend_wait(int timeout_ms) {
+#ifdef __linux__
+  if (backend_ == Backend::epoll) {
+    // Grow the ready buffer to the population so one wait can report every
+    // ready fd (a 10k-connection burst drains in one iteration).
+    if (epoll_scratch_.size() < nfds_) epoll_scratch_.resize(nfds_);
+    const int n = ::epoll_wait(epoll_fd_, epoll_scratch_.data(),
+                               static_cast<int>(epoll_scratch_.size()),
+                               timeout_ms);
+    if (n < 0) return errno == EINTR ? 0 : -1;
+    now_ms_ = monotonic_ms();  // handlers see the post-wait clock
+    for (int i = 0; i < n; ++i) {
+      dispatch(epoll_scratch_[static_cast<std::size_t>(i)].data.fd,
+               from_epoll(epoll_scratch_[static_cast<std::size_t>(i)].events));
+    }
+    return n;
+  }
+#endif
+  if (poll_dirty_) {
+    poll_scratch_.clear();
+    poll_scratch_.reserve(nfds_);
+    for (std::size_t fd = 0; fd < table_.size(); ++fd) {
+      const Registration& reg = table_[fd];
+      if (reg.interest == 0 && reg.handler == nullptr) continue;
+      pollfd pfd{};
+      pfd.fd = static_cast<int>(fd);
+      pfd.events = to_poll(reg.interest);
+      poll_scratch_.push_back(pfd);
+    }
+    poll_dirty_ = false;
+  }
+  const int n = ::poll(poll_scratch_.data(),
+                       static_cast<nfds_t>(poll_scratch_.size()), timeout_ms);
+  if (n < 0) return errno == EINTR ? 0 : -1;
+  now_ms_ = monotonic_ms();  // handlers see the post-wait clock
+  if (n == 0) return 0;
+  for (const pollfd& pfd : poll_scratch_) {
+    if (pfd.revents == 0) continue;
+    dispatch(pfd.fd, from_poll(pfd.revents));
+  }
+  return n;
+}
+
+}  // namespace redundancy::net

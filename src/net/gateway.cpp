@@ -1,0 +1,263 @@
+#include "net/gateway.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/health.hpp"
+#include "core/parallel_evaluation.hpp"
+#include "core/sequential_alternatives.hpp"
+#include "core/voters.hpp"
+#include "obs/obs.hpp"
+#include "util/signals.hpp"
+
+namespace redundancy::net {
+
+bool Gateway::start() {
+  if (running_.load(std::memory_order_acquire)) return false;
+  util::ignore_sigpipe();
+  install_builtin_routes();
+
+  loop_ = std::make_unique<EventLoop>(options_.loop);
+  if (!loop_->ok()) return false;
+  manager_ = std::make_unique<ConnManager>(*loop_, options_.conn);
+  batch_ = std::make_unique<util::BatchRunner>(options_.pool);
+
+  manager_->set_request_handler(
+      [this](std::uint64_t conn_id, const http::Request& request) {
+        on_request(conn_id, request);
+      });
+  loop_->set_wake_handler([this] { drain_completions(); });
+  loop_->set_cycle_handler([this] {
+    // One submit_batch per loop iteration, covering every request parsed
+    // during this iteration's dispatch phase.
+    if (!batch_->empty()) batch_->dispatch();
+    // A completion pushed between the last drain and the epoll_wait entry
+    // would wait a full idle tick; the queue check is one relaxed load.
+    if (!completions_.empty()) drain_completions();
+  });
+
+  if (!manager_->listen()) {
+    manager_.reset();
+    loop_.reset();
+    return false;
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { loop_->run(); });
+  return true;
+}
+
+void Gateway::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  loop_->stop();
+  thread_.join();
+  // The loop is dead: no thread touches the sockets any more, so teardown
+  // can run from here. In-flight jobs still execute on pool workers and
+  // push completions; wait for the last one, then free the orphans. A loop
+  // that died mid-iteration may leave undispatched tasks in the batch —
+  // flush them so every created job settles and the inflight wait ends.
+  if (!batch_->empty()) batch_->dispatch();
+  manager_->stop_listening();
+  manager_->close_all();
+  while (jobs_inflight_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (CompletionNode* node = completions_.drain(); node != nullptr;) {
+    CompletionNode* next = node->next;
+    delete static_cast<Job*>(node);
+    node = next;
+  }
+  manager_.reset();
+  batch_.reset();
+  loop_.reset();
+}
+
+void Gateway::on_request(std::uint64_t conn_id, const http::Request& request) {
+  const auto it = routes_.find(request.path);
+  if (it == routes_.end()) {
+    manager_->respond(conn_id,
+                      {404, "text/plain; charset=utf-8", "not found\n"});
+    return;
+  }
+  auto* job = new Job;
+  job->conn_id = conn_id;
+  job->request.method = std::string{request.method};
+  job->request.path = std::string{request.path};
+  job->request.query = std::string{request.query};
+  job->request.body = std::string{request.body};
+  job->handler = &it->second;
+  jobs_inflight_.fetch_add(1, std::memory_order_relaxed);
+  batch_->add([this, job] { run_job(job); });
+}
+
+void Gateway::run_job(Job* job) noexcept {
+  try {
+    job->response = (*job->handler)(job->request);
+  } catch (...) {
+    job->response = {500, "text/plain; charset=utf-8", "handler error\n"};
+  }
+  // Publish (and wake) before the inflight decrement: once jobs_inflight_
+  // hits zero during stop(), every job is reachable from the queue and no
+  // worker touches loop_ again.
+  const bool was_empty = completions_.push(job);
+  if (was_empty) loop_->wake();
+  jobs_inflight_.fetch_sub(1, std::memory_order_release);
+}
+
+void Gateway::drain_completions() {
+  for (CompletionNode* node = completions_.drain(); node != nullptr;) {
+    CompletionNode* next = node->next;
+    auto* job = static_cast<Job*>(node);
+    manager_->respond(job->conn_id, std::move(job->response));
+    delete job;
+    node = next;
+  }
+}
+
+void Gateway::install_builtin_routes() {
+  if (routes_.find("/metrics") == routes_.end()) {
+    add_route("/metrics", [](const Request&) -> http::Response {
+      obs::Recorder::instance().flush();
+      return {200, "text/plain; version=0.0.4; charset=utf-8",
+              obs::MetricsRegistry::instance().render_prometheus_text()};
+    });
+  }
+  if (routes_.find("/healthz") == routes_.end()) {
+    core::HealthTracker* health = options_.health;
+    add_route("/healthz", [health](const Request&) -> http::Response {
+      if (health == nullptr) {
+        return {200, "text/plain; charset=utf-8", "ok\n"};
+      }
+      obs::Recorder::instance().flush();
+      const core::HealthState state = health->overall();
+      return {state == core::HealthState::failing ? 503 : 200,
+              "text/plain; charset=utf-8", health->healthz_text()};
+    });
+  }
+}
+
+namespace {
+
+/// The demo serving surface: each route owns its pattern instance behind a
+/// mutex (pattern metrics are owner-thread by contract — the fan-out each
+/// run() performs on the pool is still parallel).
+struct DemoRoutes {
+  DemoRoutes()
+      : fast(fast_alternatives(), core::accept_all<std::uint64_t,
+                                                   std::uint64_t>()),
+        vote(vote_variants(),
+             core::majority_voter<std::uint64_t>(),
+             core::Concurrency::threaded) {
+    fast.set_obs_label("gateway_fast");
+    core::SequentialAlternatives<std::uint64_t,
+                                 std::uint64_t>::Options::Hedge hedge;
+    hedge.enabled = true;
+    hedge.fallback_budget_ns = 2'000'000;  // 2ms until the histogram warms
+    fast.set_hedge(hedge);
+    fast.enable_cache();
+    vote.set_obs_label("gateway_vote");
+  }
+
+  /// The demo computation both routes serve: a short iterated-hash chain
+  /// (cheap, deterministic, un-optimizable-away).
+  static std::uint64_t chain(std::uint64_t x, int rounds) {
+    for (int i = 0; i < rounds; ++i) {
+      x ^= x >> 33;
+      x *= 0xff51afd7ed558ccdULL;
+      x ^= x >> 29;
+    }
+    return x;
+  }
+
+  static std::vector<core::Variant<std::uint64_t, std::uint64_t>>
+  fast_alternatives() {
+    std::vector<core::Variant<std::uint64_t, std::uint64_t>> alts;
+    alts.push_back(core::make_variant<std::uint64_t, std::uint64_t>(
+        "chain/primary", [](const std::uint64_t& x) {
+          return core::Result<std::uint64_t>{chain(x, 64)};
+        }));
+    alts.push_back(core::make_variant<std::uint64_t, std::uint64_t>(
+        "chain/alternate", [](const std::uint64_t& x) {
+          return core::Result<std::uint64_t>{chain(x, 64)};
+        }));
+    return alts;
+  }
+
+  static std::vector<core::Variant<std::uint64_t, std::uint64_t>>
+  vote_variants() {
+    std::vector<core::Variant<std::uint64_t, std::uint64_t>> vars;
+    for (const char* name : {"chain/v1", "chain/v2", "chain/v3"}) {
+      vars.push_back(core::make_variant<std::uint64_t, std::uint64_t>(
+          name, [](const std::uint64_t& x) {
+            return core::Result<std::uint64_t>{chain(x, 64)};
+          }));
+    }
+    return vars;
+  }
+
+  std::mutex fast_m;
+  std::mutex vote_m;
+  core::SequentialAlternatives<std::uint64_t, std::uint64_t> fast;
+  core::ParallelEvaluation<std::uint64_t, std::uint64_t> vote;
+};
+
+}  // namespace
+
+void install_demo_routes(Gateway& gateway) {
+  auto demo = std::make_shared<DemoRoutes>();
+
+  gateway.add_route(
+      "/fast", [demo](const Gateway::Request& req) -> http::Response {
+        const std::uint64_t x = http::query_param(req.query, "x").value_or(0);
+        core::Result<std::uint64_t> r = [&] {
+          std::lock_guard lock(demo->fast_m);
+          return demo->fast.run(x);
+        }();
+        if (!r.has_value()) {
+          return {500, "text/plain; charset=utf-8", "unrecovered\n"};
+        }
+        return {200, "text/plain; charset=utf-8",
+                std::to_string(r.value()) + "\n"};
+      });
+
+  gateway.add_route(
+      "/vote", [demo](const Gateway::Request& req) -> http::Response {
+        const std::uint64_t x = http::query_param(req.query, "x").value_or(0);
+        core::Result<std::uint64_t> r = [&] {
+          std::lock_guard lock(demo->vote_m);
+          return demo->vote.run(x);
+        }();
+        if (!r.has_value()) {
+          return {500, "text/plain; charset=utf-8", "no quorum\n"};
+        }
+        return {200, "text/plain; charset=utf-8",
+                std::to_string(r.value()) + "\n"};
+      });
+
+  gateway.add_route("/echo",
+                    [](const Gateway::Request& req) -> http::Response {
+                      std::string body = req.body;
+                      if (body.empty()) {
+                        body = std::to_string(
+                                   http::query_param(req.query, "x")
+                                       .value_or(0)) +
+                               "\n";
+                      }
+                      return {200, "text/plain; charset=utf-8",
+                              std::move(body)};
+                    });
+
+  gateway.add_route(
+      "/big", [](const Gateway::Request& req) -> http::Response {
+        const std::uint64_t n =
+            http::query_param(req.query, "n").value_or(1 << 16);
+        constexpr std::uint64_t kMax = 64u << 20;
+        return {200, "application/octet-stream",
+                std::string(static_cast<std::size_t>(n > kMax ? kMax : n),
+                            'x')};
+      });
+}
+
+}  // namespace redundancy::net

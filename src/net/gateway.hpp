@@ -1,0 +1,138 @@
+// net::Gateway — the epoll front door of the redundancy engine.
+//
+// Composition of the pieces in this directory, wired for the batching
+// disciplines the engine already speaks:
+//
+//   EventLoop (one thread)          ThreadPool workers (N threads)
+//   ─────────────────────           ──────────────────────────────
+//   accept / read / parse
+//     └─ per request: heap Job, task into a BatchRunner
+//   cycle handler: ONE submit_batch per loop iteration ───▶ run handler
+//                                                          (redundancy
+//                                                           patterns)
+//   wake handler: drain CompletionQueue ◀─── push(Job) + one wake per
+//     └─ ConnManager::respond(conn_id)        burst (Treiber was-empty)
+//
+// A burst of K readable sockets therefore costs one epoll_wait, one
+// submit_batch epoch (one pending-counter update, one worker wake-up), and
+// one eventfd wake on the way back — not 3K syscalls/epochs.
+//
+// Route handlers run on pool workers and return an http::Response; the
+// built-in demo routes put the paper's redundancy patterns directly on the
+// serving path (hedged sequential alternatives with the result cache,
+// N-of-M voting), and /metrics + /healthz are served in-process so the
+// gateway is observable through itself.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "net/completion_queue.hpp"
+#include "net/conn_manager.hpp"
+#include "net/event_loop.hpp"
+#include "net/http.hpp"
+#include "util/thread_pool.hpp"
+
+namespace redundancy::core {
+class HealthTracker;
+}  // namespace redundancy::core
+
+namespace redundancy::net {
+
+class Gateway {
+ public:
+  /// An owned copy of one request, alive for the whole worker-side journey
+  /// (the connection's buffers mutate as soon as the handler is queued).
+  struct Request {
+    std::string method;
+    std::string path;
+    std::string query;
+    std::string body;
+  };
+
+  /// Runs on a pool worker; must be callable concurrently. Throwing yields
+  /// a 500 for that request only.
+  using Handler = std::function<http::Response(const Request&)>;
+
+  struct Options {
+    ConnManager::Options conn;
+    EventLoop::Options loop;
+    /// Engine to dispatch into; nullptr = ThreadPool::shared().
+    util::ThreadPool* pool = nullptr;
+    /// When set, /healthz folds this tracker's verdict-derived state in
+    /// (503 on failing) instead of the plain liveness answer.
+    core::HealthTracker* health = nullptr;
+  };
+
+  Gateway() = default;
+  explicit Gateway(Options options) : options_(std::move(options)) {}
+  Gateway(const Gateway&) = delete;
+  Gateway& operator=(const Gateway&) = delete;
+  ~Gateway() { stop(); }
+
+  /// Register a handler for an exact path. Before start() only.
+  void add_route(std::string path, Handler handler) {
+    routes_[std::move(path)] = std::move(handler);
+  }
+
+  /// Bind, install /metrics + /healthz, spawn the loop thread. False when
+  /// the socket or backend could not be set up. Ignores SIGPIPE.
+  bool start();
+
+  /// Stop the loop, close every connection, and wait for in-flight jobs to
+  /// settle (their responses are dropped — the sockets are gone).
+  /// Idempotent; also runs on destruction.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint16_t port() const noexcept {
+    return manager_ ? manager_->port() : 0;
+  }
+  /// Jobs created minus jobs completed/dropped (for tests; exact once the
+  /// loop is stopped).
+  [[nodiscard]] std::uint64_t jobs_inflight() const noexcept {
+    return jobs_inflight_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Job : CompletionNode {
+    std::uint64_t conn_id = 0;
+    Request request;
+    const Handler* handler = nullptr;  ///< owned by routes_, outlives the job
+    http::Response response;
+  };
+
+  void on_request(std::uint64_t conn_id, const http::Request& request);
+  void run_job(Job* job) noexcept;
+  void drain_completions();
+  void install_builtin_routes();
+
+  Options options_;
+  std::map<std::string, Handler, std::less<>> routes_;
+  std::unique_ptr<EventLoop> loop_;
+  std::unique_ptr<ConnManager> manager_;
+  std::unique_ptr<util::BatchRunner> batch_;
+  CompletionQueue completions_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> jobs_inflight_{0};
+};
+
+/// Install the demo serving surface used by the example server and the
+/// gateway benchmark — the paper's patterns behind real routes:
+///   /fast?x=N  hedged SequentialAlternatives + RedundancyCache
+///   /vote?x=N  3-variant ParallelEvaluation under a majority voter
+///   /echo      body (or ?x=) echoed back
+///   /big?n=N   N bytes of payload (write-backpressure fodder)
+/// Handlers serialize each pattern behind a mutex (pattern metrics are
+/// owner-thread by contract); the fan-out inside stays parallel.
+void install_demo_routes(Gateway& gateway);
+
+}  // namespace redundancy::net

@@ -1,0 +1,192 @@
+#include "net/http.hpp"
+
+namespace redundancy::net::http {
+
+namespace {
+
+constexpr std::string_view kHeadEnd = "\r\n\r\n";
+
+/// ASCII case-insensitive prefix match (header names).
+bool iprefix(std::string_view line, std::string_view prefix) {
+  if (line.size() < prefix.size()) return false;
+  for (std::size_t i = 0; i < prefix.size(); ++i) {
+    const char a = line[i];
+    const char b = prefix[i];
+    const char al = (a >= 'A' && a <= 'Z') ? static_cast<char>(a + 32) : a;
+    const char bl = (b >= 'A' && b <= 'Z') ? static_cast<char>(b + 32) : b;
+    if (al != bl) return false;
+  }
+  return true;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Parse a full decimal uint64 out of `s`; nullopt on empty/garbage/overflow.
+std::optional<std::uint64_t> parse_u64(std::string_view s) {
+  if (s.empty() || s.size() > 20) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return std::nullopt;  // overflow
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+}  // namespace
+
+ParseResult parse_head(std::string_view buffer,
+                       std::size_t max_request_bytes) {
+  ParseResult out;
+  const std::size_t head_end = buffer.find(kHeadEnd);
+  if (head_end == std::string_view::npos) {
+    // No terminator yet: incomplete, unless the cap proves one can never
+    // arrive in bounds.
+    out.status = (max_request_bytes != 0 && buffer.size() > max_request_bytes)
+                     ? ParseStatus::too_large
+                     : ParseStatus::incomplete;
+    return out;
+  }
+  const std::size_t head_len = head_end + kHeadEnd.size();
+  if (max_request_bytes != 0 && head_len > max_request_bytes) {
+    out.status = ParseStatus::too_large;
+    return out;
+  }
+
+  const std::string_view head = buffer.substr(0, head_end);
+
+  // Request line: METHOD SP target SP version.
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? std::string_view::npos
+                                    : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      sp1 == 0 || sp2 == sp1 + 1) {
+    out.status = ParseStatus::bad;
+    return out;
+  }
+  Request req;
+  req.method = line.substr(0, sp1);
+  req.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t q = req.target.find('?');
+  if (q == std::string_view::npos) {
+    req.path = req.target;
+  } else {
+    req.path = req.target.substr(0, q);
+    req.query = req.target.substr(q + 1);
+  }
+
+  // Header lines: only Content-Length and Connection matter here.
+  std::uint64_t content_length = 0;
+  std::size_t pos = line_end == std::string_view::npos ? head.size()
+                                                       : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t end = head.find("\r\n", pos);
+    if (end == std::string_view::npos) end = head.size();
+    const std::string_view header = head.substr(pos, end - pos);
+    if (iprefix(header, "content-length:")) {
+      const auto value = parse_u64(trim(header.substr(15)));
+      if (!value.has_value()) {
+        out.status = ParseStatus::bad;
+        return out;
+      }
+      content_length = *value;
+    } else if (iprefix(header, "connection:")) {
+      const std::string_view value = trim(header.substr(11));
+      if (value.size() == 5 && iprefix(value, "close")) {
+        req.keep_alive = false;
+      }
+    }
+    pos = end + 2;
+  }
+
+  req.content_length = static_cast<std::size_t>(content_length);
+  out.status = ParseStatus::ok;
+  out.request = req;
+  out.consumed = head_len;
+  return out;
+}
+
+ParseResult parse_request(std::string_view buffer,
+                          std::size_t max_request_bytes) {
+  ParseResult out = parse_head(buffer, max_request_bytes);
+  if (out.status != ParseStatus::ok) return out;
+  const std::size_t head_len = out.consumed;
+  const std::size_t content_length = out.request.content_length;
+  if (max_request_bytes != 0 &&
+      (content_length > max_request_bytes ||
+       head_len > max_request_bytes - content_length)) {
+    out = ParseResult{};
+    out.status = ParseStatus::too_large;
+    return out;
+  }
+  if (buffer.size() - head_len < content_length) {
+    out = ParseResult{};
+    out.status = ParseStatus::incomplete;
+    return out;
+  }
+  out.request.body = buffer.substr(head_len, content_length);
+  out.consumed = head_len + content_length;
+  return out;
+}
+
+const char* reason_phrase(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "OK";
+  }
+}
+
+std::string response_head(int status, std::string_view content_type,
+                          std::size_t content_length, bool keep_alive) {
+  std::string head;
+  head.reserve(96 + content_type.size());
+  head += "HTTP/1.1 ";
+  head += std::to_string(status);
+  head += ' ';
+  head += reason_phrase(status);
+  head += "\r\nContent-Type: ";
+  head += content_type;
+  head += "\r\nContent-Length: ";
+  head += std::to_string(content_length);
+  head += keep_alive ? "\r\nConnection: keep-alive\r\n\r\n"
+                     : "\r\nConnection: close\r\n\r\n";
+  return head;
+}
+
+std::optional<std::uint64_t> query_param(std::string_view query,
+                                         std::string_view key) {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t end = query.find('&', pos);
+    if (end == std::string_view::npos) end = query.size();
+    const std::string_view param = query.substr(pos, end - pos);
+    if (param.size() > key.size() && param.substr(0, key.size()) == key &&
+        param[key.size()] == '=') {
+      return parse_u64(param.substr(key.size() + 1));
+    }
+    pos = end + 1;
+  }
+  return std::nullopt;
+}
+
+}  // namespace redundancy::net::http

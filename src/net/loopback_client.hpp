@@ -1,0 +1,116 @@
+// Blocking loopback HTTP client helpers shared by the net:: tests, the
+// examples, and the gateway load generator: a raw POSIX-socket client so
+// what is observed is the exact wire behaviour a real peer sees (including
+// EOFs, resets, and partial writes). Deliberately synchronous and simple —
+// this is the measurement/driver side, not the serving side.
+#pragma once
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace redundancy::net::loopback {
+
+/// Connect a blocking TCP socket to 127.0.0.1:port; -1 on failure.
+inline int connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+inline bool send_all(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+struct Reply {
+  int status = 0;
+  std::string head;
+  std::string body;
+  bool complete = false;  ///< a full head+Content-Length body was read
+};
+
+/// Read exactly one response (head + Content-Length body) off a keep-alive
+/// connection. Blocking, bounded by the peer's write behaviour. The head is
+/// read byte-wise and the body with exact counts so pipelined responses
+/// behind this one are never consumed (no client-side buffering needed).
+inline Reply read_response(int fd) {
+  Reply reply;
+  while (reply.head.find("\r\n\r\n") == std::string::npos) {
+    char c = 0;
+    const ssize_t n = ::recv(fd, &c, 1, 0);
+    if (n <= 0) return reply;  // EOF/reset before a full head
+    reply.head.push_back(c);
+  }
+  reply.head.resize(reply.head.size() - 4);  // drop the blank-line marker
+  if (reply.head.rfind("HTTP/1.1 ", 0) == 0) {
+    reply.status = std::atoi(reply.head.c_str() + 9);
+  }
+  std::size_t content_length = 0;
+  const std::size_t cl = reply.head.find("Content-Length: ");
+  if (cl != std::string::npos) {
+    content_length = std::strtoull(reply.head.c_str() + cl + 16, nullptr, 10);
+  }
+  char buf[4096];
+  while (reply.body.size() < content_length) {
+    const std::size_t want =
+        content_length - reply.body.size() < sizeof buf
+            ? content_length - reply.body.size()
+            : sizeof buf;
+    const ssize_t n = ::recv(fd, buf, want, 0);
+    if (n <= 0) return reply;  // EOF/reset before a full body
+    reply.body.append(buf, static_cast<std::size_t>(n));
+  }
+  reply.complete = true;
+  return reply;
+}
+
+/// One-shot GET on a fresh connection (Connection: close), read to EOF.
+inline Reply http_get(std::uint16_t port, const std::string& target) {
+  Reply reply;
+  const int fd = connect_loopback(port);
+  if (fd < 0) return reply;
+  send_all(fd, "GET " + target +
+                   " HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+  reply = read_response(fd);
+  ::close(fd);
+  return reply;
+}
+
+/// True when the peer closes (EOF) within ~timeout_ms; false on timeout or
+/// if data keeps arriving past the deadline.
+inline bool wait_for_eof(int fd, int timeout_ms) {
+  char buf[1024];
+  for (;;) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, timeout_ms) <= 0) return false;
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) return true;  // EOF or reset both count as closed
+  }
+}
+
+}  // namespace redundancy::net::loopback

@@ -1,0 +1,170 @@
+// net::TimerWheel — hashed timer wheel for connection deadlines.
+//
+// A gateway holding 10k+ connections arms and re-arms a timeout on every
+// state transition of every connection (idle while reading, a write
+// deadline while flushing, a drain deadline while half-closed). A sorted
+// structure (std::map / priority_queue) would pay O(log n) per re-arm and
+// allocate nodes; the wheel pays O(1) per arm/cancel with zero allocation:
+// timers are *intrusive* doubly-linked nodes owned by their connection,
+// hashed into a power-of-two array of slots by deadline tick. advance()
+// walks only the slots the clock has passed; an entry whose deadline is
+// still in the future (a far-out timer that wrapped the wheel) is left in
+// place and re-examined on a later lap.
+//
+// Single-threaded by contract: the wheel lives inside an EventLoop and is
+// touched only from the loop thread, so there is no lock anywhere. Firing
+// detaches the timer *before* invoking the callback, so a callback may
+// re-arm its own timer (the idle-timeout refresh pattern) or destroy the
+// owning connection (timers detach themselves on destruction).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace redundancy::net {
+
+class TimerWheel {
+ public:
+  /// Intrusive timer node. Embed one per deadline the owner needs; the
+  /// destructor detaches it, so a Timer member makes connection teardown
+  /// safe without explicit cancel calls. `owner` is an opaque cookie the
+  /// fire callback uses to find the enclosing object.
+  class Timer {
+   public:
+    Timer() = default;
+    explicit Timer(void* owner) : owner_(owner) {}
+    Timer(const Timer&) = delete;
+    Timer& operator=(const Timer&) = delete;
+    ~Timer() { detach(); }
+
+    [[nodiscard]] bool armed() const noexcept { return slot_ != kUnlinked; }
+    [[nodiscard]] void* owner() const noexcept { return owner_; }
+    void set_owner(void* owner) noexcept { owner_ = owner; }
+    /// Absolute deadline (ms on the wheel's clock); meaningful while armed.
+    [[nodiscard]] std::uint64_t deadline_ms() const noexcept {
+      return deadline_ms_;
+    }
+
+   private:
+    friend class TimerWheel;
+    static constexpr std::size_t kUnlinked = static_cast<std::size_t>(-1);
+
+    /// Unlink and keep the owning wheel's armed count exact — called from
+    /// arm/cancel/fire and from the destructor of a still-armed timer.
+    void detach() noexcept {
+      if (slot_ == kUnlinked) return;
+      if (prev_ != nullptr) prev_->next_ = next_;
+      if (next_ != nullptr) next_->prev_ = prev_;
+      if (head_slot_ != nullptr && *head_slot_ == this) *head_slot_ = next_;
+      prev_ = next_ = nullptr;
+      head_slot_ = nullptr;
+      slot_ = kUnlinked;
+      if (wheel_ != nullptr) --wheel_->armed_;
+      wheel_ = nullptr;
+    }
+
+    void* owner_ = nullptr;
+    TimerWheel* wheel_ = nullptr;  ///< non-null while armed
+    Timer* prev_ = nullptr;
+    Timer* next_ = nullptr;
+    Timer** head_slot_ = nullptr;  ///< the slot head this node is linked in
+    std::size_t slot_ = kUnlinked;
+    std::uint64_t deadline_ms_ = 0;
+  };
+
+  /// `slots` is rounded up to a power of two; `tick_ms` is the granularity
+  /// deadlines are quantized to (a timer can fire up to one tick late).
+  explicit TimerWheel(std::size_t slots = 512, std::uint64_t tick_ms = 10)
+      : tick_ms_(tick_ms == 0 ? 1 : tick_ms) {
+    std::size_t n = 1;
+    while (n < slots && n < (std::size_t{1} << 20)) n <<= 1;
+    mask_ = n - 1;
+    slots_ = std::make_unique<Timer*[]>(n);
+    for (std::size_t i = 0; i <= mask_; ++i) slots_[i] = nullptr;
+  }
+
+  [[nodiscard]] std::size_t slot_count() const noexcept { return mask_ + 1; }
+  [[nodiscard]] std::uint64_t tick_ms() const noexcept { return tick_ms_; }
+
+  /// Arm (or re-arm) `timer` to fire `delay_ms` after `now_ms`. O(1).
+  void arm(Timer& timer, std::uint64_t now_ms, std::uint64_t delay_ms) {
+    timer.detach();
+    timer.deadline_ms_ = now_ms + delay_ms;
+    const std::size_t slot =
+        static_cast<std::size_t>(timer.deadline_ms_ / tick_ms_) & mask_;
+    timer.wheel_ = this;
+    timer.slot_ = slot;
+    timer.head_slot_ = &slots_[slot];
+    timer.next_ = slots_[slot];
+    timer.prev_ = nullptr;
+    if (timer.next_ != nullptr) timer.next_->prev_ = &timer;
+    slots_[slot] = &timer;
+    if (armed_ == 0 || timer.deadline_ms_ < next_deadline_hint_) {
+      next_deadline_hint_ = timer.deadline_ms_;
+    }
+    ++armed_;
+  }
+
+  void cancel(Timer& timer) noexcept { timer.detach(); }
+
+  [[nodiscard]] std::size_t armed() const noexcept { return armed_; }
+
+  /// Milliseconds until the earliest plausible deadline (for the poll/epoll
+  /// timeout); `idle_ms` when nothing is armed. The hint is conservative —
+  /// it may be earlier than the true next deadline after cancels, never
+  /// later, so the loop can only wake early, not miss a timer.
+  [[nodiscard]] int next_timeout_ms(std::uint64_t now_ms,
+                                    int idle_ms) const noexcept {
+    if (armed_ == 0) return idle_ms;
+    if (next_deadline_hint_ <= now_ms) return 0;
+    const std::uint64_t delta = next_deadline_hint_ - now_ms;
+    const std::uint64_t capped =
+        delta > static_cast<std::uint64_t>(idle_ms)
+            ? static_cast<std::uint64_t>(idle_ms)
+            : delta;
+    return static_cast<int>(capped);
+  }
+
+  /// Fire every timer whose deadline has passed. `fn(Timer&)` is invoked
+  /// after the timer is detached, so it may re-arm or destroy it. Walks
+  /// only the slots between the previous advance and `now_ms`.
+  template <typename Fn>
+  void advance(std::uint64_t now_ms, Fn&& fn) {
+    if (armed_ == 0) {
+      last_tick_ = now_ms / tick_ms_;
+      return;
+    }
+    const std::uint64_t now_tick = now_ms / tick_ms_;
+    // First advance (or a clock far ahead of the wheel span): sweep every
+    // slot once instead of walking millions of empty ticks.
+    std::uint64_t from = last_tick_;
+    if (now_tick - from > mask_) from = now_tick - mask_ - 1;
+    for (std::uint64_t tick = from; tick <= now_tick; ++tick) {
+      Timer* entry = slots_[static_cast<std::size_t>(tick) & mask_];
+      while (entry != nullptr) {
+        Timer* next = entry->next_;
+        if (entry->deadline_ms_ <= now_ms) {
+          entry->detach();
+          fn(*entry);
+          // fn may have mutated this slot (re-arm lands elsewhere or at the
+          // head); `next` was captured first, and a node re-armed into this
+          // same slot carries a future deadline, so the walk stays safe.
+        }
+        entry = next;
+      }
+    }
+    last_tick_ = now_tick;
+    next_deadline_hint_ = now_ms + tick_ms_;  // earliest a survivor can fire
+  }
+
+ private:
+  std::unique_ptr<Timer*[]> slots_;
+  std::size_t mask_ = 0;
+  std::uint64_t tick_ms_;
+  std::uint64_t last_tick_ = 0;
+  std::size_t armed_ = 0;
+  std::uint64_t next_deadline_hint_ = 0;
+};
+
+}  // namespace redundancy::net

@@ -6,9 +6,9 @@
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstdlib>
 #include <utility>
 
+#include "net/http.hpp"
 #include "obs/metrics_registry.hpp"
 
 namespace redundancy::obs {
@@ -20,36 +20,10 @@ constexpr int kRequestTimeoutMs = 2000;
 constexpr std::size_t kMaxRequestBytes = 8192;
 constexpr std::size_t kDefaultTraceTail = 32;
 
-const char* reason_phrase(int status) {
-  switch (status) {
-    case 200: return "OK";
-    case 400: return "Bad Request";
-    case 404: return "Not Found";
-    case 405: return "Method Not Allowed";
-    case 408: return "Request Timeout";
-    case 503: return "Service Unavailable";
-    default: return "OK";
-  }
-}
-
-/// Parse "n=K" out of a query string; default when absent or malformed.
-std::size_t tail_count(const std::string& query) {
-  std::size_t pos = 0;
-  while (pos < query.size()) {
-    std::size_t end = query.find('&', pos);
-    if (end == std::string::npos) end = query.size();
-    const std::string param = query.substr(pos, end - pos);
-    if (param.rfind("n=", 0) == 0) {
-      const std::string value = param.substr(2);
-      char* stop = nullptr;
-      const unsigned long long n = std::strtoull(value.c_str(), &stop, 10);
-      if (stop != value.c_str() && *stop == '\0' && n > 0) {
-        return static_cast<std::size_t>(n);
-      }
-      return kDefaultTraceTail;
-    }
-    pos = end + 1;
-  }
+/// "n=K" out of a query string; default when absent, malformed or zero.
+std::size_t tail_count(std::string_view query) {
+  const auto n = net::http::query_param(query, "n");
+  if (n.has_value() && *n > 0) return static_cast<std::size_t>(*n);
   return kDefaultTraceTail;
 }
 
@@ -165,25 +139,21 @@ void HttpExporter::handle_connection(int fd) {
   }
 
   if (parse) {
-    // Request line: METHOD SP target SP version.
-    const std::size_t line_end = request.find("\r\n");
-    const std::string line = request.substr(0, line_end);
-    const std::size_t sp1 = line.find(' ');
-    const std::size_t sp2 = line.find(' ', sp1 + 1);
-    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    // Shared head parser; the exporter never reads request bodies (GET
+    // only), so a declared Content-Length is parsed but not awaited.
+    const net::http::ParseResult parsed = net::http::parse_head(request);
+    if (parsed.status != net::http::ParseStatus::ok) {
       response = {400, "text/plain; charset=utf-8", "bad request\n"};
-    } else if (line.substr(0, sp1) != "GET") {
+    } else if (parsed.request.method != "GET") {
       response = {405, "text/plain; charset=utf-8", "method not allowed\n"};
     } else {
-      response = route(line.substr(sp1 + 1, sp2 - sp1 - 1));
+      response = route(std::string{parsed.request.target});
     }
   }
 
-  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
-                     reason_phrase(response.status) + "\r\n";
-  head += "Content-Type: " + response.content_type + "\r\n";
-  head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
-  head += "Connection: close\r\n\r\n";
+  std::string head = net::http::response_head(
+      response.status, response.content_type, response.body.size(),
+      /*keep_alive=*/false);
   // Count before the reply bytes leave: a scraper that has read a complete
   // response must observe the incremented counter.
   served_.fetch_add(1, std::memory_order_relaxed);

@@ -25,15 +25,15 @@
 #include <string>
 #include <thread>
 
+#include "net/http.hpp"
+
 namespace redundancy::obs {
 
 /// What a route handler returns; the exporter adds the status line,
-/// Content-Length and Connection: close.
-struct HttpResponse {
-  int status = 200;
-  std::string content_type = "text/plain; charset=utf-8";
-  std::string body;
-};
+/// Content-Length and Connection: close. The struct itself is the shared
+/// net::http::Response — the gateway's handlers return the same type, so
+/// a /metrics or /healthz handler is portable between the two servers.
+using HttpResponse = net::http::Response;
 
 class HttpExporter {
  public:

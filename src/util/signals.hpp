@@ -1,0 +1,22 @@
+// Process-wide signal hygiene for components that write to sockets.
+//
+// A peer that disappears mid-response turns the next send() into SIGPIPE,
+// and the default disposition kills the process — the one failure mode a
+// redundancy layer must never import from the transport. Every send in the
+// tree passes MSG_NOSIGNAL, but that flag does not cover write()s made by
+// third-party code sharing the process, so socket-owning subsystems (the
+// gateway, live telemetry) also ignore the signal process-wide at startup.
+#pragma once
+
+#include <csignal>
+
+namespace redundancy::util {
+
+/// Idempotent, thread-safe-enough (both racers store the same disposition).
+inline void ignore_sigpipe() noexcept {
+#ifdef SIGPIPE
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
+}
+
+}  // namespace redundancy::util

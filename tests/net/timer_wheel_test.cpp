@@ -1,0 +1,125 @@
+// TimerWheel unit tests: O(1) arm/cancel bookkeeping, deadline-exact
+// firing, re-arm/destroy from inside the fire callback, and the wrap-around
+// lap behaviour (a far-future timer sharing a slot with a due one).
+#include "net/timer_wheel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace redundancy::net {
+namespace {
+
+TEST(TimerWheel, FiresAtDeadlineNotBefore) {
+  TimerWheel wheel{16, 10};
+  TimerWheel::Timer t;
+  wheel.arm(t, /*now=*/1000, /*delay=*/50);
+  EXPECT_TRUE(t.armed());
+  EXPECT_EQ(wheel.armed(), 1u);
+
+  int fired = 0;
+  wheel.advance(1040, [&](TimerWheel::Timer&) { ++fired; });
+  EXPECT_EQ(fired, 0);
+  EXPECT_TRUE(t.armed());
+  wheel.advance(1050, [&](TimerWheel::Timer&) { ++fired; });
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(t.armed());
+  EXPECT_EQ(wheel.armed(), 0u);
+}
+
+TEST(TimerWheel, CancelPreventsFiring) {
+  TimerWheel wheel{16, 10};
+  TimerWheel::Timer t;
+  wheel.arm(t, 0, 20);
+  wheel.cancel(t);
+  EXPECT_FALSE(t.armed());
+  EXPECT_EQ(wheel.armed(), 0u);
+  int fired = 0;
+  wheel.advance(100, [&](TimerWheel::Timer&) { ++fired; });
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(TimerWheel, DestructorDetachesAndKeepsCountExact) {
+  TimerWheel wheel{16, 10};
+  {
+    TimerWheel::Timer t;
+    wheel.arm(t, 0, 1000);
+    EXPECT_EQ(wheel.armed(), 1u);
+  }  // destroyed while armed
+  EXPECT_EQ(wheel.armed(), 0u);
+  // With nothing armed, the loop timeout falls back to the idle tick.
+  EXPECT_EQ(wheel.next_timeout_ms(0, 100), 100);
+}
+
+TEST(TimerWheel, RearmFromFireCallback) {
+  TimerWheel wheel{16, 10};
+  TimerWheel::Timer t;
+  wheel.arm(t, 0, 10);
+  int fired = 0;
+  wheel.advance(10, [&](TimerWheel::Timer& timer) {
+    if (++fired == 1) wheel.arm(timer, 10, 10);  // refresh pattern
+  });
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(t.armed());
+  wheel.advance(20, [&](TimerWheel::Timer&) { ++fired; });
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(t.armed());
+}
+
+TEST(TimerWheel, DestroyOwnerFromFireCallback) {
+  TimerWheel wheel{16, 10};
+  auto t = std::make_unique<TimerWheel::Timer>();
+  wheel.arm(*t, 0, 10);
+  wheel.advance(10, [&](TimerWheel::Timer& timer) {
+    ASSERT_EQ(&timer, t.get());
+    t.reset();  // the connection-teardown pattern: timer dies inside fn
+  });
+  EXPECT_EQ(wheel.armed(), 0u);
+}
+
+TEST(TimerWheel, FarFutureTimerSurvivesLaps) {
+  // 16 slots × 10ms tick = one lap per 160ms; a 500ms timer shares slots
+  // with near deadlines and must survive several laps untouched.
+  TimerWheel wheel{16, 10};
+  TimerWheel::Timer near_t, far_t;
+  wheel.arm(near_t, 0, 20);
+  wheel.arm(far_t, 0, 500);
+  std::vector<const TimerWheel::Timer*> fired;
+  for (std::uint64_t now = 10; now <= 490; now += 10) {
+    wheel.advance(now, [&](TimerWheel::Timer& t) { fired.push_back(&t); });
+  }
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], &near_t);
+  EXPECT_TRUE(far_t.armed());
+  wheel.advance(500, [&](TimerWheel::Timer& t) { fired.push_back(&t); });
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[1], &far_t);
+}
+
+TEST(TimerWheel, BigClockJumpSweepsWholeWheelOnce) {
+  TimerWheel wheel{16, 10};
+  TimerWheel::Timer a, b;
+  wheel.arm(a, 0, 30);
+  wheel.arm(b, 0, 70);
+  int fired = 0;
+  // A jump far beyond the wheel span (e.g. the loop slept in epoll_wait)
+  // must still fire everything exactly once.
+  wheel.advance(1'000'000, [&](TimerWheel::Timer&) { ++fired; });
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(wheel.armed(), 0u);
+}
+
+TEST(TimerWheel, NextTimeoutHintIsConservative) {
+  TimerWheel wheel{64, 10};
+  TimerWheel::Timer t;
+  wheel.arm(t, 1000, 40);
+  // Hint must never exceed the true deadline delta (it may be smaller).
+  EXPECT_LE(wheel.next_timeout_ms(1000, 100), 40);
+  EXPECT_GT(wheel.next_timeout_ms(1000, 100), 0);
+  // Past-due deadline: poll timeout zero, not negative.
+  EXPECT_EQ(wheel.next_timeout_ms(2000, 100), 0);
+}
+
+}  // namespace
+}  // namespace redundancy::net
