@@ -1,20 +1,33 @@
 // gateway_demo: a long-running net::Gateway host for end-to-end drills —
 // the demo routes (/fast hedged+cached, /vote 3-variant majority, /echo,
-// /big) plus the in-process /metrics and /healthz, served until SIGTERM or
-// SIGINT. This is what the gateway-e2e CI job curls against.
+// /big) plus the in-process /metrics, /healthz, /slo and /debug/flight,
+// served until SIGTERM or SIGINT. This is what the gateway-e2e CI job
+// curls against.
 //
 // Environment:
 //   REDUNDANCY_GATEWAY_PORT       listen port (default 8217)
 //   REDUNDANCY_GATEWAY_LINGER_MS  exit after this long even without a
 //                                 signal (default: run until signalled)
+//   REDUNDANCY_SLO_TARGETS        per-route SLOs, class=latency_ms@avail_pct
+//                                 (default "/fast=50@99,/vote=50@99"); the
+//                                 tracker rotates windows, serves /slo, and
+//                                 feeds slo:<route> verdicts into /healthz
+//   REDUNDANCY_SLO_EPOCH_MS       window rotation period (default 10000)
+//   REDUNDANCY_FLIGHT_DUMP        enable the flight recorder, install the
+//                                 crash handler appending to this path, and
+//                                 dump there on a page-level SLO breach
+//   REDUNDANCY_FLIGHT_RING        flight records per thread (default 1024)
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <thread>
 
 #include "core/health.hpp"
 #include "net/gateway.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/slo.hpp"
 
 namespace {
 
@@ -32,10 +45,54 @@ std::size_t env_or(const char* name, std::size_t fallback) {
 int main() {
   using namespace redundancy;
   core::HealthTracker health;
+
+  // SLO tracker over the demo routes; defaults keep the e2e drill honest
+  // even with no environment set.
+  const char* slo_spec = std::getenv("REDUNDANCY_SLO_TARGETS");
+  if (slo_spec == nullptr || *slo_spec == '\0') {
+    slo_spec = "/fast=50@99,/vote=50@99";
+  }
+  obs::SloTracker::Options slo_options;
+  slo_options.epoch_ns =
+      static_cast<std::uint64_t>(env_or("REDUNDANCY_SLO_EPOCH_MS", 10'000)) *
+      1'000'000ull;
+  obs::SloTracker slo{slo_options};
+  for (const auto& [cls, target] : obs::parse_slo_targets(slo_spec)) {
+    slo.register_class(cls, target);
+  }
+  slo.set_verdict_callback([&health](const obs::AdjudicationEvent& verdict) {
+    health.observe(verdict);
+  });
+
+  const char* flight_path = std::getenv("REDUNDANCY_FLIGHT_DUMP");
+  if (flight_path != nullptr && *flight_path != '\0') {
+    auto& flight = obs::FlightRecorder::instance();
+    flight.enable(env_or("REDUNDANCY_FLIGHT_RING", 1024));
+    flight.install_crash_handler(flight_path);
+    const std::string dump_path{flight_path};
+    slo.set_breach_callback(
+        [dump_path](const std::string& cls, const std::string& rule) {
+          std::fprintf(stderr,
+                       "gateway_demo: SLO breach on %s (%s); dumping flight "
+                       "recorder -> %s\n",
+                       cls.c_str(), rule.c_str(), dump_path.c_str());
+          obs::FlightRecorder::instance().dump_to_path(dump_path.c_str());
+        });
+    std::fprintf(stderr, "gateway_demo: flight recorder on, crash dump -> %s\n",
+                 flight_path);
+  } else {
+    // Always-on black box even without a dump path: /debug/flight works,
+    // only the crash handler is left uninstalled.
+    obs::FlightRecorder::instance().enable(
+        env_or("REDUNDANCY_FLIGHT_RING", 1024));
+  }
+  slo.start();
+
   net::Gateway::Options options;
   options.conn.port =
       static_cast<std::uint16_t>(env_or("REDUNDANCY_GATEWAY_PORT", 8217));
   options.health = &health;
+  options.slo = &slo;
   net::Gateway gateway{options};
   net::install_demo_routes(gateway);
   if (!gateway.start()) {
@@ -55,6 +112,7 @@ int main() {
     elapsed_ms += 50;
   }
   gateway.stop();
+  slo.stop();
   std::printf("gateway_demo: clean shutdown, jobs in flight: %zu\n",
               gateway.jobs_inflight());
   return gateway.jobs_inflight() == 0 ? 0 : 1;

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # End-to-end drill for the net::Gateway front door: start the long-running
 # gateway_demo host, drive real traffic through every demo route, verify
-# the in-process /metrics and /healthz endpoints answer through the same
-# socket, then run the exp_gateway load generator for the machine-readable
-# BENCH_exp_gateway.json artifact.
+# the in-process /metrics, /healthz, /slo and /debug/flight endpoints
+# answer through the same socket (and that the SLO snapshot and flight
+# dump parse), then run the exp_gateway load generator for the
+# machine-readable BENCH_exp_gateway.json artifact.
 #
 # Usage:
 #   scripts/gateway_e2e.sh
@@ -22,7 +23,10 @@ PORT="${PORT:-8217}"
 mkdir -p "${OUT_DIR}"
 repo_root="$(pwd)"
 
+# Short SLO epochs so the drill sees at least one window rotation (and the
+# slo:<route> verdicts that feed /healthz) before it scrapes.
 REDUNDANCY_GATEWAY_PORT="${PORT}" REDUNDANCY_GATEWAY_LINGER_MS=120000 \
+  REDUNDANCY_SLO_EPOCH_MS=500 \
   "${BUILD_DIR}/examples/gateway_demo" & server=$!
 trap 'kill "${server}" 2>/dev/null || true' EXIT
 
@@ -43,6 +47,10 @@ for i in $(seq 1 100); do
 done
 curl -s -o /dev/null -w '%{http_code}' "localhost:${PORT}/nope" | grep -q 404
 
+# Let one SLO epoch close so the windowed rows and the slo:<route>
+# verdicts behind /healthz have something to show.
+sleep 1.2
+
 # Operational endpoints, through the same front door, after real load.
 curl -sf "localhost:${PORT}/metrics" -o "${OUT_DIR}/metrics_gateway.prom"
 grep -q 'gateway_requests' "${OUT_DIR}/metrics_gateway.prom"
@@ -50,6 +58,31 @@ grep -q 'gateway_accepted' "${OUT_DIR}/metrics_gateway.prom"
 grep -q 'technique_requests_total{technique="gateway_fast"}' \
   "${OUT_DIR}/metrics_gateway.prom"
 curl -sf "localhost:${PORT}/healthz" -o "${OUT_DIR}/healthz.txt"
+grep -q 'error_rate=' "${OUT_DIR}/healthz.txt"
+
+# Live SLO snapshot: the demo registers /fast and /vote by default, and the
+# traffic above must show up in the windowed rows.
+curl -sf "localhost:${PORT}/slo" -o "${OUT_DIR}/slo_gateway.jsonl"
+grep -q '"type":"slo_window"' "${OUT_DIR}/slo_gateway.jsonl"
+grep -q '"type":"slo_class"' "${OUT_DIR}/slo_gateway.jsonl"
+grep -q '"class":"/fast"' "${OUT_DIR}/slo_gateway.jsonl"
+
+# Black box: trigger a flight dump through the front door; the served body
+# is the same JSONL a crash handler would append.
+curl -sf "localhost:${PORT}/debug/flight" -o "${OUT_DIR}/flight_gateway.jsonl"
+grep -q '"type":"flight_header"' "${OUT_DIR}/flight_gateway.jsonl"
+grep -q '"kind":"gateway"' "${OUT_DIR}/flight_gateway.jsonl"
+
+# Both artifacts must parse through the tracetool analyzers when the tool
+# was built alongside the demo.
+if [ -x "${BUILD_DIR}/tools/tracetool" ]; then
+  "${BUILD_DIR}/tools/tracetool" slo --out="${OUT_DIR}/slo_gateway.md" \
+    "${OUT_DIR}/slo_gateway.jsonl"
+  grep -q '| /fast |' "${OUT_DIR}/slo_gateway.md"
+  "${BUILD_DIR}/tools/tracetool" flight --out="${OUT_DIR}/flight_gateway.md" \
+    "${OUT_DIR}/flight_gateway.jsonl"
+  grep -q '| kind | events |' "${OUT_DIR}/flight_gateway.md"
+fi
 
 kill "${server}"
 wait "${server}"   # clean shutdown must report zero jobs in flight

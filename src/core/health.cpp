@@ -1,8 +1,43 @@
 #include "core/health.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/clock.hpp"
 
 namespace redundancy::core {
+
+namespace {
+
+/// REDUNDANCY_HEALTH_WINDOW, parsed with the same strictness as
+/// REDUNDANCY_THREADS: decimal digits only, range-checked, loud fallback —
+/// a typo'd knob must not silently change the health horizon.
+std::size_t window_from_env() noexcept {
+  constexpr std::size_t kDefault = 64;
+  const char* env = std::getenv("REDUNDANCY_HEALTH_WINDOW");
+  if (env == nullptr || *env == '\0') return kDefault;
+  std::size_t value = 0;
+  bool valid = true;
+  for (const char* p = env; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9' || value > 1'000'000) {
+      valid = false;
+      break;
+    }
+    value = value * 10 + static_cast<std::size_t>(*p - '0');
+  }
+  if (!valid || value == 0 || value > 1'000'000) {
+    std::fprintf(stderr,
+                 "[redundancy] REDUNDANCY_HEALTH_WINDOW='%s' is not a valid "
+                 "verdict window (expected an integer in 1..1000000); using "
+                 "%zu verdicts\n",
+                 env, kDefault);
+    return kDefault;
+  }
+  return value;
+}
+
+}  // namespace
 
 std::string_view to_string(HealthState state) noexcept {
   switch (state) {
@@ -13,6 +48,8 @@ std::string_view to_string(HealthState state) noexcept {
   }
   return "unknown";
 }
+
+HealthTracker::HealthTracker() : HealthTracker(window_from_env()) {}
 
 HealthTracker::HealthTracker(std::size_t window)
     : window_(window == 0 ? 1 : window) {}
@@ -34,6 +71,11 @@ void HealthTracker::observe(const obs::AdjudicationEvent& event) {
     w.stragglers_cancelled -= old.stragglers;
     w.recent.pop_front();
   }
+  const HealthState now = derive(w).state;
+  if (now != w.last_state) {
+    w.last_state = now;
+    w.last_transition_ns = obs::now_ns();
+  }
 }
 
 TechniqueHealth HealthTracker::derive(const Window& w) {
@@ -43,6 +85,10 @@ TechniqueHealth HealthTracker::derive(const Window& w) {
   h.masked = w.masked;
   h.rejected = w.rejected;
   h.stragglers_cancelled = w.stragglers_cancelled;
+  h.error_rate = h.window == 0 ? 0.0
+                               : static_cast<double>(h.rejected) /
+                                     static_cast<double>(h.window);
+  h.last_transition_ns = w.last_transition_ns;
   if (h.window == 0) {
     h.state = HealthState::unknown;
   } else if (h.rejected > 0) {
@@ -96,6 +142,18 @@ std::string HealthTracker::healthz_text() const {
     out += " masked=" + std::to_string(h.masked);
     out += " rejected=" + std::to_string(h.rejected);
     out += " stragglers_cancelled=" + std::to_string(h.stragglers_cancelled);
+    char rate[32];
+    std::snprintf(rate, sizeof rate, "%.4f", h.error_rate);
+    out += " error_rate=";
+    out += rate;
+    // Milliseconds since the technique last changed state — a probe's
+    // quickest read on "is this flapping or stably bad".
+    const std::uint64_t now = obs::now_ns();
+    const std::uint64_t since_ms =
+        h.last_transition_ns == 0 || now < h.last_transition_ns
+            ? 0
+            : (now - h.last_transition_ns) / 1'000'000ull;
+    out += " since_transition_ms=" + std::to_string(since_ms);
     out += '\n';
   }
   return out;

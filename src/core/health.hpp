@@ -44,12 +44,18 @@ struct TechniqueHealth {
   std::size_t masked = 0;    ///< accepted with ballots_failed > 0
   std::size_t rejected = 0;  ///< verdicts that carried no value
   std::uint64_t stragglers_cancelled = 0;  ///< summed over the window
+  double error_rate = 0.0;   ///< rejected / window (0 when window empty)
+  std::uint64_t last_transition_ns = 0;  ///< obs::now_ns() at the last
+                                         ///< state change (0 = never)
 };
 
 class HealthTracker final : public obs::TraceSink {
  public:
+  /// Window from REDUNDANCY_HEALTH_WINDOW (verdicts per technique; strict
+  /// decimal in 1..1000000, loud stderr fallback to 64 on anything else).
+  HealthTracker();
   /// `window` = verdicts retained per technique (the health horizon).
-  explicit HealthTracker(std::size_t window = 64);
+  explicit HealthTracker(std::size_t window);
 
   void on_span(const obs::SpanRecord&) override {}
   void on_adjudication(const obs::AdjudicationEvent& event) override {
@@ -87,6 +93,8 @@ class HealthTracker final : public obs::TraceSink {
     std::size_t masked = 0;
     std::size_t rejected = 0;
     std::uint64_t stragglers_cancelled = 0;
+    HealthState last_state = HealthState::unknown;
+    std::uint64_t last_transition_ns = 0;
   };
 
   [[nodiscard]] static TechniqueHealth derive(const Window& w);

@@ -26,6 +26,7 @@ long long env_ll(const char* name, long long fallback) {
 }  // namespace
 
 LiveTelemetry::~LiveTelemetry() {
+  if (slo) slo->stop();
   obs::Recorder::instance().flush();
   if (http) http->stop();
 }
@@ -35,7 +36,11 @@ std::unique_ptr<LiveTelemetry> start_live_telemetry_from_env() {
   const bool want_trace = trace_path != nullptr && *trace_path != '\0';
   const char* port_env = std::getenv("REDUNDANCY_OBS_HTTP_PORT");
   const bool want_http = port_env != nullptr && *port_env != '\0';
-  if (!want_trace && !want_http) return nullptr;
+  const char* slo_spec = std::getenv("REDUNDANCY_SLO_TARGETS");
+  const bool want_slo = slo_spec != nullptr && *slo_spec != '\0';
+  const char* flight_path = std::getenv("REDUNDANCY_FLIGHT_DUMP");
+  const bool want_flight = flight_path != nullptr && *flight_path != '\0';
+  if (!want_trace && !want_http && !want_slo && !want_flight) return nullptr;
 
   // A scraper that hangs up mid-response must not SIGPIPE the process the
   // exporter is embedded in.
@@ -54,6 +59,49 @@ std::unique_ptr<LiveTelemetry> start_live_telemetry_from_env() {
     } else {
       std::fprintf(stderr, "obs: cannot open trace file %s\n", trace_path);
     }
+  }
+
+  if (want_flight) {
+    // Black box on, crash handler appending to the requested path. The
+    // recorder hook mirrors every span/verdict into the flight rings from
+    // here on; the handler only ever *reads* them.
+    auto& flight = obs::FlightRecorder::instance();
+    flight.enable(static_cast<std::size_t>(
+        env_ll("REDUNDANCY_FLIGHT_RING", 1024)));
+    flight.install_crash_handler(flight_path);
+    std::fprintf(stderr, "obs: flight recorder on, crash dump -> %s\n",
+                 flight_path);
+  }
+
+  if (want_slo) {
+    obs::SloTracker::Options slo_options;
+    slo_options.epoch_ns = static_cast<std::uint64_t>(
+        env_ll("REDUNDANCY_SLO_EPOCH_MS", 10'000)) * 1'000'000ull;
+    telemetry->slo = std::make_shared<obs::SloTracker>(slo_options);
+    for (const auto& [cls, target] : obs::parse_slo_targets(slo_spec)) {
+      telemetry->slo->register_class(cls, target);
+    }
+    // Close the loop: SLO verdicts adjudicate the service itself, so
+    // /healthz degrades while error budget remains; a page-level breach
+    // flushes the black box even without a crash.
+    const auto health = telemetry->health;
+    telemetry->slo->set_verdict_callback(
+        [health](const obs::AdjudicationEvent& verdict) {
+          health->observe(verdict);
+        });
+    if (want_flight) {
+      const std::string dump_path{flight_path};
+      telemetry->slo->set_breach_callback(
+          [dump_path](const std::string& cls, const std::string& rule) {
+            std::fprintf(stderr,
+                         "obs: SLO breach on class %s (%s); dumping flight "
+                         "recorder -> %s\n",
+                         cls.c_str(), rule.c_str(), dump_path.c_str());
+            obs::FlightRecorder::instance().dump_to_path(dump_path.c_str());
+          });
+    }
+    recorder.add_sink(telemetry->slo);
+    telemetry->slo->start();
   }
 
   recorder.set_sample_every(
@@ -85,13 +133,30 @@ std::unique_ptr<LiveTelemetry> start_live_telemetry_from_env() {
       }
       return {200, "application/x-ndjson", std::move(body)};
     };
+    if (telemetry->slo) {
+      const auto slo = telemetry->slo;
+      options.slo_handler = [slo]() -> obs::HttpResponse {
+        obs::Recorder::instance().flush();
+        return {200, "application/x-ndjson",
+                slo->snapshot_jsonl(obs::now_ns())};
+      };
+    }
+    if (want_flight) {
+      options.flight_handler = []() -> obs::HttpResponse {
+        obs::Recorder::instance().flush();
+        return {200, "application/x-ndjson",
+                obs::FlightRecorder::instance().dump_jsonl()};
+      };
+    }
 
     telemetry->http = std::make_unique<obs::HttpExporter>();
     if (telemetry->http->start(std::move(options))) {
       std::fprintf(stderr,
                    "obs: live telemetry on http://127.0.0.1:%u "
-                   "(/metrics /healthz /traces?n=K)\n",
-                   static_cast<unsigned>(telemetry->http->port()));
+                   "(/metrics /healthz /traces?n=K%s%s)\n",
+                   static_cast<unsigned>(telemetry->http->port()),
+                   telemetry->slo ? " /slo" : "",
+                   want_flight ? " /debug/flight" : "");
     } else {
       std::fprintf(stderr, "obs: could not bind http exporter on port %s\n",
                    port_env);

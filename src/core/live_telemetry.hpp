@@ -14,6 +14,18 @@
 //                              how long linger_from_env() sleeps before the
 //                              process exits, so scrapers can hit the
 //                              endpoints after the workload finished.
+//   REDUNDANCY_SLO_TARGETS     per-class SLOs as class=latency_ms@avail_pct
+//                              (e.g. "/fast=5@99.9,nvp.run=10@99"). Starts
+//                              an obs::SloTracker as a recorder sink, serves
+//                              /slo, feeds synthetic slo:<class> verdicts
+//                              into the health tracker, and exports windowed
+//                              burn-rate/error/percentile gauges.
+//   REDUNDANCY_SLO_EPOCH_MS    SLO window rotation period (default 10000).
+//   REDUNDANCY_FLIGHT_DUMP     enable the obs::FlightRecorder black box,
+//                              install the crash handler appending to this
+//                              path, serve /debug/flight, and dump on SLO
+//                              breach.
+//   REDUNDANCY_FLIGHT_RING     flight records per thread (default 1024).
 //
 // Setting either of the first two enables the recorder for the process
 // lifetime. With none of them set, start_live_telemetry_from_env() returns
@@ -25,6 +37,7 @@
 #include "core/health.hpp"
 #include "obs/http_exporter.hpp"
 #include "obs/sink.hpp"
+#include "obs/slo.hpp"
 
 namespace redundancy::core {
 
@@ -35,6 +48,7 @@ struct LiveTelemetry {
   std::shared_ptr<HealthTracker> health;
   std::shared_ptr<obs::RingTraceSink> ring;
   std::shared_ptr<obs::JsonlTraceSink> trace_file;
+  std::shared_ptr<obs::SloTracker> slo;
   std::unique_ptr<obs::HttpExporter> http;
 
   ~LiveTelemetry();

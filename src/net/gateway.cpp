@@ -11,6 +11,7 @@
 #include "core/sequential_alternatives.hpp"
 #include "core/voters.hpp"
 #include "obs/obs.hpp"
+#include "obs/slo.hpp"
 #include "util/signals.hpp"
 
 namespace redundancy::net {
@@ -88,6 +89,13 @@ void Gateway::on_request(std::uint64_t conn_id, const http::Request& request) {
   job->request.query = std::string{request.query};
   job->request.body = std::string{request.body};
   job->handler = &it->second;
+  job->t0_ns = obs::now_ns();
+  if (obs::flight_enabled()) {
+    // Arrival breadcrumb: a crash dump shows what was *in flight*, not
+    // only what completed. a=0 marks arrival (completion carries status).
+    obs::FlightRecorder::instance().record(obs::FlightKind::gateway,
+                                           job->request.path, 0, 0, 0, true);
+  }
   jobs_inflight_.fetch_add(1, std::memory_order_relaxed);
   batch_->add([this, job] { run_job(job); });
 }
@@ -110,6 +118,19 @@ void Gateway::drain_completions() {
   for (CompletionNode* node = completions_.drain(); node != nullptr;) {
     CompletionNode* next = node->next;
     auto* job = static_cast<Job*>(node);
+    const int status = job->response.status;
+    const std::uint64_t latency_ns = obs::now_ns() - job->t0_ns;
+    if (options_.slo != nullptr) {
+      // The request class is the exact route path; 5xx is an availability
+      // error regardless of latency, anything else is judged against the
+      // class's latency target.
+      options_.slo->observe(job->request.path, latency_ns, status < 500);
+    }
+    if (obs::flight_enabled()) {
+      obs::FlightRecorder::instance().record(
+          obs::FlightKind::gateway, job->request.path, 0,
+          static_cast<std::uint64_t>(status), latency_ns, status < 500);
+    }
     manager_->respond(job->conn_id, std::move(job->response));
     delete job;
     node = next;
@@ -134,6 +155,24 @@ void Gateway::install_builtin_routes() {
       const core::HealthState state = health->overall();
       return {state == core::HealthState::failing ? 503 : 200,
               "text/plain; charset=utf-8", health->healthz_text()};
+    });
+  }
+  if (options_.slo != nullptr && routes_.find("/slo") == routes_.end()) {
+    obs::SloTracker* slo = options_.slo;
+    add_route("/slo", [slo](const Request&) -> http::Response {
+      obs::Recorder::instance().flush();
+      return {200, "application/x-ndjson", slo->snapshot_jsonl(obs::now_ns())};
+    });
+  }
+  if (routes_.find("/debug/flight") == routes_.end()) {
+    add_route("/debug/flight", [](const Request&) -> http::Response {
+      if (!obs::flight_enabled()) {
+        return {404, "text/plain; charset=utf-8",
+                "flight recorder disabled\n"};
+      }
+      obs::Recorder::instance().flush();
+      return {200, "application/x-ndjson",
+              obs::FlightRecorder::instance().dump_jsonl()};
     });
   }
 }

@@ -42,6 +42,10 @@ namespace redundancy::core {
 class HealthTracker;
 }  // namespace redundancy::core
 
+namespace redundancy::obs {
+class SloTracker;
+}  // namespace redundancy::obs
+
 namespace redundancy::net {
 
 class Gateway {
@@ -67,6 +71,10 @@ class Gateway {
     /// When set, /healthz folds this tracker's verdict-derived state in
     /// (503 on failing) instead of the plain liveness answer.
     core::HealthTracker* health = nullptr;
+    /// When set, every completed request is scored against its path's SLO
+    /// class (status < 500 and within the latency target = good) and the
+    /// gateway serves `GET /slo` with the tracker's windowed snapshot.
+    obs::SloTracker* slo = nullptr;
   };
 
   Gateway() = default;
@@ -107,6 +115,7 @@ class Gateway {
     Request request;
     const Handler* handler = nullptr;  ///< owned by routes_, outlives the job
     http::Response response;
+    std::uint64_t t0_ns = 0;  ///< arrival timestamp (SLO/flight latency)
   };
 
   void on_request(std::uint64_t conn_id, const http::Request& request);

@@ -1,0 +1,321 @@
+#include "obs/flight_recorder.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <csignal>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "obs/clock.hpp"
+#include "obs/event.hpp"
+#include "util/signals.hpp"
+
+namespace redundancy::obs {
+
+namespace detail {
+std::atomic<bool> g_flight_enabled{false};
+}  // namespace detail
+
+namespace {
+
+/// Registration-path-only lock; the record path never takes it after a
+/// thread's first record.
+std::mutex g_register_mutex;
+
+/// Crash-dump destination, filled by install_crash_handler. Static storage
+/// so the signal handler never touches the heap.
+char g_crash_path[512] = {};
+
+/// Plain pointer mirror of instance() for the signal handler — a function-
+/// local static's guard variable is not async-signal-safe to race with.
+FlightRecorder* g_instance_for_signal = nullptr;
+
+void crash_dump_handler(int sig) {
+  if (g_instance_for_signal != nullptr && g_crash_path[0] != '\0') {
+    g_instance_for_signal->dump_to_path(g_crash_path);
+  }
+  // SA_RESETHAND already restored the default disposition; re-raise so the
+  // process dies with the original signal (status, core policy intact).
+  raise(sig);
+}
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 64;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+const char* kind_name(std::uint8_t kind) {
+  switch (static_cast<FlightKind>(kind)) {
+    case FlightKind::span: return "span";
+    case FlightKind::adjudication: return "adjudication";
+    case FlightKind::gateway: return "gateway";
+    case FlightKind::mark: return "mark";
+    case FlightKind::none: break;
+  }
+  return "none";
+}
+
+// ---- async-signal-safe formatting helpers -------------------------------
+// A dump line is at most ~300 bytes: fixed skeleton plus five u64 fields
+// (20 digits each) and a 30-char sanitised name.
+
+struct LineBuf {
+  char data[384];
+  std::size_t len = 0;
+
+  void put(char c) noexcept {
+    if (len < sizeof data) data[len++] = c;
+  }
+  void put_str(const char* s) noexcept {
+    while (*s != '\0') put(*s++);
+  }
+  void put_u64(std::uint64_t v) noexcept {
+    char digits[20];
+    std::size_t n = 0;
+    do {
+      digits[n++] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v != 0);
+    while (n > 0) put(digits[--n]);
+  }
+  /// Name bytes pass through only when plain printable ASCII that needs no
+  /// JSON escaping; anything else becomes '_'. Good enough for a black box.
+  void put_name(const char* s, std::size_t max) noexcept {
+    for (std::size_t i = 0; i < max && s[i] != '\0'; ++i) {
+      const char c = s[i];
+      const bool plain = c >= 0x20 && c < 0x7F && c != '"' && c != '\\';
+      put(plain ? c : '_');
+    }
+  }
+};
+
+std::size_t write_all(int fd, const char* data, std::size_t len) noexcept {
+  std::size_t written = 0;
+  while (written < len) {
+    const ssize_t n = ::write(fd, data + written, len - written);
+    if (n <= 0) break;  // EINTR-or-worse: give up rather than loop forever
+    written += static_cast<std::size_t>(n);
+  }
+  return written;
+}
+
+void format_record(LineBuf& line, const FlightRecord& rec,
+                   std::size_t thread) noexcept {
+  line.len = 0;
+  line.put_str("{\"type\":\"flight\",\"kind\":\"");
+  line.put_str(kind_name(rec.kind));
+  line.put_str("\",\"t_ns\":");
+  line.put_u64(rec.t_ns);
+  line.put_str(",\"trace\":");
+  line.put_u64(rec.trace);
+  line.put_str(",\"name\":\"");
+  line.put_name(rec.name, sizeof rec.name);
+  line.put_str("\",\"a\":");
+  line.put_u64(rec.a);
+  line.put_str(",\"b\":");
+  line.put_u64(rec.b);
+  line.put_str(",\"ok\":");
+  line.put_str(rec.ok != 0 ? "true" : "false");
+  line.put_str(",\"thread\":");
+  line.put_u64(thread);
+  line.put_str("}\n");
+}
+
+void format_header(LineBuf& line, std::size_t threads, std::size_t capacity,
+                   std::uint64_t dropped, std::uint64_t t_ns) noexcept {
+  line.len = 0;
+  line.put_str("{\"type\":\"flight_header\",\"threads\":");
+  line.put_u64(threads);
+  line.put_str(",\"records_per_thread\":");
+  line.put_u64(capacity);
+  line.put_str(",\"dropped\":");
+  line.put_u64(dropped);
+  line.put_str(",\"t_dump_ns\":");
+  line.put_u64(t_ns);
+  line.put_str("}\n");
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::instance() {
+  // Leaked on purpose: the crash handler may fire during static
+  // destruction and must still find live rings.
+  static FlightRecorder* recorder = [] {
+    auto* r = new FlightRecorder();
+    g_instance_for_signal = r;
+    return r;
+  }();
+  return *recorder;
+}
+
+void FlightRecorder::enable(std::size_t records_per_thread) {
+  std::size_t expected = 0;
+  capacity_.compare_exchange_strong(expected,
+                                    round_up_pow2(records_per_thread),
+                                    std::memory_order_acq_rel);
+  detail::g_flight_enabled.store(true, std::memory_order_relaxed);
+}
+
+void FlightRecorder::disable() noexcept {
+  detail::g_flight_enabled.store(false, std::memory_order_relaxed);
+}
+
+FlightRecorder::ThreadRing* FlightRecorder::register_thread() noexcept {
+  std::lock_guard lock(g_register_mutex);
+  const std::size_t index = ring_count_.load(std::memory_order_relaxed);
+  if (index >= kMaxThreads) return nullptr;
+  const std::size_t capacity = capacity_.load(std::memory_order_acquire);
+  auto* ring = new ThreadRing();        // leaked: see class comment
+  ring->records = new FlightRecord[capacity]();  // leaked
+  rings_[index] = ring;
+  ring_count_.store(index + 1, std::memory_order_release);
+  return ring;
+}
+
+FlightRecorder::ThreadRing* FlightRecorder::ring_for_this_thread() noexcept {
+  // One cached pointer per (thread, process): rings are never deregistered,
+  // so the cache can only go from null to a stable value. nullptr after
+  // registration failed means "over the thread cap" and stays sticky via
+  // the registered flag.
+  thread_local ThreadRing* ring = nullptr;
+  thread_local bool registered = false;
+  if (!registered) {
+    ring = register_thread();
+    registered = true;
+    if (ring == nullptr) dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return ring;
+}
+
+void FlightRecorder::record(FlightKind kind, std::string_view name,
+                            std::uint64_t trace, std::uint64_t a,
+                            std::uint64_t b, bool ok) noexcept {
+  if (!flight_enabled()) return;
+  ThreadRing* ring = ring_for_this_thread();
+  if (ring == nullptr) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::size_t mask = capacity_.load(std::memory_order_acquire) - 1;
+  const std::uint64_t h = ring->head.load(std::memory_order_relaxed);
+  FlightRecord& rec = ring->records[h & mask];
+  rec.t_ns = now_ns();
+  rec.trace = trace;
+  rec.a = a;
+  rec.b = b;
+  const std::size_t n = std::min(name.size(), sizeof rec.name - 1);
+  std::memcpy(rec.name, name.data(), n);
+  std::memset(rec.name + n, 0, sizeof rec.name - n);
+  rec.ok = ok ? 1 : 0;
+  rec.kind = static_cast<std::uint8_t>(kind);
+  // Publish after the fill so a racy dump sees either the old record or
+  // this one, not a head pointing at uninitialised memory.
+  ring->head.store(h + 1, std::memory_order_release);
+}
+
+void FlightRecorder::record_span(const SpanRecord& span) noexcept {
+  record(FlightKind::span, span.name, span.trace_id, span.duration_ns(),
+         span.span_id, span.ok);
+}
+
+void FlightRecorder::record_adjudication(
+    const AdjudicationEvent& event) noexcept {
+  record(FlightKind::adjudication, event.technique, event.trace_id,
+         event.ballots_failed, event.electorate, event.accepted);
+}
+
+std::string FlightRecorder::dump_jsonl() const {
+  struct Tagged {
+    FlightRecord rec;
+    std::size_t thread;
+  };
+  const std::size_t capacity = capacity_.load(std::memory_order_acquire);
+  const std::size_t threads = ring_count_.load(std::memory_order_acquire);
+  std::vector<Tagged> all;
+  all.reserve(capacity * threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    const ThreadRing* ring = rings_[t];
+    if (ring == nullptr || ring->records == nullptr) continue;
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t count =
+        head < capacity ? head : static_cast<std::uint64_t>(capacity);
+    for (std::uint64_t i = head - count; i < head; ++i) {
+      all.push_back({ring->records[i & (capacity - 1)], t});
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Tagged& x, const Tagged& y) {
+                     return x.rec.t_ns < y.rec.t_ns;
+                   });
+  LineBuf line;
+  std::ostringstream out;
+  format_header(line, threads, capacity, dropped(), now_ns());
+  out.write(line.data, static_cast<std::streamsize>(line.len));
+  for (const Tagged& t : all) {
+    if (t.rec.kind == static_cast<std::uint8_t>(FlightKind::none)) continue;
+    format_record(line, t.rec, t.thread);
+    out.write(line.data, static_cast<std::streamsize>(line.len));
+  }
+  return out.str();
+}
+
+std::size_t FlightRecorder::dump_to_fd(int fd) const noexcept {
+  LineBuf line;
+  std::size_t total = 0;
+  const std::size_t capacity = capacity_.load(std::memory_order_acquire);
+  const std::size_t threads = ring_count_.load(std::memory_order_acquire);
+  format_header(line, threads, capacity, dropped(), now_ns());
+  total += write_all(fd, line.data, line.len);
+  if (capacity == 0) return total;
+  for (std::size_t t = 0; t < threads; ++t) {
+    const ThreadRing* ring = rings_[t];
+    if (ring == nullptr || ring->records == nullptr) continue;
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t count =
+        head < capacity ? head : static_cast<std::uint64_t>(capacity);
+    // Oldest-first within the ring; cross-ring ordering is left to tools
+    // (tracetool flight sorts by t_ns).
+    for (std::uint64_t i = head - count; i < head; ++i) {
+      const FlightRecord& rec = ring->records[i & (capacity - 1)];
+      if (rec.kind == static_cast<std::uint8_t>(FlightKind::none)) continue;
+      format_record(line, rec, t);
+      total += write_all(fd, line.data, line.len);
+    }
+  }
+  return total;
+}
+
+bool FlightRecorder::dump_to_path(const char* path) const noexcept {
+  const int fd = ::open(path, O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return false;
+  dump_to_fd(fd);
+  ::close(fd);
+  return true;
+}
+
+void FlightRecorder::install_crash_handler(const char* path) {
+  if (capacity_.load(std::memory_order_acquire) == 0) enable();
+  std::strncpy(g_crash_path, path, sizeof g_crash_path - 1);
+  g_crash_path[sizeof g_crash_path - 1] = '\0';
+  g_instance_for_signal = this;
+  util::install_crash_signals(&crash_dump_handler);
+}
+
+void FlightRecorder::reset() noexcept {
+  const std::size_t capacity = capacity_.load(std::memory_order_acquire);
+  const std::size_t threads = ring_count_.load(std::memory_order_acquire);
+  for (std::size_t t = 0; t < threads; ++t) {
+    ThreadRing* ring = rings_[t];
+    if (ring == nullptr || ring->records == nullptr) continue;
+    for (std::size_t i = 0; i < capacity; ++i) ring->records[i] = {};
+    ring->head.store(0, std::memory_order_release);
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace redundancy::obs

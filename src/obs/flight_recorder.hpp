@@ -1,0 +1,164 @@
+// Always-on black-box event ring with an async-signal-safe crash dump.
+//
+// The tracing Recorder answers "what happened in the traces we sampled";
+// the FlightRecorder answers "what were the last few thousand things this
+// process did before it died". Every thread owns a fixed-size ring of
+// 64-byte POD records; recording is one thread-local lookup, one struct
+// fill, and one release store of the head index — no allocation, no locks,
+// no formatting on the record path, so it stays enabled in production.
+//
+// The dump side is deliberately primitive because its most important caller
+// is a SIGSEGV handler: dump_to_fd() uses only write(2) plus manual integer
+// formatting into stack buffers (async-signal-safe), reading each ring
+// racily — a record being written concurrently may come out torn, which is
+// acceptable for a black box and is why records are self-describing rather
+// than length-prefixed. install_crash_handler() wires dump_to_fd() to the
+// fatal-signal set via util::install_crash_signals(); the handler appends
+// the dump to a fixed path, then re-raises so the process still dies with
+// the original signal. Non-crash consumers (`GET /debug/flight`, SLO breach
+// dumps, tests) use dump_jsonl(), which merges all rings and sorts by time.
+//
+// Capacity model: rings are allocated lazily, one per recording thread, at
+// the records-per-thread size fixed by the first enable(). Thread slots are
+// capped at kMaxThreads; threads beyond the cap drop records and bump a
+// counter rather than blocking. Rings are leaked on purpose — the crash
+// handler may fire during static destruction.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+#include "util/cacheline.hpp"
+
+namespace redundancy::obs {
+
+struct SpanRecord;
+struct AdjudicationEvent;
+
+/// What a FlightRecord describes. Values are stable: dumps name them in
+/// text but tools may also see the raw integer in torn records.
+enum class FlightKind : std::uint8_t {
+  none = 0,          ///< unwritten slot
+  span = 1,          ///< completed span (a = duration_ns, b = span_id)
+  adjudication = 2,  ///< verdict (a = ballots_failed, b = electorate)
+  gateway = 3,       ///< request arrival/completion (a = status, b = latency)
+  mark = 4,          ///< free-form breadcrumb from application code
+};
+
+/// One black-box entry. Exactly one cache line of POD on the usual 64-byte
+/// targets so a record fill never straddles lines; no pointers, no owning
+/// members, safe to read from a signal handler.
+struct FlightRecord {
+  std::uint64_t t_ns = 0;   ///< obs::now_ns() at record time
+  std::uint64_t trace = 0;  ///< trace id (0 when not trace-scoped)
+  std::uint64_t a = 0;      ///< kind-specific payload (see FlightKind)
+  std::uint64_t b = 0;      ///< kind-specific payload (see FlightKind)
+  char name[30] = {};       ///< NUL-padded label, truncated to fit
+  std::uint8_t ok = 0;      ///< 1 = success-shaped event
+  std::uint8_t kind = 0;    ///< FlightKind
+};
+static_assert(sizeof(FlightRecord) == 64, "one 64-byte line per record");
+static_assert(std::is_trivially_copyable_v<FlightRecord>,
+              "signal handler reads records as raw memory");
+
+namespace detail {
+/// Process-wide fast-path switch, mirroring detail::g_enabled for tracing.
+extern std::atomic<bool> g_flight_enabled;
+}  // namespace detail
+
+/// One relaxed load; recording sites check this before doing any work.
+/// Dead code under -DREDUNDANCY_OBS_NOOP, like obs::enabled().
+[[nodiscard]] inline bool flight_enabled() noexcept {
+#ifdef REDUNDANCY_OBS_NOOP
+  return false;
+#else
+  return detail::g_flight_enabled.load(std::memory_order_relaxed);
+#endif
+}
+
+class FlightRecorder {
+ public:
+  /// Hard cap on distinct recording threads; beyond it records are dropped
+  /// (counted), never blocked on.
+  static constexpr std::size_t kMaxThreads = 256;
+
+  /// Leaked singleton: the crash handler must be able to reach it at any
+  /// point in the process lifetime, including static destruction.
+  static FlightRecorder& instance();
+
+  /// Turn recording on. `records_per_thread` is rounded up to a power of
+  /// two (min 64) and fixed at the FIRST enable for the process lifetime;
+  /// later enables only flip the switch back on. Idempotent.
+  void enable(std::size_t records_per_thread = 1024);
+
+  /// Stop recording (rings and their contents stay readable/dumpable).
+  void disable() noexcept;
+
+  /// Record one event. No-op (cheap) when disabled. noexcept and
+  /// allocation-free after the calling thread's first record, which lazily
+  /// registers its ring (that first call does allocate — never from a
+  /// signal handler; install_crash_handler() only *reads* rings).
+  void record(FlightKind kind, std::string_view name, std::uint64_t trace,
+              std::uint64_t a, std::uint64_t b, bool ok) noexcept;
+
+  /// Convenience hooks used by Recorder::record and the gateway.
+  void record_span(const SpanRecord& span) noexcept;
+  void record_adjudication(const AdjudicationEvent& event) noexcept;
+
+  /// Merge every thread ring, sort by t_ns, and render flat JSONL: one
+  /// flight_header line then one {"type":"flight",...} line per record.
+  /// Not signal-safe (allocates); for /debug/flight, breach dumps, tests.
+  [[nodiscard]] std::string dump_jsonl() const;
+
+  /// Async-signal-safe dump of all rings to `fd`, unsorted (per-ring
+  /// order), manual formatting, write(2) only. Returns bytes written.
+  std::size_t dump_to_fd(int fd) const noexcept;
+
+  /// dump_to_fd() into `path` (O_CREAT|O_APPEND, 0644). Async-signal-safe.
+  /// Returns false if the file could not be opened.
+  bool dump_to_path(const char* path) const noexcept;
+
+  /// Enable-if-needed and route fatal signals to a handler that appends a
+  /// dump to `path` (copied into static storage) before re-raising.
+  void install_crash_handler(const char* path);
+
+  /// Records dropped because more than kMaxThreads threads recorded.
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t records_per_thread() const noexcept {
+    return capacity_.load(std::memory_order_acquire);
+  }
+
+  /// Number of thread rings registered so far.
+  [[nodiscard]] std::size_t threads() const noexcept {
+    return ring_count_.load(std::memory_order_acquire);
+  }
+
+  /// Zero every registered ring and the dropped counter (tests). Rings stay
+  /// registered to their threads.
+  void reset() noexcept;
+
+ private:
+  FlightRecorder() = default;
+
+  struct alignas(util::kCacheLine) ThreadRing {
+    std::atomic<std::uint64_t> head{0};  ///< total records ever written
+    FlightRecord* records = nullptr;     ///< capacity slots, leaked
+  };
+
+  ThreadRing* ring_for_this_thread() noexcept;
+  ThreadRing* register_thread() noexcept;
+
+  std::atomic<std::size_t> capacity_{0};  ///< records per ring (power of 2)
+  std::atomic<std::size_t> ring_count_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  ThreadRing* rings_[kMaxThreads] = {};
+};
+
+}  // namespace redundancy::obs

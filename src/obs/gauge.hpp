@@ -1,0 +1,34 @@
+// Last-value gauge for derived, non-monotone observations.
+//
+// Counters and histograms carry the exact cumulative ground truth; a Gauge
+// carries a *derived* reading that goes up and down — a windowed burn rate,
+// a window percentile, remaining error budget. One writer (the deriving
+// tick thread) sets it, any reader loads it; both are single relaxed
+// atomic operations on one double. Gauges are registered and rendered by
+// MetricsRegistry (`# TYPE <fam> gauge`) next to the counters and
+// histograms so every windowed SLO signal is scrapeable from /metrics.
+#pragma once
+
+#include <atomic>
+
+namespace redundancy::obs {
+
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+}  // namespace redundancy::obs

@@ -25,6 +25,18 @@ HistogramSnapshot& HistogramSnapshot::merge(
   return *this;
 }
 
+HistogramSnapshot HistogramSnapshot::diff(
+    const HistogramSnapshot& earlier) const noexcept {
+  HistogramSnapshot out;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    out.buckets[b] =
+        buckets[b] >= earlier.buckets[b] ? buckets[b] - earlier.buckets[b] : 0;
+  }
+  out.count = count >= earlier.count ? count - earlier.count : 0;
+  out.sum = sum >= earlier.sum ? sum - earlier.sum : 0;
+  return out;
+}
+
 double HistogramSnapshot::percentile(double p) const noexcept {
   if (count == 0) return 0.0;
   if (p < 0.0) p = 0.0;

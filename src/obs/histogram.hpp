@@ -44,6 +44,14 @@ struct HistogramSnapshot {
 
   HistogramSnapshot& merge(const HistogramSnapshot& other) noexcept;
 
+  /// Per-bucket difference `*this - earlier` for two snapshots of the SAME
+  /// histogram (counts are monotone, so the result is the exact set of
+  /// samples recorded between the two snapshot instants). Saturates at zero
+  /// per field so a reset() between the snapshots yields empty buckets
+  /// instead of wrapped garbage.
+  [[nodiscard]] HistogramSnapshot diff(const HistogramSnapshot& earlier)
+      const noexcept;
+
   [[nodiscard]] double mean() const noexcept {
     return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
   }

@@ -187,8 +187,17 @@ HttpResponse HttpExporter::route(const std::string& target) {
     }
     return {404, "text/plain; charset=utf-8", "no trace ring attached\n"};
   }
+  if (path == "/slo") {
+    if (options_.slo_handler) return options_.slo_handler();
+    return {404, "text/plain; charset=utf-8", "no SLO tracker attached\n"};
+  }
+  if (path == "/debug/flight") {
+    if (options_.flight_handler) return options_.flight_handler();
+    return {404, "text/plain; charset=utf-8", "flight recorder disabled\n"};
+  }
   return {404, "text/plain; charset=utf-8",
-          "not found; try /metrics, /healthz, /traces?n=K\n"};
+          "not found; try /metrics, /healthz, /traces?n=K, /slo, "
+          "/debug/flight\n"};
 }
 
 }  // namespace redundancy::obs

@@ -13,6 +13,8 @@
 //                     (core::HealthTracker). 200 when serving, 503 failing.
 //   GET /traces?n=K — tail of the ring of recent root spans as JSONL
 //                     (RingTraceSink).
+//   GET /slo        — windowed SLO snapshot as flat NDJSON (SloTracker).
+//   GET /debug/flight — black-box event dump as JSONL (FlightRecorder).
 //
 // The exporter never touches the recorder fast path: a scrape reads the
 // registry/ring under their own locks. It compiles (and works — counters
@@ -49,6 +51,10 @@ class HttpExporter {
     std::function<HttpResponse()> healthz_handler;
     /// Serve /traces?n=K. Default: 404 (no ring sink wired).
     std::function<HttpResponse(std::size_t n)> traces_handler;
+    /// Serve /slo (SloTracker::snapshot_jsonl). Default: 404.
+    std::function<HttpResponse()> slo_handler;
+    /// Serve /debug/flight (FlightRecorder::dump_jsonl). Default: 404.
+    std::function<HttpResponse()> flight_handler;
   };
 
   HttpExporter() = default;

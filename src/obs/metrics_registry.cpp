@@ -1,6 +1,7 @@
 #include "obs/metrics_registry.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -96,6 +97,16 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   return *histograms_.back().metric;
 }
 
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& technique) {
+  std::lock_guard lock(mutex_);
+  for (auto& e : gauges_) {
+    if (e.name == name && e.technique == technique) return *e.metric;
+  }
+  gauges_.push_back({name, technique, std::make_unique<Gauge>()});
+  return *gauges_.back().metric;
+}
+
 void MetricsRegistry::render_prometheus(std::ostream& out) const {
   std::lock_guard lock(mutex_);
   std::string prev_family;
@@ -108,6 +119,18 @@ void MetricsRegistry::render_prometheus(std::ostream& out) const {
     }
     out << fam << "_total" << label_set(e->technique) << " "
         << e->metric->total() << "\n";
+  }
+  prev_family.clear();
+  for (const auto* e : sorted_view(gauges_)) {
+    const std::string fam = sanitise(e->name);
+    if (fam != prev_family) {
+      out << "# HELP " << fam << " redundancy gauge " << fam << "\n";
+      out << "# TYPE " << fam << " gauge\n";
+      prev_family = fam;
+    }
+    char value[64];
+    std::snprintf(value, sizeof value, "%.9g", e->metric->value());
+    out << fam << label_set(e->technique) << " " << value << "\n";
   }
   prev_family.clear();
   for (const auto* e : sorted_view(histograms_)) {
@@ -155,6 +178,7 @@ void MetricsRegistry::reset_all() {
   std::lock_guard lock(mutex_);
   for (auto& e : counters_) e.metric->reset();
   for (auto& e : histograms_) e.metric->reset();
+  for (auto& e : gauges_) e.metric->reset();
 }
 
 std::vector<std::pair<std::string, std::uint64_t>>
@@ -176,6 +200,17 @@ MetricsRegistry::histogram_snapshots() const {
   for (const auto& e : histograms_) {
     out.emplace_back(exposition_key(e.name, e.technique),
                      e.metric->snapshot());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::gauge_values()
+    const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& e : gauges_) {
+    out.emplace_back(exposition_key(e.name, e.technique), e.metric->value());
   }
   return out;
 }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "obs/counter.hpp"
+#include "obs/gauge.hpp"
 #include "obs/histogram.hpp"
 
 namespace redundancy::obs {
@@ -38,6 +39,9 @@ class MetricsRegistry {
   Counter& counter(const std::string& name, const std::string& technique = "");
   Histogram& histogram(const std::string& name,
                        const std::string& technique = "");
+  /// Last-value gauges for derived readings (windowed burn rates, window
+  /// percentiles) that go up and down — rendered as `# TYPE <fam> gauge`.
+  Gauge& gauge(const std::string& name, const std::string& technique = "");
 
   /// Prometheus text exposition of every registered metric, sorted by
   /// (sanitised family name, technique label) — byte-deterministic for a
@@ -63,6 +67,10 @@ class MetricsRegistry {
   /// registration order.
   [[nodiscard]] std::vector<std::pair<std::string, HistogramSnapshot>>
   histogram_snapshots() const;
+  /// Snapshot of (exposition key, value) for every gauge, registration
+  /// order.
+  [[nodiscard]] std::vector<std::pair<std::string, double>> gauge_values()
+      const;
 
  private:
   template <typename T>
@@ -75,6 +83,7 @@ class MetricsRegistry {
   mutable std::mutex mutex_;
   std::vector<Entry<Counter>> counters_;
   std::vector<Entry<Histogram>> histograms_;
+  std::vector<Entry<Gauge>> gauges_;
 };
 
 }  // namespace redundancy::obs

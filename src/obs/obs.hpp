@@ -18,10 +18,13 @@
 #include "obs/clock.hpp"
 #include "obs/counter.hpp"
 #include "obs/event.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/gauge.hpp"
 #include "obs/histogram.hpp"
 #include "obs/metrics_registry.hpp"
 #include "obs/recorder.hpp"
 #include "obs/sink.hpp"
+#include "obs/windowed.hpp"
 
 namespace redundancy::obs {
 
@@ -38,6 +41,10 @@ namespace redundancy::obs {
 [[nodiscard]] inline Histogram& histogram(const std::string& name,
                                           const std::string& technique = "") {
   return MetricsRegistry::instance().histogram(name, technique);
+}
+[[nodiscard]] inline Gauge& gauge(const std::string& name,
+                                  const std::string& technique = "") {
+  return MetricsRegistry::instance().gauge(name, technique);
 }
 
 }  // namespace redundancy::obs

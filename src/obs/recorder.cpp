@@ -3,6 +3,8 @@
 #include <random>
 #include <utility>
 
+#include "obs/flight_recorder.hpp"
+
 namespace redundancy::obs {
 
 namespace {
@@ -68,9 +70,20 @@ void Recorder::push(Item item) {
   if (full) drain(buffer);
 }
 
-void Recorder::record(SpanRecord span) { push(Item{std::move(span)}); }
+void Recorder::record(SpanRecord span) {
+  // The flight recorder sees every record regardless of sinks or sampling
+  // downstream of this point — the black box must not depend on a sink
+  // being attached when the process dies.
+  if (flight_enabled()) FlightRecorder::instance().record_span(span);
+  push(Item{std::move(span)});
+}
 
-void Recorder::record(AdjudicationEvent event) { push(Item{std::move(event)}); }
+void Recorder::record(AdjudicationEvent event) {
+  if (flight_enabled()) {
+    FlightRecorder::instance().record_adjudication(event);
+  }
+  push(Item{std::move(event)});
+}
 
 void Recorder::drain(ThreadBuffer& buffer) {
   std::vector<Item> items;

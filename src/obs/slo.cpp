@@ -1,0 +1,440 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "obs/clock.hpp"
+#include "obs/metrics_registry.hpp"
+
+namespace redundancy::obs {
+
+namespace {
+
+/// The window spans reported by snapshot_jsonl and the window gauges.
+struct NamedWindow {
+  const char* name;
+  std::uint64_t span_ns;
+};
+constexpr NamedWindow kWindows[] = {
+    {"10s", 10'000'000'000ull},
+    {"1m", 60'000'000'000ull},
+    {"5m", 300'000'000'000ull},
+    {"1h", 3'600'000'000'000ull},
+};
+
+double error_rate(std::uint64_t errors, std::uint64_t total) noexcept {
+  return total == 0 ? 0.0
+                    : static_cast<double>(errors) / static_cast<double>(total);
+}
+
+/// Fraction of the error budget consumed per unit of traffic, normalised so
+/// 1.0 = "burning exactly the budget". Zero traffic burns nothing.
+double burn_rate(std::uint64_t errors, std::uint64_t total,
+                 double availability) noexcept {
+  const double budget = 1.0 - availability;
+  if (budget <= 0.0) return errors > 0 ? 1e9 : 0.0;  // zero-budget target
+  return error_rate(errors, total) / budget;
+}
+
+/// JSON number formatting for the NDJSON snapshot (%.6g keeps ratios
+/// readable and round-trips through the flat parser's strtod).
+std::string json_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string json_escape_view(std::string_view s) {
+  return json_escape(std::string(s));
+}
+
+}  // namespace
+
+std::vector<BurnRule> default_burn_rules() {
+  return {
+      {"fast_burn", 60'000'000'000ull, 10'000'000'000ull, 14.4, true},
+      {"slow_burn", 3'600'000'000'000ull, 300'000'000'000ull, 6.0, false},
+  };
+}
+
+const char* to_string(SloState state) noexcept {
+  switch (state) {
+    case SloState::ok: return "ok";
+    case SloState::degraded: return "degraded";
+    case SloState::failing: return "failing";
+  }
+  return "ok";
+}
+
+SloTracker::SloTracker() : SloTracker(Options{}) {}
+
+SloTracker::SloTracker(Options options)
+    : options_(std::move(options)),
+      rules_(options_.rules.empty() ? default_burn_rules() : options_.rules) {
+  if (options_.epoch_ns == 0) options_.epoch_ns = Options{}.epoch_ns;
+  if (options_.slots == 0) options_.slots = Options{}.slots;
+}
+
+SloTracker::~SloTracker() { stop(); }
+
+SloTracker::ClassState* SloTracker::find_locked(
+    std::string_view request_class) {
+  for (auto& c : classes_) {
+    if (c->name == request_class) return c.get();
+  }
+  return nullptr;
+}
+
+const SloTracker::ClassState* SloTracker::find_locked(
+    std::string_view request_class) const {
+  for (const auto& c : classes_) {
+    if (c->name == request_class) return c.get();
+  }
+  return nullptr;
+}
+
+SloTracker::ClassState& SloTracker::register_locked(
+    std::string_view request_class, SloTarget target) {
+  if (ClassState* existing = find_locked(request_class)) {
+    existing->target = target;
+    return *existing;
+  }
+  auto state = std::make_unique<ClassState>();
+  state->name.assign(request_class);
+  state->target = target;
+  // Cumulative series live in the global registry so /metrics always
+  // carries the per-class ground truth next to everything else.
+  auto& reg = MetricsRegistry::instance();
+  state->requests = &reg.counter("slo.requests", state->name);
+  state->errors = &reg.counter("slo.errors", state->name);
+  state->latency = &reg.histogram("slo.latency_ns", state->name);
+  const WindowOptions wopts{options_.epoch_ns, options_.slots};
+  state->w_requests =
+      std::make_unique<WindowedCounter>(*state->requests, wopts);
+  state->w_errors = std::make_unique<WindowedCounter>(*state->errors, wopts);
+  state->w_latency =
+      std::make_unique<WindowedHistogram>(*state->latency, wopts);
+  state->rule_firing.assign(rules_.size(), false);
+  classes_.push_back(std::move(state));
+  return *classes_.back();
+}
+
+void SloTracker::register_class(std::string_view request_class,
+                                SloTarget target) {
+  std::unique_lock lock(mutex_);
+  register_locked(request_class, target);
+}
+
+void SloTracker::score(std::string_view request_class,
+                       std::uint64_t latency_ns, bool ok, bool has_latency) {
+  ClassState* state = nullptr;
+  {
+    std::shared_lock lock(mutex_);
+    state = find_locked(request_class);
+  }
+  if (state == nullptr) {
+    if (!options_.auto_register) return;
+    std::unique_lock lock(mutex_);
+    state = &register_locked(request_class, options_.default_target);
+  }
+  // ClassState pointers are stable once registered (unique_ptr elements);
+  // the metric updates below are the lock-free sharded hot path.
+  const bool error = !ok || (has_latency && latency_ns > state->target.latency_slo_ns);
+  state->requests->add(1);
+  if (error) state->errors->add(1);
+  if (has_latency) state->latency->record(latency_ns);
+}
+
+void SloTracker::observe(std::string_view request_class,
+                         std::uint64_t latency_ns, bool ok) {
+  score(request_class, latency_ns, ok, /*has_latency=*/true);
+}
+
+void SloTracker::on_span(const SpanRecord& span) {
+  // Spans only score *registered* classes regardless of auto_register:
+  // span names are an open set (variant, shard, ...) and auto-registering
+  // all of them would turn every span family into an SLO class.
+  {
+    std::shared_lock lock(mutex_);
+    if (find_locked(span.name) == nullptr) return;
+  }
+  score(span.name, span.duration_ns(), span.ok, /*has_latency=*/true);
+}
+
+void SloTracker::on_adjudication(const AdjudicationEvent& event) {
+  if (event.technique.rfind("slo:", 0) == 0) return;  // our own verdicts
+  {
+    std::shared_lock lock(mutex_);
+    if (find_locked(event.technique) == nullptr) return;
+  }
+  // A rejected verdict is an availability error; there is no meaningful
+  // latency on the verdict itself, so the latency histogram is untouched.
+  score(event.technique, 0, event.accepted, /*has_latency=*/false);
+}
+
+void SloTracker::tick(std::uint64_t now_ns) {
+  struct Emission {
+    AdjudicationEvent verdict;
+    std::vector<std::pair<std::string, std::string>> breaches;
+  };
+  std::vector<Emission> emissions;
+  VerdictCallback verdict_cb;
+  BreachCallback breach_cb;
+  {
+    std::unique_lock lock(mutex_);
+    verdict_cb = verdict_cb_;
+    breach_cb = breach_cb_;
+    auto& reg = MetricsRegistry::instance();
+    for (auto& c : classes_) {
+      c->w_requests->rotate(now_ns);
+      c->w_errors->rotate(now_ns);
+      c->w_latency->rotate(now_ns);
+
+      // Windowed gauges: burn/error/latency per named window.
+      for (const NamedWindow& w : kWindows) {
+        const std::uint64_t total = c->w_requests->window(w.span_ns, now_ns);
+        const std::uint64_t errors = c->w_errors->window(w.span_ns, now_ns);
+        const HistogramSnapshot lat = c->w_latency->window(w.span_ns, now_ns);
+        reg.gauge(std::string("slo.burn_rate_") + w.name, c->name)
+            .set(burn_rate(errors, total, c->target.availability));
+        reg.gauge(std::string("slo.error_ratio_") + w.name, c->name)
+            .set(error_rate(errors, total));
+        reg.gauge(std::string("slo.p99_ns_") + w.name, c->name)
+            .set(lat.percentile(99.0));
+      }
+
+      // Cumulative error-budget accounting since process start.
+      const std::uint64_t total_all = c->requests->total();
+      const std::uint64_t errors_all = c->errors->total();
+      const double allowed =
+          static_cast<double>(total_all) * (1.0 - c->target.availability);
+      const double remaining =
+          allowed <= 0.0
+              ? (errors_all > 0 ? 0.0 : 1.0)
+              : std::max(0.0, 1.0 - static_cast<double>(errors_all) / allowed);
+      reg.gauge("slo.budget_remaining_ratio", c->name).set(remaining);
+
+      // Multi-window burn-rate rules.
+      bool any_page = false, any_ticket = false;
+      for (std::size_t r = 0; r < rules_.size(); ++r) {
+        const BurnRule& rule = rules_[r];
+        const double burn_long =
+            burn_rate(c->w_errors->window(rule.long_ns, now_ns),
+                      c->w_requests->window(rule.long_ns, now_ns),
+                      c->target.availability);
+        const double burn_short =
+            burn_rate(c->w_errors->window(rule.short_ns, now_ns),
+                      c->w_requests->window(rule.short_ns, now_ns),
+                      c->target.availability);
+        const bool firing =
+            burn_long >= rule.threshold && burn_short >= rule.threshold;
+        c->rule_firing[r] = firing;
+        if (firing) (rule.page ? any_page : any_ticket) = true;
+      }
+      const SloState next = any_page     ? SloState::failing
+                            : any_ticket ? SloState::degraded
+                                         : SloState::ok;
+      const SloState prev = c->state;
+      if (next != prev) {
+        c->state = next;
+        c->last_transition_ns = now_ns;
+      }
+
+      Emission em;
+      // One synthetic verdict per class with traffic this process: the
+      // health tracker adjudicates the service itself. accepted=false only
+      // on failing; degraded shows as a masked failure (1 failed ballot,
+      // verdict still accepted).
+      if (total_all > 0 && verdict_cb) {
+        AdjudicationEvent v;
+        v.technique = "slo:" + c->name;
+        v.t_ns = now_ns;
+        v.electorate = 1;
+        v.ballots_seen = 1;
+        v.ballots_failed = next == SloState::ok ? 0 : 1;
+        v.accepted = next != SloState::failing;
+        v.verdict = next == SloState::ok
+                        ? "ok"
+                        : std::string("slo_") + to_string(next);
+        em.verdict = std::move(v);
+        em.breaches = {};
+        if (next == SloState::failing && prev != SloState::failing) {
+          for (std::size_t r = 0; r < rules_.size(); ++r) {
+            if (c->rule_firing[r] && rules_[r].page) {
+              em.breaches.emplace_back(c->name, rules_[r].name);
+            }
+          }
+        }
+        emissions.push_back(std::move(em));
+      } else if (next == SloState::failing && prev != SloState::failing &&
+                 breach_cb) {
+        for (std::size_t r = 0; r < rules_.size(); ++r) {
+          if (c->rule_firing[r] && rules_[r].page) {
+            em.breaches.emplace_back(c->name, rules_[r].name);
+          }
+        }
+        emissions.push_back(std::move(em));
+      }
+    }
+  }
+  // Callbacks run outside the tracker lock: the verdict callback typically
+  // ends in HealthTracker::observe and the breach callback in a flight
+  // dump, neither of which should nest under our mutex.
+  for (const Emission& em : emissions) {
+    if (!em.verdict.technique.empty() && verdict_cb) verdict_cb(em.verdict);
+    if (breach_cb) {
+      for (const auto& [cls, rule] : em.breaches) breach_cb(cls, rule);
+    }
+  }
+}
+
+std::string SloTracker::snapshot_jsonl(std::uint64_t now_ns) const {
+  std::ostringstream out;
+  std::shared_lock lock(mutex_);
+  for (const auto& c : classes_) {
+    const std::uint64_t total_all = c->requests->total();
+    const std::uint64_t errors_all = c->errors->total();
+    for (const NamedWindow& w : kWindows) {
+      const std::uint64_t total = c->w_requests->window(w.span_ns, now_ns);
+      const std::uint64_t errors = c->w_errors->window(w.span_ns, now_ns);
+      const HistogramSnapshot lat = c->w_latency->window(w.span_ns, now_ns);
+      out << "{\"type\":\"slo_window\",\"class\":\""
+          << json_escape_view(c->name) << "\",\"window\":\"" << w.name
+          << "\",\"window_s\":" << w.span_ns / 1'000'000'000ull
+          << ",\"total\":" << total << ",\"errors\":" << errors
+          << ",\"error_rate\":" << json_double(error_rate(errors, total))
+          << ",\"burn_rate\":"
+          << json_double(burn_rate(errors, total, c->target.availability))
+          << ",\"p50_ns\":" << json_double(lat.percentile(50.0))
+          << ",\"p95_ns\":" << json_double(lat.percentile(95.0))
+          << ",\"p99_ns\":" << json_double(lat.percentile(99.0)) << "}\n";
+    }
+    const double allowed =
+        static_cast<double>(total_all) * (1.0 - c->target.availability);
+    out << "{\"type\":\"slo_class\",\"class\":\"" << json_escape_view(c->name)
+        << "\",\"latency_slo_ns\":" << c->target.latency_slo_ns
+        << ",\"availability\":" << json_double(c->target.availability)
+        << ",\"state\":\"" << to_string(c->state)
+        << "\",\"total\":" << total_all << ",\"errors\":" << errors_all
+        << ",\"budget_allowed\":" << json_double(allowed)
+        << ",\"budget_consumed\":"
+        << json_double(allowed <= 0.0
+                           ? (errors_all > 0 ? 1.0 : 0.0)
+                           : static_cast<double>(errors_all) / allowed)
+        << ",\"last_transition_ns\":" << c->last_transition_ns;
+    for (std::size_t r = 0; r < rules_.size(); ++r) {
+      out << ",\"alert_" << rules_[r].name
+          << "\":" << (c->rule_firing[r] ? "true" : "false");
+    }
+    out << "}\n";
+  }
+  return out.str();
+}
+
+SloState SloTracker::state(std::string_view request_class) const {
+  std::shared_lock lock(mutex_);
+  const ClassState* c = find_locked(request_class);
+  return c == nullptr ? SloState::ok : c->state;
+}
+
+SloState SloTracker::overall_state() const {
+  std::shared_lock lock(mutex_);
+  SloState worst = SloState::ok;
+  for (const auto& c : classes_) {
+    if (static_cast<int>(c->state) > static_cast<int>(worst)) worst = c->state;
+  }
+  return worst;
+}
+
+void SloTracker::set_verdict_callback(VerdictCallback cb) {
+  std::unique_lock lock(mutex_);
+  verdict_cb_ = std::move(cb);
+}
+
+void SloTracker::set_breach_callback(BreachCallback cb) {
+  std::unique_lock lock(mutex_);
+  breach_cb_ = std::move(cb);
+}
+
+void SloTracker::start(std::uint64_t epoch_override_ns) {
+  std::unique_lock lock(run_mutex_);
+  if (running_) return;
+  running_ = true;
+  const std::uint64_t epoch =
+      epoch_override_ns != 0 ? epoch_override_ns : options_.epoch_ns;
+  rotator_ = std::thread([this, epoch] {
+    std::unique_lock lk(run_mutex_);
+    while (running_) {
+      if (run_cv_.wait_for(lk, std::chrono::nanoseconds(epoch),
+                           [this] { return !running_; })) {
+        break;
+      }
+      lk.unlock();
+      tick(now_ns());
+      lk.lock();
+    }
+  });
+}
+
+void SloTracker::stop() {
+  {
+    std::unique_lock lock(run_mutex_);
+    if (!running_) return;
+    running_ = false;
+  }
+  run_cv_.notify_all();
+  if (rotator_.joinable()) rotator_.join();
+}
+
+std::vector<std::pair<std::string, SloTarget>> parse_slo_targets(
+    const char* spec) {
+  std::vector<std::pair<std::string, SloTarget>> out;
+  if (spec == nullptr || *spec == '\0') return out;
+  std::string s{spec};
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    const std::string entry = s.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+    // class=latency_ms@availability_pct, e.g. "/fast=5@99.9"
+    const std::size_t eq = entry.find('=');
+    const std::size_t at = entry.find('@', eq == std::string::npos ? 0 : eq);
+    bool valid = eq != std::string::npos && at != std::string::npos &&
+                 eq > 0 && at > eq + 1 && at + 1 < entry.size();
+    double latency_ms = 0.0, availability_pct = 0.0;
+    if (valid) {
+      char* end = nullptr;
+      const std::string ms = entry.substr(eq + 1, at - eq - 1);
+      latency_ms = std::strtod(ms.c_str(), &end);
+      valid = end != nullptr && *end == '\0' && latency_ms > 0.0;
+      if (valid) {
+        const std::string pct = entry.substr(at + 1);
+        availability_pct = std::strtod(pct.c_str(), &end);
+        valid = end != nullptr && *end == '\0' && availability_pct > 0.0 &&
+                availability_pct < 100.0;
+      }
+    }
+    if (!valid) {
+      std::fprintf(stderr,
+                   "[redundancy] REDUNDANCY_SLO_TARGETS entry '%s' is not "
+                   "class=latency_ms@availability_pct (e.g. /fast=5@99.9); "
+                   "skipping it\n",
+                   entry.c_str());
+      continue;
+    }
+    SloTarget target;
+    target.latency_slo_ns =
+        static_cast<std::uint64_t>(latency_ms * 1'000'000.0);
+    target.availability = availability_pct / 100.0;
+    out.emplace_back(entry.substr(0, eq), target);
+  }
+  return out;
+}
+
+}  // namespace redundancy::obs

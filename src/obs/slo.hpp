@@ -1,0 +1,190 @@
+// Live SLO engine: windowed percentiles, error budgets, burn-rate alerts.
+//
+// An SLO here is "fraction `availability` of requests in a class succeed
+// within `latency_slo_ns`", the shape used throughout SRE practice. The
+// tracker keeps, per request class, cumulative good/bad counters and a
+// latency histogram in the MetricsRegistry (labelled technique=<class>, so
+// /metrics carries the ground truth) wrapped by the obs::Windowed* views.
+// On each tick it rotates the windows and evaluates Google-SRE-style
+// multi-window multi-burn-rate rules:
+//
+//   burn(W) = error_rate(W) / (1 - availability)
+//
+// A rule fires when BOTH its long and short windows burn above threshold —
+// the long window gives significance, the short one confirms the problem is
+// still happening (fast recovery auto-resolves the alert). The defaults are
+// the canonical pair: fast_burn (1h budget in ~1h: 14.4x over 1m confirmed
+// by 10s, page-worthy) and slow_burn (6x over 1h confirmed by 5m, ticket-
+// worthy). A page-level firing drives the class to SloState::failing and a
+// ticket-level one to degraded.
+//
+// The tracker deliberately lives in obs:: below core::, so it cannot call
+// core::HealthTracker directly. Instead each tick emits one synthetic
+// AdjudicationEvent per class (technique "slo:<class>") through a caller-
+// wired VerdictCallback; live telemetry points that at HealthTracker::
+// observe, which makes /healthz degrade while error budget remains — the
+// paper's adjudication machinery turned on the service itself. A separate
+// BreachCallback fires edge-triggered on escalation to failing, used to
+// trigger flight-recorder dumps.
+//
+// Feeding the tracker: observe() is the direct path (the gateway calls it
+// per request). As a TraceSink it also scores spans whose name matches a
+// registered class and adjudication verdicts whose technique matches
+// (rejected verdict = error, no latency contribution).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/sink.hpp"
+#include "obs/windowed.hpp"
+
+namespace redundancy::obs {
+
+class Counter;
+class Gauge;
+class Histogram;
+
+/// Per-class objective: a request is good iff it succeeded AND finished
+/// within latency_slo_ns; at least `availability` of requests must be good.
+struct SloTarget {
+  std::uint64_t latency_slo_ns = 100'000'000;  ///< 100ms
+  double availability = 0.999;                 ///< three nines
+};
+
+/// One multi-window burn-rate rule. Fires when burn(long) and burn(short)
+/// both exceed `threshold`.
+struct BurnRule {
+  std::string name;          ///< e.g. "fast_burn"
+  std::uint64_t long_ns;     ///< significance window
+  std::uint64_t short_ns;    ///< confirmation window
+  double threshold;          ///< burn-rate multiple that fires the rule
+  bool page;                 ///< page (failing) vs ticket (degraded)
+};
+
+/// The canonical SRE-workbook pair for a multi-hour budget.
+[[nodiscard]] std::vector<BurnRule> default_burn_rules();
+
+enum class SloState : std::uint8_t { ok = 0, degraded = 1, failing = 2 };
+[[nodiscard]] const char* to_string(SloState state) noexcept;
+
+class SloTracker final : public TraceSink {
+ public:
+  struct Options {
+    /// Window rotation cadence and ring depth (defaults cover 1h windows).
+    std::uint64_t epoch_ns = 10'000'000'000ull;
+    std::size_t slots = 361;
+    /// Target applied when a class is auto-registered.
+    SloTarget default_target{};
+    /// Auto-register classes first seen via observe()/on_span. When false,
+    /// unknown classes are ignored.
+    bool auto_register = true;
+    /// Burn-rate rules; empty = default_burn_rules().
+    std::vector<BurnRule> rules;
+  };
+
+  /// Synthetic verdict per class per tick (technique "slo:<class>").
+  using VerdictCallback = std::function<void(const AdjudicationEvent&)>;
+  /// Edge-triggered on a class escalating to failing: (class, rule name).
+  using BreachCallback =
+      std::function<void(const std::string&, const std::string&)>;
+
+  SloTracker();  ///< all Options defaults
+  explicit SloTracker(Options options);
+  ~SloTracker() override;
+
+  /// Register (or retarget) a request class. Safe at any time.
+  void register_class(std::string_view request_class, SloTarget target);
+
+  /// Score one request against its class target. Auto-registers per
+  /// Options::auto_register. `ok=false` is an error regardless of latency.
+  void observe(std::string_view request_class, std::uint64_t latency_ns,
+               bool ok);
+
+  // TraceSink: spans named exactly like a registered class are scored with
+  // their duration; adjudication verdicts whose technique is a registered
+  // class count accepted/rejected (no latency). Own "slo:*" synthetic
+  // verdicts are ignored to avoid feedback.
+  void on_span(const SpanRecord& span) override;
+  void on_adjudication(const AdjudicationEvent& event) override;
+
+  /// Rotate every class's windows at `now_ns`, evaluate burn rules, update
+  /// gauges, emit verdicts/breaches. Call from the rotation thread
+  /// (start()) or directly with synthetic time in tests.
+  void tick(std::uint64_t now_ns);
+
+  /// Flat NDJSON snapshot: one {"type":"slo_window",...} line per class per
+  /// window and one {"type":"slo_class",...} summary line per class. This
+  /// is the body of `GET /slo` and the input of `tracetool slo`.
+  [[nodiscard]] std::string snapshot_jsonl(std::uint64_t now_ns) const;
+
+  /// Current state of one class (SloState::ok for unknown classes).
+  [[nodiscard]] SloState state(std::string_view request_class) const;
+  /// Worst state across all classes.
+  [[nodiscard]] SloState overall_state() const;
+
+  void set_verdict_callback(VerdictCallback cb);
+  void set_breach_callback(BreachCallback cb);
+
+  /// Start/stop a background thread calling tick(obs::now_ns()) every
+  /// epoch. `epoch_override_ns` replaces Options::epoch_ns when nonzero.
+  void start(std::uint64_t epoch_override_ns = 0);
+  void stop();
+
+  [[nodiscard]] std::uint64_t epoch_ns() const noexcept {
+    return options_.epoch_ns;
+  }
+
+ private:
+  struct ClassState {
+    std::string name;
+    SloTarget target;
+    // Cumulative ground truth, owned by MetricsRegistry (leaked with it).
+    Counter* requests = nullptr;
+    Counter* errors = nullptr;
+    Histogram* latency = nullptr;
+    std::unique_ptr<WindowedCounter> w_requests;
+    std::unique_ptr<WindowedCounter> w_errors;
+    std::unique_ptr<WindowedHistogram> w_latency;
+    SloState state = SloState::ok;
+    std::uint64_t last_transition_ns = 0;
+    std::vector<bool> rule_firing;  ///< parallel to rules_
+  };
+
+  ClassState* find_locked(std::string_view request_class);
+  const ClassState* find_locked(std::string_view request_class) const;
+  ClassState& register_locked(std::string_view request_class,
+                              SloTarget target);
+  void score(std::string_view request_class, std::uint64_t latency_ns,
+             bool ok, bool has_latency);
+
+  Options options_;
+  std::vector<BurnRule> rules_;
+  mutable std::shared_mutex mutex_;
+  std::vector<std::unique_ptr<ClassState>> classes_;
+  VerdictCallback verdict_cb_;
+  BreachCallback breach_cb_;
+
+  std::thread rotator_;
+  std::mutex run_mutex_;
+  std::condition_variable run_cv_;
+  bool running_ = false;
+};
+
+/// Parse "class=latency_ms@availability_pct,..." (the REDUNDANCY_SLO_TARGETS
+/// format), e.g. "/fast=5@99.9,nvp.run=10@99". Malformed entries are skipped
+/// with a loud stderr warning; returns the valid (class, target) pairs.
+[[nodiscard]] std::vector<std::pair<std::string, SloTarget>>
+parse_slo_targets(const char* spec);
+
+}  // namespace redundancy::obs

@@ -6,6 +6,13 @@
 // tree passes MSG_NOSIGNAL, but that flag does not cover write()s made by
 // third-party code sharing the process, so socket-owning subsystems (the
 // gateway, live telemetry) also ignore the signal process-wide at startup.
+// Crash-signal interception (the flight-recorder black box) follows the
+// same principle in reverse: a fault that IS going to kill the process must
+// first leave its trace. install_crash_signals() points the fatal-signal
+// set at a caller-supplied async-signal-safe handler with SA_RESETHAND, so
+// the handler runs exactly once and the re-raised signal then takes the
+// default path — the process still dies with the original signal (correct
+// exit status, core dump policy untouched), it just dumps first.
 #pragma once
 
 #include <csignal>
@@ -17,6 +24,26 @@ inline void ignore_sigpipe() noexcept {
 #ifdef SIGPIPE
   std::signal(SIGPIPE, SIG_IGN);
 #endif
+}
+
+/// A handler for install_crash_signals. Everything it calls must be
+/// async-signal-safe: write()/open()/close() and plain memory reads only —
+/// no allocation, no locks, no stdio.
+using CrashSignalHandler = void (*)(int);
+
+/// Route the fatal-signal set (SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL)
+/// through `handler`. SA_RESETHAND restores the default disposition before
+/// the handler runs, so the handler finishes by re-raising its signal and
+/// the process dies exactly as it would have — after the black box dumped.
+/// SA_NODEFER keeps a fault *inside* the handler fatal instead of deadlocky.
+inline void install_crash_signals(CrashSignalHandler handler) noexcept {
+  struct sigaction sa = {};
+  sa.sa_handler = handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESETHAND | SA_NODEFER;
+  for (const int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL}) {
+    (void)sigaction(sig, &sa, nullptr);
+  }
 }
 
 }  // namespace redundancy::util

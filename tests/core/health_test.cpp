@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <string>
 
 #include "obs/event.hpp"
@@ -103,9 +104,52 @@ TEST(HealthTracker, SnapshotIsSortedAndHealthzTextListsEveryTechnique) {
   const std::string text = tracker.healthz_text();
   EXPECT_EQ(text.rfind("status: degraded\n", 0), 0u);
   EXPECT_NE(text.find("nvp: degraded window=1 accepted=1 masked=1 "
-                      "rejected=0 stragglers_cancelled=0\n"),
+                      "rejected=0 stragglers_cancelled=0 error_rate=0.0000 "
+                      "since_transition_ms="),
             std::string::npos);
   EXPECT_NE(text.find("self_checking: ok window=1"), std::string::npos);
+}
+
+TEST(HealthTracker, ErrorRateAndTransitionTimestampTrackTheWindow) {
+  HealthTracker tracker{4};
+  tracker.observe(verdict("nvp", true));
+  const TechniqueHealth ok = tracker.technique("nvp");
+  EXPECT_DOUBLE_EQ(ok.error_rate, 0.0);
+  EXPECT_NE(ok.last_transition_ns, 0u);  // unknown -> ok is a transition
+
+  tracker.observe(verdict("nvp", false, 3));
+  const TechniqueHealth failing = tracker.technique("nvp");
+  EXPECT_EQ(failing.state, HealthState::failing);
+  EXPECT_DOUBLE_EQ(failing.error_rate, 0.5);  // 1 rejected of window 2
+  EXPECT_GE(failing.last_transition_ns, ok.last_transition_ns);
+
+  // A verdict that does not change the derived state keeps the timestamp.
+  tracker.observe(verdict("nvp", false, 3));
+  EXPECT_EQ(tracker.technique("nvp").last_transition_ns,
+            failing.last_transition_ns);
+}
+
+TEST(HealthTracker, WindowFromEnvStrictParse) {
+  // Valid: the window narrows to 2 verdicts.
+  ASSERT_EQ(setenv("REDUNDANCY_HEALTH_WINDOW", "2", 1), 0);
+  {
+    HealthTracker tracker;
+    tracker.observe(verdict("nvp", false, 3));
+    tracker.observe(verdict("nvp", true));
+    tracker.observe(verdict("nvp", true));
+    // Default window (64) would still hold the rejection.
+    EXPECT_EQ(tracker.technique("nvp").state, HealthState::ok);
+  }
+  // Malformed values fall back (loudly) to the default 64.
+  for (const char* bad : {"0", "-3", "2x", "", "9999999999"}) {
+    ASSERT_EQ(setenv("REDUNDANCY_HEALTH_WINDOW", bad, 1), 0);
+    HealthTracker tracker;
+    tracker.observe(verdict("nvp", false, 3));
+    for (int i = 0; i < 3; ++i) tracker.observe(verdict("nvp", true));
+    EXPECT_EQ(tracker.technique("nvp").state, HealthState::failing)
+        << "env value '" << bad << "' should fall back to window 64";
+  }
+  ASSERT_EQ(unsetenv("REDUNDANCY_HEALTH_WINDOW"), 0);
 }
 
 TEST(HealthTracker, ActsAsTraceSinkAndResets) {

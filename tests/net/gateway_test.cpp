@@ -15,6 +15,7 @@
 #include "core/health.hpp"
 #include "net/loopback_client.hpp"
 #include "obs/obs.hpp"
+#include "obs/slo.hpp"
 
 namespace redundancy::net {
 namespace {
@@ -72,6 +73,67 @@ TEST(Gateway, ServesMetricsAndHealthzInProcess) {
 
   const Reply healthz = http_get(gateway.port(), "/healthz");
   EXPECT_EQ(healthz.status, 200);  // nothing failing
+  gateway.stop();
+}
+
+TEST(Gateway, SloEndpointServesWindowedNdjson) {
+  obs::SloTracker slo;  // no rotation thread: live partial windows suffice
+  slo.register_class("/echo", {/*latency_slo_ns=*/50'000'000, 0.99});
+  Gateway::Options options;
+  options.slo = &slo;
+  Gateway gateway{options};
+  install_demo_routes(gateway);
+  ASSERT_TRUE(gateway.start());
+
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(http_get(gateway.port(), "/echo?x=" + std::to_string(i)).status,
+              200);
+  }
+
+  const Reply reply = http_get(gateway.port(), "/slo");
+  EXPECT_EQ(reply.status, 200);
+  // One slo_window row per window plus the slo_class summary, all for the
+  // route path the gateway fed to observe().
+  EXPECT_NE(reply.body.find("\"type\":\"slo_window\""), std::string::npos);
+  EXPECT_NE(reply.body.find("\"type\":\"slo_class\""), std::string::npos);
+  EXPECT_NE(reply.body.find("\"class\":\"/echo\""), std::string::npos);
+  EXPECT_NE(reply.body.find("\"total\":5"), std::string::npos);
+  EXPECT_NE(reply.body.find("\"window\":\"1m\""), std::string::npos);
+  gateway.stop();
+}
+
+TEST(Gateway, SloRouteAbsentWhenNoTrackerAttached) {
+  Gateway gateway;
+  install_demo_routes(gateway);
+  ASSERT_TRUE(gateway.start());
+  EXPECT_EQ(http_get(gateway.port(), "/slo").status, 404);
+  gateway.stop();
+}
+
+TEST(Gateway, DebugFlightServesTheBlackBoxWhenEnabled) {
+  Gateway gateway;
+  install_demo_routes(gateway);
+  ASSERT_TRUE(gateway.start());
+
+  if (!obs::kCompiledIn) {
+    // NOOP build: the recorder can never be enabled; the route must say so.
+    EXPECT_EQ(http_get(gateway.port(), "/debug/flight").status, 404);
+    gateway.stop();
+    return;
+  }
+
+  obs::FlightRecorder::instance().disable();
+  EXPECT_EQ(http_get(gateway.port(), "/debug/flight").status, 404);
+
+  obs::FlightRecorder::instance().enable();
+  // Traffic while enabled leaves gateway breadcrumbs in the ring.
+  ASSERT_EQ(http_get(gateway.port(), "/echo?x=9").status, 200);
+  const Reply reply = http_get(gateway.port(), "/debug/flight");
+  EXPECT_EQ(reply.status, 200);
+  EXPECT_NE(reply.body.find("\"type\":\"flight_header\""), std::string::npos);
+  EXPECT_NE(reply.body.find("\"kind\":\"gateway\""), std::string::npos);
+  EXPECT_NE(reply.body.find("\"name\":\"/echo\""), std::string::npos);
+  obs::FlightRecorder::instance().disable();
   gateway.stop();
 }
 

@@ -1,0 +1,186 @@
+// obs::FlightRecorder: the black-box ring — record/dump round-trip, ring
+// wrap, and the crash path: a forked child SIGSEGVs and the parent parses
+// the dump the signal handler appended.
+#include "obs/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/recorder.hpp"  // kCompiledIn
+#include "tracetool/trace_model.hpp"
+
+namespace redundancy::obs {
+namespace {
+
+namespace tt = redundancy::tracetool;
+
+// The recorder is a process-wide singleton whose ring capacity is fixed by
+// the FIRST enable(); every test here uses the same size so ordering does
+// not matter.
+constexpr std::size_t kRing = 256;
+
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!kCompiledIn) GTEST_SKIP() << "obs compiled out (REDUNDANCY_OBS_NOOP)";
+    FlightRecorder::instance().enable(kRing);
+    FlightRecorder::instance().reset();
+  }
+  void TearDown() override {
+    if (kCompiledIn) FlightRecorder::instance().disable();
+  }
+};
+
+tt::FlightDump parse(const std::string& jsonl) {
+  std::istringstream in{jsonl};
+  tt::FlightDump dump;
+  tt::load_flight(in, dump);
+  return dump;
+}
+
+TEST_F(FlightRecorderTest, RecordDumpRoundTripThroughTracetool) {
+  auto& fr = FlightRecorder::instance();
+  EXPECT_TRUE(flight_enabled());
+  fr.record(FlightKind::mark, "checkpoint", /*trace=*/7, /*a=*/1, /*b=*/2,
+            /*ok=*/true);
+  fr.record(FlightKind::gateway, "/vote", 9, 503, 1'000'000, false);
+
+  const tt::FlightDump dump = parse(fr.dump_jsonl());
+  EXPECT_EQ(dump.malformed_lines, 0u);
+  EXPECT_EQ(dump.records_per_thread, fr.records_per_thread());
+  ASSERT_EQ(dump.events.size(), 2u);
+  EXPECT_EQ(dump.events[0].kind, "mark");
+  EXPECT_EQ(dump.events[0].name, "checkpoint");
+  EXPECT_EQ(dump.events[0].trace, 7u);
+  EXPECT_TRUE(dump.events[0].ok);
+  EXPECT_EQ(dump.events[1].kind, "gateway");
+  EXPECT_EQ(dump.events[1].a, 503u);
+  EXPECT_FALSE(dump.events[1].ok);
+  // Dump is time-sorted.
+  EXPECT_LE(dump.events[0].t_ns, dump.events[1].t_ns);
+
+  const std::string md = tt::flight_markdown(dump, 8);
+  EXPECT_NE(md.find("checkpoint"), std::string::npos);
+  EXPECT_NE(md.find("gateway"), std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, RingWrapKeepsTheNewestRecords) {
+  auto& fr = FlightRecorder::instance();
+  const std::size_t cap = fr.records_per_thread();
+  for (std::uint64_t i = 0; i < cap + 50; ++i) {
+    fr.record(FlightKind::mark, "wrap", 0, /*a=*/i, 0, true);
+  }
+  const tt::FlightDump dump = parse(fr.dump_jsonl());
+  ASSERT_EQ(dump.events.size(), cap);
+  // Oldest surviving record is exactly 50 past the start; newest is last.
+  EXPECT_EQ(dump.events.front().a, 50u);
+  EXPECT_EQ(dump.events.back().a, cap + 49u);
+}
+
+TEST_F(FlightRecorderTest, DisabledRecordIsANoOp) {
+  auto& fr = FlightRecorder::instance();
+  fr.disable();
+  EXPECT_FALSE(flight_enabled());
+  if (flight_enabled()) return;  // belt and braces
+  // Call sites gate on flight_enabled(); a direct record() while disabled
+  // still works (the switch only guards the hot path), so emulate the call
+  // site contract here: nothing recorded.
+  const tt::FlightDump dump = parse(fr.dump_jsonl());
+  EXPECT_TRUE(dump.events.empty());
+}
+
+TEST_F(FlightRecorderTest, SpanAndAdjudicationHooks) {
+  auto& fr = FlightRecorder::instance();
+  SpanRecord span;
+  span.name = "nvp.variant";
+  span.trace_id = 42;
+  span.span_id = 5;
+  span.t_start_ns = 100;
+  span.t_end_ns = 1100;
+  span.ok = true;
+  fr.record_span(span);
+
+  AdjudicationEvent verdict;
+  verdict.technique = "nvp";
+  verdict.trace_id = 42;
+  verdict.electorate = 3;
+  verdict.ballots_failed = 1;
+  verdict.accepted = true;
+  fr.record_adjudication(verdict);
+
+  const tt::FlightDump dump = parse(fr.dump_jsonl());
+  ASSERT_EQ(dump.events.size(), 2u);
+  EXPECT_EQ(dump.events[0].kind, "span");
+  EXPECT_EQ(dump.events[0].a, 1000u);  // duration
+  EXPECT_EQ(dump.events[1].kind, "adjudication");
+  EXPECT_EQ(dump.events[1].a, 1u);  // ballots_failed
+  EXPECT_EQ(dump.events[1].b, 3u);  // electorate
+  EXPECT_EQ(dump.events[1].trace, 42u);
+}
+
+TEST_F(FlightRecorderTest, LongNamesAreTruncatedNotCorrupted) {
+  auto& fr = FlightRecorder::instance();
+  const std::string long_name(100, 'x');
+  fr.record(FlightKind::mark, long_name, 0, 0, 0, true);
+  const tt::FlightDump dump = parse(fr.dump_jsonl());
+  ASSERT_EQ(dump.events.size(), 1u);
+  EXPECT_EQ(dump.events[0].name, std::string(29, 'x'));
+}
+
+TEST_F(FlightRecorderTest, CrashHandlerAppendsAParseableDump) {
+  const char* path = "flight_crash_test.dump.jsonl";
+  std::remove(path);
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0) << "fork failed";
+  if (pid == 0) {
+    // Child: leave some breadcrumbs, then die on a null write. The crash
+    // handler must append the dump and re-raise so we exit via SIGSEGV.
+    auto& fr = FlightRecorder::instance();
+    fr.install_crash_handler(path);
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+      fr.record(FlightKind::mark, "crumb", 0, /*a=*/i, 0, true);
+    }
+    volatile int* boom = nullptr;
+    *boom = 1;     // SIGSEGV
+    _exit(0);      // not reached
+  }
+
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "child should die by signal";
+  EXPECT_EQ(WTERMSIG(status), SIGSEGV);
+
+  std::ifstream in{path};
+  ASSERT_TRUE(in.is_open()) << "crash handler wrote no dump";
+  tt::FlightDump dump;
+  tt::load_flight(in, dump);
+  EXPECT_EQ(dump.malformed_lines, 0u);
+  ASSERT_FALSE(dump.events.empty());
+
+  // The ring holds the newest `cap` crumbs: 1000 were written, so the
+  // highest payload must be 999 and the crumb count exactly the capacity.
+  std::size_t crumbs = 0;
+  std::uint64_t max_a = 0;
+  for (const auto& e : dump.events) {
+    if (e.kind == "mark" && e.name == "crumb") {
+      ++crumbs;
+      if (e.a > max_a) max_a = e.a;
+    }
+  }
+  EXPECT_EQ(crumbs, dump.records_per_thread);
+  EXPECT_EQ(max_a, 999u);
+  std::remove(path);
+}
+
+}  // namespace
+}  // namespace redundancy::obs

@@ -1,0 +1,107 @@
+// HistogramSnapshot::percentile edge cases (satellite of the SLO work):
+// empty snapshots, the p=0 / p=100 extremes, single-bucket mass, and
+// determinism of merge() across shard orders — the property the windowed
+// percentiles lean on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace redundancy::obs {
+namespace {
+
+TEST(HistogramPercentile, EmptySnapshotIsZeroAtEveryPercentile) {
+  const HistogramSnapshot empty;
+  EXPECT_DOUBLE_EQ(empty.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(100.0), 0.0);
+}
+
+TEST(HistogramPercentile, ExtremesClampAndStayInsideTheOccupiedBucket) {
+  Histogram h;
+  // Four samples of 10 land in the [8, 16) bucket.
+  for (int i = 0; i < 4; ++i) h.record(10);
+  const HistogramSnapshot s = h.snapshot();
+
+  // p=0 targets the first sample: strictly above the bucket's lower bound.
+  const double p0 = s.percentile(0.0);
+  EXPECT_GT(p0, 8.0);
+  EXPECT_LT(p0, 16.0);
+  // p=100 targets the last sample: exactly the bucket's upper bound.
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 16.0);
+  // Out-of-range inputs clamp rather than misbehave.
+  EXPECT_DOUBLE_EQ(s.percentile(-5.0), p0);
+  EXPECT_DOUBLE_EQ(s.percentile(250.0), 16.0);
+}
+
+TEST(HistogramPercentile, SingleBucketMassInterpolatesLinearly) {
+  Histogram h;
+  for (int i = 0; i < 4; ++i) h.record(10);  // bucket [8, 16)
+  const HistogramSnapshot s = h.snapshot();
+  // rank(50) = 2 of 4 -> halfway through the bucket.
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 12.0);
+  // rank(75) = 3 of 4 -> three quarters.
+  EXPECT_DOUBLE_EQ(s.percentile(75.0), 14.0);
+}
+
+TEST(HistogramPercentile, ZeroAndOneShareTheFirstBucket) {
+  Histogram h;
+  h.record(0);
+  h.record(1);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 2u);
+  // Bucket 0 spans [0, 1]; every percentile stays within it.
+  EXPECT_GE(s.percentile(50.0), 0.0);
+  EXPECT_LE(s.percentile(100.0), 1.0);
+}
+
+TEST(HistogramPercentile, MergeIsDeterministicAcrossShardOrders) {
+  // Three "shards" with different shapes, merged in every order.
+  Histogram a, b, c;
+  for (int i = 0; i < 500; ++i) a.record(1'000);
+  for (int i = 0; i < 300; ++i) b.record(100'000);
+  for (int i = 0; i < 7; ++i) c.record(50'000'000);
+  const HistogramSnapshot sa = a.snapshot();
+  const HistogramSnapshot sb = b.snapshot();
+  const HistogramSnapshot sc = c.snapshot();
+
+  const std::vector<std::vector<const HistogramSnapshot*>> orders = {
+      {&sa, &sb, &sc}, {&sa, &sc, &sb}, {&sb, &sa, &sc},
+      {&sb, &sc, &sa}, {&sc, &sa, &sb}, {&sc, &sb, &sa},
+  };
+  HistogramSnapshot reference;
+  bool first = true;
+  for (const auto& order : orders) {
+    HistogramSnapshot merged;
+    for (const HistogramSnapshot* part : order) merged.merge(*part);
+    EXPECT_EQ(merged.count, 807u);
+    EXPECT_EQ(merged.sum, sa.sum + sb.sum + sc.sum);
+    if (first) {
+      reference = merged;
+      first = false;
+      continue;
+    }
+    for (std::size_t bucket = 0; bucket < HistogramSnapshot::kBuckets;
+         ++bucket) {
+      EXPECT_EQ(merged.buckets[bucket], reference.buckets[bucket]);
+    }
+    for (const double p : {0.0, 50.0, 95.0, 99.0, 100.0}) {
+      EXPECT_DOUBLE_EQ(merged.percentile(p), reference.percentile(p));
+    }
+  }
+}
+
+TEST(HistogramPercentile, MergedTailComesFromTheSlowShard) {
+  Histogram fast, slow;
+  for (int i = 0; i < 990; ++i) fast.record(1'000'000);        // 1ms
+  for (int i = 0; i < 10; ++i) slow.record(1'000'000'000);     // 1s
+  HistogramSnapshot merged = fast.snapshot();
+  merged.merge(slow.snapshot());
+  EXPECT_LT(merged.percentile(50.0), 3'000'000.0);
+  EXPECT_GT(merged.percentile(99.5), 500'000'000.0);
+}
+
+}  // namespace
+}  // namespace redundancy::obs

@@ -116,6 +116,8 @@ class PrometheusConformance : public ::testing::Test {
     for (std::uint64_t v : {1, 2, 3, 100, 5'000, 70'000, 70'001}) h.record(v);
     reg_.histogram("conformance.latency_ns", "self_checking").record(9);
     reg_.histogram("conformance.empty_hist");  // zero samples
+    reg_.gauge("conformance.burn_rate", "nvp").set(3.5);
+    reg_.gauge("conformance.budget").set(-0.25);  // gauges may go negative
   }
 
   MetricsRegistry reg_;
@@ -137,7 +139,8 @@ TEST_F(PrometheusConformance, CountersAreTotalSuffixedAndTyped) {
   Exposition exp;
   parse(reg_.render_prometheus_text(), exp);
   for (const auto& [name, type] : exp.type) {
-    EXPECT_TRUE(type == "counter" || type == "histogram") << name;
+    EXPECT_TRUE(type == "counter" || type == "histogram" || type == "gauge")
+        << name;
     if (type == "counter") {
       EXPECT_TRUE(name.size() > 6 &&
                   name.compare(name.size() - 6, 6, "_total") == 0)
@@ -146,6 +149,27 @@ TEST_F(PrometheusConformance, CountersAreTotalSuffixedAndTyped) {
   }
   EXPECT_EQ(exp.type.at("conformance_requests_total"), "counter");
   EXPECT_EQ(exp.type.at("conformance_latency_ns"), "histogram");
+  EXPECT_EQ(exp.type.at("conformance_burn_rate"), "gauge");
+}
+
+TEST_F(PrometheusConformance, GaugesExposeTheCurrentValueNotACumulative) {
+  reg_.gauge("conformance.burn_rate", "nvp").set(14.4);  // overwrite, not add
+  Exposition exp;
+  parse(reg_.render_prometheus_text(), exp);
+  bool labelled = false, negative = false;
+  for (const Sample& s : exp.samples) {
+    if (s.name == "conformance_burn_rate" &&
+        s.labels == "technique=\"nvp\"") {
+      labelled = true;
+      EXPECT_DOUBLE_EQ(s.value, 14.4);
+    }
+    if (s.name == "conformance_budget") {
+      negative = true;
+      EXPECT_DOUBLE_EQ(s.value, -0.25);
+    }
+  }
+  EXPECT_TRUE(labelled);
+  EXPECT_TRUE(negative);
 }
 
 TEST_F(PrometheusConformance, MetricAndLabelNamesAreLegal) {
@@ -217,8 +241,12 @@ TEST_F(PrometheusConformance, RenderIsByteDeterministic) {
   a.counter("order.requests", "nvp").add(3);
   a.counter("order.requests", "self_checking").add(4);
   a.histogram("order.latency", "nvp").record(17);
+  a.gauge("order.burn", "nvp").set(2.0);
+  a.gauge("order.burn", "self_checking").set(6.0);
+  b.gauge("order.burn", "self_checking").set(6.0);
   b.histogram("order.latency", "nvp").record(17);
   b.counter("order.requests", "self_checking").add(4);
+  b.gauge("order.burn", "nvp").set(2.0);
   b.counter("order.requests", "nvp").add(3);
   EXPECT_EQ(a.render_prometheus_text(), b.render_prometheus_text());
 }

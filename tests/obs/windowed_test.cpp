@@ -1,0 +1,134 @@
+// obs::WindowedCounter / obs::WindowedHistogram: epoch-delta rings over the
+// cumulative sharded primitives, driven with synthetic time so the window
+// arithmetic is exact and deterministic.
+#include "obs/windowed.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "obs/counter.hpp"
+#include "obs/histogram.hpp"
+
+namespace redundancy::obs {
+namespace {
+
+constexpr std::uint64_t kSec = 1'000'000'000ull;
+
+TEST(HistogramSnapshotDiff, SubtractsPerBucketAndSaturates) {
+  Histogram h;
+  h.record(10);
+  h.record(1000);
+  const HistogramSnapshot earlier = h.snapshot();
+  h.record(1000);
+  h.record(50'000);
+  const HistogramSnapshot later = h.snapshot();
+
+  const HistogramSnapshot delta = later.diff(earlier);
+  EXPECT_EQ(delta.count, 2u);
+  EXPECT_EQ(delta.sum, 51'000u);
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : delta.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, 2u);
+
+  // Swapped operands (an "earlier" snapshot that is actually ahead)
+  // saturate at zero instead of wrapping.
+  const HistogramSnapshot inverted = earlier.diff(later);
+  EXPECT_EQ(inverted.count, 0u);
+  EXPECT_EQ(inverted.sum, 0u);
+}
+
+TEST(WindowedCounter, LivePartialEpochIsVisibleBeforeRotation) {
+  Counter c;
+  WindowedCounter w{c, {kSec, 8}};
+  c.add(5);
+  // No rotation yet: the live delta against the base still counts.
+  EXPECT_EQ(w.window(10 * kSec, kSec), 5u);
+  EXPECT_EQ(w.cumulative(), 5u);
+}
+
+TEST(WindowedCounter, WindowCoversOnlyOverlappingEpochs) {
+  Counter c;
+  WindowedCounter w{c, {kSec, 8}};
+  // Epochs closing at t=1s..5s with 10,20,30,40,50 events.
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    c.add(10 * i);
+    w.rotate(i * kSec);
+  }
+  const std::uint64_t now = 5 * kSec;
+  // Last 2s: epochs ended at 4s (overlap: 4+2>5) and 5s.
+  EXPECT_EQ(w.window(2 * kSec, now), 90u);
+  // Last 1s: only the epoch ended at 5s.
+  EXPECT_EQ(w.window(1 * kSec, now), 50u);
+  // Huge span: everything.
+  EXPECT_EQ(w.window(100 * kSec, now), 150u);
+  EXPECT_EQ(w.cumulative(), 150u);
+  EXPECT_EQ(w.rotations(), 5u);
+}
+
+TEST(WindowedCounter, RingEvictionDropsEpochsBeyondDepth) {
+  Counter c;
+  WindowedCounter w{c, {kSec, 3}};  // ring holds 3 epochs
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    c.add(1);
+    w.rotate(i * kSec);
+  }
+  // Only the 3 retained epochs can answer, even for an enormous span.
+  EXPECT_EQ(w.window(100 * kSec, 10 * kSec), 3u);
+  // The cumulative side never loses anything.
+  EXPECT_EQ(w.cumulative(), 10u);
+}
+
+TEST(WindowedCounter, RatePerSecond) {
+  Counter c;
+  WindowedCounter w{c, {kSec, 8}};
+  c.add(300);
+  w.rotate(kSec);
+  EXPECT_DOUBLE_EQ(w.rate_per_sec(1 * kSec, kSec), 300.0);
+  EXPECT_DOUBLE_EQ(w.rate_per_sec(0, kSec), 0.0);
+}
+
+TEST(WindowedHistogram, WindowPercentileSeesOnlyRecentSamples) {
+  Histogram h;
+  WindowedHistogram w{h, {kSec, 8}};
+  // Epoch 1: a thousand 1ms samples (healthy).
+  for (int i = 0; i < 1000; ++i) h.record(1'000'000);
+  w.rotate(1 * kSec);
+  // Epoch 2: a hundred 100ms samples (a burst).
+  for (int i = 0; i < 100; ++i) h.record(100'000'000);
+  w.rotate(2 * kSec);
+
+  // Window covering only the burst epoch: p99 in the 100ms bucket range.
+  const HistogramSnapshot burst = w.window(1 * kSec, 2 * kSec);
+  EXPECT_EQ(burst.count, 100u);
+  EXPECT_GT(burst.percentile(99.0), 50'000'000.0);
+
+  // Window covering both: burst is outvoted below the median but visible
+  // at p99; cumulative matches the full merge.
+  const HistogramSnapshot both = w.window(2 * kSec, 2 * kSec);
+  EXPECT_EQ(both.count, 1100u);
+  EXPECT_LT(both.percentile(50.0), 3'000'000.0);
+  EXPECT_GT(both.percentile(99.0), 50'000'000.0);
+  EXPECT_EQ(w.cumulative().count, 1100u);
+}
+
+TEST(WindowedHistogram, LivePartialEpochMergesWithClosedSlots) {
+  Histogram h;
+  WindowedHistogram w{h, {kSec, 8}};
+  h.record(1000);
+  w.rotate(1 * kSec);
+  h.record(2000);  // not yet rotated
+  const HistogramSnapshot s = w.window(5 * kSec, 1 * kSec + kSec / 2);
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.sum, 3000u);
+}
+
+TEST(WindowedHistogram, ZeroOptionsFallBackToDefaults) {
+  Histogram h;
+  WindowedHistogram w{h, {0, 0}};
+  EXPECT_EQ(w.epoch_ns(), WindowOptions{}.epoch_ns);
+  EXPECT_GE(w.slots(), 1u);
+}
+
+}  // namespace
+}  // namespace redundancy::obs

@@ -231,6 +231,100 @@ TEST(TracetoolMarkdown, RendersAllThreeReports) {
   EXPECT_NE(slo.find("| overall | 3 | 1 |"), std::string::npos);
 }
 
+TEST(TracetoolFlight, LoadsSortsAndKeepsTheLastHeader) {
+  std::istringstream in{
+      "{\"type\":\"flight_header\",\"threads\":1,\"records_per_thread\":64,"
+      "\"dropped\":0,\"t_dump_ns\":100}\n"
+      "{\"type\":\"flight\",\"kind\":\"mark\",\"t_ns\":90,\"trace\":0,"
+      "\"name\":\"early\",\"a\":1,\"b\":0,\"ok\":true,\"thread\":0}\n"
+      // A second generation appended by a later crash dump: its header wins.
+      "{\"type\":\"flight_header\",\"threads\":2,\"records_per_thread\":64,"
+      "\"dropped\":3,\"t_dump_ns\":500}\n"
+      "{\"type\":\"flight\",\"kind\":\"gateway\",\"t_ns\":400,\"trace\":7,"
+      "\"name\":\"/vote\",\"a\":503,\"b\":120000,\"ok\":false,\"thread\":1}\n"
+      "{\"type\":\"flight\",\"kind\":\"span\",\"t_ns\":200,\"trace\":7,"
+      "\"name\":\"nvp.run\",\"a\":1000,\"b\":4,\"ok\":true,\"thread\":0}\n"
+      "{\"type\":\"flight\",\"kind\":\"mark\",\"t_ns\":2"  // torn record
+      "\n"
+      "{\"type\":\"slo_window\",\"class\":\"x\"}\n"};  // wrong schema
+  FlightDump dump;
+  load_flight(in, dump);
+
+  EXPECT_EQ(dump.headers, 2u);
+  EXPECT_EQ(dump.threads, 2u);
+  EXPECT_EQ(dump.dropped, 3u);
+  EXPECT_EQ(dump.malformed_lines, 1u);
+  EXPECT_EQ(dump.unknown_records, 1u);
+  ASSERT_EQ(dump.events.size(), 3u);
+  // Time-sorted regardless of file (dump-generation) order.
+  EXPECT_EQ(dump.events[0].name, "early");
+  EXPECT_EQ(dump.events[1].name, "nvp.run");
+  EXPECT_EQ(dump.events[2].name, "/vote");
+  EXPECT_EQ(dump.events[2].a, 503u);
+  EXPECT_FALSE(dump.events[2].ok);
+
+  const std::string md = flight_markdown(dump, 2);
+  EXPECT_NE(md.find("3 across 2 thread ring(s)"), std::string::npos);
+  EXPECT_NE(md.find("3 dropped over thread cap"), std::string::npos);
+  EXPECT_NE(md.find("torn records are expected"), std::string::npos);
+  EXPECT_NE(md.find("Last 2 events"), std::string::npos);
+  // The tail keeps the newest events; the oldest one falls off.
+  EXPECT_NE(md.find("| /vote |"), std::string::npos);
+  EXPECT_EQ(md.find("| early |"), std::string::npos);
+}
+
+TEST(TracetoolFlight, EmptyDumpRendersPlaceholder) {
+  FlightDump dump;
+  EXPECT_NE(flight_markdown(dump, 8).find("_no flight events_"),
+            std::string::npos);
+}
+
+TEST(TracetoolSloSnapshot, LoadsWindowsClassesAndFiringAlerts) {
+  std::istringstream in{
+      "{\"type\":\"slo_window\",\"class\":\"/vote\",\"window\":\"10s\","
+      "\"window_s\":10,\"total\":100,\"errors\":40,\"error_rate\":0.4,"
+      "\"burn_rate\":400,\"p50_ns\":1000000,\"p95_ns\":2000000,"
+      "\"p99_ns\":150000000}\n"
+      "{\"type\":\"slo_class\",\"class\":\"/vote\",\"latency_slo_ns\":5000000,"
+      "\"availability\":0.999,\"state\":\"failing\",\"total\":1000,"
+      "\"errors\":40,\"budget_allowed\":0.001,\"budget_consumed\":40,"
+      "\"last_transition_ns\":123,\"alert_fast_burn\":true,"
+      "\"alert_slow_burn\":false}\n"
+      "garbage\n"};
+  SloSnapshot snapshot;
+  load_slo_snapshot(in, snapshot);
+
+  EXPECT_EQ(snapshot.malformed_lines, 1u);
+  ASSERT_EQ(snapshot.windows.size(), 1u);
+  const SloWindowRow& w = snapshot.windows[0];
+  EXPECT_EQ(w.request_class, "/vote");
+  EXPECT_EQ(w.window, "10s");
+  EXPECT_EQ(w.total, 100u);
+  EXPECT_DOUBLE_EQ(w.error_rate, 0.4);
+  EXPECT_DOUBLE_EQ(w.burn_rate, 400.0);
+  EXPECT_DOUBLE_EQ(w.p99_ns, 150000000.0);
+
+  ASSERT_EQ(snapshot.classes.size(), 1u);
+  const SloClassRow& c = snapshot.classes[0];
+  EXPECT_EQ(c.state, "failing");
+  EXPECT_EQ(c.latency_slo_ns, 5000000u);
+  ASSERT_EQ(c.firing.size(), 1u);  // only the true alert_ key survives
+  EXPECT_EQ(c.firing[0], "fast_burn");
+
+  const std::string md = slo_snapshot_markdown(snapshot);
+  EXPECT_NE(md.find("## Classes"), std::string::npos);
+  EXPECT_NE(md.find("## Windows"), std::string::npos);
+  EXPECT_NE(md.find("| /vote | failing |"), std::string::npos);
+  EXPECT_NE(md.find("fast_burn"), std::string::npos);
+}
+
+TEST(TracetoolSloSnapshot, EmptySnapshotRendersPlaceholders) {
+  SloSnapshot snapshot;
+  const std::string md = slo_snapshot_markdown(snapshot);
+  EXPECT_NE(md.find("_no slo_class records_"), std::string::npos);
+  EXPECT_NE(md.find("_no slo_window records_"), std::string::npos);
+}
+
 TEST(TracetoolMarkdown, EmptyTraceRendersPlaceholders) {
   const TraceData trace;
   EXPECT_NE(attribution_markdown(attribute(trace))

@@ -1,12 +1,22 @@
-// tracetool — reliability attribution from recorded traces.
+// tracetool — reliability analysis from recorded telemetry artifacts.
 //
 //   tracetool report [--slo=99.9] [--out=FILE] <trace.jsonl> [more...]
+//   tracetool flight [--tail=N] [--out=FILE] <flight.jsonl> [more...]
+//   tracetool slo    [--out=FILE] <slo.jsonl> [more...]
 //
-// Loads *.trace.jsonl files (the obs:: JSONL schema, EXPERIMENTS.md),
-// reconstructs span trees, and emits one markdown document with three
-// sections: per-technique reliability attribution against the paper's
-// Table-2 fault classes, a critical-path latency breakdown per pattern, and
-// an SLO / error-budget report over the adjudication failure rate.
+// `report` loads *.trace.jsonl files (the obs:: JSONL schema,
+// EXPERIMENTS.md), reconstructs span trees, and emits one markdown document
+// with three sections: per-technique reliability attribution against the
+// paper's Table-2 fault classes, a critical-path latency breakdown per
+// pattern, and an SLO / error-budget report over the adjudication failure
+// rate.
+//
+// `flight` analyses obs::FlightRecorder black-box dumps (a crash handler's
+// appended file, or a `GET /debug/flight` body): per-kind/thread counts,
+// covered time span, and the last N events.
+//
+// `slo` renders an obs::SloTracker NDJSON snapshot (a `GET /slo` body):
+// per-class state and budget, and the windowed burn-rate/percentile table.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -21,46 +31,50 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: tracetool report [--slo=PCT] [--out=FILE] "
-               "<trace.jsonl> [more.jsonl...]\n");
+               "<trace.jsonl> [more.jsonl...]\n"
+               "       tracetool flight [--tail=N] [--out=FILE] "
+               "<flight.jsonl> [more.jsonl...]\n"
+               "       tracetool slo [--out=FILE] "
+               "<slo.jsonl> [more.jsonl...]\n");
   return 2;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc < 2 || std::string{argv[1]} != "report") return usage();
-
-  double slo_pct = 99.9;
-  std::string out_path;
-  std::vector<std::string> inputs;
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg{argv[i]};
-    if (arg.rfind("--slo=", 0) == 0) {
-      char* stop = nullptr;
-      slo_pct = std::strtod(arg.c_str() + 6, &stop);
-      if (*stop != '\0' || slo_pct <= 0.0 || slo_pct >= 100.0) {
-        std::fprintf(stderr, "tracetool: bad --slo value '%s'\n",
-                     arg.c_str() + 6);
-        return 2;
-      }
-    } else if (arg.rfind("--out=", 0) == 0) {
-      out_path = arg.substr(6);
-    } else if (!arg.empty() && arg[0] == '-') {
-      return usage();
-    } else {
-      inputs.push_back(arg);
-    }
+/// Print to stdout, or to --out=FILE when given. 0 on success.
+int emit(const std::string& doc, const std::string& out_path) {
+  if (out_path.empty()) {
+    std::cout << doc;
+    return 0;
   }
-  if (inputs.empty()) return usage();
+  std::ofstream out{out_path};
+  if (!out.is_open()) {
+    std::fprintf(stderr, "tracetool: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << doc;
+  std::fprintf(stderr, "tracetool: wrote %s\n", out_path.c_str());
+  return 0;
+}
 
-  redundancy::tracetool::TraceData trace;
+template <typename Loader>
+bool load_inputs(const std::vector<std::string>& inputs, Loader&& loader) {
   for (const auto& path : inputs) {
     std::ifstream in{path};
     if (!in.is_open()) {
       std::fprintf(stderr, "tracetool: cannot open %s\n", path.c_str());
-      return 1;
+      return false;
     }
-    redundancy::tracetool::load_trace(in, trace);
+    loader(in);
+  }
+  return true;
+}
+
+int run_report(double slo_pct, const std::string& out_path,
+               const std::vector<std::string>& inputs) {
+  redundancy::tracetool::TraceData trace;
+  if (!load_inputs(inputs, [&trace](std::istream& in) {
+        redundancy::tracetool::load_trace(in, trace);
+      })) {
+    return 1;
   }
 
   std::string doc;
@@ -80,17 +94,80 @@ int main(int argc, char** argv) {
   doc += latency_markdown(critical_path(trace));
   doc += "\n## SLO / error budget (adjudication failure rate)\n\n";
   doc += slo_markdown(slo_report(trace, slo_pct));
+  return emit(doc, out_path);
+}
 
-  if (out_path.empty()) {
-    std::cout << doc;
-  } else {
-    std::ofstream out{out_path};
-    if (!out.is_open()) {
-      std::fprintf(stderr, "tracetool: cannot write %s\n", out_path.c_str());
-      return 1;
-    }
-    out << doc;
-    std::fprintf(stderr, "tracetool: wrote %s\n", out_path.c_str());
+int run_flight(std::size_t tail, const std::string& out_path,
+               const std::vector<std::string>& inputs) {
+  redundancy::tracetool::FlightDump dump;
+  if (!load_inputs(inputs, [&dump](std::istream& in) {
+        redundancy::tracetool::load_flight(in, dump);
+      })) {
+    return 1;
   }
-  return 0;
+  std::string doc;
+  doc += "# tracetool flight\n\n";
+  doc += flight_markdown(dump, tail);
+  return emit(doc, out_path);
+}
+
+int run_slo(const std::string& out_path,
+            const std::vector<std::string>& inputs) {
+  redundancy::tracetool::SloSnapshot snapshot;
+  if (!load_inputs(inputs, [&snapshot](std::istream& in) {
+        redundancy::tracetool::load_slo_snapshot(in, snapshot);
+      })) {
+    return 1;
+  }
+  std::string doc;
+  doc += "# tracetool slo\n\n";
+  doc += slo_snapshot_markdown(snapshot);
+  return emit(doc, out_path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command{argv[1]};
+  if (command != "report" && command != "flight" && command != "slo") {
+    return usage();
+  }
+
+  double slo_pct = 99.9;
+  std::size_t tail = 32;
+  std::string out_path;
+  std::vector<std::string> inputs;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg{argv[i]};
+    if (command == "report" && arg.rfind("--slo=", 0) == 0) {
+      char* stop = nullptr;
+      slo_pct = std::strtod(arg.c_str() + 6, &stop);
+      if (*stop != '\0' || slo_pct <= 0.0 || slo_pct >= 100.0) {
+        std::fprintf(stderr, "tracetool: bad --slo value '%s'\n",
+                     arg.c_str() + 6);
+        return 2;
+      }
+    } else if (command == "flight" && arg.rfind("--tail=", 0) == 0) {
+      char* stop = nullptr;
+      const unsigned long long v = std::strtoull(arg.c_str() + 7, &stop, 10);
+      if (stop == arg.c_str() + 7 || *stop != '\0' || v == 0) {
+        std::fprintf(stderr, "tracetool: bad --tail value '%s'\n",
+                     arg.c_str() + 7);
+        return 2;
+      }
+      tail = static_cast<std::size_t>(v);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) return usage();
+
+  if (command == "report") return run_report(slo_pct, out_path, inputs);
+  if (command == "flight") return run_flight(tail, out_path, inputs);
+  return run_slo(out_path, inputs);
 }

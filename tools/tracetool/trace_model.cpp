@@ -29,6 +29,11 @@ std::uint64_t get_u64(const JsonObject& o, const char* key) {
   return 0;
 }
 
+double get_num(const JsonObject& o, const char* key) {
+  const auto it = o.find(key);
+  return it == o.end() ? 0.0 : it->second.as_number();
+}
+
 bool get_bool(const JsonObject& o, const char* key) {
   const auto it = o.find(key);
   return it != o.end() && it->second.kind == JsonValue::Kind::boolean &&
@@ -292,6 +297,187 @@ std::string slo_markdown(const SloReport& report) {
            std::to_string(r.rejected) + " | " + pct(r.failure_rate) + " | " +
            pct(r.budget_consumed) + " | " + status + " |\n";
   }
+  return out;
+}
+
+void load_flight(std::istream& in, FlightDump& out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto object = parse_flat_object(line);
+    if (!object.has_value()) {
+      ++out.malformed_lines;
+      continue;
+    }
+    const std::string type = get_str(*object, "type");
+    if (type == "flight") {
+      FlightEvent event;
+      event.t_ns = get_u64(*object, "t_ns");
+      event.kind = get_str(*object, "kind");
+      event.name = get_str(*object, "name");
+      event.trace = get_u64(*object, "trace");
+      event.a = get_u64(*object, "a");
+      event.b = get_u64(*object, "b");
+      event.ok = get_bool(*object, "ok");
+      event.thread = get_u64(*object, "thread");
+      out.events.push_back(std::move(event));
+    } else if (type == "flight_header") {
+      // A file a crash handler appended to can hold several generations;
+      // the last header describes the final (post-crash) dump.
+      out.threads = get_u64(*object, "threads");
+      out.records_per_thread = get_u64(*object, "records_per_thread");
+      out.dropped = get_u64(*object, "dropped");
+      ++out.headers;
+    } else {
+      ++out.unknown_records;
+    }
+  }
+  std::stable_sort(out.events.begin(), out.events.end(),
+                   [](const FlightEvent& x, const FlightEvent& y) {
+                     return x.t_ns < y.t_ns;
+                   });
+}
+
+std::string flight_markdown(const FlightDump& dump, std::size_t tail) {
+  std::string out;
+  out += "Events: " + std::to_string(dump.events.size()) + " across " +
+         std::to_string(dump.threads) + " thread ring(s) of " +
+         std::to_string(dump.records_per_thread) + " records";
+  if (dump.headers > 1) {
+    out += " (" + std::to_string(dump.headers) + " dump generations)";
+  }
+  if (dump.dropped > 0) {
+    out += ", " + std::to_string(dump.dropped) + " dropped over thread cap";
+  }
+  if (dump.malformed_lines > 0) {
+    out += ", " + std::to_string(dump.malformed_lines) +
+           " malformed lines (torn records are expected in crash dumps)";
+  }
+  out += "\n\n";
+  if (dump.events.empty()) {
+    out += "_no flight events_\n";
+    return out;
+  }
+
+  const std::uint64_t t0 = dump.events.front().t_ns;
+  const std::uint64_t t1 = dump.events.back().t_ns;
+  out += "Covered span: " + fixed(double(t1 - t0) / 1e6, 3) + " ms\n\n";
+
+  std::map<std::string, std::size_t> by_kind;
+  std::map<std::size_t, std::size_t> by_thread;
+  for (const auto& e : dump.events) {
+    ++by_kind[e.kind];
+    ++by_thread[e.thread];
+  }
+  out += "| kind | events |\n|---|---:|\n";
+  for (const auto& [kind, n] : by_kind) {
+    out += "| " + kind + " | " + std::to_string(n) + " |\n";
+  }
+  out += "\n| thread | events |\n|---:|---:|\n";
+  for (const auto& [thread, n] : by_thread) {
+    out += "| " + std::to_string(thread) + " | " + std::to_string(n) + " |\n";
+  }
+
+  const std::size_t n = dump.events.size() < tail ? dump.events.size() : tail;
+  out += "\nLast " + std::to_string(n) + " events (newest last):\n\n";
+  out += "| t offset ms | kind | name | trace | a | b | ok | thread |\n";
+  out += "|---:|---|---|---:|---:|---:|---|---:|\n";
+  for (std::size_t i = dump.events.size() - n; i < dump.events.size(); ++i) {
+    const FlightEvent& e = dump.events[i];
+    out += "| " + fixed(double(e.t_ns - t0) / 1e6, 3) + " | " + e.kind +
+           " | " + e.name + " | " + std::to_string(e.trace) + " | " +
+           std::to_string(e.a) + " | " + std::to_string(e.b) + " | " +
+           (e.ok ? "yes" : "no") + " | " + std::to_string(e.thread) + " |\n";
+  }
+  return out;
+}
+
+void load_slo_snapshot(std::istream& in, SloSnapshot& out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto object = parse_flat_object(line);
+    if (!object.has_value()) {
+      ++out.malformed_lines;
+      continue;
+    }
+    const std::string type = get_str(*object, "type");
+    if (type == "slo_window") {
+      SloWindowRow row;
+      row.request_class = get_str(*object, "class");
+      row.window = get_str(*object, "window");
+      row.window_s = get_u64(*object, "window_s");
+      row.total = get_u64(*object, "total");
+      row.errors = get_u64(*object, "errors");
+      row.error_rate = get_num(*object, "error_rate");
+      row.burn_rate = get_num(*object, "burn_rate");
+      row.p50_ns = get_num(*object, "p50_ns");
+      row.p95_ns = get_num(*object, "p95_ns");
+      row.p99_ns = get_num(*object, "p99_ns");
+      out.windows.push_back(std::move(row));
+    } else if (type == "slo_class") {
+      SloClassRow row;
+      row.request_class = get_str(*object, "class");
+      row.latency_slo_ns = get_u64(*object, "latency_slo_ns");
+      row.availability = get_num(*object, "availability");
+      row.state = get_str(*object, "state");
+      row.total = get_u64(*object, "total");
+      row.errors = get_u64(*object, "errors");
+      row.budget_allowed = get_num(*object, "budget_allowed");
+      row.budget_consumed = get_num(*object, "budget_consumed");
+      for (const auto& [key, value] : *object) {
+        if (key.rfind("alert_", 0) == 0 &&
+            value.kind == JsonValue::Kind::boolean && value.b) {
+          row.firing.push_back(key.substr(6));
+        }
+      }
+      out.classes.push_back(std::move(row));
+    } else {
+      ++out.unknown_records;
+    }
+  }
+}
+
+std::string slo_snapshot_markdown(const SloSnapshot& snapshot) {
+  std::string out;
+  if (snapshot.malformed_lines > 0) {
+    out += "(" + std::to_string(snapshot.malformed_lines) +
+           " malformed lines skipped)\n\n";
+  }
+  out += "## Classes\n\n";
+  out +=
+      "| class | state | latency SLO ms | availability | total | errors | "
+      "budget consumed | firing |\n";
+  out += "|---|---|---:|---:|---:|---:|---:|---|\n";
+  for (const auto& c : snapshot.classes) {
+    std::string firing;
+    for (const auto& f : c.firing) {
+      if (!firing.empty()) firing += ", ";
+      firing += f;
+    }
+    if (firing.empty()) firing = "—";
+    out += "| " + c.request_class + " | " + c.state + " | " +
+           fixed(double(c.latency_slo_ns) / 1e6, 3) + " | " +
+           pct(c.availability) + " | " + std::to_string(c.total) + " | " +
+           std::to_string(c.errors) + " | " + pct(c.budget_consumed) +
+           " | " + firing + " |\n";
+  }
+  if (snapshot.classes.empty()) out += "| _no slo_class records_ ||||||||\n";
+
+  out += "\n## Windows\n\n";
+  out +=
+      "| class | window | total | errors | error rate | burn rate | p50 ms "
+      "| p95 ms | p99 ms |\n";
+  out += "|---|---|---:|---:|---:|---:|---:|---:|---:|\n";
+  for (const auto& w : snapshot.windows) {
+    out += "| " + w.request_class + " | " + w.window + " | " +
+           std::to_string(w.total) + " | " + std::to_string(w.errors) +
+           " | " + pct(w.error_rate) + " | " + fixed(w.burn_rate, 2) +
+           " | " + fixed(w.p50_ns / 1e6, 3) + " | " +
+           fixed(w.p95_ns / 1e6, 3) + " | " + fixed(w.p99_ns / 1e6, 3) +
+           " |\n";
+  }
+  if (snapshot.windows.empty()) out += "| _no slo_window records_ |||||||||\n";
   return out;
 }
 

@@ -111,4 +111,77 @@ struct SloReport {
     const std::vector<PatternLatency>& rows);
 [[nodiscard]] std::string slo_markdown(const SloReport& report);
 
+// ---- flight-recorder dumps (obs::FlightRecorder JSONL) ------------------
+
+/// One black-box event from a flight dump.
+struct FlightEvent {
+  std::uint64_t t_ns = 0;
+  std::string kind;  ///< "span" | "adjudication" | "gateway" | "mark"
+  std::string name;
+  std::uint64_t trace = 0;
+  std::uint64_t a = 0;  ///< kind-specific payload
+  std::uint64_t b = 0;  ///< kind-specific payload
+  bool ok = false;
+  std::size_t thread = 0;
+};
+
+struct FlightDump {
+  std::vector<FlightEvent> events;  ///< sorted by t_ns after load
+  std::size_t threads = 0;          ///< from the last flight_header seen
+  std::size_t records_per_thread = 0;
+  std::uint64_t dropped = 0;
+  std::size_t headers = 0;  ///< dump generations in the file (appends)
+  std::size_t malformed_lines = 0;
+  std::size_t unknown_records = 0;
+};
+
+/// Append every flight record in `in`; events are re-sorted by t_ns.
+void load_flight(std::istream& in, FlightDump& out);
+
+/// Per-kind/per-thread counts, covered time span, and the last `tail`
+/// events as a table (what `tracetool flight` prints).
+[[nodiscard]] std::string flight_markdown(const FlightDump& dump,
+                                          std::size_t tail);
+
+// ---- live SLO snapshots (obs::SloTracker NDJSON, `GET /slo`) ------------
+
+struct SloWindowRow {
+  std::string request_class;
+  std::string window;  ///< "10s" | "1m" | "5m" | "1h"
+  std::uint64_t window_s = 0;
+  std::uint64_t total = 0;
+  std::uint64_t errors = 0;
+  double error_rate = 0.0;
+  double burn_rate = 0.0;
+  double p50_ns = 0.0;
+  double p95_ns = 0.0;
+  double p99_ns = 0.0;
+};
+
+struct SloClassRow {
+  std::string request_class;
+  std::uint64_t latency_slo_ns = 0;
+  double availability = 0.0;
+  std::string state;  ///< "ok" | "degraded" | "failing"
+  std::uint64_t total = 0;
+  std::uint64_t errors = 0;
+  double budget_allowed = 0.0;
+  double budget_consumed = 0.0;
+  std::vector<std::string> firing;  ///< alert_* keys that are true
+};
+
+struct SloSnapshot {
+  std::vector<SloWindowRow> windows;
+  std::vector<SloClassRow> classes;
+  std::size_t malformed_lines = 0;
+  std::size_t unknown_records = 0;
+};
+
+/// Append every slo_window / slo_class line in `in`.
+void load_slo_snapshot(std::istream& in, SloSnapshot& out);
+
+/// Per-class state/budget summary plus the windowed burn/percentile table
+/// (what `tracetool slo` prints).
+[[nodiscard]] std::string slo_snapshot_markdown(const SloSnapshot& snapshot);
+
 }  // namespace redundancy::tracetool
