@@ -1,6 +1,7 @@
-// E22. Acceptance experiment for the net::Gateway front door: real loopback
-// sockets through the epoll event loop, batched into the lock-free engine,
-// redundancy patterns on the serving path, completions over the wakeup fd.
+// E22 + E24. Acceptance experiment for the net::Gateway front door: real
+// loopback sockets through the epoll event loop, batched into the lock-free
+// engine, redundancy patterns on the serving path, completions over the
+// wakeup fd — now sharded across SO_REUSEPORT reactor loops.
 //
 // Part A (closed loop) — request latency. A handful of keep-alive client
 // threads each issue serial requests against the hedged-and-cached /fast
@@ -22,11 +23,24 @@
 // host 2x10k sockets' worth of loop + client work; reported otherwise,
 // scaled to the RLIMIT_NOFILE budget).
 //
+// Part D (E24, the scaling gate) — multi-reactor loop sweep. A fresh
+// gateway per loop count in {1, 2, 4} runs the same open-loop pipelined
+// workload; each count is its own benchmark series (gateway_scaling_loopsN)
+// so bench_compare gates each independently. Gate: 4 loops >= 2.5x the
+// 1-loop throughput — enforced only on >= 4 cores (below that the reactors
+// share a core and the sweep is report-only).
+//
+// Part B additionally derives sends_per_response from the gateway.sends /
+// gateway.responses counter deltas (summed over loop labels): with vectored
+// sendmsg coalescing, pipelined bursts must average strictly fewer than one
+// syscall per response. Gated unconditionally.
+//
 // Environment knobs (all optional):
 //   REDUNDANCY_GATEWAY_CONNS        Part C target population
 //   REDUNDANCY_GATEWAY_DURATION_MS  Part A per-route duration (default 1500)
 //   REDUNDANCY_GATEWAY_QPS          Part B pipelined burst size (default 64)
 //   REDUNDANCY_GATEWAY_PORT         fixed listen port (default ephemeral)
+//   REDUNDANCY_GATEWAY_LOOPS       reactor count of the Part A-C gateway
 //
 // Emits BENCH_exp_gateway.json in the bench_json_main schema.
 #include <sys/resource.h>
@@ -42,6 +56,7 @@
 
 #include "net/gateway.hpp"
 #include "net/loopback_client.hpp"
+#include "obs/metrics_registry.hpp"
 #include "obs/obs.hpp"
 
 using namespace redundancy;
@@ -52,6 +67,8 @@ constexpr std::size_t kConnScaleGate = 10'000;
 constexpr std::size_t kClosedLoopClients = 4;
 constexpr std::size_t kOpenLoopConns = 8;
 constexpr std::size_t kOpenLoopBursts = 32;
+constexpr std::size_t kPipelineDepth = 32;  ///< conn.max_pipeline everywhere
+constexpr double kScalingGate = 2.5;        ///< 4-loop vs 1-loop throughput
 
 std::size_t env_or(const char* name, std::size_t fallback) {
   const char* raw = std::getenv(name);
@@ -74,6 +91,18 @@ struct Series {
     return sorted[idx];
   }
 };
+
+/// Sum every counter series of one family across its loop-label shards
+/// (counter_totals keys are the raw names: "gateway.sends" or
+/// "gateway.sends{loop=\"N\"}" — prefix-match both).
+std::uint64_t counter_family_total(const std::string& family) {
+  std::uint64_t total = 0;
+  for (const auto& [key, value] :
+       obs::MetricsRegistry::instance().counter_totals()) {
+    if (key == family || key.rfind(family + "{", 0) == 0) total += value;
+  }
+  return total;
+}
 
 /// Raise RLIMIT_NOFILE to its hard cap; returns the resulting soft limit.
 std::size_t raise_fd_limit() {
@@ -267,8 +296,37 @@ ScaleResult conn_scale(std::uint16_t port, std::size_t target) {
   return result;
 }
 
+// --------------------------------------------------------------------------
+// Part D (E24): multi-reactor loop-scaling sweep
+// --------------------------------------------------------------------------
+
+/// One sweep point: a fresh gateway with exactly `loops` reactors serving
+/// the open-loop pipelined workload. Returns the amortized-latency series
+/// (ops_per_sec is the scaling measure).
+Series loop_scaling_point(std::size_t loops, std::size_t burst) {
+  net::Gateway::Options options;
+  options.loops = loops;
+  options.conn.max_pipeline = kPipelineDepth;
+  options.conn.max_inflight = 4096;
+  net::Gateway gateway{options};
+  net::install_demo_routes(gateway);
+  if (!gateway.start()) {
+    std::fprintf(stderr, "exp_gateway: sweep gateway (%zu loops) failed\n",
+                 loops);
+    std::exit(2);
+  }
+  Series s = open_loop(gateway.port(), burst);
+  gateway.stop();
+  if (gateway.jobs_inflight() != 0) {
+    std::fprintf(stderr, "exp_gateway: sweep (%zu loops) leaked jobs\n",
+                 loops);
+    std::exit(2);
+  }
+  return s;
+}
+
 void write_json(const std::vector<std::pair<std::string, Series>>& all,
-                std::size_t threads) {
+                std::size_t threads, double sends_per_response) {
   const char* path = "BENCH_exp_gateway.json";
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
@@ -290,6 +348,12 @@ void write_json(const std::vector<std::pair<std::string, Series>>& all,
                  s.latency_ns.size(), threads);
     first = false;
   }
+  // Syscall-batching efficiency of the pipelined part: sendmsg calls per
+  // response (lower is better; < 1.0 means coalescing is working).
+  std::fprintf(f,
+               ",\n    {\"name\": \"gateway_send_batching\", "
+               "\"sends_per_response\": %.4f, \"threads\": %zu}",
+               sends_per_response, threads);
   std::fprintf(f, "\n  ]\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path);
@@ -314,6 +378,7 @@ int main() {
       static_cast<std::uint16_t>(env_or("REDUNDANCY_GATEWAY_PORT", 0));
   options.conn.max_connections = conn_target + 64;
   options.conn.max_inflight = 4096;
+  options.conn.max_pipeline = kPipelineDepth;
   options.conn.idle_timeout_ms = 120'000;  // parked population must survive
   net::Gateway gateway{options};
   net::install_demo_routes(gateway);
@@ -321,9 +386,11 @@ int main() {
     std::fprintf(stderr, "exp_gateway: gateway failed to start\n");
     return 2;
   }
-  std::printf("E22. Gateway front door: loop -> submit_batch -> completions\n\n");
-  std::printf("port %u, fd budget %zu, %zu cores\n\n", gateway.port(),
-              fd_budget, cores);
+  std::printf(
+      "E22+E24. Gateway front door: multi-reactor loops -> submit_batch -> "
+      "completions\n\n");
+  std::printf("port %u, fd budget %zu, %zu cores, %zu loops\n\n",
+              gateway.port(), fd_budget, cores, gateway.loops());
 
   std::printf("Part A: closed loop, %zu keep-alive clients, %zu ms/route\n",
               kClosedLoopClients, duration_ms);
@@ -340,10 +407,26 @@ int main() {
 
   std::printf("Part B: open loop, %zu conns x %zu bursts of %zu pipelined\n",
               kOpenLoopConns, kOpenLoopBursts, burst);
+  const std::uint64_t sends_before = counter_family_total("gateway.sends");
+  const std::uint64_t responses_before =
+      counter_family_total("gateway.responses");
   const Series pipelined = open_loop(gateway.port(), burst);
+  const std::uint64_t sends_delta =
+      counter_family_total("gateway.sends") - sends_before;
+  const std::uint64_t responses_delta =
+      counter_family_total("gateway.responses") - responses_before;
+  const double sends_per_response =
+      responses_delta > 0 ? double(sends_delta) / double(responses_delta) : 1.0;
   std::printf("  /echo pipelined           %10.0f req/s  p50 %.1f us "
-              "amortized\n\n",
+              "amortized\n",
               pipelined.ops_per_sec(), pipelined.percentile(50.0) / 1e3);
+  const bool batching_ok = sends_per_response < 1.0;
+  std::printf("  sendmsg per response      %10.4f  (%llu sends / %llu "
+              "responses)  gate < 1.0 -> %s\n\n",
+              sends_per_response,
+              static_cast<unsigned long long>(sends_delta),
+              static_cast<unsigned long long>(responses_delta),
+              batching_ok ? "PASS" : "FAIL");
 
   std::printf("Part C: concurrent connection scale, target %zu\n",
               conn_target);
@@ -356,7 +439,7 @@ int main() {
               scale.healthz_ok ? "ok" : "FAILED");
 
   const bool gate_active = cores >= 4;
-  bool pass = scale.metrics_ok && scale.healthz_ok &&
+  bool pass = batching_ok && scale.metrics_ok && scale.healthz_ok &&
               scale.admitted == conn_target;
   if (gate_active) {
     pass = pass && scale.admitted >= kConnScaleGate;
@@ -374,10 +457,41 @@ int main() {
     return 2;
   }
 
-  write_json({{"gateway_fast_closed", fast},
-              {"gateway_vote_closed", vote},
-              {"gateway_echo_pipelined", pipelined},
-              {"gateway_conn_scale", scale.series}},
-             std::clamp<std::size_t>(cores, 2, 8));
+  std::printf("Part D: loop-scaling sweep, same open-loop workload per "
+              "reactor count\n");
+  std::vector<std::pair<std::string, Series>> sweep;
+  for (const std::size_t loops : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{4}}) {
+    Series s = loop_scaling_point(loops, burst);
+    std::printf("  %zu loop%s                   %10.0f req/s  p50 %.1f us "
+                "amortized\n",
+                loops, loops == 1 ? " " : "s", s.ops_per_sec(),
+                s.percentile(50.0) / 1e3);
+    sweep.emplace_back("gateway_scaling_loops" + std::to_string(loops),
+                       std::move(s));
+  }
+  const double scaling =
+      sweep.front().second.ops_per_sec() > 0.0
+          ? sweep.back().second.ops_per_sec() /
+                sweep.front().second.ops_per_sec()
+          : 0.0;
+  if (gate_active) {
+    const bool scaling_ok = scaling >= kScalingGate;
+    pass = pass && scaling_ok;
+    std::printf("  4-loop / 1-loop           %10.2fx  gate >= %.1fx -> %s\n\n",
+                scaling, kScalingGate, scaling_ok ? "PASS" : "FAIL");
+  } else {
+    std::printf("  4-loop / 1-loop           %10.2fx  gate >= %.1fx skipped: "
+                "< 4 cores (report only)\n\n",
+                scaling, kScalingGate);
+  }
+
+  std::vector<std::pair<std::string, Series>> all = {
+      {"gateway_fast_closed", fast},
+      {"gateway_vote_closed", vote},
+      {"gateway_echo_pipelined", pipelined},
+      {"gateway_conn_scale", scale.series}};
+  for (auto& point : sweep) all.push_back(std::move(point));
+  write_json(all, std::clamp<std::size_t>(cores, 2, 8), sends_per_response);
   return pass ? 0 : 1;
 }

@@ -102,7 +102,9 @@ int main() {
   }
   std::signal(SIGTERM, handle_stop);
   std::signal(SIGINT, handle_stop);
-  std::printf("gateway_demo: serving on port %u\n", gateway.port());
+  std::printf("gateway_demo: serving on port %u with %zu reactor loop%s\n",
+              gateway.port(), gateway.loops(),
+              gateway.loops() == 1 ? "" : "s");
   std::fflush(stdout);
 
   const std::size_t linger_ms = env_or("REDUNDANCY_GATEWAY_LINGER_MS", 0);
@@ -115,5 +117,9 @@ int main() {
   slo.stop();
   std::printf("gateway_demo: clean shutdown, jobs in flight: %zu\n",
               gateway.jobs_inflight());
+  for (std::size_t loop = 0; loop < gateway.loops(); ++loop) {
+    std::printf("gateway_demo: loop %zu jobs in flight: %zu\n", loop,
+                gateway.jobs_inflight(loop));
+  }
   return gateway.jobs_inflight() == 0 ? 0 : 1;
 }

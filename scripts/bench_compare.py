@@ -58,7 +58,14 @@ def load_series(path):
 
 
 def lower_is_better(metric):
-    return metric.startswith("latency")
+    # Latency tails and syscalls-per-response both improve downward.
+    return metric.startswith("latency") or metric == "sends_per_response"
+
+
+def fmt(value):
+    # Ratios like sends_per_response live well below 1.0; one decimal place
+    # would round them to 0.0 and hide the signal.
+    return f"{value:>14.4f}" if abs(value) < 10.0 else f"{value:>14.1f}"
 
 
 def compare_series(file_name, name, base, fresh, threshold, failures):
@@ -75,8 +82,8 @@ def compare_series(file_name, name, base, fresh, threshold, failures):
             verdict = "better" if improved and abs(delta) > 1e-9 else "info"
         else:
             verdict = "ok"
-        print(f"  {name:<26} {metric:<17} {base_v:>14.1f} -> "
-              f"{fresh_v:>14.1f}  ({delta:+7.1%})  {verdict}")
+        print(f"  {name:<26} {metric:<17} {fmt(base_v)} -> "
+              f"{fmt(fresh_v)}  ({delta:+7.1%})  {verdict}")
         if regressed:
             failures.append(
                 f"{file_name}: '{name}' {metric} {fresh_v:.0f} is "

@@ -88,6 +88,38 @@ kill "${server}"
 wait "${server}"   # clean shutdown must report zero jobs in flight
 trap - EXIT
 
+# Multi-reactor drill: the same host sharded across two reactor loops.
+# Every loop must accept and serve traffic (loop="N"-labelled metric
+# shards) and drain to zero jobs in flight on shutdown.
+REDUNDANCY_GATEWAY_PORT="${PORT}" REDUNDANCY_GATEWAY_LINGER_MS=120000 \
+  REDUNDANCY_GATEWAY_LOOPS=2 REDUNDANCY_SLO_EPOCH_MS=500 \
+  "${BUILD_DIR}/examples/gateway_demo" > "${OUT_DIR}/demo_loops2.log" &
+server=$!
+trap 'kill "${server}" 2>/dev/null || true' EXIT
+
+for i in $(seq 1 50); do
+  curl -sf "localhost:${PORT}/healthz" -o /dev/null && break
+  sleep 0.2
+done
+grep -q 'with 2 reactor loops' "${OUT_DIR}/demo_loops2.log"
+
+# Fresh connections round-robin or hash across the two listeners; enough
+# sequential requests land traffic on both loops.
+for i in $(seq 1 64); do
+  test "$(curl -sf "localhost:${PORT}/echo?x=${i}")" = "${i}"
+done
+curl -sf "localhost:${PORT}/metrics" -o "${OUT_DIR}/metrics_loops2.prom"
+grep -q 'gateway_accepted_total{loop="0"}' "${OUT_DIR}/metrics_loops2.prom"
+grep -q 'gateway_accepted_total{loop="1"}' "${OUT_DIR}/metrics_loops2.prom"
+grep -q 'gateway_requests_total{loop="0"}' "${OUT_DIR}/metrics_loops2.prom"
+grep -q 'gateway_requests_total{loop="1"}' "${OUT_DIR}/metrics_loops2.prom"
+
+kill "${server}"
+wait "${server}"   # exit code re-checks zero jobs in flight
+trap - EXIT
+grep -q 'loop 0 jobs in flight: 0' "${OUT_DIR}/demo_loops2.log"
+grep -q 'loop 1 jobs in flight: 0' "${OUT_DIR}/demo_loops2.log"
+
 # The load generator: brief closed+open-loop run plus the connection-scale
 # part (fd-budget scaled; the 10k gate arms itself on >= 4 cores).
 (cd "${OUT_DIR}" &&

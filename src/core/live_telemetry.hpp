@@ -27,6 +27,12 @@
 //                              breach.
 //   REDUNDANCY_FLIGHT_RING     flight records per thread (default 1024).
 //
+// Related (read by net::Gateway, not by this helper):
+//   REDUNDANCY_GATEWAY_LOOPS   reactor loop count for gateway hosts
+//                              (default min(cores/2, 8), floor 1); each loop
+//                              exports its own loop="N"-labelled gateway.*
+//                              metric shards through /metrics.
+//
 // Setting either of the first two enables the recorder for the process
 // lifetime. With none of them set, start_live_telemetry_from_env() returns
 // nullptr and nothing changes.

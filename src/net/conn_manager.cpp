@@ -5,8 +5,10 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <utility>
 
@@ -25,27 +27,49 @@ bool set_nonblocking(int fd) noexcept {
   return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
-constexpr std::size_t kReadChunk = 16 * 1024;
+/// Accept one connection, already non-blocking + close-on-exec. accept4()
+/// saves the two fcntl() round trips per connection where available.
+int accept_nonblocking(int listen_fd) noexcept {
+#if defined(__linux__) && defined(SOCK_NONBLOCK)
+  return ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+#else
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd >= 0 && !set_nonblocking(fd)) {
+    ::close(fd);
+    errno = EAGAIN;
+    return -1;
+  }
+  return fd;
+#endif
+}
+
+constexpr std::size_t kReadChunkMin = 4 * 1024;
+constexpr std::size_t kReadChunkMax = 64 * 1024;
+/// iovecs per sendmsg(); far below any IOV_MAX, plenty for a drain burst.
+constexpr std::size_t kMaxIov = 64;
 
 }  // namespace
 
 ConnManager::ConnManager(EventLoop& loop, Options options)
-    : loop_(loop), options_(options) {
-  accepted_ = &obs::counter("gateway.accepted");
-  closed_ = &obs::counter("gateway.closed");
-  requests_ = &obs::counter("gateway.requests");
-  responses_ = &obs::counter("gateway.responses");
-  shed_conns_ = &obs::counter("gateway.shed_connections");
-  shed_inflight_ = &obs::counter("gateway.shed_inflight");
-  timeouts_idle_ = &obs::counter("gateway.timeouts_idle");
-  timeouts_write_ = &obs::counter("gateway.timeouts_write");
-  bad_requests_ = &obs::counter("gateway.bad_requests");
-  orphan_responses_ = &obs::counter("gateway.orphan_responses");
-  state_reading_ = &obs::counter("gateway.conn_reading");
-  state_dispatched_ = &obs::counter("gateway.conn_dispatched");
-  state_writing_ = &obs::counter("gateway.conn_writing");
-  state_draining_ = &obs::counter("gateway.conn_draining");
-  request_ns_ = &obs::histogram("gateway.request_ns");
+    : loop_(loop), options_(std::move(options)) {
+  const std::string& label = options_.metric_label;
+  accepted_ = &obs::counter("gateway.accepted", label);
+  closed_ = &obs::counter("gateway.closed", label);
+  requests_ = &obs::counter("gateway.requests", label);
+  responses_ = &obs::counter("gateway.responses", label);
+  sends_ = &obs::counter("gateway.sends", label);
+  shed_conns_ = &obs::counter("gateway.shed_connections", label);
+  shed_inflight_ = &obs::counter("gateway.shed_inflight", label);
+  timeouts_idle_ = &obs::counter("gateway.timeouts_idle", label);
+  timeouts_write_ = &obs::counter("gateway.timeouts_write", label);
+  bad_requests_ = &obs::counter("gateway.bad_requests", label);
+  orphan_responses_ = &obs::counter("gateway.orphan_responses", label);
+  state_reading_ = &obs::counter("gateway.conn_reading", label);
+  state_dispatched_ = &obs::counter("gateway.conn_dispatched", label);
+  state_writing_ = &obs::counter("gateway.conn_writing", label);
+  state_draining_ = &obs::counter("gateway.conn_draining", label);
+  request_ns_ = &obs::histogram("gateway.request_ns", label);
+  if (options_.max_pipeline == 0) options_.max_pipeline = 1;
 }
 
 ConnManager::~ConnManager() {
@@ -53,11 +77,39 @@ ConnManager::~ConnManager() {
   stop_listening();
 }
 
+bool ConnManager::reuseport_supported() noexcept {
+#if defined(SO_REUSEPORT)
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  const int one = 1;
+  const bool ok =
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof one) == 0;
+  ::close(fd);
+  return ok;
+#else
+  return false;
+#endif
+}
+
 bool ConnManager::listen() {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) return false;
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (options_.reuseport) {
+#if defined(SO_REUSEPORT)
+    if (::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEPORT, &one,
+                     sizeof one) != 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+#else
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+#endif
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
@@ -96,40 +148,46 @@ void ConnManager::close_all() {
 void ConnManager::on_io(std::uint32_t events) {
   if ((events & kReadable) == 0) return;
   for (;;) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = accept_nonblocking(listen_fd_);
     if (fd < 0) {
       if (errno == EINTR) continue;
       return;  // EAGAIN: backlog drained (other errors: retry next wakeup)
     }
-    if (conns_.size() >= options_.max_connections) {
-      // Accept-then-close is the cheapest refusal: the peer sees an
-      // immediate RST/EOF instead of hanging in the backlog.
-      shed_conns_->add();
-      ::close(fd);
+    if (sink_) {
+      sink_(fd);  // single-acceptor fallback: another loop adopts it
       continue;
     }
-    if (!set_nonblocking(fd)) {
-      ::close(fd);
-      continue;
-    }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-    if (options_.sndbuf_bytes > 0) {
-      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.sndbuf_bytes,
-                   sizeof options_.sndbuf_bytes);
-    }
-    const std::uint64_t id = next_id_++;
-    auto conn = std::make_unique<Conn>(this, fd, id);
-    Conn& c = *conn;
-    if (!loop_.add(fd, kReadable, &c)) {
-      ::close(fd);
-      continue;
-    }
-    conns_.emplace(id, std::move(conn));
-    accepted_->add();
-    state_reading_->add();
-    loop_.timers().arm(c.timer, loop_.now_ms(), options_.idle_timeout_ms);
+    adopt(fd);
   }
+}
+
+bool ConnManager::adopt(int fd) {
+  if (conns_.size() >= options_.max_connections) {
+    // Accept-then-close is the cheapest refusal: the peer sees an
+    // immediate RST/EOF instead of hanging in the backlog.
+    shed_conns_->add();
+    ::close(fd);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  if (options_.sndbuf_bytes > 0) {
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.sndbuf_bytes,
+                 sizeof options_.sndbuf_bytes);
+  }
+  const std::uint64_t id = next_id_++;
+  auto conn = std::make_unique<Conn>(this, fd, id);
+  Conn& c = *conn;
+  if (!loop_.add(fd, kReadable, &c)) {
+    ::close(fd);
+    return false;
+  }
+  c.in.reserve(read_chunk_target());
+  conns_.emplace(id, std::move(conn));
+  accepted_->add();
+  state_reading_->add();
+  loop_.timers().arm(c.timer, loop_.now_ms(), options_.idle_timeout_ms);
+  return true;
 }
 
 void ConnManager::conn_io(Conn& conn, std::uint32_t events) {
@@ -149,28 +207,48 @@ void ConnManager::conn_io(Conn& conn, std::uint32_t events) {
   if (events & (kReadable | kHangup)) on_readable(conn);
 }
 
+std::size_t ConnManager::read_chunk_target() const noexcept {
+  // Power-of-two bucketing keeps the target stable while the decayed
+  // high-watermark drifts, so the scratch buffer is not resized per event.
+  std::size_t want = kReadChunkMin;
+  while (want < in_hwm_ && want < kReadChunkMax) want <<= 1;
+  return want;
+}
+
 void ConnManager::on_readable(Conn& conn) {
+  const std::size_t chunk = read_chunk_target();
+  if (read_scratch_.size() != chunk) read_scratch_.assign(chunk, '\0');
   for (;;) {
-    const std::size_t old_size = conn.in.size();
-    conn.in.resize(old_size + kReadChunk);
-    const ssize_t n = ::recv(conn.fd, conn.in.data() + old_size, kReadChunk, 0);
+    // recv() into the shared scratch, append only the bytes that arrived:
+    // the old resize(+16 KiB)-then-shrink pattern zero-filled the whole
+    // chunk on every wakeup; this touches exactly what the kernel wrote.
+    const ssize_t n = ::recv(conn.fd, read_scratch_.data(), chunk, 0);
     if (n > 0) {
-      conn.in.resize(old_size + static_cast<std::size_t>(n));
-      if (conn.state == ConnState::draining) conn.in.clear();  // discard
-      if (static_cast<std::size_t>(n) < kReadChunk) break;
+      if (conn.state != ConnState::draining) {
+        conn.in.append(read_scratch_.data(), static_cast<std::size_t>(n));
+      }
+      if (static_cast<std::size_t>(n) < chunk) break;
       continue;
     }
-    conn.in.resize(old_size);
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n < 0 && errno == EINTR) continue;
     teardown(conn);  // EOF or hard error
     return;
   }
-  if (conn.state == ConnState::reading) try_parse(conn);
+  if (can_parse(conn)) try_parse(conn);
+}
+
+bool ConnManager::can_parse(const Conn& conn) const noexcept {
+  if (conn.state == ConnState::draining || conn.no_more_requests) return false;
+  if (conn.slots.size() >= options_.max_pipeline) return false;
+  // Lockstep (max_pipeline == 1) also waits for the previous response to
+  // leave the socket before parsing the next request — the historical
+  // single-request-in-flight discipline the unit tests pin down.
+  return options_.max_pipeline > 1 || conn.flushq.empty();
 }
 
 void ConnManager::try_parse(Conn& conn) {
-  while (conn.state == ConnState::reading) {
+  while (can_parse(conn)) {
     const http::ParseResult r =
         http::parse_request(conn.in, options_.max_request_bytes);
     switch (r.status) {
@@ -190,6 +268,7 @@ void ConnManager::try_parse(Conn& conn) {
         break;
     }
     requests_->add();
+    in_hwm_ = std::max(r.consumed, in_hwm_ - in_hwm_ / 16);
     if (inflight_ >= options_.max_inflight) {
       shed_inflight_->add();
       respond_now(conn, 503, "overloaded\n");
@@ -199,91 +278,256 @@ void ConnManager::try_parse(Conn& conn) {
       respond_now(conn, 500, "no handler\n");
       return;
     }
-    conn.state = ConnState::dispatched;
-    state_dispatched_->add();
-    conn.close_after_write = !r.request.keep_alive;
-    conn.dispatch_t0_ns = obs::now_ns();
+    Slot slot;
+    slot.seq = conn.next_seq++;
+    slot.close_after = !r.request.keep_alive;
+    slot.dispatch_t0_ns = obs::now_ns();
+    if (slot.close_after) conn.no_more_requests = true;
+    conn.slots.push_back(std::move(slot));
     ++inflight_;
-    loop_.timers().cancel(conn.timer);  // the handler owns its own latency
-    loop_.modify(conn.fd, 0);           // backpressure: stop reading
+    update_state(conn);     // reading → dispatched: cancel the idle timer
+    update_interest(conn);  // pipeline full → stop reading (backpressure)
     // Consume the request BEFORE the handler runs: an inline respond()
-    // re-enters try_parse via resume_reading(), and must only ever see the
+    // re-enters try_parse via the flush path, and must only ever see the
     // pipelined tail. swap keeps the parsed views (which point into the old
     // buffer) valid for the duration of the handler call.
     std::string request_bytes;
     request_bytes.swap(conn.in);
     conn.in.assign(request_bytes, r.consumed, std::string::npos);
     const std::uint64_t id = conn.id;  // an inline respond() may destroy conn
+    dispatching_seq_ = conn.slots.back().seq;
     handler_(id, r.request);
+    dispatching_seq_ = 0;
     // conn may now be gone or in any state (an inline handler may have
     // already responded — and even served pipelined follow-ups).
-    auto it = conns_.find(id);
-    if (it == conns_.end()) return;
-    if (conn.state != ConnState::reading) return;
+    if (conns_.find(id) == conns_.end()) return;
   }
 }
 
 void ConnManager::respond(std::uint64_t conn_id, http::Response response) {
   auto it = conns_.find(conn_id);
-  if (it == conns_.end() || it->second->state != ConnState::dispatched) {
+  if (it == conns_.end()) {
+    orphan_responses_->add();
+    return;
+  }
+  // Oldest unanswered slot — exact with max_pipeline == 1 (there is at most
+  // one), first-come order otherwise.
+  for (const Slot& slot : it->second->slots) {
+    if (!slot.answered) {
+      respond(conn_id, slot.seq, std::move(response));
+      return;
+    }
+  }
+  orphan_responses_->add();
+}
+
+void ConnManager::respond(std::uint64_t conn_id, std::uint64_t seq,
+                          http::Response response) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) {
     // The connection died (timeout/teardown) while its request was in
     // flight; the slot was already released by teardown().
     orphan_responses_->add();
     return;
   }
   Conn& conn = *it->second;
+  Slot* slot = nullptr;
+  for (Slot& s : conn.slots) {
+    if (s.seq == seq && !s.answered) {
+      slot = &s;
+      break;
+    }
+  }
+  if (slot == nullptr) {
+    orphan_responses_->add();
+    return;
+  }
   --inflight_;
-  request_ns_->record(obs::now_ns() - conn.dispatch_t0_ns);
-  start_write(conn, response);
+  request_ns_->record(obs::now_ns() - slot->dispatch_t0_ns);
+  slot->answered = true;
+  slot->head = http::response_head(response.status, response.content_type,
+                                   response.body.size(),
+                                   /*keep_alive=*/!slot->close_after);
+  slot->body = std::move(response.body);
+  promote(conn);
+  update_state(conn);
+  flush_or_defer(conn);
 }
 
 void ConnManager::respond_now(Conn& conn, int status, std::string body) {
-  http::Response response;
-  response.status = status;
-  response.body = std::move(body);
-  conn.close_after_write = true;
-  start_write(conn, response);
+  // A locally-generated response (400/408/431/503) still takes a pipeline
+  // slot: it must leave the socket AFTER every response already owed for
+  // earlier pipelined requests. It closes the connection, so no further
+  // requests are parsed behind it.
+  Slot slot;
+  slot.seq = conn.next_seq++;
+  slot.answered = true;
+  slot.close_after = true;
+  slot.head = http::response_head(status, "text/plain; charset=utf-8",
+                                  body.size(), /*keep_alive=*/false);
+  slot.body = std::move(body);
+  conn.slots.push_back(std::move(slot));
+  conn.no_more_requests = true;
+  promote(conn);
+  update_state(conn);
+  flush_or_defer(conn);
 }
 
-void ConnManager::start_write(Conn& conn, const http::Response& response) {
-  conn.out = http::response_head(response.status, response.content_type,
-                                 response.body.size(),
-                                 /*keep_alive=*/!conn.close_after_write);
-  conn.out += response.body;
-  conn.out_off = 0;
-  conn.state = ConnState::writing;
-  state_writing_->add();
-  loop_.timers().arm(conn.timer, loop_.now_ms(), options_.write_timeout_ms);
-  on_writable(conn);
+void ConnManager::promote(Conn& conn) {
+  while (!conn.slots.empty() && conn.slots.front().answered) {
+    Slot& slot = conn.slots.front();
+    const bool close_after = slot.close_after;
+    if (slot.body.empty()) {
+      conn.flushq.push_back({std::move(slot.head), true, close_after});
+    } else {
+      conn.flushq.push_back({std::move(slot.head), false, false});
+      conn.flushq.push_back({std::move(slot.body), true, close_after});
+    }
+    conn.slots.pop_front();
+  }
 }
 
-void ConnManager::on_writable(Conn& conn) {
-  if (conn.state != ConnState::writing) return;
-  while (conn.out_off < conn.out.size()) {
-    const ssize_t n = ::send(conn.fd, conn.out.data() + conn.out_off,
-                             conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+void ConnManager::flush_or_defer(Conn& conn) {
+  if (conn.flushq.empty()) return;
+  if (batching_) {
+    if (!conn.in_dirty) {
+      conn.in_dirty = true;
+      dirty_.push_back(conn.id);
+    }
+    return;
+  }
+  flush_conn(conn);
+}
+
+void ConnManager::begin_batch() { batching_ = true; }
+
+void ConnManager::flush_batch() {
+  batching_ = false;
+  // Index loop, id re-lookup each step: a flush may tear its connection
+  // down (or, via an inline parse, dirty another one mid-iteration).
+  for (std::size_t i = 0; i < dirty_.size(); ++i) {
+    auto it = conns_.find(dirty_[i]);
+    if (it == conns_.end()) continue;
+    it->second->in_dirty = false;
+    flush_conn(*it->second);
+  }
+  dirty_.clear();
+}
+
+void ConnManager::flush_conn(Conn& conn) {
+  while (!conn.flushq.empty()) {
+    // Vectored flush: one sendmsg() covers every queued head/body chunk (up
+    // to kMaxIov) — pipelined responses and head+body pairs coalesce into
+    // one syscall instead of one send() per concatenated response.
+    iovec iov[kMaxIov];
+    std::size_t niov = 0;
+    std::size_t skip = conn.flush_off;
+    for (const Chunk& chunk : conn.flushq) {
+      if (niov == kMaxIov) break;
+      if (skip >= chunk.data.size()) {  // only the front chunk can be partial
+        skip -= chunk.data.size();
+        continue;
+      }
+      iov[niov].iov_base = const_cast<char*>(chunk.data.data()) + skip;
+      iov[niov].iov_len = chunk.data.size() - skip;
+      skip = 0;
+      ++niov;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = niov;
+    const ssize_t n = ::sendmsg(conn.fd, &msg, MSG_NOSIGNAL);
     if (n > 0) {
-      conn.out_off += static_cast<std::size_t>(n);
+      sends_->add();
+      advance_flush(conn, static_cast<std::size_t>(n));
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      // Peer not draining: wait for writability under a deadline.
-      loop_.modify(conn.fd, kWritable);
+      // Peer not draining: wait for writability under the write deadline.
+      conn.want_write = true;
+      update_interest(conn);
       return;
     }
     teardown(conn);  // EPIPE/ECONNRESET: peer is gone
     return;
   }
-  // Response fully flushed.
-  responses_->add();
-  conn.out.clear();
-  conn.out_off = 0;
-  if (conn.close_after_write) {
+  conn.want_write = false;
+  if (conn.close_now) {
     start_drain(conn);
-  } else {
-    resume_reading(conn);
+    return;
   }
+  update_state(conn);
+  update_interest(conn);
+  // Pipelined bytes may already hold the next request.
+  if (!conn.in.empty() && can_parse(conn)) try_parse(conn);
+}
+
+void ConnManager::advance_flush(Conn& conn, std::size_t n) {
+  conn.flush_off += n;
+  while (!conn.flushq.empty() &&
+         conn.flush_off >= conn.flushq.front().data.size()) {
+    const Chunk& chunk = conn.flushq.front();
+    conn.flush_off -= chunk.data.size();
+    if (chunk.end_of_response) {
+      responses_->add();
+      if (chunk.close_after) conn.close_now = true;
+    }
+    conn.flushq.pop_front();
+  }
+}
+
+void ConnManager::on_writable(Conn& conn) {
+  if (conn.flushq.empty()) return;
+  flush_conn(conn);
+}
+
+void ConnManager::update_state(Conn& conn) {
+  if (conn.state == ConnState::draining) return;  // absorbing; teardown only
+  ConnState next;
+  if (!conn.flushq.empty()) {
+    next = ConnState::writing;
+  } else if (!conn.slots.empty()) {
+    next = ConnState::dispatched;
+  } else {
+    next = ConnState::reading;
+  }
+  if (next == conn.state) return;
+  conn.state = next;
+  switch (next) {
+    case ConnState::reading:
+      state_reading_->add();
+      loop_.timers().arm(conn.timer, loop_.now_ms(), options_.idle_timeout_ms);
+      break;
+    case ConnState::dispatched:
+      state_dispatched_->add();
+      loop_.timers().cancel(conn.timer);  // the handler owns its own latency
+      break;
+    case ConnState::writing:
+      state_writing_->add();
+      loop_.timers().arm(conn.timer, loop_.now_ms(),
+                         options_.write_timeout_ms);
+      break;
+    case ConnState::draining:
+      break;  // unreachable: start_drain owns this transition
+  }
+}
+
+void ConnManager::update_interest(Conn& conn) {
+  std::uint32_t want = 0;
+  if (conn.state == ConnState::draining) {
+    want = kReadable;  // watch for the peer's EOF, discard everything else
+  } else {
+    if (conn.want_write) want |= kWritable;
+    if (!conn.no_more_requests &&
+        conn.slots.size() < options_.max_pipeline &&
+        (options_.max_pipeline > 1 || conn.flushq.empty())) {
+      want |= kReadable;
+    }
+  }
+  if (want == conn.interest) return;  // skip the epoll_ctl syscall
+  loop_.modify(conn.fd, want);
+  conn.interest = want;
 }
 
 void ConnManager::start_drain(Conn& conn) {
@@ -292,17 +536,8 @@ void ConnManager::start_drain(Conn& conn) {
   conn.in.clear();
   ::shutdown(conn.fd, SHUT_WR);
   loop_.modify(conn.fd, kReadable);
+  conn.interest = kReadable;
   loop_.timers().arm(conn.timer, loop_.now_ms(), options_.drain_timeout_ms);
-}
-
-void ConnManager::resume_reading(Conn& conn) {
-  conn.state = ConnState::reading;
-  state_reading_->add();
-  conn.close_after_write = false;
-  loop_.modify(conn.fd, kReadable);
-  loop_.timers().arm(conn.timer, loop_.now_ms(), options_.idle_timeout_ms);
-  // Pipelined bytes may already hold the next request.
-  if (!conn.in.empty()) try_parse(conn);
 }
 
 void ConnManager::on_timeout(Conn& conn) {
@@ -324,10 +559,10 @@ void ConnManager::on_timeout(Conn& conn) {
 }
 
 void ConnManager::teardown(Conn& conn) {
-  if (conn.state == ConnState::dispatched) {
-    // The response for this request will arrive later and find no
-    // connection; release the admission slot now.
-    --inflight_;
+  // Responses for still-unanswered slots will arrive later and find no
+  // connection; release their admission slots now.
+  for (const Slot& slot : conn.slots) {
+    if (!slot.answered) --inflight_;
   }
   loop_.remove(conn.fd);
   ::close(conn.fd);

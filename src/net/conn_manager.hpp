@@ -12,14 +12,21 @@
 //                 the connection becomes idle and is NOT refreshed by
 //                 partial reads — a slow-loris client dribbling one byte
 //                 per tick cannot hold a slot past the deadline.
-//   * dispatched: one complete request handed to the request handler (the
-//                 gateway batches it into the engine). Read interest is
-//                 dropped — pipelined bytes stay buffered but unparsed, so
-//                 a client cannot force unbounded in-flight work; no timer
-//                 runs (the handler owns its own latency).
-//   * writing:    flushing head+body. A short write arms write interest
-//                 and a write deadline; a peer that stops draining its
-//                 receive window is cut off, not waited on forever.
+//   * dispatched: up to `max_pipeline` complete requests handed to the
+//                 request handler (the gateway batches them into the
+//                 engine). Once the pipeline is full, read interest is
+//                 dropped — further pipelined bytes stay buffered but
+//                 unparsed, so a client cannot force unbounded in-flight
+//                 work; no timer runs (the handler owns its own latency).
+//   * writing:    flushing responses. Responses may settle out of order
+//                 but are sent strictly in request order: each dispatched
+//                 request holds a sequence-numbered slot, and only the
+//                 contiguous answered prefix moves to the wire. The flush
+//                 is vectored — one sendmsg() covers the head+body iovecs
+//                 of every response ready at that moment (no head-into-body
+//                 copy, no per-response syscall under pipelining). A short
+//                 write arms write interest and a write deadline; a peer
+//                 that stops draining its receive window is cut off.
 //   * draining:   response sent with Connection: close — shutdown(SHUT_WR)
 //                 then discard input until EOF (or a drain deadline), the
 //                 lingering close that lets the peer read the final bytes.
@@ -28,13 +35,25 @@
 // max_connections (accept-then-close, cheapest possible refusal), and a
 // parsed request beyond max_inflight is answered 503 + close without ever
 // reaching the engine. Both sheds are counted.
+//
+// Multi-reactor sharding hooks (the gateway runs N of these, one per
+// loop): `reuseport` lets every reactor bind its own listening socket on
+// the same port (the kernel spreads connections by 4-tuple hash);
+// set_accept_sink() + adopt() support the fallback where one acceptor
+// round-robins accepted fds to the other loops. `metric_label` shards the
+// gateway.* metric families per reactor ("loop=0" → `{loop="0"}`); empty
+// keeps the single-loop unlabelled series. begin_batch()/flush_batch()
+// bracket a completion drain so every response delivered in one burst to
+// the same connection coalesces into one sendmsg().
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "net/event_loop.hpp"
 #include "net/http.hpp"
@@ -64,6 +83,16 @@ class ConnManager final : public IoHandler {
     std::size_t max_request_bytes = 1 << 20;
     /// >0: shrink SO_SNDBUF so tests can force partial writes / EAGAIN.
     int sndbuf_bytes = 0;
+    /// Set SO_REUSEPORT before bind so N reactors can share one port.
+    bool reuseport = false;
+    /// Parsed-but-unanswered requests allowed per connection. 1 (the
+    /// default) is the classic lockstep: one request in flight, reads
+    /// paused until its response is flushed. >1 enables pipelining —
+    /// responses still go out in request order.
+    std::size_t max_pipeline = 1;
+    /// Label spec for this manager's gateway.* metrics ("loop=0" renders
+    /// `{loop="0"}`); empty = the unlabelled single-loop series.
+    std::string metric_label;
   };
 
   /// Aggregate connection counts (loop thread only; for tests + /metrics).
@@ -76,9 +105,15 @@ class ConnManager final : public IoHandler {
   /// views are valid only for the duration of the call — copy what the
   /// handler needs. The handler must eventually cause respond(conn_id,...)
   /// on the loop thread (or the connection dies by timeout/teardown).
+  /// During the call dispatching_seq() names the request's pipeline slot;
+  /// handlers that defer must capture it for the 3-arg respond().
   using RequestHandler =
       util::UniqueFunction<void(std::uint64_t conn_id,
                                 const http::Request& request)>;
+
+  /// Receives ownership of accepted (already non-blocking) fds instead of
+  /// this manager adopting them — the single-acceptor fallback's fan-out.
+  using AcceptSink = util::UniqueFunction<void(int fd)>;
 
   ConnManager(EventLoop& loop, Options options);
   ConnManager(const ConnManager&) = delete;
@@ -88,15 +123,38 @@ class ConnManager final : public IoHandler {
   void set_request_handler(RequestHandler handler) {
     handler_ = std::move(handler);
   }
+  void set_accept_sink(AcceptSink sink) { sink_ = std::move(sink); }
 
   /// Bind + listen + register with the loop. False on socket failure.
   [[nodiscard]] bool listen();
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
 
+  /// Adopt an accepted, non-blocking fd as a new connection (the receiving
+  /// end of an AcceptSink handoff). Loop thread only. Sheds (closes) past
+  /// max_connections; returns false when shed or registration failed.
+  bool adopt(int fd);
+
   /// Deliver the response for a dispatched request. Loop thread only. An
   /// unknown id (the connection was torn down while the request was in
-  /// flight) is a counted no-op.
+  /// flight) is a counted no-op. The 2-arg form answers the connection's
+  /// oldest unanswered request — exact with max_pipeline == 1; pipelining
+  /// callers pass the seq captured from dispatching_seq().
   void respond(std::uint64_t conn_id, http::Response response);
+  void respond(std::uint64_t conn_id, std::uint64_t seq,
+               http::Response response);
+
+  /// The pipeline slot of the request currently being dispatched — valid
+  /// only inside the RequestHandler call.
+  [[nodiscard]] std::uint64_t dispatching_seq() const noexcept {
+    return dispatching_seq_;
+  }
+
+  /// Bracket a burst of respond() calls (a completion-queue drain): between
+  /// begin and flush, responses queue per connection without touching the
+  /// socket; flush_batch() then writes each touched connection once —
+  /// several pipelined responses coalesce into one sendmsg(). Loop thread.
+  void begin_batch();
+  void flush_batch();
 
   /// Stop accepting (close the listener). Loop thread only.
   void stop_listening();
@@ -107,11 +165,36 @@ class ConnManager final : public IoHandler {
     return Stats{conns_.size(), inflight_};
   }
 
+  /// One-shot probe: can this kernel set SO_REUSEPORT on a TCP socket?
+  [[nodiscard]] static bool reuseport_supported() noexcept;
+
   /// Listener readiness: accept until EAGAIN, shedding past the cap.
   void on_io(std::uint32_t events) override;
 
  private:
   enum class ConnState : std::uint8_t { reading, dispatched, writing, draining };
+
+  /// One dispatched (or locally answered) request awaiting its turn on the
+  /// wire. Slots live in parse order; only the contiguous answered prefix
+  /// is promoted to the flush queue, which keeps responses in request
+  /// order no matter when workers finish.
+  struct Slot {
+    std::uint64_t seq = 0;
+    bool answered = false;
+    bool close_after = false;  ///< Connection: close (or a local error)
+    std::uint64_t dispatch_t0_ns = 0;
+    std::string head;  ///< serialized response head (answered only)
+    std::string body;
+  };
+
+  /// One wire buffer in the vectored flush queue. Head and body stay
+  /// separate strings — sendmsg() joins them as iovecs, so the old
+  /// head-into-body copy is gone.
+  struct Chunk {
+    std::string data;
+    bool end_of_response = false;  ///< last chunk of a response
+    bool close_after = false;      ///< ... after which the conn drains
+  };
 
   struct Conn final : IoHandler {
     Conn(ConnManager* m, int fd_, std::uint64_t id_)
@@ -122,35 +205,63 @@ class ConnManager final : public IoHandler {
     int fd;
     std::uint64_t id;
     ConnState state = ConnState::reading;
-    bool close_after_write = false;
+    bool no_more_requests = false;  ///< a close response is queued: stop parsing
+    bool close_now = false;         ///< close response flushed: drain next
+    bool want_write = false;        ///< last flush hit EAGAIN
+    bool in_dirty = false;          ///< queued in the batch dirty list
+    std::uint32_t interest = kReadable;  ///< current epoll interest (cached)
+    std::uint64_t next_seq = 1;
     std::string in;
-    std::string out;
-    std::size_t out_off = 0;
-    std::uint64_t dispatch_t0_ns = 0;
-    TimerWheel::Timer timer;  ///< detaches itself on Conn destruction
+    std::deque<Slot> slots;    ///< dispatched requests, parse order
+    std::deque<Chunk> flushq;  ///< response bytes ready for the wire
+    std::size_t flush_off = 0;  ///< sent bytes of flushq.front()
+    TimerWheel::Timer timer;   ///< detaches itself on Conn destruction
   };
 
   void conn_io(Conn& conn, std::uint32_t events);
   void on_readable(Conn& conn);
   void on_writable(Conn& conn);
   void on_timeout(Conn& conn);
-  /// Parse as many buffered requests as admission allows (one at a time —
-  /// a connection has at most one request in flight).
+  /// May this connection parse + dispatch another request right now?
+  [[nodiscard]] bool can_parse(const Conn& conn) const noexcept;
+  /// Parse as many buffered requests as admission and the pipeline allow.
   void try_parse(Conn& conn);
   /// Queue a locally-generated response (400/408/431/503) and close after.
   void respond_now(Conn& conn, int status, std::string body);
-  void start_write(Conn& conn, const http::Response& response);
+  /// Move the contiguous answered slot prefix onto the flush queue.
+  void promote(Conn& conn);
+  /// Flush queued responses (vectored sendmsg until empty or EAGAIN); may
+  /// tear the connection down — callers re-find by id afterwards.
+  void flush_conn(Conn& conn);
+  /// Pop fully-sent chunks after a successful send of `n` bytes.
+  void advance_flush(Conn& conn, std::size_t n);
+  /// Flush now, or mark dirty inside a begin_batch()/flush_batch() window.
+  void flush_or_defer(Conn& conn);
+  /// Recompute the priority-derived state; on a transition, bump the state
+  /// counter and re-arm the state's deadline (idle/write) or cancel it.
+  void update_state(Conn& conn);
+  /// Recompute epoll interest from the state; modify() only on change.
+  void update_interest(Conn& conn);
   void start_drain(Conn& conn);
-  void resume_reading(Conn& conn);
   void teardown(Conn& conn);
+  [[nodiscard]] std::size_t read_chunk_target() const noexcept;
 
   EventLoop& loop_;
   Options options_;
   RequestHandler handler_;
+  AcceptSink sink_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::uint64_t next_id_ = 1;
+  std::uint64_t dispatching_seq_ = 0;
   std::size_t inflight_ = 0;
+  bool batching_ = false;
+  std::vector<std::uint64_t> dirty_;  ///< conns touched during a batch
+  /// Running high-watermark of request sizes (decayed per request); sizes
+  /// the shared recv scratch buffer and new connections' input reserves so
+  /// steady-state reads neither zero-fill 16 KiB per recv() nor realloc.
+  std::size_t in_hwm_ = 4096;
+  std::string read_scratch_;
   std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
 
   // Registry-owned counters, resolved once (obs::counter is find-or-create
@@ -159,6 +270,7 @@ class ConnManager final : public IoHandler {
   obs::Counter* closed_ = nullptr;
   obs::Counter* requests_ = nullptr;
   obs::Counter* responses_ = nullptr;
+  obs::Counter* sends_ = nullptr;
   obs::Counter* shed_conns_ = nullptr;
   obs::Counter* shed_inflight_ = nullptr;
   obs::Counter* timeouts_idle_ = nullptr;

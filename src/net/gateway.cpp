@@ -1,7 +1,12 @@
 #include "net/gateway.hpp"
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <mutex>
 #include <utility>
 #include <vector>
@@ -13,77 +18,196 @@
 #include "obs/obs.hpp"
 #include "obs/slo.hpp"
 #include "util/signals.hpp"
+#include "util/topology.hpp"
 
 namespace redundancy::net {
+
+namespace {
+
+/// Reactor count when Options::loops is 0: REDUNDANCY_GATEWAY_LOOPS if set
+/// (strict parse: decimal digits only, value in 1..64 — anything else is
+/// loudly rejected, matching REDUNDANCY_THREADS), else min(cores/2, 8)
+/// with a floor of 1 — half the cores front the engine, the other half
+/// runs it.
+std::size_t loops_from_env_or_cores() noexcept {
+  const std::size_t fallback = std::min<std::size_t>(
+      std::max<std::size_t>(std::thread::hardware_concurrency() / 2, 1), 8);
+  const char* env = std::getenv("REDUNDANCY_GATEWAY_LOOPS");
+  if (env == nullptr) return fallback;
+  std::size_t value = 0;
+  bool valid = *env != '\0';
+  for (const char* p = env; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') {
+      valid = false;
+      break;
+    }
+    value = value * 10 + static_cast<std::size_t>(*p - '0');
+    if (value > 64) {
+      valid = false;
+      break;
+    }
+  }
+  if (!valid || value == 0) {
+    std::fprintf(stderr,
+                 "[redundancy] REDUNDANCY_GATEWAY_LOOPS='%s' is not a valid "
+                 "loop count (expected an integer in 1..64); using %zu "
+                 "loops\n",
+                 env, fallback);
+    return fallback;
+  }
+  return value;
+}
+
+}  // namespace
 
 bool Gateway::start() {
   if (running_.load(std::memory_order_acquire)) return false;
   util::ignore_sigpipe();
   install_builtin_routes();
 
-  loop_ = std::make_unique<EventLoop>(options_.loop);
-  if (!loop_->ok()) return false;
-  manager_ = std::make_unique<ConnManager>(*loop_, options_.conn);
-  batch_ = std::make_unique<util::BatchRunner>(options_.pool);
+  std::size_t n = options_.loops != 0
+                      ? std::min<std::size_t>(options_.loops, 64)
+                      : loops_from_env_or_cores();
+  if (n == 0) n = 1;
+  // Every reactor gets its own listener when the kernel can share the port;
+  // otherwise reactor 0 accepts alone and fans fds out (drain_adoptions).
+  const bool shard_listeners =
+      n > 1 && !options_.single_acceptor && ConnManager::reuseport_supported();
 
-  manager_->set_request_handler(
-      [this](std::uint64_t conn_id, const http::Request& request) {
-        on_request(conn_id, request);
-      });
-  loop_->set_wake_handler([this] { drain_completions(); });
-  loop_->set_cycle_handler([this] {
-    // One submit_batch per loop iteration, covering every request parsed
-    // during this iteration's dispatch phase.
-    if (!batch_->empty()) batch_->dispatch();
-    // A completion pushed between the last drain and the epoll_wait entry
-    // would wait a full idle tick; the queue check is one relaxed load.
-    if (!completions_.empty()) drain_completions();
-  });
+  reactors_.clear();
+  round_robin_.store(0, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto reactor = std::make_unique<Reactor>();
+    reactor->index = i;
+    reactor->loop = std::make_unique<EventLoop>(options_.loop);
+    if (!reactor->loop->ok()) {
+      reactors_.clear();
+      return false;
+    }
+    ConnManager::Options conn = options_.conn;
+    conn.reuseport = shard_listeners;
+    if (n > 1) conn.metric_label = "loop=" + std::to_string(i);
+    if (i > 0) conn.port = reactors_.front()->manager->port();
+    reactor->manager = std::make_unique<ConnManager>(*reactor->loop, conn);
+    reactor->batch = std::make_unique<util::BatchRunner>(options_.pool);
+    // Route jobs take route-level locks (the demo routes serialize their
+    // pattern instances): a pattern's helping wait must never run one
+    // nested above a frame that already holds such a lock, so gateway
+    // batches are off-limits to help-stealing (workers only).
+    reactor->batch->set_helpable(false);
 
-  if (!manager_->listen()) {
-    manager_.reset();
-    loop_.reset();
-    return false;
+    Reactor* rp = reactor.get();
+    reactor->manager->set_request_handler(
+        [this, rp](std::uint64_t conn_id, const http::Request& request) {
+          on_request(*rp, conn_id, request);
+        });
+    reactor->loop->set_wake_handler([this, rp] {
+      drain_adoptions(*rp);
+      drain_completions(*rp);
+    });
+    reactor->loop->set_cycle_handler([this, rp] {
+      // One submit_batch per loop iteration, covering every request parsed
+      // during this iteration's dispatch phase.
+      if (!rp->batch->empty()) rp->batch->dispatch();
+      // A completion pushed between the last drain and the epoll_wait entry
+      // would wait a full idle tick; the queue check is one relaxed load.
+      if (!rp->completions.empty()) drain_completions(*rp);
+    });
+
+    if ((shard_listeners || i == 0) && !reactor->manager->listen()) {
+      reactors_.clear();
+      return false;
+    }
+    reactors_.push_back(std::move(reactor));
   }
+
+  if (!shard_listeners && n > 1) {
+    reactors_.front()->manager->set_accept_sink([this](int fd) {
+      const std::size_t i =
+          round_robin_.fetch_add(1, std::memory_order_relaxed) %
+          reactors_.size();
+      Reactor& target = *reactors_[i];
+      if (i == 0) {  // the acceptor IS reactor 0's loop thread
+        target.manager->adopt(fd);
+        return;
+      }
+      {
+        std::lock_guard lock(target.adopt_mutex);
+        target.adopt_queue.push_back(fd);
+      }
+      target.loop->wake();
+    });
+  }
+
   running_.store(true, std::memory_order_release);
-  thread_ = std::thread([this] { loop_->run(); });
+  for (auto& reactor : reactors_) {
+    Reactor* rp = reactor.get();
+    const bool pin = options_.pin_reactors && n > 1;
+    rp->thread = std::thread([rp, pin] {
+      if (pin) {
+        const std::size_t cpus = std::thread::hardware_concurrency();
+        if (cpus > 1) {
+          // Cluster-first spread: each front-door loop lands in its own LLC
+          // domain, near the pool workers it feeds. Best-effort only.
+          util::pin_current_thread_to_cpu(util::reactor_cpu_slot(
+              rp->index, cpus, util::topology().cluster_size));
+        }
+      }
+      rp->loop->run();
+    });
+  }
   return true;
 }
 
 void Gateway::stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
-  loop_->stop();
-  thread_.join();
-  // The loop is dead: no thread touches the sockets any more, so teardown
+  for (auto& reactor : reactors_) reactor->loop->stop();
+  for (auto& reactor : reactors_) reactor->thread.join();
+  // The loops are dead: no thread touches the sockets any more, so teardown
   // can run from here. In-flight jobs still execute on pool workers and
   // push completions; wait for the last one, then free the orphans. A loop
-  // that died mid-iteration may leave undispatched tasks in the batch —
+  // that died mid-iteration may leave undispatched tasks in its batch —
   // flush them so every created job settles and the inflight wait ends.
-  if (!batch_->empty()) batch_->dispatch();
-  manager_->stop_listening();
-  manager_->close_all();
-  while (jobs_inflight_.load(std::memory_order_acquire) != 0) {
+  for (auto& reactor : reactors_) {
+    if (!reactor->batch->empty()) reactor->batch->dispatch();
+    reactor->manager->stop_listening();
+    reactor->manager->close_all();
+  }
+  while (jobs_inflight() != 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
-  for (CompletionNode* node = completions_.drain(); node != nullptr;) {
-    CompletionNode* next = node->next;
-    delete static_cast<Job*>(node);
-    node = next;
+  for (auto& reactor : reactors_) {
+    for (CompletionNode* node = reactor->completions.drain();
+         node != nullptr;) {
+      CompletionNode* next = node->next;
+      delete static_cast<Job*>(node);
+      node = next;
+    }
+    std::lock_guard lock(reactor->adopt_mutex);
+    for (const int fd : reactor->adopt_queue) ::close(fd);
+    reactor->adopt_queue.clear();
   }
-  manager_.reset();
-  batch_.reset();
-  loop_.reset();
+  // Keep the (joined, drained) reactors so loops() and jobs_inflight(loop)
+  // stay answerable after a clean stop — the e2e drill asserts per-loop
+  // zeros post-shutdown. start() clears the vector before rebuilding.
 }
 
-void Gateway::on_request(std::uint64_t conn_id, const http::Request& request) {
+void Gateway::on_request(Reactor& reactor, std::uint64_t conn_id,
+                         const http::Request& request) {
   const auto it = routes_.find(request.path);
   if (it == routes_.end()) {
-    manager_->respond(conn_id,
-                      {404, "text/plain; charset=utf-8", "not found\n"});
+    // Inline 404, addressed by pipeline slot: with pipelining, earlier
+    // requests of this connection may still be on workers, and "oldest
+    // unanswered" would be the wrong one.
+    reactor.manager->respond(
+        conn_id, reactor.manager->dispatching_seq(),
+        {404, "text/plain; charset=utf-8", "not found\n"});
     return;
   }
   auto* job = new Job;
   job->conn_id = conn_id;
+  job->seq = reactor.manager->dispatching_seq();
+  job->reactor = &reactor;
   job->request.method = std::string{request.method};
   job->request.path = std::string{request.path};
   job->request.query = std::string{request.query};
@@ -96,8 +220,8 @@ void Gateway::on_request(std::uint64_t conn_id, const http::Request& request) {
     obs::FlightRecorder::instance().record(obs::FlightKind::gateway,
                                            job->request.path, 0, 0, 0, true);
   }
-  jobs_inflight_.fetch_add(1, std::memory_order_relaxed);
-  batch_->add([this, job] { run_job(job); });
+  reactor.jobs_inflight.fetch_add(1, std::memory_order_relaxed);
+  reactor.batch->add([this, job] { run_job(job); });
 }
 
 void Gateway::run_job(Job* job) noexcept {
@@ -106,16 +230,22 @@ void Gateway::run_job(Job* job) noexcept {
   } catch (...) {
     job->response = {500, "text/plain; charset=utf-8", "handler error\n"};
   }
-  // Publish (and wake) before the inflight decrement: once jobs_inflight_
-  // hits zero during stop(), every job is reachable from the queue and no
-  // worker touches loop_ again.
-  const bool was_empty = completions_.push(job);
-  if (was_empty) loop_->wake();
-  jobs_inflight_.fetch_sub(1, std::memory_order_release);
+  // Publish (and wake the OWNING reactor only) before the inflight
+  // decrement: once jobs_inflight hits zero during stop(), every job is
+  // reachable from its queue and no worker touches a loop again.
+  Reactor* reactor = job->reactor;
+  const bool was_empty = reactor->completions.push(job);
+  if (was_empty) reactor->loop->wake();
+  reactor->jobs_inflight.fetch_sub(1, std::memory_order_release);
 }
 
-void Gateway::drain_completions() {
-  for (CompletionNode* node = completions_.drain(); node != nullptr;) {
+void Gateway::drain_completions(Reactor& reactor) {
+  CompletionNode* node = reactor.completions.drain();
+  if (node == nullptr) return;
+  // Batch the whole drain: every response this burst delivers to the same
+  // connection leaves in one sendmsg() at flush_batch().
+  reactor.manager->begin_batch();
+  while (node != nullptr) {
     CompletionNode* next = node->next;
     auto* job = static_cast<Job*>(node);
     const int status = job->response.status;
@@ -131,37 +261,76 @@ void Gateway::drain_completions() {
           obs::FlightKind::gateway, job->request.path, 0,
           static_cast<std::uint64_t>(status), latency_ns, status < 500);
     }
-    manager_->respond(job->conn_id, std::move(job->response));
+    reactor.manager->respond(job->conn_id, job->seq,
+                             std::move(job->response));
     delete job;
     node = next;
   }
+  reactor.manager->flush_batch();
+}
+
+void Gateway::drain_adoptions(Reactor& reactor) {
+  std::vector<int> fds;
+  {
+    std::lock_guard lock(reactor.adopt_mutex);
+    if (reactor.adopt_queue.empty()) return;
+    fds.swap(reactor.adopt_queue);
+  }
+  for (const int fd : fds) reactor.manager->adopt(fd);
+}
+
+http::Response Gateway::serve_cached(
+    OpsCache& cache, const std::function<http::Response()>& render) {
+  const std::uint64_t ttl_ns = options_.ops_cache_ttl_ms * 1'000'000ULL;
+  const std::uint64_t now = obs::now_ns();
+  std::lock_guard lock(cache.mutex);
+  if (ttl_ns != 0 && cache.rendered_at_ns != 0 &&
+      now >= cache.rendered_at_ns && now - cache.rendered_at_ns < ttl_ns) {
+    return cache.response;
+  }
+  cache.response = render();
+  cache.rendered_at_ns = now;
+  obs::counter("gateway.ops_renders").add();
+  return cache.response;
 }
 
 void Gateway::install_builtin_routes() {
+  // The ops routes serve a short-TTL cached render: a scrape storm (or a
+  // scraper polling faster than the TTL) costs at most one registry walk
+  // per TTL, so scraping can never stall request I/O behind it.
   if (routes_.find("/metrics") == routes_.end()) {
-    add_route("/metrics", [](const Request&) -> http::Response {
-      obs::Recorder::instance().flush();
-      return {200, "text/plain; version=0.0.4; charset=utf-8",
-              obs::MetricsRegistry::instance().render_prometheus_text()};
+    add_route("/metrics", [this](const Request&) -> http::Response {
+      return serve_cached(metrics_cache_, [] {
+        obs::Recorder::instance().flush();
+        return http::Response{
+            200, "text/plain; version=0.0.4; charset=utf-8",
+            obs::MetricsRegistry::instance().render_prometheus_text()};
+      });
     });
   }
   if (routes_.find("/healthz") == routes_.end()) {
     core::HealthTracker* health = options_.health;
-    add_route("/healthz", [health](const Request&) -> http::Response {
-      if (health == nullptr) {
-        return {200, "text/plain; charset=utf-8", "ok\n"};
-      }
-      obs::Recorder::instance().flush();
-      const core::HealthState state = health->overall();
-      return {state == core::HealthState::failing ? 503 : 200,
-              "text/plain; charset=utf-8", health->healthz_text()};
+    add_route("/healthz", [this, health](const Request&) -> http::Response {
+      return serve_cached(healthz_cache_, [health] {
+        if (health == nullptr) {
+          return http::Response{200, "text/plain; charset=utf-8", "ok\n"};
+        }
+        obs::Recorder::instance().flush();
+        const core::HealthState state = health->overall();
+        return http::Response{state == core::HealthState::failing ? 503 : 200,
+                              "text/plain; charset=utf-8",
+                              health->healthz_text()};
+      });
     });
   }
   if (options_.slo != nullptr && routes_.find("/slo") == routes_.end()) {
     obs::SloTracker* slo = options_.slo;
-    add_route("/slo", [slo](const Request&) -> http::Response {
-      obs::Recorder::instance().flush();
-      return {200, "application/x-ndjson", slo->snapshot_jsonl(obs::now_ns())};
+    add_route("/slo", [this, slo](const Request&) -> http::Response {
+      return serve_cached(slo_cache_, [slo] {
+        obs::Recorder::instance().flush();
+        return http::Response{200, "application/x-ndjson",
+                              slo->snapshot_jsonl(obs::now_ns())};
+      });
     });
   }
   if (routes_.find("/debug/flight") == routes_.end()) {

@@ -1,27 +1,44 @@
 // net::Gateway — the epoll front door of the redundancy engine.
 //
 // Composition of the pieces in this directory, wired for the batching
-// disciplines the engine already speaks:
+// disciplines the engine already speaks — and sharded across N reactor
+// threads so the front door scales with cores:
 //
-//   EventLoop (one thread)          ThreadPool workers (N threads)
-//   ─────────────────────           ──────────────────────────────
+//   Reactor i (loop thread)          ThreadPool workers (shared)
+//   ───────────────────────          ──────────────────────────────
+//   own SO_REUSEPORT listener
 //   accept / read / parse
-//     └─ per request: heap Job, task into a BatchRunner
+//     └─ per request: heap Job, task into reactor i's BatchRunner
 //   cycle handler: ONE submit_batch per loop iteration ───▶ run handler
 //                                                          (redundancy
 //                                                           patterns)
-//   wake handler: drain CompletionQueue ◀─── push(Job) + one wake per
-//     └─ ConnManager::respond(conn_id)        burst (Treiber was-empty)
+//   wake handler: drain reactor i's CompletionQueue ◀── push(Job) + one
+//     └─ ConnManager::respond(conn, seq)             wake per burst — to
+//        batched: one sendmsg per conn               the OWNING loop only
 //
-// A burst of K readable sockets therefore costs one epoll_wait, one
-// submit_batch epoch (one pending-counter update, one worker wake-up), and
-// one eventfd wake on the way back — not 3K syscalls/epochs.
+// Sharding rules (see DESIGN.md): a connection belongs to the reactor
+// whose listener accepted it and never migrates; a completion is pushed to
+// the completion queue of the reactor that owns the connection, so the
+// hand-back path crosses no locks shared between loops. Each reactor owns
+// its own EventLoop, ConnManager, BatchRunner, CompletionQueue and timer
+// wheel; the only shared mutable state is the thread pool and the metrics
+// registry (both already concurrent). The kernel spreads connections
+// across the listeners by 4-tuple hash (SO_REUSEPORT); where that is
+// unavailable (or single_acceptor is set) reactor 0 accepts alone and
+// round-robins fds to the other loops through their wakeup path. Reactor
+// threads pin cluster-first using the sysfs topology probe.
+//
+// Loop count: Options::loops, else REDUNDANCY_GATEWAY_LOOPS (strict
+// decimal, 1..64, loudly ignored otherwise), else min(max(cores/2,1), 8).
+// With one loop the gateway is byte-for-byte the classic single-reactor:
+// no loop= metric labels, no pinning, no pipelining changes.
 //
 // Route handlers run on pool workers and return an http::Response; the
 // built-in demo routes put the paper's redundancy patterns directly on the
 // serving path (hedged sequential alternatives with the result cache,
-// N-of-M voting), and /metrics + /healthz are served in-process so the
-// gateway is observable through itself.
+// N-of-M voting). /metrics, /healthz and /slo are served in-process from a
+// short-TTL cached render, so a scrape storm costs at most one render per
+// TTL instead of stalling request I/O behind the registry walk.
 #pragma once
 
 #include <atomic>
@@ -29,8 +46,10 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "net/completion_queue.hpp"
 #include "net/conn_manager.hpp"
@@ -75,6 +94,18 @@ class Gateway {
     /// class (status < 500 and within the latency target = good) and the
     /// gateway serves `GET /slo` with the tracker's windowed snapshot.
     obs::SloTracker* slo = nullptr;
+    /// Reactor count. 0 = REDUNDANCY_GATEWAY_LOOPS, else the core-derived
+    /// default (see file comment). 1 disables all sharding machinery.
+    std::size_t loops = 0;
+    /// Pin reactor threads cluster-first via the topology probe (only when
+    /// loops > 1; pinning is best-effort and never fails start()).
+    bool pin_reactors = true;
+    /// Force the single-acceptor fallback even where SO_REUSEPORT works —
+    /// reactor 0 accepts and round-robins fds to the other loops.
+    bool single_acceptor = false;
+    /// TTL of the cached /metrics//healthz//slo renders; 0 renders every
+    /// scrape (the classic behaviour).
+    std::uint64_t ops_cache_ttl_ms = 100;
   };
 
   Gateway() = default;
@@ -88,12 +119,12 @@ class Gateway {
     routes_[std::move(path)] = std::move(handler);
   }
 
-  /// Bind, install /metrics + /healthz, spawn the loop thread. False when
-  /// the socket or backend could not be set up. Ignores SIGPIPE.
+  /// Bind, install /metrics + /healthz, spawn the loop threads. False when
+  /// a socket or backend could not be set up. Ignores SIGPIPE.
   bool start();
 
-  /// Stop the loop, close every connection, and wait for in-flight jobs to
-  /// settle (their responses are dropped — the sockets are gone).
+  /// Stop every loop, close every connection, and wait for in-flight jobs
+  /// to settle (their responses are dropped — the sockets are gone).
   /// Idempotent; also runs on destruction.
   void stop();
 
@@ -101,37 +132,78 @@ class Gateway {
     return running_.load(std::memory_order_acquire);
   }
   [[nodiscard]] std::uint16_t port() const noexcept {
-    return manager_ ? manager_->port() : 0;
+    return reactors_.empty() ? 0 : reactors_.front()->manager->port();
   }
-  /// Jobs created minus jobs completed/dropped (for tests; exact once the
-  /// loop is stopped).
+  /// Reactor count actually running (resolved at start()).
+  [[nodiscard]] std::size_t loops() const noexcept { return reactors_.size(); }
+  /// Jobs created minus jobs completed/dropped, summed over all reactors
+  /// (for tests; exact once the loops are stopped).
   [[nodiscard]] std::uint64_t jobs_inflight() const noexcept {
-    return jobs_inflight_.load(std::memory_order_acquire);
+    std::uint64_t total = 0;
+    for (const auto& r : reactors_) {
+      total += r->jobs_inflight.load(std::memory_order_acquire);
+    }
+    return total;
+  }
+  /// Same, for one reactor (loop < loops()).
+  [[nodiscard]] std::uint64_t jobs_inflight(std::size_t loop) const noexcept {
+    return loop < reactors_.size()
+               ? reactors_[loop]->jobs_inflight.load(std::memory_order_acquire)
+               : 0;
   }
 
  private:
+  /// One front-door shard: everything a loop thread touches, owned by it.
+  struct Reactor {
+    std::size_t index = 0;
+    std::unique_ptr<EventLoop> loop;
+    std::unique_ptr<ConnManager> manager;
+    std::unique_ptr<util::BatchRunner> batch;
+    CompletionQueue completions;
+    std::thread thread;
+    std::atomic<std::uint64_t> jobs_inflight{0};
+    /// Fallback-acceptor handoff: fds pushed by reactor 0, adopted on this
+    /// loop's wake path. Cold (accept-rate) path — a mutex is fine.
+    std::mutex adopt_mutex;
+    std::vector<int> adopt_queue;
+  };
+
   struct Job : CompletionNode {
     std::uint64_t conn_id = 0;
+    std::uint64_t seq = 0;      ///< pipeline slot within the connection
+    Reactor* reactor = nullptr; ///< owning loop: completions go only here
     Request request;
     const Handler* handler = nullptr;  ///< owned by routes_, outlives the job
     http::Response response;
     std::uint64_t t0_ns = 0;  ///< arrival timestamp (SLO/flight latency)
   };
 
-  void on_request(std::uint64_t conn_id, const http::Request& request);
+  /// One cached ops-route render (/metrics, /healthz, /slo). Handlers run
+  /// on pool workers, hence the mutex; within ttl_ms of the last render
+  /// every scrape is served from the cache.
+  struct OpsCache {
+    std::mutex mutex;
+    http::Response response;
+    std::uint64_t rendered_at_ns = 0;
+  };
+
+  void on_request(Reactor& reactor, std::uint64_t conn_id,
+                  const http::Request& request);
   void run_job(Job* job) noexcept;
-  void drain_completions();
+  void drain_completions(Reactor& reactor);
+  void drain_adoptions(Reactor& reactor);
   void install_builtin_routes();
+  http::Response serve_cached(OpsCache& cache,
+                              const std::function<http::Response()>& render);
 
   Options options_;
   std::map<std::string, Handler, std::less<>> routes_;
-  std::unique_ptr<EventLoop> loop_;
-  std::unique_ptr<ConnManager> manager_;
-  std::unique_ptr<util::BatchRunner> batch_;
-  CompletionQueue completions_;
-  std::thread thread_;
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  std::atomic<std::size_t> round_robin_{0};
+  OpsCache metrics_cache_;
+  OpsCache healthz_cache_;
+  OpsCache slo_cache_;
   std::atomic<bool> running_{false};
-  std::atomic<std::uint64_t> jobs_inflight_{0};
 };
 
 /// Install the demo serving surface used by the example server and the

@@ -90,6 +90,7 @@ ParseResult parse_head(std::string_view buffer,
 
   // Header lines: only Content-Length and Connection matter here.
   std::uint64_t content_length = 0;
+  bool saw_content_length = false;
   std::size_t pos = line_end == std::string_view::npos ? head.size()
                                                        : line_end + 2;
   while (pos < head.size()) {
@@ -97,12 +98,23 @@ ParseResult parse_head(std::string_view buffer,
     if (end == std::string_view::npos) end = head.size();
     const std::string_view header = head.substr(pos, end - pos);
     if (iprefix(header, "content-length:")) {
+      // Request-smuggling guard: a repeated Content-Length (even with the
+      // same value) means two parties could frame the message differently —
+      // reject outright instead of picking a winner. Signs, spaces inside
+      // the number, comma lists ("5, 5") and overflow all fail parse_u64,
+      // so "-1", "+0" and "4, 4" are bad too, never silently zero.
       const auto value = parse_u64(trim(header.substr(15)));
-      if (!value.has_value()) {
+      if (!value.has_value() || saw_content_length) {
         out.status = ParseStatus::bad;
         return out;
       }
+      saw_content_length = true;
       content_length = *value;
+    } else if (iprefix(header, "transfer-encoding:")) {
+      // Chunked framing is deliberately unimplemented; accepting the header
+      // while framing by Content-Length is how requests get smuggled.
+      out.status = ParseStatus::bad;
+      return out;
     } else if (iprefix(header, "connection:")) {
       const std::string_view value = trim(header.substr(11));
       if (value.size() == 5 && iprefix(value, "close")) {

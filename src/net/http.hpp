@@ -73,8 +73,11 @@ struct ParseResult {
 /// body view stays empty, content_length reports the declaration). This is
 /// the exporter's contract — it answers GETs and never reads bodies.
 /// `max_request_bytes` caps the head (0 = unlimited); a terminator still
-/// missing once the buffer passed the cap is too_large. A Content-Length
-/// that fails to parse as a decimal is bad.
+/// missing once the buffer passed the cap is too_large. Request-smuggling
+/// guard: a Content-Length that fails to parse as a plain decimal (signs,
+/// comma lists, overflow), a *repeated* Content-Length header (even with an
+/// identical value), or any Transfer-Encoding header (chunked framing is
+/// unimplemented) is bad — the caller answers 400 and closes.
 [[nodiscard]] ParseResult parse_head(std::string_view buffer,
                                      std::size_t max_request_bytes = 0);
 

@@ -35,13 +35,21 @@ std::string escape_label(const std::string& v) {
 }
 
 /// `{technique="nvp"}` (or "" when unlabelled); `extra` appends one more
-/// label pair, used for the histogram `le` label.
+/// label pair, used for the histogram `le` label. A label spec containing
+/// '=' carries its own key ("loop=0" renders as `loop="0"`); a bare value
+/// keeps the historical `technique=` key.
 std::string label_set(const std::string& technique,
                       const std::string& extra = {}) {
   if (technique.empty() && extra.empty()) return {};
   std::string out{"{"};
   if (!technique.empty()) {
-    out += "technique=\"" + escape_label(technique) + "\"";
+    const std::size_t eq = technique.find('=');
+    if (eq == std::string::npos) {
+      out += "technique=\"" + escape_label(technique) + "\"";
+    } else {
+      out += sanitise(technique.substr(0, eq)) + "=\"" +
+             escape_label(technique.substr(eq + 1)) + "\"";
+    }
     if (!extra.empty()) out += ",";
   }
   out += extra;

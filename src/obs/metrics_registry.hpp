@@ -35,7 +35,9 @@ class MetricsRegistry {
 
   /// Find-or-create by (name, technique label). The returned reference stays
   /// valid for the registry's lifetime. Thread-safe. An empty `technique`
-  /// means an unlabelled series.
+  /// means an unlabelled series. A label spec containing '=' names its own
+  /// label key ("loop=0" renders `{loop="0"}`) — the gateway's per-reactor
+  /// metric shards use this; a bare value keeps the `technique=` key.
   Counter& counter(const std::string& name, const std::string& technique = "");
   Histogram& histogram(const std::string& name,
                        const std::string& technique = "");

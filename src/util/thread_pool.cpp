@@ -117,6 +117,7 @@ pool_detail::TaskNode* alloc_node(UniqueFunction<void()>&& task) {
   }
   n->task = std::move(task);
   n->next = nullptr;
+  n->helpable = true;  // recycled nodes must not inherit the previous flag
   return n;
 }
 
@@ -243,12 +244,13 @@ void ThreadPool::post(Task task) {
   enqueue_chain(node, node, 1);
 }
 
-void ThreadPool::submit_batch(std::span<Task> tasks) {
+void ThreadPool::submit_batch(std::span<Task> tasks, bool helpable) {
   if (tasks.empty()) return;
   TaskNode* head = nullptr;
   TaskNode* tail = nullptr;
   for (Task& t : tasks) {
     TaskNode* node = alloc_node(std::move(t));
+    node->helpable = helpable;
     if (head == nullptr) {
       head = tail = node;
     } else {
@@ -487,6 +489,18 @@ bool ThreadPool::try_run_one() {
   TaskNode* node = on_worker_thread() ? acquire_task(tls_index)
                                       : acquire_task_external();
   if (node == nullptr) return false;
+  if (!node->helpable) {
+    // This frame may sit above a lock-holding wait (a pattern's help loop):
+    // running a route job here could re-take that lock and self-deadlock.
+    // Hand the node back and wake a dedicated worker for it. In practice
+    // help still makes progress: a waiting worker's own hedge/ballot legs
+    // land in its own deque and are claimed before the injector is
+    // consulted, so only externally-injected jobs are declined.
+    active_.fetch_sub(1, std::memory_order_release);
+    node->next = nullptr;
+    enqueue_chain(node, node, 1);
+    return false;
+  }
   if (obs::enabled()) PoolMetrics::get().helped.add();
   execute(node);
   return true;

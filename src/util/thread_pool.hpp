@@ -98,6 +98,12 @@ namespace pool_detail {
 struct alignas(kCacheLine) TaskNode {
   UniqueFunction<void()> task;
   TaskNode* next = nullptr;  ///< injector/freelist chain link
+  /// False for tasks that must never run nested inside a help-wait (see
+  /// try_run_one): tasks that may take locks or block — e.g. gateway route
+  /// jobs — would self-deadlock if a pattern's helping wait re-entered one
+  /// on a stack frame that already holds the same lock. Workers in their
+  /// normal loop run every task regardless.
+  bool helpable = true;
 };
 static_assert(sizeof(TaskNode) % kCacheLine == 0,
               "adjacent task nodes must not share a cache line");
@@ -188,8 +194,10 @@ class ThreadPool {
   /// the next as long as work remains, so a whole variant fan-out pays one
   /// epoch of bookkeeping instead of N. From a worker thread the batch goes
   /// to the worker's own deque (thieves distribute it); from an external
-  /// thread it is appended to the injector under one lock.
-  void submit_batch(std::span<Task> tasks);
+  /// thread it is appended to the injector under one lock. `helpable =
+  /// false` marks every task in the batch as off-limits to helping waits
+  /// (see TaskNode::helpable) — only dedicated workers will run them.
+  void submit_batch(std::span<Task> tasks, bool helpable = true);
 
   /// Run all tasks, blocking until every one has completed. Exceptions are
   /// swallowed by default; ExceptionPolicy::forward rethrows the first task
@@ -274,7 +282,11 @@ class ThreadPool {
   }
 
   /// Steal one queued task and run it on the calling thread. Returns false
-  /// if every deque (and the injector) was empty.
+  /// if every deque (and the injector) was empty. A non-helpable task (see
+  /// TaskNode::helpable) is never run here: it is handed back to the
+  /// injector (with a wake, so a dedicated worker picks it up) and the call
+  /// reports no progress — running it nested inside a blocked frame could
+  /// deadlock on locks that frame holds.
   bool try_run_one();
 
   /// Block until no task is queued or running — i.e. all stragglers from
@@ -428,9 +440,14 @@ class BatchRunner {
   [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
   [[nodiscard]] bool empty() const noexcept { return tasks_.empty(); }
 
+  /// Dispatched tasks may take locks or block (e.g. gateway route jobs):
+  /// exclude them from helping waits so a pattern's help-wait can never
+  /// re-enter one on a stack that already holds the lock it needs.
+  void set_helpable(bool helpable) noexcept { helpable_ = helpable; }
+
   /// Fire-and-forget: submit everything added since the last dispatch.
   void dispatch() {
-    pool().submit_batch(tasks_);
+    pool().submit_batch(tasks_, helpable_);
     tasks_.clear();  // keeps capacity for the next epoch
   }
 
@@ -448,6 +465,7 @@ class BatchRunner {
  private:
   ThreadPool* pool_;
   std::vector<ThreadPool::Task> tasks_;
+  bool helpable_ = true;
 };
 
 }  // namespace redundancy::util

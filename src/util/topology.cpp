@@ -4,6 +4,11 @@
 #include <cstdlib>
 #include <cstring>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace redundancy::util {
 
 namespace {
@@ -94,6 +99,32 @@ std::size_t parse_cpu_list_count(const char* text) noexcept {
 const Topology& topology() noexcept {
   static const Topology t = probe();
   return t;
+}
+
+std::size_t reactor_cpu_slot(std::size_t reactor, std::size_t cpus,
+                             std::size_t cluster_size) noexcept {
+  if (cpus == 0) return 0;
+  if (cluster_size == 0 || cluster_size > cpus) cluster_size = cpus;
+  // Spread one reactor per cluster before doubling up: reactor i goes to
+  // cluster (i mod clusters), at the (i div clusters)-th slot inside it.
+  const std::size_t clusters = cpus / cluster_size > 0 ? cpus / cluster_size
+                                                       : 1;
+  const std::size_t cluster = reactor % clusters;
+  const std::size_t within = reactor / clusters;
+  return (cluster * cluster_size + within) % cpus;
+}
+
+bool pin_current_thread_to_cpu(std::size_t cpu) noexcept {
+#if defined(__linux__)
+  if (cpu >= CPU_SETSIZE) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
 }
 
 }  // namespace redundancy::util

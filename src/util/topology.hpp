@@ -36,4 +36,18 @@ struct Topology {
 /// of CPUs it names, or 0 on malformed input. Exposed for tests.
 [[nodiscard]] std::size_t parse_cpu_list_count(const char* text) noexcept;
 
+/// The CPU slot a gateway reactor should prefer: reactors are spread one
+/// per LLC cluster first (so each front-door loop feeds pool workers out of
+/// a different cache domain instead of stacking on one), then wrap within
+/// clusters. Pure function of (reactor index, CPU count, cluster size) so
+/// the placement policy is testable without pinning anything.
+[[nodiscard]] std::size_t reactor_cpu_slot(std::size_t reactor,
+                                           std::size_t cpus,
+                                           std::size_t cluster_size) noexcept;
+
+/// Best-effort affinity pin of the calling thread to `cpu`. Returns false
+/// (and changes nothing) off Linux, on masked cpusets, or when the kernel
+/// refuses — pinning is an optimization, never a requirement.
+bool pin_current_thread_to_cpu(std::size_t cpu) noexcept;
+
 }  // namespace redundancy::util

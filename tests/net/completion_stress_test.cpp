@@ -141,5 +141,55 @@ TEST(GatewayStress, CompletionsRacingLoopShutdown) {
   }
 }
 
+TEST(GatewayStress, MultiLoopCompletionsRacingStop) {
+  // The multi-reactor variant of the shutdown race: M client threads spread
+  // over N loops (alternating rounds exercise both the SO_REUSEPORT shard
+  // path and the single-acceptor adopt-queue handoff), workers pushing
+  // completions to per-loop queues while stop() tears all the loops down.
+  // Correctness = zero jobs left in flight on any loop and no
+  // touch-after-free across the per-reactor teardown (TSan would flag it).
+  for (int round = 0; round < 10; ++round) {
+    Gateway::Options options;
+    options.loops = 3;
+    options.single_acceptor = (round % 2 == 1);
+    Gateway gateway{options};
+    gateway.add_route("/work",
+                      [](const Gateway::Request& req) -> http::Response {
+                        std::this_thread::sleep_for(
+                            std::chrono::microseconds(200));
+                        return {200, "text/plain; charset=utf-8",
+                                req.query.empty() ? "ok\n" : req.query + "\n"};
+                      });
+    ASSERT_TRUE(gateway.start());
+    ASSERT_EQ(gateway.loops(), 3u);
+
+    std::atomic<bool> stop_clients{false};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 6; ++c) {
+      clients.emplace_back([&, c] {
+        const int fd = loopback::connect_loopback(gateway.port());
+        if (fd < 0) return;
+        for (int i = 0; !stop_clients.load(std::memory_order_acquire); ++i) {
+          if (!loopback::send_all(fd, "GET /work?q=" + std::to_string(c) +
+                                          " HTTP/1.1\r\n\r\n")) {
+            break;
+          }
+          const loopback::Reply reply = loopback::read_response(fd);
+          if (!reply.complete) break;  // gateway stopped under us — expected
+        }
+        ::close(fd);
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    gateway.stop();
+    EXPECT_EQ(gateway.jobs_inflight(), 0u);
+    for (std::size_t loop = 0; loop < 3; ++loop) {
+      EXPECT_EQ(gateway.jobs_inflight(loop), 0u);
+    }
+    stop_clients.store(true, std::memory_order_release);
+    for (auto& t : clients) t.join();
+  }
+}
+
 }  // namespace
 }  // namespace redundancy::net

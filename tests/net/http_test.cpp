@@ -100,6 +100,55 @@ TEST(HttpParse, MalformedContentLengthIsBad) {
             ParseStatus::bad);
 }
 
+TEST(HttpParse, DuplicateContentLengthIsBad) {
+  // Request-smuggling guard: two Content-Length headers mean two parties
+  // could frame the message differently — even an identical repeat is
+  // rejected instead of picking a winner.
+  EXPECT_EQ(parse_request("POST /e HTTP/1.1\r\nContent-Length: 2\r\n"
+                          "Content-Length: 2\r\n\r\nok")
+                .status,
+            ParseStatus::bad);
+}
+
+TEST(HttpParse, ConflictingContentLengthIsBad) {
+  EXPECT_EQ(parse_request("POST /e HTTP/1.1\r\nContent-Length: 2\r\n"
+                          "Content-Length: 4\r\n\r\nokok")
+                .status,
+            ParseStatus::bad);
+}
+
+TEST(HttpParse, SignedContentLengthIsBad) {
+  // Signs must fail outright, never silently clamp to zero.
+  EXPECT_EQ(
+      parse_request("POST /e HTTP/1.1\r\nContent-Length: -1\r\n\r\n").status,
+      ParseStatus::bad);
+  EXPECT_EQ(
+      parse_request("POST /e HTTP/1.1\r\nContent-Length: +0\r\n\r\n").status,
+      ParseStatus::bad);
+}
+
+TEST(HttpParse, CommaListContentLengthIsBad) {
+  // "4, 4" is how a folded duplicate arrives through some proxies.
+  EXPECT_EQ(parse_request(
+                "POST /e HTTP/1.1\r\nContent-Length: 4, 4\r\n\r\nokok")
+                .status,
+            ParseStatus::bad);
+}
+
+TEST(HttpParse, TransferEncodingIsBad) {
+  // Chunked framing is unimplemented; accepting the header while framing
+  // by Content-Length is exactly how requests get smuggled.
+  EXPECT_EQ(parse_request("POST /e HTTP/1.1\r\n"
+                          "Transfer-Encoding: chunked\r\n\r\n"
+                          "0\r\n\r\n")
+                .status,
+            ParseStatus::bad);
+  EXPECT_EQ(parse_request("POST /e HTTP/1.1\r\nContent-Length: 2\r\n"
+                          "Transfer-Encoding: identity\r\n\r\nok")
+                .status,
+            ParseStatus::bad);
+}
+
 TEST(HttpParse, HeaderNamesAreCaseInsensitive) {
   const std::string raw =
       "POST /e HTTP/1.1\r\ncOnTeNt-LeNgTh: 2\r\nCONNECTION: Close\r\n\r\nok";
