@@ -58,8 +58,9 @@ def load_series(path):
 
 
 def lower_is_better(metric):
-    # Latency tails and syscalls-per-response both improve downward.
-    return metric.startswith("latency") or metric == "sends_per_response"
+    # Latency tails and the syscalls-per-response family (sends_per_response,
+    # enters_per_response, ...) all improve downward.
+    return metric.startswith("latency") or metric.endswith("_per_response")
 
 
 def fmt(value):
@@ -150,7 +151,20 @@ def main():
             compare_series(base_path.name, name, base_metrics, fresh[name],
                            args.threshold, failures)
         for name in sorted(set(fresh) - set(base)):
-            print(f"  {name:<26} new series (no baseline — run --update)")
+            print(f"  {name:<26} NEW SERIES (no baseline) — "
+                  "run --update to adopt")
+
+    # Whole files present in the fresh run but absent from the baselines:
+    # a warning row per series, never a failure — new benchmarks must be
+    # able to land before their baselines are recorded.
+    known = {p.name for p in baseline_files}
+    for fresh_path in sorted(results.glob("BENCH_*.json")):
+        if fresh_path.name in known:
+            continue
+        print(f"== {fresh_path.name} (no baseline file)")
+        for name in sorted(load_series(fresh_path)):
+            print(f"  {name:<26} NEW SERIES (no baseline) — "
+                  "run --update to adopt")
 
     if failures:
         print(f"\n{len(failures)} regression(s):", file=sys.stderr)

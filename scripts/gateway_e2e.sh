@@ -27,13 +27,18 @@ repo_root="$(pwd)"
 # slo:<route> verdicts that feed /healthz) before it scrapes.
 REDUNDANCY_GATEWAY_PORT="${PORT}" REDUNDANCY_GATEWAY_LINGER_MS=120000 \
   REDUNDANCY_SLO_EPOCH_MS=500 \
-  "${BUILD_DIR}/examples/gateway_demo" & server=$!
+  "${BUILD_DIR}/examples/gateway_demo" > "${OUT_DIR}/demo.log" & server=$!
 trap 'kill "${server}" 2>/dev/null || true' EXIT
 
 for i in $(seq 1 50); do
   curl -sf "localhost:${PORT}/healthz" -o "${OUT_DIR}/healthz.txt" && break
   sleep 0.2
 done
+
+# The host must announce which event-loop backend the probe/env knob chose
+# (uring on capable kernels, else epoll, else poll) — operators reading the
+# log must never have to guess the I/O path.
+grep -qE 'backend (uring|epoll|poll)' "${OUT_DIR}/demo.log"
 
 # Drive traffic through every route; answers must be exact.
 test "$(curl -sf "localhost:${PORT}/echo?x=41")" = "41"
@@ -102,6 +107,7 @@ for i in $(seq 1 50); do
   sleep 0.2
 done
 grep -q 'with 2 reactor loops' "${OUT_DIR}/demo_loops2.log"
+grep -qE 'backend (uring|epoll|poll)' "${OUT_DIR}/demo_loops2.log"
 
 # Fresh connections round-robin or hash across the two listeners; enough
 # sequential requests land traffic on both loops.

@@ -45,6 +45,19 @@
 // keeps the single-loop unlabelled series. begin_batch()/flush_batch()
 // bracket a completion drain so every response delivered in one burst to
 // the same connection coalesces into one sendmsg().
+//
+// Completion mode (loop backend == uring): the same state machine driven
+// by completions instead of readiness. The accept4 drain loop becomes one
+// multishot IORING_OP_ACCEPT; reads are IORING_OP_RECV with kernel-selected
+// provided buffers (no recv() syscalls, no interest juggling — reads are
+// re-armed exactly when the pipeline has room); the vectored flush becomes
+// a chain of linked IORING_OP_SENDMSG SQEs submitted in the loop's single
+// io_uring_enter. At most one send chain is in flight per connection, which
+// preserves byte order; a short write completes the chain early and the
+// remainder is resubmitted. Teardown with operations still in flight closes
+// the fd immediately (cancellations target user_data, never the fd) and
+// parks the Conn in a zombie map until the last completion arrives, so no
+// kernel-referenced buffer is ever freed early.
 #pragma once
 
 #include <cstddef>
@@ -59,6 +72,8 @@
 #include "net/http.hpp"
 #include "util/unique_function.hpp"
 
+struct iovec;
+
 namespace redundancy::obs {
 class Counter;
 class Histogram;
@@ -66,7 +81,7 @@ class Histogram;
 
 namespace redundancy::net {
 
-class ConnManager final : public IoHandler {
+class ConnManager final : public IoHandler, public EventLoop::UringSink {
  public:
   struct Options {
     /// Bind 127.0.0.1:port; 0 picks an ephemeral port (read it back).
@@ -171,6 +186,16 @@ class ConnManager final : public IoHandler {
   /// Listener readiness: accept until EAGAIN, shedding past the cap.
   void on_io(std::uint32_t events) override;
 
+  /// True when this manager drives completion-style I/O (uring backend).
+  [[nodiscard]] bool completion_mode() const noexcept { return completion_; }
+
+  // EventLoop::UringSink (completion mode; loop thread only).
+  void on_uring_accept(int res, bool more) override;
+  void on_uring_recv(std::uint64_t token, int res, const char* data,
+                     std::size_t len) override;
+  void on_uring_send(std::uint64_t token, int res) override;
+  void on_uring_drain_end() override;
+
  private:
   enum class ConnState : std::uint8_t { reading, dispatched, writing, draining };
 
@@ -209,6 +234,9 @@ class ConnManager final : public IoHandler {
     bool close_now = false;         ///< close response flushed: drain next
     bool want_write = false;        ///< last flush hit EAGAIN
     bool in_dirty = false;          ///< queued in the batch dirty list
+    bool pending_recv = false;      ///< completion mode: a recv SQE is armed
+    bool send_error = false;        ///< completion mode: chain hit a fatal errno
+    std::uint32_t pending_sends = 0;  ///< completion mode: in-flight send SQEs
     std::uint32_t interest = kReadable;  ///< current epoll interest (cached)
     std::uint64_t next_seq = 1;
     std::string in;
@@ -245,6 +273,16 @@ class ConnManager final : public IoHandler {
   void start_drain(Conn& conn);
   void teardown(Conn& conn);
   [[nodiscard]] std::size_t read_chunk_target() const noexcept;
+  // Completion-mode helpers.
+  /// Arm a buffer-select recv unless one is already in flight. A prep
+  /// failure leaves the connection deaf; the idle deadline reclaims it.
+  void arm_recv(Conn& conn);
+  /// Submit the flush queue as one linked sendmsg chain (no-op while a
+  /// chain is in flight — order is per-connection serial). May tear the
+  /// connection down on submission failure.
+  void submit_send(Conn& conn);
+  /// Destroy a zombie once its last in-flight completion has arrived.
+  void maybe_reap(std::uint64_t id);
 
   EventLoop& loop_;
   Options options_;
@@ -263,6 +301,15 @@ class ConnManager final : public IoHandler {
   std::size_t in_hwm_ = 4096;
   std::string read_scratch_;
   std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+
+  // Completion-mode state (loop backend == uring).
+  bool completion_ = false;
+  bool accept_armed_ = false;
+  std::vector<std::uint64_t> recv_starved_;  ///< -ENOBUFS: re-arm post-drain
+  std::vector<::iovec> send_iov_;            ///< submit_send scratch
+  /// Torn-down connections whose fd is closed but whose buffers are still
+  /// referenced by in-flight SQEs; reaped on their final completion.
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> zombies_;
 
   // Registry-owned counters, resolved once (obs::counter is find-or-create
   // under a registry lock; the serving path should not take it per event).

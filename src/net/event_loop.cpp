@@ -2,6 +2,8 @@
 
 #include <fcntl.h>
 #include <poll.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
 #include <time.h>
 #include <unistd.h>
 
@@ -16,9 +18,17 @@ struct epoll_event {
 };
 #endif
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
 #include <thread>
+
+#include "net/uring.hpp"
+#include "obs/obs.hpp"
 
 namespace redundancy::net {
 
@@ -67,10 +77,51 @@ std::uint32_t from_poll(short ev) noexcept {
   if (ev & POLLOUT) events |= kWritable;
   if (ev & POLLERR) events |= kError;
   if (ev & (POLLHUP | POLLNVAL)) events |= kHangup;
+#ifdef POLLRDHUP
+  if (ev & POLLRDHUP) events |= kHangup;
+#endif
   return events;
 }
 
+// user_data layout for uring SQEs: [63:56] tag | [55:0] payload.
+// Poll payloads are [55:32] generation | [31:0] fd.
+constexpr unsigned kTagShift = 56;
+constexpr std::uint64_t kPayloadMask = (std::uint64_t{1} << kTagShift) - 1;
+constexpr std::uint64_t kTagPoll = 1;
+constexpr std::uint64_t kTagAccept = 2;
+constexpr std::uint64_t kTagRecv = 3;
+constexpr std::uint64_t kTagSend = 4;
+constexpr std::uint64_t kTagCancel = 5;
+
+constexpr std::uint64_t make_ud(std::uint64_t tag,
+                                std::uint64_t payload) noexcept {
+  return (tag << kTagShift) | (payload & kPayloadMask);
+}
+
+constexpr std::uint64_t poll_ud(int fd, std::uint32_t gen) noexcept {
+  return make_ud(kTagPoll, (std::uint64_t{gen & 0xffffffu} << 32) |
+                               static_cast<std::uint32_t>(fd));
+}
+
+/// iovecs per sendmsg SQE; matches the readiness path's vectored flush cap.
+constexpr std::size_t kUringMaxIov = 64;
+
 }  // namespace
+
+/// One in-flight IORING_OP_SENDMSG: the msghdr + iovec array the SQE points
+/// at, pinned at a stable address until the completion lands. Slots live in
+/// a deque — growth never relocates an element the kernel is reading.
+struct UringSendOp {
+  ::msghdr msg{};
+  ::iovec iov[kUringMaxIov];
+  std::uint64_t token = 0;
+  bool in_use = false;
+};
+
+struct UringSendPool {
+  std::deque<UringSendOp> ops;
+  std::vector<std::uint32_t> free_list;
+};
 
 std::uint64_t monotonic_ms() noexcept {
   timespec ts{};
@@ -79,17 +130,83 @@ std::uint64_t monotonic_ms() noexcept {
          static_cast<std::uint64_t>(ts.tv_nsec) / 1'000'000u;
 }
 
+const char* EventLoop::backend_name(Backend backend) noexcept {
+  switch (backend) {
+    case Backend::automatic:
+      return "automatic";
+    case Backend::epoll:
+      return "epoll";
+    case Backend::poll:
+      return "poll";
+    case Backend::uring:
+      return "uring";
+  }
+  return "unknown";
+}
+
+bool EventLoop::uring_supported() noexcept {
+#ifdef __linux__
+  return Uring::supported();
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+/// Resolve Backend::automatic: REDUNDANCY_GATEWAY_BACKEND pins the choice
+/// (strict parse, loud fallback — the REDUNDANCY_GATEWAY_LOOPS contract);
+/// otherwise prefer uring → epoll → poll by platform capability.
+EventLoop::Backend resolve_automatic() {
+  using Backend = EventLoop::Backend;
+#ifdef __linux__
+  const Backend preferred =
+      EventLoop::uring_supported() ? Backend::uring : Backend::epoll;
+#else
+  const Backend preferred = Backend::poll;
+#endif
+  const char* env = std::getenv("REDUNDANCY_GATEWAY_BACKEND");
+  if (env == nullptr || *env == '\0') return preferred;
+  if (std::strcmp(env, "poll") == 0) return Backend::poll;
+  if (std::strcmp(env, "epoll") == 0) {
+#ifdef __linux__
+    return Backend::epoll;
+#else
+    std::fprintf(stderr,
+                 "[redundancy] REDUNDANCY_GATEWAY_BACKEND=epoll is not "
+                 "available on this platform; using poll\n");
+    return Backend::poll;
+#endif
+  }
+  if (std::strcmp(env, "uring") == 0) {
+    if (EventLoop::uring_supported()) return Backend::uring;
+    std::fprintf(stderr,
+                 "[redundancy] REDUNDANCY_GATEWAY_BACKEND=uring requested "
+                 "but io_uring is unavailable (kernel or seccomp); using "
+                 "%s\n",
+                 EventLoop::backend_name(preferred));
+    return preferred;
+  }
+  std::fprintf(stderr,
+               "[redundancy] REDUNDANCY_GATEWAY_BACKEND='%s' is not a valid "
+               "backend (uring|epoll|poll); using %s\n",
+               env, EventLoop::backend_name(preferred));
+  return preferred;
+}
+
+}  // namespace
+
 EventLoop::EventLoop() : EventLoop(Options{}) {}
 
 EventLoop::EventLoop(Options options)
-    : options_(options),
-      wheel_(options.timer_slots, options.timer_tick_ms) {
-  backend_ = options.backend;
-#ifdef __linux__
-  if (backend_ == Backend::automatic) backend_ = Backend::epoll;
-#else
-  if (backend_ == Backend::automatic) backend_ = Backend::poll;
-  if (backend_ == Backend::epoll) return;  // not available: loop stays dead
+    : options_(std::move(options)),
+      wheel_(options_.timer_slots, options_.timer_tick_ms) {
+  backend_ = options_.backend;
+  if (backend_ == Backend::automatic) backend_ = resolve_automatic();
+#ifndef __linux__
+  if (backend_ == Backend::epoll || backend_ == Backend::uring) {
+    return;  // not available: loop stays dead
+  }
 #endif
 
 #ifdef __linux__
@@ -97,6 +214,23 @@ EventLoop::EventLoop(Options options)
     epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
     if (epoll_fd_ < 0) return;
     epoll_scratch_.resize(256);
+  }
+  if (backend_ == Backend::uring) {
+    // Explicitly requested uring on a kernel that refuses it fails closed,
+    // exactly like Backend::epoll off Linux (automatic never lands here
+    // unsupported — resolve_automatic() already probed).
+    if (!Uring::supported()) return;
+    uring_ = std::make_unique<Uring>();
+    if (!uring_->init(256)) {
+      uring_.reset();
+      return;
+    }
+    send_pool_ = std::make_unique<UringSendPool>();
+    enters_ = &obs::counter("gateway.enters", options_.metric_label);
+    sqes_ = &obs::counter("gateway.sqes", options_.metric_label);
+    sqe_batches_ = &obs::counter("gateway.sqe_batches", options_.metric_label);
+    cqe_per_enter_ =
+        &obs::histogram("gateway.cqe_per_enter", options_.metric_label);
   }
   const int efd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
   if (efd >= 0) {
@@ -125,9 +259,22 @@ EventLoop::~EventLoop() {
     ::close(wake_write_fd_);
   }
   if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  // uring_ destruction closes the ring fd, which cancels and reaps every
+  // in-flight op before send_pool_ (declared earlier, destroyed later)
+  // releases the msghdr/iovec memory those ops reference.
 }
 
 bool EventLoop::ok() const noexcept { return wake_read_fd_ >= 0; }
+
+bool EventLoop::uring_mode() const noexcept {
+  return backend_ == Backend::uring && uring_ != nullptr;
+}
+
+std::uint32_t EventLoop::next_poll_gen() noexcept {
+  poll_gen_ = (poll_gen_ + 1) & 0xffffffu;
+  if (poll_gen_ == 0) poll_gen_ = 1;
+  return poll_gen_;
+}
 
 bool EventLoop::add(int fd, std::uint32_t interest, IoHandler* handler) {
   if (!ok() || fd < 0) return false;
@@ -165,7 +312,9 @@ void EventLoop::remove(int fd) {
   Registration& reg = table_[static_cast<std::size_t>(fd)];
   if (reg.interest == 0 && reg.handler == nullptr) return;
   backend_remove(fd);
+  const std::uint32_t gen = reg.gen;
   reg = Registration{};
+  reg.gen = gen;  // keep the bumped generation: in-flight CQEs stay stale
   --nfds_;
   poll_dirty_ = true;
 }
@@ -233,6 +382,23 @@ void EventLoop::drain_wakeup() {
   }
 }
 
+void EventLoop::arm_poll(int fd, Registration& reg, std::uint32_t interest) {
+#ifdef __linux__
+  std::uint32_t mask = static_cast<std::uint32_t>(
+      static_cast<unsigned short>(to_poll(interest)));
+#ifdef POLLRDHUP
+  mask |= static_cast<std::uint32_t>(POLLRDHUP);  // epoll parity: half-close
+#endif
+  if (uring_->prep_poll_add(fd, mask, poll_ud(fd, reg.gen))) {
+    ++reg.polls_inflight;
+  }
+#else
+  (void)fd;
+  (void)reg;
+  (void)interest;
+#endif
+}
+
 bool EventLoop::backend_add(int fd, std::uint32_t interest) {
 #ifdef __linux__
   if (backend_ == Backend::epoll) {
@@ -240,6 +406,13 @@ bool EventLoop::backend_add(int fd, std::uint32_t interest) {
     ev.events = to_epoll(interest);
     ev.data.fd = fd;
     return ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0;
+  }
+  if (backend_ == Backend::uring) {
+    Registration& reg = table_[static_cast<std::size_t>(fd)];
+    reg.gen = next_poll_gen();
+    reg.polls_inflight = 0;
+    if (interest != 0) arm_poll(fd, reg, interest);
+    return true;
   }
 #endif
   (void)interest;
@@ -254,6 +427,18 @@ bool EventLoop::backend_modify(int fd, std::uint32_t interest) {
     ev.data.fd = fd;
     return ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0;
   }
+  if (backend_ == Backend::uring) {
+    Registration& reg = table_[static_cast<std::size_t>(fd)];
+    if (reg.polls_inflight > 0) {
+      // Cancel by user_data, not fd: a later close() must not race the
+      // cancellation target. The stale CQE is dropped by the gen check.
+      uring_->prep_cancel(poll_ud(fd, reg.gen), make_ud(kTagCancel, 0));
+      reg.polls_inflight = 0;
+    }
+    reg.gen = next_poll_gen();
+    if (interest != 0) arm_poll(fd, reg, interest);
+    return true;
+  }
 #endif
   (void)fd;
   (void)interest;
@@ -265,12 +450,116 @@ void EventLoop::backend_remove(int fd) {
   if (backend_ == Backend::epoll) {
     ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
   }
+  if (backend_ == Backend::uring) {
+    Registration& reg = table_[static_cast<std::size_t>(fd)];
+    if (reg.polls_inflight > 0) {
+      uring_->prep_cancel(poll_ud(fd, reg.gen), make_ud(kTagCancel, 0));
+      reg.polls_inflight = 0;
+    }
+    reg.gen = next_poll_gen();  // orphan any in-flight completion
+  }
 #endif
   (void)fd;
 }
 
+void EventLoop::handle_uring_cqe(std::uint64_t user_data, std::int32_t res,
+                                 std::uint32_t flags) {
+  switch (user_data >> kTagShift) {
+    case kTagPoll: {
+      const int fd = static_cast<int>(user_data & 0xffffffffu);
+      const auto gen = static_cast<std::uint32_t>((user_data >> 32) &
+                                                  0xffffffu);
+      if (fd < 0 || static_cast<std::size_t>(fd) >= table_.size()) return;
+      Registration& reg = table_[static_cast<std::size_t>(fd)];
+      if (reg.gen != gen) return;  // stale: fd removed/re-registered
+      if (reg.polls_inflight > 0) --reg.polls_inflight;
+      if (res > 0) {
+        dispatch(fd, from_poll(static_cast<short>(res)));
+      }
+      // Level-triggered emulation: one-shot polls re-arm after dispatch —
+      // unless the handler removed or re-registered the fd (generation
+      // moved), modified interest (ditto), or went quiet.
+      if (static_cast<std::size_t>(fd) < table_.size()) {
+        Registration& cur = table_[static_cast<std::size_t>(fd)];
+        if (cur.gen == gen && cur.interest != 0 && cur.polls_inflight == 0) {
+          arm_poll(fd, cur, cur.interest);
+        }
+      }
+      return;
+    }
+    case kTagAccept:
+      if (uring_sink_ != nullptr) {
+        uring_sink_->on_uring_accept(res,
+                                     (flags & Uring::kCqeFMore) != 0);
+      }
+      return;
+    case kTagRecv: {
+      const std::uint64_t token = user_data & kPayloadMask;
+      const char* data = nullptr;
+      std::size_t len = 0;
+      std::uint32_t bid = 0;
+      const bool has_buffer = (flags & Uring::kCqeFBuffer) != 0;
+      if (has_buffer) {
+        bid = flags >> Uring::kCqeBufferShift;
+        if (res > 0) {
+          data = uring_->buffer_at(bid);
+          len = static_cast<std::size_t>(res);
+        }
+      }
+      if (uring_sink_ != nullptr) {
+        uring_sink_->on_uring_recv(token, res, data, len);
+      }
+      // Recycle AFTER the sink copied the bytes out.
+      if (has_buffer) uring_->recycle_buffer(bid);
+      return;
+    }
+    case kTagSend: {
+      const auto slot = static_cast<std::uint32_t>(user_data & kPayloadMask);
+      if (send_pool_ == nullptr || slot >= send_pool_->ops.size()) return;
+      UringSendOp& op = send_pool_->ops[slot];
+      if (!op.in_use) return;
+      const std::uint64_t token = op.token;
+      // Free BEFORE the callback: the sink may queue the retry chain into
+      // this very slot; the kernel is done with the msghdr once the CQE is
+      // posted.
+      op.in_use = false;
+      send_pool_->free_list.push_back(slot);
+      if (uring_sink_ != nullptr) uring_sink_->on_uring_send(token, res);
+      return;
+    }
+    default:
+      return;  // cancel completions carry no state
+  }
+}
+
 int EventLoop::backend_wait(int timeout_ms) {
 #ifdef __linux__
+  if (backend_ == Backend::uring) {
+    // One syscall: submit every SQE queued since the last iteration AND
+    // wait (up to the wheel deadline) for completions.
+    if (!uring_->submit_and_wait(timeout_ms < 0 ? 0 : timeout_ms)) return -1;
+    now_ms_ = monotonic_ms();  // handlers see the post-wait clock
+    int n = 0;
+    Uring::Cqe cqe;
+    while (uring_->peek_cqe(&cqe)) {
+      handle_uring_cqe(cqe.user_data, cqe.res, cqe.flags);
+      ++n;
+    }
+    if (uring_sink_ != nullptr) uring_sink_->on_uring_drain_end();
+    if (enters_ != nullptr) {
+      const std::uint64_t enters = uring_->enters();
+      const std::uint64_t sqes = uring_->sqes_submitted();
+      const std::uint64_t batches = uring_->submit_batches();
+      enters_->add(enters - last_enters_);
+      sqes_->add(sqes - last_sqes_);
+      sqe_batches_->add(batches - last_batches_);
+      last_enters_ = enters;
+      last_sqes_ = sqes;
+      last_batches_ = batches;
+      cqe_per_enter_->record(static_cast<std::uint64_t>(n));
+    }
+    return n;
+  }
   if (backend_ == Backend::epoll) {
     // Grow the ready buffer to the population so one wait can report every
     // ready fd (a 10k-connection burst drains in one iteration).
@@ -310,6 +599,108 @@ int EventLoop::backend_wait(int timeout_ms) {
     dispatch(pfd.fd, from_poll(pfd.revents));
   }
   return n;
+}
+
+// ---------------------------------------------------------------------------
+// Completion-mode surface
+// ---------------------------------------------------------------------------
+
+bool EventLoop::uring_setup_buffers(std::uint32_t count, std::uint32_t size) {
+  if (!uring_mode()) return false;
+  return uring_->setup_buffer_ring(count, size);
+}
+
+bool EventLoop::uring_accept(int listen_fd) {
+  if (!uring_mode()) return false;
+  return uring_->prep_accept_multishot(
+      listen_fd, make_ud(kTagAccept, static_cast<std::uint32_t>(listen_fd)));
+}
+
+void EventLoop::uring_cancel_accept(int listen_fd) {
+  if (!uring_mode()) return;
+  uring_->prep_cancel(
+      make_ud(kTagAccept, static_cast<std::uint32_t>(listen_fd)),
+      make_ud(kTagCancel, 0));
+  // Flush immediately: the caller closes the fd next, and the in-flight
+  // accept holds a file reference until its cancellation completes.
+  uring_->submit();
+}
+
+bool EventLoop::uring_recv(int fd, std::uint64_t token) {
+  if (!uring_mode() || !uring_->buffers_ready()) return false;
+  return uring_->prep_recv_select(fd, make_ud(kTagRecv, token));
+}
+
+void EventLoop::uring_cancel_recv(std::uint64_t token) {
+  if (!uring_mode()) return;
+  uring_->prep_cancel(make_ud(kTagRecv, token), make_ud(kTagCancel, 0));
+}
+
+std::size_t EventLoop::uring_sendmsg(int fd, const ::iovec* iov,
+                                     std::size_t niov, std::uint64_t token) {
+  if (!uring_mode() || niov == 0) return 0;
+  std::size_t chunks = (niov + kUringMaxIov - 1) / kUringMaxIov;
+  // A link chain must not straddle a submission boundary (the chain ends at
+  // the batch edge and ordering would be lost): make room up front, and cap
+  // the chain at the SQ size — any unqueued tail is resubmitted by the
+  // caller when this chain's completions land.
+  if (uring_->sq_space_left() < chunks) uring_->submit();
+  const std::uint32_t space = uring_->sq_space_left();
+  if (space == 0) return 0;
+  if (chunks > space) chunks = space;
+  std::size_t queued = 0;
+  std::size_t off = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t cnt = std::min(kUringMaxIov, niov - off);
+    std::uint32_t slot;
+    if (!send_pool_->free_list.empty()) {
+      slot = send_pool_->free_list.back();
+      send_pool_->free_list.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(send_pool_->ops.size());
+      send_pool_->ops.emplace_back();
+    }
+    UringSendOp& op = send_pool_->ops[slot];
+    std::memcpy(op.iov, iov + off, cnt * sizeof(::iovec));
+    op.msg = ::msghdr{};
+    op.msg.msg_iov = op.iov;
+    op.msg.msg_iovlen = cnt;
+    op.token = token;
+    op.in_use = true;
+    const bool link = c + 1 < chunks;
+    if (!uring_->prep_sendmsg(fd, &op.msg, make_ud(kTagSend, slot), link)) {
+      op.in_use = false;
+      send_pool_->free_list.push_back(slot);
+      // The previous SQE must not link into whatever is prepared next.
+      uring_->clear_link_on_last();
+      break;
+    }
+    ++queued;
+    off += cnt;
+  }
+  return queued;
+}
+
+void EventLoop::uring_cancel_sends(std::uint64_t token) {
+  if (!uring_mode() || send_pool_ == nullptr) return;
+  for (std::size_t i = 0; i < send_pool_->ops.size(); ++i) {
+    if (send_pool_->ops[i].in_use && send_pool_->ops[i].token == token) {
+      uring_->prep_cancel(make_ud(kTagSend, i), make_ud(kTagCancel, 0));
+    }
+  }
+}
+
+bool EventLoop::uring_reap_blocking(int timeout_ms) {
+  if (!uring_mode()) return false;
+  if (!uring_->submit_and_wait(timeout_ms < 0 ? 0 : timeout_ms)) return false;
+  now_ms_ = monotonic_ms();
+  bool any = false;
+  Uring::Cqe cqe;
+  while (uring_->peek_cqe(&cqe)) {
+    handle_uring_cqe(cqe.user_data, cqe.res, cqe.flags);
+    any = true;
+  }
+  return any;
 }
 
 }  // namespace redundancy::net

@@ -79,7 +79,11 @@ bool Gateway::start() {
   for (std::size_t i = 0; i < n; ++i) {
     auto reactor = std::make_unique<Reactor>();
     reactor->index = i;
-    reactor->loop = std::make_unique<EventLoop>(options_.loop);
+    EventLoop::Options loop_opts = options_.loop;
+    // Shard the loop-level submission metrics like the ConnManager's
+    // gateway.* families (empty label = the single-loop series).
+    if (n > 1) loop_opts.metric_label = "loop=" + std::to_string(i);
+    reactor->loop = std::make_unique<EventLoop>(std::move(loop_opts));
     if (!reactor->loop->ok()) {
       reactors_.clear();
       return false;

@@ -136,6 +136,12 @@ class Gateway {
   }
   /// Reactor count actually running (resolved at start()).
   [[nodiscard]] std::size_t loops() const noexcept { return reactors_.size(); }
+  /// The event-loop backend the reactors actually run (resolved at
+  /// start(): automatic → uring/epoll/poll by probe + env knob).
+  [[nodiscard]] EventLoop::Backend backend() const noexcept {
+    return reactors_.empty() ? EventLoop::Backend::automatic
+                             : reactors_.front()->loop->backend();
+  }
   /// Jobs created minus jobs completed/dropped, summed over all reactors
   /// (for tests; exact once the loops are stopped).
   [[nodiscard]] std::uint64_t jobs_inflight() const noexcept {

@@ -12,22 +12,54 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 namespace redundancy::net::loopback {
 
-/// Connect a blocking TCP socket to 127.0.0.1:port; -1 on failure.
-inline int connect_loopback(std::uint16_t port) {
+/// "ip:port" of the fd's peer, for error messages ("?" when getpeername
+/// fails — e.g. the fd was never connected).
+inline std::string peer_address(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getpeername(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return "?";
+  }
+  char ip[INET_ADDRSTRLEN] = {0};
+  if (::inet_ntop(AF_INET, &addr.sin_addr, ip, sizeof ip) == nullptr) {
+    return "?";
+  }
+  return std::string{ip} + ":" + std::to_string(ntohs(addr.sin_port));
+}
+
+/// Connect a blocking TCP socket to 127.0.0.1:port; -1 on failure. Retries
+/// connect() on EINTR (EISCONN after an interrupted connect counts as
+/// success — the kernel completed it). When `error` is non-null a failure
+/// fills it; ETIMEDOUT names the peer address the SYN was aimed at.
+inline int connect_loopback(std::uint16_t port, std::string* error = nullptr) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return -1;
+  if (fd < 0) {
+    if (error) *error = std::string{"socket: "} + std::strerror(errno);
+    return -1;
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
-      0) {
+  while (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof addr) != 0) {
+    if (errno == EINTR) continue;     // interrupted: the connect proceeds
+    if (errno == EISCONN) break;      // ...and may already have finished
+    const int err = errno;
+    if (error) {
+      *error = std::string{"connect 127.0.0.1:"} + std::to_string(port) +
+               ": " + std::strerror(err);
+      if (err == ETIMEDOUT) *error += " (peer 127.0.0.1:" +
+                                      std::to_string(port) + ")";
+    }
     ::close(fd);
     return -1;
   }
@@ -52,17 +84,39 @@ struct Reply {
   std::string head;
   std::string body;
   bool complete = false;  ///< a full head+Content-Length body was read
+  std::string error;      ///< why the read stopped short (empty on success)
 };
+
+namespace detail {
+/// recv() with EINTR retry. On error, fills reply.error; an ETIMEDOUT
+/// (e.g. SO_RCVTIMEO or a dead peer under TCP_USER_TIMEOUT) names the
+/// peer so the operator knows which connection stalled.
+inline ssize_t recv_retry(int fd, void* buf, std::size_t len, Reply& reply) {
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, len, 0);
+    if (n >= 0) return n;
+    if (errno == EINTR) continue;
+    const int err = errno;
+    reply.error = std::string{"recv: "} + std::strerror(err);
+    if (err == ETIMEDOUT || err == EAGAIN || err == EWOULDBLOCK) {
+      reply.error += " (peer " + peer_address(fd) + ")";
+    }
+    return n;
+  }
+}
+}  // namespace detail
 
 /// Read exactly one response (head + Content-Length body) off a keep-alive
 /// connection. Blocking, bounded by the peer's write behaviour. The head is
 /// read byte-wise and the body with exact counts so pipelined responses
 /// behind this one are never consumed (no client-side buffering needed).
+/// EINTR is retried; a failed read leaves the reason (with the peer address
+/// for timeouts) in reply.error.
 inline Reply read_response(int fd) {
   Reply reply;
   while (reply.head.find("\r\n\r\n") == std::string::npos) {
     char c = 0;
-    const ssize_t n = ::recv(fd, &c, 1, 0);
+    const ssize_t n = detail::recv_retry(fd, &c, 1, reply);
     if (n <= 0) return reply;  // EOF/reset before a full head
     reply.head.push_back(c);
   }
@@ -81,7 +135,7 @@ inline Reply read_response(int fd) {
         content_length - reply.body.size() < sizeof buf
             ? content_length - reply.body.size()
             : sizeof buf;
-    const ssize_t n = ::recv(fd, buf, want, 0);
+    const ssize_t n = detail::recv_retry(fd, buf, want, reply);
     if (n <= 0) return reply;  // EOF/reset before a full body
     reply.body.append(buf, static_cast<std::size_t>(n));
   }

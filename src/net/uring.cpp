@@ -1,0 +1,493 @@
+#include "net/uring.hpp"
+
+#ifdef __linux__
+
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/syscall.h>
+#include <sys/uio.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace redundancy::net {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// io_uring UAPI mirror (<linux/io_uring.h>); the kernel ABI is frozen, so
+// carrying the definitions keeps the build independent of header vintage.
+// ---------------------------------------------------------------------------
+
+#ifndef __NR_io_uring_setup
+#define __NR_io_uring_setup 425
+#endif
+#ifndef __NR_io_uring_enter
+#define __NR_io_uring_enter 426
+#endif
+#ifndef __NR_io_uring_register
+#define __NR_io_uring_register 427
+#endif
+
+struct io_sqring_offsets {
+  std::uint32_t head;
+  std::uint32_t tail;
+  std::uint32_t ring_mask;
+  std::uint32_t ring_entries;
+  std::uint32_t flags;
+  std::uint32_t dropped;
+  std::uint32_t array;
+  std::uint32_t resv1;
+  std::uint64_t user_addr;
+};
+
+struct io_cqring_offsets {
+  std::uint32_t head;
+  std::uint32_t tail;
+  std::uint32_t ring_mask;
+  std::uint32_t ring_entries;
+  std::uint32_t overflow;
+  std::uint32_t cqes;
+  std::uint32_t flags;
+  std::uint32_t resv1;
+  std::uint64_t user_addr;
+};
+
+struct io_uring_params {
+  std::uint32_t sq_entries;
+  std::uint32_t cq_entries;
+  std::uint32_t flags;
+  std::uint32_t sq_thread_cpu;
+  std::uint32_t sq_thread_idle;
+  std::uint32_t features;
+  std::uint32_t wq_fd;
+  std::uint32_t resv[3];
+  io_sqring_offsets sq_off;
+  io_cqring_offsets cq_off;
+};
+
+struct io_uring_sqe {
+  std::uint8_t opcode;
+  std::uint8_t flags;
+  std::uint16_t ioprio;
+  std::int32_t fd;
+  std::uint64_t off;        // also addr2
+  std::uint64_t addr;
+  std::uint32_t len;
+  std::uint32_t op_flags;   // msg_flags / accept_flags / poll32 / cancel
+  std::uint64_t user_data;
+  std::uint16_t buf_index;  // also buf_group
+  std::uint16_t personality;
+  std::int32_t splice_fd_in;
+  std::uint64_t addr3;
+  std::uint64_t pad2;
+};
+static_assert(sizeof(io_uring_sqe) == 64, "SQE ABI mismatch");
+
+struct io_uring_cqe {
+  std::uint64_t user_data;
+  std::int32_t res;
+  std::uint32_t flags;
+};
+static_assert(sizeof(io_uring_cqe) == 16, "CQE ABI mismatch");
+
+struct io_uring_getevents_arg {
+  std::uint64_t sigmask;
+  std::uint32_t sigmask_sz;
+  std::uint32_t pad;
+  std::uint64_t ts;
+};
+
+struct io_uring_probe_op {
+  std::uint8_t op;
+  std::uint8_t resv;
+  std::uint16_t flags;
+  std::uint32_t resv2;
+};
+
+struct io_uring_probe {
+  std::uint8_t last_op;
+  std::uint8_t ops_len;
+  std::uint16_t resv;
+  std::uint32_t resv2[3];
+  io_uring_probe_op ops[256];
+};
+
+struct io_uring_buf {
+  std::uint64_t addr;
+  std::uint32_t len;
+  std::uint16_t bid;
+  std::uint16_t resv;  // bufs[0].resv doubles as the ring tail
+};
+
+struct io_uring_buf_reg {
+  std::uint64_t ring_addr;
+  std::uint32_t ring_entries;
+  std::uint16_t bgid;
+  std::uint16_t flags;
+  std::uint64_t resv[3];
+};
+
+// Opcodes this backend issues.
+constexpr std::uint8_t kOpPollAdd = 6;
+constexpr std::uint8_t kOpSendmsg = 9;
+constexpr std::uint8_t kOpAccept = 13;
+constexpr std::uint8_t kOpAsyncCancel = 14;
+constexpr std::uint8_t kOpRecv = 27;
+
+// SQE flag bits.
+constexpr std::uint8_t kSqeIoLink = 1u << 2;        // IOSQE_IO_LINK
+constexpr std::uint8_t kSqeBufferSelect = 1u << 5;  // IOSQE_BUFFER_SELECT
+
+// ioprio bits.
+constexpr std::uint16_t kAcceptMultishot = 1u << 0;  // IORING_ACCEPT_MULTISHOT
+
+// cancel flags.
+constexpr std::uint32_t kCancelAll = 1u << 0;  // IORING_ASYNC_CANCEL_ALL
+
+// enter flags.
+constexpr unsigned kEnterGetevents = 1u << 0;
+constexpr unsigned kEnterExtArg = 1u << 3;
+
+// features.
+constexpr std::uint32_t kFeatSingleMmap = 1u << 0;
+constexpr std::uint32_t kFeatNodrop = 1u << 1;
+constexpr std::uint32_t kFeatExtArg = 1u << 8;
+
+// mmap offsets.
+constexpr off_t kOffSqRing = 0;
+constexpr off_t kOffCqRing = 0x8000000;
+constexpr off_t kOffSqes = 0x10000000;
+
+// register opcodes.
+constexpr unsigned kRegisterProbe = 8;
+constexpr unsigned kRegisterPbufRing = 22;
+
+constexpr unsigned kOpSupported = 1u << 0;  // IO_URING_OP_SUPPORTED
+
+std::uint32_t load_acquire(const std::uint32_t* p) noexcept {
+  return __atomic_load_n(p, __ATOMIC_ACQUIRE);
+}
+
+void store_release(std::uint32_t* p, std::uint32_t v) noexcept {
+  __atomic_store_n(p, v, __ATOMIC_RELEASE);
+}
+
+}  // namespace
+
+Uring::~Uring() { teardown(); }
+
+void Uring::teardown() noexcept {
+  // Closing the ring fd cancels and reaps every in-flight request before
+  // the kernel releases the ring, so unmapping afterwards is safe.
+  if (ring_fd_ >= 0) ::close(ring_fd_);
+  ring_fd_ = -1;
+  if (sq_ring_ != nullptr) ::munmap(sq_ring_, sq_ring_sz_);
+  if (!single_mmap_ && cq_ring_ != nullptr) ::munmap(cq_ring_, cq_ring_sz_);
+  if (sqes_mem_ != nullptr) ::munmap(sqes_mem_, sqes_sz_);
+  if (buf_ring_ != nullptr) ::munmap(buf_ring_, buf_ring_sz_);
+  if (buf_base_ != nullptr) ::munmap(buf_base_, buf_mem_sz_);
+  sq_ring_ = cq_ring_ = sqes_mem_ = buf_ring_ = nullptr;
+  buf_base_ = nullptr;
+}
+
+bool Uring::init(unsigned entries) {
+  io_uring_params params{};
+  const long fd =
+      ::syscall(__NR_io_uring_setup, entries, &params);
+  if (fd < 0) return false;
+  ring_fd_ = static_cast<int>(fd);
+  features_ = params.features;
+  // The wait timeout rides io_uring_enter via EXT_ARG; NODROP guarantees a
+  // CQ burst beyond the ring is buffered, not lost. Both are required.
+  if ((features_ & kFeatExtArg) == 0 || (features_ & kFeatNodrop) == 0) {
+    teardown();
+    return false;
+  }
+
+  sq_ring_sz_ = params.sq_off.array + params.sq_entries * sizeof(std::uint32_t);
+  cq_ring_sz_ = params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+  single_mmap_ = (features_ & kFeatSingleMmap) != 0;
+  if (single_mmap_ && cq_ring_sz_ > sq_ring_sz_) sq_ring_sz_ = cq_ring_sz_;
+
+  sq_ring_ = ::mmap(nullptr, sq_ring_sz_, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_POPULATE, ring_fd_, kOffSqRing);
+  if (sq_ring_ == MAP_FAILED) {
+    sq_ring_ = nullptr;
+    teardown();
+    return false;
+  }
+  if (single_mmap_) {
+    cq_ring_ = sq_ring_;
+  } else {
+    cq_ring_ = ::mmap(nullptr, cq_ring_sz_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd_, kOffCqRing);
+    if (cq_ring_ == MAP_FAILED) {
+      cq_ring_ = nullptr;
+      teardown();
+      return false;
+    }
+  }
+  sqes_sz_ = params.sq_entries * sizeof(io_uring_sqe);
+  sqes_mem_ = ::mmap(nullptr, sqes_sz_, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_POPULATE, ring_fd_, kOffSqes);
+  if (sqes_mem_ == MAP_FAILED) {
+    sqes_mem_ = nullptr;
+    teardown();
+    return false;
+  }
+
+  auto* sq = static_cast<char*>(sq_ring_);
+  sq_head_ = reinterpret_cast<std::uint32_t*>(sq + params.sq_off.head);
+  sq_tail_ = reinterpret_cast<std::uint32_t*>(sq + params.sq_off.tail);
+  sq_mask_ =
+      *reinterpret_cast<std::uint32_t*>(sq + params.sq_off.ring_mask);
+  sq_entries_ = params.sq_entries;
+  sq_array_ = reinterpret_cast<std::uint32_t*>(sq + params.sq_off.array);
+  auto* cq = static_cast<char*>(cq_ring_);
+  cq_head_ = reinterpret_cast<std::uint32_t*>(cq + params.cq_off.head);
+  cq_tail_ = reinterpret_cast<std::uint32_t*>(cq + params.cq_off.tail);
+  cq_mask_ =
+      *reinterpret_cast<std::uint32_t*>(cq + params.cq_off.ring_mask);
+  cqes_ = cq + params.cq_off.cqes;
+  local_tail_ = *sq_tail_;
+  return true;
+}
+
+int Uring::enter(unsigned to_submit, unsigned min_complete, unsigned flags,
+                 void* arg, std::size_t argsz) noexcept {
+  ++stat_enters_;
+  return static_cast<int>(::syscall(__NR_io_uring_enter, ring_fd_, to_submit,
+                                    min_complete, flags, arg, argsz));
+}
+
+void* Uring::get_sqe() noexcept {
+  if (!ok()) return nullptr;
+  if (local_tail_ - load_acquire(sq_head_) >= sq_entries_) {
+    // SQ full mid-preparation: flush what is queued so the batch keeps
+    // growing. One extra enter per 256 SQEs, counted like any other.
+    if (!submit() ||
+        local_tail_ - load_acquire(sq_head_) >= sq_entries_) {
+      return nullptr;
+    }
+  }
+  const std::uint32_t idx = local_tail_ & sq_mask_;
+  auto* sqe = static_cast<io_uring_sqe*>(sqes_mem_) + idx;
+  std::memset(sqe, 0, sizeof(*sqe));
+  sq_array_[idx] = idx;
+  ++local_tail_;
+  ++pending_;
+  last_sqe_ = sqe;
+  return sqe;
+}
+
+bool Uring::prep_poll_add(int fd, std::uint32_t poll_mask,
+                          std::uint64_t user_data) {
+  auto* sqe = static_cast<io_uring_sqe*>(get_sqe());
+  if (sqe == nullptr) return false;
+  sqe->opcode = kOpPollAdd;
+  sqe->fd = fd;
+  sqe->op_flags = poll_mask;  // native-endian on LE targets
+  sqe->user_data = user_data;
+  return true;
+}
+
+bool Uring::prep_accept_multishot(int fd, std::uint64_t user_data) {
+  auto* sqe = static_cast<io_uring_sqe*>(get_sqe());
+  if (sqe == nullptr) return false;
+  sqe->opcode = kOpAccept;
+  sqe->fd = fd;
+  sqe->ioprio = kAcceptMultishot;
+  sqe->op_flags = SOCK_NONBLOCK | SOCK_CLOEXEC;  // accept4-style flags
+  sqe->user_data = user_data;
+  return true;
+}
+
+bool Uring::prep_recv_select(int fd, std::uint64_t user_data) {
+  auto* sqe = static_cast<io_uring_sqe*>(get_sqe());
+  if (sqe == nullptr) return false;
+  sqe->opcode = kOpRecv;
+  sqe->fd = fd;
+  sqe->len = 0;  // len 0 + BUFFER_SELECT: cap at the provided buffer's size
+  sqe->flags = kSqeBufferSelect;
+  sqe->buf_index = 0;  // buffer group 0
+  sqe->user_data = user_data;
+  return true;
+}
+
+bool Uring::prep_sendmsg(int fd, const ::msghdr* msg, std::uint64_t user_data,
+                         bool link) {
+  auto* sqe = static_cast<io_uring_sqe*>(get_sqe());
+  if (sqe == nullptr) return false;
+  sqe->opcode = kOpSendmsg;
+  sqe->fd = fd;
+  sqe->addr = reinterpret_cast<std::uint64_t>(msg);
+  sqe->op_flags = MSG_NOSIGNAL;
+  if (link) sqe->flags = kSqeIoLink;
+  sqe->user_data = user_data;
+  return true;
+}
+
+bool Uring::prep_cancel(std::uint64_t target, std::uint64_t user_data) {
+  auto* sqe = static_cast<io_uring_sqe*>(get_sqe());
+  if (sqe == nullptr) return false;
+  sqe->opcode = kOpAsyncCancel;
+  sqe->fd = -1;
+  sqe->addr = target;
+  sqe->op_flags = kCancelAll;
+  sqe->user_data = user_data;
+  return true;
+}
+
+void Uring::clear_link_on_last() {
+  if (last_sqe_ != nullptr) {
+    static_cast<io_uring_sqe*>(last_sqe_)->flags &=
+        static_cast<std::uint8_t>(~kSqeIoLink);
+  }
+}
+
+bool Uring::submit() {
+  if (!ok()) return false;
+  store_release(sq_tail_, local_tail_);
+  if (pending_ == 0) return true;
+  const int ret = enter(pending_, 0, 0, nullptr, 0);
+  if (ret < 0) {
+    return errno == EINTR || errno == EAGAIN || errno == EBUSY;
+  }
+  stat_sqes_ += static_cast<unsigned>(ret);
+  ++stat_batches_;
+  pending_ -= static_cast<unsigned>(ret) < pending_
+                  ? static_cast<unsigned>(ret)
+                  : pending_;
+  return true;
+}
+
+bool Uring::submit_and_wait(int timeout_ms) {
+  if (!ok()) return false;
+  store_release(sq_tail_, local_tail_);
+  timespec ts{};
+  ts.tv_sec = timeout_ms / 1000;
+  ts.tv_nsec = static_cast<long>(timeout_ms % 1000) * 1'000'000L;
+  io_uring_getevents_arg arg{};
+  arg.ts = reinterpret_cast<std::uint64_t>(&ts);
+  const unsigned to_submit = pending_;
+  const int ret = enter(to_submit, 1, kEnterGetevents | kEnterExtArg, &arg,
+                        sizeof arg);
+  if (ret < 0) {
+    // ETIME: wait timed out (nothing submitted, or it would be positive).
+    // EINTR: signal. EBUSY/EAGAIN: CQ pressure — drain and retry later.
+    return errno == ETIME || errno == EINTR || errno == EAGAIN ||
+           errno == EBUSY;
+  }
+  if (ret > 0) {
+    stat_sqes_ += static_cast<unsigned>(ret);
+    ++stat_batches_;
+    pending_ -= static_cast<unsigned>(ret) < pending_
+                    ? static_cast<unsigned>(ret)
+                    : pending_;
+  }
+  return true;
+}
+
+std::uint32_t Uring::sq_space_left() const noexcept {
+  if (!ok()) return 0;
+  return sq_entries_ - (local_tail_ - load_acquire(sq_head_));
+}
+
+bool Uring::peek_cqe(Cqe* out) noexcept {
+  if (!ok()) return false;
+  const std::uint32_t head = *cq_head_;
+  if (head == load_acquire(cq_tail_)) return false;
+  const auto* cqe =
+      static_cast<const io_uring_cqe*>(cqes_) + (head & cq_mask_);
+  out->user_data = cqe->user_data;
+  out->res = cqe->res;
+  out->flags = cqe->flags;
+  store_release(cq_head_, head + 1);
+  return true;
+}
+
+bool Uring::setup_buffer_ring(std::uint32_t count, std::uint32_t size) {
+  if (!ok()) return false;
+  if (buffers_ready()) return true;
+  std::uint32_t entries = 1;
+  while (entries < count) entries <<= 1;
+  buf_ring_sz_ = entries * sizeof(io_uring_buf);
+  buf_ring_ = ::mmap(nullptr, buf_ring_sz_, PROT_READ | PROT_WRITE,
+                     MAP_ANONYMOUS | MAP_PRIVATE, -1, 0);
+  if (buf_ring_ == MAP_FAILED) {
+    buf_ring_ = nullptr;
+    return false;
+  }
+  io_uring_buf_reg reg{};
+  reg.ring_addr = reinterpret_cast<std::uint64_t>(buf_ring_);
+  reg.ring_entries = entries;
+  reg.bgid = 0;
+  if (::syscall(__NR_io_uring_register, ring_fd_, kRegisterPbufRing, &reg,
+                1) < 0) {
+    ::munmap(buf_ring_, buf_ring_sz_);
+    buf_ring_ = nullptr;
+    return false;
+  }
+  buf_mem_sz_ = std::size_t{entries} * size;
+  buf_base_ = static_cast<char*>(::mmap(nullptr, buf_mem_sz_,
+                                        PROT_READ | PROT_WRITE,
+                                        MAP_ANONYMOUS | MAP_PRIVATE, -1, 0));
+  if (buf_base_ == MAP_FAILED) {
+    buf_base_ = nullptr;
+    return false;
+  }
+  buf_count_ = entries;
+  buf_size_ = size;
+  buf_mask_ = entries - 1;
+  buf_tail_ = 0;
+  for (std::uint32_t i = 0; i < entries; ++i) recycle_buffer(i);
+  return true;
+}
+
+void Uring::recycle_buffer(std::uint32_t bid) noexcept {
+  auto* bufs = static_cast<io_uring_buf*>(buf_ring_);
+  io_uring_buf& slot = bufs[buf_tail_ & buf_mask_];
+  // Only addr/len/bid: bufs[0].resv aliases the ring tail.
+  slot.addr = reinterpret_cast<std::uint64_t>(buf_base_ +
+                                              std::size_t{bid} * buf_size_);
+  slot.len = buf_size_;
+  slot.bid = static_cast<std::uint16_t>(bid);
+  ++buf_tail_;
+  // Publish: the tail lives in bufs[0].resv (UAPI union layout).
+  __atomic_store_n(&bufs[0].resv, buf_tail_, __ATOMIC_RELEASE);
+}
+
+bool Uring::supported() noexcept {
+  static const bool cached = [] {
+    Uring probe_ring;
+    if (!probe_ring.init(8)) return false;
+    auto probe = static_cast<io_uring_probe*>(
+        ::mmap(nullptr, sizeof(io_uring_probe), PROT_READ | PROT_WRITE,
+               MAP_ANONYMOUS | MAP_PRIVATE, -1, 0));
+    if (probe == MAP_FAILED) return false;
+    std::memset(probe, 0, sizeof(io_uring_probe));
+    const bool probed =
+        ::syscall(__NR_io_uring_register, probe_ring.ring_fd_, kRegisterProbe,
+                  probe, 256) == 0;
+    auto op_ok = [&](std::uint8_t op) {
+      return probed && op <= probe->last_op &&
+             (probe->ops[op].flags & kOpSupported) != 0;
+    };
+    const bool ops_ok = op_ok(kOpPollAdd) && op_ok(kOpSendmsg) &&
+                        op_ok(kOpAccept) && op_ok(kOpAsyncCancel) &&
+                        op_ok(kOpRecv);
+    ::munmap(probe, sizeof(io_uring_probe));
+    if (!ops_ok) return false;
+    // A provided-buffer ring registering cleanly implies 5.19+, which also
+    // guarantees multishot accept and file-ref-safe cancel-by-user_data.
+    return probe_ring.setup_buffer_ring(8, 4096);
+  }();
+  return cached;
+}
+
+}  // namespace redundancy::net
+
+#endif  // __linux__

@@ -1,0 +1,178 @@
+// net::Uring — a liburing-free io_uring wrapper for the EventLoop's
+// completion backend.
+//
+// Everything here is raw syscall + mmap plumbing against the stable
+// io_uring UAPI: io_uring_setup(2) creates the ring, the SQ/CQ rings and
+// the SQE array are mapped directly, SQEs are prepared in place and
+// published with one release-store of the SQ tail, and io_uring_enter(2)
+// both submits the batch and waits for completions in a single syscall
+// (IORING_ENTER_EXT_ARG carries the wait timeout, so the loop's timer
+// deadline rides the same call). No dependency is added: the struct
+// definitions below mirror <linux/io_uring.h> verbatim — the UAPI is a
+// frozen ABI — so the tree builds on kernels and sysroots that predate
+// the header while still probing feature support at runtime.
+//
+// The class knows nothing about the event loop: it queues SQEs, drains
+// CQEs, and owns one provided-buffer ring (buffer group 0) whose entries
+// the kernel picks for IOSQE_BUFFER_SELECT reads. Single-threaded by
+// contract, like everything else under the loop.
+#pragma once
+
+#ifdef __linux__
+
+#include <cstddef>
+#include <cstdint>
+
+struct iovec;
+struct msghdr;
+
+namespace redundancy::net {
+
+class Uring {
+ public:
+  /// Copied-out completion (the CQ slot is released on peek_cqe return).
+  struct Cqe {
+    std::uint64_t user_data = 0;
+    std::int32_t res = 0;
+    std::uint32_t flags = 0;
+  };
+
+  // CQE flag bits (UAPI: IORING_CQE_F_*).
+  static constexpr std::uint32_t kCqeFBuffer = 1u << 0;
+  static constexpr std::uint32_t kCqeFMore = 1u << 1;
+  static constexpr unsigned kCqeBufferShift = 16;
+
+  Uring() = default;
+  Uring(const Uring&) = delete;
+  Uring& operator=(const Uring&) = delete;
+  ~Uring();
+
+  /// Set up a ring with `entries` SQEs (rounded up by the kernel). False
+  /// when the kernel or a seccomp policy refuses — callers fall back.
+  [[nodiscard]] bool init(unsigned entries);
+  [[nodiscard]] bool ok() const noexcept { return ring_fd_ >= 0; }
+
+  // -- SQE preparation (queued in the mapped SQ, published at submit) -----
+  // Each returns false only when the SQ is full and a flush submit failed.
+
+  /// One-shot poll for `poll_mask` (POLLIN/POLLOUT/... bits).
+  bool prep_poll_add(int fd, std::uint32_t poll_mask, std::uint64_t user_data);
+  /// Multishot accept: one SQE, a CQE per accepted connection until the
+  /// kernel drops IORING_CQE_F_MORE. Accepted fds arrive non-blocking.
+  bool prep_accept_multishot(int fd, std::uint64_t user_data);
+  /// Buffer-select recv from buffer group 0: the kernel picks a provided
+  /// buffer; its id rides back in cqe.flags >> kCqeBufferShift.
+  bool prep_recv_select(int fd, std::uint64_t user_data);
+  /// Vectored send. `msg` (and the iovecs it points to) must stay valid
+  /// until the CQE arrives. `link` chains the next SQE behind this one
+  /// (IOSQE_IO_LINK) so a multi-SQE flush executes in order.
+  bool prep_sendmsg(int fd, const ::msghdr* msg, std::uint64_t user_data,
+                    bool link);
+  /// Cancel every queued op whose user_data matches `target`.
+  bool prep_cancel(std::uint64_t target, std::uint64_t user_data);
+  /// Drop the IOSQE_IO_LINK flag from the most recently prepared SQE (a
+  /// chain that could not be fully prepared must not link into a stranger).
+  void clear_link_on_last();
+
+  // -- submission + completion -------------------------------------------
+
+  /// One io_uring_enter: submit everything queued AND wait up to
+  /// `timeout_ms` for at least one completion. Returns false only on a
+  /// hard backend failure (timeout and EINTR are normal returns).
+  bool submit_and_wait(int timeout_ms);
+  /// Submit-only flush (used when the SQ fills mid-preparation and by
+  /// teardown paths that queue cancels with the loop parked).
+  bool submit();
+
+  /// Copy out the next completion; false when the CQ is drained.
+  bool peek_cqe(Cqe* out) noexcept;
+
+  /// Free SQE slots before the ring is full (callers planning a link chain
+  /// flush first — a chain must not straddle a submission boundary).
+  [[nodiscard]] std::uint32_t sq_space_left() const noexcept;
+
+  // -- provided buffer ring (group 0) ------------------------------------
+
+  /// Register `count` buffers of `size` bytes each (count is rounded up to
+  /// a power of two). Idempotent: the first successful call wins.
+  [[nodiscard]] bool setup_buffer_ring(std::uint32_t count,
+                                       std::uint32_t size);
+  [[nodiscard]] bool buffers_ready() const noexcept {
+    return buf_base_ != nullptr;
+  }
+  [[nodiscard]] const char* buffer_at(std::uint32_t bid) const noexcept {
+    return buf_base_ + std::size_t{bid} * buf_size_;
+  }
+  [[nodiscard]] std::uint32_t buffer_size() const noexcept {
+    return buf_size_;
+  }
+  /// Hand a consumed buffer back to the kernel's ring.
+  void recycle_buffer(std::uint32_t bid) noexcept;
+
+  // Cumulative syscall accounting for the gateway.* batching metrics.
+  [[nodiscard]] std::uint64_t enters() const noexcept { return stat_enters_; }
+  [[nodiscard]] std::uint64_t sqes_submitted() const noexcept {
+    return stat_sqes_;
+  }
+  [[nodiscard]] std::uint64_t submit_batches() const noexcept {
+    return stat_batches_;
+  }
+
+  /// One-shot, cached runtime probe: ring setup succeeds, the ops this
+  /// backend issues (POLL_ADD, SENDMSG, ACCEPT, ASYNC_CANCEL, RECV) are
+  /// supported, enter timeouts (IORING_FEAT_EXT_ARG) work, and a provided
+  /// buffer ring registers (the 5.19+ proxy that also covers multishot
+  /// accept). False means: fall back to epoll.
+  [[nodiscard]] static bool supported() noexcept;
+
+ private:
+  void* get_sqe() noexcept;  ///< next free SQE slot; flush-submits if full
+  int enter(unsigned to_submit, unsigned min_complete, unsigned flags,
+            void* arg, std::size_t argsz) noexcept;
+  void teardown() noexcept;
+
+  int ring_fd_ = -1;
+  std::uint32_t features_ = 0;
+
+  // SQ/CQ ring mappings (one mapping when IORING_FEAT_SINGLE_MMAP).
+  void* sq_ring_ = nullptr;
+  std::size_t sq_ring_sz_ = 0;
+  void* cq_ring_ = nullptr;
+  std::size_t cq_ring_sz_ = 0;
+  void* sqes_mem_ = nullptr;
+  std::size_t sqes_sz_ = 0;
+  bool single_mmap_ = false;
+
+  // Raw ring pointers into the mappings.
+  std::uint32_t* sq_head_ = nullptr;
+  std::uint32_t* sq_tail_ = nullptr;
+  std::uint32_t sq_mask_ = 0;
+  std::uint32_t sq_entries_ = 0;
+  std::uint32_t* sq_array_ = nullptr;
+  std::uint32_t* cq_head_ = nullptr;
+  std::uint32_t* cq_tail_ = nullptr;
+  std::uint32_t cq_mask_ = 0;
+  void* cqes_ = nullptr;
+  void* last_sqe_ = nullptr;
+
+  std::uint32_t local_tail_ = 0;  ///< prepared-but-unpublished SQ tail
+  std::uint32_t pending_ = 0;     ///< prepared SQEs not yet handed to enter
+
+  // Provided-buffer ring (group 0).
+  void* buf_ring_ = nullptr;
+  std::size_t buf_ring_sz_ = 0;
+  char* buf_base_ = nullptr;
+  std::size_t buf_mem_sz_ = 0;
+  std::uint32_t buf_count_ = 0;
+  std::uint32_t buf_size_ = 0;
+  std::uint32_t buf_mask_ = 0;
+  std::uint16_t buf_tail_ = 0;
+
+  std::uint64_t stat_enters_ = 0;
+  std::uint64_t stat_sqes_ = 0;
+  std::uint64_t stat_batches_ = 0;
+};
+
+}  // namespace redundancy::net
+
+#endif  // __linux__

@@ -1,7 +1,10 @@
-// EventLoop tests run against BOTH backends (epoll and the poll fallback)
-// wherever the behaviour must be identical: readiness dispatch, cross-thread
-// wake, timer delivery, the cycle hook, and the remove-during-dispatch
-// guarantee the fd-indexed table provides.
+// EventLoop tests run against EVERY backend the host supports (io_uring
+// where the kernel allows it, epoll, and the poll fallback) wherever the
+// behaviour must be identical: readiness dispatch, cross-thread wake, timer
+// delivery, the cycle hook, and the remove-during-dispatch guarantee the
+// fd-indexed table provides. On the uring backend these exercise the
+// one-shot POLL_ADD readiness emulation, not the completion-mode path
+// (conn_manager_test covers that end to end).
 #include "net/event_loop.hpp"
 
 #include <unistd.h>
@@ -18,7 +21,12 @@ namespace {
 
 std::vector<EventLoop::Backend> backends_under_test() {
 #ifdef __linux__
-  return {EventLoop::Backend::epoll, EventLoop::Backend::poll};
+  std::vector<EventLoop::Backend> backends{EventLoop::Backend::epoll,
+                                           EventLoop::Backend::poll};
+  if (EventLoop::uring_supported()) {
+    backends.push_back(EventLoop::Backend::uring);
+  }
+  return backends;
 #else
   return {EventLoop::Backend::poll};
 #endif

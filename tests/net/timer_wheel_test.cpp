@@ -97,6 +97,45 @@ TEST(TimerWheel, FarFutureTimerSurvivesLaps) {
   EXPECT_EQ(fired[1], &far_t);
 }
 
+TEST(TimerWheel, RotationBoundaryDeadlineWaitsFullLap) {
+  // delay == slots × tick puts the deadline in the SAME slot the cursor is
+  // currently on. The hashed wheel must see the future deadline during the
+  // immediate sweeps and leave the timer in place for exactly one full lap.
+  TimerWheel wheel{16, 10};
+  TimerWheel::Timer t;
+  wheel.arm(t, /*now=*/1000, /*delay=*/160);  // span of the wheel, exactly
+  int fired = 0;
+  for (std::uint64_t now = 1010; now < 1160; now += 10) {
+    wheel.advance(now, [&](TimerWheel::Timer&) { ++fired; });
+    ASSERT_EQ(fired, 0) << "fired a lap early at now=" << now;
+    ASSERT_TRUE(t.armed());
+  }
+  wheel.advance(1160, [&](TimerWheel::Timer&) { ++fired; });
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(t.armed());
+  EXPECT_EQ(wheel.armed(), 0u);
+}
+
+TEST(TimerWheel, DoubleLapDeadlineSurvivesTwoRotations) {
+  // A deadline more than two whole rotations out (2×span + one tick): the
+  // cursor passes the slot twice with the timer resident before the lap
+  // on which it is due. Tick-by-tick so every slot sweep inspects it.
+  TimerWheel wheel{16, 10};
+  TimerWheel::Timer t;
+  const std::uint64_t delay = 2 * 160 + 10;
+  wheel.arm(t, /*now=*/0, delay);
+  int fired = 0;
+  for (std::uint64_t now = 10; now < delay; now += 10) {
+    wheel.advance(now, [&](TimerWheel::Timer&) { ++fired; });
+    ASSERT_EQ(fired, 0) << "fired early at now=" << now;
+    ASSERT_TRUE(t.armed());
+  }
+  wheel.advance(delay, [&](TimerWheel::Timer&) { ++fired; });
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(t.armed());
+  EXPECT_EQ(wheel.armed(), 0u);
+}
+
 TEST(TimerWheel, BigClockJumpSweepsWholeWheelOnce) {
   TimerWheel wheel{16, 10};
   TimerWheel::Timer a, b;

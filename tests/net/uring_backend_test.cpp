@@ -1,0 +1,205 @@
+// io_uring backend selection + completion-mode contract tests. The shared
+// behaviour (dispatch, timers, pipelining, teardown) is covered by the
+// event_loop/conn_manager/gateway suites, which already sweep every
+// backend; this file pins down what is SPECIFIC to the uring path: the
+// probe, the env knob and automatic-resolution rules, the single-sink
+// completion-mode claim, and an end-to-end pipelined serve over an
+// explicitly-uring gateway.
+#include "net/event_loop.hpp"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/conn_manager.hpp"
+#include "net/gateway.hpp"
+#include "net/loopback_client.hpp"
+
+namespace redundancy::net {
+namespace {
+
+using loopback::connect_loopback;
+using loopback::http_get;
+using loopback::read_response;
+using loopback::Reply;
+using loopback::send_all;
+
+/// Scoped REDUNDANCY_GATEWAY_BACKEND override that restores the previous
+/// value (tests must not leak env state into each other).
+class ScopedBackendEnv {
+ public:
+  explicit ScopedBackendEnv(const char* value) {
+    const char* prev = std::getenv(kVar);
+    had_prev_ = prev != nullptr;
+    if (had_prev_) prev_ = prev;
+    if (value != nullptr) {
+      ::setenv(kVar, value, 1);
+    } else {
+      ::unsetenv(kVar);
+    }
+  }
+  ~ScopedBackendEnv() {
+    if (had_prev_) {
+      ::setenv(kVar, prev_.c_str(), 1);
+    } else {
+      ::unsetenv(kVar);
+    }
+  }
+
+ private:
+  static constexpr const char* kVar = "REDUNDANCY_GATEWAY_BACKEND";
+  bool had_prev_ = false;
+  std::string prev_;
+};
+
+TEST(UringBackend, ProbeIsStableAcrossCalls) {
+  const bool first = EventLoop::uring_supported();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(EventLoop::uring_supported(), first);
+  }
+}
+
+TEST(UringBackend, BackendNamesAreStable) {
+  EXPECT_STREQ(EventLoop::backend_name(EventLoop::Backend::uring), "uring");
+  EXPECT_STREQ(EventLoop::backend_name(EventLoop::Backend::epoll), "epoll");
+  EXPECT_STREQ(EventLoop::backend_name(EventLoop::Backend::poll), "poll");
+}
+
+TEST(UringBackend, ExplicitUringFollowsTheProbe) {
+  // Asking for uring outright must succeed exactly when the probe says the
+  // kernel can do it — never a silent downgrade to epoll.
+  EventLoop::Options options;
+  options.backend = EventLoop::Backend::uring;
+  EventLoop loop{options};
+  if (EventLoop::uring_supported()) {
+    EXPECT_TRUE(loop.ok());
+    EXPECT_EQ(loop.backend(), EventLoop::Backend::uring);
+    EXPECT_TRUE(loop.uring_mode());
+  } else {
+    EXPECT_FALSE(loop.ok());
+  }
+}
+
+TEST(UringBackend, AutomaticPrefersUringThenEpoll) {
+  ScopedBackendEnv env{nullptr};  // make sure no knob interferes
+  EventLoop loop;                 // Backend::automatic
+  ASSERT_TRUE(loop.ok());
+#ifdef __linux__
+  const EventLoop::Backend expected = EventLoop::uring_supported()
+                                          ? EventLoop::Backend::uring
+                                          : EventLoop::Backend::epoll;
+  EXPECT_EQ(loop.backend(), expected);
+#else
+  EXPECT_EQ(loop.backend(), EventLoop::Backend::poll);
+#endif
+}
+
+TEST(UringBackend, EnvKnobSelectsPollStrictly) {
+  ScopedBackendEnv env{"poll"};
+  EventLoop loop;  // automatic + knob
+  ASSERT_TRUE(loop.ok());
+  EXPECT_EQ(loop.backend(), EventLoop::Backend::poll);
+  EXPECT_FALSE(loop.uring_mode());
+}
+
+#ifdef __linux__
+TEST(UringBackend, EnvKnobSelectsEpollStrictly) {
+  ScopedBackendEnv env{"epoll"};
+  EventLoop loop;
+  ASSERT_TRUE(loop.ok());
+  EXPECT_EQ(loop.backend(), EventLoop::Backend::epoll);
+}
+#endif
+
+TEST(UringBackend, EnvKnobGarbageIsLoudlyIgnored) {
+  // Strict match: no trimming, no case folding, no prefixes. The loop must
+  // still come up on the probed default.
+  for (const char* bad : {"uring ", "URING", "io_uring", "1", ""}) {
+    ScopedBackendEnv env{bad};
+    EventLoop loop;
+    ASSERT_TRUE(loop.ok()) << "knob '" << bad << "' killed the loop";
+    EXPECT_NE(loop.backend(), EventLoop::Backend::automatic);
+  }
+}
+
+TEST(UringBackend, EnvKnobOnlyAffectsAutomatic) {
+  // An explicit Options::backend wins over the env knob — the knob is an
+  // operator override for deployments that leave the choice to the probe.
+  ScopedBackendEnv env{"poll"};
+  EventLoop::Options options;
+  options.backend = EventLoop::Backend::epoll;
+  EventLoop loop{options};
+#ifdef __linux__
+  ASSERT_TRUE(loop.ok());
+  EXPECT_EQ(loop.backend(), EventLoop::Backend::epoll);
+#else
+  EXPECT_FALSE(loop.ok());
+#endif
+}
+
+TEST(UringBackend, SingleSinkContractSecondManagerStaysReadiness) {
+  if (!EventLoop::uring_supported()) GTEST_SKIP() << "no io_uring here";
+  EventLoop::Options options;
+  options.backend = EventLoop::Backend::uring;
+  EventLoop loop{options};
+  ASSERT_TRUE(loop.ok());
+  // First manager on the loop claims the completion sink; a second one must
+  // degrade to readiness mode (served through the POLL_ADD emulation), not
+  // fight over the buffer group.
+  ConnManager first{loop, ConnManager::Options{}};
+  ConnManager second{loop, ConnManager::Options{}};
+  EXPECT_TRUE(first.completion_mode());
+  EXPECT_FALSE(second.completion_mode());
+}
+
+TEST(UringBackend, GatewayServesPipelinedEchoOnExplicitUring) {
+  if (!EventLoop::uring_supported()) GTEST_SKIP() << "no io_uring here";
+  Gateway::Options options;
+  options.loop.backend = EventLoop::Backend::uring;
+  options.loops = 1;
+  options.conn.max_pipeline = 8;
+  Gateway gateway{options};
+  install_demo_routes(gateway);
+  ASSERT_TRUE(gateway.start());
+  ASSERT_EQ(gateway.backend(), EventLoop::Backend::uring);
+
+  // A pipelined burst on one keep-alive connection: multishot accept,
+  // buffer-select recvs, and a linked sendmsg chain all on the ring.
+  const int fd = connect_loopback(gateway.port());
+  ASSERT_GE(fd, 0);
+  std::string burst;
+  for (int i = 0; i < 8; ++i) {
+    burst += "GET /echo?x=" + std::to_string(i) + " HTTP/1.1\r\nHost: x\r\n\r\n";
+  }
+  ASSERT_TRUE(send_all(fd, burst));
+  for (int i = 0; i < 8; ++i) {
+    const Reply reply = read_response(fd);
+    ASSERT_TRUE(reply.complete) << "response " << i << ": " << reply.error;
+    EXPECT_EQ(reply.status, 200);
+    EXPECT_EQ(reply.body, std::to_string(i) + "\n");  // strict request order
+  }
+  ::close(fd);
+
+  // Large responses force short writes → chain-drain resubmits.
+  const Reply big = http_get(gateway.port(), "/big?n=1000000");
+  EXPECT_EQ(big.status, 200);
+  EXPECT_EQ(big.body.size(), 1'000'000u);
+  gateway.stop();
+}
+
+TEST(UringBackend, GatewayHonoursEnvKnobFallbackToPoll) {
+  ScopedBackendEnv env{"poll"};
+  Gateway::Options options;
+  options.loops = 1;
+  Gateway gateway{options};
+  install_demo_routes(gateway);
+  ASSERT_TRUE(gateway.start());
+  EXPECT_EQ(gateway.backend(), EventLoop::Backend::poll);
+  EXPECT_EQ(http_get(gateway.port(), "/echo?x=3").body, "3\n");
+  gateway.stop();
+}
+
+}  // namespace
+}  // namespace redundancy::net
